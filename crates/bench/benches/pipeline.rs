@@ -1,0 +1,111 @@
+//! End-to-end Figure-1 pipeline throughput: page in, populated relational
+//! database out.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rbd_core::{ExtractorConfig, RecordExtractor};
+use rbd_corpus::{generate_document, sites, Domain};
+use rbd_db::InstanceGenerator;
+use rbd_ontology::domains;
+use rbd_recognizer::Recognizer;
+use std::hint::black_box;
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let ontology = domains::obituaries();
+    let extractor = RecordExtractor::new(
+        ExtractorConfig::default().with_ontology(ontology.clone()),
+    )
+    .expect("compiles");
+    let recognizer = Recognizer::new(&ontology).expect("compiles");
+    let generator = InstanceGenerator::new(&ontology);
+    let style = &sites::initial_sites(Domain::Obituaries)[0];
+    let doc = generate_document(style, Domain::Obituaries, 0, 1998);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Bytes(doc.html.len() as u64));
+    group.bench_function("page_to_database", |b| {
+        b.iter(|| {
+            let extraction = extractor.extract_records(&doc.html).expect("records");
+            let tables: Vec<_> = extraction
+                .records
+                .iter()
+                .map(|r| recognizer.recognize(&r.text))
+                .collect();
+            let db = generator.populate(&tables);
+            assert_eq!(
+                db.table("Deceased").expect("entity").len(),
+                doc.truth.record_count
+            );
+            black_box(db)
+        });
+    });
+    group.finish();
+}
+
+fn bench_recognizer(c: &mut Criterion) {
+    let ontology = domains::obituaries();
+    let recognizer = Recognizer::new(&ontology).expect("compiles");
+    let style = &sites::initial_sites(Domain::Obituaries)[0];
+    let doc = generate_document(style, Domain::Obituaries, 0, 1998);
+    let text = rbd_html::tokenize(&doc.html).plain_text();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("recognize_data_record_table", |b| {
+        b.iter(|| black_box(recognizer.recognize(black_box(&text))));
+    });
+    group.finish();
+}
+
+/// The §4.5 amortization claim, measured: separate passes (discovery's OM
+/// re-scans the text, then recognition scans it again, per record) vs the
+/// integrated pipeline (one recognition pass feeds OM and the Data-Record
+/// Table both).
+fn bench_integration_ablation(c: &mut Criterion) {
+    let ontology = domains::obituaries();
+    let extractor = RecordExtractor::new(
+        ExtractorConfig::default().with_ontology(ontology.clone()),
+    )
+    .expect("compiles");
+    let recognizer = Recognizer::new(&ontology).expect("compiles");
+    let style = &sites::initial_sites(Domain::Obituaries)[0];
+    let doc = generate_document(style, Domain::Obituaries, 0, 1998);
+
+    let mut group = c.benchmark_group("integration");
+    group.sample_size(20);
+    group.bench_function("separate_passes", |b| {
+        b.iter(|| {
+            let extraction = extractor.extract_records(&doc.html).expect("records");
+            let tables: Vec<_> = extraction
+                .records
+                .iter()
+                .map(|r| recognizer.recognize(&r.text))
+                .collect();
+            black_box(tables)
+        });
+    });
+    group.bench_function("integrated_single_pass", |b| {
+        b.iter(|| {
+            let integrated = extractor
+                .discover_and_recognize(&doc.html, &recognizer)
+                .expect("records");
+            black_box(integrated.record_tables())
+        });
+    });
+    // The one-pass recognizer vs per-rule scanning, same text.
+    let text = rbd_html::tokenize(&doc.html).plain_text();
+    group.bench_function("recognize_one_pass", |b| {
+        b.iter(|| black_box(recognizer.recognize(black_box(&text))));
+    });
+    group.bench_function("recognize_per_rule", |b| {
+        b.iter(|| black_box(recognizer.recognize_separately(black_box(&text))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_pipeline,
+    bench_recognizer,
+    bench_integration_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! One benchmark per paper table: each measures regenerating that table's
+//! data from scratch (corpus generation + evaluation), so `cargo bench`
+//! doubles as a reproducibility smoke test — a panic in any experiment
+//! fails the bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbd_certainty::CertaintyTable;
+use rbd_corpus::{initial_corpus, test_corpus, Domain};
+use rbd_eval::{calibrate, combination_sweep, run_test_sets, HeuristicRunner, DEFAULT_SEED};
+use std::hint::black_box;
+
+fn bench_table_2_3_calibration(c: &mut Criterion) {
+    let runner = HeuristicRunner::new().expect("ontologies compile");
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    // Tables 2–4 come from one calibration pass over 100 documents.
+    group.bench_function("table2_3_4_calibration", |b| {
+        b.iter(|| black_box(calibrate(&runner, DEFAULT_SEED)));
+    });
+    group.finish();
+}
+
+fn bench_table_5_sweep(c: &mut Criterion) {
+    let runner = HeuristicRunner::new().expect("ontologies compile");
+    let calibration = calibrate(&runner, DEFAULT_SEED);
+    let table = calibration.certainty_table();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table5_combination_sweep", |b| {
+        b.iter(|| black_box(combination_sweep(&calibration, &table)));
+    });
+    group.finish();
+}
+
+fn bench_table_6_to_10_test_sets(c: &mut Criterion) {
+    let runner = HeuristicRunner::new().expect("ontologies compile");
+    let table = CertaintyTable::paper_table4();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table6_to_10_test_sets", |b| {
+        b.iter(|| {
+            let report = run_test_sets(&runner, &table, DEFAULT_SEED);
+            assert_eq!(report.compound_success, 100.0, "headline must hold");
+            black_box(report)
+        });
+    });
+    group.finish();
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(20);
+    group.bench_function("initial_corpus_100_docs", |b| {
+        b.iter(|| {
+            let a = initial_corpus(Domain::Obituaries, DEFAULT_SEED);
+            let z = initial_corpus(Domain::CarAds, DEFAULT_SEED);
+            black_box((a, z))
+        });
+    });
+    group.bench_function("test_corpus_20_docs", |b| {
+        b.iter(|| {
+            let docs: Vec<_> = Domain::ALL
+                .into_iter()
+                .flat_map(|d| test_corpus(d, DEFAULT_SEED))
+                .collect();
+            black_box(docs)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table_2_3_calibration,
+    bench_table_5_sweep,
+    bench_table_6_to_10_test_sets,
+    bench_corpus_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Benchmark-only crate; see `benches/`.

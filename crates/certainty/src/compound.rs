@@ -1,0 +1,252 @@
+//! The compound heuristic (§5.3): combine per-heuristic rankings into a
+//! consensus separator choice.
+
+use crate::factor::CertaintyFactor;
+use crate::set::HeuristicSet;
+use crate::table::CertaintyTable;
+use rbd_heuristics::Ranking;
+
+/// A candidate tag with its compound certainty factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredTag {
+    /// Tag name.
+    pub tag: String,
+    /// Combined certainty over the selected heuristics.
+    pub certainty: CertaintyFactor,
+}
+
+/// The outcome of combining rankings: all candidate tags scored (descending)
+/// plus the argmax tie set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Consensus {
+    /// All scored tags, highest certainty first.
+    pub scored: Vec<ScoredTag>,
+    /// Tags sharing the highest certainty (usually exactly one). The
+    /// paper's success metric `sc(D) = Y/X` is defined over this tie set.
+    pub winners: Vec<String>,
+}
+
+impl Consensus {
+    /// The single consensus separator when the argmax is unique.
+    pub fn unique_winner(&self) -> Option<&str> {
+        match self.winners.as_slice() {
+            [one] => Some(one),
+            _ => None,
+        }
+    }
+
+    /// 1-based dense rank of `tag` in the compound scoring (ties share a
+    /// rank) — the number reported in the paper's Tables 6–9 column "A".
+    pub fn rank_of(&self, tag: &str) -> Option<usize> {
+        let mut rank = 0;
+        let mut last: Option<f64> = None;
+        for s in &self.scored {
+            let v = s.certainty.value();
+            if last != Some(v) {
+                rank += 1;
+                last = Some(v);
+            }
+            if s.tag == tag {
+                return Some(rank);
+            }
+        }
+        None
+    }
+}
+
+/// A compound heuristic: a heuristic subset plus a certainty table.
+#[derive(Debug, Clone)]
+pub struct CompoundHeuristic {
+    set: HeuristicSet,
+    table: CertaintyTable,
+}
+
+impl CompoundHeuristic {
+    /// The paper's final configuration: ORSIH with the published Table 4.
+    pub fn paper_orsih() -> Self {
+        CompoundHeuristic {
+            set: HeuristicSet::ORSIH,
+            table: CertaintyTable::paper_table4(),
+        }
+    }
+
+    /// A compound heuristic over an arbitrary subset with a given table.
+    pub fn new(set: HeuristicSet, table: CertaintyTable) -> Self {
+        CompoundHeuristic { set, table }
+    }
+
+    /// The heuristic subset.
+    pub fn set(&self) -> HeuristicSet {
+        self.set
+    }
+
+    /// The certainty table.
+    pub fn table(&self) -> &CertaintyTable {
+        &self.table
+    }
+
+    /// Combines per-heuristic rankings into a consensus. Rankings whose
+    /// heuristic is not in the subset are ignored; heuristics that
+    /// abstained simply contribute nothing (they are absent from
+    /// `rankings`). A tag unranked by some heuristic receives zero evidence
+    /// from it, and a tag's rank beyond the table's depth contributes zero.
+    pub fn combine(&self, rankings: &[Ranking]) -> Consensus {
+        // Candidate universe: every tag ranked by any selected heuristic,
+        // in first-seen order for determinism.
+        let mut tags: Vec<&str> = Vec::new();
+        for r in rankings {
+            if !self.set.contains(r.kind) {
+                continue;
+            }
+            for e in &r.entries {
+                if !tags.contains(&e.tag.as_str()) {
+                    tags.push(&e.tag);
+                }
+            }
+        }
+
+        let mut scored: Vec<ScoredTag> = tags
+            .into_iter()
+            .map(|tag| {
+                // Each selected ranking contributes the calibrated factor
+                // for the rank it gave this tag.
+                let factors = rankings
+                    .iter()
+                    .filter(|r| self.set.contains(r.kind))
+                    .filter_map(|r| {
+                        r.rank_of(tag).map(|rank| self.table.factor(r.kind, rank))
+                    });
+                ScoredTag {
+                    tag: tag.to_owned(),
+                    certainty: CertaintyFactor::combine_all(factors),
+                }
+            })
+            .collect();
+
+        scored.sort_by(|a, b| {
+            b.certainty
+                .partial_cmp(&a.certainty)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.tag.cmp(&b.tag))
+        });
+
+        let winners = match scored.first() {
+            None => Vec::new(),
+            Some(top) => scored
+                .iter()
+                .take_while(|s| s.certainty == top.certainty)
+                .map(|s| s.tag.clone())
+                .collect(),
+        };
+        Consensus { scored, winners }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_heuristics::{HeuristicKind, Ranking};
+
+    /// Builds the paper's §5.3 worked-example rankings.
+    fn figure2_rankings() -> Vec<Ranking> {
+        let order = |kind, tags: [&str; 3]| {
+            Ranking::from_order(kind, tags.iter().map(|t| (*t).to_owned()).collect())
+        };
+        vec![
+            order(HeuristicKind::OM, ["hr", "br", "b"]),
+            order(HeuristicKind::RP, ["hr", "br", "b"]),
+            order(HeuristicKind::SD, ["hr", "b", "br"]),
+            order(HeuristicKind::IT, ["hr", "br", "b"]),
+            order(HeuristicKind::HT, ["b", "br", "hr"]),
+        ]
+    }
+
+    #[test]
+    fn paper_section_5_3_worked_example() {
+        // ORSIH: [(hr, 99.96%), (b, 64.75%), (br, 56.34%)]
+        let compound = CompoundHeuristic::paper_orsih();
+        let consensus = compound.combine(&figure2_rankings());
+        assert_eq!(consensus.unique_winner(), Some("hr"));
+        let pct: Vec<(String, f64)> = consensus
+            .scored
+            .iter()
+            .map(|s| (s.tag.clone(), (s.certainty.percent() * 100.0).round() / 100.0))
+            .collect();
+        assert_eq!(
+            pct,
+            vec![
+                ("hr".to_owned(), 99.96),
+                ("b".to_owned(), 64.75),
+                ("br".to_owned(), 56.34),
+            ]
+        );
+    }
+
+    #[test]
+    fn subset_ignores_other_rankings() {
+        let compound = CompoundHeuristic::new(
+            "IH".parse().unwrap(),
+            CertaintyTable::paper_table4(),
+        );
+        let consensus = compound.combine(&figure2_rankings());
+        // IT: hr=96%, HT: hr rank3=16.5% → combined 96.66%.
+        let hr = consensus.scored.iter().find(|s| s.tag == "hr").unwrap();
+        assert!((hr.certainty.percent() - 96.66).abs() < 0.01);
+    }
+
+    #[test]
+    fn abstaining_heuristics_contribute_nothing() {
+        // Only IT ranks anything; OM/RP abstained (absent).
+        let rankings = vec![Ranking::from_order(
+            HeuristicKind::IT,
+            vec!["hr".into(), "b".into()],
+        )];
+        let compound = CompoundHeuristic::paper_orsih();
+        let c = compound.combine(&rankings);
+        assert_eq!(c.unique_winner(), Some("hr"));
+        assert!((c.scored[0].certainty.percent() - 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_beyond_table_depth_is_zero_evidence() {
+        let rankings = vec![Ranking::from_order(
+            HeuristicKind::IT,
+            vec!["a".into(), "b".into(), "c".into(), "d".into(), "e".into()],
+        )];
+        let c = CompoundHeuristic::paper_orsih().combine(&rankings);
+        let e = c.scored.iter().find(|s| s.tag == "e").unwrap();
+        assert_eq!(e.certainty, CertaintyFactor::ZERO);
+    }
+
+    #[test]
+    fn ties_produce_multiple_winners() {
+        // Two tags with identical evidence tie.
+        let rankings = vec![Ranking::from_scores(
+            HeuristicKind::HT,
+            vec![("x".into(), 5.0), ("y".into(), 5.0)],
+            false,
+        )];
+        let c = CompoundHeuristic::paper_orsih().combine(&rankings);
+        assert_eq!(c.winners.len(), 2);
+        assert_eq!(c.unique_winner(), None);
+        assert_eq!(c.rank_of("x"), Some(1));
+        assert_eq!(c.rank_of("y"), Some(1));
+    }
+
+    #[test]
+    fn empty_rankings_empty_consensus() {
+        let c = CompoundHeuristic::paper_orsih().combine(&[]);
+        assert!(c.scored.is_empty());
+        assert!(c.winners.is_empty());
+        assert_eq!(c.rank_of("hr"), None);
+    }
+
+    #[test]
+    fn consensus_rank_of_is_dense() {
+        let rankings = figure2_rankings();
+        let c = CompoundHeuristic::paper_orsih().combine(&rankings);
+        assert_eq!(c.rank_of("hr"), Some(1));
+        assert_eq!(c.rank_of("b"), Some(2));
+        assert_eq!(c.rank_of("br"), Some(3));
+    }
+}

@@ -1,0 +1,123 @@
+//! Certainty factors and the Stanford combination rule (§5.1).
+
+use std::fmt;
+
+/// A certainty factor in `[0, 1]`.
+///
+/// Stanford certainty theory as the paper uses it deals only in
+/// non-negative evidence, so the full MYCIN-style `[-1, 1]` range is not
+/// modeled.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct CertaintyFactor(f64);
+
+impl CertaintyFactor {
+    /// Zero evidence.
+    pub const ZERO: CertaintyFactor = CertaintyFactor(0.0);
+    /// Complete certainty.
+    pub const ONE: CertaintyFactor = CertaintyFactor(1.0);
+
+    /// Creates a factor, clamping into `[0, 1]` (NaN becomes 0).
+    pub fn new(value: f64) -> Self {
+        if value.is_nan() {
+            return CertaintyFactor(0.0);
+        }
+        CertaintyFactor(value.clamp(0.0, 1.0))
+    }
+
+    /// Creates a factor from a percentage (e.g. `84.5` → `0.845`).
+    pub fn from_percent(pct: f64) -> Self {
+        Self::new(pct / 100.0)
+    }
+
+    /// The underlying value in `[0, 1]`.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The value as a percentage.
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Stanford combination of two independent pieces of evidence:
+    /// `CF(E1) + CF(E2) − CF(E1)·CF(E2)`.
+    ///
+    /// The operation is commutative and associative, so evidence from any
+    /// number of observations can be folded in any order.
+    pub fn combine(self, other: CertaintyFactor) -> CertaintyFactor {
+        // Clamp: float rounding can push e.g. 0.4 + 1.0 − 0.4 a ULP past 1.
+        CertaintyFactor::new(self.0 + other.0 - self.0 * other.0)
+    }
+
+    /// Folds a sequence of factors with [`CertaintyFactor::combine`].
+    pub fn combine_all(factors: impl IntoIterator<Item = CertaintyFactor>) -> CertaintyFactor {
+        factors
+            .into_iter()
+            .fold(CertaintyFactor::ZERO, CertaintyFactor::combine)
+    }
+}
+
+impl fmt::Display for CertaintyFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}%", self.percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_section_5_1_example() {
+        // 88%, 74%, 66% combine to 98.93%.
+        let cf = CertaintyFactor::combine_all([
+            CertaintyFactor::from_percent(88.0),
+            CertaintyFactor::from_percent(74.0),
+            CertaintyFactor::from_percent(66.0),
+        ]);
+        // Exact value is 98.9392 %; the paper truncates to 98.93 %.
+        assert!((cf.percent() - 98.9392).abs() < 1e-9, "{}", cf.percent());
+    }
+
+    #[test]
+    fn combine_identities() {
+        let x = CertaintyFactor::new(0.4);
+        assert!((x.combine(CertaintyFactor::ZERO).value() - 0.4).abs() < 1e-15);
+        assert!((x.combine(CertaintyFactor::ONE).value() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn combine_commutative_associative() {
+        let a = CertaintyFactor::new(0.3);
+        let b = CertaintyFactor::new(0.5);
+        let c = CertaintyFactor::new(0.7);
+        assert!((a.combine(b).value() - b.combine(a).value()).abs() < 1e-15);
+        let left = a.combine(b).combine(c).value();
+        let right = a.combine(b.combine(c)).value();
+        assert!((left - right).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(CertaintyFactor::new(-0.5).value(), 0.0);
+        assert_eq!(CertaintyFactor::new(1.5).value(), 1.0);
+        assert_eq!(CertaintyFactor::new(f64::NAN).value(), 0.0);
+    }
+
+    #[test]
+    fn result_stays_in_unit_interval() {
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let v = CertaintyFactor::new(i as f64 / 10.0)
+                    .combine(CertaintyFactor::new(j as f64 / 10.0))
+                    .value();
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats_percent() {
+        assert_eq!(CertaintyFactor::from_percent(56.34).to_string(), "56.34%");
+    }
+}

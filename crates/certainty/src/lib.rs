@@ -1,0 +1,34 @@
+//! # rbd-certainty — Stanford certainty theory and compound heuristics (§5)
+//!
+//! The five heuristics are independent evidence sources. The paper combines
+//! them with Stanford certainty theory: two pieces of evidence with
+//! certainty factors `a` and `b` supporting the same conclusion combine to
+//! `a + b − a·b`. Each heuristic's per-rank certainty factors come from the
+//! calibration experiments of §5.2 (Table 4); the compound heuristic sums
+//! evidence over any subset of the five, and the paper selects **ORSIH** —
+//! all five — as its consensus method (§5.3).
+//!
+//! ## The paper's worked example
+//!
+//! ```
+//! use rbd_certainty::CertaintyFactor;
+//!
+//! let cf = [0.88, 0.74, 0.66]
+//!     .into_iter()
+//!     .map(CertaintyFactor::new)
+//!     .fold(CertaintyFactor::ZERO, |acc, x| acc.combine(x));
+//! assert!((cf.value() - 0.989392).abs() < 1e-9); // §5.1 reports 98.93 %
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compound;
+pub mod factor;
+pub mod set;
+pub mod table;
+
+pub use compound::{CompoundHeuristic, Consensus, ScoredTag};
+pub use factor::CertaintyFactor;
+pub use set::HeuristicSet;
+pub use table::CertaintyTable;

@@ -1,0 +1,211 @@
+//! Subsets of the five heuristics (the paper's 26 compound combinations).
+
+use rbd_heuristics::HeuristicKind;
+use std::fmt;
+use std::str::FromStr;
+
+/// A non-empty subset of `{OM, RP, SD, IT, HT}`, written in the paper's
+/// letter notation: `OR`, `RSIH`, `ORSIH`, ….
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HeuristicSet(u8);
+
+fn bit(kind: HeuristicKind) -> u8 {
+    match kind {
+        HeuristicKind::OM => 1 << 0,
+        HeuristicKind::RP => 1 << 1,
+        HeuristicKind::SD => 1 << 2,
+        HeuristicKind::IT => 1 << 3,
+        HeuristicKind::HT => 1 << 4,
+    }
+}
+
+impl HeuristicSet {
+    /// The paper's chosen compound heuristic: all five (ORSIH).
+    pub const ORSIH: HeuristicSet = HeuristicSet(0b11111);
+
+    /// The empty set (not a valid compound heuristic; useful as a builder
+    /// seed).
+    pub const EMPTY: HeuristicSet = HeuristicSet(0);
+
+    /// Builds a set from kinds.
+    pub fn of(kinds: impl IntoIterator<Item = HeuristicKind>) -> Self {
+        let mut s = 0u8;
+        for k in kinds {
+            s |= bit(k);
+        }
+        HeuristicSet(s)
+    }
+
+    /// Adds a heuristic.
+    pub fn with(self, kind: HeuristicKind) -> Self {
+        HeuristicSet(self.0 | bit(kind))
+    }
+
+    /// Membership test.
+    pub fn contains(self, kind: HeuristicKind) -> bool {
+        self.0 & bit(kind) != 0
+    }
+
+    /// Number of heuristics in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` for the empty set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates members in ORSIH order.
+    pub fn iter(self) -> impl Iterator<Item = HeuristicKind> {
+        HeuristicKind::ALL.into_iter().filter(move |k| self.contains(*k))
+    }
+
+    /// All 26 combinations the paper evaluates in Table 5: every subset of
+    /// size ≥ 2 (`C(5,2)+C(5,3)+C(5,4)+C(5,5) = 10+10+5+1 = 26`), in
+    /// ascending size then ORSIH-lexicographic order — matching the paper's
+    /// table layout.
+    pub fn all_compound() -> Vec<HeuristicSet> {
+        let mut sets: Vec<HeuristicSet> = (1u8..32)
+            .map(HeuristicSet)
+            .filter(|s| s.len() >= 2)
+            .collect();
+        sets.sort_by_key(|s| (s.len(), order_key(*s)));
+        sets
+    }
+
+    /// All five singleton sets, in ORSIH order.
+    pub fn singletons() -> Vec<HeuristicSet> {
+        HeuristicKind::ALL
+            .into_iter()
+            .map(|k| HeuristicSet::of([k]))
+            .collect()
+    }
+}
+
+/// Lexicographic key over the ORSIH letter sequence.
+fn order_key(s: HeuristicSet) -> u32 {
+    let mut key = 0u32;
+    for (i, k) in HeuristicKind::ALL.into_iter().enumerate() {
+        if s.contains(k) {
+            // Earlier letters are more significant.
+            key |= 1 << (HeuristicKind::ALL.len() - 1 - i);
+        }
+    }
+    // Lexicographic: "O…" sorts before "R…"; invert so the set containing
+    // earlier letters gets the *smaller* key.
+    u32::MAX - key
+}
+
+impl fmt::Display for HeuristicSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for k in self.iter() {
+            write!(f, "{}", k.letter())?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from parsing a heuristic-set string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSetError(pub char);
+
+impl fmt::Display for ParseSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown heuristic letter `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseSetError {}
+
+impl FromStr for HeuristicSet {
+    type Err = ParseSetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut set = HeuristicSet::EMPTY;
+        for c in s.chars() {
+            let kind = HeuristicKind::from_letter(c).ok_or(ParseSetError(c))?;
+            set = set.with(kind);
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orsih_contains_all() {
+        for k in HeuristicKind::ALL {
+            assert!(HeuristicSet::ORSIH.contains(k));
+        }
+        assert_eq!(HeuristicSet::ORSIH.len(), 5);
+        assert_eq!(HeuristicSet::ORSIH.to_string(), "ORSIH");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["OR", "OS", "RSIH", "ORSIH", "SI"] {
+            let set: HeuristicSet = s.parse().unwrap();
+            assert_eq!(set.to_string(), s);
+        }
+        assert!("OXR".parse::<HeuristicSet>().is_err());
+        // Lower-case accepted.
+        assert_eq!("orsih".parse::<HeuristicSet>().unwrap(), HeuristicSet::ORSIH);
+    }
+
+    #[test]
+    fn display_uses_orsih_order_regardless_of_insertion() {
+        let set = HeuristicSet::of([HeuristicKind::HT, HeuristicKind::OM]);
+        assert_eq!(set.to_string(), "OH");
+    }
+
+    #[test]
+    fn twenty_six_compounds() {
+        let all = HeuristicSet::all_compound();
+        assert_eq!(all.len(), 26);
+        // Paper's Table 5 starts with the pairs, OR first…
+        assert_eq!(all[0].to_string(), "OR");
+        assert_eq!(all[1].to_string(), "OS");
+        // …and ends with ORSIH.
+        assert_eq!(all.last().unwrap().to_string(), "ORSIH");
+        // All distinct.
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 26);
+    }
+
+    #[test]
+    fn table5_pair_column_order() {
+        // The paper's left column lists OR OS OI OH RS RI RH SI SH IH.
+        let pairs: Vec<String> = HeuristicSet::all_compound()
+            .into_iter()
+            .filter(|s| s.len() == 2)
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            pairs,
+            vec!["OR", "OS", "OI", "OH", "RS", "RI", "RH", "SI", "SH", "IH"]
+        );
+    }
+
+    #[test]
+    fn singletons() {
+        let s = HeuristicSet::singletons();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0].to_string(), "O");
+        assert_eq!(s[4].to_string(), "H");
+    }
+
+    #[test]
+    fn iter_members() {
+        let set: HeuristicSet = "RSH".parse().unwrap();
+        let members: Vec<_> = set.iter().collect();
+        assert_eq!(
+            members,
+            vec![HeuristicKind::RP, HeuristicKind::SD, HeuristicKind::HT]
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-heuristic, per-rank certainty-factor tables (the paper's Table 4).
+
+use crate::factor::CertaintyFactor;
+use rbd_heuristics::HeuristicKind;
+use std::fmt;
+
+/// How many ranks carry certainty mass. In the paper's calibration, "a
+/// correct record separator was always among the four highest ranked
+/// choices", so Table 4 has four columns; ranks beyond contribute zero.
+pub const MAX_RANK: usize = 4;
+
+/// Certainty factors for ranks 1–4 of each heuristic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertaintyTable {
+    factors: [[CertaintyFactor; MAX_RANK]; 5],
+}
+
+fn kind_index(kind: HeuristicKind) -> usize {
+    match kind {
+        HeuristicKind::OM => 0,
+        HeuristicKind::RP => 1,
+        HeuristicKind::SD => 2,
+        HeuristicKind::IT => 3,
+        HeuristicKind::HT => 4,
+    }
+}
+
+impl CertaintyTable {
+    /// The paper's published Table 4, averaged from the obituary and car-ad
+    /// calibration runs (Tables 2 and 3).
+    pub fn paper_table4() -> Self {
+        Self::from_percentages([
+            (HeuristicKind::OM, [84.5, 12.5, 2.0, 1.0]),
+            (HeuristicKind::RP, [77.5, 12.5, 9.0, 1.0]),
+            (HeuristicKind::SD, [65.5, 22.5, 12.0, 0.0]),
+            (HeuristicKind::IT, [96.0, 4.0, 0.0, 0.0]),
+            (HeuristicKind::HT, [49.0, 32.5, 16.5, 2.0]),
+        ])
+    }
+
+    /// Builds a table from `(heuristic, [rank1%, rank2%, rank3%, rank4%])`
+    /// rows. Heuristics not mentioned get all-zero factors.
+    pub fn from_percentages(
+        rows: impl IntoIterator<Item = (HeuristicKind, [f64; MAX_RANK])>,
+    ) -> Self {
+        let mut t = CertaintyTable {
+            factors: [[CertaintyFactor::ZERO; MAX_RANK]; 5],
+        };
+        for (kind, pcts) in rows {
+            for (i, pct) in pcts.into_iter().enumerate() {
+                t.factors[kind_index(kind)][i] = CertaintyFactor::from_percent(pct);
+            }
+        }
+        t
+    }
+
+    /// The certainty factor a heuristic assigns to its `rank`-th choice
+    /// (1-based). Rank 0 is invalid; ranks beyond [`MAX_RANK`] get zero.
+    pub fn factor(&self, kind: HeuristicKind, rank: usize) -> CertaintyFactor {
+        debug_assert!(rank >= 1, "ranks are 1-based");
+        if rank == 0 || rank > MAX_RANK {
+            return CertaintyFactor::ZERO;
+        }
+        self.factors[kind_index(kind)][rank - 1]
+    }
+
+    /// Sets one entry (used by the calibration pipeline in `rbd-eval`).
+    pub fn set_factor(&mut self, kind: HeuristicKind, rank: usize, cf: CertaintyFactor) {
+        assert!((1..=MAX_RANK).contains(&rank), "rank out of range");
+        self.factors[kind_index(kind)][rank - 1] = cf;
+    }
+}
+
+impl fmt::Display for CertaintyTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<10} {:>7} {:>7} {:>7} {:>7}", "Heuristic", 1, 2, 3, 4)?;
+        for kind in HeuristicKind::ALL {
+            write!(f, "{:<10}", kind.to_string())?;
+            for rank in 1..=MAX_RANK {
+                write!(f, " {:>6.1}%", self.factor(kind, rank).percent())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_values() {
+        let t = CertaintyTable::paper_table4();
+        assert_eq!(t.factor(HeuristicKind::OM, 1).percent(), 84.5);
+        assert_eq!(t.factor(HeuristicKind::IT, 1).percent(), 96.0);
+        assert_eq!(t.factor(HeuristicKind::HT, 4).percent(), 2.0);
+        assert_eq!(t.factor(HeuristicKind::SD, 4).percent(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_ranks_are_zero() {
+        let t = CertaintyTable::paper_table4();
+        assert_eq!(t.factor(HeuristicKind::OM, 5), CertaintyFactor::ZERO);
+        assert_eq!(t.factor(HeuristicKind::OM, 99), CertaintyFactor::ZERO);
+    }
+
+    #[test]
+    fn rows_sum_to_about_100_percent() {
+        // Each heuristic's rank distribution is a probability distribution
+        // over "where the correct separator landed".
+        let t = CertaintyTable::paper_table4();
+        for kind in HeuristicKind::ALL {
+            let sum: f64 = (1..=MAX_RANK).map(|r| t.factor(kind, r).percent()).sum();
+            assert!((sum - 100.0).abs() < 0.6, "{kind}: {sum}");
+        }
+    }
+
+    #[test]
+    fn set_factor_roundtrips() {
+        let mut t = CertaintyTable::from_percentages([]);
+        t.set_factor(HeuristicKind::SD, 2, CertaintyFactor::from_percent(33.0));
+        assert_eq!(t.factor(HeuristicKind::SD, 2).percent(), 33.0);
+        assert_eq!(t.factor(HeuristicKind::SD, 1), CertaintyFactor::ZERO);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let s = CertaintyTable::paper_table4().to_string();
+        for k in ["OM", "RP", "SD", "IT", "HT"] {
+            assert!(s.contains(k));
+        }
+        assert!(s.contains("84.5%"));
+    }
+}

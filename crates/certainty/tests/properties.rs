@@ -1,0 +1,103 @@
+//! Algebraic properties of Stanford certainty combination and structural
+//! invariants of the compound heuristic.
+
+use proptest::prelude::*;
+use rbd_certainty::{CertaintyFactor, CertaintyTable, CompoundHeuristic, HeuristicSet};
+use rbd_heuristics::{HeuristicKind, Ranking};
+
+fn cf() -> impl Strategy<Value = CertaintyFactor> {
+    (0.0f64..=1.0).prop_map(CertaintyFactor::new)
+}
+
+proptest! {
+    /// Combination is commutative and (numerically) associative, stays in
+    /// [0, 1], and never decreases either operand — more agreeing evidence
+    /// can only increase certainty.
+    #[test]
+    fn combine_laws(a in cf(), b in cf(), c in cf()) {
+        let ab = a.combine(b);
+        prop_assert!((0.0..=1.0).contains(&ab.value()));
+        prop_assert!(ab.value() >= a.value() - 1e-12);
+        prop_assert!(ab.value() >= b.value() - 1e-12);
+        prop_assert!((ab.value() - b.combine(a).value()).abs() < 1e-12);
+        let left = a.combine(b).combine(c).value();
+        let right = a.combine(b.combine(c)).value();
+        prop_assert!((left - right).abs() < 1e-9);
+    }
+
+    /// Folding in any order gives the same result.
+    #[test]
+    fn combine_all_order_independent(mut xs in prop::collection::vec(cf(), 0..6)) {
+        let forward = CertaintyFactor::combine_all(xs.clone()).value();
+        xs.reverse();
+        let backward = CertaintyFactor::combine_all(xs).value();
+        prop_assert!((forward - backward).abs() < 1e-9);
+    }
+}
+
+/// Random rankings over a small tag universe.
+fn arb_rankings() -> impl Strategy<Value = Vec<Ranking>> {
+    let tags = prop::sample::subsequence(vec!["hr", "b", "br", "p", "td"], 1..5);
+    prop::collection::vec(
+        (0usize..5, tags),
+        1..5,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(kind_idx, tags)| {
+                let kind = HeuristicKind::ALL[kind_idx];
+                Ranking::from_order(kind, tags.into_iter().map(String::from).collect())
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Compound scores are sorted descending, winners equal the leading tie
+    /// set, and every scored tag appeared in some selected ranking.
+    #[test]
+    fn consensus_structure(rankings in arb_rankings()) {
+        let compound = CompoundHeuristic::paper_orsih();
+        let consensus = compound.combine(&rankings);
+        for w in consensus.scored.windows(2) {
+            prop_assert!(w[0].certainty >= w[1].certainty);
+        }
+        if let Some(top) = consensus.scored.first() {
+            let ties: Vec<&str> = consensus
+                .scored
+                .iter()
+                .take_while(|s| s.certainty == top.certainty)
+                .map(|s| s.tag.as_str())
+                .collect();
+            prop_assert_eq!(
+                ties,
+                consensus.winners.iter().map(String::as_str).collect::<Vec<_>>()
+            );
+        } else {
+            prop_assert!(consensus.winners.is_empty());
+        }
+        for s in &consensus.scored {
+            prop_assert!(
+                rankings.iter().any(|r| r.rank_of(&s.tag).is_some()),
+                "tag {} appeared from nowhere",
+                s.tag
+            );
+        }
+    }
+
+    /// Growing the heuristic subset never lowers any tag's certainty
+    /// (evidence is non-negative).
+    #[test]
+    fn more_heuristics_never_hurt_a_tag(rankings in arb_rankings()) {
+        let small = CompoundHeuristic::new("SI".parse().unwrap(), CertaintyTable::paper_table4());
+        let big = CompoundHeuristic::new(HeuristicSet::ORSIH, CertaintyTable::paper_table4());
+        let small_scores = small.combine(&rankings);
+        let big_scores = big.combine(&rankings);
+        for s in &small_scores.scored {
+            if let Some(b) = big_scores.scored.iter().find(|b| b.tag == s.tag) {
+                prop_assert!(b.certainty.value() >= s.certainty.value() - 1e-12);
+            }
+        }
+    }
+}

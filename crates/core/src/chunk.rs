@@ -1,0 +1,170 @@
+//! Record chunking: splitting the document at the discovered separator and
+//! cleaning markup from each chunk (the Record Extractor's output is
+//! "individual record-size chunks, cleaned by removing markup-language
+//! tags", §2).
+
+use rbd_html::{tokenize, tokenize_xml};
+use rbd_tagtree::{NodeId, TagTree};
+
+/// One extracted record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Raw HTML of the record chunk (separator tag included at the front).
+    pub html: String,
+    /// Markup-free plain text, entities decoded, whitespace squeezed.
+    pub text: String,
+    /// Byte offset of the chunk start in the source document.
+    pub start: usize,
+    /// Byte offset one past the chunk end.
+    pub end: usize,
+}
+
+/// Splits the highest-fan-out subtree of `tree` at each occurrence of
+/// `separator` among its children.
+///
+/// The text before the first separator (typically a page heading) becomes
+/// the *preamble*, returned separately. Chunks whose cleaned text is empty
+/// (e.g. between a trailing separator and the subtree end) are dropped —
+/// they contain no record.
+pub fn chunk_at_separators(
+    source: &str,
+    tree: &TagTree,
+    subtree: NodeId,
+    separator: &str,
+    xml: bool,
+) -> (Option<Record>, Vec<Record>) {
+    let region = tree.node(subtree).region;
+    let cuts = tree.child_tag_positions(subtree, separator);
+    if cuts.is_empty() {
+        // No separator occurrence: the whole subtree is one record.
+        let only = make_record(source, region.start, region.end, xml);
+        return (None, only.into_iter().collect());
+    }
+
+    let preamble = make_record(source, region.start, cuts[0], xml);
+    let mut records = Vec::with_capacity(cuts.len());
+    for (i, &cut) in cuts.iter().enumerate() {
+        let end = cuts.get(i + 1).copied().unwrap_or(region.end);
+        records.extend(make_record(source, cut, end, xml));
+    }
+    (preamble, records)
+}
+
+/// Builds a record over `source[start..end]`, cleaning markup; returns
+/// `None` when no plain text remains.
+fn make_record(source: &str, start: usize, end: usize, xml: bool) -> Option<Record> {
+    if start >= end {
+        return None;
+    }
+    let html = &source[start..end];
+    let stream = if xml { tokenize_xml(html) } else { tokenize(html) };
+    let text = squeeze_whitespace(&stream.plain_text());
+    if text.is_empty() {
+        return None;
+    }
+    Some(Record {
+        html: html.to_owned(),
+        text,
+        start,
+        end,
+    })
+}
+
+/// Collapses runs of whitespace to single spaces and trims the ends —
+/// record text is sentence-like prose for downstream recognizers.
+pub fn squeeze_whitespace(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_ws = true; // leading whitespace is dropped
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !in_ws {
+                out.push(' ');
+                in_ws = true;
+            }
+        } else {
+            out.push(c);
+            in_ws = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_tagtree::TagTreeBuilder;
+
+    fn split(src: &str, sep: &str) -> (Option<Record>, Vec<Record>) {
+        let tree = TagTreeBuilder::default().build(src);
+        let subtree = tree.highest_fanout();
+        chunk_at_separators(src, &tree, subtree, sep, false)
+    }
+
+    #[test]
+    fn three_records_with_preamble_and_trailing_separator() {
+        let src = "<td><h1>Notices</h1> Oct 1 \
+                   <hr><b>A</b> died.\
+                   <hr><b>B</b> died.\
+                   <hr><b>C</b> died.\
+                   <hr></td>";
+        let (preamble, records) = split(src, "hr");
+        assert_eq!(preamble.unwrap().text, "Notices Oct 1");
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].text, "A died.");
+        assert_eq!(records[2].text, "C died.");
+    }
+
+    #[test]
+    fn records_carry_source_offsets() {
+        let src = "<td><hr>alpha<hr>beta</td>";
+        let (_, records) = split(src, "hr");
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert!(src[r.start..r.end].contains(&r.text));
+            assert!(r.html.starts_with("<hr>"));
+        }
+    }
+
+    #[test]
+    fn no_preamble_when_document_starts_with_separator() {
+        let src = "<td><hr>alpha<hr>beta</td>";
+        let (preamble, _) = split(src, "hr");
+        assert!(preamble.is_none());
+    }
+
+    #[test]
+    fn separator_absent_yields_single_record() {
+        let src = "<td><p>only one block of text</p><p>x</p></td>";
+        let (preamble, records) = split(src, "hr");
+        assert!(preamble.is_none());
+        assert_eq!(records.len(), 1);
+        assert!(records[0].text.contains("only one block"));
+    }
+
+    #[test]
+    fn markup_cleaned_and_entities_decoded() {
+        let src = "<td><hr><b>Smith &amp; Sons</b>, est. 1898<hr><i>x</i>y</td>";
+        let (_, records) = split(src, "hr");
+        assert_eq!(records[0].text, "Smith & Sons, est. 1898");
+    }
+
+    #[test]
+    fn nested_separator_occurrences_do_not_cut() {
+        // An `hr` nested deeper than the subtree's children is not a cut
+        // point: boundaries are between the subtree root's children.
+        let src = "<td><hr>top<div><hr>nested</div><hr>tail</td>";
+        let (_, records) = split(src, "hr");
+        assert_eq!(records.len(), 2);
+        assert!(records[0].text.contains("nested"));
+    }
+
+    #[test]
+    fn squeeze_whitespace_behaviour() {
+        assert_eq!(squeeze_whitespace("  a\n\t b  c "), "a b c");
+        assert_eq!(squeeze_whitespace(""), "");
+        assert_eq!(squeeze_whitespace(" \n\t "), "");
+    }
+}

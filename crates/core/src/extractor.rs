@@ -1,0 +1,328 @@
+//! The Record-Boundary Discovery Algorithm (§5.3) and record extraction.
+
+use crate::chunk::{chunk_at_separators, Record};
+use crate::config::ExtractorConfig;
+use rbd_certainty::{CompoundHeuristic, Consensus};
+use rbd_heuristics::om::OntologyMatching;
+use rbd_heuristics::{
+    ht::HighestCount, it::IdentifiableTags, rp::RepeatingPattern, sd::StandardDeviation,
+    Heuristic, Ranking, SubtreeView,
+};
+use rbd_pattern::PatternError;
+use rbd_tagtree::{CandidateTag, NodeId, TagTree, TagTreeBuilder};
+use std::fmt;
+
+/// Errors from record-boundary discovery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiscoveryError {
+    /// The document has no tags at all — the paper's assumptions (multiple
+    /// records, at least one separator tag) cannot hold.
+    EmptyDocument,
+    /// The highest-fan-out subtree has no candidate tags above the
+    /// irrelevance threshold.
+    NoCandidates,
+    /// Every participating heuristic abstained or ranked nothing.
+    NoConsensus,
+    /// The configured ontology's data frames failed to compile.
+    Pattern(PatternError),
+}
+
+impl fmt::Display for DiscoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscoveryError::EmptyDocument => f.write_str("document contains no tags"),
+            DiscoveryError::NoCandidates => {
+                f.write_str("no candidate separator tags above the threshold")
+            }
+            DiscoveryError::NoConsensus => {
+                f.write_str("all heuristics abstained; no consensus separator")
+            }
+            DiscoveryError::Pattern(e) => write!(f, "ontology pattern error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DiscoveryError {}
+
+impl From<PatternError> for DiscoveryError {
+    fn from(e: PatternError) -> Self {
+        DiscoveryError::Pattern(e)
+    }
+}
+
+/// The result of record-boundary discovery on one document.
+#[derive(Debug, Clone)]
+pub struct DiscoveryOutcome {
+    /// The consensus record-separator tag.
+    pub separator: String,
+    /// Compound scores for every candidate (empty when the single-candidate
+    /// shortcut of §3 fired).
+    pub consensus: Consensus,
+    /// The individual heuristics' rankings (absent entries abstained).
+    pub rankings: Vec<Ranking>,
+    /// The candidate tags of the highest-fan-out subtree.
+    pub candidates: Vec<CandidateTag>,
+    /// Name of the highest-fan-out subtree's root tag.
+    pub subtree_tag: String,
+    /// Arena id of that subtree root within [`DiscoveryOutcome::tree`].
+    pub subtree: NodeId,
+    /// The document's tag tree (kept so callers can chunk or inspect).
+    pub tree: TagTree,
+}
+
+impl DiscoveryOutcome {
+    /// Alternative separators in decreasing certainty, excluding the
+    /// consensus winner. The paper notes "a Web document may have more than
+    /// one record separator"; callers that know the domain can accept a
+    /// close runner-up (e.g. both `<hr>` and `<p>` bounding the same
+    /// records).
+    pub fn alternatives(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.consensus
+            .scored
+            .iter()
+            .filter(move |s| s.tag != self.separator)
+            .map(|s| (s.tag.as_str(), s.certainty.value()))
+    }
+}
+
+/// Discovery plus the chunked records.
+#[derive(Debug, Clone)]
+pub struct Extraction {
+    /// The discovery outcome.
+    pub outcome: DiscoveryOutcome,
+    /// Text before the first separator (page headings etc.), if any.
+    pub preamble: Option<Record>,
+    /// The record chunks in document order.
+    pub records: Vec<Record>,
+}
+
+/// The record extractor: configured once, reused across documents.
+#[derive(Debug, Clone)]
+pub struct RecordExtractor {
+    config: ExtractorConfig,
+    om: Option<OntologyMatching>,
+    compound: CompoundHeuristic,
+}
+
+impl Default for RecordExtractor {
+    fn default() -> Self {
+        Self::new(ExtractorConfig::default()).expect("default config has no ontology to fail")
+    }
+}
+
+impl RecordExtractor {
+    /// Builds an extractor, compiling the ontology's matching rules when
+    /// one is configured.
+    pub fn new(config: ExtractorConfig) -> Result<Self, DiscoveryError> {
+        let om = config
+            .ontology
+            .clone()
+            .map(OntologyMatching::new)
+            .transpose()?;
+        let compound = CompoundHeuristic::new(config.heuristic_set, config.certainty_table.clone());
+        Ok(RecordExtractor {
+            config,
+            om,
+            compound,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ExtractorConfig {
+        &self.config
+    }
+
+    /// The tag-tree builder configured for this extractor (HTML or XML).
+    fn builder(&self) -> TagTreeBuilder {
+        if self.config.xml {
+            TagTreeBuilder::default().xml()
+        } else {
+            TagTreeBuilder::default()
+        }
+    }
+
+    /// Runs the Record-Boundary Discovery Algorithm on `html`.
+    pub fn discover(&self, html: &str) -> Result<DiscoveryOutcome, DiscoveryError> {
+        // Step 1: tag tree (Appendix A).
+        let tree = self.builder().build(html);
+        if tree.is_empty() {
+            return Err(DiscoveryError::EmptyDocument);
+        }
+        // Step 2: highest-fan-out subtree. Step 3: candidate tags.
+        let view = SubtreeView::from_tree(&tree, self.config.candidate_threshold);
+        let candidates = view.candidates().to_vec();
+        if candidates.is_empty() {
+            return Err(DiscoveryError::NoCandidates);
+        }
+        let subtree = view.root();
+        let subtree_tag = tree.node(subtree).name.clone();
+
+        // §3 shortcut: a single candidate *is* the separator.
+        if candidates.len() == 1 {
+            let separator = candidates[0].name.clone();
+            return Ok(DiscoveryOutcome {
+                separator,
+                consensus: Consensus {
+                    scored: Vec::new(),
+                    winners: vec![candidates[0].name.clone()],
+                },
+                rankings: Vec::new(),
+                candidates,
+                subtree_tag,
+                subtree,
+                tree,
+            });
+        }
+
+        // Step 4: the five individual heuristics.
+        let rankings = self.run_heuristics(&view);
+
+        // Steps 5–6: Stanford certainty combination, argmax.
+        let consensus = self.compound.combine(&rankings);
+        let separator = consensus
+            .winners
+            .first()
+            .cloned()
+            .ok_or(DiscoveryError::NoConsensus)?;
+
+        Ok(DiscoveryOutcome {
+            separator,
+            consensus,
+            rankings,
+            candidates,
+            subtree_tag,
+            subtree,
+            tree,
+        })
+    }
+
+    /// Runs the individual heuristics over a prepared view, returning the
+    /// rankings of those that did not abstain.
+    pub fn run_heuristics(&self, view: &SubtreeView<'_>) -> Vec<Ranking> {
+        let ht = HighestCount;
+        let it = IdentifiableTags::default();
+        let sd = StandardDeviation;
+        let rp = RepeatingPattern::default();
+        let mut heuristics: Vec<&dyn Heuristic> = vec![&rp, &sd, &it, &ht];
+        if let Some(om) = &self.om {
+            heuristics.insert(0, om);
+        }
+        rbd_heuristics::run_all(&heuristics, view)
+    }
+
+    /// Discovery followed by record chunking and markup cleaning.
+    pub fn extract_records(&self, html: &str) -> Result<Extraction, DiscoveryError> {
+        let outcome = self.discover(html)?;
+        let (preamble, records) = chunk_at_separators(
+            html,
+            &outcome.tree,
+            outcome.subtree,
+            &outcome.separator,
+            self.config.xml,
+        );
+        Ok(Extraction {
+            outcome,
+            preamble,
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_heuristics::HeuristicKind;
+    use rbd_ontology::domains;
+
+    fn obituary_page() -> String {
+        let mut d = String::from(
+            "<html><head><title>Classifieds</title></head><body bgcolor=\"#FFFFFF\">\
+             <table><tr><td><h1 align=\"left\">Funeral Notices - </h1> October 1, 1998<hr>",
+        );
+        for (name, death, birth) in [
+            ("Lemar K. Adamson", "September 30, 1998", "September 5, 1913"),
+            ("Brian Fielding Frost", "September 30, 1998", "April 4, 1957"),
+            ("Leonard Kenneth Gunther", "September 30, 1998", "March 2, 1920"),
+        ] {
+            d.push_str(&format!(
+                "<b>{name}</b><br> died on {death}. {name} was born on {birth} and is \
+                 survived by family. Funeral services will be held at 11:00 a.m. at \
+                 <b>MEMORIAL CHAPEL</b>. Interment at Holy Hope Cemetery.<br><hr>"
+            ));
+        }
+        d.push_str("</td></tr></table>All material is copyrighted.</body></html>");
+        d
+    }
+
+    #[test]
+    fn discovers_hr_on_obituary_page() {
+        let ex = RecordExtractor::new(
+            ExtractorConfig::default().with_ontology(domains::obituaries()),
+        )
+        .unwrap();
+        let out = ex.discover(&obituary_page()).unwrap();
+        assert_eq!(out.separator, "hr");
+        assert_eq!(out.subtree_tag, "td");
+        assert_eq!(out.rankings.len(), 5, "all five heuristics answered");
+    }
+
+    #[test]
+    fn works_without_ontology() {
+        let ex = RecordExtractor::default();
+        let out = ex.discover(&obituary_page()).unwrap();
+        assert_eq!(out.separator, "hr");
+        assert!(out
+            .rankings
+            .iter()
+            .all(|r| r.kind != HeuristicKind::OM));
+    }
+
+    #[test]
+    fn extracts_three_records() {
+        let ex = RecordExtractor::default();
+        let extraction = ex.extract_records(&obituary_page()).unwrap();
+        assert_eq!(extraction.records.len(), 3);
+        assert!(extraction.preamble.unwrap().text.contains("Funeral Notices"));
+        assert!(extraction.records[0].text.contains("Lemar K. Adamson"));
+        assert!(extraction.records[2].text.contains("Leonard Kenneth Gunther"));
+        // Markup is gone.
+        assert!(!extraction.records[0].text.contains('<'));
+    }
+
+    #[test]
+    fn single_candidate_shortcut() {
+        // Only `p` qualifies: the consensus is immediate and rankings are
+        // skipped (§3).
+        let src = "<td><p>a a a a</p><p>b b b b</p><p>c c c c</p></td>";
+        let ex = RecordExtractor::default();
+        let out = ex.discover(src).unwrap();
+        assert_eq!(out.separator, "p");
+        assert!(out.rankings.is_empty());
+        assert!(out.consensus.scored.is_empty());
+    }
+
+    #[test]
+    fn empty_document_error() {
+        let ex = RecordExtractor::default();
+        assert_eq!(
+            ex.discover("no tags at all").unwrap_err(),
+            DiscoveryError::EmptyDocument
+        );
+        assert_eq!(ex.discover("").unwrap_err(), DiscoveryError::EmptyDocument);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DiscoveryError::NoCandidates;
+        assert!(e.to_string().contains("candidate"));
+    }
+
+    #[test]
+    fn consensus_certainty_is_high_on_clean_page() {
+        let ex = RecordExtractor::default();
+        let out = ex.discover(&obituary_page()).unwrap();
+        let top = &out.consensus.scored[0];
+        assert_eq!(top.tag, "hr");
+        assert!(top.certainty.percent() > 95.0, "{}", top.certainty);
+    }
+}

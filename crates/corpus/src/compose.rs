@@ -1,0 +1,389 @@
+//! Document composition: site style + domain content → HTML.
+
+use crate::content::{self, RecordContent, Sentence};
+use crate::style::{SiteStyle, WrapKind};
+use crate::Domain;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Composes one document, returning its HTML, the number of records, and
+/// each record's ground-truth fields.
+pub fn compose(
+    style: &SiteStyle,
+    domain: Domain,
+    rng: &mut StdRng,
+) -> (String, usize, Vec<Vec<(String, String)>>) {
+    let n_records = rng.random_range(style.records.0..=style.records.1);
+    let mut html = String::with_capacity(n_records * 400 + 512);
+    let mut truths = Vec::with_capacity(n_records);
+
+    html.push_str("<html><head><title>");
+    html.push_str(page_title(domain));
+    html.push_str("</title></head>\n<body bgcolor=\"#FFFFFF\">\n");
+
+    // Bare-body pages were the simple hand-edited kind without chrome; a
+    // nav bar directly under <body> would also join the record area's
+    // subtree and perturb every count the heuristics read.
+    if style.nav_links > 0 && !matches!(style.wrap, WrapKind::Body) {
+        html.push_str("<table><tr><td>");
+        for i in 0..style.nav_links {
+            let label = ["Home", "News", "Sports", "Classifieds", "Weather", "Business",
+                         "Opinion", "Archives", "Contact", "Subscribe"][i % 10];
+            html.push_str(&format!("<a href=\"/{}.html\">{label}</a> | ", label.to_lowercase()));
+        }
+        html.push_str("</td></tr></table>\n");
+    }
+
+    let (open, close) = wrapper(style.wrap);
+    html.push_str(open);
+
+    if style.preamble {
+        html.push_str(&format!(
+            "<h1 align=\"left\">{} - </h1> {} {}, 1998\n",
+            page_title(domain),
+            ["October", "November", "September"][rng.random_range(0..3)],
+            rng.random_range(1..=28)
+        ));
+    }
+
+    let lead_inside = style.separator.lead_inside;
+    if style.separator.leading && !style.row_layout && !lead_inside {
+        emit_separator(&mut html, style, None);
+    }
+
+    for i in 0..n_records {
+        let record =
+            content::record(domain, rng, style.richness, style.size_jitter, style.oov);
+        truths.push(record.truth.clone());
+        let last = i + 1 == n_records;
+        if style.row_layout {
+            emit_row_record(&mut html, style, &record, rng);
+            // Sloppy hand-edited tables have a stray <br> between *some*
+            // rows, not all — if every gap had one, its count would mirror
+            // the row count and no count-based heuristic could separate the
+            // two, which real pages (and the paper's results) do not show.
+            if style.inline.br_end && !last && rng.random_bool(0.55) {
+                html.push_str("<br>\n");
+            }
+        } else {
+            if lead_inside {
+                emit_separator(&mut html, style, Some(&record.lead));
+            }
+            emit_flow_record(&mut html, style, &record, rng, i + 1);
+            if !lead_inside && (!last || style.separator.trailing) {
+                emit_separator(&mut html, style, None);
+            }
+        }
+        maybe_mess(&mut html, style, rng);
+    }
+
+    html.push_str(close);
+    // The copyright footer sits outside the record area's wrapper element.
+    // Pages whose records live directly under <body> have no such boundary,
+    // so a footer would (correctly, per the algorithm) be chunked into a
+    // trailing pseudo-record; period pages with bare-body record flows
+    // simply ended at the records, which is what we emit.
+    if !matches!(style.wrap, WrapKind::Body) {
+        html.push_str("\nAll material is copyrighted.");
+    }
+    html.push_str("\n</body></html>\n");
+    (html, n_records, truths)
+}
+
+fn page_title(domain: Domain) -> &'static str {
+    match domain {
+        Domain::Obituaries => "Funeral Notices",
+        Domain::CarAds => "Automobiles For Sale",
+        Domain::JobAds => "Computer Help Wanted",
+        Domain::Courses => "Course Catalog",
+    }
+}
+
+fn wrapper(kind: WrapKind) -> (&'static str, &'static str) {
+    match kind {
+        WrapKind::TableCell => ("<table><tr><td>\n", "\n</td></tr></table>"),
+        WrapKind::Body => ("", ""),
+        WrapKind::CenterFont => ("<center><font size=\"2\">\n", "\n</font></center>"),
+        WrapKind::DefinitionList => ("<dl>\n", "\n</dl>"),
+    }
+}
+
+/// `<tr><td>record</td></tr>` emission for row-separated sites.
+fn emit_row_record(html: &mut String, style: &SiteStyle, record: &RecordContent, rng: &mut StdRng) {
+    html.push_str("<tr><td>");
+    if style.inline.bold_lead {
+        html.push_str(&format!("<b>{}</b>", record.lead));
+    } else {
+        html.push_str(&record.lead);
+    }
+    if let Some(intro) = &record.intro {
+        html.push(' ');
+        html.push_str(intro);
+    }
+    push_record_body(html, style, record, rng);
+    html.push_str("</td></tr>\n");
+}
+
+fn emit_separator(html: &mut String, style: &SiteStyle, lead: Option<&str>) {
+    let tag = style.separator.tag;
+    match lead {
+        Some(text) => {
+            // Lead-inside separators: `<h4>Name</h4>`.
+            html.push_str(&format!("<{tag}>{text}</{tag}>"));
+        }
+        None => {
+            html.push('<');
+            html.push_str(tag);
+            html.push('>');
+            if style.separator.closed {
+                html.push_str(&format!("</{tag}>"));
+            }
+        }
+    }
+    html.push('\n');
+}
+
+/// A record in flow layout: lead phrase (possibly emphasized or inside the
+/// separator) followed by sentences with inline markup.
+fn emit_flow_record(
+    html: &mut String,
+    style: &SiteStyle,
+    record: &RecordContent,
+    rng: &mut StdRng,
+    _ordinal: usize,
+) {
+    let intro_before_lead = style.inline.lead_prefix;
+    if style.separator.lead_inside {
+        // Lead already emitted inside the separator heading.
+        if let Some(intro) = &record.intro {
+            html.push_str(intro);
+            html.push(' ');
+        }
+    } else {
+        if intro_before_lead {
+            if let Some(intro) = &record.intro {
+                html.push_str(intro);
+                html.push(' ');
+            }
+        }
+        if style.inline.bold_lead {
+            html.push_str(&format!("<b>{}</b>", record.lead));
+        } else {
+            html.push_str(&record.lead);
+        }
+        if !intro_before_lead {
+            if let Some(intro) = &record.intro {
+                html.push(' ');
+                html.push_str(intro);
+            }
+        }
+    }
+    push_record_body(html, style, record, rng);
+    if style.inline.br_end {
+        html.push_str("<br>");
+    }
+    html.push('\n');
+}
+
+/// Sentences with the style's inline-markup budget applied.
+fn push_record_body(
+    html: &mut String,
+    style: &SiteStyle,
+    record: &RecordContent,
+    rng: &mut StdRng,
+) {
+    let inline = &style.inline;
+    let mut budget = InlineBudget {
+        bolds: range_count(rng, inline.bolds),
+        italics: range_count(rng, inline.italics),
+        links: range_count(rng, inline.links),
+        nested_bolds: range_count(rng, inline.nested_bolds),
+    };
+    let mut brs = range_count(rng, inline.brs);
+
+    // Nested bolds attach to the *last* phrase-bearing sentence: period
+    // pages bolded the mortuary/venue line near the record's end. The
+    // placement matters for fidelity — a bold near the record's middle
+    // would halve the tag's inter-occurrence intervals and make them look
+    // *more* regular than the separator's, inverting the SD heuristic's
+    // signal; an end-of-record bold makes them alternate short/long, which
+    // SD correctly reads as irregular.
+    let last_phrase_idx = record.sentences.iter().rposition(|s| !s.phrase.is_empty());
+
+    for (i, s) in record.sentences.iter().enumerate() {
+        let nested_here = Some(i) == last_phrase_idx;
+        push_sentence(html, s, &mut budget, nested_here, rng);
+        if brs > 0 && rng.random_bool(0.6) {
+            html.push_str("<br>");
+            brs -= 1;
+        }
+    }
+}
+
+/// Remaining inline-markup allowance for one record.
+struct InlineBudget {
+    bolds: u8,
+    italics: u8,
+    links: u8,
+    nested_bolds: u8,
+}
+
+fn range_count(rng: &mut StdRng, (lo, hi): (u8, u8)) -> u8 {
+    if hi == 0 {
+        0
+    } else {
+        rng.random_range(lo..=hi)
+    }
+}
+
+/// Cloak elements for nested bolds, rotated so none crosses the 10 %
+/// candidate threshold. `i` is deliberately absent: it is on the IT
+/// separator list and, as a candidate, its zero-diff adjacency with its own
+/// `<b>` child would hijack the RP heuristic.
+const CLOAKS: &[(&str, &str)] = &[
+    ("<font size=\"2\">", "</font>"),
+    ("<em>", "</em>"),
+    ("<span>", "</span>"),
+    ("<u>", "</u>"),
+];
+
+fn push_sentence(
+    html: &mut String,
+    s: &Sentence,
+    budget: &mut InlineBudget,
+    nested_here: bool,
+    rng: &mut StdRng,
+) {
+    html.push_str(&s.prefix);
+    if s.phrase.is_empty() {
+        html.push_str(&s.suffix);
+        return;
+    }
+    // Spend the inline budget on emphasizable phrases.
+    if nested_here && budget.nested_bolds > 0 {
+        budget.nested_bolds -= 1;
+        let (open, close) = CLOAKS[rng.random_range(0..CLOAKS.len())];
+        html.push_str(&format!("{open}<b>{}</b>{close}", s.phrase));
+    } else if budget.bolds > 0 {
+        budget.bolds -= 1;
+        html.push_str(&format!("<b>{}</b>", s.phrase));
+    } else if budget.italics > 0 {
+        budget.italics -= 1;
+        html.push_str(&format!("<i>{}</i>", s.phrase));
+    } else if budget.links > 0 {
+        budget.links -= 1;
+        html.push_str(&format!(
+            "<a href=\"detail{}.html\">{}</a>",
+            rng.random_range(1..1000),
+            s.phrase
+        ));
+    } else {
+        html.push_str(&s.phrase);
+    }
+    html.push_str(&s.suffix);
+}
+
+/// Injects period-typical HTML messiness so Appendix A's repairs are
+/// exercised: comments and orphan end-tags.
+fn maybe_mess(html: &mut String, style: &SiteStyle, rng: &mut StdRng) {
+    if style.messiness <= 0.0 || !rng.random_bool(style.messiness) {
+        return;
+    }
+    // Orphan end-tags must be tags no wrapper or cloak ever opens —
+    // otherwise they would *close* an enclosing element (e.g. a stray
+    // `</font>` inside a `<center><font>` page) instead of being discarded.
+    match rng.random_range(0..3) {
+        0 => html.push_str("<!-- AdMarker 1998 -->\n"),
+        1 => html.push_str("</blink>\n"),
+        _ => html.push_str("<!-- generated by SiteBuilder 2.1 --></marquee>\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::style::{InlineStyle, SeparatorStyle};
+    use rand::SeedableRng;
+
+    fn style() -> SiteStyle {
+        SiteStyle {
+            site: "Test Gazette",
+            url: "www.test.com",
+            separator: SeparatorStyle::bare("hr"),
+            inline: InlineStyle {
+                bold_lead: true,
+                br_end: true,
+                bolds: (1, 2),
+                brs: (1, 2),
+                italics: (0, 0),
+                links: (0, 0),
+                lead_prefix: false,
+                nested_bolds: (0, 0),
+            },
+            wrap: WrapKind::TableCell,
+            preamble: true,
+            size_jitter: 0.2,
+            richness: 0.9,
+            records: (4, 6),
+            messiness: 0.0,
+            row_layout: false,
+            nav_links: 0,
+            oov: 0.0,
+        }
+    }
+
+    #[test]
+    fn composed_document_structure() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (html, n, truths) = compose(&style(), Domain::Obituaries, &mut rng);
+        assert_eq!(truths.len(), n);
+        assert!(html.starts_with("<html><head><title>Funeral Notices"));
+        assert!(html.contains("<table><tr><td>"));
+        assert!(html.contains("<h1"));
+        assert!((4..=6).contains(&n));
+        // Leading + between + trailing separators.
+        assert_eq!(html.matches("<hr>").count(), n + 1);
+        assert!(html.ends_with("</body></html>\n"));
+    }
+
+    #[test]
+    fn bold_lead_present() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (html, _, _) = compose(&style(), Domain::Obituaries, &mut rng);
+        assert!(html.contains("<hr>\n<b>"));
+    }
+
+    #[test]
+    fn closed_separator_emits_end_tag() {
+        let mut s = style();
+        s.separator = SeparatorStyle {
+            tag: "p",
+            leading: false,
+            trailing: false,
+            closed: true,
+            lead_inside: false,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let (html, n, _) = compose(&s, Domain::JobAds, &mut rng);
+        assert_eq!(html.matches("<p></p>").count(), n - 1);
+    }
+
+    #[test]
+    fn messiness_injects_comments_or_orphans() {
+        let mut s = style();
+        s.messiness = 1.0;
+        let mut rng = StdRng::seed_from_u64(4);
+        let (html, _, _) = compose(&s, Domain::CarAds, &mut rng);
+        assert!(html.contains("<!--") || html.contains("</font>"));
+    }
+
+    #[test]
+    fn no_inline_markup_when_style_plain() {
+        let mut s = style();
+        s.inline = InlineStyle::plain();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (html, _, _) = compose(&s, Domain::Courses, &mut rng);
+        assert!(!html.contains("<b>"));
+        assert!(!html.contains("<br>"));
+    }
+}

@@ -1,0 +1,701 @@
+//! Domain record content: data-rich text whose constants and keywords the
+//! `rbd-ontology` domain data frames recognize.
+
+use crate::Domain;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use rbd_ontology::lexicon;
+
+/// One sentence of a record, split so the composer can wrap the
+/// emphasizable phrase in `<b>`, `<i>` or `<a>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sentence {
+    /// Text before the emphasizable phrase.
+    pub prefix: String,
+    /// Phrase that may receive inline markup (empty when none).
+    pub phrase: String,
+    /// Text after the phrase.
+    pub suffix: String,
+}
+
+impl Sentence {
+    /// A sentence with no markup-worthy phrase.
+    pub fn plain(text: impl Into<String>) -> Self {
+        Sentence {
+            prefix: text.into(),
+            phrase: String::new(),
+            suffix: String::new(),
+        }
+    }
+
+    /// A sentence of the form `prefix PHRASE suffix`.
+    pub fn with_phrase(
+        prefix: impl Into<String>,
+        phrase: impl Into<String>,
+        suffix: impl Into<String>,
+    ) -> Self {
+        Sentence {
+            prefix: prefix.into(),
+            phrase: phrase.into(),
+            suffix: suffix.into(),
+        }
+    }
+
+    /// The sentence as plain text.
+    pub fn text(&self) -> String {
+        format!("{}{}{}", self.prefix, self.phrase, self.suffix)
+    }
+}
+
+/// One record's content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordContent {
+    /// The lead phrase (deceased's name, "1995 Ford Taurus", job title…).
+    pub lead: String,
+    /// An optional announcement sentence that *precedes* the lead in
+    /// kicker-style layouts ("In loving memory of a dear friend."). When a
+    /// record has an intro it gives up one filler sentence, so the total
+    /// record size stays put while the lead's position within the record
+    /// moves — real pages show exactly this anticorrelated structure, and
+    /// it is what lets the SD heuristic distinguish a once-per-record lead
+    /// tag from the true separator.
+    pub intro: Option<String>,
+    /// Body sentences in order.
+    pub sentences: Vec<Sentence>,
+    /// Ground truth for extraction-quality scoring: `(object set, value)`
+    /// pairs for every ontology field this record actually contains. The
+    /// evaluation compares the populated database against these.
+    pub truth: Vec<(String, String)>,
+}
+
+fn pick<'a>(rng: &mut StdRng, items: &[&'a str]) -> &'a str {
+    items.choose(rng).expect("lexicons are nonempty")
+}
+
+fn date(rng: &mut StdRng) -> String {
+    format!(
+        "{} {}, {}",
+        pick(rng, lexicon::MONTHS),
+        rng.random_range(1..=28),
+        rng.random_range(1990..=1998)
+    )
+}
+
+fn old_date(rng: &mut StdRng) -> String {
+    format!(
+        "{} {}, {}",
+        pick(rng, lexicon::MONTHS),
+        rng.random_range(1..=28),
+        rng.random_range(1905..=1960)
+    )
+}
+
+fn time(rng: &mut StdRng) -> String {
+    let ampm = if rng.random_bool(0.5) { "a.m." } else { "p.m." };
+    format!("{}:{:02} {ampm}", rng.random_range(8..=12), [0, 15, 30][rng.random_range(0..3)])
+}
+
+fn person(rng: &mut StdRng) -> String {
+    if rng.random_bool(0.4) {
+        format!(
+            "{} {}. {}",
+            pick(rng, lexicon::FIRST_NAMES),
+            pick(rng, lexicon::FIRST_NAMES).chars().next().expect("nonempty"),
+            pick(rng, lexicon::LAST_NAMES)
+        )
+    } else {
+        format!(
+            "{} {} {}",
+            pick(rng, lexicon::FIRST_NAMES),
+            pick(rng, lexicon::FIRST_NAMES),
+            pick(rng, lexicon::LAST_NAMES)
+        )
+    }
+}
+
+fn phone(rng: &mut StdRng) -> String {
+    format!(
+        "({}) 555-{:04}",
+        [801, 520, 713, 415, 206][rng.random_range(0..5)],
+        rng.random_range(0..10_000)
+    )
+}
+
+/// Generic filler sentences with no ontology constants.
+const FILLER: &[&str] = &[
+    "Friends may call at the family home.",
+    "The family wishes to thank the many kind neighbors.",
+    "A devoted friend to all who knew him.",
+    "Arrangements are under the direction of the family.",
+    "In lieu of flowers, donations may be made to the charity of your choice.",
+    "He will be greatly missed by all.",
+    "She touched the lives of everyone she met.",
+];
+
+const CAR_FILLER: &[&str] = &[
+    "Garaged and well maintained.",
+    "All records available.",
+    "Serious inquiries only.",
+    "Great condition inside and out.",
+    "Moving, priced for quick sale.",
+];
+
+const JOB_FILLER: &[&str] = &[
+    "Excellent benefits package.",
+    "Team oriented environment.",
+    "Immediate opening.",
+    "EOE.",
+    "Fast growing company.",
+];
+
+const COURSE_FILLER: &[&str] = &[
+    "Emphasis on practical applications.",
+    "Includes a weekly laboratory section.",
+    "Satisfies the general education requirement.",
+    "Offered fall and winter semesters.",
+    "Enrollment by instructor consent.",
+];
+
+
+/// Intro/kicker sentences, deliberately spread in length.
+const INTROS: &[&str] = &[
+    "In loving memory.",
+    "With deep sorrow the family announces the passing of a beloved mother, grandmother and friend.",
+    "An announcement from the family.",
+    "It is with heavy hearts that we share the news that our dear friend and longtime neighbor has left us.",
+    "Remembered with love.",
+];
+
+// Car intros are uniformly long: classifieds kickers were full sales
+// pitches, and the length gap between intro-led and plain ads is what
+// shifts the bold lead's position within its record.
+const CAR_INTROS: &[&str] = &[
+    "Must see to appreciate, priced hundreds below book value for a quick weekend sale.",
+    "Estate sale, everything must go including this well cared for family vehicle.",
+    "Relocating overseas next month and forced to part with a truly excellent automobile.",
+    "Priced to move before the end of the month, first reasonable offer drives it home.",
+];
+
+const JOB_INTROS: &[&str] = &[
+    "New listing.",
+    "Our client, a rapidly growing regional firm, has asked us to fill the following position immediately.",
+    "Urgent requirement.",
+    "Expanding department seeks qualified applicants for the opening below.",
+];
+
+const COURSE_INTROS: &[&str] = &[
+    "New for 1998.",
+    "Offered jointly with the graduate school; undergraduates require instructor permission to register.",
+    "Limited enrollment.",
+    "Part of the revised core curriculum approved by the faculty senate.",
+];
+
+/// Out-of-lexicon replacements (see `SiteStyle::oov`): content a 1998 page
+/// really carried but the data frames cannot recognize.
+const OOV_NAMES: &[&str] = &[
+    "J.R. O'Brien-Smythe",
+    "VAN DER BERG, Willem",
+    "Mc- Allister, R.",
+    "de la Cruz y Morales",
+];
+const OOV_DEATH_PHRASES: &[&str] = &[
+    " went to her eternal rest on ",
+    " was called home ",
+    " left this world peacefully ",
+];
+const OOV_DATES: &[&str] = &["Sept. 30, '98", "30 Sep 1998", "9/30/98"];
+const OOV_MAKES: &[&str] = &["DeLorean", "Yugo", "Studebaker", "Packard"];
+const OOV_TITLES: &[&str] = &["Webmaster", "Y2K Remediation Lead", "Comptroller of Systems"];
+
+/// Generates one record for `domain`.
+///
+/// `richness` is the probability each optional field appears; `jitter`
+/// scales how many filler sentences pad the record (0 → fixed count, 1 →
+/// wildly varying), which directly controls the SD heuristic's signal;
+/// `oov` is the probability of out-of-lexicon substitutions (see
+/// `SiteStyle::oov`).
+pub fn record(
+    domain: Domain,
+    rng: &mut StdRng,
+    richness: f64,
+    jitter: f64,
+    oov: f64,
+) -> RecordContent {
+    let mut record = match domain {
+        Domain::Obituaries => obituary(rng, richness, jitter),
+        Domain::CarAds => car_ad(rng, richness, jitter),
+        Domain::JobAds => job_ad(rng, richness, jitter),
+        Domain::Courses => course(rng, richness, jitter),
+    };
+    if oov > 0.0 {
+        apply_oov(domain, &mut record, rng, oov);
+    }
+    record
+}
+
+/// Substitutes out-of-lexicon content in place, keeping ground truth in
+/// sync (the truth records the unrecognizable value, so it scores as a
+/// recall miss — exactly what real-world prose did to the companion
+/// papers' extractors).
+fn apply_oov(domain: Domain, record: &mut RecordContent, rng: &mut StdRng, oov: f64) {
+    match domain {
+        Domain::Obituaries => {
+            if rng.random_bool(oov) {
+                let name = (*OOV_NAMES.choose(rng).expect("pool")).to_owned();
+                set_truth(record, "DeceasedName", &name);
+                record.lead = name;
+            }
+            if rng.random_bool(oov) {
+                // Replace the death sentence with an unrecognizable phrasing
+                // and an abbreviated date.
+                let date = *OOV_DATES.choose(rng).expect("pool");
+                let phrase = *OOV_DEATH_PHRASES.choose(rng).expect("pool");
+                set_truth(record, "DeathDate", date);
+                if let Some(first) = record.sentences.first_mut() {
+                    *first = Sentence::plain(format!("{phrase}{date}. "));
+                }
+            }
+        }
+        Domain::CarAds => {
+            if rng.random_bool(oov) {
+                let make = *OOV_MAKES.choose(rng).expect("pool");
+                // The lead is "<year> <make> <model>".
+                let mut parts: Vec<&str> = record.lead.splitn(3, ' ').collect();
+                if parts.len() == 3 {
+                    parts[1] = make;
+                    record.lead = parts.join(" ");
+                    set_truth(record, "Make", make);
+                }
+            }
+            if rng.random_bool(oov) {
+                // "6500 firm" — no dollar sign, no keyword.
+                let price = format!("{}00 firm", rng.random_range(10..=99));
+                set_truth(record, "Price", &price);
+                for s in &mut record.sentences {
+                    if s.phrase.starts_with('$') {
+                        *s = Sentence::plain(format!(". {price}"));
+                        break;
+                    }
+                }
+            }
+        }
+        Domain::JobAds => {
+            if rng.random_bool(oov) {
+                let title = (*OOV_TITLES.choose(rng).expect("pool")).to_owned();
+                set_truth(record, "JobTitle", &title);
+                record.lead = title;
+            }
+        }
+        Domain::Courses => {
+            if rng.random_bool(oov) {
+                // Lower-case dept code breaks the catalog-number pattern.
+                let lowered = record.lead.to_lowercase();
+                set_truth(record, "CourseNumber", &lowered);
+                record.lead = lowered;
+            }
+        }
+    }
+}
+
+fn set_truth(record: &mut RecordContent, field: &str, value: &str) {
+    for (f, v) in &mut record.truth {
+        if f == field {
+            *v = value.to_owned();
+            return;
+        }
+    }
+    record.truth.push((field.to_owned(), value.to_owned()));
+}
+
+/// Number of filler sentences: a base of one, plus jitter-scaled variance.
+fn filler_count(rng: &mut StdRng, jitter: f64) -> usize {
+    let max_extra = (jitter * 6.0).round() as usize;
+    1 + if max_extra == 0 {
+        0
+    } else {
+        rng.random_range(0..=max_extra)
+    }
+}
+
+/// Draws an intro with probability one half. The caller drops one filler
+/// sentence in exchange (see [`RecordContent::intro`]).
+fn choose_intro(rng: &mut StdRng, pool: &[&str]) -> Option<String> {
+    rng.random_bool(0.5)
+        .then(|| (*pool.choose(rng).expect("nonempty intro pool")).to_owned())
+}
+
+fn push_filler(
+    sentences: &mut Vec<Sentence>,
+    rng: &mut StdRng,
+    pool: &[&str],
+    jitter: f64,
+    gave_up_one: bool,
+) {
+    let n = filler_count(rng, jitter).saturating_sub(gave_up_one as usize);
+    for _ in 0..n {
+        sentences.push(Sentence::plain(*pool.choose(rng).expect("nonempty pool")));
+    }
+}
+
+fn obituary(rng: &mut StdRng, richness: f64, jitter: f64) -> RecordContent {
+    let name = person(rng);
+    let intro = choose_intro(rng, INTROS);
+    let mut s = Vec::new();
+    let mut truth = vec![("DeceasedName".to_owned(), name.clone())];
+    let death = date(rng);
+    let died = if rng.random_bool(0.5) {
+        format!(" died on {death}. ")
+    } else {
+        format!(" passed away on {death}. ")
+    };
+    truth.push(("DeathDate".to_owned(), death));
+    s.push(Sentence::plain(died));
+    if rng.random_bool(richness) {
+        let born = old_date(rng);
+        s.push(Sentence::plain(format!(
+            "Born on {born} in {}. ",
+            pick(rng, lexicon::CITIES)
+        )));
+        truth.push(("BirthDate".to_owned(), born));
+    }
+    if rng.random_bool(richness) {
+        let age = rng.random_range(40..=99);
+        s.push(Sentence::plain(format!(
+            "She was age {age} at the time of her passing. "
+        )));
+        truth.push(("Age".to_owned(), format!("age {age}")));
+    }
+    if rng.random_bool(richness) {
+        let fd = date(rng);
+        let ft = time(rng);
+        let mortuary = pick(rng, lexicon::MORTUARIES);
+        s.push(Sentence::with_phrase(
+            format!("Funeral services will be held on {fd} at {ft} at "),
+            mortuary,
+            ". ",
+        ));
+        truth.push(("FuneralDate".to_owned(), fd));
+        truth.push(("FuneralTime".to_owned(), ft));
+        truth.push(("Mortuary".to_owned(), mortuary.to_owned()));
+    }
+    if rng.random_bool(richness) {
+        let cemetery = pick(rng, lexicon::CEMETERIES);
+        s.push(Sentence::with_phrase("Interment at ", cemetery, ". "));
+        truth.push(("Interment".to_owned(), cemetery.to_owned()));
+    }
+    if rng.random_bool(richness) {
+        s.push(Sentence::with_phrase(
+            "She is survived by ",
+            person(rng),
+            format!(" and {}. ", person(rng)),
+        ));
+    }
+    if rng.random_bool(richness * 0.5) {
+        s.push(Sentence::plain(format!(
+            "A viewing will be held {} at {}. ",
+            date(rng),
+            time(rng)
+        )));
+    }
+    push_filler(&mut s, rng, FILLER, jitter, intro.is_some());
+    RecordContent {
+        lead: name,
+        intro,
+        sentences: s,
+        truth,
+    }
+}
+
+fn car_ad(rng: &mut StdRng, richness: f64, jitter: f64) -> RecordContent {
+    let intro = choose_intro(rng, CAR_INTROS);
+    let year = rng.random_range(1988..=1998);
+    let make = pick(rng, lexicon::CAR_MAKES);
+    let model = pick(rng, lexicon::CAR_MODELS);
+    let lead = format!("{year} {make} {model}");
+    let mut truth = vec![
+        ("Year".to_owned(), year.to_string()),
+        ("Make".to_owned(), make.to_owned()),
+        ("Model".to_owned(), model.to_owned()),
+    ];
+    let mut s = Vec::new();
+    let color = pick(rng, lexicon::COLORS);
+    truth.push(("Color".to_owned(), color.to_owned()));
+    s.push(Sentence::with_phrase(", ", color, ""));
+    // An intro trades away one feature so the ad's total length stays put
+    // (see `RecordContent::intro`).
+    let n_features = rng.random_range(2..=3) - usize::from(intro.is_some());
+    for _ in 0..n_features {
+        s.push(Sentence::with_phrase(
+            ", ",
+            pick(rng, lexicon::CAR_FEATURES),
+            "",
+        ));
+    }
+    if rng.random_bool(richness) {
+        s.push(Sentence::plain(format!(
+            ", {},000 miles",
+            rng.random_range(20..=140)
+        )));
+    }
+    // Price always carries one of the ontology's Price keywords
+    // ("asking" / "obo") — a reliably once-per-record OM indicator, as
+    // real classifieds behave.
+    let price = format!(
+        "${},{:03}",
+        rng.random_range(1..=24),
+        rng.random_range(0..1000) / 50 * 50
+    );
+    truth.push(("Price".to_owned(), price.clone()));
+    if rng.random_bool(0.5) {
+        s.push(Sentence::with_phrase(". asking ", price, ""));
+    } else {
+        s.push(Sentence::with_phrase(". ", price, " obo"));
+    }
+    let phone_no = phone(rng);
+    truth.push(("Phone".to_owned(), phone_no.clone()));
+    s.push(Sentence::plain(format!(". Call {phone_no}. ")));
+    if jitter > 0.0 {
+        let extra = (jitter * 3.0).round() as usize;
+        let n = rng
+            .random_range(0..=extra)
+            .saturating_sub(intro.is_some() as usize);
+        for _ in 0..n {
+            s.push(Sentence::plain(*CAR_FILLER.choose(rng).expect("pool")));
+        }
+    }
+    RecordContent {
+        lead,
+        intro,
+        sentences: s,
+        truth,
+    }
+}
+
+fn job_ad(rng: &mut StdRng, richness: f64, jitter: f64) -> RecordContent {
+    let intro = choose_intro(rng, JOB_INTROS);
+    let lead = pick(rng, lexicon::JOB_TITLES).to_owned();
+    let company = pick(rng, lexicon::COMPANIES);
+    let city = pick(rng, lexicon::CITIES);
+    let mut truth = vec![
+        ("JobTitle".to_owned(), lead.clone()),
+        ("Company".to_owned(), company.to_owned()),
+        ("Location".to_owned(), city.to_owned()),
+    ];
+    let mut s = Vec::new();
+    s.push(Sentence::with_phrase(
+        ". ",
+        company,
+        format!(", {city}. "),
+    ));
+    s.push(Sentence::with_phrase(
+        format!("Requires {} years experience with ", rng.random_range(1..=8)),
+        pick(rng, lexicon::SKILLS),
+        format!(" and {}. ", pick(rng, lexicon::SKILLS)),
+    ));
+    if rng.random_bool(richness) {
+        let salary = format!("${},000", rng.random_range(32..=95));
+        s.push(Sentence::plain(format!("Salary {salary}/yr DOE. ")));
+        truth.push(("Salary".to_owned(), salary));
+    }
+    if rng.random_bool(richness) {
+        let user: String = lead
+            .chars()
+            .filter(char::is_ascii_alphabetic)
+            .take(6)
+            .collect::<String>()
+            .to_lowercase();
+        let email = format!(
+            "{user}{}@{}.com",
+            rng.random_range(1..=99),
+            ["datatech", "infosys", "microware", "netsol"][rng.random_range(0..4)]
+        );
+        s.push(Sentence::plain(format!("Send resume to {email}. ")));
+        truth.push(("ContactEmail".to_owned(), email));
+    } else {
+        let phone_no = phone(rng);
+        s.push(Sentence::plain(format!("Call {phone_no}. ")));
+        truth.push(("ContactPhone".to_owned(), phone_no));
+    }
+    push_filler(&mut s, rng, JOB_FILLER, jitter, intro.is_some());
+    RecordContent {
+        lead,
+        intro,
+        sentences: s,
+        truth,
+    }
+}
+
+fn course(rng: &mut StdRng, richness: f64, jitter: f64) -> RecordContent {
+    let intro = choose_intro(rng, COURSE_INTROS);
+    let lead = format!(
+        "{} {}",
+        pick(rng, lexicon::DEPT_CODES),
+        rng.random_range(100..=599)
+    );
+    let title = pick(rng, lexicon::COURSE_TITLES);
+    let credits = rng.random_range(1..=5);
+    let mut truth = vec![
+        ("CourseNumber".to_owned(), lead.clone()),
+        ("CourseTitle".to_owned(), title.to_owned()),
+        ("Credits".to_owned(), format!("{credits} credit hours")),
+    ];
+    let mut s = Vec::new();
+    s.push(Sentence::with_phrase(" ", title, ". "));
+    s.push(Sentence::plain(format!("{credits} credit hours. ")));
+    if rng.random_bool(richness) {
+        let prof = pick(rng, lexicon::INSTRUCTORS);
+        s.push(Sentence::with_phrase("Instructor: Dr. ", prof, ". "));
+        truth.push(("Instructor".to_owned(), format!("Dr. {prof}")));
+    }
+    if rng.random_bool(richness) {
+        let sched = format!(
+            "{} {}",
+            ["MWF", "TTh", "MW", "Daily"][rng.random_range(0..4)],
+            time(rng)
+        );
+        let room = rng.random_range(100..=400);
+        s.push(Sentence::plain(format!("{sched}, Room {room}. ")));
+        truth.push(("Schedule".to_owned(), sched));
+        truth.push(("Room".to_owned(), format!("Room {room}")));
+    }
+    if rng.random_bool(richness * 0.7) {
+        s.push(Sentence::plain(format!(
+            "Prerequisite: {} {}. ",
+            pick(rng, lexicon::DEPT_CODES),
+            rng.random_range(100..=399)
+        )));
+    }
+    push_filler(&mut s, rng, COURSE_FILLER, jitter, intro.is_some());
+    RecordContent {
+        lead,
+        intro,
+        sentences: s,
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn obituary_has_death_sentence() {
+        let r = record(Domain::Obituaries, &mut rng(), 1.0, 0.0, 0.0);
+        let text: String = r.sentences.iter().map(Sentence::text).collect();
+        assert!(text.contains("died on") || text.contains("passed away on"));
+        assert!(!r.lead.is_empty());
+    }
+
+    #[test]
+    fn rich_obituary_has_all_fields() {
+        let r = record(Domain::Obituaries, &mut rng(), 1.0, 0.0, 0.0);
+        let text: String = r.sentences.iter().map(Sentence::text).collect();
+        assert!(text.contains("Born on"));
+        assert!(text.contains("Funeral services"));
+        assert!(text.contains("Interment at"));
+    }
+
+    #[test]
+    fn sparse_obituary_has_only_required_fields() {
+        let r = record(Domain::Obituaries, &mut rng(), 0.0, 0.0, 0.0);
+        let text: String = r.sentences.iter().map(Sentence::text).collect();
+        assert!(!text.contains("Born on"));
+        assert!(!text.contains("Interment"));
+    }
+
+    #[test]
+    fn car_ad_has_price_and_phone() {
+        let r = record(Domain::CarAds, &mut rng(), 1.0, 0.0, 0.0);
+        let text: String = r.sentences.iter().map(Sentence::text).collect();
+        assert!(text.contains('$'));
+        assert!(text.contains("Call ("));
+        assert!(r.lead.starts_with('1')); // year
+    }
+
+    #[test]
+    fn job_ad_mentions_experience() {
+        let r = record(Domain::JobAds, &mut rng(), 1.0, 0.0, 0.0);
+        let text: String = r.sentences.iter().map(Sentence::text).collect();
+        assert!(text.contains("years experience"));
+    }
+
+    #[test]
+    fn course_mentions_credits() {
+        let r = record(Domain::Courses, &mut rng(), 1.0, 0.0, 0.0);
+        let text: String = r.sentences.iter().map(Sentence::text).collect();
+        assert!(text.contains("credit hours"));
+    }
+
+    #[test]
+    fn jitter_increases_length_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let len = |r: &RecordContent| {
+            r.sentences.iter().map(|s| s.text().len()).sum::<usize>()
+        };
+        let tight: Vec<usize> = (0..30)
+            .map(|_| len(&record(Domain::Obituaries, &mut rng, 1.0, 0.0, 0.0)))
+            .collect();
+        let loose: Vec<usize> = (0..30)
+            .map(|_| len(&record(Domain::Obituaries, &mut rng, 1.0, 1.0, 0.0)))
+            .collect();
+        let var = |v: &[usize]| {
+            let m = v.iter().sum::<usize>() as f64 / v.len() as f64;
+            v.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&loose) > var(&tight), "{} !> {}", var(&loose), var(&tight));
+    }
+
+    #[test]
+    fn oov_zero_changes_nothing() {
+        let a = record(Domain::Obituaries, &mut rng(), 1.0, 0.0, 0.0);
+        let b = record(Domain::Obituaries, &mut rng(), 1.0, 0.0, 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oov_one_substitutes_and_updates_truth() {
+        let r = record(Domain::Obituaries, &mut rng(), 1.0, 0.0, 1.0);
+        // The lead is an out-of-lexicon name and the truth tracks it.
+        let name = r
+            .truth
+            .iter()
+            .find(|(f, _)| f == "DeceasedName")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+        assert_eq!(r.lead, name);
+        assert!(
+            OOV_NAMES.contains(&name.as_str()),
+            "lead {name:?} should come from the OOV pool"
+        );
+        // The death sentence no longer carries a recognizable keyword.
+        let text: String = r.sentences.iter().map(Sentence::text).collect();
+        assert!(!text.contains("died on") && !text.contains("passed away"));
+    }
+
+    #[test]
+    fn oov_car_breaks_make_and_price() {
+        let r = record(Domain::CarAds, &mut rng(), 1.0, 0.0, 1.0);
+        let make = r
+            .truth
+            .iter()
+            .find(|(f, _)| f == "Make")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+        assert!(OOV_MAKES.contains(&make.as_str()), "{make}");
+        let text: String = r.sentences.iter().map(Sentence::text).collect();
+        assert!(text.contains("firm"), "{text}");
+        assert!(!text.contains('$'), "{text}");
+    }
+
+    #[test]
+    fn sentence_text_concatenates_parts() {
+        let s = Sentence::with_phrase("at ", "MEMORIAL CHAPEL", ".");
+        assert_eq!(s.text(), "at MEMORIAL CHAPEL.");
+    }
+}

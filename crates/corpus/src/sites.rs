@@ -1,0 +1,780 @@
+//! Site-style registries mirroring the paper's site tables.
+//!
+//! Table 1 lists the ten on-line newspapers of the initial (calibration)
+//! experiments; Tables 6–9 list the twenty test sites. Each site gets a
+//! layout convention placing it in a *difficulty class*:
+//!
+//! * **easy** sites (separator most frequent among children, boundary
+//!   pairs aligned, regular sizes) — every heuristic ranks the separator
+//!   first; achieved with a bold lead plus *nested* mid-record bolds, so
+//!   `b`'s child count stays below the separator count while its subtree
+//!   occurrence count drifts away from the record-count estimate;
+//! * **decorated** sites (flat extra bolds/breaks) — HT slips to rank 2–3;
+//! * **exact-count** sites (exactly one bold and one break per record) —
+//!   OM and RP prefer the companion tag whose count matches the record
+//!   count, the separator lands second;
+//! * **jittery** sites — SD degrades with record-size variance;
+//! * **heading** sites (`<h4>` leads) — IT prefers `br` over `h4`.
+
+use crate::style::{InlineStyle, SeparatorStyle, SiteStyle, WrapKind};
+use crate::Domain;
+
+/// Shorthand constructor used by the tables below.
+#[allow(clippy::too_many_arguments)]
+fn site(
+    site: &'static str,
+    url: &'static str,
+    separator: SeparatorStyle,
+    inline: InlineStyle,
+    wrap: WrapKind,
+    preamble: bool,
+    size_jitter: f64,
+    richness: f64,
+    records: (usize, usize),
+    messiness: f64,
+    row_layout: bool,
+) -> SiteStyle {
+    SiteStyle {
+        site,
+        url,
+        separator,
+        inline,
+        wrap,
+        preamble,
+        size_jitter,
+        richness,
+        records,
+        messiness,
+        row_layout,
+        // A modest nav bar is part of every page's chrome; it never rivals
+        // the record area's fan-out at these sizes.
+        nav_links: 3,
+        oov: 0.0,
+    }
+}
+
+const fn inline(
+    bold_lead: bool,
+    br_end: bool,
+    bolds: (u8, u8),
+    brs: (u8, u8),
+    nested_bolds: (u8, u8),
+    italics: (u8, u8),
+    links: (u8, u8),
+) -> InlineStyle {
+    InlineStyle {
+        bold_lead,
+        br_end,
+        bolds,
+        brs,
+        italics,
+        links,
+        lead_prefix: false,
+        nested_bolds,
+    }
+}
+
+/// Variant of [`inline`] with the lead-kicker enabled.
+const fn with_lead_prefix(mut style: InlineStyle) -> InlineStyle {
+    style.lead_prefix = true;
+    style
+}
+
+/// Separator emitted between records only (no leading/trailing rule).
+const fn between(tag: &'static str) -> SeparatorStyle {
+    SeparatorStyle {
+        tag,
+        leading: false,
+        trailing: false,
+        closed: false,
+        lead_inside: false,
+    }
+}
+
+/// The "easy" profile: bold lead + one nested mid-record bold, no breaks.
+const EASY: InlineStyle = inline(true, false, (0, 0), (0, 0), (1, 1), (0, 0), (0, 0));
+
+/// The "exact-count" profile: exactly one bold per record and nothing else.
+/// The bold's count matches the record count, so OM and RP prefer it — but
+/// SD still favors the separator (lead lengths vary between records, so the
+/// bold's intervals jitter more than the separator's), keeping the compound
+/// correct. A `<br>` at record ends would instead mirror the separator's
+/// interval distribution exactly and turn SD into a coin flip.
+const EXACT: InlineStyle =
+    with_lead_prefix(inline(true, false, (0, 0), (0, 0), (0, 0), (0, 0), (0, 0)));
+
+/// The ten Table-1 sites with the layout conventions used for the given
+/// calibration domain (obituaries or car ads — a newspaper's obituary page
+/// and its classifieds section are laid out differently, hence per-domain
+/// styles under the same site names).
+pub fn initial_sites(domain: Domain) -> Vec<SiteStyle> {
+    match domain {
+        Domain::Obituaries => initial_obituaries(),
+        Domain::CarAds => initial_car_ads(),
+        // The paper calibrates only on obituaries and car ads; asking for
+        // another domain's "initial" sites reuses its test sites, which is
+        // useful for ablation experiments.
+        other => test_sites(other),
+    }
+}
+
+fn initial_obituaries() -> Vec<SiteStyle> {
+    vec![
+        // Easy: all five heuristics agree.
+        site(
+            "Salt Lake Tribune",
+            "www.sltrib.com",
+            SeparatorStyle::bare("hr"),
+            EASY,
+            WrapKind::TableCell,
+            true,
+            0.25,
+            0.9,
+            (8, 14),
+            0.1,
+            false,
+        ),
+        // Easy layout, jittery record sizes: SD slips sometimes.
+        site(
+            "Arizona Daily Star",
+            "www.azstarnet.com",
+            SeparatorStyle::bare("hr"),
+            EASY,
+            WrapKind::Body,
+            true,
+            0.8,
+            0.8,
+            (6, 10),
+            0.2,
+            false,
+        ),
+        // Bare-<p> flow with flat extra bolds: HT prefers b.
+        site(
+            "Houston Chronicle",
+            "www.chron.com",
+            between("p"),
+            inline(true, false, (1, 1), (0, 0), (0, 0), (0, 1), (0, 0)),
+            WrapKind::CenterFont,
+            true,
+            0.25,
+            0.9,
+            (10, 16),
+            0.1,
+            false,
+        ),
+        // <h4> headings: IT prefers `br` (list position 7) over `h4`
+        // (position 8) — the calibration's IT rank-2 source.
+        site(
+            "San Francisco Chronicle",
+            "www.sfgate.com",
+            SeparatorStyle::heading("h4"),
+            inline(false, true, (0, 0), (1, 2), (0, 0), (0, 0), (0, 0)),
+            WrapKind::Body,
+            true,
+            0.45,
+            0.85,
+            (7, 11),
+            0.1,
+            false,
+        ),
+        // Wild sizes and heavy flat decoration: SD and HT both suffer.
+        site(
+            "Seattle Times",
+            "www.seatimes.com",
+            SeparatorStyle::bare("hr"),
+            inline(false, true, (2, 3), (2, 3), (0, 0), (0, 0), (0, 0)),
+            WrapKind::TableCell,
+            true,
+            0.9,
+            0.7,
+            (5, 9),
+            0.2,
+            false,
+        ),
+        // Table rows with sloppy `<br>` between them: the companion br
+        // count matches the record count, so OM and RP drift to it.
+        site(
+            "GoCincinnati.com",
+            "classifinder.gocinci.net",
+            SeparatorStyle {
+                tag: "tr",
+                leading: false,
+                trailing: false,
+                closed: true,
+                lead_inside: false,
+            },
+            inline(true, true, (1, 2), (0, 0), (0, 0), (0, 0), (0, 0)),
+            WrapKind::TableCell,
+            false,
+            0.3,
+            0.9,
+            (8, 12),
+            0.0,
+            true,
+        ),
+        // Exactly one <b> and one <br> per record: OM/RP prefer them.
+        site(
+            "Standard Times",
+            "www.s-t.com",
+            SeparatorStyle::bare("hr"),
+            EXACT,
+            WrapKind::Body,
+            true,
+            0.1,
+            0.95,
+            (9, 13),
+            0.1,
+            false,
+        ),
+        // Anchor headings linking to full notices; nested bolds inside.
+        site(
+            "Detroit Newspapers",
+            "www.dnps.com",
+            SeparatorStyle::heading("a"),
+            inline(false, true, (0, 0), (0, 0), (1, 1), (0, 0), (0, 0)),
+            WrapKind::Body,
+            true,
+            0.3,
+            0.9,
+            (8, 12),
+            0.1,
+            false,
+        ),
+        // Flat decorated page with messy markup.
+        site(
+            "Connecticut Post",
+            "www.connpost.com",
+            SeparatorStyle::bare("hr"),
+            inline(false, true, (1, 3), (1, 2), (0, 0), (1, 2), (0, 0)),
+            WrapKind::CenterFont,
+            true,
+            0.55,
+            0.85,
+            (6, 10),
+            0.3,
+            false,
+        ),
+        // Easy profile under <p> separators, moderate jitter.
+        site(
+            "Access Atlanta",
+            "www.accessatlanta.com",
+            SeparatorStyle {
+                tag: "p",
+                leading: true,
+                trailing: true,
+                closed: false,
+                lead_inside: false,
+            },
+            EASY,
+            WrapKind::Body,
+            true,
+            0.5,
+            0.85,
+            (9, 14),
+            0.2,
+            false,
+        ),
+    ]
+}
+
+fn initial_car_ads() -> Vec<SiteStyle> {
+    vec![
+        // Easy compact classifieds.
+        site(
+            "Salt Lake Tribune",
+            "www.sltrib.com",
+            SeparatorStyle::bare("hr"),
+            EASY,
+            WrapKind::TableCell,
+            true,
+            0.15,
+            0.9,
+            (15, 25),
+            0.1,
+            false,
+        ),
+        // Bare-<p> flow, bold lead: the pair count matches p exactly so RP
+        // is right; b's child count edges p out of HT's first place.
+        site(
+            "Arizona Daily Star",
+            "www.azstarnet.com",
+            between("p"),
+            inline(true, false, (0, 0), (0, 0), (0, 1), (0, 1), (0, 0)),
+            WrapKind::Body,
+            true,
+            0.25,
+            0.85,
+            (14, 22),
+            0.1,
+            false,
+        ),
+        // Break-heavy hr page: HT prefers br.
+        site(
+            "Houston Chronicle",
+            "www.chron.com",
+            SeparatorStyle::bare("hr"),
+            inline(false, true, (0, 1), (1, 2), (0, 0), (0, 0), (0, 0)),
+            WrapKind::CenterFont,
+            true,
+            0.3,
+            0.9,
+            (12, 20),
+            0.2,
+            false,
+        ),
+        // Table rows with stray <br>.
+        site(
+            "San Francisco Chronicle",
+            "www.sfgate.com",
+            SeparatorStyle {
+                tag: "tr",
+                leading: false,
+                trailing: false,
+                closed: true,
+                lead_inside: false,
+            },
+            inline(true, true, (0, 1), (0, 0), (0, 0), (0, 0), (0, 0)),
+            WrapKind::TableCell,
+            false,
+            0.25,
+            0.9,
+            (12, 18),
+            0.0,
+            true,
+        ),
+        // Decorated and jittery.
+        site(
+            "Seattle Times",
+            "www.seatimes.com",
+            SeparatorStyle::bare("hr"),
+            inline(true, false, (1, 3), (1, 3), (0, 0), (0, 1), (0, 0)),
+            WrapKind::Body,
+            true,
+            0.75,
+            0.75,
+            (8, 14),
+            0.2,
+            false,
+        ),
+        // Anchor headings with nested detail bolds.
+        site(
+            "GoCincinnati.com",
+            "classifinder.gocinci.net",
+            SeparatorStyle::heading("a"),
+            inline(false, true, (0, 0), (0, 0), (1, 1), (0, 0), (0, 0)),
+            WrapKind::Body,
+            false,
+            0.2,
+            0.9,
+            (12, 18),
+            0.1,
+            false,
+        ),
+        // Exact-count page again.
+        site(
+            "Standard Times",
+            "www.s-t.com",
+            SeparatorStyle::bare("hr"),
+            EXACT,
+            WrapKind::Body,
+            true,
+            0.1,
+            0.95,
+            (12, 18),
+            0.1,
+            false,
+        ),
+        // <p> with flat bolds, moderate jitter and messiness.
+        site(
+            "Detroit Newspapers",
+            "www.dnps.com",
+            SeparatorStyle {
+                tag: "p",
+                leading: true,
+                trailing: true,
+                closed: false,
+                lead_inside: false,
+            },
+            inline(true, false, (1, 2), (0, 1), (0, 0), (0, 0), (0, 0)),
+            WrapKind::Body,
+            true,
+            0.45,
+            0.8,
+            (10, 16),
+            0.3,
+            false,
+        ),
+        // Flat decorated, jittery, messy.
+        site(
+            "Connecticut Post",
+            "www.connpost.com",
+            SeparatorStyle::bare("hr"),
+            inline(false, true, (1, 2), (1, 2), (0, 0), (0, 1), (0, 0)),
+            WrapKind::CenterFont,
+            true,
+            0.55,
+            0.8,
+            (9, 15),
+            0.2,
+            false,
+        ),
+        // hr with bold lead, nested detail bolds and flat breaks: the br
+        // child count beats hr, so HT slips while the rest hold.
+        site(
+            "Access Atlanta",
+            "www.accessatlanta.com",
+            SeparatorStyle::bare("hr"),
+            inline(true, true, (0, 0), (1, 1), (1, 1), (0, 0), (0, 0)),
+            WrapKind::TableCell,
+            true,
+            0.3,
+            0.85,
+            (11, 17),
+            0.1,
+            false,
+        ),
+    ]
+}
+
+/// The five test sites of the domain's §6 table (Tables 6–9).
+pub fn test_sites(domain: Domain) -> Vec<SiteStyle> {
+    match domain {
+        Domain::Obituaries => vec![
+            // Easy across the board.
+            site(
+                "Alameda Newspaper",
+                "www.adone.com/alameda",
+                SeparatorStyle::bare("hr"),
+                EASY,
+                WrapKind::TableCell,
+                true,
+                0.2,
+                0.9,
+                (10, 14),
+                0.1,
+                false,
+            ),
+            // Jittery and decorated: SD and HT drop a rank.
+            site(
+                "Idaho State Journal",
+                "www.journalnet.com",
+                SeparatorStyle::bare("hr"),
+                inline(true, false, (1, 2), (1, 2), (0, 0), (0, 0), (0, 0)),
+                WrapKind::Body,
+                true,
+                0.85,
+                0.8,
+                (6, 10),
+                0.2,
+                false,
+            ),
+            site(
+                "Sacramento Bee",
+                "www.sacbee.com",
+                SeparatorStyle::bare("hr"),
+                EASY,
+                WrapKind::CenterFont,
+                true,
+                0.2,
+                0.9,
+                (9, 13),
+                0.1,
+                false,
+            ),
+            site(
+                "Tampa Tribune",
+                "www.tampatrib.com",
+                SeparatorStyle::bare("hr"),
+                EASY,
+                WrapKind::TableCell,
+                true,
+                0.3,
+                0.9,
+                (8, 12),
+                0.1,
+                false,
+            ),
+            // Break-decorated: HT slips.
+            site(
+                "Shoals Timesdaily",
+                "www.timesdaily.com",
+                SeparatorStyle::bare("hr"),
+                inline(true, true, (0, 0), (1, 2), (1, 1), (0, 0), (0, 0)),
+                WrapKind::Body,
+                true,
+                0.3,
+                0.85,
+                (7, 11),
+                0.2,
+                false,
+            ),
+        ],
+        Domain::CarAds => vec![
+            // Decorated: HT slips to rank 2.
+            site(
+                "Arkansas Democrat - Gazette",
+                "www.ardemgaz.com",
+                SeparatorStyle::bare("hr"),
+                inline(true, false, (1, 1), (0, 1), (0, 0), (0, 0), (0, 0)),
+                WrapKind::TableCell,
+                true,
+                0.2,
+                0.9,
+                (14, 20),
+                0.1,
+                false,
+            ),
+            // Heavily decorated with jitter: several heuristics slip.
+            site(
+                "Sioux City Journal",
+                "www.siouxcityjournal.com",
+                SeparatorStyle::bare("hr"),
+                inline(true, true, (1, 3), (1, 2), (0, 0), (0, 1), (0, 0)),
+                WrapKind::Body,
+                true,
+                0.75,
+                0.75,
+                (9, 13),
+                0.2,
+                false,
+            ),
+            site(
+                "Knoxville News",
+                "www.knoxnews.com",
+                SeparatorStyle::bare("hr"),
+                EASY,
+                WrapKind::CenterFont,
+                true,
+                0.2,
+                0.9,
+                (13, 19),
+                0.1,
+                false,
+            ),
+            site(
+                "Lincoln Journal Star",
+                "www.nebweb.com",
+                SeparatorStyle::bare("hr"),
+                EASY,
+                WrapKind::TableCell,
+                true,
+                0.2,
+                0.9,
+                (12, 18),
+                0.1,
+                false,
+            ),
+            // The paper's hardest car site (Reno): exact-count companions
+            // under a between-only <p>, with jitter — OM, RP and HT all
+            // prefer companions.
+            site(
+                "Reno Gazette - Journal",
+                "www.nevadanet.com/renogazette",
+                between("p"),
+                inline(true, true, (0, 0), (0, 0), (0, 0), (0, 0), (0, 0)),
+                WrapKind::Body,
+                true,
+                0.65,
+                0.8,
+                (10, 14),
+                0.2,
+                false,
+            ),
+        ],
+        Domain::JobAds => vec![
+            site(
+                "Baltimore Sun",
+                "www.sunspot.net",
+                SeparatorStyle::bare("hr"),
+                inline(true, false, (1, 2), (0, 1), (0, 0), (0, 0), (0, 0)),
+                WrapKind::TableCell,
+                true,
+                0.3,
+                0.9,
+                (10, 14),
+                0.1,
+                false,
+            ),
+            site(
+                "Dallas Morning News",
+                "dallasnews.com",
+                SeparatorStyle::bare("hr"),
+                inline(true, false, (0, 1), (1, 2), (0, 0), (0, 0), (0, 0)),
+                WrapKind::Body,
+                true,
+                0.8,
+                0.85,
+                (8, 12),
+                0.2,
+                false,
+            ),
+            // Denver Post: decoration swamps the separator on every count
+            // signal (the paper shows OM and HT at rank 4 here).
+            site(
+                "Denver Post",
+                "www.denverpost.com",
+                SeparatorStyle::bare("hr"),
+                inline(true, true, (2, 3), (1, 2), (0, 0), (1, 1), (0, 0)),
+                WrapKind::Body,
+                true,
+                0.5,
+                0.7,
+                (7, 11),
+                0.3,
+                false,
+            ),
+            site(
+                "Indianapolis Star/News",
+                "www.starnews.com",
+                SeparatorStyle::bare("hr"),
+                EASY,
+                WrapKind::TableCell,
+                true,
+                0.2,
+                0.9,
+                (11, 15),
+                0.1,
+                false,
+            ),
+            site(
+                "Los Angeles Times",
+                "www.latimes.com",
+                between("p"),
+                inline(true, false, (1, 1), (1, 1), (0, 0), (0, 0), (0, 0)),
+                WrapKind::CenterFont,
+                true,
+                0.6,
+                0.8,
+                (9, 13),
+                0.2,
+                false,
+            ),
+        ],
+        Domain::Courses => vec![
+            // BYU-style catalog: exact-count companions.
+            site(
+                "BYU",
+                "www.byu.edu",
+                SeparatorStyle::bare("hr"),
+                EXACT,
+                WrapKind::Body,
+                true,
+                0.3,
+                0.9,
+                (10, 14),
+                0.1,
+                false,
+            ),
+            site(
+                "MIT",
+                "registrar.mit.edu",
+                SeparatorStyle::bare("hr"),
+                inline(true, false, (1, 2), (0, 1), (0, 0), (0, 0), (0, 0)),
+                WrapKind::TableCell,
+                true,
+                0.3,
+                0.9,
+                (10, 14),
+                0.1,
+                false,
+            ),
+            // KSU: <h4> headings — IT's test-set rank-2.
+            site(
+                "KSU",
+                "www.ksu.edu",
+                SeparatorStyle::heading("h4"),
+                inline(false, true, (0, 1), (1, 2), (0, 0), (0, 0), (0, 0)),
+                WrapKind::Body,
+                true,
+                0.5,
+                0.85,
+                (9, 13),
+                0.1,
+                false,
+            ),
+            site(
+                "USC",
+                "www.usc.edu",
+                between("p"),
+                inline(true, false, (0, 1), (0, 0), (0, 1), (0, 1), (0, 0)),
+                WrapKind::CenterFont,
+                true,
+                0.6,
+                0.85,
+                (10, 14),
+                0.1,
+                false,
+            ),
+            site(
+                "UT - Austin",
+                "www.utexas.edu",
+                SeparatorStyle::bare("hr"),
+                inline(false, true, (1, 1), (1, 1), (0, 0), (0, 0), (0, 0)),
+                WrapKind::Body,
+                true,
+                0.6,
+                0.85,
+                (9, 13),
+                0.2,
+                false,
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_initial_sites_per_calibration_domain() {
+        assert_eq!(initial_sites(Domain::Obituaries).len(), 10);
+        assert_eq!(initial_sites(Domain::CarAds).len(), 10);
+    }
+
+    #[test]
+    fn five_test_sites_per_domain() {
+        for d in Domain::ALL {
+            assert_eq!(test_sites(d).len(), 5, "{d}");
+        }
+    }
+
+    #[test]
+    fn paper_site_names_present() {
+        let names: Vec<&str> = initial_sites(Domain::Obituaries)
+            .iter()
+            .map(|s| s.site)
+            .collect();
+        for expected in ["Salt Lake Tribune", "Houston Chronicle", "Access Atlanta"] {
+            assert!(names.contains(&expected));
+        }
+        let test_names: Vec<&str> = test_sites(Domain::Courses).iter().map(|s| s.site).collect();
+        assert_eq!(test_names, vec!["BYU", "MIT", "KSU", "USC", "UT - Austin"]);
+    }
+
+    #[test]
+    fn row_layout_only_with_tr() {
+        for d in Domain::ALL {
+            for s in initial_sites(d).iter().chain(&test_sites(d)) {
+                if s.row_layout {
+                    assert_eq!(s.separator.tag, "tr", "{}", s.site);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn separators_are_on_the_it_list() {
+        let it_list = ["hr", "tr", "td", "a", "table", "p", "br", "h4", "h1", "strong", "b", "i"];
+        for d in Domain::ALL {
+            for s in initial_sites(d).iter().chain(&test_sites(d)) {
+                assert!(
+                    it_list.contains(&s.separator.tag),
+                    "{} uses separator {} outside the IT list",
+                    s.site,
+                    s.separator.tag
+                );
+            }
+        }
+    }
+}

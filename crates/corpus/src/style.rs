@@ -1,0 +1,174 @@
+//! Site layout styles — the knobs that shape each heuristic's evidence.
+
+/// How the record separator is emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeparatorStyle {
+    /// The separator tag (ground truth).
+    pub tag: &'static str,
+    /// Emit a separator before the first record.
+    pub leading: bool,
+    /// Emit a separator after the last record.
+    pub trailing: bool,
+    /// Whether the tag is written with an explicit end tag
+    /// (`<p>…</p>` vs a bare `<p>`); bare is the 1998 norm.
+    pub closed: bool,
+    /// The record's lead phrase is emitted *inside* the separator
+    /// (`<h4>Lemar Adamson</h4>` heading style). Implies one separator per
+    /// record, at its start; `leading`/`trailing` are ignored.
+    pub lead_inside: bool,
+}
+
+impl SeparatorStyle {
+    /// A bare (unclosed) separator such as `<hr>`.
+    pub const fn bare(tag: &'static str) -> Self {
+        SeparatorStyle {
+            tag,
+            leading: true,
+            trailing: true,
+            closed: false,
+            lead_inside: false,
+        }
+    }
+
+    /// A heading-style separator wrapping each record's lead phrase.
+    pub const fn heading(tag: &'static str) -> Self {
+        SeparatorStyle {
+            tag,
+            leading: false,
+            trailing: false,
+            closed: true,
+            lead_inside: true,
+        }
+    }
+}
+
+/// Inline formatting habits within a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InlineStyle {
+    /// The record opens with its lead phrase in `<b>…</b>` immediately
+    /// after the separator — the classic `<sep><b>` RP boundary pattern.
+    pub bold_lead: bool,
+    /// The record closes with `<br>` immediately before the next separator
+    /// — the `<br><sep>` RP pattern.
+    pub br_end: bool,
+    /// Additional `<b>` phrases per record (inclusive range).
+    pub bolds: (u8, u8),
+    /// `<br>` line breaks after sentences (inclusive range), besides
+    /// `br_end`.
+    pub brs: (u8, u8),
+    /// `<i>` phrases per record.
+    pub italics: (u8, u8),
+    /// `<a href>` links per record (e.g. "email us" / section anchors).
+    pub links: (u8, u8),
+    /// About half the records start with a short plain-text kicker before
+    /// the (possibly bold) lead — the classic "SURNAME — " classified
+    /// style. This shifts the lead tag's position within its record, so
+    /// its inter-occurrence intervals jitter more than the separator's and
+    /// the SD heuristic can tell the two apart even when their counts
+    /// cannot be distinguished.
+    pub lead_prefix: bool,
+    /// Mid-record bold phrases *nested* inside a rotating cloak element
+    /// (`<i>`, `<font>`, `<em>`, `<span>`). The cloaks are varied so none of
+    /// them crosses the 10 % candidate threshold, which keeps the `b`
+    /// *child* count at the bold-lead level while its *subtree occurrence*
+    /// count grows — the structural pattern that lets HT (child counts) and
+    /// OM/RP (occurrence counts) agree on the separator, as on the paper's
+    /// easiest sites.
+    pub nested_bolds: (u8, u8),
+}
+
+impl InlineStyle {
+    /// Plain text records: no inline markup at all.
+    pub const fn plain() -> Self {
+        InlineStyle {
+            bold_lead: false,
+            br_end: false,
+            bolds: (0, 0),
+            brs: (0, 0),
+            italics: (0, 0),
+            links: (0, 0),
+            lead_prefix: false,
+            nested_bolds: (0, 0),
+        }
+    }
+}
+
+/// The structural wrapper around the record area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WrapKind {
+    /// `<table><tr><td> … </td></tr></table>` — the Figure 2 shape.
+    TableCell,
+    /// Records live directly under `<body>`.
+    Body,
+    /// `<center><font> … </font></center>` — mid-90s styling.
+    CenterFont,
+    /// `<dl> … </dl>` definition-list flavored pages.
+    DefinitionList,
+}
+
+/// A site's complete layout convention.
+#[derive(Debug, Clone)]
+pub struct SiteStyle {
+    /// Display name (the paper's site name).
+    pub site: &'static str,
+    /// URL as printed in the paper.
+    pub url: &'static str,
+    /// Separator emission.
+    pub separator: SeparatorStyle,
+    /// Inline formatting habits.
+    pub inline: InlineStyle,
+    /// Structural wrapper.
+    pub wrap: WrapKind,
+    /// Page heading (an `<h1>` + date line) before the records.
+    pub preamble: bool,
+    /// Standard-deviation of record sizes: 0.0 = rigidly uniform record
+    /// templates, 1.0 = wildly varying (controls the SD heuristic's
+    /// reliability).
+    pub size_jitter: f64,
+    /// Probability each optional domain field appears in a record
+    /// (controls the OM signal's sharpness).
+    pub richness: f64,
+    /// Inclusive range of records per document.
+    pub records: (usize, usize),
+    /// Probability of messiness events per record: HTML comments, stray
+    /// end tags — exercised so Appendix A's repairs matter.
+    pub messiness: f64,
+    /// Probability that a record uses *out-of-lexicon* content: unusually
+    /// shaped names, abbreviated dates, vocabulary outside the data frames'
+    /// lexicons. Zero reproduces the clean corpus; around 0.15 reproduces
+    /// the recall/precision levels the paper's companion experiments report
+    /// on real 1998 prose (§2). Boundary discovery is largely unaffected —
+    /// it reads structure, not vocabulary.
+    pub oov: f64,
+    /// Number of navigation links emitted in a chrome bar above the record
+    /// area (inside their own table cell). Real pages carried such bars;
+    /// when `nav_links` exceeds the record count the nav cell's fan-out can
+    /// overtake the record area's and defeat the paper's highest-fan-out
+    /// conjecture — a documented limitation this knob makes testable.
+    pub nav_links: usize,
+    /// Row layout: each record is emitted *inside* the separator element as
+    /// `<tr><td>…</td></tr>` (the separator tag must then be `tr`). In this
+    /// layout [`InlineStyle::br_end`] emits a sloppy `<br>` *between* rows —
+    /// common in hand-edited 1998 tables — which gives the fan-out subtree a
+    /// second candidate tag.
+    pub row_layout: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_separator_defaults() {
+        let s = SeparatorStyle::bare("hr");
+        assert_eq!(s.tag, "hr");
+        assert!(s.leading && s.trailing && !s.closed);
+    }
+
+    #[test]
+    fn plain_inline_has_no_markup() {
+        let i = InlineStyle::plain();
+        assert!(!i.bold_lead && !i.br_end);
+        assert_eq!(i.bolds, (0, 0));
+    }
+}

@@ -1,0 +1,248 @@
+//! The Database-Instance Generator (Figure 1, step 5).
+//!
+//! Given one Data-Record Table per record, populate the generated scheme.
+//! The heuristics reconstruct what the paper (and its companion papers
+//! ECLS98/ECJ+98) describe:
+//!
+//! * **keyword–constant correlation** — when an object set has both a
+//!   keyword match ("died on") and constant matches (dates), the constant
+//!   *nearest after* the keyword is the field's value; this resolves value
+//!   patterns shared between fields (every date rule matches every date);
+//! * **cardinality constraints** — one-to-one / functional sets contribute
+//!   at most one value per record (best candidate wins); many-valued sets
+//!   contribute all distinct matched values to their satellite relation;
+//! * **keyword-only fields** — a field indicated only by keywords stores
+//!   the matched indicator text (evidence of presence), which is how our
+//!   data frames model fields like `Age` whose keyword pattern embeds the
+//!   value.
+
+use crate::storage::{Database, Row};
+use rbd_ontology::{Cardinality, MatchKind, ObjectSet, Ontology, Scheme};
+use rbd_recognizer::{DataRecordTable, TableEntry};
+
+/// Populates databases from per-record recognition output.
+#[derive(Debug, Clone)]
+pub struct InstanceGenerator {
+    ontology: Ontology,
+    scheme: Scheme,
+}
+
+impl InstanceGenerator {
+    /// Prepares a generator for `ontology`.
+    pub fn new(ontology: &Ontology) -> Self {
+        InstanceGenerator {
+            ontology: ontology.clone(),
+            scheme: ontology.database_scheme(),
+        }
+    }
+
+    /// The target scheme.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// Populates a fresh database: one entity row per record, satellite
+    /// rows for many-valued sets.
+    pub fn populate(&self, records: &[DataRecordTable]) -> Database {
+        let mut db = Database::new(self.scheme.clone());
+        for (id, record) in records.iter().enumerate() {
+            self.populate_record(&mut db, id, record);
+        }
+        db
+    }
+
+    fn populate_record(&self, db: &mut Database, id: usize, record: &DataRecordTable) {
+        let entity = self.scheme.entity().clone();
+        let mut row: Row = vec![None; entity.columns.len()];
+        row[0] = Some(id.to_string());
+
+        for set in &self.ontology.object_sets {
+            if !set.lexical {
+                continue;
+            }
+            match set.cardinality {
+                Cardinality::OneToOne | Cardinality::Functional => {
+                    if let Some(col) = entity.column_index(&set.name) {
+                        row[col] = self.best_value(record, set);
+                    }
+                }
+                Cardinality::Many => {
+                    let relation = format!("{}_{}", self.ontology.entity, set.name);
+                    // Case-insensitive dedup: keyword rules match
+                    // case-insensitively, so "Viewing" and "viewing" are the
+                    // same evidence.
+                    let mut seen: Vec<String> = Vec::new();
+                    for e in record.for_descriptor(&set.name) {
+                        let folded = e.value.to_lowercase();
+                        if seen.contains(&folded) {
+                            continue;
+                        }
+                        seen.push(folded);
+                        // Composite key (id, value) makes duplicates
+                        // impossible by construction here; insertion errors
+                        // would indicate a bug, so propagate loudly.
+                        db.insert(
+                            &relation,
+                            vec![Some(id.to_string()), Some(e.value.clone())],
+                        )
+                        .expect("satellite insert cannot violate constraints");
+                    }
+                }
+            }
+        }
+
+        // One-to-one fields are NOT NULL in the scheme; an unrecognized
+        // required field gets an explicit unknown marker rather than
+        // aborting the whole record (extraction recall is < 100 % in
+        // practice, as the paper's companion experiments show).
+        for (i, col) in entity.columns.iter().enumerate() {
+            if !col.nullable && row[i].is_none() {
+                row[i] = Some(String::from("(unrecognized)"));
+            }
+        }
+        db.insert(&entity.name, row)
+            .expect("entity insert respects arity and keys by construction");
+    }
+
+    /// The best single value of an object set within one record:
+    ///
+    /// 1. keyword matched + constants → the constant nearest after the
+    ///    first keyword (wrapping to the nearest anywhere if none follows);
+    /// 2. keyword matched, keyword-only frame → the matched indicator text;
+    /// 3. no keyword matched but the data frame *defines* keywords → the
+    ///    field is absent: its value pattern is typically shared with other
+    ///    fields (every date rule matches every date), so a constant
+    ///    without its disambiguating keyword is not evidence;
+    /// 4. constants only (keyword-less frame) → the first constant;
+    /// 5. nothing → `None`.
+    fn best_value(&self, record: &DataRecordTable, set: &ObjectSet) -> Option<String> {
+        let entries: Vec<&TableEntry> = record.for_descriptor(&set.name).collect();
+        if entries.is_empty() {
+            return None;
+        }
+        let first_kw = entries.iter().find(|e| e.kind == MatchKind::Keyword);
+        let constants: Vec<&&TableEntry> = entries
+            .iter()
+            .filter(|e| e.kind == MatchKind::Constant)
+            .collect();
+        match (first_kw, constants.as_slice()) {
+            (Some(kw), consts) if !consts.is_empty() => {
+                let after = consts
+                    .iter()
+                    .filter(|c| c.position >= kw.position)
+                    .min_by_key(|c| c.position - kw.position);
+                let chosen = after.unwrap_or_else(|| {
+                    consts
+                        .iter()
+                        .min_by_key(|c| kw.position.abs_diff(c.position))
+                        .expect("nonempty")
+                });
+                Some(chosen.value.clone())
+            }
+            (Some(kw), _) => Some(kw.value.clone()),
+            (None, consts) if !consts.is_empty() => {
+                if set.data_frame.has_keywords() {
+                    // Rule 3: the frame requires keyword disambiguation.
+                    None
+                } else {
+                    Some(consts[0].value.clone())
+                }
+            }
+            (None, _) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_ontology::domains;
+    use rbd_recognizer::Recognizer;
+
+    fn populate(texts: &[&str]) -> Database {
+        let ontology = domains::obituaries();
+        let rec = Recognizer::new(&ontology).unwrap();
+        let records: Vec<DataRecordTable> = texts.iter().map(|t| rec.recognize(t)).collect();
+        InstanceGenerator::new(&ontology).populate(&records)
+    }
+
+    #[test]
+    fn constants_without_required_keyword_are_not_evidence() {
+        // One date, claimed textually by DeathDate / BirthDate / FuneralDate
+        // value rules alike. Only DeathDate's keyword is present, so only
+        // DeathDate gets the value.
+        let db = populate(&["Ann B. Smith died on May 1, 1998 at 10:00 a.m."]);
+        let t = db.table("Deceased").unwrap();
+        assert_eq!(t.get(0, "DeathDate"), Some("May 1, 1998"));
+        assert_eq!(t.get(0, "BirthDate"), None);
+        assert_eq!(t.get(0, "FuneralDate"), None);
+        // Keyword-less frames still take their constants directly.
+        assert_eq!(t.get(0, "FuneralTime"), Some("10:00 a.m."));
+    }
+
+    #[test]
+    fn keyword_correlation_resolves_shared_date_patterns() {
+        let db = populate(&[
+            "Ann B. Smith was born on June 2, 1920 and died on May 1, 1998. \
+             Funeral services will be held May 5, 1998 at 11:00 a.m.",
+        ]);
+        let t = db.table("Deceased").unwrap();
+        assert_eq!(t.get(0, "DeathDate"), Some("May 1, 1998"));
+        assert_eq!(t.get(0, "BirthDate"), Some("June 2, 1920"));
+        assert_eq!(t.get(0, "FuneralDate"), Some("May 5, 1998"));
+    }
+
+    #[test]
+    fn one_row_per_record() {
+        let db = populate(&[
+            "Ann B. Smith died on May 1, 1998.",
+            "Bob C. Jones died on May 2, 1998.",
+            "Cal D. Young died on May 3, 1998.",
+        ]);
+        assert_eq!(db.table("Deceased").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn many_valued_satellites_deduplicated() {
+        let db = populate(&[
+            "Ann B. Smith died on May 1, 1998. Viewing Friday; viewing Saturday. \
+             She is survived by many.",
+        ]);
+        let viewing = db.table("Deceased_Viewing").unwrap();
+        // Two "viewing" keyword matches but identical matched text → one row.
+        assert_eq!(viewing.len(), 1);
+        let relative = db.table("Deceased_Relative").unwrap();
+        assert_eq!(relative.len(), 1);
+    }
+
+    #[test]
+    fn unrecognized_required_field_marked() {
+        let db = populate(&["completely unrelated text with no names"]);
+        let t = db.table("Deceased").unwrap();
+        assert_eq!(t.get(0, "DeceasedName"), Some("(unrecognized)"));
+    }
+
+    #[test]
+    fn functional_absent_is_null() {
+        let db = populate(&["Ann B. Smith died on May 1, 1998."]);
+        let t = db.table("Deceased").unwrap();
+        assert_eq!(t.get(0, "Interment"), None);
+    }
+
+    #[test]
+    fn car_ads_end_to_end_population() {
+        let ontology = domains::car_ads();
+        let rec = Recognizer::new(&ontology).unwrap();
+        let records = vec![
+            rec.recognize("1995 Ford Taurus, white, AC, cruise, 62,000 miles, $6,500 obo, call (801) 555-1234"),
+            rec.recognize("1997 Honda Accord, black, CD player, $12,900, call 801-555-8888"),
+        ];
+        let db = InstanceGenerator::new(&ontology).populate(&records);
+        let cars = db.table("CarForSale").unwrap();
+        assert_eq!(cars.get(0, "Make"), Some("Ford"));
+        assert_eq!(cars.get(1, "Make"), Some("Honda"));
+        assert_eq!(cars.get(1, "Year"), Some("1997"));
+        let features = db.table("CarForSale_Feature").unwrap();
+        assert!(features.select("record_id", "0").count() >= 2);
+    }
+}

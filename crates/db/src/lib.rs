@@ -1,0 +1,44 @@
+//! # rbd-db — in-memory relational database and instance generator
+//!
+//! The tail of the paper's Figure 1 pipeline: the **Database-Instance
+//! Generator** populates a relational database (whose scheme the Ontology
+//! Parser generated) from per-record Data-Record Table partitions, using
+//! heuristics that *correlate extracted keywords with extracted constants*
+//! and apply the ontology's cardinality constraints.
+//!
+//! The storage layer ([`storage`]) is a small but real relational substrate:
+//! typed-as-text relations with arity, NOT-NULL and primary-key enforcement,
+//! predicate scans and projections — enough to make the populated database a
+//! queryable artifact rather than a print-out.
+//!
+//! ## Example
+//!
+//! ```
+//! use rbd_db::{Database, InstanceGenerator};
+//! use rbd_ontology::domains;
+//! use rbd_recognizer::Recognizer;
+//!
+//! let ontology = domains::obituaries();
+//! let rec = Recognizer::new(&ontology).unwrap();
+//! let gen = InstanceGenerator::new(&ontology);
+//! let records = vec![
+//!     rec.recognize("Ann B. Smith died on May 1, 1998. She was born on June 2, 1920."),
+//!     rec.recognize("Bob C. Jones died on May 3, 1998. Interment at Oak Hill Cemetery."),
+//! ];
+//! let db: Database = gen.populate(&records);
+//! let deceased = db.table("Deceased").unwrap();
+//! assert_eq!(deceased.len(), 2);
+//! assert_eq!(deceased.get(0, "DeathDate"), Some("May 1, 1998"));
+//! assert_eq!(deceased.get(1, "DeathDate"), Some("May 3, 1998"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod query;
+pub mod storage;
+
+pub use generate::InstanceGenerator;
+pub use query::{join, parse_number, Predicate, Query};
+pub use storage::{Database, DbError, Row, Table};

@@ -1,0 +1,391 @@
+//! A small relational query layer over [`crate::storage`].
+//!
+//! The paper's motivation is that wrapped Web data becomes queryable "using
+//! traditional query languages" (§1). This module supplies the minimal
+//! algebra that makes the populated database an actual query target:
+//! selection (filters), projection, ordering, limits, equi-joins between
+//! the entity relation and its satellites, and grouped counts.
+//!
+//! Values are untyped text (as the scheme declares); comparisons offer both
+//! lexicographic and numeric modes, the latter parsing leading numbers the
+//! way 1998-era ad-hoc report tools did ("$6,500" → 6500).
+
+use crate::storage::{Row, Table};
+use std::collections::BTreeMap;
+
+/// A filter predicate on one column.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// Exact string equality.
+    Eq(String),
+    /// Substring containment (case-insensitive).
+    Contains(String),
+    /// Numeric comparison: column value parsed via [`parse_number`].
+    NumLt(f64),
+    /// Numeric comparison, greater-than.
+    NumGt(f64),
+    /// Value is non-NULL.
+    NotNull,
+    /// Value is NULL.
+    IsNull,
+}
+
+impl Predicate {
+    fn matches(&self, value: Option<&str>) -> bool {
+        match self {
+            Predicate::Eq(x) => value == Some(x.as_str()),
+            Predicate::Contains(x) => value
+                .map(|v| v.to_lowercase().contains(&x.to_lowercase()))
+                .unwrap_or(false),
+            Predicate::NumLt(x) => value.and_then(parse_number).is_some_and(|n| n < *x),
+            Predicate::NumGt(x) => value.and_then(parse_number).is_some_and(|n| n > *x),
+            Predicate::NotNull => value.is_some(),
+            Predicate::IsNull => value.is_none(),
+        }
+    }
+}
+
+/// Parses the leading number out of a text value: `"$6,500 obo"` → `6500`,
+/// `"1995 Ford"` → `1995`. Returns `None` when no digits lead the value
+/// (after currency symbols and whitespace).
+pub fn parse_number(value: &str) -> Option<f64> {
+    let trimmed = value.trim_start_matches(|c: char| c.is_whitespace() || c == '$');
+    let digits: String = trimmed
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == ',' || *c == '.')
+        .filter(|c| *c != ',')
+        .collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// A fluent query over one table.
+#[derive(Debug, Clone)]
+pub struct Query<'t> {
+    table: &'t Table,
+    filters: Vec<(usize, Predicate)>,
+    order: Option<(usize, bool, bool)>, // (column, ascending, numeric)
+    limit: Option<usize>,
+}
+
+impl<'t> Query<'t> {
+    pub(crate) fn new(table: &'t Table) -> Self {
+        Query {
+            table,
+            filters: Vec::new(),
+            order: None,
+            limit: None,
+        }
+    }
+
+    fn col(&self, name: &str) -> usize {
+        self.table
+            .relation()
+            .column_index(name)
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Adds a filter; unknown columns match nothing.
+    pub fn filter(mut self, column: &str, predicate: Predicate) -> Self {
+        let idx = self.col(column);
+        self.filters.push((idx, predicate));
+        self
+    }
+
+    /// Shorthand for equality.
+    pub fn eq(self, column: &str, value: impl Into<String>) -> Self {
+        self.filter(column, Predicate::Eq(value.into()))
+    }
+
+    /// Orders lexicographically (NULLs last).
+    pub fn order_by(mut self, column: &str, ascending: bool) -> Self {
+        self.order = Some((self.col(column), ascending, false));
+        self
+    }
+
+    /// Orders by the numeric interpretation of the column (NULLs and
+    /// non-numeric values last).
+    pub fn order_by_number(mut self, column: &str, ascending: bool) -> Self {
+        self.order = Some((self.col(column), ascending, true));
+        self
+    }
+
+    /// Caps the number of returned rows.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Executes the query, returning borrowed rows.
+    pub fn rows(&self) -> Vec<&'t Row> {
+        let mut out: Vec<&Row> = self
+            .table
+            .rows()
+            .iter()
+            .filter(|row| {
+                self.filters.iter().all(|(idx, p)| {
+                    let value = row.get(*idx).and_then(|v| v.as_deref());
+                    p.matches(value)
+                })
+            })
+            .collect();
+        if let Some((idx, ascending, numeric)) = self.order {
+            out.sort_by(|a, b| {
+                let av = a.get(idx).and_then(|v| v.as_deref());
+                let bv = b.get(idx).and_then(|v| v.as_deref());
+                let ord = if numeric {
+                    let an = av.and_then(parse_number);
+                    let bn = bv.and_then(parse_number);
+                    match (an, bn) {
+                        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                        (Some(_), None) => std::cmp::Ordering::Less,
+                        (None, Some(_)) => std::cmp::Ordering::Greater,
+                        (None, None) => std::cmp::Ordering::Equal,
+                    }
+                } else {
+                    match (av, bv) {
+                        (Some(x), Some(y)) => x.cmp(y),
+                        (Some(_), None) => std::cmp::Ordering::Less,
+                        (None, Some(_)) => std::cmp::Ordering::Greater,
+                        (None, None) => std::cmp::Ordering::Equal,
+                    }
+                };
+                if ascending {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+        }
+        if let Some(n) = self.limit {
+            out.truncate(n);
+        }
+        out
+    }
+
+    /// Executes and projects the named columns (`None` cells for NULLs or
+    /// unknown columns).
+    pub fn select(&self, columns: &[&str]) -> Vec<Vec<Option<String>>> {
+        let idxs: Vec<usize> = columns.iter().map(|c| self.col(c)).collect();
+        self.rows()
+            .into_iter()
+            .map(|row| {
+                idxs.iter()
+                    .map(|&i| row.get(i).and_then(|v| v.clone()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Number of matching rows.
+    pub fn count(&self) -> usize {
+        self.rows().len()
+    }
+
+    /// Counts rows grouped by a column's value (NULLs excluded), descending
+    /// by count then ascending by key.
+    pub fn group_count(&self, column: &str) -> Vec<(String, usize)> {
+        let idx = self.col(column);
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for row in self.rows() {
+            if let Some(Some(v)) = row.get(idx) {
+                *counts.entry(v.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(String, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+impl Table {
+    /// Starts a query over this table.
+    pub fn query(&self) -> Query<'_> {
+        Query::new(self)
+    }
+}
+
+/// An equi-join row: the left row plus the matching right row.
+pub type JoinedRow<'a> = (&'a Row, &'a Row);
+
+/// Equi-joins two tables on equal values of the named columns (inner join,
+/// nested-loop with a hash on the right side).
+pub fn join<'a>(
+    left: &'a Table,
+    left_col: &str,
+    right: &'a Table,
+    right_col: &str,
+) -> Vec<JoinedRow<'a>> {
+    let Some(li) = left.relation().column_index(left_col) else {
+        return Vec::new();
+    };
+    let Some(ri) = right.relation().column_index(right_col) else {
+        return Vec::new();
+    };
+    let mut index: std::collections::HashMap<&str, Vec<&Row>> = std::collections::HashMap::new();
+    for row in right.rows() {
+        if let Some(v) = row[ri].as_deref() {
+            index.entry(v).or_default().push(row);
+        }
+    }
+    let mut out = Vec::new();
+    for lrow in left.rows() {
+        if let Some(v) = lrow[li].as_deref() {
+            if let Some(matches) = index.get(v) {
+                for rrow in matches {
+                    out.push((lrow, *rrow));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::Database;
+    use rbd_ontology::{domains, Scheme};
+
+    fn car_db() -> Database {
+        let mut db = Database::new(Scheme::from_ontology(&domains::car_ads()));
+        // Columns: record_id, Year, Make, Model, Price, Mileage, Phone, Color
+        let rows = [
+            ("0", "1995", "Ford", "Taurus", "$6,500", "white"),
+            ("1", "1996", "Honda", "Accord", "$8,900", "teal"),
+            ("2", "1997", "Dodge", "Neon", "$7,100", "red"),
+            ("3", "1993", "Toyota", "Corolla", "$3,400", "blue"),
+            ("4", "1996", "Honda", "Civic", "$9,900", "red"),
+        ];
+        for (id, year, make, model, price, color) in rows {
+            db.insert(
+                "CarForSale",
+                vec![
+                    Some(id.into()),
+                    Some(year.into()),
+                    Some(make.into()),
+                    Some(model.into()),
+                    Some(price.into()),
+                    None,
+                    None,
+                    Some(color.into()),
+                ],
+            )
+            .unwrap();
+        }
+        for (id, feature) in [("0", "AC"), ("0", "cruise"), ("1", "CD player"), ("4", "AC")] {
+            db.insert(
+                "CarForSale_Feature",
+                vec![Some(id.into()), Some(feature.into())],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn parse_number_handles_period_formats() {
+        assert_eq!(parse_number("$6,500"), Some(6500.0));
+        assert_eq!(parse_number("1995 Ford"), Some(1995.0));
+        assert_eq!(parse_number("  $12,500 obo"), Some(12500.0));
+        assert_eq!(parse_number("3.5 credits"), Some(3.5));
+        assert_eq!(parse_number("obo"), None);
+        assert_eq!(parse_number(""), None);
+    }
+
+    #[test]
+    fn filters_and_projection() {
+        let db = car_db();
+        let cars = db.table("CarForSale").unwrap();
+        let hondas = cars.query().eq("Make", "Honda").select(&["Model", "Price"]);
+        assert_eq!(hondas.len(), 2);
+        assert_eq!(hondas[0][0].as_deref(), Some("Accord"));
+    }
+
+    #[test]
+    fn numeric_filters() {
+        let db = car_db();
+        let cars = db.table("CarForSale").unwrap();
+        let cheap = cars
+            .query()
+            .filter("Price", Predicate::NumLt(7000.0))
+            .count();
+        assert_eq!(cheap, 2); // $6,500 and $3,400
+        let newer = cars
+            .query()
+            .filter("Year", Predicate::NumGt(1995.0))
+            .count();
+        assert_eq!(newer, 3);
+    }
+
+    #[test]
+    fn ordering_and_limit() {
+        let db = car_db();
+        let cars = db.table("CarForSale").unwrap();
+        let two_cheapest = cars
+            .query()
+            .order_by_number("Price", true)
+            .limit(2)
+            .select(&["Model"]);
+        assert_eq!(two_cheapest[0][0].as_deref(), Some("Corolla"));
+        assert_eq!(two_cheapest[1][0].as_deref(), Some("Taurus"));
+        let lexicographic = cars.query().order_by("Make", true).select(&["Make"]);
+        assert_eq!(lexicographic[0][0].as_deref(), Some("Dodge"));
+    }
+
+    #[test]
+    fn contains_and_null_predicates() {
+        let db = car_db();
+        let cars = db.table("CarForSale").unwrap();
+        assert_eq!(
+            cars.query()
+                .filter("Color", Predicate::Contains("RED".into()))
+                .count(),
+            2
+        );
+        assert_eq!(
+            cars.query().filter("Mileage", Predicate::IsNull).count(),
+            5
+        );
+        assert_eq!(
+            cars.query().filter("Mileage", Predicate::NotNull).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn group_counts() {
+        let db = car_db();
+        let cars = db.table("CarForSale").unwrap();
+        let by_make = cars.query().group_count("Make");
+        assert_eq!(by_make[0], ("Honda".to_owned(), 2));
+        assert_eq!(by_make.len(), 4);
+    }
+
+    #[test]
+    fn entity_satellite_join() {
+        let db = car_db();
+        let cars = db.table("CarForSale").unwrap();
+        let features = db.table("CarForSale_Feature").unwrap();
+        let joined = join(cars, "record_id", features, "record_id");
+        assert_eq!(joined.len(), 4);
+        // Car 0 has two features.
+        let car0: Vec<_> = joined
+            .iter()
+            .filter(|(l, _)| l[0].as_deref() == Some("0"))
+            .collect();
+        assert_eq!(car0.len(), 2);
+    }
+
+    #[test]
+    fn unknown_columns_are_harmless() {
+        let db = car_db();
+        let cars = db.table("CarForSale").unwrap();
+        assert_eq!(cars.query().eq("Nope", "x").count(), 0);
+        let projected = cars.query().limit(1).select(&["Nope", "Make"]);
+        assert_eq!(projected[0][0], None);
+        assert_eq!(projected[0][1].as_deref(), Some("Ford"));
+    }
+}

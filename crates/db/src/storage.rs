@@ -1,0 +1,346 @@
+//! The relational storage substrate.
+
+use rbd_ontology::{Relation, Scheme};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A row: one optional text value per column.
+pub type Row = Vec<Option<String>>;
+
+/// Errors from inserts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// No relation with that name.
+    UnknownRelation(String),
+    /// Row arity does not match the relation.
+    Arity {
+        /// Relation name.
+        relation: String,
+        /// Expected column count.
+        expected: usize,
+        /// Provided value count.
+        got: usize,
+    },
+    /// A NOT-NULL column received NULL.
+    NullViolation {
+        /// Relation name.
+        relation: String,
+        /// Offending column.
+        column: String,
+    },
+    /// A duplicate primary key.
+    KeyViolation {
+        /// Relation name.
+        relation: String,
+        /// Rendered key values.
+        key: String,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            DbError::Arity {
+                relation,
+                expected,
+                got,
+            } => write!(f, "`{relation}`: expected {expected} values, got {got}"),
+            DbError::NullViolation { relation, column } => {
+                write!(f, "`{relation}`: NULL in NOT NULL column `{column}`")
+            }
+            DbError::KeyViolation { relation, key } => {
+                write!(f, "`{relation}`: duplicate key ({key})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// One relation's rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    relation: Relation,
+    rows: Vec<Row>,
+    keys: HashSet<String>,
+}
+
+impl Table {
+    fn new(relation: Relation) -> Self {
+        Table {
+            relation,
+            rows: Vec::new(),
+            keys: HashSet::new(),
+        }
+    }
+
+    /// The relation this table instantiates.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Value of `column` in row `row` (`None` for NULL or out of range).
+    pub fn get(&self, row: usize, column: &str) -> Option<&str> {
+        let col = self.relation.column_index(column)?;
+        self.rows.get(row)?.get(col)?.as_deref()
+    }
+
+    /// Rows where `column = value`.
+    pub fn select<'a>(
+        &'a self,
+        column: &str,
+        value: &'a str,
+    ) -> impl Iterator<Item = &'a Row> + 'a {
+        let col = self.relation.column_index(column);
+        self.rows.iter().filter(move |r| {
+            col.is_some_and(|c| r[c].as_deref() == Some(value))
+        })
+    }
+
+    /// Projects one column over all rows (NULLs skipped).
+    pub fn project(&self, column: &str) -> Vec<&str> {
+        match self.relation.column_index(column) {
+            None => Vec::new(),
+            Some(c) => self
+                .rows
+                .iter()
+                .filter_map(|r| r[c].as_deref())
+                .collect(),
+        }
+    }
+
+    fn key_of(&self, row: &Row) -> String {
+        let parts: Vec<&str> = row[..self.relation.key_len]
+            .iter()
+            .map(|v| v.as_deref().unwrap_or("\u{0}NULL"))
+            .collect();
+        parts.join("\u{1F}")
+    }
+
+    fn insert(&mut self, row: Row) -> Result<(), DbError> {
+        let relation = &self.relation;
+        if row.len() != relation.columns.len() {
+            return Err(DbError::Arity {
+                relation: relation.name.clone(),
+                expected: relation.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (col, val) in relation.columns.iter().zip(&row) {
+            if !col.nullable && val.is_none() {
+                return Err(DbError::NullViolation {
+                    relation: relation.name.clone(),
+                    column: col.name.clone(),
+                });
+            }
+        }
+        let key = self.key_of(&row);
+        if !self.keys.insert(key.clone()) {
+            return Err(DbError::KeyViolation {
+                relation: relation.name.clone(),
+                key: key.replace('\u{1F}', ", "),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self
+            .relation
+            .columns
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        writeln!(f, "-- {} ({} rows)", self.relation.name, self.rows.len())?;
+        writeln!(f, "{}", names.join(" | "))?;
+        for row in &self.rows {
+            let vals: Vec<&str> = row.iter().map(|v| v.as_deref().unwrap_or("∅")).collect();
+            writeln!(f, "{}", vals.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A populated database: one table per relation of a scheme.
+#[derive(Debug, Clone)]
+pub struct Database {
+    scheme: Scheme,
+    tables: Vec<Table>,
+}
+
+impl Database {
+    /// Creates an empty database over `scheme`.
+    pub fn new(scheme: Scheme) -> Self {
+        let tables = scheme.relations.iter().cloned().map(Table::new).collect();
+        Database { scheme, tables }
+    }
+
+    /// The scheme.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// Looks up a table by relation name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.relation.name == name)
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Inserts a row into the named relation, enforcing arity, NOT-NULL and
+    /// primary-key constraints.
+    pub fn insert(&mut self, relation: &str, row: Row) -> Result<(), DbError> {
+        let table = self
+            .tables
+            .iter_mut()
+            .find(|t| t.relation.name == relation)
+            .ok_or_else(|| DbError::UnknownRelation(relation.to_owned()))?;
+        table.insert(row)
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::len).sum()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tables {
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_ontology::{domains, Scheme};
+
+    fn db() -> Database {
+        Database::new(Scheme::from_ontology(&domains::obituaries()))
+    }
+
+    fn entity_row(id: &str, name: &str) -> Row {
+        // Deceased: record_id, DeceasedName, DeathDate, BirthDate, Age,
+        // FuneralDate, FuneralTime, Mortuary, Interment. The first three
+        // are NOT NULL (surrogate key + the two one-to-one fields).
+        let mut row = vec![
+            Some(id.to_owned()),
+            Some(name.to_owned()),
+            Some("May 1, 1998".to_owned()),
+        ];
+        row.resize(9, None);
+        row
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut db = db();
+        db.insert("Deceased", entity_row("0", "Ann Smith")).unwrap();
+        let t = db.table("Deceased").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0, "DeceasedName"), Some("Ann Smith"));
+        assert_eq!(t.get(0, "BirthDate"), None);
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut db = db();
+        let err = db.insert("Deceased", vec![Some("0".into())]).unwrap_err();
+        assert!(matches!(err, DbError::Arity { expected: 9, got: 1, .. }));
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut db = db();
+        let mut row = entity_row("0", "x");
+        row[1] = None; // DeceasedName is one-to-one → NOT NULL
+        row[2] = None;
+        let err = db.insert("Deceased", row).unwrap_err();
+        assert!(matches!(err, DbError::NullViolation { .. }));
+    }
+
+    #[test]
+    fn primary_key_enforced() {
+        let mut db = db();
+        db.insert("Deceased", entity_row("0", "a")).unwrap();
+        let err = db.insert("Deceased", entity_row("0", "b")).unwrap_err();
+        assert!(matches!(err, DbError::KeyViolation { .. }));
+    }
+
+    #[test]
+    fn satellite_composite_key() {
+        let mut db = db();
+        db.insert(
+            "Deceased_Relative",
+            vec![Some("0".into()), Some("survived by".into())],
+        )
+        .unwrap();
+        // Same id, different value: fine.
+        db.insert(
+            "Deceased_Relative",
+            vec![Some("0".into()), Some("preceded in death by".into())],
+        )
+        .unwrap();
+        // Exact duplicate: key violation.
+        assert!(db
+            .insert(
+                "Deceased_Relative",
+                vec![Some("0".into()), Some("survived by".into())],
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_relation() {
+        let mut db = db();
+        assert!(matches!(
+            db.insert("Nope", vec![]).unwrap_err(),
+            DbError::UnknownRelation(_)
+        ));
+    }
+
+    #[test]
+    fn select_and_project() {
+        let mut db = db();
+        db.insert("Deceased", entity_row("0", "Ann")).unwrap();
+        db.insert("Deceased", entity_row("1", "Bob")).unwrap();
+        let t = db.table("Deceased").unwrap();
+        assert_eq!(t.select("DeceasedName", "Bob").count(), 1);
+        assert_eq!(t.project("DeceasedName"), vec!["Ann", "Bob"]);
+        assert_eq!(db.total_rows(), 2);
+    }
+
+    #[test]
+    fn display_dumps_tables() {
+        let mut db = db();
+        db.insert("Deceased", entity_row("0", "Ann")).unwrap();
+        let s = db.to_string();
+        assert!(s.contains("-- Deceased (1 rows)"));
+        assert!(s.contains("Ann"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Quality ablations for the design choices the paper fixes by fiat:
+//! the 10 % candidate threshold (§3), the highest-fan-out conjecture (§3),
+//! and the use of all five heuristics rather than any subset (§5.3).
+//!
+//! Each ablation reports separator accuracy over the twenty test documents
+//! (all four domains) so the effect of the choice is visible, not just its
+//! cost. Timing counterparts live in `rbd-bench`'s `ablations` bench.
+
+use rbd_certainty::{CertaintyTable, CompoundHeuristic, HeuristicSet};
+use rbd_heuristics::HeuristicKind;
+use rbd_corpus::{test_corpus, Domain, GeneratedDoc};
+use rbd_heuristics::SubtreeView;
+use rbd_pattern::PatternError;
+use rbd_tagtree::TagTreeBuilder;
+use serde::Serialize;
+use std::fmt;
+
+use crate::runner::HeuristicRunner;
+
+/// One ablation data point.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationPoint {
+    /// The varied setting, rendered ("threshold 0.05", "subset ORSI", …).
+    pub setting: String,
+    /// Fraction of the 20 test documents whose separator was correctly and
+    /// uniquely identified.
+    pub accuracy: f64,
+    /// Mean number of candidate tags per document under this setting.
+    pub mean_candidates: f64,
+}
+
+/// The full ablation report.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationReport {
+    /// Candidate-threshold sweep (§3's 10 % choice).
+    pub threshold: Vec<AblationPoint>,
+    /// Subtree selection: highest fan-out vs. document root.
+    pub subtree: Vec<AblationPoint>,
+    /// Leave-one-out heuristic subsets vs. full ORSIH.
+    pub leave_one_out: Vec<AblationPoint>,
+}
+
+fn test_documents(seed: u64) -> Vec<GeneratedDoc> {
+    Domain::ALL
+        .into_iter()
+        .flat_map(|d| test_corpus(d, seed))
+        .collect()
+}
+
+/// Runs all three ablations.
+pub fn run_ablations(
+    runner: &HeuristicRunner,
+    table: &CertaintyTable,
+    seed: u64,
+) -> Result<AblationReport, PatternError> {
+    let docs = test_documents(seed);
+    Ok(AblationReport {
+        threshold: threshold_sweep(runner, table, &docs),
+        subtree: subtree_choice(runner, table, &docs),
+        leave_one_out: leave_one_out(runner, table, &docs),
+    })
+}
+
+/// Evaluates accuracy for one (threshold, subtree-choice, subset) setting.
+fn evaluate(
+    runner: &HeuristicRunner,
+    table: &CertaintyTable,
+    docs: &[GeneratedDoc],
+    threshold: f64,
+    use_fanout: bool,
+    subset: HeuristicSet,
+) -> AblationPoint {
+    let compound = CompoundHeuristic::new(subset, table.clone());
+    let mut hits = 0usize;
+    let mut candidates_total = 0usize;
+    for doc in docs {
+        let tree = TagTreeBuilder::default().build(&doc.html);
+        let root = if use_fanout {
+            tree.highest_fanout()
+        } else {
+            // Ablated: the document root's first child (html) — the naive
+            // "records are at the top" assumption.
+            tree.root()
+        };
+        let view = SubtreeView::for_subtree(&tree, root, threshold);
+        candidates_total += view.candidates().len();
+
+        let om = runner.om(doc.domain);
+        let rankings = {
+            use rbd_heuristics::{
+                ht::HighestCount, it::IdentifiableTags, rp::RepeatingPattern,
+                sd::StandardDeviation, Heuristic,
+            };
+            let ht = HighestCount;
+            let it = IdentifiableTags::default();
+            let sd = StandardDeviation;
+            let rp = RepeatingPattern::default();
+            let hs: [&dyn Heuristic; 5] = [om, &rp, &sd, &it, &ht];
+            hs.iter().filter_map(|h| h.rank(&view)).collect::<Vec<_>>()
+        };
+        let consensus = compound.combine(&rankings);
+        if consensus.unique_winner() == Some(doc.truth.separator.as_str()) {
+            hits += 1;
+        }
+    }
+    AblationPoint {
+        setting: String::new(),
+        accuracy: hits as f64 / docs.len() as f64,
+        mean_candidates: candidates_total as f64 / docs.len() as f64,
+    }
+}
+
+fn threshold_sweep(
+    runner: &HeuristicRunner,
+    table: &CertaintyTable,
+    docs: &[GeneratedDoc],
+) -> Vec<AblationPoint> {
+    [0.01, 0.05, 0.10, 0.20, 0.30]
+        .into_iter()
+        .map(|t| {
+            let mut p = evaluate(runner, table, docs, t, true, HeuristicSet::ORSIH);
+            p.setting = format!("threshold {t:.2}");
+            p
+        })
+        .collect()
+}
+
+fn subtree_choice(
+    runner: &HeuristicRunner,
+    table: &CertaintyTable,
+    docs: &[GeneratedDoc],
+) -> Vec<AblationPoint> {
+    let mut fanout = evaluate(runner, table, docs, 0.10, true, HeuristicSet::ORSIH);
+    fanout.setting = "highest fan-out subtree (paper)".to_owned();
+    let mut root = evaluate(runner, table, docs, 0.10, false, HeuristicSet::ORSIH);
+    root.setting = "document root (ablated)".to_owned();
+    vec![fanout, root]
+}
+
+fn leave_one_out(
+    runner: &HeuristicRunner,
+    table: &CertaintyTable,
+    docs: &[GeneratedDoc],
+) -> Vec<AblationPoint> {
+    let mut out = Vec::new();
+    let mut full = evaluate(runner, table, docs, 0.10, true, HeuristicSet::ORSIH);
+    full.setting = "ORSIH (paper)".to_owned();
+    out.push(full);
+    for kind in HeuristicKind::ALL {
+        let subset = HeuristicSet::of(HeuristicKind::ALL.into_iter().filter(|k| *k != kind));
+        let mut p = evaluate(runner, table, docs, 0.10, true, subset);
+        p.setting = format!("{subset} (without {kind})");
+        out.push(p);
+    }
+    out
+}
+
+impl fmt::Display for AblationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let section = |f: &mut fmt::Formatter<'_>, title: &str, points: &[AblationPoint]| {
+            writeln!(f, "{title}")?;
+            for p in points {
+                writeln!(
+                    f,
+                    "  {:<34} accuracy {:>5.1}%   mean candidates {:.1}",
+                    p.setting,
+                    p.accuracy * 100.0,
+                    p.mean_candidates
+                )?;
+            }
+            writeln!(f)
+        };
+        section(f, "Candidate-threshold sweep (§3: 10 %):", &self.threshold)?;
+        section(f, "Record-area selection (§3: highest fan-out):", &self.subtree)?;
+        section(f, "Leave-one-out heuristic subsets (§5.3: ORSIH):", &self.leave_one_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_SEED;
+
+    fn report() -> AblationReport {
+        let runner = HeuristicRunner::new().unwrap();
+        run_ablations(&runner, &CertaintyTable::paper_table4(), DEFAULT_SEED).unwrap()
+    }
+
+    #[test]
+    fn paper_threshold_is_optimal_or_tied() {
+        let r = report();
+        let at = |s: &str| {
+            r.threshold
+                .iter()
+                .find(|p| p.setting.contains(s))
+                .unwrap()
+                .accuracy
+        };
+        let paper = at("0.10");
+        for other in ["0.20", "0.30"] {
+            assert!(paper >= at(other), "threshold {other} beats the paper's 10%");
+        }
+    }
+
+    #[test]
+    fn fanout_selection_beats_root() {
+        let r = report();
+        assert!(r.subtree[0].accuracy > r.subtree[1].accuracy,
+            "fan-out {:.2} must beat root {:.2}",
+            r.subtree[0].accuracy, r.subtree[1].accuracy);
+    }
+
+    #[test]
+    fn full_orsih_at_least_ties_every_leave_one_out() {
+        let r = report();
+        let full = r.leave_one_out[0].accuracy;
+        for p in &r.leave_one_out[1..] {
+            assert!(
+                full >= p.accuracy,
+                "{} ({:.2}) beats ORSIH ({full:.2})",
+                p.setting,
+                p.accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let text = report().to_string();
+        assert!(text.contains("threshold 0.10"));
+        assert!(text.contains("ORSIH (paper)"));
+        assert!(text.contains("without OM"));
+    }
+}

@@ -1,0 +1,73 @@
+//! # rbd-eval — the experiment harness
+//!
+//! Regenerates every table of the paper's evaluation:
+//!
+//! | Table | Content | Module |
+//! |-------|---------|--------|
+//! | 1 | the ten calibration sites | [`calibration`] |
+//! | 2, 3 | per-heuristic rank distributions (obituaries, car ads) | [`calibration`] |
+//! | 4 | certainty factors (averaged distributions) | [`calibration`] |
+//! | 5 | success rates of all 26 heuristic combinations | [`combinations`] |
+//! | 6–9 | per-site ranks on the four test sets | [`testsets`] |
+//! | 10 | success rates of the individual heuristics and ORSIH | [`testsets`] |
+//!
+//! The corpus is synthetic (see `rbd-corpus` for the substitution argument);
+//! all experiments are deterministic in the seed. The default seed is
+//! [`DEFAULT_SEED`] and EXPERIMENTS.md records the outputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod calibration;
+pub mod combinations;
+pub mod extraction;
+pub mod runner;
+pub mod seeds;
+pub mod testsets;
+
+pub use ablation::{run_ablations, AblationReport};
+pub use extraction::{extraction_quality, extraction_quality_with_oov, ExtractionReport};
+pub use seeds::{seed_sweep, SeedSweep};
+pub use calibration::{calibrate, CalibrationReport, RankDistribution};
+pub use combinations::{combination_sweep, CombinationReport};
+pub use runner::{evaluate_document, DocEvaluation, HeuristicRunner};
+pub use testsets::{run_test_sets, TestSetReport, TestSiteRow};
+
+/// Default experiment seed (the paper's publication year).
+pub const DEFAULT_SEED: u64 = 1998;
+
+/// The success contribution of one document, `sc(D) = Y/X` (§5.3): `X`
+/// tags tie at the highest compound certainty, `Y` of them are correct.
+pub fn sc(winners: &[String], truth: &str) -> f64 {
+    if winners.is_empty() {
+        return 0.0;
+    }
+    let y = winners.iter().filter(|w| *w == truth).count();
+    y as f64 / winners.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sc_unique_correct() {
+        assert_eq!(sc(&["hr".into()], "hr"), 1.0);
+    }
+
+    #[test]
+    fn sc_unique_wrong() {
+        assert_eq!(sc(&["b".into()], "hr"), 0.0);
+    }
+
+    #[test]
+    fn sc_tie_half() {
+        assert_eq!(sc(&["b".into(), "hr".into()], "hr"), 0.5);
+    }
+
+    #[test]
+    fn sc_empty_zero() {
+        assert_eq!(sc(&[], "hr"), 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! HT — highest-count tags (§4.1).
+//!
+//! Ranks candidate tags in descending order of their appearance count among
+//! the highest-fan-out subtree's children. With many records, the separator
+//! tends to be frequent — but formatting tags (`b`, `br`) are often more
+//! frequent still, which is why HT is the weakest individual heuristic in
+//! the paper's experiments (Table 10: 45 %).
+
+use crate::ranking::{HeuristicKind, Ranking};
+use crate::view::SubtreeView;
+use crate::Heuristic;
+
+/// The highest-count-tags heuristic. Stateless.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HighestCount;
+
+impl Heuristic for HighestCount {
+    fn kind(&self) -> HeuristicKind {
+        HeuristicKind::HT
+    }
+
+    fn rank(&self, view: &SubtreeView<'_>) -> Option<Ranking> {
+        let scores: Vec<(String, f64)> = view
+            .candidates()
+            .iter()
+            .map(|c| (c.name.clone(), c.count as f64))
+            .collect();
+        Some(Ranking::from_scores(HeuristicKind::HT, scores, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::DEFAULT_CANDIDATE_THRESHOLD;
+    use rbd_tagtree::TagTreeBuilder;
+
+    #[test]
+    fn figure2_ht_order() {
+        // Counts among td's children: b=8, br=5, hr=4 → HT: [(b,1),(br,2),(hr,3)].
+        let src = "<html><body><table><tr><td>\
+            <h1>F</h1> x <hr>\
+            <b>A</b><br> x <b>M</b> x <br><hr>\
+            <b>B</b> x <b>H</b> <b>T</b> x <br><hr>\
+            <b>L</b><br> x <b>H2</b> <b>H3</b> x <br><hr>\
+            </td></tr></table></body></html>";
+        let tree = TagTreeBuilder::default().build(src);
+        let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        let r = HighestCount.rank(&view).unwrap();
+        assert_eq!(r.to_paper_string(), "HT: [(b, 1), (br, 2), (hr, 3)]");
+    }
+
+    #[test]
+    fn equal_counts_tie() {
+        let tree = TagTreeBuilder::default()
+            .build("<td><hr>a<br>b<hr>c<br>d</td>");
+        let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        let r = HighestCount.rank(&view).unwrap();
+        assert_eq!(r.rank_of("hr"), Some(1));
+        assert_eq!(r.rank_of("br"), Some(1));
+    }
+
+    #[test]
+    fn never_abstains() {
+        // Even an empty document yields a (possibly empty) ranking rather
+        // than an abstention.
+        let tree = TagTreeBuilder::default().build("");
+        let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        let r = HighestCount.rank(&view).unwrap();
+        assert!(r.is_empty());
+    }
+}

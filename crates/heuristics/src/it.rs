@@ -1,0 +1,125 @@
+//! IT — identifiable "separator" tags (§4.2).
+//!
+//! Both tool-generated and hand-written documents reuse a small set of tags
+//! to separate records. The paper's authors surveyed one hundred documents
+//! from ten sites and fixed this priority list:
+//!
+//! ```text
+//! hr tr td a table p br h4 h1 strong b i
+//! ```
+//!
+//! IT ranks candidates by their position in the list and *discards*
+//! candidates not on it. It was the strongest individual heuristic in the
+//! paper (Table 10: 95 %).
+
+use crate::ranking::{HeuristicKind, Ranking};
+use crate::view::SubtreeView;
+use crate::Heuristic;
+
+/// The paper's separator-tag priority list, best first.
+pub const PAPER_SEPARATOR_LIST: &[&str] = &[
+    "hr", "tr", "td", "a", "table", "p", "br", "h4", "h1", "strong", "b", "i",
+];
+
+/// The identifiable-separator-tags heuristic.
+#[derive(Debug, Clone)]
+pub struct IdentifiableTags {
+    list: Vec<String>,
+}
+
+impl Default for IdentifiableTags {
+    fn default() -> Self {
+        IdentifiableTags {
+            list: PAPER_SEPARATOR_LIST.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+}
+
+impl IdentifiableTags {
+    /// Uses the paper's list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uses a custom priority list (for ablation experiments).
+    pub fn with_list(list: Vec<String>) -> Self {
+        IdentifiableTags { list }
+    }
+
+    /// The active priority list.
+    pub fn list(&self) -> &[String] {
+        &self.list
+    }
+}
+
+impl Heuristic for IdentifiableTags {
+    fn kind(&self) -> HeuristicKind {
+        HeuristicKind::IT
+    }
+
+    fn rank(&self, view: &SubtreeView<'_>) -> Option<Ranking> {
+        let ordered: Vec<String> = self
+            .list
+            .iter()
+            .filter(|t| view.is_candidate(t))
+            .cloned()
+            .collect();
+        Some(Ranking::from_order(HeuristicKind::IT, ordered))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::DEFAULT_CANDIDATE_THRESHOLD;
+    use rbd_tagtree::TagTreeBuilder;
+
+    fn view_of(src: &str) -> (rbd_tagtree::TagTree, ()) {
+        (TagTreeBuilder::default().build(src), ())
+    }
+
+    #[test]
+    fn figure2_it_order() {
+        let src = "<td><hr><b>A</b><br>x y z<hr><b>B</b><br>x y z<hr><b>C</b><br>x y z<hr></td>";
+        let (tree, ()) = view_of(src);
+        let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        let r = IdentifiableTags::default().rank(&view).unwrap();
+        assert_eq!(r.to_paper_string(), "IT: [(hr, 1), (br, 2), (b, 3)]");
+    }
+
+    #[test]
+    fn unknown_candidates_discarded() {
+        let src = "<td><blink>a</blink><blink>b</blink><hr>c<hr>d</td>";
+        let (tree, ()) = view_of(src);
+        let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        let r = IdentifiableTags::default().rank(&view).unwrap();
+        assert_eq!(r.rank_of("hr"), Some(1));
+        assert_eq!(r.rank_of("blink"), None);
+    }
+
+    #[test]
+    fn empty_when_no_candidate_listed() {
+        let src = "<td><blink>a</blink><blink>b</blink><marquee>c</marquee><marquee>d</marquee></td>";
+        let (tree, ()) = view_of(src);
+        let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        let r = IdentifiableTags::default().rank(&view).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn custom_list() {
+        let src = "<td><dt>a</dt><dt>b</dt><dd>c</dd><dd>d</dd></td>";
+        let (tree, ()) = view_of(src);
+        let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        let it = IdentifiableTags::with_list(vec!["dt".into(), "dd".into()]);
+        let r = it.rank(&view).unwrap();
+        assert_eq!(r.best(), Some("dt"));
+    }
+
+    #[test]
+    fn paper_list_is_twelve_long() {
+        assert_eq!(PAPER_SEPARATOR_LIST.len(), 12);
+        assert_eq!(PAPER_SEPARATOR_LIST[0], "hr");
+        assert_eq!(PAPER_SEPARATOR_LIST[11], "i");
+    }
+}

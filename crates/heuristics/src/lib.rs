@@ -1,0 +1,108 @@
+//! # rbd-heuristics — the five record-boundary heuristics (§4)
+//!
+//! Each heuristic independently ranks the candidate separator tags of a
+//! document's highest-fan-out subtree:
+//!
+//! | Kind | Name | Signal |
+//! |------|------|--------|
+//! | [`ht::HighestCount`] | HT | appearance count, descending |
+//! | [`it::IdentifiableTags`] | IT | a fixed priority list of known separator tags |
+//! | [`sd::StandardDeviation`] | SD | regularity of plain-text interval sizes |
+//! | [`rp::RepeatingPattern`] | RP | adjacent-tag pairs at record boundaries |
+//! | [`om::OntologyMatching`] | OM | estimated record count from record-identifying fields |
+//!
+//! A heuristic may *abstain* (return `None`): RP when no qualifying tag pair
+//! exists, OM when the ontology offers fewer than three record-identifying
+//! fields. The compound heuristic in `rbd-certainty` combines whatever
+//! rankings are produced.
+//!
+//! ## Example
+//!
+//! ```
+//! use rbd_tagtree::TagTreeBuilder;
+//! use rbd_heuristics::{SubtreeView, Heuristic, it::IdentifiableTags};
+//!
+//! let html = "<html><body><table><tr><td>\
+//!   <hr><b>A</b><br> one <hr><b>B</b><br> two <hr><b>C</b><br> three \
+//!   </td></tr></table></body></html>";
+//! let tree = TagTreeBuilder::default().build(html);
+//! let view = SubtreeView::from_tree(&tree, 0.10);
+//! let ranking = IdentifiableTags::default().rank(&view).unwrap();
+//! assert_eq!(ranking.best(), Some("hr")); // hr leads the separator-tag list
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ht;
+pub mod it;
+pub mod om;
+pub mod ranking;
+pub mod rp;
+pub mod sd;
+pub mod view;
+
+pub use ranking::{HeuristicKind, RankEntry, Ranking};
+pub use view::SubtreeView;
+
+/// A record-boundary heuristic: ranks a view's candidate tags, or abstains.
+pub trait Heuristic {
+    /// Which of the paper's five heuristics this is.
+    fn kind(&self) -> HeuristicKind;
+
+    /// Ranks the candidate tags, best first. `None` means the heuristic
+    /// abstains for this document (RP with no qualifying pairs, OM without
+    /// enough record-identifying fields).
+    fn rank(&self, view: &SubtreeView<'_>) -> Option<Ranking>;
+}
+
+/// Runs every heuristic in `heuristics` over `view`, collecting the
+/// rankings of those that did not abstain.
+pub fn run_all(heuristics: &[&dyn Heuristic], view: &SubtreeView<'_>) -> Vec<Ranking> {
+    heuristics.iter().filter_map(|h| h.rank(view)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_tagtree::TagTreeBuilder;
+
+    #[test]
+    fn run_all_collects_non_abstaining_rankings() {
+        let tree = TagTreeBuilder::default().build(
+            "<td><hr><b>A</b>x text<hr><b>B</b>y text<hr><b>C</b>z text<hr></td>",
+        );
+        let view = SubtreeView::from_tree(&tree, view::DEFAULT_CANDIDATE_THRESHOLD);
+        let ht = ht::HighestCount;
+        let it = it::IdentifiableTags::default();
+        let sd = sd::StandardDeviation;
+        let rp = rp::RepeatingPattern::default();
+        let hs: [&dyn Heuristic; 4] = [&rp, &sd, &it, &ht];
+        let rankings = run_all(&hs, &view);
+        assert_eq!(rankings.len(), 4, "none should abstain here");
+        let kinds: Vec<HeuristicKind> = rankings.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                HeuristicKind::RP,
+                HeuristicKind::SD,
+                HeuristicKind::IT,
+                HeuristicKind::HT
+            ]
+        );
+    }
+
+    #[test]
+    fn run_all_skips_abstentions() {
+        // No adjacent candidate pairs → RP abstains, the rest answer.
+        let tree = TagTreeBuilder::default()
+            .build("<td><hr>text<hr>text<hr>text<b>x</b>text<b>y</b>text</td>");
+        let view = SubtreeView::from_tree(&tree, view::DEFAULT_CANDIDATE_THRESHOLD);
+        let rp = rp::RepeatingPattern::default();
+        let ht = ht::HighestCount;
+        let hs: [&dyn Heuristic; 2] = [&rp, &ht];
+        let rankings = run_all(&hs, &view);
+        assert_eq!(rankings.len(), 1);
+        assert_eq!(rankings[0].kind, HeuristicKind::HT);
+    }
+}

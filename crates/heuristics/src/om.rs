@@ -1,0 +1,189 @@
+//! OM — ontology matching (§4.5).
+//!
+//! Fields in one-to-one correspondence with (or functionally dependent on)
+//! the entity of interest appear once per record. Counting their indicators
+//! in the document's plain text estimates the number of records; the
+//! candidate tag whose appearance count is closest to that estimate is
+//! likely the separator.
+//!
+//! OM abstains when the ontology provides fewer than three
+//! record-identifying fields.
+
+use crate::ranking::{HeuristicKind, Ranking};
+use crate::view::SubtreeView;
+use crate::Heuristic;
+use rbd_ontology::rules::{om_field_budget, MatchKind};
+use rbd_ontology::{MatchingRules, Ontology};
+use rbd_pattern::PatternError;
+
+/// The ontology-matching heuristic, bound to one application ontology.
+#[derive(Debug, Clone)]
+pub struct OntologyMatching {
+    ontology: Ontology,
+    rules: MatchingRules,
+}
+
+impl OntologyMatching {
+    /// Compiles the matching rules of `ontology`.
+    pub fn new(ontology: Ontology) -> Result<Self, PatternError> {
+        let rules = ontology.matching_rules()?;
+        Ok(OntologyMatching { ontology, rules })
+    }
+
+    /// The bound ontology.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// Estimates the number of records in `text`: the average occurrence
+    /// count over the selected record-identifying fields. Returns `None`
+    /// (OM abstains) when fewer than three fields are available.
+    pub fn estimate_record_count(&self, text: &str) -> Option<f64> {
+        let fields = self.ontology.record_identifying_fields();
+        let budget = om_field_budget(&self.ontology, fields.len())?;
+        let counts: Vec<f64> = fields
+            .iter()
+            .take(budget)
+            .map(|f| self.count_field(f.object_set.name.as_str(), f.via_keywords, text))
+            .collect();
+        debug_assert!(counts.len() >= 3);
+        Some(counts.iter().sum::<f64>() / counts.len() as f64)
+    }
+
+    /// Counts one field's indicator occurrences, using the evidence kind
+    /// the selection chose for it (keywords preferred over values).
+    fn count_field(&self, object_set: &str, via_keywords: bool, text: &str) -> f64 {
+        let kind = if via_keywords {
+            MatchKind::Keyword
+        } else {
+            MatchKind::Constant
+        };
+        self.rules
+            .rules_for(object_set)
+            .filter(|r| r.kind == kind)
+            .map(|r| r.pattern.count_matches(text))
+            .sum::<usize>() as f64
+    }
+}
+
+impl OntologyMatching {
+    /// Ranks candidates against an externally supplied record-count
+    /// estimate — used by the integrated pipeline, where the estimate comes
+    /// from the recognizer's Data-Record Table instead of a fresh scan
+    /// (§4.5's amortization).
+    pub fn rank_with_estimate(view: &SubtreeView<'_>, estimate: f64) -> Ranking {
+        // "The number of appearances of each candidate tag" (§4.5) is read
+        // as appearances anywhere in the highest-fan-out subtree — the same
+        // basis SD and RP use — not merely among the root's immediate
+        // children (which is the *candidate selection* basis of §3).
+        let scores: Vec<(String, f64)> = view
+            .candidates()
+            .iter()
+            .map(|c| {
+                let occurrences = view.occurrence_count(&c.name) as f64;
+                (c.name.clone(), (occurrences - estimate).abs())
+            })
+            .collect();
+        Ranking::from_scores(HeuristicKind::OM, scores, true)
+    }
+}
+
+impl Heuristic for OntologyMatching {
+    fn kind(&self) -> HeuristicKind {
+        HeuristicKind::OM
+    }
+
+    fn rank(&self, view: &SubtreeView<'_>) -> Option<Ranking> {
+        let estimate = self.estimate_record_count(view.text())?;
+        Some(Self::rank_with_estimate(view, estimate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::DEFAULT_CANDIDATE_THRESHOLD;
+    use rbd_ontology::domains;
+    use rbd_tagtree::TagTreeBuilder;
+
+    fn obituary_doc() -> String {
+        let mut d = String::from("<html><body><table><tr><td><h1>Funeral Notices</h1>");
+        for (name, date) in [
+            ("Lemar K. Adamson", "September 30, 1998"),
+            ("Brian Fielding Frost", "September 30, 1998"),
+            ("Leonard Kenneth Gunther", "September 30, 1998"),
+        ] {
+            d.push_str(&format!(
+                "<hr><b>{name}</b><br>, age 85, died on {date}. He was born on January 5, 1913. \
+                 Funeral services will be held at 11:00 a.m. at MEMORIAL CHAPEL. \
+                 Interment at Holy Hope Cemetery. He is survived by his family.<br>"
+            ));
+        }
+        d.push_str("<hr></td></tr></table></body></html>");
+        d
+    }
+
+    #[test]
+    fn estimates_three_records() {
+        let om = OntologyMatching::new(domains::obituaries()).unwrap();
+        let doc = obituary_doc();
+        let tree = TagTreeBuilder::default().build(&doc);
+        let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        let est = om.estimate_record_count(view.text()).unwrap();
+        assert!(
+            (est - 3.0).abs() < 1.0,
+            "estimate {est} should be close to 3 records"
+        );
+    }
+
+    #[test]
+    fn ranks_separator_with_matching_count_first() {
+        let om = OntologyMatching::new(domains::obituaries()).unwrap();
+        let doc = obituary_doc();
+        let tree = TagTreeBuilder::default().build(&doc);
+        let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        // hr appears 4 times (3 records + trailing), br 6, b 3.
+        let r = om.rank(&view).unwrap();
+        let hr = r.rank_of("hr").unwrap();
+        let br = r.rank_of("br").unwrap();
+        assert!(hr <= br, "hr ({hr}) should rank at or above br ({br})");
+    }
+
+    #[test]
+    fn abstains_with_tiny_ontology() {
+        use rbd_ontology::{Cardinality, ObjectSet, Ontology};
+        let tiny = Ontology::new("tiny", "E")
+            .with(ObjectSet::new("A", Cardinality::OneToOne).keyword("alpha"))
+            .with(ObjectSet::new("B", Cardinality::Many).keyword("beta"));
+        let om = OntologyMatching::new(tiny).unwrap();
+        let tree = TagTreeBuilder::default().build("<td><hr>alpha<hr>alpha</td>");
+        let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        assert!(om.rank(&view).is_none());
+    }
+
+    #[test]
+    fn zero_matches_yield_zero_estimate() {
+        let om = OntologyMatching::new(domains::obituaries()).unwrap();
+        let est = om.estimate_record_count("nothing relevant here").unwrap();
+        assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn car_ads_estimate() {
+        let om = OntologyMatching::new(domains::car_ads()).unwrap();
+        let mut doc = String::from("<td>");
+        for i in 0..4 {
+            doc.push_str(&format!(
+                "<p>1995 Ford Taurus, white, auto, 62,000 miles, $6,{i}00 obo, \
+                 call (801) 555-123{i}</p>"
+            ));
+        }
+        doc.push_str("</td>");
+        let tree = TagTreeBuilder::default().build(&doc);
+        let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        let est = om.estimate_record_count(view.text()).unwrap();
+        assert!((est - 4.0).abs() <= 1.0, "estimate {est}");
+        let r = om.rank(&view).unwrap();
+        assert_eq!(r.best(), Some("p"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Rankings produced by heuristics.
+
+use std::fmt;
+
+/// Identifies one of the paper's five heuristics. The single-letter forms
+/// (`O R S I H`) match the paper's Table 5 notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HeuristicKind {
+    /// Ontology matching.
+    OM,
+    /// Repeating-tag pattern.
+    RP,
+    /// Standard deviation of separator intervals.
+    SD,
+    /// Identifiable "separator" tags.
+    IT,
+    /// Highest-count tags.
+    HT,
+}
+
+impl HeuristicKind {
+    /// All five, in the paper's ORSIH order.
+    pub const ALL: [HeuristicKind; 5] = [
+        HeuristicKind::OM,
+        HeuristicKind::RP,
+        HeuristicKind::SD,
+        HeuristicKind::IT,
+        HeuristicKind::HT,
+    ];
+
+    /// The paper's single-letter abbreviation.
+    pub fn letter(self) -> char {
+        match self {
+            HeuristicKind::OM => 'O',
+            HeuristicKind::RP => 'R',
+            HeuristicKind::SD => 'S',
+            HeuristicKind::IT => 'I',
+            HeuristicKind::HT => 'H',
+        }
+    }
+
+    /// Parses a single-letter abbreviation.
+    pub fn from_letter(c: char) -> Option<Self> {
+        Some(match c.to_ascii_uppercase() {
+            'O' => HeuristicKind::OM,
+            'R' => HeuristicKind::RP,
+            'S' => HeuristicKind::SD,
+            'I' => HeuristicKind::IT,
+            'H' => HeuristicKind::HT,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for HeuristicKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HeuristicKind::OM => "OM",
+            HeuristicKind::RP => "RP",
+            HeuristicKind::SD => "SD",
+            HeuristicKind::IT => "IT",
+            HeuristicKind::HT => "HT",
+        })
+    }
+}
+
+/// One ranked candidate tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankEntry {
+    /// Candidate tag name.
+    pub tag: String,
+    /// 1-based dense rank; tags with equal scores share a rank.
+    pub rank: usize,
+    /// The raw score that produced the rank (heuristic-specific; kept for
+    /// diagnostics and ablation experiments).
+    pub score: f64,
+}
+
+/// A heuristic's ranking of candidate tags, best first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranking {
+    /// Which heuristic produced it.
+    pub kind: HeuristicKind,
+    /// Entries sorted by rank (then input order for ties).
+    pub entries: Vec<RankEntry>,
+}
+
+impl Ranking {
+    /// Builds a ranking from `(tag, score)` pairs. When `ascending` is true
+    /// lower scores rank better (SD, RP, OM); otherwise higher scores rank
+    /// better (HT). Equal scores share a dense rank, reflecting that the
+    /// heuristic genuinely cannot distinguish them.
+    pub fn from_scores(
+        kind: HeuristicKind,
+        mut scores: Vec<(String, f64)>,
+        ascending: bool,
+    ) -> Self {
+        scores.sort_by(|a, b| {
+            let ord = a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal);
+            if ascending {
+                ord
+            } else {
+                ord.reverse()
+            }
+        });
+        let mut entries = Vec::with_capacity(scores.len());
+        let mut rank = 0usize;
+        let mut last_score: Option<f64> = None;
+        for (tag, score) in scores {
+            if last_score != Some(score) {
+                rank += 1;
+                last_score = Some(score);
+            }
+            entries.push(RankEntry { tag, rank, score });
+        }
+        Ranking { kind, entries }
+    }
+
+    /// Builds a ranking from an explicit best-first order (IT).
+    pub fn from_order(kind: HeuristicKind, tags: Vec<String>) -> Self {
+        let entries = tags
+            .into_iter()
+            .enumerate()
+            .map(|(i, tag)| RankEntry {
+                tag,
+                rank: i + 1,
+                score: (i + 1) as f64,
+            })
+            .collect();
+        Ranking { kind, entries }
+    }
+
+    /// The rank of `tag`, if ranked.
+    pub fn rank_of(&self, tag: &str) -> Option<usize> {
+        self.entries.iter().find(|e| e.tag == tag).map(|e| e.rank)
+    }
+
+    /// The best-ranked tag (first entry), if any.
+    pub fn best(&self) -> Option<&str> {
+        self.entries.first().map(|e| e.tag.as_str())
+    }
+
+    /// `true` when the ranking contains no tags.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of ranked tags.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Renders like the paper's §5.3 worked example:
+    /// `OM: [(hr, 1), (br, 2), (b, 3)]`.
+    pub fn to_paper_string(&self) -> String {
+        let inner: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| format!("({}, {})", e.tag, e.rank))
+            .collect();
+        format!("{}: [{}]", self.kind, inner.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn letters_roundtrip() {
+        for k in HeuristicKind::ALL {
+            assert_eq!(HeuristicKind::from_letter(k.letter()), Some(k));
+        }
+        assert_eq!(HeuristicKind::from_letter('x'), None);
+        assert_eq!(HeuristicKind::from_letter('o'), Some(HeuristicKind::OM));
+    }
+
+    #[test]
+    fn from_scores_descending() {
+        let r = Ranking::from_scores(
+            HeuristicKind::HT,
+            vec![
+                ("b".into(), 8.0),
+                ("br".into(), 5.0),
+                ("hr".into(), 4.0),
+            ],
+            false,
+        );
+        assert_eq!(r.best(), Some("b"));
+        assert_eq!(r.rank_of("hr"), Some(3));
+        assert_eq!(r.to_paper_string(), "HT: [(b, 1), (br, 2), (hr, 3)]");
+    }
+
+    #[test]
+    fn from_scores_ascending_with_ties() {
+        let r = Ranking::from_scores(
+            HeuristicKind::SD,
+            vec![
+                ("a".into(), 2.0),
+                ("b".into(), 1.0),
+                ("c".into(), 1.0),
+                ("d".into(), 3.0),
+            ],
+            true,
+        );
+        assert_eq!(r.rank_of("b"), Some(1));
+        assert_eq!(r.rank_of("c"), Some(1));
+        assert_eq!(r.rank_of("a"), Some(2)); // dense: next distinct score
+        assert_eq!(r.rank_of("d"), Some(3));
+    }
+
+    #[test]
+    fn from_order_assigns_sequential_ranks() {
+        let r = Ranking::from_order(
+            HeuristicKind::IT,
+            vec!["hr".into(), "br".into(), "b".into()],
+        );
+        assert_eq!(r.rank_of("hr"), Some(1));
+        assert_eq!(r.rank_of("b"), Some(3));
+        assert_eq!(r.rank_of("zz"), None);
+    }
+
+    #[test]
+    fn empty_ranking() {
+        let r = Ranking::from_order(HeuristicKind::RP, vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.best(), None);
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn infinity_scores_rank_last() {
+        let r = Ranking::from_scores(
+            HeuristicKind::SD,
+            vec![("a".into(), f64::INFINITY), ("b".into(), 0.5)],
+            true,
+        );
+        assert_eq!(r.best(), Some("b"));
+    }
+}

@@ -1,0 +1,262 @@
+//! HTML character-reference ("entity") decoding.
+//!
+//! Covers the named entities that actually occur in 1990s web documents plus
+//! decimal (`&#38;`) and hexadecimal (`&#x26;`) numeric references. Unknown
+//! references are passed through verbatim — a lenient choice that matches how
+//! period browsers behaved and keeps plain-text offsets sane for heuristics
+//! that count characters.
+
+/// Named entities recognized by [`decode_entities`]. Sorted by name so the
+/// table is binary-searchable.
+static NAMED: &[(&str, &str)] = &[
+    ("AElig", "\u{C6}"),
+    ("Aacute", "\u{C1}"),
+    ("Agrave", "\u{C0}"),
+    ("Auml", "\u{C4}"),
+    ("Eacute", "\u{C9}"),
+    ("Ntilde", "\u{D1}"),
+    ("Ouml", "\u{D6}"),
+    ("Uuml", "\u{DC}"),
+    ("aacute", "\u{E1}"),
+    ("agrave", "\u{E0}"),
+    ("amp", "&"),
+    ("apos", "'"),
+    ("auml", "\u{E4}"),
+    ("bull", "\u{2022}"),
+    ("cent", "\u{A2}"),
+    ("copy", "\u{A9}"),
+    ("deg", "\u{B0}"),
+    ("eacute", "\u{E9}"),
+    ("egrave", "\u{E8}"),
+    ("frac12", "\u{BD}"),
+    ("frac14", "\u{BC}"),
+    ("gt", ">"),
+    ("hellip", "\u{2026}"),
+    ("iexcl", "\u{A1}"),
+    ("laquo", "\u{AB}"),
+    ("ldquo", "\u{201C}"),
+    ("lsquo", "\u{2018}"),
+    ("lt", "<"),
+    ("mdash", "\u{2014}"),
+    ("middot", "\u{B7}"),
+    ("nbsp", "\u{A0}"),
+    ("ndash", "\u{2013}"),
+    ("ntilde", "\u{F1}"),
+    ("ouml", "\u{F6}"),
+    ("para", "\u{B6}"),
+    ("plusmn", "\u{B1}"),
+    ("pound", "\u{A3}"),
+    ("quot", "\""),
+    ("raquo", "\u{BB}"),
+    ("rdquo", "\u{201D}"),
+    ("reg", "\u{AE}"),
+    ("rsquo", "\u{2019}"),
+    ("sect", "\u{A7}"),
+    ("shy", "\u{AD}"),
+    ("times", "\u{D7}"),
+    ("trade", "\u{2122}"),
+    ("uuml", "\u{FC}"),
+    ("yen", "\u{A5}"),
+];
+
+fn lookup_named(name: &str) -> Option<&'static str> {
+    NAMED
+        .binary_search_by(|(n, _)| n.cmp(&name))
+        .ok()
+        .map(|i| NAMED[i].1)
+}
+
+/// Decodes character references in `input`.
+///
+/// Handles `&name;`, `&#1234;` and `&#xABCD;` forms. The terminating
+/// semicolon is required except for a handful of very common entities
+/// (`&amp` `&lt` `&gt` `&quot` `&nbsp`) which period documents frequently
+/// left unterminated. Anything unrecognized is copied through unchanged.
+///
+/// ```
+/// use rbd_html::decode_entities;
+/// assert_eq!(decode_entities("Mortuary &amp; Chapel"), "Mortuary & Chapel");
+/// assert_eq!(decode_entities("&#65;&#x42;"), "AB");
+/// assert_eq!(decode_entities("AT&T"), "AT&T"); // lenient pass-through
+/// ```
+pub fn decode_entities(input: &str) -> String {
+    if !input.contains('&') {
+        return input.to_owned();
+    }
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy the full UTF-8 character.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        match decode_one(&input[i..]) {
+            Some((decoded, consumed)) => {
+                out.push_str(decoded);
+                i += consumed;
+            }
+            None => {
+                out.push('&');
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Byte length of the UTF-8 character starting with `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Attempts to decode one reference at the start of `s` (which begins with
+/// `&`). Returns the decoded text and the number of source bytes consumed.
+fn decode_one(s: &str) -> Option<(&'static str, usize)> {
+    let rest = &s[1..];
+    if let Some(num) = rest.strip_prefix('#') {
+        return decode_numeric(num).map(|(ch, used)| (ch, used + 2));
+    }
+    // Longest-match a run of alphanumerics.
+    let name_len = rest
+        .bytes()
+        .take_while(|b| b.is_ascii_alphanumeric())
+        .count();
+    if name_len == 0 {
+        return None;
+    }
+    let name = &rest[..name_len];
+    let terminated = rest.as_bytes().get(name_len) == Some(&b';');
+    if let Some(decoded) = lookup_named(name) {
+        if terminated {
+            return Some((decoded, 1 + name_len + 1));
+        }
+        // Unterminated: only accept the classic few.
+        if matches!(name, "amp" | "lt" | "gt" | "quot" | "nbsp") {
+            return Some((decoded, 1 + name_len));
+        }
+    }
+    None
+}
+
+/// Decodes the numeric part of `&#...;`. `num` starts after `#`. Returns the
+/// character (leaked into a static cache for the common case of small code
+/// points) and bytes consumed after `&#`.
+fn decode_numeric(num: &str) -> Option<(&'static str, usize)> {
+    let (digits, radix) = match num.strip_prefix(['x', 'X']) {
+        Some(hex) => (hex, 16u32),
+        None => (num, 10u32),
+    };
+    let len = digits
+        .bytes()
+        .take_while(|b| (*b as char).is_digit(radix))
+        .count();
+    if len == 0 || len > 7 {
+        return None;
+    }
+    let code = u32::from_str_radix(&digits[..len], radix).ok()?;
+    let ch = char::from_u32(code)?;
+    let mut consumed = len + if radix == 16 { 1 } else { 0 };
+    if digits.as_bytes().get(len) == Some(&b';') {
+        consumed += 1;
+    }
+    Some((cached_char(ch), consumed))
+}
+
+/// Interns single characters as `&'static str`. ASCII characters come from a
+/// static table; anything else is boxed and leaked (bounded in practice by
+/// the distinct characters in a document).
+fn cached_char(ch: char) -> &'static str {
+    const ASCII: &str = "\0\u{1}\u{2}\u{3}\u{4}\u{5}\u{6}\u{7}\u{8}\t\n\u{b}\u{c}\r\u{e}\u{f}\
+         \u{10}\u{11}\u{12}\u{13}\u{14}\u{15}\u{16}\u{17}\u{18}\u{19}\u{1a}\u{1b}\u{1c}\u{1d}\u{1e}\u{1f}\
+         \u{20}!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~\u{7f}";
+    if ch.is_ascii() {
+        let i = ch as usize;
+        &ASCII[i..i + 1]
+    } else {
+        // Rare path: leak a tiny allocation.
+        Box::leak(ch.to_string().into_boxed_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_table_is_sorted() {
+        for w in NAMED.windows(2) {
+            assert!(w[0].0 < w[1].0, "{} !< {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn common_named_entities() {
+        assert_eq!(decode_entities("&amp;"), "&");
+        assert_eq!(decode_entities("&lt;b&gt;"), "<b>");
+        assert_eq!(decode_entities("&quot;hi&quot;"), "\"hi\"");
+        assert_eq!(decode_entities("a&nbsp;b"), "a\u{A0}b");
+        assert_eq!(decode_entities("&copy; 1998"), "\u{A9} 1998");
+    }
+
+    #[test]
+    fn unterminated_classics() {
+        assert_eq!(decode_entities("AT&amp T"), "AT& T");
+        assert_eq!(decode_entities("1 &lt 2"), "1 < 2");
+    }
+
+    #[test]
+    fn unterminated_uncommon_passes_through() {
+        assert_eq!(decode_entities("&copy 1998"), "&copy 1998");
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(decode_entities("&#65;"), "A");
+        assert_eq!(decode_entities("&#x41;"), "A");
+        assert_eq!(decode_entities("&#X41;"), "A");
+        assert_eq!(decode_entities("&#8212;"), "\u{2014}");
+    }
+
+    #[test]
+    fn numeric_without_semicolon() {
+        assert_eq!(decode_entities("&#65 b"), "A b");
+    }
+
+    #[test]
+    fn invalid_references_pass_through() {
+        assert_eq!(decode_entities("&;"), "&;");
+        assert_eq!(decode_entities("&#;"), "&#;");
+        assert_eq!(decode_entities("&#xZZ;"), "&#xZZ;");
+        assert_eq!(decode_entities("fish & chips"), "fish & chips");
+        assert_eq!(decode_entities("&bogusentity;"), "&bogusentity;");
+    }
+
+    #[test]
+    fn surrogate_code_points_rejected() {
+        assert_eq!(decode_entities("&#xD800;"), "&#xD800;");
+    }
+
+    #[test]
+    fn no_ampersand_fast_path() {
+        assert_eq!(decode_entities("plain text"), "plain text");
+    }
+
+    #[test]
+    fn multibyte_passthrough() {
+        assert_eq!(decode_entities("caf\u{E9} &amp; bar"), "caf\u{E9} & bar");
+    }
+
+    #[test]
+    fn adjacent_references() {
+        assert_eq!(decode_entities("&lt;&lt;&gt;&gt;"), "<<>>");
+    }
+}

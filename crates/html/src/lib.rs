@@ -1,0 +1,97 @@
+//! # rbd-html — a from-scratch HTML tokenizer
+//!
+//! This crate is the lowest substrate of the record-boundary discovery
+//! pipeline (Embley, Jiang & Ng, SIGMOD 1999). It turns raw HTML bytes into a
+//! stream of [`Token`]s: start-tags (with parsed attributes), end-tags,
+//! comments, doctype declarations, and plain text with character references
+//! decoded.
+//!
+//! The tokenizer is deliberately forgiving — 1990s web documents are full of
+//! unclosed tags, stray `>` characters, unquoted attribute values and bogus
+//! comments — and never fails on malformed input. Errors that a strict parser
+//! would raise are instead recorded as [`Warning`]s alongside the token
+//! stream, so callers can still observe document quality.
+//!
+//! What this crate intentionally does *not* do:
+//!
+//! * build a DOM — tree construction is the job of `rbd-tagtree`, which
+//!   implements the paper's Appendix A algorithm over this token stream;
+//! * enforce HTML5 parsing-spec state-machine details — the paper predates
+//!   HTML5 and its algorithm only needs tag/text segmentation.
+//!
+//! ## Example
+//!
+//! ```
+//! use rbd_html::{tokenize, Token};
+//!
+//! let tokens = tokenize("<b>Brian &amp; Field</b><hr>");
+//! assert_eq!(tokens.tokens.len(), 4);
+//! assert!(matches!(&tokens.tokens[0], Token::Start(t) if t.name == "b"));
+//! assert!(matches!(&tokens.tokens[1], Token::Text(t) if t.text == "Brian & Field"));
+//! assert!(matches!(&tokens.tokens[2], Token::End(t) if t.name == "b"));
+//! assert!(matches!(&tokens.tokens[3], Token::Start(t) if t.name == "hr"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod entities;
+pub mod span;
+pub mod token;
+pub mod tokenizer;
+
+pub use entities::decode_entities;
+pub use span::Span;
+pub use token::{Attribute, EndTag, StartTag, Text, Token};
+pub use tokenizer::{tokenize, tokenize_xml, TokenStream, Tokenizer, Warning, WarningKind};
+
+/// Returns `true` for element names that, in pre-HTML5 practice, never take
+/// an end tag ("void" elements). The tag-tree builder uses this only as a
+/// hint for diagnostics; the paper's algorithm closes *any* dangling
+/// start-tag at the next enclosing end-tag, so correctness does not depend
+/// on this list.
+pub fn is_void_element(name: &str) -> bool {
+    matches!(
+        name,
+        "area"
+            | "base"
+            | "basefont"
+            | "br"
+            | "col"
+            | "frame"
+            | "hr"
+            | "img"
+            | "input"
+            | "isindex"
+            | "link"
+            | "meta"
+            | "param"
+            | "wbr"
+    )
+}
+
+/// Returns `true` for elements whose content is raw text (no nested markup):
+/// the tokenizer treats everything until the matching end tag as text.
+pub fn is_raw_text_element(name: &str) -> bool {
+    matches!(name, "script" | "style" | "xmp" | "textarea" | "title")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn void_elements_include_hr_and_br() {
+        assert!(is_void_element("hr"));
+        assert!(is_void_element("br"));
+        assert!(!is_void_element("b"));
+        assert!(!is_void_element("td"));
+    }
+
+    #[test]
+    fn raw_text_elements() {
+        assert!(is_raw_text_element("script"));
+        assert!(is_raw_text_element("style"));
+        assert!(!is_raw_text_element("div"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Byte spans into the source document.
+//!
+//! Every token carries the half-open byte range it was lexed from so that
+//! downstream components (record chunking, the Data-Record Table) can slice
+//! the original document without re-parsing.
+
+use std::fmt;
+use std::ops::Range;
+
+/// A half-open byte range `[start, end)` into the source document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// Byte offset of the first byte covered by the span.
+    pub start: usize,
+    /// Byte offset one past the last byte covered by the span.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `start > end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end, "inverted span {start}..{end}");
+        Span { start, end }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` if `pos` falls inside the span.
+    pub fn contains(&self, pos: usize) -> bool {
+        self.start <= pos && pos < self.end
+    }
+
+    /// `true` if `other` lies entirely within `self`.
+    pub fn encloses(&self, other: Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Smallest span that covers both `self` and `other`.
+    pub fn join(&self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// Slices `source` with this span.
+    ///
+    /// # Panics
+    /// Panics if the span is out of bounds for `source` or splits a UTF-8
+    /// character, mirroring slice indexing.
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start..self.end]
+    }
+}
+
+impl From<Range<usize>> for Span {
+    fn from(r: Range<usize>) -> Self {
+        Span::new(r.start, r.end)
+    }
+}
+
+impl From<Span> for Range<usize> {
+    fn from(s: Span) -> Self {
+        s.start..s.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let s = Span::new(2, 5);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(s.contains(2));
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    fn empty_span() {
+        let s = Span::new(3, 3);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn encloses_and_join() {
+        let outer = Span::new(0, 10);
+        let inner = Span::new(3, 7);
+        assert!(outer.encloses(inner));
+        assert!(!inner.encloses(outer));
+        assert_eq!(inner.join(Span::new(8, 12)), Span::new(3, 12));
+    }
+
+    #[test]
+    fn slicing() {
+        let src = "hello world";
+        assert_eq!(Span::new(6, 11).slice(src), "world");
+    }
+
+    #[test]
+    fn range_conversions() {
+        let s: Span = (1..4).into();
+        assert_eq!(s, Span::new(1, 4));
+        let r: Range<usize> = s.into();
+        assert_eq!(r, 1..4);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Span::new(1, 4).to_string(), "1..4");
+    }
+}

@@ -1,0 +1,242 @@
+//! Token types produced by the tokenizer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A parsed attribute of a start tag, e.g. `bgcolor="#FFFFFF"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, lower-cased.
+    pub name: String,
+    /// Attribute value with surrounding quotes removed and entities decoded.
+    /// `None` for bare boolean attributes such as `noshade`.
+    pub value: Option<String>,
+}
+
+impl Attribute {
+    /// Convenience constructor for a valued attribute.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            value: Some(value.into()),
+        }
+    }
+
+    /// Convenience constructor for a bare (valueless) attribute.
+    pub fn bare(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            value: None,
+        }
+    }
+}
+
+/// A start tag such as `<td align="left">`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartTag {
+    /// Tag name, lower-cased (`td`).
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<Attribute>,
+    /// `true` for XML-style self-closing syntax (`<br/>`).
+    pub self_closing: bool,
+    /// Byte range of the whole tag including angle brackets.
+    pub span: Span,
+}
+
+impl StartTag {
+    /// Looks up an attribute value by (lower-case) name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|a| a.name == name)
+            .and_then(|a| a.value.as_deref())
+    }
+}
+
+/// An end tag such as `</td>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndTag {
+    /// Tag name, lower-cased, without the leading slash.
+    pub name: String,
+    /// Byte range of the whole tag including angle brackets.
+    pub span: Span,
+}
+
+/// A run of plain text between tags, with character references decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Text {
+    /// Decoded text content.
+    pub text: String,
+    /// Byte range in the *source* document (pre-decoding).
+    pub span: Span,
+}
+
+/// One lexical token of an HTML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A start tag (`<b>`, `<hr>`, `<table border=1>`, …).
+    Start(StartTag),
+    /// An end tag (`</b>`).
+    End(EndTag),
+    /// Plain text between tags.
+    Text(Text),
+    /// A comment (`<!-- … -->`) or other `<!…>` markup declaration.
+    /// The paper discards these; they are surfaced so the tag-tree layer can
+    /// count what it drops.
+    Comment(Span),
+    /// A `<!DOCTYPE …>` declaration.
+    Doctype(Span),
+    /// A processing instruction (`<? … ?>`), rare in 1990s HTML but accepted.
+    ProcessingInstruction(Span),
+}
+
+impl Token {
+    /// The byte span of the token in the source document.
+    pub fn span(&self) -> Span {
+        match self {
+            Token::Start(t) => t.span,
+            Token::End(t) => t.span,
+            Token::Text(t) => t.span,
+            Token::Comment(s) | Token::Doctype(s) | Token::ProcessingInstruction(s) => *s,
+        }
+    }
+
+    /// Tag name if this token is a start or end tag.
+    pub fn tag_name(&self) -> Option<&str> {
+        match self {
+            Token::Start(t) => Some(&t.name),
+            Token::End(t) => Some(&t.name),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is a start tag with the given name.
+    pub fn is_start(&self, name: &str) -> bool {
+        matches!(self, Token::Start(t) if t.name == name)
+    }
+
+    /// `true` if this is an end tag with the given name.
+    pub fn is_end(&self, name: &str) -> bool {
+        matches!(self, Token::End(t) if t.name == name)
+    }
+}
+
+/// Escapes text content so it re-tokenizes to the same text.
+fn escape_text(s: &str, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    use fmt::Write as _;
+    for c in s.chars() {
+        match c {
+            '&' => out.write_str("&amp;")?,
+            '<' => out.write_str("&lt;")?,
+            '>' => out.write_str("&gt;")?,
+            c => out.write_char(c)?,
+        }
+    }
+    Ok(())
+}
+
+/// Escapes a double-quoted attribute value.
+fn escape_attr(s: &str, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    use fmt::Write as _;
+    for c in s.chars() {
+        match c {
+            '&' => out.write_str("&amp;")?,
+            '"' => out.write_str("&quot;")?,
+            c => out.write_char(c)?,
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Token {
+    /// Serializes the token back to markup. Text and attribute values are
+    /// escaped, so rendering a token stream and re-tokenizing it yields an
+    /// equivalent stream (property-tested in `tests/invariants.rs`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use fmt::Write as _;
+        match self {
+            Token::Start(t) => {
+                write!(f, "<{}", t.name)?;
+                for a in &t.attrs {
+                    match &a.value {
+                        Some(v) => {
+                            write!(f, " {}=\"", a.name)?;
+                            escape_attr(v, f)?;
+                            f.write_char('"')?;
+                        }
+                        None => write!(f, " {}", a.name)?,
+                    }
+                }
+                if t.self_closing {
+                    write!(f, "/")?;
+                }
+                write!(f, ">")
+            }
+            Token::End(t) => write!(f, "</{}>", t.name),
+            Token::Text(t) => escape_text(&t.text, f),
+            Token::Comment(_) => f.write_str("<!-- comment -->"),
+            Token::Doctype(_) => f.write_str("<!DOCTYPE html>"),
+            Token::ProcessingInstruction(_) => f.write_str("<?pi?>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str) -> Token {
+        Token::Start(StartTag {
+            name: name.into(),
+            attrs: vec![],
+            self_closing: false,
+            span: Span::new(0, 0),
+        })
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let t = StartTag {
+            name: "body".into(),
+            attrs: vec![Attribute::new("bgcolor", "#FFFFFF"), Attribute::bare("x")],
+            self_closing: false,
+            span: Span::new(0, 10),
+        };
+        assert_eq!(t.attr("bgcolor"), Some("#FFFFFF"));
+        assert_eq!(t.attr("x"), None); // bare attribute has no value
+        assert_eq!(t.attr("missing"), None);
+    }
+
+    #[test]
+    fn token_predicates() {
+        let s = start("hr");
+        assert!(s.is_start("hr"));
+        assert!(!s.is_start("b"));
+        assert!(!s.is_end("hr"));
+        assert_eq!(s.tag_name(), Some("hr"));
+
+        let e = Token::End(EndTag {
+            name: "b".into(),
+            span: Span::new(0, 4),
+        });
+        assert!(e.is_end("b"));
+        assert_eq!(e.tag_name(), Some("b"));
+    }
+
+    #[test]
+    fn display_roundtrips_simple_tags() {
+        let t = Token::Start(StartTag {
+            name: "h1".into(),
+            attrs: vec![Attribute::new("align", "left")],
+            self_closing: false,
+            span: Span::new(0, 0),
+        });
+        assert_eq!(t.to_string(), "<h1 align=\"left\">");
+        let e = Token::End(EndTag {
+            name: "h1".into(),
+            span: Span::new(0, 0),
+        });
+        assert_eq!(e.to_string(), "</h1>");
+    }
+}

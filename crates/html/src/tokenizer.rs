@@ -1,0 +1,743 @@
+//! The HTML tokenizer proper.
+//!
+//! A hand-written, single-pass, byte-oriented scanner. It is `O(n)` in the
+//! document length — the property the paper's overall complexity argument
+//! rests on — and never allocates proportionally more than the output
+//! requires.
+
+use crate::entities::decode_entities;
+use crate::is_raw_text_element;
+use crate::span::Span;
+use crate::token::{Attribute, EndTag, StartTag, Text, Token};
+
+/// A non-fatal oddity observed while tokenizing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warning {
+    /// What went wrong.
+    pub kind: WarningKind,
+    /// Where in the source it was observed.
+    pub span: Span,
+}
+
+/// Classification of tokenizer warnings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarningKind {
+    /// `<` appeared but no plausible tag followed; treated as text.
+    StrayLessThan,
+    /// A tag was still open at end of input; the partial tag was dropped.
+    UnterminatedTag,
+    /// A comment was still open at end of input.
+    UnterminatedComment,
+    /// A raw-text element (e.g. `<script>`) was never closed.
+    UnterminatedRawText,
+    /// An attribute value's closing quote was missing.
+    UnterminatedAttributeValue,
+}
+
+/// The output of [`tokenize`]: the token stream plus any warnings.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream {
+    /// Tokens in document order.
+    pub tokens: Vec<Token>,
+    /// Non-fatal parse oddities, in document order.
+    pub warnings: Vec<Warning>,
+}
+
+impl TokenStream {
+    /// Iterates over only the start/end tag tokens.
+    pub fn tags(&self) -> impl Iterator<Item = &Token> {
+        self.tokens
+            .iter()
+            .filter(|t| matches!(t, Token::Start(_) | Token::End(_)))
+    }
+
+    /// Concatenated plain text of the document.
+    pub fn plain_text(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tokens {
+            if let Token::Text(t) = t {
+                out.push_str(&t.text);
+            }
+        }
+        out
+    }
+}
+
+/// Tokenizes an HTML document. Never fails; malformed constructs degrade to
+/// text and produce [`Warning`]s.
+pub fn tokenize(source: &str) -> TokenStream {
+    Tokenizer::new(source).run()
+}
+
+/// Tokenizes an XML document (case-sensitive names, CDATA, no raw-text
+/// elements). Equally forgiving of malformed input.
+pub fn tokenize_xml(source: &str) -> TokenStream {
+    Tokenizer::new_xml(source).run()
+}
+
+/// Streaming tokenizer over a borrowed source document.
+///
+/// Most callers want the convenience function [`tokenize`]; the struct form
+/// exists so the tag-tree builder can reuse the scanner incrementally.
+pub struct Tokenizer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    out: TokenStream,
+    /// When `Some(name)`, we are inside a raw-text element and scan for its
+    /// end tag only.
+    raw_text: Option<String>,
+    /// XML mode: tag names keep their case, `<![CDATA[…]]>` sections become
+    /// text, and no element is raw-text. The paper's footnote 1 claims the
+    /// approach "should carry over directly to other document type
+    /// definitions, such as XML" — this mode is that claim, implemented.
+    xml: bool,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Creates an HTML tokenizer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Tokenizer {
+            src: source,
+            bytes: source.as_bytes(),
+            pos: 0,
+            out: TokenStream::default(),
+            raw_text: None,
+            xml: false,
+        }
+    }
+
+    /// Creates an XML tokenizer: case-sensitive names, CDATA sections, no
+    /// raw-text elements.
+    pub fn new_xml(source: &'a str) -> Self {
+        Tokenizer {
+            xml: true,
+            ..Tokenizer::new(source)
+        }
+    }
+
+    /// Runs the tokenizer to completion.
+    pub fn run(mut self) -> TokenStream {
+        while self.pos < self.bytes.len() {
+            if let Some(name) = self.raw_text.take() {
+                self.scan_raw_text(&name);
+                continue;
+            }
+            if self.bytes[self.pos] == b'<' {
+                self.scan_markup();
+            } else {
+                self.scan_text();
+            }
+        }
+        self.out
+    }
+
+    fn warn(&mut self, kind: WarningKind, span: Span) {
+        self.out.warnings.push(Warning { kind, span });
+    }
+
+    /// Consumes plain text up to the next `<` (or EOF) and emits a Text
+    /// token unless the run is entirely empty.
+    fn scan_text(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        self.emit_text(start, self.pos);
+    }
+
+    fn emit_text(&mut self, start: usize, end: usize) {
+        if start == end {
+            return;
+        }
+        let raw = &self.src[start..end];
+        self.out.tokens.push(Token::Text(Text {
+            text: decode_entities(raw),
+            span: Span::new(start, end),
+        }));
+    }
+
+    /// Dispatches on the character after `<`.
+    fn scan_markup(&mut self) {
+        let start = self.pos;
+        debug_assert_eq!(self.bytes[start], b'<');
+        match self.bytes.get(start + 1) {
+            Some(b'!') => self.scan_declaration(start),
+            Some(b'?') => self.scan_processing_instruction(start),
+            Some(b'/') => self.scan_end_tag(start),
+            Some(c) if c.is_ascii_alphabetic() => self.scan_start_tag(start),
+            _ => {
+                // `<` followed by junk: emit the `<` as text, keep going.
+                self.warn(WarningKind::StrayLessThan, Span::new(start, start + 1));
+                self.pos = start + 1;
+                self.emit_text(start, start + 1);
+            }
+        }
+    }
+
+    /// `<!-- … -->`, `<!DOCTYPE …>`, `<![CDATA[…]]>` (XML mode), or any
+    /// other `<!…>` construct.
+    fn scan_declaration(&mut self, start: usize) {
+        if self.xml && self.src[start..].starts_with("<![CDATA[") {
+            let body_start = start + 9;
+            match find_sub(self.bytes, b"]]>", body_start) {
+                Some(end) => {
+                    self.out.tokens.push(Token::Text(Text {
+                        text: self.src[body_start..end].to_owned(),
+                        span: Span::new(start, end + 3),
+                    }));
+                    self.pos = end + 3;
+                }
+                None => {
+                    let span = Span::new(start, self.bytes.len());
+                    self.warn(WarningKind::UnterminatedComment, span);
+                    self.out.tokens.push(Token::Text(Text {
+                        text: self.src[body_start.min(self.bytes.len())..].to_owned(),
+                        span,
+                    }));
+                    self.pos = self.bytes.len();
+                }
+            }
+            return;
+        }
+        if self.src[start..].starts_with("<!--") {
+            match find_sub(self.bytes, b"-->", start + 4) {
+                Some(end) => {
+                    let span = Span::new(start, end + 3);
+                    self.out.tokens.push(Token::Comment(span));
+                    self.pos = end + 3;
+                }
+                None => {
+                    let span = Span::new(start, self.bytes.len());
+                    self.warn(WarningKind::UnterminatedComment, span);
+                    self.out.tokens.push(Token::Comment(span));
+                    self.pos = self.bytes.len();
+                }
+            }
+            return;
+        }
+        // <!DOCTYPE …> or a bogus <! …> comment — scan to `>`.
+        let end = find_byte(self.bytes, b'>', start + 2).unwrap_or(self.bytes.len());
+        let close = (end < self.bytes.len()) as usize;
+        let span = Span::new(start, end + close);
+        if close == 0 {
+            self.warn(WarningKind::UnterminatedComment, span);
+        }
+        let body = &self.src[start + 2..end];
+        // `get(..7)` rather than slicing: the body may hold multibyte text
+        // and a "doctype" prefix is ASCII, so a non-boundary cut means "no".
+        if body
+            .get(..7)
+            .is_some_and(|p| p.eq_ignore_ascii_case("doctype"))
+        {
+            self.out.tokens.push(Token::Doctype(span));
+        } else {
+            // The paper treats every `<!…` tag as a comment to discard.
+            self.out.tokens.push(Token::Comment(span));
+        }
+        self.pos = end + close;
+    }
+
+    fn scan_processing_instruction(&mut self, start: usize) {
+        let end = find_byte(self.bytes, b'>', start + 2).unwrap_or(self.bytes.len());
+        let close = (end < self.bytes.len()) as usize;
+        let span = Span::new(start, end + close);
+        if close == 0 {
+            self.warn(WarningKind::UnterminatedTag, span);
+        }
+        self.out.tokens.push(Token::ProcessingInstruction(span));
+        self.pos = end + close;
+    }
+
+    fn scan_end_tag(&mut self, start: usize) {
+        // `</` then name then optional junk then `>`.
+        let name_start = start + 2;
+        let mut i = name_start;
+        while i < self.bytes.len() && is_name_byte(self.bytes[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            // `</>` or `</ …`: treat as stray text.
+            self.warn(WarningKind::StrayLessThan, Span::new(start, start + 2));
+            self.pos = start + 1;
+            self.emit_text(start, start + 1);
+            return;
+        }
+        let name = self.tag_name(name_start, i);
+        let end = find_byte(self.bytes, b'>', i).unwrap_or(self.bytes.len());
+        let close = (end < self.bytes.len()) as usize;
+        let span = Span::new(start, end + close);
+        if close == 0 {
+            self.warn(WarningKind::UnterminatedTag, span);
+        }
+        self.out.tokens.push(Token::End(EndTag { name, span }));
+        self.pos = end + close;
+    }
+
+    fn scan_start_tag(&mut self, start: usize) {
+        let name_start = start + 1;
+        let mut i = name_start;
+        while i < self.bytes.len() && is_name_byte(self.bytes[i]) {
+            i += 1;
+        }
+        let name = self.tag_name(name_start, i);
+        let (attrs, self_closing, after) = self.scan_attributes(i);
+        let span = Span::new(start, after);
+        if after == self.bytes.len() && self.bytes[after - 1] != b'>' {
+            self.warn(WarningKind::UnterminatedTag, span);
+        }
+        if !self_closing && !self.xml && is_raw_text_element(&name) {
+            self.raw_text = Some(name.clone());
+        }
+        self.out.tokens.push(Token::Start(StartTag {
+            name,
+            attrs,
+            self_closing,
+            span,
+        }));
+        self.pos = after;
+    }
+
+    /// Tag names are lower-cased in HTML mode; XML is case-sensitive.
+    fn tag_name(&self, start: usize, end: usize) -> String {
+        if self.xml {
+            self.src[start..end].to_owned()
+        } else {
+            self.src[start..end].to_ascii_lowercase()
+        }
+    }
+
+    /// Parses the attribute list starting at `i` (just after the tag name).
+    /// Returns `(attrs, self_closing, position after '>')`.
+    fn scan_attributes(&mut self, mut i: usize) -> (Vec<Attribute>, bool, usize) {
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            // Skip whitespace.
+            while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            match self.bytes.get(i) {
+                None => return (attrs, self_closing, i),
+                Some(b'>') => return (attrs, self_closing, i + 1),
+                Some(b'/') => {
+                    // Self-closing only if `/>`; a lone `/` is skipped.
+                    if self.bytes.get(i + 1) == Some(&b'>') {
+                        self_closing = true;
+                        return (attrs, self_closing, i + 2);
+                    }
+                    i += 1;
+                }
+                Some(_) => {
+                    let (attr, next) = self.scan_one_attribute(i);
+                    if let Some(a) = attr {
+                        attrs.push(a);
+                    }
+                    // Guarantee progress even on pathological input.
+                    i = next.max(i + 1);
+                }
+            }
+        }
+    }
+
+    /// Parses a single `name`, `name=value`, `name="value"` or `name='value'`
+    /// attribute starting at non-whitespace position `i`.
+    fn scan_one_attribute(&mut self, mut i: usize) -> (Option<Attribute>, usize) {
+        let name_start = i;
+        while i < self.bytes.len() && !matches!(self.bytes[i], b'=' | b'>' | b'/') && !self.bytes[i].is_ascii_whitespace()
+        {
+            i += 1;
+        }
+        if i == name_start {
+            return (None, i + 1);
+        }
+        let name = self.src[name_start..i].to_ascii_lowercase();
+        // Skip whitespace around `=`.
+        let mut j = i;
+        while j < self.bytes.len() && self.bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if self.bytes.get(j) != Some(&b'=') {
+            return (Some(Attribute { name, value: None }), i);
+        }
+        j += 1;
+        while j < self.bytes.len() && self.bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        match self.bytes.get(j) {
+            Some(&q) if q == b'"' || q == b'\'' => {
+                let val_start = j + 1;
+                match find_byte(self.bytes, q, val_start) {
+                    Some(end) => {
+                        let value = decode_entities(&self.src[val_start..end]);
+                        (
+                            Some(Attribute {
+                                name,
+                                value: Some(value),
+                            }),
+                            end + 1,
+                        )
+                    }
+                    None => {
+                        self.warn(
+                            WarningKind::UnterminatedAttributeValue,
+                            Span::new(val_start, self.bytes.len()),
+                        );
+                        let value = decode_entities(&self.src[val_start..]);
+                        (
+                            Some(Attribute {
+                                name,
+                                value: Some(value),
+                            }),
+                            self.bytes.len(),
+                        )
+                    }
+                }
+            }
+            _ => {
+                // Unquoted value: up to whitespace or '>'.
+                let val_start = j;
+                let mut k = j;
+                while k < self.bytes.len()
+                    && self.bytes[k] != b'>'
+                    && !self.bytes[k].is_ascii_whitespace()
+                {
+                    k += 1;
+                }
+                let value = decode_entities(&self.src[val_start..k]);
+                (
+                    Some(Attribute {
+                        name,
+                        value: Some(value),
+                    }),
+                    k,
+                )
+            }
+        }
+    }
+
+    /// Inside `<script>`/`<style>`/…: everything until the matching end tag
+    /// is one text token; no entity decoding (raw text).
+    fn scan_raw_text(&mut self, name: &str) {
+        let start = self.pos;
+        let mut i = start;
+        let closing_at = loop {
+            match find_byte(self.bytes, b'<', i) {
+                None => break None,
+                Some(lt) => {
+                    if self.bytes.get(lt + 1) == Some(&b'/')
+                        && self.src[lt + 2..]
+                            .to_ascii_lowercase()
+                            .starts_with(name)
+                    {
+                        break Some(lt);
+                    }
+                    i = lt + 1;
+                }
+            }
+        };
+        match closing_at {
+            Some(lt) => {
+                if lt > start {
+                    self.out.tokens.push(Token::Text(Text {
+                        text: self.src[start..lt].to_owned(),
+                        span: Span::new(start, lt),
+                    }));
+                }
+                self.pos = lt;
+                // The `</name …>` itself is scanned as a normal end tag.
+            }
+            None => {
+                let span = Span::new(start, self.bytes.len());
+                self.warn(WarningKind::UnterminatedRawText, span);
+                if !span.is_empty() {
+                    self.out.tokens.push(Token::Text(Text {
+                        text: self.src[start..].to_owned(),
+                        span,
+                    }));
+                }
+                self.pos = self.bytes.len();
+            }
+        }
+    }
+}
+
+/// `true` for bytes permitted in tag/attribute names.
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b':' | b'.')
+}
+
+/// Index of the first occurrence of `needle` byte at or after `from`.
+fn find_byte(haystack: &[u8], needle: u8, from: usize) -> Option<usize> {
+    haystack[from.min(haystack.len())..]
+        .iter()
+        .position(|&b| b == needle)
+        .map(|i| i + from)
+}
+
+/// Index of the first occurrence of the `needle` byte string at or after `from`.
+fn find_sub(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.is_empty() || from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|i| i + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(ts: &TokenStream) -> Vec<String> {
+        ts.tokens
+            .iter()
+            .map(|t| match t {
+                Token::Start(s) => format!("<{}>", s.name),
+                Token::End(e) => format!("</{}>", e.name),
+                Token::Text(t) => format!("'{}'", t.text),
+                Token::Comment(_) => "<!--->".into(),
+                Token::Doctype(_) => "<!DOCTYPE>".into(),
+                Token::ProcessingInstruction(_) => "<?>".into(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_document() {
+        let ts = tokenize("<html><body>hi</body></html>");
+        assert_eq!(
+            names(&ts),
+            vec!["<html>", "<body>", "'hi'", "</body>", "</html>"]
+        );
+        assert!(ts.warnings.is_empty());
+    }
+
+    #[test]
+    fn attributes_quoted_unquoted_bare() {
+        let ts = tokenize(r##"<body bgcolor="#FFFFFF" border=1 noshade>"##);
+        let Token::Start(t) = &ts.tokens[0] else {
+            panic!()
+        };
+        assert_eq!(t.attr("bgcolor"), Some("#FFFFFF"));
+        assert_eq!(t.attr("border"), Some("1"));
+        assert_eq!(
+            t.attrs.iter().find(|a| a.name == "noshade").unwrap().value,
+            None
+        );
+    }
+
+    #[test]
+    fn single_quoted_attribute() {
+        let ts = tokenize("<a href='x.html'>y</a>");
+        let Token::Start(t) = &ts.tokens[0] else {
+            panic!()
+        };
+        assert_eq!(t.attr("href"), Some("x.html"));
+    }
+
+    #[test]
+    fn attribute_entity_decoding() {
+        let ts = tokenize(r#"<a title="fish &amp; chips">"#);
+        let Token::Start(t) = &ts.tokens[0] else {
+            panic!()
+        };
+        assert_eq!(t.attr("title"), Some("fish & chips"));
+    }
+
+    #[test]
+    fn tag_names_lowercased() {
+        let ts = tokenize("<TABLE><TR><TD>x</TD></TR></TABLE>");
+        assert_eq!(
+            names(&ts),
+            vec!["<table>", "<tr>", "<td>", "'x'", "</td>", "</tr>", "</table>"]
+        );
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let ts = tokenize("<!DOCTYPE html><!-- hidden --><p>x</p>");
+        assert!(matches!(ts.tokens[0], Token::Doctype(_)));
+        assert!(matches!(ts.tokens[1], Token::Comment(_)));
+        assert!(ts.tokens[2].is_start("p"));
+    }
+
+    #[test]
+    fn comment_containing_tags() {
+        let ts = tokenize("<!-- <b>not real</b> --><i>x</i>");
+        assert!(matches!(ts.tokens[0], Token::Comment(_)));
+        assert!(ts.tokens[1].is_start("i"));
+    }
+
+    #[test]
+    fn bang_tag_without_dashes_is_comment() {
+        let ts = tokenize("<!WEIRD thing><p>x");
+        assert!(matches!(ts.tokens[0], Token::Comment(_)));
+        assert!(ts.tokens[1].is_start("p"));
+    }
+
+    #[test]
+    fn self_closing() {
+        let ts = tokenize("<br/><hr />");
+        let Token::Start(b) = &ts.tokens[0] else {
+            panic!()
+        };
+        assert!(b.self_closing);
+        let Token::Start(h) = &ts.tokens[1] else {
+            panic!()
+        };
+        assert_eq!(h.name, "hr");
+        assert!(h.self_closing);
+    }
+
+    #[test]
+    fn stray_less_than_becomes_text() {
+        let ts = tokenize("1 < 2 <b>x</b>");
+        assert!(ts
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::StrayLessThan));
+        let text = ts.plain_text();
+        assert!(text.contains("1 < 2"), "{text:?}");
+    }
+
+    #[test]
+    fn entity_decoding_in_text() {
+        let ts = tokenize("<p>Smith &amp; Sons&nbsp;Inc.</p>");
+        assert_eq!(ts.plain_text(), "Smith & Sons\u{A0}Inc.");
+    }
+
+    #[test]
+    fn raw_text_script_not_parsed() {
+        let ts = tokenize("<script>if (a<b) { x(\"<td>\"); }</script><p>y");
+        assert!(ts.tokens[0].is_start("script"));
+        let Token::Text(t) = &ts.tokens[1] else {
+            panic!("{:?}", ts.tokens)
+        };
+        assert!(t.text.contains("<td>"));
+        assert!(ts.tokens[2].is_end("script"));
+        assert!(ts.tokens[3].is_start("p"));
+    }
+
+    #[test]
+    fn raw_text_title() {
+        let ts = tokenize("<title>A < B</title><body>");
+        let Token::Text(t) = &ts.tokens[1] else {
+            panic!()
+        };
+        assert_eq!(t.text, "A < B");
+    }
+
+    #[test]
+    fn unterminated_raw_text_warns() {
+        let ts = tokenize("<style>body { }");
+        assert!(ts
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::UnterminatedRawText));
+    }
+
+    #[test]
+    fn unterminated_tag_at_eof() {
+        let ts = tokenize("<p>x<b");
+        assert!(ts
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::UnterminatedTag));
+    }
+
+    #[test]
+    fn unterminated_comment_at_eof() {
+        let ts = tokenize("<p>x<!-- never closed");
+        assert!(ts
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::UnterminatedComment));
+    }
+
+    #[test]
+    fn unterminated_attribute_value() {
+        let ts = tokenize("<a href=\"x.html<p>oops");
+        assert!(ts
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::UnterminatedAttributeValue));
+    }
+
+    #[test]
+    fn end_tag_with_junk() {
+        let ts = tokenize("<b>x</b extra>y");
+        assert!(ts.tokens[2].is_end("b"));
+        let Token::Text(t) = &ts.tokens[3] else {
+            panic!()
+        };
+        assert_eq!(t.text, "y");
+    }
+
+    #[test]
+    fn spans_cover_source() {
+        let src = "<b>xy</b>";
+        let ts = tokenize(src);
+        assert_eq!(ts.tokens[0].span(), Span::new(0, 3));
+        assert_eq!(ts.tokens[1].span(), Span::new(3, 5));
+        assert_eq!(ts.tokens[2].span(), Span::new(5, 9));
+    }
+
+    #[test]
+    fn processing_instruction() {
+        let ts = tokenize("<?xml version=\"1.0\"?><p>x");
+        assert!(matches!(ts.tokens[0], Token::ProcessingInstruction(_)));
+    }
+
+    #[test]
+    fn empty_input() {
+        let ts = tokenize("");
+        assert!(ts.tokens.is_empty());
+        assert!(ts.warnings.is_empty());
+    }
+
+    #[test]
+    fn only_text() {
+        let ts = tokenize("no markup at all");
+        assert_eq!(ts.tokens.len(), 1);
+        assert_eq!(ts.plain_text(), "no markup at all");
+    }
+
+    #[test]
+    fn paper_figure2_prefix() {
+        let src = "<html><head><title>Classifieds</title></head>\n<body bgcolor=\"#FFFFFF\">";
+        let ts = tokenize(src);
+        let tags: Vec<_> = ts.tags().map(|t| t.to_string()).collect();
+        assert_eq!(
+            tags,
+            vec![
+                "<html>",
+                "<head>",
+                "<title>",
+                "</title>",
+                "</head>",
+                "<body bgcolor=\"#FFFFFF\">"
+            ]
+        );
+    }
+
+    #[test]
+    fn slash_inside_unquoted_value_not_self_closing() {
+        let ts = tokenize("<a href=a/b>x</a>");
+        let Token::Start(t) = &ts.tokens[0] else {
+            panic!()
+        };
+        assert_eq!(t.attr("href"), Some("a/b"));
+        assert!(!t.self_closing);
+    }
+
+    #[test]
+    fn equals_with_spaces() {
+        let ts = tokenize("<h1 align = \"left\">T</h1>");
+        let Token::Start(t) = &ts.tokens[0] else {
+            panic!()
+        };
+        assert_eq!(t.attr("align"), Some("left"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Tokenizer invariants, property-tested on arbitrary input: totality,
+//! span discipline, and idempotent re-tokenization of the rendered stream.
+
+use proptest::prelude::*;
+use rbd_html::{tokenize, Token};
+
+fn arb_html() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        // Well-formed fragments.
+        prop::sample::select(vec![
+            "<b>", "</b>", "<hr>", "<br/>", "<td align=left>", "</td>",
+            "<a href=\"x\">", "<!-- c -->", "<!DOCTYPE html>", "&amp;", "&#65;",
+        ])
+        .prop_map(String::from),
+        // Arbitrary text including metacharacters.
+        "[a-z<>&\"'= ]{0,12}",
+        // Raw unicode.
+        "\\PC{0,6}",
+    ];
+    prop::collection::vec(piece, 0..40).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Tokenization never panics and consumes the whole input: token spans
+    /// are sorted, non-overlapping, and tag/text spans tile into the
+    /// document (gaps are only where markup was discarded as malformed).
+    #[test]
+    fn spans_sorted_and_nonoverlapping(src in arb_html()) {
+        let ts = tokenize(&src);
+        let mut last_end = 0usize;
+        for tok in &ts.tokens {
+            let span = tok.span();
+            prop_assert!(span.start <= span.end);
+            prop_assert!(span.end <= src.len());
+            prop_assert!(
+                span.start >= last_end,
+                "overlap: {} starts before {}",
+                span,
+                last_end
+            );
+            last_end = span.end;
+        }
+    }
+
+    /// Every tag token's span slices to text that starts with `<`.
+    #[test]
+    fn tag_spans_point_at_angle_brackets(src in arb_html()) {
+        let ts = tokenize(&src);
+        for tok in &ts.tokens {
+            if matches!(tok, Token::Start(_) | Token::End(_)) {
+                let span = tok.span();
+                if span.start < src.len() && src.is_char_boundary(span.start) {
+                    prop_assert!(src[span.start..].starts_with('<'), "{tok:?}");
+                }
+            }
+        }
+    }
+
+    /// Rendering the token stream back to markup and re-tokenizing yields
+    /// the same tag sequence (normalization fixpoint).
+    #[test]
+    fn render_retokenize_fixpoint(src in arb_html()) {
+        let ts = tokenize(&src);
+        let rendered: String = ts.tokens.iter().map(|t| t.to_string()).collect();
+        let ts2 = tokenize(&rendered);
+        let tags = |ts: &rbd_html::TokenStream| -> Vec<String> {
+            ts.tokens
+                .iter()
+                .filter_map(|t| match t {
+                    Token::Start(s) => Some(format!("<{}>", s.name)),
+                    Token::End(e) => Some(format!("</{}>", e.name)),
+                    _ => None,
+                })
+                .collect()
+        };
+        prop_assert_eq!(tags(&ts), tags(&ts2), "rendered: {:?}", rendered);
+    }
+
+    /// Plain text survives a tokenize → plain_text round trip for inputs
+    /// with no markup at all.
+    #[test]
+    fn plain_text_identity(src in "[a-z 0-9.,]{0,40}") {
+        let ts = tokenize(&src);
+        prop_assert_eq!(ts.plain_text(), src);
+    }
+}

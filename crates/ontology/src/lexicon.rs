@@ -1,0 +1,216 @@
+//! Shared lexicons — the "Lexicons" input of the paper's Figure 1.
+//!
+//! Data frames may reference closed word lists (automobile makes, month
+//! names, …). The corpus generator (`rbd-corpus`) draws document content
+//! from the *same* lists, which is exactly the situation the paper assumes:
+//! data-rich documents whose constants the ontology can recognize.
+
+/// Month names.
+pub const MONTHS: &[&str] = &[
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
+];
+
+/// Common U.S. given names (period-appropriate).
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
+    "Sarah", "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty",
+    "Anthony", "Margaret", "Donald", "Sandra", "Mark", "Ashley", "Paul", "Kimberly", "Steven",
+    "Emily", "Andrew", "Donna", "Kenneth", "Michelle", "Lemar", "Brian", "Leonard", "Howard",
+];
+
+/// Common U.S. surnames.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Adamson", "Frost", "Gunther", "Embley", "Fielding",
+];
+
+/// Automobile makes (late-1990s market).
+pub const CAR_MAKES: &[&str] = &[
+    "Ford", "Chevrolet", "Toyota", "Honda", "Dodge", "Nissan", "Jeep", "Pontiac", "Buick",
+    "Oldsmobile", "Mercury", "Chrysler", "Plymouth", "Subaru", "Mazda", "Volkswagen", "Volvo",
+    "Saturn", "GMC", "Cadillac",
+];
+
+/// Automobile models.
+pub const CAR_MODELS: &[&str] = &[
+    "Taurus", "Escort", "Mustang", "Explorer", "Ranger", "Cavalier", "Corsica", "Lumina",
+    "Camaro", "Blazer", "Corolla", "Camry", "Celica", "Accord", "Civic", "Prelude", "Neon",
+    "Caravan", "Intrepid", "Sentra", "Altima", "Maxima", "Cherokee", "Wrangler", "Grand Am",
+    "Bonneville", "LeSabre", "Regal", "Cutlass", "Sable", "Legacy", "Impreza", "Protege",
+    "Jetta", "Passat",
+];
+
+/// Car colors.
+pub const COLORS: &[&str] = &[
+    "white", "black", "red", "blue", "green", "silver", "gold", "maroon", "teal", "tan",
+    "burgundy", "gray",
+];
+
+/// Car feature phrases.
+pub const CAR_FEATURES: &[&str] = &[
+    "AC", "auto", "5-speed", "power windows", "power locks", "cruise", "tilt", "AM/FM cassette",
+    "CD player", "sunroof", "leather", "alloy wheels", "new tires", "one owner", "low miles",
+    "runs great", "must sell",
+];
+
+/// U.S. cities used for locations.
+pub const CITIES: &[&str] = &[
+    "Salt Lake City", "Tucson", "Houston", "San Francisco", "Seattle", "Cincinnati",
+    "New Bedford", "Detroit", "Bridgeport", "Atlanta", "Provo", "Denver", "Dallas",
+    "Indianapolis", "Los Angeles", "Baltimore", "Knoxville", "Lincoln", "Reno", "Sioux City",
+];
+
+/// Computer job titles (1998 vintage).
+pub const JOB_TITLES: &[&str] = &[
+    "Software Engineer", "Programmer Analyst", "Systems Analyst", "Database Administrator",
+    "Network Administrator", "Web Developer", "C++ Programmer", "Java Developer",
+    "Technical Support Specialist", "Systems Administrator", "QA Engineer", "Project Manager",
+    "Help Desk Technician", "Data Architect", "Unix Administrator",
+];
+
+/// Technical skills.
+pub const SKILLS: &[&str] = &[
+    "C++", "Java", "SQL", "Oracle", "Visual Basic", "Unix", "Windows NT", "HTML", "Perl",
+    "COBOL", "PowerBuilder", "Sybase", "Informix", "TCP/IP", "Novell NetWare", "Delphi", "CGI",
+    "JavaScript",
+];
+
+/// Employer names.
+pub const COMPANIES: &[&str] = &[
+    "DataTech Inc", "InfoSystems Corp", "MicroWare LLC", "NetSolutions Inc", "CompuServe Corp",
+    "TeleData Systems", "Pinnacle Software", "Summit Computing", "Wasatch Technologies",
+    "Frontier Data Corp", "Apex Consulting", "Meridian Systems", "Evergreen Software",
+    "Cascade Solutions", "Redstone Computing",
+];
+
+/// University department codes.
+pub const DEPT_CODES: &[&str] = &[
+    "CS", "MATH", "PHYS", "CHEM", "BIOL", "ENGL", "HIST", "ECON", "PSYCH", "PHIL", "STAT",
+    "EE", "ME", "ACC", "MUS",
+];
+
+/// Course title stems.
+pub const COURSE_TITLES: &[&str] = &[
+    "Introduction to Programming", "Data Structures", "Algorithms", "Operating Systems",
+    "Database Systems", "Computer Networks", "Software Engineering", "Discrete Mathematics",
+    "Linear Algebra", "Calculus", "Organic Chemistry", "Modern Physics", "World History",
+    "Microeconomics", "Cognitive Psychology", "Symbolic Logic", "Numerical Methods",
+    "Compiler Construction", "Artificial Intelligence", "Computer Graphics",
+];
+
+/// Instructor surname pool (reuses [`LAST_NAMES`]).
+pub const INSTRUCTORS: &[&str] = LAST_NAMES;
+
+/// Mortuary / funeral-home names.
+pub const MORTUARIES: &[&str] = &[
+    "MEMORIAL CHAPEL", "HEATHER MORTUARY", "Carrillo's Tucson Mortuary", "Wasatch Lawn Mortuary",
+    "Sunset Funeral Home", "Evans and Sons Mortuary", "Pioneer Valley Funeral Home",
+    "Lakeview Memorial Chapel", "Holy Cross Mortuary", "Riverside Funeral Home",
+];
+
+/// Cemetery names.
+pub const CEMETERIES: &[&str] = &[
+    "Holy Hope Cemetery", "Mount Olivet Cemetery", "Evergreen Memorial Park",
+    "Wasatch Lawn Cemetery", "Pleasant Grove Cemetery", "Oak Hill Cemetery",
+    "Riverside Memorial Park", "Saint Mary Cemetery",
+];
+
+/// Builds a regex alternation matching any word of `words`, longest first
+/// (so leftmost-longest engines cannot stop at a prefix), with regex
+/// metacharacters escaped.
+pub fn alternation(words: &[&str]) -> String {
+    let mut sorted: Vec<&str> = words.to_vec();
+    sorted.sort_by_key(|w| std::cmp::Reverse(w.len()));
+    let escaped: Vec<String> = sorted.iter().map(|w| escape(w)).collect();
+    format!("({})", escaped.join("|"))
+}
+
+/// Escapes regex metacharacters in a literal word.
+pub fn escape(word: &str) -> String {
+    let mut out = String::with_capacity(word.len());
+    for c in word.chars() {
+        if "\\.+*?()|[]{}^$".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_pattern::Pattern;
+
+    #[test]
+    fn alternation_matches_all_words() {
+        let p = Pattern::new(&alternation(CAR_MAKES)).unwrap();
+        for make in CAR_MAKES {
+            assert!(p.is_match(make), "should match {make}");
+        }
+        assert!(!p.is_match("Zeppelin"));
+    }
+
+    #[test]
+    fn escape_metacharacters() {
+        assert_eq!(escape("C++"), "C\\+\\+");
+        assert_eq!(escape("TCP/IP"), "TCP/IP");
+        assert_eq!(escape("a.b"), "a\\.b");
+    }
+
+    #[test]
+    fn escaped_skills_compile_and_match() {
+        let p = Pattern::new(&alternation(SKILLS)).unwrap();
+        assert!(p.is_match("knows C++ well"));
+        assert!(p.is_match("Windows NT admin"));
+    }
+
+    #[test]
+    fn longest_first_prevents_prefix_shadowing() {
+        // "Grand Am" must not be matched as a shorter word's prefix.
+        let p = Pattern::new(&alternation(CAR_MODELS)).unwrap();
+        let hay = "1995 Pontiac Grand Am for sale";
+        let m = p.find(hay).unwrap();
+        assert_eq!(m.as_str(hay), "Grand Am");
+    }
+
+    #[test]
+    fn lexicons_nonempty_and_unique() {
+        for (name, lex) in [
+            ("MONTHS", MONTHS),
+            ("FIRST_NAMES", FIRST_NAMES),
+            ("LAST_NAMES", LAST_NAMES),
+            ("CAR_MAKES", CAR_MAKES),
+            ("CAR_MODELS", CAR_MODELS),
+            ("CITIES", CITIES),
+            ("JOB_TITLES", JOB_TITLES),
+            ("SKILLS", SKILLS),
+            ("COMPANIES", COMPANIES),
+            ("DEPT_CODES", DEPT_CODES),
+            ("COURSE_TITLES", COURSE_TITLES),
+            ("MORTUARIES", MORTUARIES),
+            ("CEMETERIES", CEMETERIES),
+        ] {
+            assert!(!lex.is_empty(), "{name} empty");
+            let mut sorted: Vec<&str> = lex.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), lex.len(), "{name} has duplicates");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # rbd-ontology — application ontologies and matching-rule generation
+//!
+//! The paper's extraction architecture (its Figure 1) takes an *application
+//! ontology* as an independent input: a small conceptual model (a few dozen
+//! object and relationship sets at most) augmented with *data frames* that
+//! describe each object set's constants and keywords. From the ontology the
+//! system derives
+//!
+//! * **constant/keyword matching rules** (used by `rbd-recognizer` and by
+//!   the OM heuristic in `rbd-heuristics`), and
+//! * a **database scheme** (used by `rbd-db` to store extracted records).
+//!
+//! This crate models the ontology ([`model`]), parses a small declarative
+//! text format for it ([`dsl`]), selects *record-identifying fields* per
+//! §4.5 of the paper ([`rules`]), generates the relational scheme
+//! ([`scheme`]), and ships the four application ontologies the paper
+//! evaluates — obituaries, car advertisements, computer job advertisements
+//! and university course descriptions ([`domains`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use rbd_ontology::domains;
+//!
+//! let obit = domains::obituaries();
+//! assert_eq!(obit.name, "obituary");
+//! // §4.5: record-identifying fields are the 1:1/functional object sets,
+//! // best-first; at least 3 must exist for OM to run.
+//! let fields = obit.record_identifying_fields();
+//! assert!(fields.len() >= 3);
+//! let rules = obit.matching_rules().unwrap();
+//! assert!(rules.rules_for("DeathDate").count() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domains;
+pub mod dsl;
+pub mod lexicon;
+pub mod model;
+pub mod rules;
+pub mod scheme;
+
+pub use dsl::{parse_ontology, DslError};
+pub use model::{Cardinality, DataFrame, ObjectSet, Ontology, ValueType};
+pub use rules::{MatchKind, MatchRule, MatchingRules, RecordIdentifyingField};
+pub use scheme::{Column, Relation, Scheme};

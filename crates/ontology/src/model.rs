@@ -1,0 +1,271 @@
+//! The ontology object model — a deliberately small subset of the OSM
+//! conceptual-modeling language the paper's group used, sufficient for
+//! record-boundary discovery and record-level extraction.
+
+use crate::rules::{MatchingRules, RecordIdentifyingField};
+use crate::scheme::Scheme;
+use rbd_pattern::PatternError;
+use std::fmt;
+
+/// How an object set relates to the entity of interest.
+///
+/// The paper distinguishes object sets *in one-to-one correspondence* with
+/// the entity from those *functionally dependent* on it; both designate
+/// record-identifying fields (§4.5). Many-valued sets do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cardinality {
+    /// Exactly one value per record, and the value determines the record
+    /// (e.g. the deceased person's name in an obituary).
+    OneToOne,
+    /// Exactly (or at most) one value per record (e.g. the death date).
+    Functional,
+    /// Zero or more values per record (e.g. surviving relatives).
+    Many,
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cardinality::OneToOne => "one-to-one",
+            Cardinality::Functional => "functional",
+            Cardinality::Many => "many",
+        })
+    }
+}
+
+/// Coarse value types. §4.5 uses these for one rule only: identifiable
+/// *values* that share a common type (e.g. the many kinds of dates in an
+/// obituary) must not be used as record-identifying indicators, because the
+/// value pattern alone cannot tell them apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// Calendar dates ("September 30, 1998").
+    Date,
+    /// Clock times ("11:00 a.m.").
+    Time,
+    /// Monetary amounts ("$12,500").
+    Money,
+    /// Telephone numbers.
+    Phone,
+    /// Email addresses.
+    Email,
+    /// Four-digit years.
+    Year,
+    /// Bare numbers.
+    Number,
+    /// Proper names.
+    ProperName,
+    /// Anything else.
+    Text,
+}
+
+/// The paper's *data frame*: the recognizers attached to an object set.
+#[derive(Debug, Clone, Default)]
+pub struct DataFrame {
+    /// Regular expressions matching the object set's constant values.
+    pub value_patterns: Vec<String>,
+    /// Regular expressions matching context keywords that indicate the
+    /// field's presence ("died on", "asking", "Prerequisite:").
+    pub keywords: Vec<String>,
+    /// The coarse type of the values, if they have one.
+    pub value_type: Option<ValueType>,
+}
+
+impl DataFrame {
+    /// `true` if the frame has at least one keyword indicator.
+    pub fn has_keywords(&self) -> bool {
+        !self.keywords.is_empty()
+    }
+
+    /// `true` if the frame has at least one value pattern.
+    pub fn has_values(&self) -> bool {
+        !self.value_patterns.is_empty()
+    }
+}
+
+/// One object set of the ontology.
+#[derive(Debug, Clone)]
+pub struct ObjectSet {
+    /// Unique name within the ontology (e.g. `DeathDate`).
+    pub name: String,
+    /// Relationship to the entity of interest.
+    pub cardinality: Cardinality,
+    /// `true` if the set carries constant values (lexical); `false` for
+    /// purely structural sets.
+    pub lexical: bool,
+    /// Recognizers for the set's constants and keywords.
+    pub data_frame: DataFrame,
+}
+
+impl ObjectSet {
+    /// Creates a lexical object set.
+    pub fn new(name: impl Into<String>, cardinality: Cardinality) -> Self {
+        ObjectSet {
+            name: name.into(),
+            cardinality,
+            lexical: true,
+            data_frame: DataFrame::default(),
+        }
+    }
+
+    /// Builder-style: adds a keyword regex.
+    pub fn keyword(mut self, pattern: impl Into<String>) -> Self {
+        self.data_frame.keywords.push(pattern.into());
+        self
+    }
+
+    /// Builder-style: adds a constant-value regex.
+    pub fn value(mut self, pattern: impl Into<String>) -> Self {
+        self.data_frame.value_patterns.push(pattern.into());
+        self
+    }
+
+    /// Builder-style: sets the value type.
+    pub fn value_type(mut self, vt: ValueType) -> Self {
+        self.data_frame.value_type = Some(vt);
+        self
+    }
+
+    /// Builder-style: marks the set non-lexical.
+    pub fn non_lexical(mut self) -> Self {
+        self.lexical = false;
+        self
+    }
+}
+
+/// An application ontology: the entity of interest plus its object sets.
+///
+/// The paper assumes ontologies are *narrow in breadth* — no more than a few
+/// dozen object sets — and that documents are *data rich*.
+#[derive(Debug, Clone)]
+pub struct Ontology {
+    /// Application name (e.g. `obituary`).
+    pub name: String,
+    /// Name of the entity of interest (e.g. `Deceased`).
+    pub entity: String,
+    /// The object sets related to the entity.
+    pub object_sets: Vec<ObjectSet>,
+}
+
+impl Ontology {
+    /// Creates an empty ontology.
+    pub fn new(name: impl Into<String>, entity: impl Into<String>) -> Self {
+        Ontology {
+            name: name.into(),
+            entity: entity.into(),
+            object_sets: Vec::new(),
+        }
+    }
+
+    /// Builder-style: adds an object set.
+    pub fn with(mut self, set: ObjectSet) -> Self {
+        self.object_sets.push(set);
+        self
+    }
+
+    /// Looks up an object set by name.
+    pub fn object_set(&self, name: &str) -> Option<&ObjectSet> {
+        self.object_sets.iter().find(|s| s.name == name)
+    }
+
+    /// Number of object sets.
+    pub fn len(&self) -> usize {
+        self.object_sets.len()
+    }
+
+    /// `true` if the ontology has no object sets.
+    pub fn is_empty(&self) -> bool {
+        self.object_sets.is_empty()
+    }
+
+    /// Selects and orders the record-identifying fields per §4.5.
+    /// See [`crate::rules::select_record_identifying_fields`].
+    pub fn record_identifying_fields(&self) -> Vec<RecordIdentifyingField<'_>> {
+        crate::rules::select_record_identifying_fields(self)
+    }
+
+    /// Compiles the constant/keyword matching rules for all object sets
+    /// (the output of the paper's Ontology Parser consumed by the
+    /// recognizer).
+    pub fn matching_rules(&self) -> Result<MatchingRules, PatternError> {
+        MatchingRules::compile(self)
+    }
+
+    /// Generates the relational database scheme (the other output of the
+    /// Ontology Parser).
+    pub fn database_scheme(&self) -> Scheme {
+        Scheme::from_ontology(self)
+    }
+
+    /// Basic well-formedness checks: nonempty, unique set names, lexical
+    /// sets have at least one recognizer. Returns human-readable problems.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.object_sets.is_empty() {
+            problems.push("ontology has no object sets".to_owned());
+        }
+        for (i, s) in self.object_sets.iter().enumerate() {
+            if self.object_sets[..i].iter().any(|t| t.name == s.name) {
+                problems.push(format!("duplicate object set name `{}`", s.name));
+            }
+            if s.lexical && !s.data_frame.has_keywords() && !s.data_frame.has_values() {
+                problems.push(format!(
+                    "lexical object set `{}` has an empty data frame",
+                    s.name
+                ));
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Ontology {
+        Ontology::new("test", "Thing")
+            .with(
+                ObjectSet::new("Name", Cardinality::OneToOne)
+                    .value("[A-Z][a-z]+")
+                    .value_type(ValueType::ProperName),
+            )
+            .with(ObjectSet::new("When", Cardinality::Functional).keyword("on duty"))
+            .with(ObjectSet::new("Tags", Cardinality::Many).keyword("tagged"))
+    }
+
+    #[test]
+    fn builder_and_lookup() {
+        let o = tiny();
+        assert_eq!(o.len(), 3);
+        assert_eq!(o.object_set("When").unwrap().cardinality, Cardinality::Functional);
+        assert!(o.object_set("Nope").is_none());
+    }
+
+    #[test]
+    fn validate_clean() {
+        assert!(tiny().validate().is_empty());
+    }
+
+    #[test]
+    fn validate_catches_duplicates_and_empty_frames() {
+        let o = Ontology::new("bad", "X")
+            .with(ObjectSet::new("A", Cardinality::Many))
+            .with(ObjectSet::new("A", Cardinality::Many));
+        let problems = o.validate();
+        assert!(problems.iter().any(|p| p.contains("duplicate")));
+        assert!(problems.iter().any(|p| p.contains("empty data frame")));
+    }
+
+    #[test]
+    fn cardinality_display() {
+        assert_eq!(Cardinality::OneToOne.to_string(), "one-to-one");
+        assert_eq!(Cardinality::Many.to_string(), "many");
+    }
+
+    #[test]
+    fn empty_ontology_flagged() {
+        let problems = Ontology::new("empty", "X").validate();
+        assert_eq!(problems.len(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Database-scheme generation — the Ontology Parser's second output
+//! (paper Figure 1: "Database Description" / "Database Scheme").
+//!
+//! The mapping is the standard conceptual-to-relational one for a
+//! star-shaped ontology:
+//!
+//! * one *entity relation* holding a surrogate key plus one column per
+//!   one-to-one / functional lexical object set;
+//! * one *satellite relation* per many-valued lexical object set, keyed by
+//!   `(entity_id, value)`.
+
+use crate::model::{Cardinality, Ontology};
+
+/// A column of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (object-set name, or the surrogate key).
+    pub name: String,
+    /// `true` if the column may be NULL (functional fields may be absent).
+    pub nullable: bool,
+}
+
+/// A relation of the generated scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    /// Relation name.
+    pub name: String,
+    /// Columns in declaration order; the key columns come first.
+    pub columns: Vec<Column>,
+    /// Number of leading columns forming the primary key.
+    pub key_len: usize,
+}
+
+impl Relation {
+    /// The key columns.
+    pub fn key(&self) -> &[Column] {
+        &self.columns[..self.key_len]
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+/// The generated relational scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheme {
+    /// Ontology name the scheme came from.
+    pub ontology: String,
+    /// Name of the entity relation (first in `relations`).
+    pub entity_relation: String,
+    /// All relations; the entity relation first, satellites after.
+    pub relations: Vec<Relation>,
+}
+
+/// Name of the surrogate-key column in every relation.
+pub const ID_COLUMN: &str = "record_id";
+
+impl Scheme {
+    /// Generates the scheme for `ontology`.
+    pub fn from_ontology(ontology: &Ontology) -> Self {
+        let mut entity_columns = vec![Column {
+            name: ID_COLUMN.to_owned(),
+            nullable: false,
+        }];
+        let mut satellites = Vec::new();
+        for set in &ontology.object_sets {
+            if !set.lexical {
+                continue;
+            }
+            match set.cardinality {
+                Cardinality::OneToOne => entity_columns.push(Column {
+                    name: set.name.clone(),
+                    nullable: false,
+                }),
+                Cardinality::Functional => entity_columns.push(Column {
+                    name: set.name.clone(),
+                    nullable: true,
+                }),
+                Cardinality::Many => satellites.push(Relation {
+                    name: format!("{}_{}", ontology.entity, set.name),
+                    columns: vec![
+                        Column {
+                            name: ID_COLUMN.to_owned(),
+                            nullable: false,
+                        },
+                        Column {
+                            name: set.name.clone(),
+                            nullable: false,
+                        },
+                    ],
+                    key_len: 2,
+                }),
+            }
+        }
+        let entity_relation = Relation {
+            name: ontology.entity.clone(),
+            columns: entity_columns,
+            key_len: 1,
+        };
+        let mut relations = vec![entity_relation];
+        relations.extend(satellites);
+        Scheme {
+            ontology: ontology.name.clone(),
+            entity_relation: ontology.entity.clone(),
+            relations,
+        }
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.iter().find(|r| r.name == name)
+    }
+
+    /// The entity relation.
+    pub fn entity(&self) -> &Relation {
+        self.relation(&self.entity_relation)
+            .expect("entity relation always present")
+    }
+
+    /// Renders the scheme as `CREATE TABLE`-style text (documentation aid).
+    pub fn to_ddl(&self) -> String {
+        let mut out = String::new();
+        for rel in &self.relations {
+            out.push_str("CREATE TABLE ");
+            out.push_str(&rel.name);
+            out.push_str(" (\n");
+            for c in &rel.columns {
+                out.push_str("  ");
+                out.push_str(&c.name);
+                out.push_str(" TEXT");
+                if !c.nullable {
+                    out.push_str(" NOT NULL");
+                }
+                out.push_str(",\n");
+            }
+            out.push_str("  PRIMARY KEY (");
+            let keys: Vec<&str> = rel.key().iter().map(|c| c.name.as_str()).collect();
+            out.push_str(&keys.join(", "));
+            out.push_str(")\n);\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ObjectSet, Ontology};
+
+    fn ontology() -> Ontology {
+        Ontology::new("obituary", "Deceased")
+            .with(ObjectSet::new("Name", Cardinality::OneToOne).value("x"))
+            .with(ObjectSet::new("DeathDate", Cardinality::Functional).keyword("died"))
+            .with(ObjectSet::new("Relative", Cardinality::Many).keyword("survived by"))
+            .with(ObjectSet::new("Hidden", Cardinality::Functional).non_lexical())
+    }
+
+    #[test]
+    fn entity_relation_shape() {
+        let s = Scheme::from_ontology(&ontology());
+        let e = s.entity();
+        assert_eq!(e.name, "Deceased");
+        let cols: Vec<&str> = e.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(cols, vec![ID_COLUMN, "Name", "DeathDate"]);
+        assert!(!e.columns[1].nullable); // one-to-one: required
+        assert!(e.columns[2].nullable); // functional: optional
+        assert_eq!(e.key_len, 1);
+    }
+
+    #[test]
+    fn many_valued_satellite() {
+        let s = Scheme::from_ontology(&ontology());
+        let sat = s.relation("Deceased_Relative").unwrap();
+        assert_eq!(sat.key_len, 2);
+        assert_eq!(sat.columns.len(), 2);
+    }
+
+    #[test]
+    fn non_lexical_sets_skipped() {
+        let s = Scheme::from_ontology(&ontology());
+        assert!(s.entity().column_index("Hidden").is_none());
+    }
+
+    #[test]
+    fn ddl_renders() {
+        let ddl = Scheme::from_ontology(&ontology()).to_ddl();
+        assert!(ddl.contains("CREATE TABLE Deceased ("));
+        assert!(ddl.contains("PRIMARY KEY (record_id, Relative)"));
+    }
+}

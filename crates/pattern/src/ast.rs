@@ -1,0 +1,583 @@
+//! Pattern syntax tree and recursive-descent parser.
+
+use crate::PatternError;
+
+/// Maximum allowed bound in `{m,n}` repetitions — guards against compiling
+/// enormous programs from hostile patterns.
+pub const MAX_REPEAT: u32 = 256;
+
+/// A set of character ranges, possibly negated (`[^…]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassSet {
+    /// Inclusive character ranges.
+    pub ranges: Vec<(char, char)>,
+    /// `true` for `[^…]`.
+    pub negated: bool,
+}
+
+impl ClassSet {
+    /// An empty, non-negated set.
+    pub fn new() -> Self {
+        ClassSet {
+            ranges: Vec::new(),
+            negated: false,
+        }
+    }
+
+    /// Adds one inclusive range.
+    pub fn push_range(&mut self, lo: char, hi: char) {
+        self.ranges.push((lo, hi));
+    }
+
+    /// Adds a single character.
+    pub fn push_char(&mut self, c: char) {
+        self.ranges.push((c, c));
+    }
+
+    /// Membership test honouring negation.
+    pub fn contains(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        inside != self.negated
+    }
+
+    /// Extends the set with both cases of every ASCII letter it contains —
+    /// used for case-insensitive compilation.
+    pub fn case_fold(&mut self) {
+        let mut extra = Vec::new();
+        for &(lo, hi) in &self.ranges {
+            // Intersect with a-z / A-Z and mirror.
+            let fold = |a: char, b: char, from: char, to: char, delta: i32| {
+                let lo = a.max(from);
+                let hi = b.min(to);
+                if lo <= hi {
+                    let l = (lo as i32 + delta) as u8 as char;
+                    let h = (hi as i32 + delta) as u8 as char;
+                    Some((l, h))
+                } else {
+                    None
+                }
+            };
+            if let Some(r) = fold(lo, hi, 'a', 'z', -32) {
+                extra.push(r);
+            }
+            if let Some(r) = fold(lo, hi, 'A', 'Z', 32) {
+                extra.push(r);
+            }
+        }
+        self.ranges.extend(extra);
+    }
+}
+
+impl Default for ClassSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Built-in `\d \w \s` classes (negation handled by `ClassSet::negated`).
+fn digit_class() -> Vec<(char, char)> {
+    vec![('0', '9')]
+}
+fn word_class() -> Vec<(char, char)> {
+    vec![('0', '9'), ('A', 'Z'), ('_', '_'), ('a', 'z')]
+}
+fn space_class() -> Vec<(char, char)> {
+    vec![('\t', '\r'), (' ', ' '), ('\u{A0}', '\u{A0}')]
+}
+
+/// Parsed pattern syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// `.` — any character except `\n`.
+    AnyChar,
+    /// A character class.
+    Class(ClassSet),
+    /// Concatenation, in order.
+    Concat(Vec<Ast>),
+    /// Alternation (`a|b|c`).
+    Alternate(Vec<Ast>),
+    /// Repetition of the inner pattern.
+    Repeat {
+        /// Repeated subpattern.
+        inner: Box<Ast>,
+        /// Minimum count.
+        min: u32,
+        /// Maximum count, `None` = unbounded.
+        max: Option<u32>,
+        /// `false` for lazy (`*?`) variants.
+        greedy: bool,
+    },
+    /// `^` — start of haystack.
+    StartAnchor,
+    /// `$` — end of haystack.
+    EndAnchor,
+    /// `\b` word boundary.
+    WordBoundary,
+    /// `\B` non-word-boundary.
+    NotWordBoundary,
+}
+
+/// Parses a pattern into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, PatternError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser {
+        chars: &chars,
+        pos: 0,
+    };
+    let ast = p.alternate()?;
+    if p.pos != p.chars.len() {
+        return Err(p.error("unexpected character (unbalanced ')'?)"));
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> PatternError {
+        PatternError {
+            message: message.to_owned(),
+            position: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `alternate := concat ('|' concat)*`
+    fn alternate(&mut self) -> Result<Ast, PatternError> {
+        let mut arms = vec![self.concat()?];
+        while self.eat('|') {
+            arms.push(self.concat()?);
+        }
+        Ok(if arms.len() == 1 {
+            arms.pop().expect("one arm")
+        } else {
+            Ast::Alternate(arms)
+        })
+    }
+
+    /// `concat := repeat*` — stops at `|`, `)` or end.
+    fn concat(&mut self) -> Result<Ast, PatternError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("one item"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    /// `repeat := atom ('*'|'+'|'?'|'{m,n}')? '?'?`
+    fn repeat(&mut self) -> Result<Ast, PatternError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => match self.try_bounded_repeat()? {
+                Some(b) => b,
+                None => return Ok(atom),
+            },
+            _ => return Ok(atom),
+        };
+        if matches!(
+            atom,
+            Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary | Ast::NotWordBoundary
+        ) {
+            return Err(self.error("cannot repeat an anchor"));
+        }
+        let greedy = !self.eat('?');
+        Ok(Ast::Repeat {
+            inner: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
+    }
+
+    /// Parses `{m}`, `{m,}` or `{m,n}`; returns `None` (and rewinds) when the
+    /// braces don't form a repetition, treating `{` as a literal.
+    fn try_bounded_repeat(&mut self) -> Result<Option<(u32, Option<u32>)>, PatternError> {
+        let save = self.pos;
+        debug_assert_eq!(self.peek(), Some('{'));
+        self.bump();
+        let min = self.number();
+        let Some(min) = min else {
+            self.pos = save;
+            return Ok(None);
+        };
+        let max = if self.eat(',') {
+            if self.peek() == Some('}') {
+                None
+            } else {
+                match self.number() {
+                    Some(n) => Some(n),
+                    None => {
+                        self.pos = save;
+                        return Ok(None);
+                    }
+                }
+            }
+        } else {
+            Some(min)
+        };
+        if !self.eat('}') {
+            self.pos = save;
+            return Ok(None);
+        }
+        if min > MAX_REPEAT || max.is_some_and(|m| m > MAX_REPEAT) {
+            return Err(self.error("repetition bound too large"));
+        }
+        if let Some(m) = max {
+            if min > m {
+                return Err(self.error("invalid repetition range (min > max)"));
+            }
+        }
+        Ok(Some((min, max)))
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return None;
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .ok()
+    }
+
+    /// `atom := '(' alternate ')' | class | escape | anchor | literal`
+    fn atom(&mut self) -> Result<Ast, PatternError> {
+        match self.peek() {
+            None => Err(self.error("expected an atom")),
+            Some('(') => {
+                self.bump();
+                // Accept and ignore the non-capturing group marker.
+                if self.peek() == Some('?') {
+                    let save = self.pos;
+                    self.bump();
+                    if !self.eat(':') {
+                        self.pos = save;
+                        return Err(self.error("only (?: …) groups are supported"));
+                    }
+                }
+                let inner = self.alternate()?;
+                if !self.eat(')') {
+                    return Err(self.error("missing closing ')'"));
+                }
+                Ok(inner)
+            }
+            Some('[') => {
+                self.bump();
+                self.class()
+            }
+            Some('\\') => {
+                self.bump();
+                self.escape()
+            }
+            Some('^') => {
+                self.bump();
+                Ok(Ast::StartAnchor)
+            }
+            Some('$') => {
+                self.bump();
+                Ok(Ast::EndAnchor)
+            }
+            Some('*') | Some('+') | Some('?') => Err(self.error("dangling quantifier")),
+            Some('.') => {
+                self.bump();
+                Ok(Ast::AnyChar)
+            }
+            Some(c) => {
+                self.bump();
+                Ok(Ast::Literal(c))
+            }
+        }
+    }
+
+    /// Body of a character class, after the opening `[`.
+    fn class(&mut self) -> Result<Ast, PatternError> {
+        let mut set = ClassSet::new();
+        set.negated = self.eat('^');
+        // A leading `]` is a literal.
+        if self.eat(']') {
+            set.push_char(']');
+        }
+        loop {
+            let c = match self.bump() {
+                None => return Err(self.error("missing closing ']'")),
+                Some(']') => break,
+                Some('\\') => match self.bump() {
+                    None => return Err(self.error("trailing backslash in class")),
+                    Some(e) => {
+                        if let Some(ranges) = builtin_class(e) {
+                            set.ranges.extend(ranges);
+                            continue;
+                        }
+                        escape_char(e)
+                    }
+                },
+                Some(c) => c,
+            };
+            // Possible range `c-d`.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump(); // '-'
+                let hi = match self.bump() {
+                    None => return Err(self.error("missing closing ']'")),
+                    Some('\\') => match self.bump() {
+                        None => return Err(self.error("trailing backslash in class")),
+                        Some(e) => escape_char(e),
+                    },
+                    Some(h) => h,
+                };
+                if c > hi {
+                    return Err(self.error("invalid class range (lo > hi)"));
+                }
+                set.push_range(c, hi);
+            } else {
+                set.push_char(c);
+            }
+        }
+        Ok(Ast::Class(set))
+    }
+
+    /// An escape outside a class, after the backslash.
+    fn escape(&mut self) -> Result<Ast, PatternError> {
+        let c = self
+            .bump()
+            .ok_or_else(|| self.error("trailing backslash"))?;
+        if let Some(ranges) = builtin_class(c) {
+            let negated = c.is_ascii_uppercase();
+            return Ok(Ast::Class(ClassSet { ranges, negated }));
+        }
+        match c {
+            'b' => Ok(Ast::WordBoundary),
+            'B' => Ok(Ast::NotWordBoundary),
+            _ => Ok(Ast::Literal(escape_char(c))),
+        }
+    }
+}
+
+/// Ranges for `\d \D \w \W \s \S` (the uppercase variants return the same
+/// ranges; the caller negates). `None` for non-class escapes.
+fn builtin_class(c: char) -> Option<Vec<(char, char)>> {
+    match c {
+        'd' | 'D' => Some(digit_class()),
+        'w' | 'W' => Some(word_class()),
+        's' | 'S' => Some(space_class()),
+        _ => None,
+    }
+}
+
+/// Single-character escapes: `\n \t \r \0`; anything else is the character
+/// itself (`\. \$ \\` …).
+fn escape_char(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_concat() {
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+        assert_eq!(parse("a").unwrap(), Ast::Literal('a'));
+        assert_eq!(parse("").unwrap(), Ast::Empty);
+    }
+
+    #[test]
+    fn alternation_precedence() {
+        // `ab|c` is (ab)|(c), not a(b|c).
+        let Ast::Alternate(arms) = parse("ab|c").unwrap() else {
+            panic!()
+        };
+        assert_eq!(arms.len(), 2);
+        assert_eq!(
+            arms[0],
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+    }
+
+    #[test]
+    fn repetition_forms() {
+        let Ast::Repeat { min, max, greedy, .. } = parse("a{2,5}").unwrap() else {
+            panic!()
+        };
+        assert_eq!((min, max, greedy), (2, Some(5), true));
+        let Ast::Repeat { min, max, .. } = parse("a{3}").unwrap() else {
+            panic!()
+        };
+        assert_eq!((min, max), (3, Some(3)));
+        let Ast::Repeat { min, max, .. } = parse("a{3,}").unwrap() else {
+            panic!()
+        };
+        assert_eq!((min, max), (3, None));
+        let Ast::Repeat { greedy, .. } = parse("a*?").unwrap() else {
+            panic!()
+        };
+        assert!(!greedy);
+    }
+
+    #[test]
+    fn braces_without_number_are_literal() {
+        // `{x}` is not a repetition: treat `{` literally, like most engines.
+        let ast = parse("a{x}").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('{'),
+                Ast::Literal('x'),
+                Ast::Literal('}'),
+            ])
+        );
+    }
+
+    #[test]
+    fn class_parsing() {
+        let Ast::Class(set) = parse("[a-z0-9_]").unwrap() else {
+            panic!()
+        };
+        assert!(set.contains('q'));
+        assert!(set.contains('5'));
+        assert!(set.contains('_'));
+        assert!(!set.contains('Q'));
+
+        let Ast::Class(set) = parse("[^abc]").unwrap() else {
+            panic!()
+        };
+        assert!(!set.contains('a'));
+        assert!(set.contains('d'));
+    }
+
+    #[test]
+    fn class_leading_bracket_literal() {
+        let Ast::Class(set) = parse("[]a]").unwrap() else {
+            panic!()
+        };
+        assert!(set.contains(']'));
+        assert!(set.contains('a'));
+    }
+
+    #[test]
+    fn class_trailing_dash_literal() {
+        let Ast::Class(set) = parse("[a-]").unwrap() else {
+            panic!()
+        };
+        assert!(set.contains('-'));
+        assert!(set.contains('a'));
+    }
+
+    #[test]
+    fn builtin_classes_inside_class() {
+        let Ast::Class(set) = parse(r"[\d,]").unwrap() else {
+            panic!()
+        };
+        assert!(set.contains('7'));
+        assert!(set.contains(','));
+    }
+
+    #[test]
+    fn negated_builtins() {
+        let Ast::Class(set) = parse(r"\D").unwrap() else {
+            panic!()
+        };
+        assert!(set.negated);
+        assert!(!set.contains('5'));
+        assert!(set.contains('x'));
+    }
+
+    #[test]
+    fn non_capturing_group() {
+        assert!(parse("(?:ab)+").is_ok());
+        assert!(parse("(?<name>x)").is_err());
+    }
+
+    #[test]
+    fn anchor_repeat_rejected() {
+        assert!(parse("^*").is_err());
+        assert!(parse(r"\b+").is_err());
+    }
+
+    #[test]
+    fn repeat_bound_limits() {
+        assert!(parse("a{1000}").is_err());
+        assert!(parse("a{256}").is_ok());
+    }
+
+    #[test]
+    fn case_fold_classes() {
+        let mut set = ClassSet::new();
+        set.push_range('a', 'f');
+        set.case_fold();
+        assert!(set.contains('C'));
+        assert!(set.contains('c'));
+        assert!(!set.contains('g'));
+        assert!(!set.contains('G'));
+    }
+
+    #[test]
+    fn case_fold_partial_overlap() {
+        let mut set = ClassSet::new();
+        set.push_range('X', 'c'); // spans Z-a punctuation gap
+        set.case_fold();
+        assert!(set.contains('x'));
+        assert!(set.contains('C'));
+        assert!(set.contains('[')); // the original range includes it
+    }
+}

@@ -1,0 +1,220 @@
+//! Differential testing: the Pike VM against a naive backtracking reference
+//! interpreter over the same AST. On small random patterns and haystacks,
+//! `is_match` must agree exactly; leftmost-longest `find` spans are checked
+//! against the reference's exhaustive enumeration.
+
+use proptest::prelude::*;
+use rbd_pattern::ast::{parse, Ast};
+use rbd_pattern::Pattern;
+
+/// Naive matcher: can `ast` match some prefix of `chars[pos..]`? Returns
+/// every end position (exhaustive, exponential — fine for tiny inputs).
+fn match_ends(ast: &Ast, chars: &[char], pos: usize, total: usize) -> Vec<usize> {
+    match ast {
+        Ast::Empty => vec![pos],
+        Ast::Literal(c) => {
+            if chars.get(pos) == Some(c) {
+                vec![pos + 1]
+            } else {
+                vec![]
+            }
+        }
+        Ast::AnyChar => {
+            if chars.get(pos).is_some_and(|&c| c != '\n') {
+                vec![pos + 1]
+            } else {
+                vec![]
+            }
+        }
+        Ast::Class(set) => {
+            if chars.get(pos).is_some_and(|&c| set.contains(c)) {
+                vec![pos + 1]
+            } else {
+                vec![]
+            }
+        }
+        Ast::Concat(items) => {
+            let mut ends = vec![pos];
+            for item in items {
+                let mut next = Vec::new();
+                for &e in &ends {
+                    next.extend(match_ends(item, chars, e, total));
+                }
+                next.sort_unstable();
+                next.dedup();
+                if next.is_empty() {
+                    return vec![];
+                }
+                ends = next;
+            }
+            ends
+        }
+        Ast::Alternate(arms) => {
+            let mut ends: Vec<usize> = arms
+                .iter()
+                .flat_map(|a| match_ends(a, chars, pos, total))
+                .collect();
+            ends.sort_unstable();
+            ends.dedup();
+            ends
+        }
+        Ast::Repeat {
+            inner, min, max, ..
+        } => {
+            // Breadth-first expansion with a visited set; greediness does
+            // not matter for the set of reachable ends.
+            let max = max.unwrap_or(u32::MAX).min(16);
+            let mut layer = vec![pos];
+            let mut all: Vec<(u32, usize)> = vec![(0, pos)];
+            for depth in 1..=max {
+                let mut next = Vec::new();
+                for &e in &layer {
+                    for e2 in match_ends(inner, chars, e, total) {
+                        if !next.contains(&e2) {
+                            next.push(e2);
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    break;
+                }
+                for &e in &next {
+                    all.push((depth, e));
+                }
+                if next == layer {
+                    break; // empty-width fixpoint
+                }
+                layer = next;
+            }
+            let mut ends: Vec<usize> = all
+                .into_iter()
+                .filter(|(d, _)| *d >= *min)
+                .map(|(_, e)| e)
+                .collect();
+            if *min == 0 {
+                ends.push(pos);
+            }
+            ends.sort_unstable();
+            ends.dedup();
+            ends
+        }
+        Ast::StartAnchor => {
+            if pos == 0 {
+                vec![pos]
+            } else {
+                vec![]
+            }
+        }
+        Ast::EndAnchor => {
+            if pos == total {
+                vec![pos]
+            } else {
+                vec![]
+            }
+        }
+        Ast::WordBoundary | Ast::NotWordBoundary => {
+            let is_word = |c: Option<&char>| c.is_some_and(|c| c.is_alphanumeric() || *c == '_');
+            let prev = if pos == 0 { None } else { chars.get(pos - 1) };
+            let next = chars.get(pos);
+            let boundary = is_word(prev) != is_word(next);
+            let want = matches!(ast, Ast::WordBoundary);
+            if boundary == want {
+                vec![pos]
+            } else {
+                vec![]
+            }
+        }
+    }
+}
+
+/// Reference leftmost-longest search.
+fn reference_find(ast: &Ast, haystack: &str) -> Option<(usize, usize)> {
+    let chars: Vec<char> = haystack.chars().collect();
+    // Char index → byte offset map.
+    let mut byte_of = Vec::with_capacity(chars.len() + 1);
+    let mut b = 0;
+    for c in &chars {
+        byte_of.push(b);
+        b += c.len_utf8();
+    }
+    byte_of.push(b);
+
+    for start in 0..=chars.len() {
+        let ends = match_ends(ast, &chars, start, chars.len());
+        if let Some(&best) = ends.iter().max() {
+            return Some((byte_of[start], byte_of[best]));
+        }
+    }
+    None
+}
+
+/// A small pattern grammar that stays within the reference matcher's reach.
+fn arb_pattern() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        prop::sample::select(vec!["a", "b", "c", "x", "."]).prop_map(String::from),
+        Just("[ab]".to_owned()),
+        Just("[^a]".to_owned()),
+        Just(r"\d".to_owned()),
+        Just(r"\w".to_owned()),
+    ];
+    let unit = (atom, prop::sample::select(vec!["", "*", "+", "?", "{2}", "{1,3}"]))
+        .prop_map(|(a, q)| format!("{a}{q}"));
+    prop::collection::vec(unit, 1..5).prop_map(|units| {
+        // Sprinkle an alternation bar occasionally by joining halves.
+        units.concat()
+    })
+}
+
+fn arb_alt_pattern() -> impl Strategy<Value = String> {
+    (arb_pattern(), arb_pattern(), any::<bool>()).prop_map(|(a, b, alt)| {
+        if alt {
+            format!("{a}|{b}")
+        } else {
+            format!("({a})({b})")
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn is_match_agrees_with_reference(
+        pattern in arb_alt_pattern(),
+        haystack in "[abcx01 ]{0,10}",
+    ) {
+        let ast = parse(&pattern).expect("generated patterns are valid");
+        let engine = Pattern::new(&pattern).expect("compiles");
+        let expected = reference_find(&ast, &haystack).is_some();
+        prop_assert_eq!(
+            engine.is_match(&haystack),
+            expected,
+            "pattern {} on {:?}",
+            pattern,
+            haystack
+        );
+    }
+
+    #[test]
+    fn find_span_agrees_with_reference(
+        pattern in arb_pattern(),
+        haystack in "[abcx01 ]{0,10}",
+    ) {
+        let ast = parse(&pattern).expect("valid");
+        let engine = Pattern::new(&pattern).expect("compiles");
+        let expected = reference_find(&ast, &haystack);
+        let got = engine.find(&haystack).map(|m| (m.start, m.end));
+        prop_assert_eq!(got, expected, "pattern {} on {:?}", pattern, haystack);
+    }
+
+    #[test]
+    fn count_matches_terminates_and_is_bounded(
+        pattern in arb_pattern(),
+        haystack in "[abcx01 ]{0,24}",
+    ) {
+        let engine = Pattern::new(&pattern).expect("compiles");
+        let n = engine.count_matches(&haystack);
+        // At most one match can start per character position plus the end.
+        prop_assert!(n <= haystack.chars().count() + 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! # rbd-recognizer — the Constant/Keyword Recognizer
+//!
+//! Implements the recognizer component of the paper's Figure 1: it runs the
+//! ontology-derived matching rules over plain record text and produces the
+//! **Data-Record Table** — rows of `(descriptor, string, position)` ordered
+//! by position, exactly the structure the paper describes. The table is the
+//! interface between raw text and database population, and its
+//! position-ordering is what lets the OM heuristic piggyback on recognition
+//! at no extra cost (§4.5: partitioning the table at separator positions
+//! yields per-record entry sets).
+//!
+//! ## Example
+//!
+//! ```
+//! use rbd_ontology::domains;
+//! use rbd_recognizer::Recognizer;
+//!
+//! let rec = Recognizer::new(&domains::obituaries()).unwrap();
+//! let table = rec.recognize("Ann B. Smith died on May 1, 1998, age 90.");
+//! let descriptors: Vec<&str> = table.entries().iter().map(|e| e.descriptor.as_str()).collect();
+//! assert!(descriptors.contains(&"DeathDate"));
+//! assert!(descriptors.contains(&"DeceasedName"));
+//! assert!(descriptors.contains(&"Age"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rbd_ontology::rules::om_field_budget;
+use rbd_ontology::{MatchKind, MatchingRules, Ontology};
+use rbd_pattern::{MultiPattern, PatternError};
+use std::fmt;
+
+/// One row of the Data-Record Table: `(descriptor, string, position)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableEntry {
+    /// The object set the match belongs to (the paper's *descriptor*).
+    pub descriptor: String,
+    /// Keyword or constant match.
+    pub kind: MatchKind,
+    /// The matched string.
+    pub value: String,
+    /// Byte offset of the match in the recognized text.
+    pub position: usize,
+}
+
+/// The Data-Record Table: recognizer output ordered by position.
+#[derive(Debug, Clone, Default)]
+pub struct DataRecordTable {
+    entries: Vec<TableEntry>,
+}
+
+impl DataRecordTable {
+    /// Builds a table from entries, restoring the canonical order.
+    pub fn from_entries(mut entries: Vec<TableEntry>) -> Self {
+        sort_entries(&mut entries);
+        DataRecordTable { entries }
+    }
+
+    /// The entries, ascending by position (ties: constants after keywords,
+    /// then descriptor order — deterministic).
+    pub fn entries(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing was recognized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries belonging to one object set.
+    pub fn for_descriptor<'a>(
+        &'a self,
+        descriptor: &'a str,
+    ) -> impl Iterator<Item = &'a TableEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.descriptor == descriptor)
+    }
+
+    /// Partitions the table at the given ascending cut positions — the
+    /// paper's "use the position of the separator tags … to partition the
+    /// Data-Record Table into sets of entries in one-to-one correspondence
+    /// with the records". Entries before the first cut form partition 0
+    /// (the preamble); each cut starts a new partition.
+    pub fn partition(&self, cuts: &[usize]) -> Vec<Vec<&TableEntry>> {
+        debug_assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "cuts must ascend");
+        let mut parts: Vec<Vec<&TableEntry>> = vec![Vec::new(); cuts.len() + 1];
+        for e in &self.entries {
+            let idx = cuts.partition_point(|&c| c <= e.position);
+            parts[idx].push(e);
+        }
+        parts
+    }
+}
+
+impl fmt::Display for DataRecordTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<18} {:<9} {:>6}  value", "descriptor", "kind", "pos")?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "{:<18} {:<9} {:>6}  {}",
+                e.descriptor,
+                match e.kind {
+                    MatchKind::Keyword => "keyword",
+                    MatchKind::Constant => "constant",
+                },
+                e.position,
+                e.value
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The Constant/Keyword Recognizer, bound to one ontology's rules.
+///
+/// Internally all rules are compiled into one [`MultiPattern`], so
+/// [`Recognizer::recognize`] makes a *single pass* over the text — the
+/// integration the paper's §4.5 cost argument assumes.
+#[derive(Debug, Clone)]
+pub struct Recognizer {
+    rules: MatchingRules,
+    multi: MultiPattern,
+}
+
+impl Recognizer {
+    /// Compiles `ontology`'s matching rules.
+    pub fn new(ontology: &Ontology) -> Result<Self, PatternError> {
+        Self::from_rules(ontology.matching_rules()?)
+    }
+
+    /// Wraps precompiled rules.
+    pub fn from_rules(rules: MatchingRules) -> Result<Self, PatternError> {
+        // Keyword rules were compiled case-insensitively; mirror that when
+        // building the one-pass program set.
+        let multi = MultiPattern::new(
+            rules
+                .rules()
+                .iter()
+                .map(|r| (r.pattern.as_str(), r.kind == MatchKind::Keyword)),
+        )?;
+        Ok(Recognizer { rules, multi })
+    }
+
+    /// The underlying rules.
+    pub fn rules(&self) -> &MatchingRules {
+        &self.rules
+    }
+
+    /// Runs every rule over `text` in one pass and assembles the
+    /// Data-Record Table.
+    pub fn recognize(&self, text: &str) -> DataRecordTable {
+        let rule_list = self.rules.rules();
+        let mut entries: Vec<TableEntry> = self
+            .multi
+            .find_all(text)
+            .into_iter()
+            .map(|m| {
+                let rule = &rule_list[m.pattern];
+                TableEntry {
+                    descriptor: rule.object_set.clone(),
+                    kind: rule.kind,
+                    value: m.as_str(text).to_owned(),
+                    position: m.start,
+                }
+            })
+            .collect();
+        sort_entries(&mut entries);
+        DataRecordTable { entries }
+    }
+
+    /// Reference implementation: every rule's own engine, one scan per rule.
+    /// Kept for differential testing and the amortization benchmark.
+    pub fn recognize_separately(&self, text: &str) -> DataRecordTable {
+        let mut entries = Vec::new();
+        for rule in self.rules.rules() {
+            for m in rule.pattern.find_iter(text) {
+                entries.push(TableEntry {
+                    descriptor: rule.object_set.clone(),
+                    kind: rule.kind,
+                    value: m.as_str(text).to_owned(),
+                    position: m.start,
+                });
+            }
+        }
+        sort_entries(&mut entries);
+        DataRecordTable { entries }
+    }
+}
+
+fn sort_entries(entries: &mut [TableEntry]) {
+    entries.sort_by(|a, b| {
+        a.position
+            .cmp(&b.position)
+            .then_with(|| kind_order(a.kind).cmp(&kind_order(b.kind)))
+            .then_with(|| a.descriptor.cmp(&b.descriptor))
+    });
+}
+
+/// Estimates the number of records represented in a Data-Record Table —
+/// the OM heuristic's §4.5 estimate computed from recognition output
+/// instead of a fresh scan ("a single scan through the table allows us to
+/// obtain the counts we need"). Returns `None` when the ontology offers
+/// fewer than three record-identifying fields.
+pub fn estimate_record_count_from_table(
+    ontology: &Ontology,
+    table: &DataRecordTable,
+) -> Option<f64> {
+    let fields = ontology.record_identifying_fields();
+    let budget = om_field_budget(ontology, fields.len())?;
+    let counts: Vec<f64> = fields
+        .iter()
+        .take(budget)
+        .map(|f| {
+            let kind = if f.via_keywords {
+                MatchKind::Keyword
+            } else {
+                MatchKind::Constant
+            };
+            table
+                .for_descriptor(&f.object_set.name)
+                .filter(|e| e.kind == kind)
+                .count() as f64
+        })
+        .collect();
+    Some(counts.iter().sum::<f64>() / counts.len() as f64)
+}
+
+fn kind_order(kind: MatchKind) -> u8 {
+    match kind {
+        MatchKind::Keyword => 0,
+        MatchKind::Constant => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_ontology::domains;
+
+    fn table(text: &str) -> DataRecordTable {
+        Recognizer::new(&domains::obituaries())
+            .unwrap()
+            .recognize(text)
+    }
+
+    #[test]
+    fn entries_sorted_by_position() {
+        let t = table("Ann B. Smith died on May 1, 1998 and was born on June 2, 1920.");
+        let positions: Vec<usize> = t.entries().iter().map(|e| e.position).collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(positions, sorted);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn keyword_and_constant_entries_coexist() {
+        let t = table("Bob Lee Jones died on May 1, 1998.");
+        let death: Vec<&TableEntry> = t.for_descriptor("DeathDate").collect();
+        assert!(death.iter().any(|e| e.kind == MatchKind::Keyword));
+        assert!(death.iter().any(|e| e.kind == MatchKind::Constant));
+        // Keyword "died on" precedes the date constant.
+        let kw = death.iter().find(|e| e.kind == MatchKind::Keyword).unwrap();
+        let c = death.iter().find(|e| e.kind == MatchKind::Constant).unwrap();
+        assert!(kw.position < c.position);
+    }
+
+    #[test]
+    fn shared_date_pattern_matches_multiple_descriptors() {
+        // One date string is claimed by DeathDate, BirthDate and
+        // FuneralDate value rules alike — disambiguation is the instance
+        // generator's job (keyword correlation).
+        let t = table("x died on May 1, 1998 y");
+        let date_claimants: Vec<&str> = t
+            .entries()
+            .iter()
+            .filter(|e| e.kind == MatchKind::Constant && e.value == "May 1, 1998")
+            .map(|e| e.descriptor.as_str())
+            .collect();
+        assert!(date_claimants.contains(&"DeathDate"));
+        assert!(date_claimants.contains(&"BirthDate"));
+    }
+
+    #[test]
+    fn partition_at_cut_positions() {
+        let text = "Ann B. Smith died on May 1, 1998. ||| Bob C. Jones died on May 2, 1998.";
+        let cut = text.find("|||").unwrap();
+        let t = table(text);
+        let parts = t.partition(&[cut]);
+        assert_eq!(parts.len(), 2);
+        assert!(parts[0].iter().all(|e| e.position < cut));
+        assert!(parts[1].iter().all(|e| e.position >= cut));
+        assert!(parts[0].iter().any(|e| e.descriptor == "DeathDate"));
+        assert!(parts[1].iter().any(|e| e.descriptor == "DeathDate"));
+    }
+
+    #[test]
+    fn partition_with_no_cuts_is_single_set() {
+        let t = table("Ann B. Smith died on May 1, 1998.");
+        let parts = t.partition(&[]);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), t.len());
+    }
+
+    #[test]
+    fn empty_text_empty_table() {
+        let t = table("");
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let t = table("Ann B. Smith died on May 1, 1998.");
+        let s = t.to_string();
+        assert!(s.contains("descriptor"));
+        assert!(s.contains("DeathDate"));
+        assert!(s.contains("died on"));
+    }
+
+    #[test]
+    fn car_ads_recognizer() {
+        let rec = Recognizer::new(&rbd_ontology::domains::car_ads()).unwrap();
+        let t = rec.recognize("1996 Honda Accord, teal, 40,000 miles, $8,900 obo, call 801-555-9999");
+        for d in ["Year", "Make", "Model", "Price", "Phone", "Color"] {
+            assert!(
+                t.for_descriptor(d).count() >= 1,
+                "missing descriptor {d}\n{t}"
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The one-pass recognizer must produce byte-for-byte the same Data-Record
+//! Table as running every rule's engine separately.
+
+use rbd_corpus::{generate_document, sites, Domain};
+use rbd_ontology::domains;
+use rbd_recognizer::{estimate_record_count_from_table, Recognizer};
+
+fn ontology_for(domain: Domain) -> rbd_ontology::Ontology {
+    match domain {
+        Domain::Obituaries => domains::obituaries(),
+        Domain::CarAds => domains::car_ads(),
+        Domain::JobAds => domains::job_ads(),
+        Domain::Courses => domains::courses(),
+    }
+}
+
+#[test]
+fn one_pass_equals_per_rule_on_corpus_documents() {
+    for domain in Domain::ALL {
+        let ontology = ontology_for(domain);
+        let rec = Recognizer::new(&ontology).unwrap();
+        for (i, style) in sites::test_sites(domain).iter().enumerate() {
+            let doc = generate_document(style, domain, i, 1998);
+            let text = rbd_html::tokenize(&doc.html).plain_text();
+            let one_pass = rec.recognize(&text);
+            let separate = rec.recognize_separately(&text);
+            assert_eq!(
+                one_pass.entries(),
+                separate.entries(),
+                "{} ({domain}) disagrees",
+                style.site
+            );
+        }
+    }
+}
+
+#[test]
+fn one_pass_equals_per_rule_on_edge_texts() {
+    let rec = Recognizer::new(&domains::obituaries()).unwrap();
+    for text in [
+        "",
+        "died on",
+        "died on died on died on",
+        "May 1, 1998May 2, 1998",
+        "ἄλφα β died on May 1, 1998 ω",
+        "no matches whatsoever here",
+    ] {
+        assert_eq!(
+            rec.recognize(text).entries(),
+            rec.recognize_separately(text).entries(),
+            "text {text:?}"
+        );
+    }
+}
+
+#[test]
+fn table_estimate_matches_fresh_scan_estimate() {
+    // §4.5 integration: counting record-identifying fields from the table
+    // must agree with counting them by re-scanning the text.
+    use rbd_heuristics::om::OntologyMatching;
+    for domain in Domain::ALL {
+        let ontology = ontology_for(domain);
+        let rec = Recognizer::new(&ontology).unwrap();
+        let om = OntologyMatching::new(ontology.clone()).unwrap();
+        let style = &sites::test_sites(domain)[0];
+        let doc = generate_document(style, domain, 0, 1998);
+        let text = rbd_html::tokenize(&doc.html).plain_text();
+        let table = rec.recognize(&text);
+        let from_table = estimate_record_count_from_table(&ontology, &table);
+        let from_scan = om.estimate_record_count(&text);
+        assert_eq!(from_table, from_scan, "{domain}");
+    }
+}

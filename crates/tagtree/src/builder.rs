@@ -1,0 +1,147 @@
+//! Tag-tree builder: the public entry point combining Appendix A's
+//! normalization (steps 1–2) with tree construction (step 3).
+
+use crate::event::{normalize_tokens, NormalizeStats};
+use crate::tree::{tree_from_events, TagTree};
+use rbd_html::{TokenStream, Tokenizer};
+
+/// Builds [`TagTree`]s from raw HTML.
+///
+/// The builder is stateless today but is a struct so future options (e.g.
+/// alternative irrelevance thresholds, tag filters) extend without breaking
+/// the API.
+#[derive(Debug, Clone, Default)]
+pub struct TagTreeBuilder {
+    xml: bool,
+}
+
+impl TagTreeBuilder {
+    /// Creates a builder with default (HTML) settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Switches to XML tokenization — the paper's footnote-1 claim that the
+    /// approach "should carry over directly to other DTDs, such as XML".
+    pub fn xml(mut self) -> Self {
+        self.xml = true;
+        self
+    }
+
+    /// Parses `source` and builds its tag tree.
+    ///
+    /// Never fails: malformed HTML is repaired per Appendix A (missing
+    /// end-tags inserted, comments and orphan end-tags discarded).
+    pub fn build(&self, source: &str) -> TagTree {
+        self.build_with_stats(source).0
+    }
+
+    /// Like [`TagTreeBuilder::build`], also returning what normalization had
+    /// to repair.
+    pub fn build_with_stats(&self, source: &str) -> (TagTree, NormalizeStats) {
+        let tokens = if self.xml {
+            Tokenizer::new_xml(source).run()
+        } else {
+            Tokenizer::new(source).run()
+        };
+        self.build_from_tokens(source.len(), &tokens)
+    }
+
+    /// Builds from an existing token stream (lets callers reuse tokens for
+    /// other purposes, e.g. the recognizer).
+    pub fn build_from_tokens(
+        &self,
+        source_len: usize,
+        tokens: &TokenStream,
+    ) -> (TagTree, NormalizeStats) {
+        let (events, stats) = normalize_tokens(tokens);
+        debug_assert!(crate::event::is_balanced(&events));
+        (tree_from_events(&events, source_len), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_stats_agree() {
+        let b = TagTreeBuilder::new();
+        let src = "<td><br>a<hr>b</td>";
+        let (tree, stats) = b.build_with_stats(src);
+        assert_eq!(stats.end_tags_inserted, 2);
+        assert_eq!(tree.len(), b.build(src).len());
+    }
+
+    #[test]
+    fn tolerates_garbage() {
+        let b = TagTreeBuilder::new();
+        for src in [
+            "",
+            "<",
+            "<><><>",
+            "</only><ends></here>",
+            "<!-- nothing -->",
+            "<a <b <c",
+            "&&&&",
+        ] {
+            let tree = b.build(src);
+            // Must not panic, and the synthetic root always exists.
+            assert_eq!(tree.node(tree.root()).name, "#root", "source {src:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A small grammar of messy HTML fragments.
+    fn arb_fragment() -> impl Strategy<Value = String> {
+        let tag = prop::sample::select(vec!["b", "i", "hr", "br", "td", "tr", "p", "h1"]);
+        let piece = prop_oneof![
+            tag.clone().prop_map(|t| format!("<{t}>")),
+            tag.prop_map(|t| format!("</{t}>")),
+            "[a-z ]{0,12}".prop_map(|s| s),
+            Just("<!-- c -->".to_owned()),
+            Just("&amp;".to_owned()),
+        ];
+        prop::collection::vec(piece, 0..40).prop_map(|v| v.concat())
+    }
+
+    proptest! {
+        /// Building never panics and the tree is internally consistent:
+        /// parent/child links agree and regions nest.
+        #[test]
+        fn builder_total_and_consistent(src in arb_fragment()) {
+            let tree = TagTreeBuilder::new().build(&src);
+            for id in tree.ids() {
+                let node = tree.node(id);
+                for &c in &node.children {
+                    prop_assert_eq!(tree.node(c).parent, Some(id));
+                    prop_assert!(
+                        node.region.encloses(tree.node(c).region),
+                        "child region escapes parent: {} !>= {}",
+                        node.region, tree.node(c).region
+                    );
+                }
+            }
+        }
+
+        /// Every start tag in the source yields exactly one node.
+        #[test]
+        fn node_count_matches_start_tags(src in arb_fragment()) {
+            let (tree, stats) = TagTreeBuilder::new().build_with_stats(&src);
+            prop_assert_eq!(tree.len(), stats.start_tags + 1);
+        }
+
+        /// The subtree text of the root equals the document's plain text.
+        #[test]
+        fn text_preserved(src in arb_fragment()) {
+            let tree = TagTreeBuilder::new().build(&src);
+            let tokens = rbd_html::tokenize(&src);
+            prop_assert_eq!(tree.subtree_text(tree.root()), tokens.plain_text());
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! The tag tree and its analysis operations (Section 3).
+
+use crate::event::Event;
+use rbd_html::Span;
+use std::fmt;
+
+/// Index of a node in a [`TagTree`]'s arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The synthetic root node's id.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Arena index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One node of the tag tree: the paper's `[G, I, O]` triple plus structure.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Start-tag name `G` (the synthetic root is named `#root`).
+    pub name: String,
+    /// Inner text `I`: plain text between the start-tag and the next tag.
+    pub inner_text: String,
+    /// Trailing text `O`: plain text between this node's end-tag and the
+    /// next tag. Belongs to the parent's region but is recorded on this
+    /// node, exactly as the paper's node form specifies.
+    pub trailing_text: String,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+    /// Parent node (`None` only for the root).
+    pub parent: Option<NodeId>,
+    /// Byte span of the node's region in the source document: from the
+    /// start of the start-tag to the end of the (possibly synthetic)
+    /// end-tag.
+    pub region: Span,
+    /// Byte span of the start-tag itself.
+    pub start_tag: Span,
+}
+
+impl Node {
+    /// Number of immediate children — the node's *fan-out*.
+    pub fn fanout(&self) -> usize {
+        self.children.len()
+    }
+}
+
+/// A start-tag that survived the 10 % filter among the children of the
+/// highest-fan-out node — a potential record separator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateTag {
+    /// Tag name.
+    pub name: String,
+    /// Number of appearances among the subtree root's immediate children.
+    pub count: usize,
+}
+
+/// One element of a flattened subtree view, in document order. The five
+/// heuristics consume this instead of re-walking the tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatEvent {
+    /// A start-tag occurrence.
+    Tag {
+        /// Tag name.
+        name: String,
+        /// Depth below the flattened subtree's root (children = 1).
+        depth: usize,
+        /// Source byte offset of the start tag (used to chunk records).
+        src_pos: usize,
+    },
+    /// A run of plain text.
+    Text {
+        /// The text content.
+        text: String,
+    },
+}
+
+impl FlatEvent {
+    /// `true` if this is a text event consisting only of whitespace.
+    pub fn is_whitespace(&self) -> bool {
+        matches!(self, FlatEvent::Text { text } if text.chars().all(char::is_whitespace))
+    }
+}
+
+/// The tag tree of a document (paper Figure 2(b)), stored as an arena.
+#[derive(Debug, Clone)]
+pub struct TagTree {
+    pub(crate) nodes: Vec<Node>,
+    /// Length of the source document in bytes (regions index into it).
+    pub(crate) source_len: usize,
+}
+
+impl TagTree {
+    pub(crate) fn new(nodes: Vec<Node>, source_len: usize) -> Self {
+        debug_assert!(!nodes.is_empty());
+        TagTree { nodes, source_len }
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this tree.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The synthetic root (named `#root`); its children are the document's
+    /// top-level elements.
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Total number of nodes including the synthetic root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the tree has only the synthetic root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Length of the source document in bytes.
+    pub fn source_len(&self) -> usize {
+        self.source_len
+    }
+
+    /// All node ids in document (pre-) order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Node ids of the subtree rooted at `id`, in document order,
+    /// including `id` itself.
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            // Push children reversed so they pop in document order.
+            for &c in self.node(n).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// The node with the highest fan-out (most immediate children); ties go
+    /// to the earliest node in document order. This is the paper's
+    /// conjecture for where the records live.
+    pub fn highest_fanout(&self) -> NodeId {
+        let mut best = NodeId::ROOT;
+        let mut best_fanout = self.node(best).fanout();
+        for id in self.ids().skip(1) {
+            let f = self.node(id).fanout();
+            if f > best_fanout {
+                best = id;
+                best_fanout = f;
+            }
+        }
+        best
+    }
+
+    /// Number of start-tags in the subtree rooted at `id`, excluding `id`
+    /// itself — the paper's "total number of tags in the subtree rooted at
+    /// N" used as the base of the 10 % irrelevance threshold.
+    pub fn subtree_tag_count(&self, id: NodeId) -> usize {
+        self.descendants(id).len() - 1
+    }
+
+    /// Appearance counts of each start-tag among the *immediate children*
+    /// of `id`, in first-appearance order.
+    pub fn child_tag_counts(&self, id: NodeId) -> Vec<CandidateTag> {
+        let mut counts: Vec<CandidateTag> = Vec::new();
+        for &c in &self.node(id).children {
+            let name = &self.node(c).name;
+            match counts.iter_mut().find(|t| &t.name == name) {
+                Some(t) => t.count += 1,
+                None => counts.push(CandidateTag {
+                    name: name.clone(),
+                    count: 1,
+                }),
+            }
+        }
+        counts
+    }
+
+    /// Candidate separator tags of the subtree rooted at `id`: child
+    /// start-tags whose appearance count is at least `threshold` (the paper
+    /// uses 10 %) of the subtree's total tag count. Tags below the
+    /// threshold are *irrelevant*.
+    pub fn candidate_tags(&self, id: NodeId, threshold: f64) -> Vec<CandidateTag> {
+        let total = self.subtree_tag_count(id) as f64;
+        self.child_tag_counts(id)
+            .into_iter()
+            .filter(|t| (t.count as f64) >= threshold * total)
+            .collect()
+    }
+
+    /// Flattens the subtree rooted at `id` into document-order events:
+    /// every descendant start-tag plus every run of plain text (inner and
+    /// trailing). The subtree root's own tag is *not* included; its inner
+    /// text is.
+    pub fn flatten(&self, id: NodeId) -> Vec<FlatEvent> {
+        let mut out = Vec::new();
+        let root_node = self.node(id);
+        if !root_node.inner_text.is_empty() {
+            out.push(FlatEvent::Text {
+                text: root_node.inner_text.clone(),
+            });
+        }
+        for &c in &root_node.children {
+            self.flatten_into(c, 1, &mut out);
+        }
+        out
+    }
+
+    fn flatten_into(&self, id: NodeId, depth: usize, out: &mut Vec<FlatEvent>) {
+        let node = self.node(id);
+        out.push(FlatEvent::Tag {
+            name: node.name.clone(),
+            depth,
+            src_pos: node.start_tag.start,
+        });
+        if !node.inner_text.is_empty() {
+            out.push(FlatEvent::Text {
+                text: node.inner_text.clone(),
+            });
+        }
+        for &c in &node.children {
+            self.flatten_into(c, depth + 1, out);
+        }
+        if !node.trailing_text.is_empty() {
+            out.push(FlatEvent::Text {
+                text: node.trailing_text.clone(),
+            });
+        }
+    }
+
+    /// Concatenated plain text of the subtree rooted at `id`.
+    pub fn subtree_text(&self, id: NodeId) -> String {
+        let mut s = String::new();
+        for ev in self.flatten(id) {
+            if let FlatEvent::Text { text } = ev {
+                s.push_str(&text);
+            }
+        }
+        s
+    }
+
+    /// Source byte offsets of the start-tags of every occurrence of `tag`
+    /// among the immediate children of `id`, in document order. These are
+    /// the record-boundary cut points.
+    pub fn child_tag_positions(&self, id: NodeId, tag: &str) -> Vec<usize> {
+        self.node(id)
+            .children
+            .iter()
+            .map(|&c| self.node(c))
+            .filter(|n| n.name == tag)
+            .map(|n| n.start_tag.start)
+            .collect()
+    }
+
+    /// Renders the tree as an indented outline (for debugging and docs).
+    pub fn outline(&self) -> String {
+        let mut s = String::new();
+        self.outline_into(NodeId::ROOT, 0, &mut s);
+        s
+    }
+
+    fn outline_into(&self, id: NodeId, depth: usize, out: &mut String) {
+        let node = self.node(id);
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&node.name);
+        out.push('\n');
+        for &c in &node.children {
+            self.outline_into(c, depth + 1, out);
+        }
+    }
+}
+
+/// Rebuilds a [`TagTree`] from normalized events — exposed for property
+/// tests that validate builder equivalence.
+pub(crate) fn tree_from_events(events: &[Event], source_len: usize) -> TagTree {
+    let root = Node {
+        name: "#root".to_owned(),
+        inner_text: String::new(),
+        trailing_text: String::new(),
+        children: Vec::new(),
+        parent: None,
+        region: Span::new(0, source_len),
+        start_tag: Span::new(0, 0),
+    };
+    let mut nodes = vec![root];
+    let mut stack: Vec<NodeId> = vec![NodeId::ROOT];
+    // The node the last event "belongs" to for text attachment: Start(x)
+    // directs following text into x.inner_text, End(x) into x.trailing_text.
+    enum Attach {
+        Inner(NodeId),
+        Trailing(NodeId),
+    }
+    let mut attach = Attach::Inner(NodeId::ROOT);
+
+    for ev in events {
+        match ev {
+            Event::Start { name, src } => {
+                let parent = *stack.last().expect("stack never empty");
+                let id = NodeId(nodes.len() as u32);
+                nodes.push(Node {
+                    name: name.clone(),
+                    inner_text: String::new(),
+                    trailing_text: String::new(),
+                    children: Vec::new(),
+                    parent: Some(parent),
+                    region: Span::new(src.start, src.end),
+                    start_tag: *src,
+                });
+                nodes[parent.index()].children.push(id);
+                stack.push(id);
+                attach = Attach::Inner(id);
+            }
+            Event::End { src, .. } => {
+                let id = stack.pop().expect("balanced events");
+                debug_assert_ne!(id, NodeId::ROOT, "unbalanced event stream");
+                nodes[id.index()].region = Span::new(nodes[id.index()].region.start, src.end);
+                attach = Attach::Trailing(id);
+            }
+            Event::Text { text, .. } => match attach {
+                Attach::Inner(id) => nodes[id.index()].inner_text.push_str(text),
+                Attach::Trailing(id) => nodes[id.index()].trailing_text.push_str(text),
+            },
+        }
+    }
+    TagTree::new(nodes, source_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::TagTreeBuilder;
+
+    fn build(src: &str) -> super::TagTree {
+        TagTreeBuilder::default().build(src)
+    }
+
+    #[test]
+    fn figure2_tree_outline() {
+        let src = "<html><head><title>Classifieds</title></head><body>\
+            <table><tr><td>\
+            <h1>Funeral Notices - </h1> October 1, 1998 <hr>\
+            <b>Lemar K. Adamson</b><br> died on September 30, 1998. <b>MEMORIAL CHAPEL</b>, <br><hr>\
+            Our beloved <b>Brian Fielding Frost</b>, <b>Howard Stake Center</b>, <b>Carrillo's Tucson Mortuary</b>, Holy Hope Cemetery<br>, <hr>\
+            <b>Leonard Kenneth Gunther</b><br> passed away. <b>HEATHER MORTUARY</b>, at <b>HEATHER MORTUARY</b>, on Tuesday.<br><hr>\
+            </td></tr></table>All material is copyrighted.</body></html>";
+        let tree = build(src);
+        let expected = "#root\n  html\n    head\n      title\n    body\n      table\n        tr\n          td\n            h1\n            hr\n            b\n            br\n            b\n            br\n            hr\n            b\n            b\n            b\n            br\n            hr\n            b\n            br\n            b\n            b\n            br\n            hr\n";
+        assert_eq!(tree.outline(), expected);
+    }
+
+    #[test]
+    fn figure2_fanout_and_candidates() {
+        let src = "<html><head><title>C</title></head><body><table><tr><td>\
+            <h1>F</h1> text <hr>\
+            <b>A</b><br> xx <b>M</b> yy <br><hr>\
+            <b>B</b> zz <b>H</b> <b>T</b> ww <br><hr>\
+            <b>L</b><br> vv <b>H2</b> <b>H3</b> uu <br><hr>\
+            </td></tr></table></body></html>";
+        let tree = build(src);
+        let hf = tree.highest_fanout();
+        assert_eq!(tree.node(hf).name, "td");
+        assert_eq!(tree.node(hf).fanout(), 18);
+        assert_eq!(tree.subtree_tag_count(hf), 18);
+        let cands = tree.candidate_tags(hf, 0.10);
+        let names: Vec<&str> = cands.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["hr", "b", "br"]);
+        let by_name = |n: &str| cands.iter().find(|c| c.name == n).unwrap().count;
+        assert_eq!(by_name("hr"), 4);
+        assert_eq!(by_name("b"), 8);
+        assert_eq!(by_name("br"), 5);
+    }
+
+    #[test]
+    fn inner_and_trailing_text() {
+        let tree = build("<td><b>name</b> died on <hr></td>");
+        let td = tree.node(tree.highest_fanout());
+        assert_eq!(td.name, "td");
+        let b = tree.node(td.children[0]);
+        assert_eq!(b.name, "b");
+        assert_eq!(b.inner_text, "name");
+        assert_eq!(b.trailing_text, " died on ");
+    }
+
+    #[test]
+    fn nested_text_attachment() {
+        let tree = build("<div>lead<p>para</p>tail</div>");
+        let div = tree.node(tree.node(tree.root()).children[0]);
+        assert_eq!(div.inner_text, "lead");
+        let p = tree.node(div.children[0]);
+        assert_eq!(p.inner_text, "para");
+        assert_eq!(p.trailing_text, "tail");
+    }
+
+    #[test]
+    fn subtree_text_concatenates_in_order() {
+        let tree = build("<div>a<p>b</p>c<p>d</p>e</div>");
+        let div = tree
+            .ids()
+            .find(|&i| tree.node(i).name == "div")
+            .unwrap();
+        assert_eq!(tree.subtree_text(div), "abcde");
+    }
+
+    #[test]
+    fn flatten_depth_and_order() {
+        use super::FlatEvent;
+        let tree = build("<div><p>x<b>y</b></p><hr></div>");
+        let div = tree
+            .ids()
+            .find(|&i| tree.node(i).name == "div")
+            .unwrap();
+        let flat = tree.flatten(div);
+        let mut tags = vec![];
+        for ev in &flat {
+            if let FlatEvent::Tag { name, depth, .. } = ev {
+                tags.push((name.as_str(), *depth));
+            }
+        }
+        assert_eq!(tags, vec![("p", 1), ("b", 2), ("hr", 1)]);
+    }
+
+    #[test]
+    fn child_tag_positions_are_cut_points() {
+        let src = "<td><hr>a<hr>b<hr>c</td>";
+        let tree = build(src);
+        let td = tree
+            .ids()
+            .find(|&i| tree.node(i).name == "td")
+            .unwrap();
+        let pos = tree.child_tag_positions(td, "hr");
+        assert_eq!(pos.len(), 3);
+        for &p in &pos {
+            assert_eq!(&src[p..p + 4], "<hr>");
+        }
+    }
+
+    #[test]
+    fn empty_document_tree() {
+        let tree = build("");
+        assert!(tree.is_empty());
+        assert_eq!(tree.node(tree.root()).name, "#root");
+        assert_eq!(tree.highest_fanout(), tree.root());
+    }
+
+    #[test]
+    fn text_only_document_attaches_to_root() {
+        let tree = build("hello");
+        assert_eq!(tree.node(tree.root()).inner_text, "hello");
+    }
+
+    #[test]
+    fn fanout_tie_goes_to_document_order() {
+        // Both divs have fan-out 3 (more than their parent's 2); on the
+        // tie, the first div in document order must win.
+        let tree = build(
+            "<a><div><p>1</p><p>2</p><p>3</p></div><div><p>4</p><p>5</p><p>6</p></div></a>",
+        );
+        let hf = tree.highest_fanout();
+        let divs: Vec<_> = tree
+            .ids()
+            .filter(|&i| tree.node(i).name == "div")
+            .collect();
+        assert_eq!(hf, divs[0]);
+    }
+
+    #[test]
+    fn regions_nest() {
+        let src = "<html><body><b>x</b></body></html>";
+        let tree = build(src);
+        let html = tree.node(tree.node(tree.root()).children[0]);
+        let body = tree.node(html.children[0]);
+        let b = tree.node(body.children[0]);
+        assert!(html.region.encloses(body.region));
+        assert!(body.region.encloses(b.region));
+        assert_eq!(b.region.slice(src), "<b>x</b>");
+    }
+
+    #[test]
+    fn synthetic_region_ends_before_next_tag() {
+        let src = "<td><br>text<hr></td>";
+        let tree = build(src);
+        let td = tree
+            .ids()
+            .find(|&i| tree.node(i).name == "td")
+            .unwrap();
+        let br = tree.node(tree.node(td).children[0]);
+        assert_eq!(br.name, "br");
+        assert_eq!(br.region.slice(src), "<br>text");
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let tree = build("<a><b><c></c></b><d></d></a>");
+        let a = tree.node(tree.root()).children[0];
+        let names: Vec<_> = tree
+            .descendants(a)
+            .into_iter()
+            .map(|i| tree.node(i).name.clone())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Equivalence testing of the normalization pass against an independent,
+//! deliberately naive reference implementation of Appendix A.
+//!
+//! The production pass (`rbd_tagtree::event::normalize`) uses O(1) anchor
+//! bookkeeping and a single splice; the reference below re-scans and
+//! `Vec::insert`s at every recovery pop (quadratic, but indisputably the
+//! algorithm as written). Property tests check that both produce the same
+//! balanced event sequence on arbitrary tag soup.
+
+use proptest::prelude::*;
+use rbd_html::{tokenize, Token};
+use rbd_tagtree::event::{is_balanced, normalize, Event};
+
+/// Reference event: name + start/end/text discriminator, no spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RefEvent {
+    Start(String),
+    End(String),
+    Text(String),
+}
+
+/// The reference normalizer: literal Appendix A with immediate insertion.
+fn normalize_reference(source: &str) -> Vec<RefEvent> {
+    let tokens = tokenize(source);
+    let mut events: Vec<RefEvent> = Vec::new();
+    // Stack of (tag name, index of its Start event in `events`).
+    let mut stack: Vec<(String, usize)> = Vec::new();
+
+    // Index where a synthetic end for the start at `start_idx` belongs:
+    // just before the first tag event after it, else at the end.
+    fn anchor(events: &[RefEvent], start_idx: usize) -> usize {
+        for (i, ev) in events.iter().enumerate().skip(start_idx + 1) {
+            if matches!(ev, RefEvent::Start(_) | RefEvent::End(_)) {
+                return i;
+            }
+        }
+        events.len()
+    }
+
+    for tok in &tokens.tokens {
+        match tok {
+            Token::Comment(_) | Token::Doctype(_) | Token::ProcessingInstruction(_) => {}
+            Token::Text(t) => events.push(RefEvent::Text(t.text.clone())),
+            Token::Start(t) => {
+                events.push(RefEvent::Start(t.name.clone()));
+                if t.self_closing {
+                    events.push(RefEvent::End(t.name.clone()));
+                } else {
+                    stack.push((t.name.clone(), events.len() - 1));
+                }
+            }
+            Token::End(t) => {
+                let Some(pos) = stack.iter().rposition(|(n, _)| *n == t.name) else {
+                    continue; // orphan end tag: discard
+                };
+                while stack.len() > pos + 1 {
+                    let (name, start_idx) = stack.pop().expect("len > pos+1");
+                    let at = anchor(&events, start_idx);
+                    events.insert(at, RefEvent::End(name));
+                    // Insertion may shift indices recorded on the stack;
+                    // fix up any start index at or after the insertion.
+                    for (_, idx) in stack.iter_mut() {
+                        if *idx >= at {
+                            *idx += 1;
+                        }
+                    }
+                }
+                stack.pop();
+                events.push(RefEvent::End(t.name.clone()));
+            }
+        }
+    }
+    while let Some((name, start_idx)) = stack.pop() {
+        let at = anchor(&events, start_idx);
+        events.insert(at, RefEvent::End(name));
+        for (_, idx) in stack.iter_mut() {
+            if *idx >= at {
+                *idx += 1;
+            }
+        }
+    }
+    events
+}
+
+fn production(source: &str) -> Vec<RefEvent> {
+    let (events, _) = normalize(source);
+    assert!(is_balanced(&events), "production output must balance");
+    events
+        .into_iter()
+        .map(|ev| match ev {
+            Event::Start { name, .. } => RefEvent::Start(name),
+            Event::End { name, .. } => RefEvent::End(name),
+            Event::Text { text, .. } => RefEvent::Text(text),
+        })
+        .collect()
+}
+
+fn assert_equivalent(source: &str) {
+    let got = production(source);
+    let expected = normalize_reference(source);
+    assert_eq!(got, expected, "source: {source:?}");
+}
+
+#[test]
+fn hand_picked_cases() {
+    for src in [
+        "",
+        "plain text",
+        "<b>x</b>",
+        "<td><br>text<hr>more</td>",
+        "<td><b>bold<i>it</i></td>",
+        "<ul><li>a<li>b<li>c</ul>",
+        "<b>x<i>y</b>z</i>w",
+        "<html><body>text",
+        "<b>x<i>y",
+        "<a><b></parent>",
+        "<table><tr><td><h1>F</h1><hr><b>L</b><br> died.<hr></td></tr></table>",
+        "<p><br/>x</p>",
+        "<x><x><x></x>",
+    ] {
+        assert_equivalent(src);
+    }
+}
+
+fn arb_soup() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        prop::sample::select(vec!["b", "i", "hr", "br", "td", "tr", "p", "div", "li"])
+            .prop_map(|t| format!("<{t}>")),
+        prop::sample::select(vec!["b", "i", "hr", "br", "td", "tr", "p", "div", "li"])
+            .prop_map(|t| format!("</{t}>")),
+        "[a-z ]{0,10}".prop_map(|s| s),
+        Just("<br/>".to_owned()),
+        Just("<!-- c -->".to_owned()),
+    ];
+    prop::collection::vec(piece, 0..60).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The O(n) production normalizer and the literal quadratic reference
+    /// agree on arbitrary tag soup.
+    #[test]
+    fn equivalent_on_random_soup(src in arb_soup()) {
+        let got = production(&src);
+        let expected = normalize_reference(&src);
+        prop_assert_eq!(got, expected, "source: {:?}", src);
+    }
+
+    /// The reference itself always produces balanced output (sanity check
+    /// on the oracle).
+    #[test]
+    fn reference_balances(src in arb_soup()) {
+        let events = normalize_reference(&src);
+        let mut stack = Vec::new();
+        for ev in &events {
+            match ev {
+                RefEvent::Start(n) => stack.push(n.clone()),
+                RefEvent::End(n) => {
+                    let popped = stack.pop();
+                    prop_assert_eq!(popped.as_deref(), Some(n.as_str()));
+                }
+                RefEvent::Text(_) => {}
+            }
+        }
+        prop_assert!(stack.is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Extending the system to a *new* application domain — apartment rental
+//! listings — without writing any Rust: the ontology is declared in the
+//! text DSL, exactly the paper's claim that "when we change applications …
+//! we change the ontology, and everything else remains the same".
+//!
+//! ```sh
+//! cargo run --example custom_ontology
+//! ```
+
+use rbd::prelude::*;
+use rbd_db::InstanceGenerator;
+use rbd_ontology::parse_ontology;
+use rbd_recognizer::Recognizer;
+
+/// An application ontology for apartment rentals, in the DSL of
+/// `rbd_ontology::dsl`.
+const RENTALS_ONTOLOGY: &str = r#"
+ontology rental entity Apartment
+
+object Bedrooms one-to-one {
+    keyword "[0-9] (bdrm|bedroom|br\b)"
+}
+
+object Rent one-to-one type money {
+    keyword "\$[0-9][0-9,]*/mo|rent"
+    value "\$[0-9][0-9,]*"
+}
+
+object Deposit functional type money {
+    keyword "deposit"
+}
+
+object Available functional {
+    keyword "available (now|immediately|[A-Z][a-z]+ [0-9]{1,2})"
+}
+
+object Phone functional type phone {
+    keyword "call"
+    value "\(?[0-9]{3}\)?[- ][0-9]{3}-[0-9]{4}"
+}
+
+object Amenity many {
+    keyword "w/d hookups|covered parking|pool|dishwasher|fireplace|no pets"
+}
+"#;
+
+const LISTINGS_PAGE: &str = r#"<html><head><title>Apartments</title></head><body>
+<h1>Apartments For Rent</h1>
+<hr><b>Downtown studio</b><br> 1 bdrm, $450/mo, deposit $200. Covered parking,
+no pets. Available now. Call (801) 555-0101.
+<hr><b>East bench duplex</b><br> 3 bedroom, $795/mo plus deposit. W/D hookups,
+dishwasher, fireplace. Available October 15. Call (801) 555-0188.
+<hr><b>Campus condo</b><br> 2 bdrm, $625/mo, deposit $300. Pool, dishwasher.
+Available immediately. Call (801) 555-0175.
+<hr></body></html>"#;
+
+fn main() {
+    // 1. Parse the ontology from text.
+    let ontology = parse_ontology(RENTALS_ONTOLOGY).expect("DSL parses");
+    assert!(ontology.validate().is_empty());
+    println!(
+        "Parsed ontology `{}` with {} object sets; record-identifying fields:",
+        ontology.name,
+        ontology.len()
+    );
+    for f in ontology.record_identifying_fields() {
+        println!(
+            "  {} ({}, via {})",
+            f.object_set.name,
+            f.object_set.cardinality,
+            if f.via_keywords { "keywords" } else { "values" }
+        );
+    }
+
+    // 2. Everything downstream is unchanged.
+    let extractor = RecordExtractor::new(
+        ExtractorConfig::default().with_ontology(ontology.clone()),
+    )
+    .expect("ontology compiles");
+    let extraction = extractor.extract_records(LISTINGS_PAGE).expect("records");
+    println!(
+        "\nSeparator <{}>; {} listings found.",
+        extraction.outcome.separator,
+        extraction.records.len()
+    );
+
+    let recognizer = Recognizer::new(&ontology).expect("rules compile");
+    let tables: Vec<_> = extraction
+        .records
+        .iter()
+        .map(|r| recognizer.recognize(&r.text))
+        .collect();
+    let db = InstanceGenerator::new(&ontology).populate(&tables);
+    println!("\n{db}");
+}

@@ -1,0 +1,74 @@
+//! Quickstart: discover the record separator of the paper's Figure 2
+//! document and print every intermediate artifact.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rbd::prelude::*;
+use rbd_ontology::domains;
+
+const FIGURE_2: &str = r##"<html><head><title>Classifieds</title></head>
+<body bgcolor="#FFFFFF">
+<table><tr><td>
+<h1 align="left">Funeral Notices - </h1> October 1, 1998
+<hr>
+<b>Lemar K. Adamson</b><br> died on September 30, 1998. Lemar was born on
+September 5, 1913 and was a faithful member of his church. Services are at the
+<b>MEMORIAL CHAPEL</b>, where friends may call. <br>
+<hr>
+Our beloved <b>Brian Fielding Frost</b>, age 41, passed away on September 30,
+1998. A viewing will be held in the <b>Howard Stake Center</b>, under the
+direction of <b>Carrillo's Tucson Mortuary</b>, with interment at
+Holy Hope Cemetery<br>, on Tuesday.
+<hr>
+<b>Leonard Kenneth Gunther</b><br> passed away on September 30, 1998. Friends
+may visit at <b>HEATHER MORTUARY</b>. Services will be held at 11:00 a.m. at
+<b>HEATHER MORTUARY</b>, on Tuesday, October 6, 1998.<br>
+<hr>
+</td></tr></table>
+All material is copyrighted.
+</body></html>"##;
+
+fn main() {
+    // 1. The tag tree (paper Figure 2(b)).
+    let tree = TagTreeBuilder::default().build(FIGURE_2);
+    println!("Tag tree:\n{}", tree.outline());
+
+    // 2. Highest-fan-out subtree and candidate tags (§3).
+    let fanout = tree.highest_fanout();
+    println!(
+        "Highest-fan-out subtree: <{}> with {} children",
+        tree.node(fanout).name,
+        tree.node(fanout).fanout()
+    );
+    for c in tree.candidate_tags(fanout, 0.10) {
+        println!("  candidate <{}> ({} appearances)", c.name, c.count);
+    }
+
+    // 3. Full discovery with the obituary ontology enabled (§4–§5).
+    let extractor = RecordExtractor::new(
+        ExtractorConfig::default().with_ontology(domains::obituaries()),
+    )
+    .expect("built-in ontology compiles");
+    let outcome = extractor.discover(FIGURE_2).expect("document has records");
+
+    println!("\nIndividual heuristics:");
+    for ranking in &outcome.rankings {
+        println!("  {}", ranking.to_paper_string());
+    }
+
+    println!("\nCompound (ORSIH) certainties:");
+    for scored in &outcome.consensus.scored {
+        println!("  {:<4} {}", scored.tag, scored.certainty);
+    }
+    println!("\nConsensus separator: <{}>", outcome.separator);
+
+    // 4. Chunk the records.
+    let extraction = extractor.extract_records(FIGURE_2).expect("extractable");
+    println!("\n{} records:", extraction.records.len());
+    for (i, record) in extraction.records.iter().enumerate() {
+        let preview: String = record.text.chars().take(60).collect();
+        println!("  [{i}] {preview}…");
+    }
+}

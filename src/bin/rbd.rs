@@ -1,0 +1,290 @@
+//! `rbd` — command-line record-boundary discovery and extraction.
+//!
+//! ```text
+//! rbd discover [FILE] [--ontology NAME|--ontology-file PATH] [--json]
+//! rbd extract  [FILE] [--ontology NAME|--ontology-file PATH] [--json]
+//! rbd pipeline [FILE] --ontology NAME|--ontology-file PATH   [--json]
+//! rbd check    [FILE] [--ontology NAME|--ontology-file PATH]
+//! rbd tree     [FILE]
+//! ```
+//!
+//! `FILE` defaults to standard input. `--ontology` accepts the four built-in
+//! domain names (`obituary`, `car-ad`, `job-ad`, `course`); `--ontology-file`
+//! loads the `rbd_ontology::dsl` text format, so new domains need no
+//! recompilation.
+
+use rbd::core::{check_assumptions, ExtractorConfig, RecordExtractor};
+use rbd::db::InstanceGenerator;
+use rbd::ontology::{domains, parse_ontology, Ontology};
+use rbd::recognizer::Recognizer;
+use rbd::tagtree::TagTreeBuilder;
+use std::fmt::Write as _;
+use std::io::{Read, Write as _};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: rbd <discover|extract|pipeline|check|tree> [FILE]
+           [--ontology obituary|car-ad|job-ad|course]
+           [--ontology-file PATH] [--json] [--xml]
+
+Reads HTML from FILE (or stdin) and:
+  discover   print the consensus record separator and heuristic rankings
+  extract    print the cleaned record chunks
+  pipeline   populate and dump the relational database (needs an ontology)
+  check      verify the paper's assumptions (multiple records present?)
+  tree       print the document's tag tree";
+
+struct Args {
+    command: String,
+    file: Option<String>,
+    ontology: Option<Ontology>,
+    json: bool,
+    xml: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or(USAGE)?;
+    if matches!(command.as_str(), "-h" | "--help") {
+        println!("{USAGE}");
+        std::process::exit(0);
+    }
+    let mut args = Args {
+        command,
+        file: None,
+        ontology: None,
+        json: false,
+        xml: false,
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--ontology" => {
+                let name = argv.next().ok_or("--ontology needs a name")?;
+                args.ontology = Some(match name.as_str() {
+                    "obituary" | "obituaries" => domains::obituaries(),
+                    "car-ad" | "car-ads" | "cars" => domains::car_ads(),
+                    "job-ad" | "job-ads" | "jobs" => domains::job_ads(),
+                    "course" | "courses" => domains::courses(),
+                    other => return Err(format!("unknown built-in ontology `{other}`")),
+                });
+            }
+            "--ontology-file" => {
+                let path = argv.next().ok_or("--ontology-file needs a path")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let ontology = parse_ontology(&text).map_err(|e| format!("{path}: {e}"))?;
+                let problems = ontology.validate();
+                if !problems.is_empty() {
+                    return Err(format!("{path}: {}", problems.join("; ")));
+                }
+                args.ontology = Some(ontology);
+            }
+            "--json" => args.json = true,
+            "--xml" => args.xml = true,
+            other if args.file.is_none() && !other.starts_with('-') => {
+                args.file = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn read_input(file: Option<&str>) -> Result<String, String> {
+    match file {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+        }
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            Ok(buf)
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes `text` to stdout, ignoring errors — `rbd … | head` must not
+/// panic when the pipe closes early.
+fn emit(text: &str) {
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let html = read_input(args.file.as_deref())?;
+    let mut out = String::new();
+
+    if args.command == "tree" {
+        let builder = if args.xml {
+            TagTreeBuilder::default().xml()
+        } else {
+            TagTreeBuilder::default()
+        };
+        emit(&builder.build(&html).outline());
+        return Ok(());
+    }
+
+    let mut config = ExtractorConfig::default();
+    if args.xml {
+        config = config.xml();
+    }
+    if let Some(ontology) = args.ontology.clone() {
+        config = config.with_ontology(ontology);
+    }
+
+    if args.command == "check" {
+        let report = check_assumptions(&html, &config).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "class: {}", report.class);
+        let _ = writeln!(out, "max fan-out: {}", report.max_fanout);
+        let _ = writeln!(out, "candidate tags: {}", report.candidate_count);
+        match report.estimated_records {
+            Some(est) => {
+                let _ = writeln!(out, "estimated records: {est:.1}");
+            }
+            None => {
+                let _ = writeln!(out, "estimated records: (no ontology)");
+            }
+        }
+        emit(&out);
+        return Ok(());
+    }
+
+    let extractor = RecordExtractor::new(config).map_err(|e| e.to_string())?;
+
+    match args.command.as_str() {
+        "discover" => {
+            let outcome = extractor.discover(&html).map_err(|e| e.to_string())?;
+            if args.json {
+                let scored: Vec<String> = outcome
+                    .consensus
+                    .scored
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{{\"tag\":\"{}\",\"certainty\":{:.6}}}",
+                            json_escape(&s.tag),
+                            s.certainty.value()
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(out, 
+                    "{{\"separator\":\"{}\",\"subtree\":\"{}\",\"candidates\":{},\"scored\":[{}]}}",
+                    json_escape(&outcome.separator),
+                    json_escape(&outcome.subtree_tag),
+                    outcome.candidates.len(),
+                    scored.join(",")
+                );
+            } else {
+                let _ = writeln!(out, "highest-fan-out subtree: <{}>", outcome.subtree_tag);
+                for ranking in &outcome.rankings {
+                    let _ = writeln!(out, "{}", ranking.to_paper_string());
+                }
+                for s in &outcome.consensus.scored {
+                    let _ = writeln!(out, "  {:<6} {}", s.tag, s.certainty);
+                }
+                let _ = writeln!(out, "separator: <{}>", outcome.separator);
+            }
+        }
+        "extract" => {
+            let extraction = extractor.extract_records(&html).map_err(|e| e.to_string())?;
+            if args.json {
+                let records: Vec<String> = extraction
+                    .records
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            "{{\"start\":{},\"end\":{},\"text\":\"{}\"}}",
+                            r.start,
+                            r.end,
+                            json_escape(&r.text)
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(out, 
+                    "{{\"separator\":\"{}\",\"records\":[{}]}}",
+                    json_escape(&extraction.outcome.separator),
+                    records.join(",")
+                );
+            } else {
+                for (i, r) in extraction.records.iter().enumerate() {
+                    let _ = writeln!(out, "--- record {i} ---");
+                    let _ = writeln!(out, "{}", r.text);
+                }
+            }
+        }
+        "pipeline" => {
+            let ontology = args
+                .ontology
+                .ok_or("pipeline requires --ontology or --ontology-file")?;
+            let extraction = extractor.extract_records(&html).map_err(|e| e.to_string())?;
+            let recognizer = Recognizer::new(&ontology).map_err(|e| e.to_string())?;
+            let tables: Vec<_> = extraction
+                .records
+                .iter()
+                .map(|r| recognizer.recognize(&r.text))
+                .collect();
+            let db = InstanceGenerator::new(&ontology).populate(&tables);
+            if args.json {
+                // One object per entity row.
+                let entity = db.table(&db.scheme().entity_relation).expect("entity");
+                let cols: Vec<&str> = entity
+                    .relation()
+                    .columns
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect();
+                let rows: Vec<String> = entity
+                    .rows()
+                    .iter()
+                    .map(|row| {
+                        let fields: Vec<String> = cols
+                            .iter()
+                            .zip(row)
+                            .map(|(c, v)| match v {
+                                Some(v) => {
+                                    format!("\"{}\":\"{}\"", json_escape(c), json_escape(v))
+                                }
+                                None => format!("\"{}\":null", json_escape(c)),
+                            })
+                            .collect();
+                        format!("{{{}}}", fields.join(","))
+                    })
+                    .collect();
+                let _ = writeln!(out, "[{}]", rows.join(","));
+            } else {
+                let _ = write!(out, "{db}");
+            }
+        }
+        other => return Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+    emit(&out);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # rbd — Record-Boundary Discovery in Web Documents
+//!
+//! Umbrella crate for the full reproduction of *Record-Boundary Discovery in
+//! Web Documents* (D.W. Embley, Y. Jiang, Y.-K. Ng; SIGMOD 1999). It
+//! re-exports every subsystem so downstream users depend on a single crate:
+//!
+//! * [`html`] — from-scratch HTML tokenizer,
+//! * [`tagtree`] — Appendix-A tag-tree construction and fan-out analysis,
+//! * [`pattern`] — the regular-expression engine behind data frames,
+//! * [`ontology`] — application ontologies and matching-rule generation,
+//! * [`heuristics`] — the five ranking heuristics (HT, IT, SD, RP, OM),
+//! * [`certainty`] — Stanford certainty theory and compound heuristics,
+//! * [`core`] — the Record Extractor (discovery + chunking),
+//! * [`recognizer`] — constant/keyword recognition (Data-Record Table),
+//! * [`db`] — in-memory relational database and instance generator,
+//! * [`corpus`] — synthetic web-document corpus,
+//! * [`eval`] — the experiment harness reproducing the paper's tables.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rbd::prelude::*;
+//!
+//! let html = "<html><body><table><tr><td>\
+//!     <hr><b>A. Person</b><br> died on January 1, 1998.\
+//!     <hr><b>B. Person</b><br> died on January 2, 1998.\
+//!     <hr><b>C. Person</b><br> died on January 3, 1998.\
+//!     <hr></td></tr></table></body></html>";
+//!
+//! let extractor = RecordExtractor::new(ExtractorConfig::default()).unwrap();
+//! let outcome = extractor.discover(html).unwrap();
+//! assert_eq!(outcome.separator.as_str(), "hr");
+//! ```
+
+pub use rbd_certainty as certainty;
+pub use rbd_core as core;
+pub use rbd_corpus as corpus;
+pub use rbd_db as db;
+pub use rbd_eval as eval;
+pub use rbd_heuristics as heuristics;
+pub use rbd_html as html;
+pub use rbd_ontology as ontology;
+pub use rbd_pattern as pattern;
+pub use rbd_recognizer as recognizer;
+pub use rbd_tagtree as tagtree;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use rbd_certainty::{CertaintyFactor, CertaintyTable, CompoundHeuristic, HeuristicSet};
+    pub use rbd_core::{DiscoveryOutcome, ExtractorConfig, RecordExtractor};
+    pub use rbd_heuristics::{Heuristic, HeuristicKind, Ranking};
+    pub use rbd_html::tokenize;
+    pub use rbd_ontology::Ontology;
+    pub use rbd_tagtree::{TagTree, TagTreeBuilder};
+}

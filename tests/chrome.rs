@@ -1,0 +1,87 @@
+//! Navigation chrome and the limits of the highest-fan-out conjecture.
+//!
+//! §3: "It is our conjecture that in a Web document with multiple records
+//! of interest, the subtree whose root has the highest fan-out should
+//! contain the records. Indeed, we do not consider Web documents that do
+//! not satisfy this conjecture." These tests pin down both sides: modest
+//! chrome never steals the fan-out, and a nav bar wider than the record
+//! list *does* — the documented failure mode outside the paper's scope.
+
+use rbd::core::RecordExtractor;
+use rbd::tagtree::TagTreeBuilder;
+use rbd_corpus::{generate_document, sites, Domain};
+
+/// A page whose record area holds `n_records` hr-separated records and
+/// whose nav cell holds `n_links` anchors.
+fn page(n_links: usize, n_records: usize) -> String {
+    let mut d = String::from("<html><body><table><tr><td>");
+    for i in 0..n_links {
+        d.push_str(&format!("<a href=\"s{i}.html\">Section {i}</a> | "));
+    }
+    d.push_str("</td></tr></table>\n<table><tr><td>");
+    for i in 0..n_records {
+        d.push_str(&format!(
+            "<hr><b>Record {i}</b> body text of record number {i} goes here."
+        ));
+    }
+    d.push_str("<hr></td></tr></table></body></html>");
+    d
+}
+
+#[test]
+fn modest_chrome_does_not_steal_the_fanout() {
+    let doc = page(5, 12);
+    let tree = TagTreeBuilder::default().build(&doc);
+    let fanout = tree.highest_fanout();
+    // The record cell (25 children) wins over the nav cell (5).
+    let counts = tree.child_tag_counts(fanout);
+    assert!(counts.iter().any(|c| c.name == "hr"), "{counts:?}");
+
+    let out = RecordExtractor::default().discover(&doc).unwrap();
+    assert_eq!(out.separator, "hr");
+}
+
+#[test]
+fn oversized_nav_bar_defeats_the_conjecture() {
+    // 40 links vs 5 records: the nav cell's fan-out wins and discovery
+    // lands in the wrong subtree. The paper's conjecture explicitly
+    // excludes such documents; this test documents the boundary rather
+    // than hiding it.
+    let doc = page(40, 5);
+    let tree = TagTreeBuilder::default().build(&doc);
+    let fanout = tree.highest_fanout();
+    let counts = tree.child_tag_counts(fanout);
+    assert!(
+        counts.iter().all(|c| c.name == "a"),
+        "expected the nav cell to win: {counts:?}"
+    );
+
+    let out = RecordExtractor::default().discover(&doc).unwrap();
+    assert_eq!(out.separator, "a", "discovery follows the (wrong) subtree");
+}
+
+#[test]
+fn corpus_chrome_is_always_modest() {
+    // Every generator style keeps nav_links far below the record count, so
+    // the conjecture holds corpus-wide.
+    for domain in Domain::ALL {
+        for style in sites::initial_sites(domain).iter().chain(&sites::test_sites(domain)) {
+            assert!(
+                style.nav_links < style.records.0,
+                "{}: {} links vs {} records",
+                style.site,
+                style.nav_links,
+                style.records.0
+            );
+            let doc = generate_document(style, domain, 0, 1998);
+            let tree = TagTreeBuilder::default().build(&doc.html);
+            let fanout = tree.highest_fanout();
+            let counts = tree.child_tag_counts(fanout);
+            assert!(
+                counts.iter().any(|c| c.name == doc.truth.separator),
+                "{} ({domain}): fan-out node lacks the separator",
+                style.site
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Integration tests for the `rbd` command-line tool, driving the compiled
+//! binary the way a user would.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const PAGE: &str = "<html><body><table><tr><td>\
+  <hr><b>Ann B. Smith</b><br> died on May 1, 1998, age 90. Funeral at 10:00 a.m.\
+  <hr><b>Bob C. Jones</b><br> died on May 2, 1998, age 81. Funeral at 11:00 a.m.\
+  <hr><b>Cal D. Young</b><br> died on May 3, 1998, age 72. Funeral at 12:00 p.m.\
+  <hr></td></tr></table></body></html>";
+
+fn rbd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rbd"))
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = rbd()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn discover_from_stdin() {
+    let (stdout, stderr, ok) = run_with_stdin(&["discover", "--ontology", "obituary"], PAGE);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("separator: <hr>"), "{stdout}");
+    assert!(stdout.contains("OM:"), "all heuristics reported\n{stdout}");
+}
+
+#[test]
+fn discover_json_shape() {
+    let (stdout, _, ok) = run_with_stdin(&["discover", "--json"], PAGE);
+    assert!(ok);
+    assert!(stdout.contains("\"separator\":\"hr\""), "{stdout}");
+    assert!(stdout.contains("\"scored\":["), "{stdout}");
+}
+
+#[test]
+fn extract_prints_three_records() {
+    let (stdout, _, ok) = run_with_stdin(&["extract"], PAGE);
+    assert!(ok);
+    assert_eq!(stdout.matches("--- record ").count(), 3, "{stdout}");
+    assert!(stdout.contains("Bob C. Jones"));
+}
+
+#[test]
+fn pipeline_populates_database() {
+    let (stdout, stderr, ok) =
+        run_with_stdin(&["pipeline", "--ontology", "obituary"], PAGE);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("-- Deceased (3 rows)"), "{stdout}");
+    assert!(stdout.contains("May 2, 1998"));
+}
+
+#[test]
+fn pipeline_requires_ontology() {
+    let (_, stderr, ok) = run_with_stdin(&["pipeline"], PAGE);
+    assert!(!ok);
+    assert!(stderr.contains("requires --ontology"), "{stderr}");
+}
+
+#[test]
+fn check_classifies_record_list() {
+    let (stdout, stderr, ok) = run_with_stdin(&["check", "--ontology", "obituary"], PAGE);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("class: multiple records"), "{stdout}");
+    assert!(stdout.contains("estimated records:"), "{stdout}");
+}
+
+#[test]
+fn check_without_ontology_uses_structure_only() {
+    let (stdout, _, ok) = run_with_stdin(&["check"], PAGE);
+    assert!(ok);
+    assert!(stdout.contains("class: multiple records"), "{stdout}");
+    assert!(stdout.contains("(no ontology)"), "{stdout}");
+}
+
+#[test]
+fn tree_prints_outline() {
+    let (stdout, _, ok) = run_with_stdin(&["tree"], PAGE);
+    assert!(ok);
+    assert!(stdout.starts_with("#root"), "{stdout}");
+    assert!(stdout.contains("td"));
+}
+
+#[test]
+fn ontology_file_flag() {
+    let dir = std::env::temp_dir().join("rbd-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("mini.ont");
+    std::fs::write(
+        &path,
+        "ontology mini entity Thing\n\
+         object When one-to-one {\n    keyword \"died on\"\n}\n\
+         object Age functional {\n    keyword \"age [0-9]+\"\n}\n\
+         object At functional {\n    keyword \"funeral at\"\n}\n",
+    )
+    .expect("write ontology");
+    let (stdout, stderr, ok) = run_with_stdin(
+        &["discover", "--ontology-file", path.to_str().expect("utf8")],
+        PAGE,
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("separator: <hr>"), "{stdout}");
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let (_, stderr, ok) = run_with_stdin(&["discover", "--ontology", "nonsense"], PAGE);
+    assert!(!ok);
+    assert!(stderr.contains("unknown built-in ontology"));
+
+    let (_, stderr, ok) = run_with_stdin(&["frobnicate"], PAGE);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+
+    let (_, stderr, ok) = run_with_stdin(&["discover", "missing-file.html"], "");
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn empty_input_reports_error() {
+    let (_, stderr, ok) = run_with_stdin(&["discover"], "");
+    assert!(!ok);
+    assert!(stderr.contains("no tags"), "{stderr}");
+}

@@ -1,0 +1,144 @@
+//! Headline evaluation invariants: the reproduced experiments must show the
+//! paper's qualitative results at the default seed *and* stay robust across
+//! other seeds.
+
+use rbd_certainty::CertaintyTable;
+use rbd_eval::{calibrate, combination_sweep, run_test_sets, HeuristicRunner, DEFAULT_SEED};
+
+#[test]
+fn headline_orsih_is_100_percent_on_test_sets() {
+    let runner = HeuristicRunner::new().unwrap();
+    let calibration = calibrate(&runner, DEFAULT_SEED);
+    let table = calibration.certainty_table();
+    let report = run_test_sets(&runner, &table, DEFAULT_SEED);
+    assert_eq!(
+        report.compound_success, 100.0,
+        "paper: ORSIH attains 100% accuracy on all twenty sites\n{report}"
+    );
+    // The compound rank column ("A") is 1 everywhere, as in Tables 6–9.
+    for set in &report.sets {
+        for row in &set.rows {
+            assert_eq!(row.compound_rank, Some(1), "{}: {:?}", set.domain, row);
+        }
+    }
+}
+
+#[test]
+fn individual_heuristic_ordering_matches_table_10() {
+    // Paper Table 10: IT (95) > OM (80) > RP (75) > SD (65) > HT (45);
+    // ORSIH 100. We assert the qualitative ordering: IT strongest,
+    // HT weakest, compound above all.
+    let runner = HeuristicRunner::new().unwrap();
+    let report = run_test_sets(&runner, &CertaintyTable::paper_table4(), DEFAULT_SEED);
+    let [om, rp, sd, it, ht] = report.individual_success;
+    assert!(it >= om && it >= rp && it >= sd && it >= ht, "IT strongest");
+    assert!(ht <= om && ht <= rp && ht <= sd, "HT weakest");
+    assert!(report.compound_success >= it, "compound beats best individual");
+}
+
+#[test]
+fn calibrated_factors_resemble_paper_table_4() {
+    // Structure, not exact numbers: rank-1 mass dominates for every
+    // heuristic, IT's rank-1 mass is the largest, HT's the smallest.
+    let runner = HeuristicRunner::new().unwrap();
+    let report = calibrate(&runner, DEFAULT_SEED);
+    let rank1: Vec<f64> = report.table4.iter().map(|row| row[0]).collect();
+    for (i, &r1) in rank1.iter().enumerate() {
+        let rest: f64 = report.table4[i][1..].iter().sum();
+        assert!(r1 >= rest - 1e-9, "heuristic {i}: rank-1 {r1} < rest {rest}");
+    }
+    let it = rank1[3];
+    let ht = rank1[4];
+    assert!(rank1.iter().all(|&r| it >= r), "IT has the best rank-1 rate");
+    assert!(rank1.iter().all(|&r| ht <= r), "HT has the worst rank-1 rate");
+}
+
+#[test]
+fn it_containing_combinations_dominate_table_5() {
+    // Paper: "all the combinations that include IT have high success rates
+    // (over 90%)".
+    let runner = HeuristicRunner::new().unwrap();
+    let calibration = calibrate(&runner, DEFAULT_SEED);
+    let table = calibration.certainty_table();
+    let report = combination_sweep(&calibration, &table);
+    for r in &report.results {
+        if r.combination.contains('I') {
+            assert!(
+                r.success_rate >= 90.0,
+                "{} only {:.2}%",
+                r.combination,
+                r.success_rate
+            );
+        }
+    }
+    // ORSIH is among the best.
+    assert!(report
+        .best()
+        .iter()
+        .any(|r| r.combination == "ORSIH"));
+}
+
+#[test]
+fn results_hold_across_seeds() {
+    // The reproduction must not be a single-seed accident: across several
+    // seeds, ORSIH stays ≥ 95 % on the test sets and the IT-best/HT-worst
+    // ordering persists.
+    let runner = HeuristicRunner::new().unwrap();
+    for seed in [7, 42, 2024] {
+        let calibration = calibrate(&runner, seed);
+        let table = calibration.certainty_table();
+        let report = run_test_sets(&runner, &table, seed);
+        assert!(
+            report.compound_success >= 95.0,
+            "seed {seed}: ORSIH fell to {:.1}%",
+            report.compound_success
+        );
+        let [_, _, _, it, ht] = report.individual_success;
+        assert!(it > ht, "seed {seed}: IT ({it}) not above HT ({ht})");
+    }
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let runner = HeuristicRunner::new().unwrap();
+    let a = calibrate(&runner, DEFAULT_SEED);
+    let b = calibrate(&runner, DEFAULT_SEED);
+    assert_eq!(a.table4, b.table4);
+    let ta = a.certainty_table();
+    let ra = run_test_sets(&runner, &ta, DEFAULT_SEED);
+    let rb = run_test_sets(&runner, &ta, DEFAULT_SEED);
+    assert_eq!(ra.individual_success, rb.individual_success);
+    assert_eq!(ra.compound_success, rb.compound_success);
+}
+
+#[test]
+fn boundary_discovery_is_immune_to_lexical_noise() {
+    // The paper separates the structural problem (this paper) from the
+    // lexical one (its companion papers). Out-of-lexicon noise that drops
+    // extraction recall to real-world levels must leave the discovered
+    // separators untouched — all heuristics except OM read structure only,
+    // and OM's estimate degrades gracefully.
+    use rbd_certainty::CompoundHeuristic;
+    use rbd_corpus::{generate_document, sites, Domain};
+    use rbd_eval::{evaluate_document, sc};
+
+    let runner = HeuristicRunner::new().unwrap();
+    let calibration = calibrate(&runner, DEFAULT_SEED);
+    let compound = CompoundHeuristic::new("ORSIH".parse().unwrap(), calibration.certainty_table());
+
+    for domain in Domain::ALL {
+        for mut style in sites::test_sites(domain) {
+            style.oov = 0.30;
+            let doc = generate_document(&style, domain, 0, DEFAULT_SEED);
+            let eval = evaluate_document(&runner, &doc);
+            let consensus = compound.combine(&eval.rankings);
+            assert_eq!(
+                sc(&consensus.winners, &eval.truth),
+                1.0,
+                "{} ({domain}) under noise: winners {:?}",
+                style.site,
+                consensus.winners
+            );
+        }
+    }
+}

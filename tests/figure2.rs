@@ -1,0 +1,136 @@
+//! Fidelity test on the paper's Figure 2 document.
+//!
+//! The paper elides most record prose with "…"; this fixture fills the
+//! gaps while preserving every structural property the paper states:
+//! the tag-tree shape, the candidate tags (`hr` 4×, `b` 8×, `br` 5×; `h1`
+//! irrelevant), each heuristic's ranking from the §5.3 worked example, and
+//! the final ORSIH certainties (99.96 %, 64.75 %, 56.34 %).
+
+use rbd::prelude::*;
+use rbd_certainty::CompoundHeuristic;
+use rbd_heuristics::view::DEFAULT_CANDIDATE_THRESHOLD;
+use rbd_ontology::domains;
+
+/// The Figure 2(a) document with the paper's ellipses expanded.
+fn figure2_document() -> String {
+    // Record text lengths are chosen so the SD heuristic reproduces the
+    // paper's ordering: hr intervals nearly equal, b intervals moderately
+    // spread, br intervals widely spread.
+    let mut d = String::new();
+    d.push_str("<html><head><title>Classifieds</title></head>\n");
+    d.push_str("<body bgcolor=\"#FFFFFF\">\n");
+    d.push_str("<table><tr><td>\n");
+    d.push_str("<h1 align=\"left\">Funeral Notices - </h1> October 1, 1998\n");
+    d.push_str("<hr>\n");
+    d.push_str(
+        "<b>Lemar K. Adamson</b><br> died on September 30, 1998. Lemar was born on \
+         September 5, 1913 in Provo and was a faithful member of his church all his days. \
+         Services will be held Saturday at the \
+         <b>MEMORIAL CHAPEL</b>, where friends may call one hour prior. <br>\n",
+    );
+    d.push_str("<hr>\n");
+    d.push_str(
+        "Our beloved <b>Brian Fielding Frost</b>, age 41, passed away on September 30, \
+         1998, after a courageous battle. A viewing will be \
+         held at 7 p.m. in the <b>Howard Stake Center</b>, under the direction of \
+         <b>Carrillo's Tucson Mortuary</b>, with interment at \
+         Holy Hope Cemetery<br>, on Tuesday morning.\n",
+    );
+    d.push_str("<hr>\n");
+    d.push_str(
+        "<b>Leonard Kenneth Gunther</b><br> passed away on September 30, 1998. \
+         Friends may visit at <b>HEATHER MORTUARY</b>, Monday evening. Funeral services \
+         will be held at 11:00 a.m. at <b>HEATHER MORTUARY</b>, on \
+         Tuesday, October 6, 1998. Interment follows.<br>\n",
+    );
+    d.push_str("<hr>\n");
+    d.push_str("</td></tr></table>\nAll material is copyrighted.\n</body>\n</html>\n");
+    d
+}
+
+#[test]
+fn tag_tree_matches_figure_2b() {
+    let tree = TagTreeBuilder::default().build(&figure2_document());
+    let expected = "#root\n  html\n    head\n      title\n    body\n      table\n        tr\n          td\n            h1\n            hr\n            b\n            br\n            b\n            br\n            hr\n            b\n            b\n            b\n            br\n            hr\n            b\n            br\n            b\n            b\n            br\n            hr\n";
+    assert_eq!(tree.outline(), expected);
+}
+
+#[test]
+fn candidates_match_section_3() {
+    let tree = TagTreeBuilder::default().build(&figure2_document());
+    let td = tree.highest_fanout();
+    assert_eq!(tree.node(td).name, "td");
+    assert_eq!(tree.node(td).fanout(), 18);
+    let cands = tree.candidate_tags(td, DEFAULT_CANDIDATE_THRESHOLD);
+    let as_pairs: Vec<(&str, usize)> = cands.iter().map(|c| (c.name.as_str(), c.count)).collect();
+    assert_eq!(as_pairs, vec![("hr", 4), ("b", 8), ("br", 5)]);
+}
+
+#[test]
+fn heuristic_rankings_match_section_5_3() {
+    let doc = figure2_document();
+    let extractor = RecordExtractor::new(
+        ExtractorConfig::default().with_ontology(domains::obituaries()),
+    )
+    .unwrap();
+    let outcome = extractor.discover(&doc).unwrap();
+    let by_kind = |k: HeuristicKind| {
+        outcome
+            .rankings
+            .iter()
+            .find(|r| r.kind == k)
+            .unwrap_or_else(|| panic!("{k} abstained"))
+            .to_paper_string()
+    };
+    assert_eq!(by_kind(HeuristicKind::OM), "OM: [(hr, 1), (br, 2), (b, 3)]");
+    assert_eq!(by_kind(HeuristicKind::RP), "RP: [(hr, 1), (br, 2), (b, 3)]");
+    assert_eq!(by_kind(HeuristicKind::SD), "SD: [(hr, 1), (b, 2), (br, 3)]");
+    assert_eq!(by_kind(HeuristicKind::IT), "IT: [(hr, 1), (br, 2), (b, 3)]");
+    assert_eq!(by_kind(HeuristicKind::HT), "HT: [(b, 1), (br, 2), (hr, 3)]");
+}
+
+#[test]
+fn compound_certainties_match_section_5_3() {
+    let doc = figure2_document();
+    let extractor = RecordExtractor::new(
+        ExtractorConfig::default().with_ontology(domains::obituaries()),
+    )
+    .unwrap();
+    let outcome = extractor.discover(&doc).unwrap();
+    assert_eq!(outcome.separator, "hr");
+
+    // Recombine to inspect the certainty values the paper prints:
+    // ORSIH: [(hr, 99.96%), (b, 64.75%), (br, 56.34%)]
+    let consensus = CompoundHeuristic::paper_orsih().combine(&outcome.rankings);
+    let rounded: Vec<(String, f64)> = consensus
+        .scored
+        .iter()
+        .map(|s| {
+            (
+                s.tag.clone(),
+                (s.certainty.percent() * 100.0).round() / 100.0,
+            )
+        })
+        .collect();
+    assert_eq!(
+        rounded,
+        vec![
+            ("hr".to_owned(), 99.96),
+            ("b".to_owned(), 64.75),
+            ("br".to_owned(), 56.34),
+        ]
+    );
+}
+
+#[test]
+fn records_chunk_into_three_obituaries() {
+    let doc = figure2_document();
+    let extractor = RecordExtractor::default();
+    let extraction = extractor.extract_records(&doc).unwrap();
+    assert_eq!(extraction.records.len(), 3);
+    assert!(extraction.records[0].text.contains("Lemar K. Adamson"));
+    assert!(extraction.records[1].text.contains("Brian Fielding Frost"));
+    assert!(extraction.records[2].text.contains("Leonard Kenneth Gunther"));
+    let preamble = extraction.preamble.expect("heading preamble");
+    assert!(preamble.text.contains("Funeral Notices"));
+}

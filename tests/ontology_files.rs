@@ -1,0 +1,36 @@
+//! The shipped `.ont` files (the DSL form of every built-in domain plus the
+//! rental example) must parse, validate and compile — they are the
+//! artifacts a user edits to add a domain without touching Rust.
+
+use rbd::ontology::{domains, parse_ontology};
+
+fn load(name: &str) -> String {
+    std::fs::read_to_string(format!("ontologies/{name}.ont"))
+        .unwrap_or_else(|e| panic!("ontologies/{name}.ont: {e}"))
+}
+
+#[test]
+fn shipped_domain_files_match_the_builtins() {
+    for builtin in domains::all() {
+        let parsed = parse_ontology(&load(&builtin.name)).expect(&builtin.name);
+        assert!(parsed.validate().is_empty(), "{}", builtin.name);
+        assert_eq!(parsed.len(), builtin.len(), "{}", builtin.name);
+        assert_eq!(parsed.entity, builtin.entity);
+        for (a, b) in parsed.object_sets.iter().zip(&builtin.object_sets) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.cardinality, b.cardinality);
+            assert_eq!(a.data_frame.keywords, b.data_frame.keywords);
+            assert_eq!(a.data_frame.value_patterns, b.data_frame.value_patterns);
+        }
+        // And the rules compile.
+        parsed.matching_rules().expect("rules compile");
+    }
+}
+
+#[test]
+fn rental_example_file_parses_and_compiles() {
+    let rental = parse_ontology(&load("rental")).expect("rental.ont");
+    assert!(rental.validate().is_empty());
+    assert!(rental.record_identifying_fields().len() >= 3);
+    rental.matching_rules().expect("rules compile");
+}

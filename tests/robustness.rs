@@ -1,0 +1,123 @@
+//! Robustness: the extractor must never panic, whatever the input, and must
+//! behave sensibly at the edges of the paper's assumptions.
+
+use proptest::prelude::*;
+use rbd::prelude::*;
+use rbd_core::DiscoveryError;
+
+#[test]
+fn adversarial_documents_do_not_panic() {
+    let extractor = RecordExtractor::default();
+    let cases: Vec<String> = vec![
+        String::new(),
+        "<".into(),
+        ">".into(),
+        "<><><>".into(),
+        "</html>".into(),
+        "<table>".repeat(500),
+        "</td>".repeat(500),
+        "<b>".repeat(2000),
+        format!("<td>{}</td>", "<hr>".repeat(5000)),
+        "plain text with no tags whatsoever".into(),
+        "<!-- only a comment -->".into(),
+        "<script>while(true){}</script>".into(),
+        "<td>\u{0}\u{1}\u{2}binary garbage\u{fffd}</td>".into(),
+        format!("<td>{}</td>", "é".repeat(10_000)),
+        "<a b=c d='e' f=\"g\" h>".into(),
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        // Any Result is fine; a panic is not.
+        let _ = extractor.discover(case);
+        let _ = extractor.extract_records(case);
+        let _ = i;
+    }
+}
+
+#[test]
+fn single_record_document_violates_assumption_gracefully() {
+    // The paper assumes multiple records; one record with one separator
+    // still yields *a* separator, not a crash.
+    let extractor = RecordExtractor::default();
+    let out = extractor.discover("<td><hr><b>Only one</b> record here</td>");
+    assert!(out.is_ok() || matches!(out, Err(DiscoveryError::NoCandidates)));
+}
+
+#[test]
+fn documents_without_tags_error_cleanly() {
+    let extractor = RecordExtractor::default();
+    assert!(matches!(
+        extractor.discover("just words"),
+        Err(DiscoveryError::EmptyDocument)
+    ));
+}
+
+#[test]
+fn deep_nesting_is_linear_not_fatal() {
+    // 10k-deep nesting: must complete without stack overflow (the tag-tree
+    // builder is iterative).
+    let mut doc = String::new();
+    for _ in 0..10_000 {
+        doc.push_str("<div>");
+    }
+    doc.push_str("core");
+    for _ in 0..10_000 {
+        doc.push_str("</div>");
+    }
+    let tree = TagTreeBuilder::default().build(&doc);
+    assert_eq!(tree.len(), 10_001);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random tag soup never panics anywhere in the pipeline.
+    #[test]
+    fn discovery_total_on_tag_soup(parts in prop::collection::vec(
+        prop_oneof![
+            Just("<hr>".to_owned()),
+            Just("<b>".to_owned()),
+            Just("</b>".to_owned()),
+            Just("<td>".to_owned()),
+            Just("</td>".to_owned()),
+            Just("<!-- c -->".to_owned()),
+            Just("</stray>".to_owned()),
+            "[ a-z<>&]{0,16}",
+        ],
+        0..120,
+    )) {
+        let doc = parts.concat();
+        let extractor = RecordExtractor::default();
+        if let Ok(extraction) = extractor.extract_records(&doc) {
+            // When extraction succeeds, the records must tile within the
+            // document and be non-empty.
+            for r in &extraction.records {
+                prop_assert!(r.start < r.end);
+                prop_assert!(r.end <= doc.len());
+                prop_assert!(!r.text.is_empty());
+            }
+            // Records are ordered and non-overlapping.
+            for w in extraction.records.windows(2) {
+                prop_assert!(w[0].end <= w[1].start);
+            }
+        }
+    }
+
+    /// The discovered separator is always one of the candidate tags.
+    #[test]
+    fn separator_is_a_candidate(n_records in 2usize..12, seps in prop::sample::select(
+        vec!["hr", "p", "br", "h4"]
+    )) {
+        let mut doc = String::from("<td>");
+        for i in 0..n_records {
+            doc.push_str(&format!("<{seps}><b>Record {i}</b> body text number {i} "));
+        }
+        doc.push_str("</td>");
+        let extractor = RecordExtractor::default();
+        let out = extractor.discover(&doc).unwrap();
+        prop_assert!(
+            out.candidates.iter().any(|c| c.name == out.separator),
+            "separator {} not among candidates",
+            out.separator
+        );
+    }
+}
