@@ -39,10 +39,9 @@ fn bench_candidate_threshold(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_threshold");
     group.sample_size(10);
     for threshold in [0.01, 0.05, 0.10, 0.20, 0.30] {
-        let extractor = RecordExtractor::new(
-            ExtractorConfig::default().with_candidate_threshold(threshold),
-        )
-        .expect("config valid");
+        let extractor =
+            RecordExtractor::new(ExtractorConfig::default().with_candidate_threshold(threshold))
+                .expect("config valid");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{threshold:.2}")),
             &docs,

@@ -58,10 +58,9 @@ fn bench_tag_tree_construction(c: &mut Criterion) {
 fn bench_full_discovery(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_discovery");
     group.sample_size(20);
-    let extractor = RecordExtractor::new(
-        ExtractorConfig::default().with_ontology(domains::obituaries()),
-    )
-    .expect("ontology compiles");
+    let extractor =
+        RecordExtractor::new(ExtractorConfig::default().with_ontology(domains::obituaries()))
+            .expect("ontology compiles");
     for kb in [16usize, 64, 256, 1024] {
         let doc = document_of_size(kb * 1024);
         group.throughput(Throughput::Bytes(doc.len() as u64));
@@ -83,7 +82,13 @@ fn bench_record_chunking(c: &mut Criterion) {
     let doc = document_of_size(256 * 1024);
     group.throughput(Throughput::Bytes(doc.len() as u64));
     group.bench_function("extract_records_256KiB", |b| {
-        b.iter(|| black_box(extractor.extract_records(black_box(&doc)).expect("extracts")));
+        b.iter(|| {
+            black_box(
+                extractor
+                    .extract_records(black_box(&doc))
+                    .expect("extracts"),
+            )
+        });
     });
     group.finish();
 }

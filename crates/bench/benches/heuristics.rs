@@ -53,9 +53,7 @@ fn bench_individual_heuristics(c: &mut Criterion) {
         b.iter(|| black_box(rp.rank(black_box(&view))))
     });
     group.sample_size(20);
-    group.bench_function("OM", |b| {
-        b.iter(|| black_box(om.rank(black_box(&view))))
-    });
+    group.bench_function("OM", |b| b.iter(|| black_box(om.rank(black_box(&view)))));
     group.finish();
 }
 

@@ -11,10 +11,9 @@ use std::hint::black_box;
 
 fn bench_full_pipeline(c: &mut Criterion) {
     let ontology = domains::obituaries();
-    let extractor = RecordExtractor::new(
-        ExtractorConfig::default().with_ontology(ontology.clone()),
-    )
-    .expect("compiles");
+    let extractor =
+        RecordExtractor::new(ExtractorConfig::default().with_ontology(ontology.clone()))
+            .expect("compiles");
     let recognizer = Recognizer::new(&ontology).expect("compiles");
     let generator = InstanceGenerator::new(&ontology);
     let style = &sites::initial_sites(Domain::Obituaries)[0];
@@ -62,10 +61,9 @@ fn bench_recognizer(c: &mut Criterion) {
 /// Table both).
 fn bench_integration_ablation(c: &mut Criterion) {
     let ontology = domains::obituaries();
-    let extractor = RecordExtractor::new(
-        ExtractorConfig::default().with_ontology(ontology.clone()),
-    )
-    .expect("compiles");
+    let extractor =
+        RecordExtractor::new(ExtractorConfig::default().with_ontology(ontology.clone()))
+            .expect("compiles");
     let recognizer = Recognizer::new(&ontology).expect("compiles");
     let style = &sites::initial_sites(Domain::Obituaries)[0];
     let doc = generate_document(style, Domain::Obituaries, 0, 1998);

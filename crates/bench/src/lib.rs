@@ -1,1 +1,3 @@
 //! Benchmark-only crate; see `benches/`.
+
+#![forbid(unsafe_code)]

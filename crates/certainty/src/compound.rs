@@ -113,9 +113,7 @@ impl CompoundHeuristic {
                 let factors = rankings
                     .iter()
                     .filter(|r| self.set.contains(r.kind))
-                    .filter_map(|r| {
-                        r.rank_of(tag).map(|rank| self.table.factor(r.kind, rank))
-                    });
+                    .filter_map(|r| r.rank_of(tag).map(|rank| self.table.factor(r.kind, rank)));
                 ScoredTag {
                     tag: tag.to_owned(),
                     certainty: CertaintyFactor::combine_all(factors),
@@ -170,7 +168,12 @@ mod tests {
         let pct: Vec<(String, f64)> = consensus
             .scored
             .iter()
-            .map(|s| (s.tag.clone(), (s.certainty.percent() * 100.0).round() / 100.0))
+            .map(|s| {
+                (
+                    s.tag.clone(),
+                    (s.certainty.percent() * 100.0).round() / 100.0,
+                )
+            })
             .collect();
         assert_eq!(
             pct,
@@ -184,10 +187,8 @@ mod tests {
 
     #[test]
     fn subset_ignores_other_rankings() {
-        let compound = CompoundHeuristic::new(
-            "IH".parse().unwrap(),
-            CertaintyTable::paper_table4(),
-        );
+        let compound =
+            CompoundHeuristic::new("IH".parse().unwrap(), CertaintyTable::paper_table4());
         let consensus = compound.combine(&figure2_rankings());
         // IT: hr=96%, HT: hr rank3=16.5% → combined 96.66%.
         let hr = consensus.scored.iter().find(|s| s.tag == "hr").unwrap();

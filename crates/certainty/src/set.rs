@@ -58,7 +58,9 @@ impl HeuristicSet {
 
     /// Iterates members in ORSIH order.
     pub fn iter(self) -> impl Iterator<Item = HeuristicKind> {
-        HeuristicKind::ALL.into_iter().filter(move |k| self.contains(*k))
+        HeuristicKind::ALL
+            .into_iter()
+            .filter(move |k| self.contains(*k))
     }
 
     /// All 26 combinations the paper evaluates in Table 5: every subset of
@@ -152,7 +154,10 @@ mod tests {
         }
         assert!("OXR".parse::<HeuristicSet>().is_err());
         // Lower-case accepted.
-        assert_eq!("orsih".parse::<HeuristicSet>().unwrap(), HeuristicSet::ORSIH);
+        assert_eq!(
+            "orsih".parse::<HeuristicSet>().unwrap(),
+            HeuristicSet::ORSIH
+        );
     }
 
     #[test]

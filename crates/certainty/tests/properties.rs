@@ -38,11 +38,7 @@ proptest! {
 /// Random rankings over a small tag universe.
 fn arb_rankings() -> impl Strategy<Value = Vec<Ranking>> {
     let tags = prop::sample::subsequence(vec!["hr", "b", "br", "p", "td"], 1..5);
-    prop::collection::vec(
-        (0usize..5, tags),
-        1..5,
-    )
-    .prop_map(|specs| {
+    prop::collection::vec((0usize..5, tags), 1..5).prop_map(|specs| {
         specs
             .into_iter()
             .map(|(kind_idx, tags)| {

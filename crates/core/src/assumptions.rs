@@ -90,7 +90,12 @@ pub fn check_assumptions(
         None => None,
     };
 
-    let class = classify(max_fanout, candidate_count, estimated_records, subtree_text_len);
+    let class = classify(
+        max_fanout,
+        candidate_count,
+        estimated_records,
+        subtree_text_len,
+    );
     Ok(AssumptionReport {
         class,
         max_fanout,
@@ -200,15 +205,17 @@ mod tests {
 
     #[test]
     fn structure_only_without_ontology() {
-        let report =
-            check_assumptions(&multi_record_page(), &ExtractorConfig::default()).unwrap();
+        let report = check_assumptions(&multi_record_page(), &ExtractorConfig::default()).unwrap();
         assert_eq!(report.class, DocumentClass::MultipleRecords);
         assert_eq!(report.estimated_records, None);
     }
 
     #[test]
     fn class_display() {
-        assert_eq!(DocumentClass::MultipleRecords.to_string(), "multiple records");
+        assert_eq!(
+            DocumentClass::MultipleRecords.to_string(),
+            "multiple records"
+        );
         assert_eq!(DocumentClass::SingleRecord.to_string(), "single record");
     }
 

@@ -57,7 +57,11 @@ fn make_record(source: &str, start: usize, end: usize, xml: bool) -> Option<Reco
         return None;
     }
     let html = &source[start..end];
-    let stream = if xml { tokenize_xml(html) } else { tokenize(html) };
+    let stream = if xml {
+        tokenize_xml(html)
+    } else {
+        tokenize(html)
+    };
     let text = squeeze_whitespace(&stream.plain_text());
     if text.is_empty() {
         return None;

@@ -5,8 +5,8 @@ use crate::config::ExtractorConfig;
 use rbd_certainty::{CompoundHeuristic, Consensus};
 use rbd_heuristics::om::OntologyMatching;
 use rbd_heuristics::{
-    ht::HighestCount, it::IdentifiableTags, rp::RepeatingPattern, sd::StandardDeviation,
-    Heuristic, Ranking, SubtreeView,
+    ht::HighestCount, it::IdentifiableTags, rp::RepeatingPattern, sd::StandardDeviation, Heuristic,
+    Ranking, SubtreeView,
 };
 use rbd_pattern::PatternError;
 use rbd_tagtree::{CandidateTag, NodeId, TagTree, TagTreeBuilder};
@@ -240,9 +240,21 @@ mod tests {
              <table><tr><td><h1 align=\"left\">Funeral Notices - </h1> October 1, 1998<hr>",
         );
         for (name, death, birth) in [
-            ("Lemar K. Adamson", "September 30, 1998", "September 5, 1913"),
-            ("Brian Fielding Frost", "September 30, 1998", "April 4, 1957"),
-            ("Leonard Kenneth Gunther", "September 30, 1998", "March 2, 1920"),
+            (
+                "Lemar K. Adamson",
+                "September 30, 1998",
+                "September 5, 1913",
+            ),
+            (
+                "Brian Fielding Frost",
+                "September 30, 1998",
+                "April 4, 1957",
+            ),
+            (
+                "Leonard Kenneth Gunther",
+                "September 30, 1998",
+                "March 2, 1920",
+            ),
         ] {
             d.push_str(&format!(
                 "<b>{name}</b><br> died on {death}. {name} was born on {birth} and is \
@@ -256,10 +268,9 @@ mod tests {
 
     #[test]
     fn discovers_hr_on_obituary_page() {
-        let ex = RecordExtractor::new(
-            ExtractorConfig::default().with_ontology(domains::obituaries()),
-        )
-        .unwrap();
+        let ex =
+            RecordExtractor::new(ExtractorConfig::default().with_ontology(domains::obituaries()))
+                .unwrap();
         let out = ex.discover(&obituary_page()).unwrap();
         assert_eq!(out.separator, "hr");
         assert_eq!(out.subtree_tag, "td");
@@ -271,10 +282,7 @@ mod tests {
         let ex = RecordExtractor::default();
         let out = ex.discover(&obituary_page()).unwrap();
         assert_eq!(out.separator, "hr");
-        assert!(out
-            .rankings
-            .iter()
-            .all(|r| r.kind != HeuristicKind::OM));
+        assert!(out.rankings.iter().all(|r| r.kind != HeuristicKind::OM));
     }
 
     #[test]
@@ -282,9 +290,15 @@ mod tests {
         let ex = RecordExtractor::default();
         let extraction = ex.extract_records(&obituary_page()).unwrap();
         assert_eq!(extraction.records.len(), 3);
-        assert!(extraction.preamble.unwrap().text.contains("Funeral Notices"));
+        assert!(extraction
+            .preamble
+            .unwrap()
+            .text
+            .contains("Funeral Notices"));
         assert!(extraction.records[0].text.contains("Lemar K. Adamson"));
-        assert!(extraction.records[2].text.contains("Leonard Kenneth Gunther"));
+        assert!(extraction.records[2]
+            .text
+            .contains("Leonard Kenneth Gunther"));
         // Markup is gone.
         assert!(!extraction.records[0].text.contains('<'));
     }

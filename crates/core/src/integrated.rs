@@ -21,8 +21,8 @@ use crate::extractor::{DiscoveryError, DiscoveryOutcome, RecordExtractor};
 use rbd_certainty::Consensus;
 use rbd_heuristics::om::OntologyMatching;
 use rbd_heuristics::{
-    ht::HighestCount, it::IdentifiableTags, rp::RepeatingPattern, sd::StandardDeviation,
-    Heuristic, Ranking, SubtreeView,
+    ht::HighestCount, it::IdentifiableTags, rp::RepeatingPattern, sd::StandardDeviation, Heuristic,
+    Ranking, SubtreeView,
 };
 use rbd_recognizer::{estimate_record_count_from_table, DataRecordTable, Recognizer, TableEntry};
 use rbd_tagtree::TagTreeBuilder;
@@ -126,8 +126,12 @@ impl RecordExtractor {
                 rankings.push(OntologyMatching::rank_with_estimate(&view, estimate));
             }
             let it = IdentifiableTags::default();
-            let others: [&dyn Heuristic; 4] =
-                [&RepeatingPattern::default(), &StandardDeviation, &it, &HighestCount];
+            let others: [&dyn Heuristic; 4] = [
+                &RepeatingPattern::default(),
+                &StandardDeviation,
+                &it,
+                &HighestCount,
+            ];
             rankings.extend(others.iter().filter_map(|h| h.rank(&view)));
 
             let compound = rbd_certainty::CompoundHeuristic::new(
@@ -215,8 +219,7 @@ mod tests {
             let kw = part
                 .iter()
                 .filter(|e| {
-                    e.descriptor == "DeathDate"
-                        && e.kind == rbd_ontology::MatchKind::Keyword
+                    e.descriptor == "DeathDate" && e.kind == rbd_ontology::MatchKind::Keyword
                 })
                 .count();
             assert_eq!(kw, 1, "{part:?}");
@@ -237,6 +240,10 @@ mod tests {
             .any(|e| e.value == "Ann B. Smith"));
         // Rebased positions start at zero-ish.
         let first = tables[0].entries().first().unwrap();
-        assert!(first.position < 40, "position {} not rebased", first.position);
+        assert!(
+            first.position < 40,
+            "position {} not rebased",
+            first.position
+        );
     }
 }

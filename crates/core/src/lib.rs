@@ -45,7 +45,7 @@ pub mod extractor;
 pub mod integrated;
 
 pub use assumptions::{check_assumptions, AssumptionReport, DocumentClass};
-pub use integrated::IntegratedExtraction;
 pub use chunk::{chunk_at_separators, Record};
 pub use config::ExtractorConfig;
 pub use extractor::{DiscoveryError, DiscoveryOutcome, Extraction, RecordExtractor};
+pub use integrated::IntegratedExtraction;

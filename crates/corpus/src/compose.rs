@@ -27,9 +27,22 @@ pub fn compose(
     if style.nav_links > 0 && !matches!(style.wrap, WrapKind::Body) {
         html.push_str("<table><tr><td>");
         for i in 0..style.nav_links {
-            let label = ["Home", "News", "Sports", "Classifieds", "Weather", "Business",
-                         "Opinion", "Archives", "Contact", "Subscribe"][i % 10];
-            html.push_str(&format!("<a href=\"/{}.html\">{label}</a> | ", label.to_lowercase()));
+            let label = [
+                "Home",
+                "News",
+                "Sports",
+                "Classifieds",
+                "Weather",
+                "Business",
+                "Opinion",
+                "Archives",
+                "Contact",
+                "Subscribe",
+            ][i % 10];
+            html.push_str(&format!(
+                "<a href=\"/{}.html\">{label}</a> | ",
+                label.to_lowercase()
+            ));
         }
         html.push_str("</td></tr></table>\n");
     }
@@ -52,8 +65,7 @@ pub fn compose(
     }
 
     for i in 0..n_records {
-        let record =
-            content::record(domain, rng, style.richness, style.size_jitter, style.oov);
+        let record = content::record(domain, rng, style.richness, style.size_jitter, style.oov);
         truths.push(record.truth.clone());
         let last = i + 1 == n_records;
         if style.row_layout {

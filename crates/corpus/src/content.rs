@@ -93,7 +93,11 @@ fn old_date(rng: &mut StdRng) -> String {
 
 fn time(rng: &mut StdRng) -> String {
     let ampm = if rng.random_bool(0.5) { "a.m." } else { "p.m." };
-    format!("{}:{:02} {ampm}", rng.random_range(8..=12), [0, 15, 30][rng.random_range(0..3)])
+    format!(
+        "{}:{:02} {ampm}",
+        rng.random_range(8..=12),
+        [0, 15, 30][rng.random_range(0..3)]
+    )
 }
 
 fn person(rng: &mut StdRng) -> String {
@@ -101,7 +105,10 @@ fn person(rng: &mut StdRng) -> String {
         format!(
             "{} {}. {}",
             pick(rng, lexicon::FIRST_NAMES),
-            pick(rng, lexicon::FIRST_NAMES).chars().next().expect("nonempty"),
+            pick(rng, lexicon::FIRST_NAMES)
+                .chars()
+                .next()
+                .expect("nonempty"),
             pick(rng, lexicon::LAST_NAMES)
         )
     } else {
@@ -157,7 +164,6 @@ const COURSE_FILLER: &[&str] = &[
     "Enrollment by instructor consent.",
 ];
 
-
 /// Intro/kicker sentences, deliberately spread in length.
 const INTROS: &[&str] = &[
     "In loving memory.",
@@ -206,7 +212,11 @@ const OOV_DEATH_PHRASES: &[&str] = &[
 ];
 const OOV_DATES: &[&str] = &["Sept. 30, '98", "30 Sep 1998", "9/30/98"];
 const OOV_MAKES: &[&str] = &["DeLorean", "Yugo", "Studebaker", "Packard"];
-const OOV_TITLES: &[&str] = &["Webmaster", "Y2K Remediation Lead", "Comptroller of Systems"];
+const OOV_TITLES: &[&str] = &[
+    "Webmaster",
+    "Y2K Remediation Lead",
+    "Comptroller of Systems",
+];
 
 /// Generates one record for `domain`.
 ///
@@ -483,13 +493,12 @@ fn job_ad(rng: &mut StdRng, richness: f64, jitter: f64) -> RecordContent {
         ("Location".to_owned(), city.to_owned()),
     ];
     let mut s = Vec::new();
+    s.push(Sentence::with_phrase(". ", company, format!(", {city}. ")));
     s.push(Sentence::with_phrase(
-        ". ",
-        company,
-        format!(", {city}. "),
-    ));
-    s.push(Sentence::with_phrase(
-        format!("Requires {} years experience with ", rng.random_range(1..=8)),
+        format!(
+            "Requires {} years experience with ",
+            rng.random_range(1..=8)
+        ),
         pick(rng, lexicon::SKILLS),
         format!(" and {}. ", pick(rng, lexicon::SKILLS)),
     ));
@@ -635,9 +644,7 @@ mod tests {
     #[test]
     fn jitter_increases_length_variance() {
         let mut rng = StdRng::seed_from_u64(3);
-        let len = |r: &RecordContent| {
-            r.sentences.iter().map(|s| s.text().len()).sum::<usize>()
-        };
+        let len = |r: &RecordContent| r.sentences.iter().map(|s| s.text().len()).sum::<usize>();
         let tight: Vec<usize> = (0..30)
             .map(|_| len(&record(Domain::Obituaries, &mut rng, 1.0, 0.0, 0.0)))
             .collect();
@@ -648,7 +655,12 @@ mod tests {
             let m = v.iter().sum::<usize>() as f64 / v.len() as f64;
             v.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / v.len() as f64
         };
-        assert!(var(&loose) > var(&tight), "{} !> {}", var(&loose), var(&tight));
+        assert!(
+            var(&loose) > var(&tight),
+            "{} !> {}",
+            var(&loose),
+            var(&tight)
+        );
     }
 
     #[test]

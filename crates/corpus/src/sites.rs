@@ -765,7 +765,9 @@ mod tests {
 
     #[test]
     fn separators_are_on_the_it_list() {
-        let it_list = ["hr", "tr", "td", "a", "table", "p", "br", "h4", "h1", "strong", "b", "i"];
+        let it_list = [
+            "hr", "tr", "td", "a", "table", "p", "br", "h4", "h1", "strong", "b", "i",
+        ];
         for d in Domain::ALL {
             for s in initial_sites(d).iter().chain(&test_sites(d)) {
                 assert!(

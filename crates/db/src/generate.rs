@@ -81,11 +81,8 @@ impl InstanceGenerator {
                         // Composite key (id, value) makes duplicates
                         // impossible by construction here; insertion errors
                         // would indicate a bug, so propagate loudly.
-                        db.insert(
-                            &relation,
-                            vec![Some(id.to_string()), Some(e.value.clone())],
-                        )
-                        .expect("satellite insert cannot violate constraints");
+                        db.insert(&relation, vec![Some(id.to_string()), Some(e.value.clone())])
+                            .expect("satellite insert cannot violate constraints");
                     }
                 }
             }

@@ -139,7 +139,9 @@ impl<'t> Query<'t> {
                     let an = av.and_then(parse_number);
                     let bn = bv.and_then(parse_number);
                     match (an, bn) {
-                        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                        (Some(x), Some(y)) => {
+                            x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
+                        }
                         (Some(_), None) => std::cmp::Ordering::Less,
                         (None, Some(_)) => std::cmp::Ordering::Greater,
                         (None, None) => std::cmp::Ordering::Equal,
@@ -275,7 +277,12 @@ mod tests {
             )
             .unwrap();
         }
-        for (id, feature) in [("0", "AC"), ("0", "cruise"), ("1", "CD player"), ("4", "AC")] {
+        for (id, feature) in [
+            ("0", "AC"),
+            ("0", "cruise"),
+            ("1", "CD player"),
+            ("4", "AC"),
+        ] {
             db.insert(
                 "CarForSale_Feature",
                 vec![Some(id.into()), Some(feature.into())],
@@ -345,10 +352,7 @@ mod tests {
                 .count(),
             2
         );
-        assert_eq!(
-            cars.query().filter("Mileage", Predicate::IsNull).count(),
-            5
-        );
+        assert_eq!(cars.query().filter("Mileage", Predicate::IsNull).count(), 5);
         assert_eq!(
             cars.query().filter("Mileage", Predicate::NotNull).count(),
             0

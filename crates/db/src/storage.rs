@@ -108,20 +108,16 @@ impl Table {
         value: &'a str,
     ) -> impl Iterator<Item = &'a Row> + 'a {
         let col = self.relation.column_index(column);
-        self.rows.iter().filter(move |r| {
-            col.is_some_and(|c| r[c].as_deref() == Some(value))
-        })
+        self.rows
+            .iter()
+            .filter(move |r| col.is_some_and(|c| r[c].as_deref() == Some(value)))
     }
 
     /// Projects one column over all rows (NULLs skipped).
     pub fn project(&self, column: &str) -> Vec<&str> {
         match self.relation.column_index(column) {
             None => Vec::new(),
-            Some(c) => self
-                .rows
-                .iter()
-                .filter_map(|r| r[c].as_deref())
-                .collect(),
+            Some(c) => self.rows.iter().filter_map(|r| r[c].as_deref()).collect(),
         }
     }
 
@@ -271,7 +267,14 @@ mod tests {
     fn arity_enforced() {
         let mut db = db();
         let err = db.insert("Deceased", vec![Some("0".into())]).unwrap_err();
-        assert!(matches!(err, DbError::Arity { expected: 9, got: 1, .. }));
+        assert!(matches!(
+            err,
+            DbError::Arity {
+                expected: 9,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

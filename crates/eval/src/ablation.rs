@@ -7,8 +7,8 @@
 //! cost. Timing counterparts live in `rbd-bench`'s `ablations` bench.
 
 use rbd_certainty::{CertaintyTable, CompoundHeuristic, HeuristicSet};
-use rbd_heuristics::HeuristicKind;
 use rbd_corpus::{test_corpus, Domain, GeneratedDoc};
+use rbd_heuristics::HeuristicKind;
 use rbd_heuristics::SubtreeView;
 use rbd_pattern::PatternError;
 use rbd_tagtree::TagTreeBuilder;
@@ -171,8 +171,16 @@ impl fmt::Display for AblationReport {
             writeln!(f)
         };
         section(f, "Candidate-threshold sweep (§3: 10 %):", &self.threshold)?;
-        section(f, "Record-area selection (§3: highest fan-out):", &self.subtree)?;
-        section(f, "Leave-one-out heuristic subsets (§5.3: ORSIH):", &self.leave_one_out)
+        section(
+            f,
+            "Record-area selection (§3: highest fan-out):",
+            &self.subtree,
+        )?;
+        section(
+            f,
+            "Leave-one-out heuristic subsets (§5.3: ORSIH):",
+            &self.leave_one_out,
+        )
     }
 }
 
@@ -198,16 +206,22 @@ mod tests {
         };
         let paper = at("0.10");
         for other in ["0.20", "0.30"] {
-            assert!(paper >= at(other), "threshold {other} beats the paper's 10%");
+            assert!(
+                paper >= at(other),
+                "threshold {other} beats the paper's 10%"
+            );
         }
     }
 
     #[test]
     fn fanout_selection_beats_root() {
         let r = report();
-        assert!(r.subtree[0].accuracy > r.subtree[1].accuracy,
+        assert!(
+            r.subtree[0].accuracy > r.subtree[1].accuracy,
             "fan-out {:.2} must beat root {:.2}",
-            r.subtree[0].accuracy, r.subtree[1].accuracy);
+            r.subtree[0].accuracy,
+            r.subtree[1].accuracy
+        );
     }
 
     #[test]

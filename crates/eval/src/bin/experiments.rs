@@ -17,6 +17,8 @@
 //!   recall/precision) against the corpus ground truth.
 //! * `--json` emits machine-readable JSON instead of text tables.
 
+#![forbid(unsafe_code)]
+
 use rbd_certainty::CertaintyTable;
 use rbd_corpus::{sites, Domain};
 use rbd_eval::{
@@ -70,9 +72,7 @@ fn parse_args() -> Result<Args, String> {
                 args.sweep_seeds = Some(v.parse().map_err(|_| format!("bad count {v}"))?);
             }
             "--help" | "-h" => {
-                println!(
-                    "usage: experiments [--table N | --all] [--seed S] [--paper-cf] [--json]"
-                );
+                println!("usage: experiments [--table N | --all] [--seed S] [--paper-cf] [--json]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other}")),
@@ -149,7 +149,10 @@ fn main() -> ExitCode {
             "test_sets": tests,
             "ablations": ablations,
         });
-        println!("{}", serde_json::to_string_pretty(&blob).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&blob).expect("serializable")
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -197,7 +200,9 @@ fn main() -> ExitCode {
         }
     }
     if let Some(n) = args.sweep_seeds {
-        let seeds: Vec<u64> = (0..n as u64).map(|i| args.seed.wrapping_add(i * 97)).collect();
+        let seeds: Vec<u64> = (0..n as u64)
+            .map(|i| args.seed.wrapping_add(i * 97))
+            .collect();
         println!();
         println!("{}", seed_sweep(&runner, &seeds));
     }

@@ -31,7 +31,12 @@ impl RankDistribution {
         }
         let pct = |c: usize| 100.0 * c as f64 / total as f64;
         RankDistribution {
-            percent: [pct(counts[0]), pct(counts[1]), pct(counts[2]), pct(counts[3])],
+            percent: [
+                pct(counts[0]),
+                pct(counts[1]),
+                pct(counts[2]),
+                pct(counts[3]),
+            ],
             beyond: pct(beyond),
         }
     }
@@ -87,8 +92,7 @@ pub fn calibrate(runner: &HeuristicRunner, seed: u64) -> CalibrationReport {
     let mut table4 = [[0.0; 4]; 5];
     for (i, row) in table4.iter_mut().enumerate() {
         for (r, cell) in row.iter_mut().enumerate() {
-            *cell = (obituaries.distributions[i].percent[r]
-                + car_ads.distributions[i].percent[r])
+            *cell = (obituaries.distributions[i].percent[r] + car_ads.distributions[i].percent[r])
                 / 2.0;
         }
     }
@@ -119,7 +123,11 @@ fn calibrate_domain(runner: &HeuristicRunner, domain: Domain, seed: u64) -> Doma
 
 impl fmt::Display for DomainCalibration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Rank distribution — {} ({} documents)", self.domain, self.documents)?;
+        writeln!(
+            f,
+            "Rank distribution — {} ({} documents)",
+            self.domain, self.documents
+        )?;
         writeln!(
             f,
             "{:<10} {:>7} {:>7} {:>7} {:>7} {:>8}",

@@ -78,7 +78,10 @@ pub fn combination_sweep(
 
 impl fmt::Display for CombinationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Success rates of all compound heuristics (Table 5 analogue)")?;
+        writeln!(
+            f,
+            "Success rates of all compound heuristics (Table 5 analogue)"
+        )?;
         // Two columns of 13, like the paper.
         let half = self.results.len().div_ceil(2);
         for i in 0..half {

@@ -142,7 +142,9 @@ fn score_document(
         .map(|r| recognizer.recognize(&r.text))
         .collect();
     let db = generator.populate(&tables);
-    let entity = db.table(&db.scheme().entity_relation.clone()).expect("entity");
+    let entity = db
+        .table(&db.scheme().entity_relation.clone())
+        .expect("entity");
 
     // Alignment: chunking may absorb the first record into the preamble
     // (between-only separators); rows then correspond to truth[offset..].
@@ -218,22 +220,18 @@ pub fn extraction_quality(seed: u64) -> Result<ExtractionReport, PatternError> {
 /// the ~90 % the paper's companion experiments report on real prose, while
 /// precision stays high — noise makes fields unrecognizable far more often
 /// than it makes them mis-recognized.
-pub fn extraction_quality_with_oov(
-    seed: u64,
-    oov: f64,
-) -> Result<ExtractionReport, PatternError> {
+pub fn extraction_quality_with_oov(seed: u64, oov: f64) -> Result<ExtractionReport, PatternError> {
     let mut report = ExtractionReport {
         domains: Vec::new(),
     };
     for domain in Domain::ALL {
         let ontology = ontology_for(domain);
-        let extractor = RecordExtractor::new(
-            ExtractorConfig::default().with_ontology(ontology.clone()),
-        )
-        .map_err(|e| match e {
-            rbd_core::DiscoveryError::Pattern(p) => p,
-            other => unreachable!("config errors are pattern errors: {other}"),
-        })?;
+        let extractor =
+            RecordExtractor::new(ExtractorConfig::default().with_ontology(ontology.clone()))
+                .map_err(|e| match e {
+                    rbd_core::DiscoveryError::Pattern(p) => p,
+                    other => unreachable!("config errors are pattern errors: {other}"),
+                })?;
         let recognizer = Recognizer::new(&ontology)?;
         let generator = InstanceGenerator::new(&ontology);
 

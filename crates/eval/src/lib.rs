@@ -27,11 +27,11 @@ pub mod seeds;
 pub mod testsets;
 
 pub use ablation::{run_ablations, AblationReport};
-pub use extraction::{extraction_quality, extraction_quality_with_oov, ExtractionReport};
-pub use seeds::{seed_sweep, SeedSweep};
 pub use calibration::{calibrate, CalibrationReport, RankDistribution};
 pub use combinations::{combination_sweep, CombinationReport};
+pub use extraction::{extraction_quality, extraction_quality_with_oov, ExtractionReport};
 pub use runner::{evaluate_document, DocEvaluation, HeuristicRunner};
+pub use seeds::{seed_sweep, SeedSweep};
 pub use testsets::{run_test_sets, TestSetReport, TestSiteRow};
 
 /// Default experiment seed (the paper's publication year).

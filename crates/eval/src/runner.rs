@@ -3,11 +3,11 @@
 
 use rbd_corpus::{Domain, GeneratedDoc};
 use rbd_heuristics::om::OntologyMatching;
-use rbd_heuristics::{
-    ht::HighestCount, it::IdentifiableTags, rp::RepeatingPattern, sd::StandardDeviation,
-    Heuristic, HeuristicKind, Ranking, SubtreeView,
-};
 use rbd_heuristics::view::DEFAULT_CANDIDATE_THRESHOLD;
+use rbd_heuristics::{
+    ht::HighestCount, it::IdentifiableTags, rp::RepeatingPattern, sd::StandardDeviation, Heuristic,
+    HeuristicKind, Ranking, SubtreeView,
+};
 use rbd_ontology::domains;
 use rbd_pattern::PatternError;
 use rbd_tagtree::TagTreeBuilder;
@@ -94,7 +94,9 @@ pub fn evaluate_document(runner: &HeuristicRunner, doc: &GeneratedDoc) -> DocEva
             url: doc.url.to_owned(),
             truth: truth.to_owned(),
             ranks: [rank; 5],
-            rankings: synthetic_unanimous_rankings(view.candidates().first().map(|c| c.name.clone())),
+            rankings: synthetic_unanimous_rankings(
+                view.candidates().first().map(|c| c.name.clone()),
+            ),
             candidate_count,
         };
     }

@@ -51,11 +51,7 @@ pub struct TestSetReport {
 }
 
 /// Runs the four test sets with the given certainty table.
-pub fn run_test_sets(
-    runner: &HeuristicRunner,
-    table: &CertaintyTable,
-    seed: u64,
-) -> TestSetReport {
+pub fn run_test_sets(runner: &HeuristicRunner, table: &CertaintyTable, seed: u64) -> TestSetReport {
     let compound = CompoundHeuristic::new(HeuristicSet::ORSIH, table.clone());
     let mut sets = Vec::new();
     let mut individual_sc = [0.0f64; 5];
@@ -158,7 +154,12 @@ impl fmt::Display for TestSetReport {
         }
         writeln!(f, "Success rates (Table 10 analogue):")?;
         for (i, kind) in HeuristicKind::ALL.into_iter().enumerate() {
-            writeln!(f, "  {:<6} {:>6.1}%", kind.to_string(), self.individual_success[i])?;
+            writeln!(
+                f,
+                "  {:<6} {:>6.1}%",
+                kind.to_string(),
+                self.individual_success[i]
+            )?;
         }
         writeln!(f, "  {:<6} {:>6.1}%", "ORSIH", self.compound_success)?;
         Ok(())

@@ -52,8 +52,7 @@ mod tests {
 
     #[test]
     fn equal_counts_tie() {
-        let tree = TagTreeBuilder::default()
-            .build("<td><hr>a<br>b<hr>c<br>d</td>");
+        let tree = TagTreeBuilder::default().build("<td><hr>a<br>b<hr>c<br>d</td>");
         let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
         let r = HighestCount.rank(&view).unwrap();
         assert_eq!(r.rank_of("hr"), Some(1));

@@ -30,7 +30,10 @@ pub struct IdentifiableTags {
 impl Default for IdentifiableTags {
     fn default() -> Self {
         IdentifiableTags {
-            list: PAPER_SEPARATOR_LIST.iter().map(|s| (*s).to_owned()).collect(),
+            list: PAPER_SEPARATOR_LIST
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
         }
     }
 }
@@ -99,7 +102,8 @@ mod tests {
 
     #[test]
     fn empty_when_no_candidate_listed() {
-        let src = "<td><blink>a</blink><blink>b</blink><marquee>c</marquee><marquee>d</marquee></td>";
+        let src =
+            "<td><blink>a</blink><blink>b</blink><marquee>c</marquee><marquee>d</marquee></td>";
         let (tree, ()) = view_of(src);
         let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
         let r = IdentifiableTags::default().rank(&view).unwrap();

@@ -69,9 +69,8 @@ mod tests {
 
     #[test]
     fn run_all_collects_non_abstaining_rankings() {
-        let tree = TagTreeBuilder::default().build(
-            "<td><hr><b>A</b>x text<hr><b>B</b>y text<hr><b>C</b>z text<hr></td>",
-        );
+        let tree = TagTreeBuilder::default()
+            .build("<td><hr><b>A</b>x text<hr><b>B</b>y text<hr><b>C</b>z text<hr></td>");
         let view = SubtreeView::from_tree(&tree, view::DEFAULT_CANDIDATE_THRESHOLD);
         let ht = ht::HighestCount;
         let it = it::IdentifiableTags::default();

@@ -179,11 +179,7 @@ mod tests {
     fn from_scores_descending() {
         let r = Ranking::from_scores(
             HeuristicKind::HT,
-            vec![
-                ("b".into(), 8.0),
-                ("br".into(), 5.0),
-                ("hr".into(), 4.0),
-            ],
+            vec![("b".into(), 8.0), ("br".into(), 5.0), ("hr".into(), 4.0)],
             false,
         );
         assert_eq!(r.best(), Some("b"));

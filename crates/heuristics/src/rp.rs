@@ -78,7 +78,10 @@ mod tests {
     use rbd_tagtree::TagTreeBuilder;
 
     fn view(src: &str) -> (rbd_tagtree::TagTree, f64) {
-        (TagTreeBuilder::default().build(src), DEFAULT_CANDIDATE_THRESHOLD)
+        (
+            TagTreeBuilder::default().build(src),
+            DEFAULT_CANDIDATE_THRESHOLD,
+        )
     }
 
     #[test]

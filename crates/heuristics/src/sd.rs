@@ -38,10 +38,8 @@ impl Heuristic for StandardDeviation {
             .iter()
             .map(|c| {
                 let offsets = view.tag_text_offsets(&c.name);
-                let intervals: Vec<f64> = offsets
-                    .windows(2)
-                    .map(|w| (w[1] - w[0]) as f64)
-                    .collect();
+                let intervals: Vec<f64> =
+                    offsets.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
                 (c.name.clone(), std_dev(&intervals))
             })
             .collect();

@@ -134,10 +134,7 @@ impl<'t> SubtreeView<'t> {
                 FlatEvent::Tag { name, .. } => {
                     if let Some(a) = prev_tag {
                         if self.is_candidate(a) && self.is_candidate(name) {
-                            match counts
-                                .iter_mut()
-                                .find(|(x, y, _)| x == a && y == name)
-                            {
+                            match counts.iter_mut().find(|(x, y, _)| x == a && y == name) {
                                 Some(entry) => entry.2 += 1,
                                 None => counts.push((a.to_owned(), name.clone(), 1)),
                             }
@@ -214,15 +211,18 @@ mod tests {
 
     #[test]
     fn adjacent_pairs_skip_whitespace_but_not_text() {
-        let tree = TagTreeBuilder::default().build(
-            "<td><hr> <b>x</b>text<br><hr> <b>y</b>text<br><hr> <b>z</b>text<br></td>",
-        );
+        let tree = TagTreeBuilder::default()
+            .build("<td><hr> <b>x</b>text<br><hr> <b>y</b>text<br><hr> <b>z</b>text<br></td>");
         let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
         let pairs = view.adjacent_candidate_pairs();
         // <hr><b> adjacent through whitespace; <b> to <br> blocked by text;
         // <br><hr> adjacent.
-        assert!(pairs.iter().any(|(a, b, n)| a == "hr" && b == "b" && *n == 3));
-        assert!(pairs.iter().any(|(a, b, n)| a == "br" && b == "hr" && *n == 2));
+        assert!(pairs
+            .iter()
+            .any(|(a, b, n)| a == "hr" && b == "b" && *n == 3));
+        assert!(pairs
+            .iter()
+            .any(|(a, b, n)| a == "br" && b == "hr" && *n == 2));
         assert!(!pairs.iter().any(|(a, b, _)| a == "b" && b == "br"));
     }
 
@@ -240,8 +240,8 @@ mod tests {
 
     #[test]
     fn occurrence_count_includes_nested() {
-        let tree =
-            TagTreeBuilder::default().build("<td><p><b>x</b></p><b>y</b><b>z</b><p>q</p><p>r</p></td>");
+        let tree = TagTreeBuilder::default()
+            .build("<td><p><b>x</b></p><b>y</b><b>z</b><p>q</p><p>r</p></td>");
         let view = SubtreeView::from_tree(&tree, 0.0);
         assert_eq!(view.occurrence_count("b"), 3);
         assert_eq!(view.candidate_count("b"), Some(2)); // children only

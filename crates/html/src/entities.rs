@@ -63,7 +63,8 @@ fn lookup_named(name: &str) -> Option<&'static str> {
     NAMED
         .binary_search_by(|(n, _)| n.cmp(&name))
         .ok()
-        .map(|i| NAMED[i].1)
+        .and_then(|i| NAMED.get(i))
+        .map(|&(_, decoded)| decoded)
 }
 
 /// Decodes character references in `input`.
@@ -86,15 +87,15 @@ pub fn decode_entities(input: &str) -> String {
     let mut out = String::with_capacity(input.len());
     let bytes = input.as_bytes();
     let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] != b'&' {
+    while let Some(&b) = bytes.get(i) {
+        if b != b'&' {
             // Copy the full UTF-8 character.
-            let ch_len = utf8_len(bytes[i]);
-            out.push_str(&input[i..i + ch_len]);
+            let ch_len = utf8_len(b);
+            out.push_str(input.get(i..i + ch_len).unwrap_or(""));
             i += ch_len;
             continue;
         }
-        match decode_one(&input[i..]) {
+        match decode_one(input.get(i..).unwrap_or("")) {
             Some((decoded, consumed)) => {
                 out.push_str(decoded);
                 i += consumed;
@@ -121,7 +122,7 @@ fn utf8_len(first: u8) -> usize {
 /// Attempts to decode one reference at the start of `s` (which begins with
 /// `&`). Returns the decoded text and the number of source bytes consumed.
 fn decode_one(s: &str) -> Option<(&'static str, usize)> {
-    let rest = &s[1..];
+    let rest = s.get(1..).unwrap_or("");
     if let Some(num) = rest.strip_prefix('#') {
         return decode_numeric(num).map(|(ch, used)| (ch, used + 2));
     }
@@ -133,7 +134,7 @@ fn decode_one(s: &str) -> Option<(&'static str, usize)> {
     if name_len == 0 {
         return None;
     }
-    let name = &rest[..name_len];
+    let name = rest.get(..name_len).unwrap_or("");
     let terminated = rest.as_bytes().get(name_len) == Some(&b';');
     if let Some(decoded) = lookup_named(name) {
         if terminated {
@@ -162,7 +163,7 @@ fn decode_numeric(num: &str) -> Option<(&'static str, usize)> {
     if len == 0 || len > 7 {
         return None;
     }
-    let code = u32::from_str_radix(&digits[..len], radix).ok()?;
+    let code = u32::from_str_radix(digits.get(..len).unwrap_or(""), radix).ok()?;
     let ch = char::from_u32(code)?;
     let mut consumed = len + if radix == 16 { 1 } else { 0 };
     if digits.as_bytes().get(len) == Some(&b';') {
@@ -180,11 +181,12 @@ fn cached_char(ch: char) -> &'static str {
          \u{20}!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~\u{7f}";
     if ch.is_ascii() {
         let i = ch as usize;
-        &ASCII[i..i + 1]
-    } else {
-        // Rare path: leak a tiny allocation.
-        Box::leak(ch.to_string().into_boxed_str())
+        if let Some(s) = ASCII.get(i..i + 1) {
+            return s;
+        }
     }
+    // Rare path: leak a tiny allocation.
+    Box::leak(ch.to_string().into_boxed_str())
 }
 
 #[cfg(test)]

@@ -53,11 +53,11 @@ impl Span {
 
     /// Slices `source` with this span.
     ///
-    /// # Panics
-    /// Panics if the span is out of bounds for `source` or splits a UTF-8
-    /// character, mirroring slice indexing.
+    /// Total: returns `""` if the span is out of bounds for `source` or
+    /// splits a UTF-8 character, so a span from one document applied to
+    /// another can never panic.
     pub fn slice<'a>(&self, source: &'a str) -> &'a str {
-        &source[self.start..self.end]
+        source.get(self.start..self.end).unwrap_or("")
     }
 }
 

@@ -107,7 +107,10 @@ impl Token {
         match self {
             Token::Start(t) => Some(&t.name),
             Token::End(t) => Some(&t.name),
-            _ => None,
+            Token::Text(_)
+            | Token::Comment(_)
+            | Token::Doctype(_)
+            | Token::ProcessingInstruction(_) => None,
         }
     }
 

@@ -118,18 +118,37 @@ impl<'a> Tokenizer<'a> {
 
     /// Runs the tokenizer to completion.
     pub fn run(mut self) -> TokenStream {
-        while self.pos < self.bytes.len() {
+        while let Some(b) = self.byte(self.pos) {
             if let Some(name) = self.raw_text.take() {
                 self.scan_raw_text(&name);
                 continue;
             }
-            if self.bytes[self.pos] == b'<' {
+            if b == b'<' {
                 self.scan_markup();
             } else {
                 self.scan_text();
             }
         }
         self.out
+    }
+
+    /// The byte at `i`, or `None` past the end. The panic-free accessor
+    /// every scanning loop is built on.
+    fn byte(&self, i: usize) -> Option<u8> {
+        self.bytes.get(i).copied()
+    }
+
+    /// Slices `src[start..end]`, returning `""` when the range is out of
+    /// bounds or splits a UTF-8 character. Scanner positions only ever rest
+    /// on ASCII delimiters, so the fallback is unreachable in practice —
+    /// but the parsing hot path must not be able to panic on any input.
+    fn slice(&self, start: usize, end: usize) -> &'a str {
+        self.src.get(start..end).unwrap_or("")
+    }
+
+    /// Slices `src[start..]` with the same total semantics as `slice`.
+    fn slice_from(&self, start: usize) -> &'a str {
+        self.src.get(start..).unwrap_or("")
     }
 
     fn warn(&mut self, kind: WarningKind, span: Span) {
@@ -140,7 +159,7 @@ impl<'a> Tokenizer<'a> {
     /// token unless the run is entirely empty.
     fn scan_text(&mut self) {
         let start = self.pos;
-        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+        while self.byte(self.pos).is_some_and(|b| b != b'<') {
             self.pos += 1;
         }
         self.emit_text(start, self.pos);
@@ -150,7 +169,7 @@ impl<'a> Tokenizer<'a> {
         if start == end {
             return;
         }
-        let raw = &self.src[start..end];
+        let raw = self.slice(start, end);
         self.out.tokens.push(Token::Text(Text {
             text: decode_entities(raw),
             span: Span::new(start, end),
@@ -160,8 +179,8 @@ impl<'a> Tokenizer<'a> {
     /// Dispatches on the character after `<`.
     fn scan_markup(&mut self) {
         let start = self.pos;
-        debug_assert_eq!(self.bytes[start], b'<');
-        match self.bytes.get(start + 1) {
+        debug_assert_eq!(self.byte(start), Some(b'<'));
+        match self.byte(start + 1) {
             Some(b'!') => self.scan_declaration(start),
             Some(b'?') => self.scan_processing_instruction(start),
             Some(b'/') => self.scan_end_tag(start),
@@ -178,12 +197,12 @@ impl<'a> Tokenizer<'a> {
     /// `<!-- … -->`, `<!DOCTYPE …>`, `<![CDATA[…]]>` (XML mode), or any
     /// other `<!…>` construct.
     fn scan_declaration(&mut self, start: usize) {
-        if self.xml && self.src[start..].starts_with("<![CDATA[") {
+        if self.xml && self.slice_from(start).starts_with("<![CDATA[") {
             let body_start = start + 9;
             match find_sub(self.bytes, b"]]>", body_start) {
                 Some(end) => {
                     self.out.tokens.push(Token::Text(Text {
-                        text: self.src[body_start..end].to_owned(),
+                        text: self.slice(body_start, end).to_owned(),
                         span: Span::new(start, end + 3),
                     }));
                     self.pos = end + 3;
@@ -192,7 +211,7 @@ impl<'a> Tokenizer<'a> {
                     let span = Span::new(start, self.bytes.len());
                     self.warn(WarningKind::UnterminatedComment, span);
                     self.out.tokens.push(Token::Text(Text {
-                        text: self.src[body_start.min(self.bytes.len())..].to_owned(),
+                        text: self.slice_from(body_start).to_owned(),
                         span,
                     }));
                     self.pos = self.bytes.len();
@@ -200,7 +219,7 @@ impl<'a> Tokenizer<'a> {
             }
             return;
         }
-        if self.src[start..].starts_with("<!--") {
+        if self.slice_from(start).starts_with("<!--") {
             match find_sub(self.bytes, b"-->", start + 4) {
                 Some(end) => {
                     let span = Span::new(start, end + 3);
@@ -223,7 +242,7 @@ impl<'a> Tokenizer<'a> {
         if close == 0 {
             self.warn(WarningKind::UnterminatedComment, span);
         }
-        let body = &self.src[start + 2..end];
+        let body = self.slice(start + 2, end);
         // `get(..7)` rather than slicing: the body may hold multibyte text
         // and a "doctype" prefix is ASCII, so a non-boundary cut means "no".
         if body
@@ -253,7 +272,7 @@ impl<'a> Tokenizer<'a> {
         // `</` then name then optional junk then `>`.
         let name_start = start + 2;
         let mut i = name_start;
-        while i < self.bytes.len() && is_name_byte(self.bytes[i]) {
+        while self.byte(i).is_some_and(is_name_byte) {
             i += 1;
         }
         if i == name_start {
@@ -277,13 +296,14 @@ impl<'a> Tokenizer<'a> {
     fn scan_start_tag(&mut self, start: usize) {
         let name_start = start + 1;
         let mut i = name_start;
-        while i < self.bytes.len() && is_name_byte(self.bytes[i]) {
+        while self.byte(i).is_some_and(is_name_byte) {
             i += 1;
         }
         let name = self.tag_name(name_start, i);
         let (attrs, self_closing, after) = self.scan_attributes(i);
         let span = Span::new(start, after);
-        if after == self.bytes.len() && self.bytes[after - 1] != b'>' {
+        let last = after.checked_sub(1).and_then(|k| self.byte(k));
+        if after == self.bytes.len() && last != Some(b'>') {
             self.warn(WarningKind::UnterminatedTag, span);
         }
         if !self_closing && !self.xml && is_raw_text_element(&name) {
@@ -301,9 +321,9 @@ impl<'a> Tokenizer<'a> {
     /// Tag names are lower-cased in HTML mode; XML is case-sensitive.
     fn tag_name(&self, start: usize, end: usize) -> String {
         if self.xml {
-            self.src[start..end].to_owned()
+            self.slice(start, end).to_owned()
         } else {
-            self.src[start..end].to_ascii_lowercase()
+            self.slice(start, end).to_ascii_lowercase()
         }
     }
 
@@ -314,15 +334,15 @@ impl<'a> Tokenizer<'a> {
         let mut self_closing = false;
         loop {
             // Skip whitespace.
-            while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
+            while self.byte(i).is_some_and(|b| b.is_ascii_whitespace()) {
                 i += 1;
             }
-            match self.bytes.get(i) {
+            match self.byte(i) {
                 None => return (attrs, self_closing, i),
                 Some(b'>') => return (attrs, self_closing, i + 1),
                 Some(b'/') => {
                     // Self-closing only if `/>`; a lone `/` is skipped.
-                    if self.bytes.get(i + 1) == Some(&b'>') {
+                    if self.byte(i + 1) == Some(b'>') {
                         self_closing = true;
                         return (attrs, self_closing, i + 2);
                     }
@@ -344,32 +364,34 @@ impl<'a> Tokenizer<'a> {
     /// attribute starting at non-whitespace position `i`.
     fn scan_one_attribute(&mut self, mut i: usize) -> (Option<Attribute>, usize) {
         let name_start = i;
-        while i < self.bytes.len() && !matches!(self.bytes[i], b'=' | b'>' | b'/') && !self.bytes[i].is_ascii_whitespace()
+        while self
+            .byte(i)
+            .is_some_and(|b| !matches!(b, b'=' | b'>' | b'/') && !b.is_ascii_whitespace())
         {
             i += 1;
         }
         if i == name_start {
             return (None, i + 1);
         }
-        let name = self.src[name_start..i].to_ascii_lowercase();
+        let name = self.slice(name_start, i).to_ascii_lowercase();
         // Skip whitespace around `=`.
         let mut j = i;
-        while j < self.bytes.len() && self.bytes[j].is_ascii_whitespace() {
+        while self.byte(j).is_some_and(|b| b.is_ascii_whitespace()) {
             j += 1;
         }
-        if self.bytes.get(j) != Some(&b'=') {
+        if self.byte(j) != Some(b'=') {
             return (Some(Attribute { name, value: None }), i);
         }
         j += 1;
-        while j < self.bytes.len() && self.bytes[j].is_ascii_whitespace() {
+        while self.byte(j).is_some_and(|b| b.is_ascii_whitespace()) {
             j += 1;
         }
-        match self.bytes.get(j) {
-            Some(&q) if q == b'"' || q == b'\'' => {
+        match self.byte(j) {
+            Some(q) if q == b'"' || q == b'\'' => {
                 let val_start = j + 1;
                 match find_byte(self.bytes, q, val_start) {
                     Some(end) => {
-                        let value = decode_entities(&self.src[val_start..end]);
+                        let value = decode_entities(self.slice(val_start, end));
                         (
                             Some(Attribute {
                                 name,
@@ -383,7 +405,7 @@ impl<'a> Tokenizer<'a> {
                             WarningKind::UnterminatedAttributeValue,
                             Span::new(val_start, self.bytes.len()),
                         );
-                        let value = decode_entities(&self.src[val_start..]);
+                        let value = decode_entities(self.slice_from(val_start));
                         (
                             Some(Attribute {
                                 name,
@@ -398,13 +420,13 @@ impl<'a> Tokenizer<'a> {
                 // Unquoted value: up to whitespace or '>'.
                 let val_start = j;
                 let mut k = j;
-                while k < self.bytes.len()
-                    && self.bytes[k] != b'>'
-                    && !self.bytes[k].is_ascii_whitespace()
+                while self
+                    .byte(k)
+                    .is_some_and(|b| b != b'>' && !b.is_ascii_whitespace())
                 {
                     k += 1;
                 }
-                let value = decode_entities(&self.src[val_start..k]);
+                let value = decode_entities(self.slice(val_start, k));
                 (
                     Some(Attribute {
                         name,
@@ -425,8 +447,9 @@ impl<'a> Tokenizer<'a> {
             match find_byte(self.bytes, b'<', i) {
                 None => break None,
                 Some(lt) => {
-                    if self.bytes.get(lt + 1) == Some(&b'/')
-                        && self.src[lt + 2..]
+                    if self.byte(lt + 1) == Some(b'/')
+                        && self
+                            .slice_from(lt + 2)
                             .to_ascii_lowercase()
                             .starts_with(name)
                     {
@@ -440,7 +463,7 @@ impl<'a> Tokenizer<'a> {
             Some(lt) => {
                 if lt > start {
                     self.out.tokens.push(Token::Text(Text {
-                        text: self.src[start..lt].to_owned(),
+                        text: self.slice(start, lt).to_owned(),
                         span: Span::new(start, lt),
                     }));
                 }
@@ -452,7 +475,7 @@ impl<'a> Tokenizer<'a> {
                 self.warn(WarningKind::UnterminatedRawText, span);
                 if !span.is_empty() {
                     self.out.tokens.push(Token::Text(Text {
-                        text: self.src[start..].to_owned(),
+                        text: self.slice_from(start).to_owned(),
                         span,
                     }));
                 }
@@ -469,7 +492,9 @@ fn is_name_byte(b: u8) -> bool {
 
 /// Index of the first occurrence of `needle` byte at or after `from`.
 fn find_byte(haystack: &[u8], needle: u8, from: usize) -> Option<usize> {
-    haystack[from.min(haystack.len())..]
+    haystack
+        .get(from..)
+        .unwrap_or(&[])
         .iter()
         .position(|&b| b == needle)
         .map(|i| i + from)
@@ -477,10 +502,12 @@ fn find_byte(haystack: &[u8], needle: u8, from: usize) -> Option<usize> {
 
 /// Index of the first occurrence of the `needle` byte string at or after `from`.
 fn find_sub(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
-    if needle.is_empty() || from >= haystack.len() {
+    if needle.is_empty() {
         return None;
     }
-    haystack[from..]
+    haystack
+        .get(from..)
+        .unwrap_or(&[])
         .windows(needle.len())
         .position(|w| w == needle)
         .map(|i| i + from)

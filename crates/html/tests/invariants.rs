@@ -8,8 +8,17 @@ fn arb_html() -> impl Strategy<Value = String> {
     let piece = prop_oneof![
         // Well-formed fragments.
         prop::sample::select(vec![
-            "<b>", "</b>", "<hr>", "<br/>", "<td align=left>", "</td>",
-            "<a href=\"x\">", "<!-- c -->", "<!DOCTYPE html>", "&amp;", "&#65;",
+            "<b>",
+            "</b>",
+            "<hr>",
+            "<br/>",
+            "<td align=left>",
+            "</td>",
+            "<a href=\"x\">",
+            "<!-- c -->",
+            "<!DOCTYPE html>",
+            "&amp;",
+            "&#65;",
         ])
         .prop_map(String::from),
         // Arbitrary text including metacharacters.

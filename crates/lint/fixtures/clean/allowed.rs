@@ -1,0 +1,25 @@
+//! Fixture: every rule, suppressed by a justified allow directive — the
+//! escape-hatch direction. Must produce zero findings.
+
+pub enum Token {
+    Start(String),
+    End(String),
+}
+
+pub fn first(bytes: &[u8]) -> u8 {
+    // rbd-lint: allow(panic) — the caller checked `!bytes.is_empty()` one line up
+    bytes[0]
+}
+
+pub fn offset32(offset: usize) -> u32 {
+    // rbd-lint: allow(cast) — offsets are capped at u32::MAX by the builder
+    offset as u32
+}
+
+pub fn is_start(token: &Token) -> bool {
+    match token {
+        Token::Start(_) => true,
+        // rbd-lint: allow(wildcard-match) — binary predicate; new variants are non-starts
+        _ => false,
+    }
+}

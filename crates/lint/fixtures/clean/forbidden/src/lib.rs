@@ -1,0 +1,7 @@
+//! Fixture: a compliant crate root. Must produce zero findings.
+
+#![forbid(unsafe_code)]
+
+pub fn identity(x: u8) -> u8 {
+    x
+}

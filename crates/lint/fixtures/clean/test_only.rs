@@ -1,0 +1,22 @@
+//! Fixture: panic-family constructs inside `#[cfg(test)]` items are exempt.
+//! Must produce zero findings.
+
+pub fn double(x: u8) -> u8 {
+    x.saturating_mul(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::double;
+
+    #[test]
+    fn tests_may_unwrap_and_index() {
+        let v = [double(2), double(3)];
+        assert_eq!(v[0], 4);
+        let first: Option<u8> = v.first().copied();
+        assert_eq!(first.unwrap(), 4);
+        if v[1] != 6 {
+            panic!("arithmetic broke");
+        }
+    }
+}

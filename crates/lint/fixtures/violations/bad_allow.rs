@@ -1,0 +1,6 @@
+//! Fixture: an allow directive without a justification must trigger
+//! `bad-allow` at deny (and must not suppress the underlying finding).
+
+pub fn first(bytes: &[u8]) -> u8 {
+    bytes[0] // rbd-lint: allow(panic)
+}

@@ -1,0 +1,9 @@
+//! Fixture: narrowing casts on byte offsets must trigger `cast` at deny.
+
+pub fn compress_offset(offset: usize) -> u32 {
+    offset as u32
+}
+
+pub fn tiny_offset(offset: usize) -> (u8, u16) {
+    (offset as u8, offset as u16)
+}

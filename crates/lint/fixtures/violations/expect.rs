@@ -1,0 +1,5 @@
+//! Fixture: `.expect(...)` in non-test code must trigger `panic` at deny.
+
+pub fn parse(input: &str) -> usize {
+    input.parse().expect("caller promised digits")
+}

@@ -1,0 +1,5 @@
+//! Fixture: slice/array indexing must trigger `panic` at deny.
+
+pub fn head_and_tail(bytes: &[u8]) -> (u8, &[u8]) {
+    (bytes[0], &bytes[1..])
+}

@@ -1,0 +1,6 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]` must trigger
+//! `forbid-unsafe` at deny.
+
+pub fn identity(x: u8) -> u8 {
+    x
+}

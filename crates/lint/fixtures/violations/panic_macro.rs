@@ -1,0 +1,10 @@
+//! Fixture: panic-family macros must trigger `panic` at deny.
+
+pub fn die(kind: u8) {
+    match kind {
+        0 => panic!("boom"),
+        1 => unreachable!(),
+        2 => todo!(),
+        _ => unimplemented!(),
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: `.unwrap()` in non-test code must trigger `panic` at deny.
+
+pub fn first_byte(input: &[u8]) -> u8 {
+    input.first().copied().unwrap()
+}

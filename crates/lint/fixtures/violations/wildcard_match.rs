@@ -1,0 +1,15 @@
+//! Fixture: a `_ =>` arm over the Token enum must trigger `wildcard-match`.
+
+pub enum Token {
+    Start(String),
+    End(String),
+    Text(String),
+}
+
+pub fn tag_name(token: &Token) -> Option<&str> {
+    match token {
+        Token::Start(name) => Some(name),
+        Token::End(name) => Some(name),
+        _ => None,
+    }
+}

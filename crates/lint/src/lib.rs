@@ -1,0 +1,199 @@
+//! # rbd-lint — workspace static analysis for the rbd reproduction
+//!
+//! A std-only, dependency-free lint pass that enforces the domain rules the
+//! paper's robustness story rests on (Section 3 + Appendix A: the pipeline
+//! must survive arbitrary, malformed real-web HTML):
+//!
+//! | rule | what it flags | hot path | elsewhere |
+//! |---|---|---|---|
+//! | `panic` | `unwrap()` / `expect(` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` / slice indexing `[...]` in non-test code | deny | warn |
+//! | `cast` | narrowing `as u8` / `as u16` / `as u32` casts on byte-offset arithmetic | deny | warn |
+//! | `wildcard-match` | `_ =>` arms in `match`es over the crate-local `Token` / `Event` enums | deny | warn |
+//! | `forbid-unsafe` | crate roots missing `#![forbid(unsafe_code)]` | deny | deny |
+//! | `bad-allow` | malformed or unjustified allow directives | deny | deny |
+//!
+//! The *hot path* is `crates/html` and `crates/tagtree` — the tokenizer →
+//! tag-tree route every byte of untrusted input flows through. Code inside
+//! `#[cfg(test)]` items is exempt from the panic-freedom rules, and any rule
+//! can be waived per-line with a justified escape hatch:
+//!
+//! ```text
+//! // rbd-lint: allow(panic) — index is bounds-checked by the loop guard above
+//! let b = bytes[i];
+//! ```
+//!
+//! The justification string is mandatory; an allow without one is itself a
+//! deny-level `bad-allow` finding. Run the pass with `cargo run -p rbd-lint`;
+//! it exits non-zero when any deny-severity finding survives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod source;
+
+pub use rules::{lint_source, Finding, Rule, Severity, Tier};
+pub use source::{analyze, AllowDirective, Analysis};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test code must be provably panic-free: the parsing hot
+/// path of the record-boundary pipeline.
+pub const HOT_PATH_CRATES: &[&str] = &["html", "tagtree"];
+
+/// Classifies a workspace member directory name into an enforcement tier.
+pub fn tier_of(crate_name: &str) -> Tier {
+    if HOT_PATH_CRATES.contains(&crate_name) {
+        Tier::Hot
+    } else {
+        Tier::Library
+    }
+}
+
+/// Recursively collects `*.rs` files under `dir`, sorted for deterministic
+/// output.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// `true` when `path` is a crate root relative to its `src` dir: `lib.rs`,
+/// `main.rs`, or a `bin/*.rs` target.
+fn is_crate_root(src_dir: &Path, path: &Path) -> bool {
+    let Ok(rel) = path.strip_prefix(src_dir) else {
+        return false;
+    };
+    rel == Path::new("lib.rs")
+        || rel == Path::new("main.rs")
+        || (rel.parent() == Some(Path::new("bin")) && rel.extension().is_some_and(|e| e == "rs"))
+}
+
+/// Lints every `.rs` file under a crate's `src` directory.
+pub fn lint_crate_src(src_dir: &Path, tier: Tier) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in rust_files(src_dir)? {
+        let source = fs::read_to_string(&file)?;
+        let root = is_crate_root(src_dir, &file);
+        findings.extend(lint_source(&file, &source, tier, root));
+    }
+    Ok(findings)
+}
+
+/// Lints a single path: a `.rs` file, a crate `src` dir, or a crate dir
+/// containing `src/`. Used by the CLI for fixtures and spot checks; always
+/// runs at the strict [`Tier::Hot`] level.
+pub fn lint_path(path: &Path) -> io::Result<Vec<Finding>> {
+    if path.is_file() {
+        let source = fs::read_to_string(path)?;
+        let root = path
+            .file_name()
+            .is_some_and(|n| n == "lib.rs" || n == "main.rs");
+        return Ok(lint_source(path, &source, Tier::Hot, root));
+    }
+    let src = path.join("src");
+    let dir = if src.is_dir() {
+        src
+    } else {
+        path.to_path_buf()
+    };
+    lint_crate_src(&dir, Tier::Hot)
+}
+
+/// Walks up from `start` to the workspace root (the first ancestor whose
+/// `Cargo.toml` contains a `[workspace]` table).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Lints the whole workspace rooted at `root`: every member under `crates/`
+/// (tiered by name) plus the umbrella crate's own `src/`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir() && p.join("src").is_dir())
+        .collect();
+    members.sort();
+    for member in members {
+        let name = member
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        findings.extend(lint_crate_src(&member.join("src"), tier_of(&name))?);
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        findings.extend(lint_crate_src(&root_src, Tier::Library)?);
+    }
+    Ok(findings)
+}
+
+/// `true` when `findings` should fail the run.
+pub fn has_deny(findings: &[Finding]) -> bool {
+    findings.iter().any(|f| f.severity == Severity::Deny)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_by_crate_name() {
+        assert_eq!(tier_of("html"), Tier::Hot);
+        assert_eq!(tier_of("tagtree"), Tier::Hot);
+        assert_eq!(tier_of("pattern"), Tier::Library);
+        assert_eq!(tier_of("lint"), Tier::Library);
+    }
+
+    #[test]
+    fn crate_root_detection() {
+        let src = Path::new("/x/src");
+        assert!(is_crate_root(src, Path::new("/x/src/lib.rs")));
+        assert!(is_crate_root(src, Path::new("/x/src/main.rs")));
+        assert!(is_crate_root(src, Path::new("/x/src/bin/tool.rs")));
+        assert!(!is_crate_root(src, Path::new("/x/src/helper.rs")));
+        assert!(!is_crate_root(src, Path::new("/x/src/nested/lib.rs")));
+    }
+
+    #[test]
+    fn has_deny_distinguishes_severities() {
+        let warn = Finding {
+            file: "a.rs".into(),
+            line: 1,
+            rule: Rule::Panic,
+            severity: Severity::Warn,
+            message: String::new(),
+        };
+        let deny = Finding {
+            severity: Severity::Deny,
+            ..warn.clone()
+        };
+        assert!(!has_deny(&[warn.clone()]));
+        assert!(has_deny(&[warn, deny]));
+    }
+}

@@ -1,0 +1,95 @@
+//! `rbd-lint` — run the workspace static-analysis pass.
+//!
+//! ```text
+//! rbd-lint               # lint the whole workspace (finds the root itself)
+//! rbd-lint PATH...       # lint specific files/crate dirs at the strict tier
+//! rbd-lint --quiet ...   # suppress warn-level findings
+//! ```
+//!
+//! Exit status: 0 when no deny-severity finding survives, 1 when any does,
+//! 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use rbd_lint::{find_workspace_root, has_deny, lint_path, lint_workspace, Finding, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quiet = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: rbd-lint [--quiet] [PATH...]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("rbd-lint: unknown flag `{other}`\nusage: rbd-lint [--quiet] [PATH...]");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let findings = if paths.is_empty() {
+        let cwd = match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("rbd-lint: cannot determine working directory: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(root) = find_workspace_root(&cwd) else {
+            eprintln!("rbd-lint: no workspace root found above {}", cwd.display());
+            return ExitCode::from(2);
+        };
+        match lint_workspace(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("rbd-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut all = Vec::new();
+        for p in &paths {
+            match lint_path(p) {
+                Ok(f) => all.extend(f),
+                Err(e) => {
+                    eprintln!("rbd-lint: {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        all
+    };
+
+    report(&findings, quiet);
+    if has_deny(&findings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn report(findings: &[Finding], quiet: bool) {
+    let mut warns = 0usize;
+    let mut denies = 0usize;
+    for f in findings {
+        match f.severity {
+            Severity::Warn => {
+                warns += 1;
+                if !quiet {
+                    println!("{f}");
+                }
+            }
+            Severity::Deny => {
+                denies += 1;
+                println!("{f}");
+            }
+        }
+    }
+    println!("rbd-lint: {denies} deny, {warns} warn");
+}

@@ -1,0 +1,722 @@
+//! The rule catalog.
+//!
+//! Every rule scans the masked source produced by [`crate::source::analyze`],
+//! so occurrences inside strings and comments never count. Findings on lines
+//! inside `#[cfg(test)]` items are dropped for the panic-freedom rules —
+//! tests may unwrap freely — and a justified
+//! `// rbd-lint: allow(<rule>) — <why>` directive suppresses any rule on its
+//! target line.
+
+use crate::source::{is_ident_byte, match_brace, Analysis};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `unwrap()`, `expect(`, `panic!`, `unreachable!`, `todo!` and slice
+    /// indexing `[...]` in non-test code.
+    Panic,
+    /// Narrowing `as u8` / `as u16` / `as u32` casts.
+    Cast,
+    /// `_ =>` arms in `match`es over the crate-local `Token`/`Event` enums.
+    WildcardMatch,
+    /// Crate roots must carry `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// An `rbd-lint` allow directive that is malformed or lacks its
+    /// justification string.
+    BadAllow,
+}
+
+impl Rule {
+    /// The name used in `allow(...)` directives and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Cast => "cast",
+            Rule::WildcardMatch => "wildcard-match",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::BadAllow => "bad-allow",
+        }
+    }
+
+    /// All rules an allow directive may name.
+    pub fn all() -> [Rule; 4] {
+        [
+            Rule::Panic,
+            Rule::Cast,
+            Rule::WildcardMatch,
+            Rule::ForbidUnsafe,
+        ]
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a finding affects the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported but does not fail the run.
+    Warn,
+    /// Fails the run.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// Enforcement tier of the crate a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The parsing hot path (`crates/html`, `crates/tagtree`): panic-freedom
+    /// rules at deny.
+    Hot,
+    /// Every other library crate: panic-freedom rules at warn.
+    Library,
+}
+
+impl Tier {
+    /// Severity of `rule` under this tier.
+    pub fn severity(self, rule: Rule) -> Severity {
+        match (rule, self) {
+            // Structural rules hold everywhere.
+            (Rule::ForbidUnsafe | Rule::BadAllow, _) => Severity::Deny,
+            (_, Tier::Hot) => Severity::Deny,
+            (_, Tier::Library) => Severity::Warn,
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Deny or warn under the file's tier.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}: {}",
+            self.file.display(),
+            self.line,
+            self.severity,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Runs every rule over one file. `is_crate_root` enables the
+/// `forbid-unsafe` check (crate roots: `lib.rs`, `main.rs`, `bin/*.rs`).
+pub fn lint_source(path: &Path, source: &str, tier: Tier, is_crate_root: bool) -> Vec<Finding> {
+    let analysis = crate::source::analyze(source);
+    let mut findings = Vec::new();
+
+    check_panic(path, &analysis, tier, &mut findings);
+    check_cast(path, &analysis, tier, &mut findings);
+    check_wildcard_match(path, &analysis, tier, &mut findings);
+    if is_crate_root {
+        check_forbid_unsafe(path, &analysis, &mut findings);
+    }
+    check_allow_directives(path, &analysis, &mut findings);
+
+    // Apply test exemption (panic-freedom rules only) and allow directives.
+    findings.retain(|f| {
+        if f.rule == Rule::BadAllow {
+            return true;
+        }
+        let test_exempt = matches!(f.rule, Rule::Panic | Rule::Cast | Rule::WildcardMatch)
+            && analysis.is_test_line(f.line);
+        !test_exempt && !analysis.is_allowed(f.rule.name(), f.line)
+    });
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    path: &Path,
+    line: usize,
+    rule: Rule,
+    severity: Severity,
+    message: String,
+) {
+    findings.push(Finding {
+        file: path.to_path_buf(),
+        line,
+        rule,
+        severity,
+        message,
+    });
+}
+
+/// `true` if the word of `masked` starting at `at` with length `len` has
+/// identifier bytes on neither side.
+fn word_boundary(masked: &str, at: usize, len: usize) -> bool {
+    let bytes = masked.as_bytes();
+    let before_ok = at
+        .checked_sub(1)
+        .and_then(|i| bytes.get(i))
+        .is_none_or(|&b| !is_ident_byte(b));
+    let after_ok = bytes.get(at + len).is_none_or(|&b| !is_ident_byte(b));
+    before_ok && after_ok
+}
+
+/// All occurrences of `needle` in `masked` passing `word_boundary` on the
+/// leading identifier-like prefix.
+fn occurrences<'a>(masked: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let mut from = 0;
+    std::iter::from_fn(move || {
+        let rel = masked.get(from..)?.find(needle)?;
+        let at = from + rel;
+        from = at + 1;
+        Some(at)
+    })
+}
+
+fn check_panic(path: &Path, a: &Analysis, tier: Tier, findings: &mut Vec<Finding>) {
+    let severity = tier.severity(Rule::Panic);
+    // Method-call needles are anchored by the leading dot; `.unwrap()` does
+    // not match `.unwrap_or(...)` because of the closing paren, and
+    // `.expect(` does not match `.expect_err(`.
+    for needle in [".unwrap()", ".expect("] {
+        for at in occurrences(&a.masked, needle) {
+            push(
+                findings,
+                path,
+                a.line_of(at),
+                Rule::Panic,
+                severity,
+                format!("`{}` can panic", needle.trim_end_matches('(')),
+            );
+        }
+    }
+    for needle in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+        for at in occurrences(&a.masked, needle) {
+            if word_boundary(&a.masked, at, needle.len() - 1) {
+                push(
+                    findings,
+                    path,
+                    a.line_of(at),
+                    Rule::Panic,
+                    severity,
+                    format!("`{needle}` in non-test code"),
+                );
+            }
+        }
+    }
+    check_indexing(path, a, severity, findings);
+}
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`return [..]`, `break [..]`, …).
+fn is_non_indexing_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "return"
+            | "break"
+            | "else"
+            | "in"
+            | "if"
+            | "match"
+            | "mut"
+            | "ref"
+            | "move"
+            | "const"
+            | "static"
+            | "as"
+            | "dyn"
+            | "impl"
+            | "where"
+            | "yield"
+            | "box"
+    )
+}
+
+fn check_indexing(path: &Path, a: &Analysis, severity: Severity, findings: &mut Vec<Finding>) {
+    let bytes = a.masked.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        // Find the previous non-whitespace byte.
+        let mut j = i;
+        let prev = loop {
+            let Some(k) = j.checked_sub(1) else {
+                break None;
+            };
+            j = k;
+            match bytes.get(j) {
+                Some(&p) if p.is_ascii_whitespace() => continue,
+                other => break other.copied(),
+            }
+        };
+        let indexes = match prev {
+            Some(p) if is_ident_byte(p) => {
+                // Extract the word and exclude expression-starting keywords.
+                let mut w = j;
+                while w > 0 && bytes.get(w - 1).is_some_and(|&c| is_ident_byte(c)) {
+                    w -= 1;
+                }
+                let word = a.masked.get(w..j + 1).unwrap_or("");
+                let before_word = w.checked_sub(1).and_then(|k| bytes.get(k)).copied();
+                if before_word == Some(b'\'') {
+                    // A lifetime, as in `&'a [u8]`: a slice type, not an
+                    // index expression.
+                    false
+                } else {
+                    // `.await[...]` indexes; bare keywords do not.
+                    before_word == Some(b'.') || !is_non_indexing_keyword(word)
+                }
+            }
+            Some(b')') | Some(b']') | Some(b'?') => true,
+            _ => false,
+        };
+        if indexes {
+            push(
+                findings,
+                path,
+                a.line_of(i),
+                Rule::Panic,
+                severity,
+                "slice/array indexing `[...]` can panic; use `.get(..)`".to_owned(),
+            );
+        }
+    }
+}
+
+fn check_cast(path: &Path, a: &Analysis, tier: Tier, findings: &mut Vec<Finding>) {
+    let severity = tier.severity(Rule::Cast);
+    for at in occurrences(&a.masked, "as") {
+        if !word_boundary(&a.masked, at, 2) {
+            continue;
+        }
+        let rest = a.masked.get(at + 2..).unwrap_or("").trim_start();
+        for target in ["u8", "u16", "u32"] {
+            if rest.starts_with(target)
+                && !rest
+                    .as_bytes()
+                    .get(target.len())
+                    .is_some_and(|&b| is_ident_byte(b))
+            {
+                push(
+                    findings,
+                    path,
+                    a.line_of(at),
+                    Rule::Cast,
+                    severity,
+                    format!(
+                        "narrowing `as {target}` cast can silently truncate byte offsets; \
+                         use `{target}::try_from`"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_wildcard_match(path: &Path, a: &Analysis, tier: Tier, findings: &mut Vec<Finding>) {
+    let severity = tier.severity(Rule::WildcardMatch);
+    for at in occurrences(&a.masked, "match") {
+        if !word_boundary(&a.masked, at, 5) {
+            continue;
+        }
+        // Opening brace of the match block: first `{` at bracket/paren
+        // depth 0 after the scrutinee.
+        let Some(open) = find_block_open(&a.masked, at + 5) else {
+            continue;
+        };
+        let Some(close) = match_brace(&a.masked, open) else {
+            continue;
+        };
+        let scrutinee = a.masked.get(at + 5..open).unwrap_or("");
+        // Depth-1 text: arm patterns and top-level punctuation, with nested
+        // blocks/parens elided.
+        let depth1 = depth1_text(&a.masked, open, close);
+        let over_guarded_enum = ["Token", "Event"]
+            .iter()
+            .any(|t| contains_word(scrutinee, t) || depth1.contains(&format!("{t}::")));
+        if !over_guarded_enum {
+            continue;
+        }
+        for offset in wildcard_arms(&depth1) {
+            push(
+                findings,
+                path,
+                a.line_of(open + offset),
+                Rule::WildcardMatch,
+                severity,
+                "wildcard `_ =>` arm in a match over Token/Event swallows new \
+                 variants; enumerate them"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+/// First `{` after `from` at zero paren/bracket depth.
+fn find_block_open(masked: &str, from: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, b) in masked.bytes().enumerate().skip(from) {
+        match b {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth = depth.saturating_sub(1),
+            b'{' if depth == 0 => return Some(i),
+            b';' if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The text strictly between `open` and `close` with every nested
+/// `{...}`/`(...)`/`[...]` body replaced by a single space. Offsets into the
+/// returned string are offsets from `open` only for depth-1 bytes, so we
+/// track them explicitly as `(offset_in_block, byte)` pairs flattened back
+/// into a string with a parallel offset of the first byte.
+fn depth1_text(masked: &str, open: usize, close: usize) -> String {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    for b in masked
+        .as_bytes()
+        .get(open..=close)
+        .unwrap_or(&[])
+        .iter()
+        .copied()
+    {
+        // Non-ASCII bytes become spaces so offsets into the result stay
+        // byte-aligned with the masked source.
+        let keep = |d: usize, b: u8| if d <= 1 && b.is_ascii() { b } else { b' ' };
+        match b {
+            b'{' | b'(' | b'[' => {
+                depth += 1;
+                out.push(keep(depth, b));
+            }
+            b'}' | b')' | b']' => {
+                out.push(keep(depth, b));
+                depth = depth.saturating_sub(1);
+            }
+            _ => out.push(keep(depth, b)),
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Byte offsets (into the depth-1 text) of wildcard arms: a standalone `_`
+/// followed by `=>`, `|`, or an `if` guard.
+fn wildcard_arms(depth1: &str) -> Vec<usize> {
+    let bytes = depth1.as_bytes();
+    let mut arms = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'_' {
+            continue;
+        }
+        let standalone = i
+            .checked_sub(1)
+            .and_then(|k| bytes.get(k))
+            .is_none_or(|&p| !is_ident_byte(p) && p != b'.')
+            && bytes.get(i + 1).is_none_or(|&n| !is_ident_byte(n));
+        if !standalone {
+            continue;
+        }
+        let rest = depth1.get(i + 1..).unwrap_or("").trim_start();
+        if rest.starts_with("=>") || rest.starts_with("if ") || rest.starts_with('|') {
+            arms.push(i);
+        }
+    }
+    arms
+}
+
+fn contains_word(haystack: &str, word: &str) -> bool {
+    occurrences(haystack, word).any(|at| word_boundary(haystack, at, word.len()))
+}
+
+// Runs on the masked source so a doc comment *mentioning* the attribute
+// cannot satisfy the check.
+fn check_forbid_unsafe(path: &Path, a: &Analysis, findings: &mut Vec<Finding>) {
+    let compact: String = a.masked.split_whitespace().collect();
+    if !compact.contains("#![forbid(unsafe_code)]") {
+        push(
+            findings,
+            path,
+            1,
+            Rule::ForbidUnsafe,
+            Severity::Deny,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+        );
+    }
+}
+
+fn check_allow_directives(path: &Path, a: &Analysis, findings: &mut Vec<Finding>) {
+    for &line in &a.malformed_allows {
+        push(
+            findings,
+            path,
+            line,
+            Rule::BadAllow,
+            Severity::Deny,
+            "malformed rbd-lint directive; expected `rbd-lint: allow(<rule>) — <justification>`"
+                .to_owned(),
+        );
+    }
+    let known: Vec<&str> = Rule::all().iter().map(|r| r.name()).collect();
+    for d in &a.allows {
+        if d.justification.is_empty() {
+            push(
+                findings,
+                path,
+                d.line,
+                Rule::BadAllow,
+                Severity::Deny,
+                "allow directive requires a justification string after the rule list".to_owned(),
+            );
+        }
+        for r in &d.rules {
+            if !known.contains(&r.as_str()) {
+                push(
+                    findings,
+                    path,
+                    d.line,
+                    Rule::BadAllow,
+                    Severity::Deny,
+                    format!("unknown rule `{r}` in allow directive"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_source(Path::new("test.rs"), src, Tier::Hot, false)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // --- panic rule: trigger direction ---
+
+    #[test]
+    fn unwrap_flagged() {
+        let f = lint("fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        assert_eq!(rules_of(&f), vec![Rule::Panic]);
+    }
+
+    #[test]
+    fn expect_flagged() {
+        let f = lint("fn f(x: Option<u8>) -> u8 { x.expect(\"msg\") }\n");
+        assert_eq!(rules_of(&f), vec![Rule::Panic]);
+    }
+
+    #[test]
+    fn panic_macros_flagged() {
+        for src in [
+            "fn f() { panic!(\"boom\"); }\n",
+            "fn f() { unreachable!(); }\n",
+            "fn f() { todo!(); }\n",
+            "fn f() { unimplemented!(); }\n",
+        ] {
+            let f = lint(src);
+            assert_eq!(rules_of(&f), vec![Rule::Panic], "{src}");
+        }
+    }
+
+    #[test]
+    fn indexing_flagged() {
+        let f = lint("fn f(v: &[u8]) -> u8 { v[0] }\n");
+        assert_eq!(rules_of(&f), vec![Rule::Panic]);
+        let f = lint("fn f(s: &str) -> &str { &s[1..3] }\n");
+        assert_eq!(rules_of(&f), vec![Rule::Panic]);
+    }
+
+    #[test]
+    fn unwrap_or_is_fine() {
+        assert!(lint("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n").is_empty());
+        assert!(lint("fn f(x: Option<u8>) -> u8 { x.unwrap_or_default() }\n").is_empty());
+    }
+
+    #[test]
+    fn array_types_and_literals_not_flagged() {
+        assert!(lint("fn f() -> [u8; 2] { [1, 2] }\n").is_empty());
+        assert!(lint("struct S<'a> { bytes: &'a [u8] }\n").is_empty());
+        assert!(lint("fn f(x: &'static [u8]) -> usize { x.len() }\n").is_empty());
+        assert!(lint("static T: &[(&str, u8)] = &[(\"a\", 1)];\n").is_empty());
+        assert!(lint("fn f() { let _v = vec![1, 2, 3]; }\n").is_empty());
+        assert!(
+            lint("fn f(x: bool) -> Vec<u8> { if x { return [1].to_vec(); } vec![] }\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn needles_in_strings_and_comments_ignored() {
+        assert!(lint("// a comment about .unwrap() and panic!\nfn f() {}\n").is_empty());
+        assert!(lint("fn f() -> &'static str { \"don't panic![0]\" }\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    // --- panic rule: allow-escape direction ---
+
+    #[test]
+    fn justified_allow_suppresses_panic() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    // rbd-lint: allow(panic) — loop guard proves the index in bounds\n    v[0]\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn unjustified_allow_is_bad_allow_and_does_not_suppress() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    v[0] // rbd-lint: allow(panic)\n}\n";
+        let f = lint(src);
+        assert!(f.iter().any(|x| x.rule == Rule::Panic), "{f:?}");
+        assert!(f.iter().any(|x| x.rule == Rule::BadAllow), "{f:?}");
+    }
+
+    #[test]
+    fn allow_for_other_rule_does_not_suppress() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    // rbd-lint: allow(cast) — wrong rule named here\n    v[0]\n}\n";
+        let f = lint(src);
+        assert_eq!(rules_of(&f), vec![Rule::Panic]);
+    }
+
+    // --- cast rule ---
+
+    #[test]
+    fn narrowing_casts_flagged() {
+        for target in ["u8", "u16", "u32"] {
+            let src = format!("fn f(n: usize) -> {target} {{ n as {target} }}\n");
+            let f = lint(&src);
+            assert_eq!(rules_of(&f), vec![Rule::Cast], "{src}");
+        }
+    }
+
+    #[test]
+    fn widening_casts_not_flagged() {
+        assert!(lint("fn f(n: u8) -> usize { n as usize }\n").is_empty());
+        assert!(lint("fn f(n: u32) -> u64 { n as u64 }\n").is_empty());
+        assert!(lint("fn f(n: u8) -> char { n as char }\n").is_empty());
+    }
+
+    #[test]
+    fn justified_allow_suppresses_cast() {
+        let src = "fn f(n: usize) -> u32 {\n    // rbd-lint: allow(cast) — n is checked against u32::MAX by the caller\n    n as u32\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    // --- wildcard-match rule ---
+
+    #[test]
+    fn wildcard_over_token_flagged() {
+        let src = "fn f(t: &Token) -> u8 {\n    match t {\n        Token::Start(_) => 1,\n        _ => 0,\n    }\n}\n";
+        let f = lint(src);
+        assert_eq!(rules_of(&f), vec![Rule::WildcardMatch]);
+    }
+
+    #[test]
+    fn wildcard_over_event_flagged() {
+        let src = "fn f(e: &Event) -> u8 {\n    match e {\n        Event::Text { .. } => 1,\n        _ => 0,\n    }\n}\n";
+        let f = lint(src);
+        assert_eq!(rules_of(&f), vec![Rule::WildcardMatch]);
+    }
+
+    #[test]
+    fn exhaustive_token_match_not_flagged() {
+        let src = "fn f(t: &Token) -> u8 {\n    match t {\n        Token::Start(_) => 1,\n        Token::End(_) => 2,\n    }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn wildcard_over_other_enum_not_flagged() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    match x {\n        Some(v) => v,\n        _ => 0,\n    }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn nested_binding_underscore_not_flagged() {
+        let src = "fn f(t: &Token) -> u8 {\n    match t {\n        Token::Start(_) => 1,\n        Token::End(_) => 2,\n        Token::Text(_) => 3,\n    }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn justified_allow_suppresses_wildcard() {
+        let src = "fn f(t: &Token) -> u8 {\n    match t {\n        Token::Start(_) => 1,\n        // rbd-lint: allow(wildcard-match) — forward compatibility shim for external callers\n        _ => 0,\n    }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    // --- forbid-unsafe rule ---
+
+    #[test]
+    fn missing_forbid_unsafe_flagged_on_crate_root() {
+        let f = lint_source(Path::new("lib.rs"), "pub fn f() {}\n", Tier::Library, true);
+        assert_eq!(rules_of(&f), vec![Rule::ForbidUnsafe]);
+        assert_eq!(f.first().map(|x| x.severity), Some(Severity::Deny));
+    }
+
+    #[test]
+    fn present_forbid_unsafe_passes() {
+        let f = lint_source(
+            Path::new("lib.rs"),
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            Tier::Library,
+            true,
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn non_root_files_skip_forbid_check() {
+        let f = lint_source(
+            Path::new("helper.rs"),
+            "pub fn f() {}\n",
+            Tier::Library,
+            false,
+        );
+        assert!(f.is_empty());
+    }
+
+    // --- severity tiers ---
+
+    #[test]
+    fn hot_tier_denies_library_tier_warns() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let hot = lint_source(Path::new("a.rs"), src, Tier::Hot, false);
+        let lib = lint_source(Path::new("a.rs"), src, Tier::Library, false);
+        assert_eq!(hot.first().map(|f| f.severity), Some(Severity::Deny));
+        assert_eq!(lib.first().map(|f| f.severity), Some(Severity::Warn));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_reported() {
+        let src = "fn f() {} // rbd-lint: allow(bogus) — justification present\n";
+        let f = lint(src);
+        assert_eq!(rules_of(&f), vec![Rule::BadAllow]);
+    }
+}

@@ -1,0 +1,547 @@
+//! Lexical preprocessing of Rust source for the rule pass.
+//!
+//! The rules operate on a *masked* copy of the source in which the interiors
+//! of string literals, character literals and comments are blanked out (byte
+//! length and line structure preserved), so a `panic!` inside a doc comment
+//! or a `"[...]"` inside a test string can never trigger a finding. The same
+//! pass extracts `rbd-lint: allow(...)` directives from comments and marks
+//! the line ranges of `#[cfg(test)]` items, which are exempt from the
+//! panic-freedom rules.
+
+/// A parsed `// rbd-lint: allow(<rules>) — <justification>` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// Rule names listed inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// 1-based line the directive's comment starts on.
+    pub line: usize,
+    /// 1-based line the directive suppresses findings on: the comment's own
+    /// line when code shares it, otherwise the next line.
+    pub target_line: usize,
+    /// The justification text after the rule list (may be empty — an empty
+    /// justification is itself a deny-level finding).
+    pub justification: String,
+}
+
+/// The result of the masking pass over one file.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Source with string/char-literal and comment interiors blanked.
+    /// Identical length and newline positions to the original.
+    pub masked: String,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+    /// Per line (index 0 = line 1): `true` when the line lies inside a
+    /// `#[cfg(test)]` item and is exempt from panic-freedom rules.
+    pub test_lines: Vec<bool>,
+    /// Allow directives found in comments, in document order.
+    pub allows: Vec<AllowDirective>,
+    /// Comments whose text mentions `rbd-lint:` but could not be parsed as a
+    /// well-formed allow directive (reported as `bad-allow`).
+    pub malformed_allows: Vec<usize>,
+}
+
+impl Analysis {
+    /// 1-based line number containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i.max(1),
+        }
+    }
+
+    /// `true` when `line` (1-based) is inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        line.checked_sub(1)
+            .and_then(|i| self.test_lines.get(i))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// `true` when a justified allow directive for `rule` targets `line`.
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows.iter().any(|a| {
+            a.target_line == line
+                && !a.justification.is_empty()
+                && a.rules.iter().any(|r| r == rule)
+        })
+    }
+}
+
+/// Lexer state while masking.
+enum State {
+    Code,
+    LineComment { start: usize },
+    BlockComment { start: usize, depth: usize },
+    Str,
+    RawStr { hashes: usize },
+    Char,
+}
+
+/// Masks `source`: blanks string/char literals and comments, keeping
+/// newlines, and collects comments for directive parsing.
+pub fn analyze(source: &str) -> Analysis {
+    let bytes = source.as_bytes();
+    let mut masked: Vec<u8> = Vec::with_capacity(bytes.len());
+    // (start offset, text) of every comment.
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    // Pushes a blank for byte `b`, preserving line structure.
+    fn blank(out: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while let Some(&b) = bytes.get(i) {
+        match state {
+            State::Code => {
+                let next = bytes.get(i + 1).copied();
+                if b == b'/' && next == Some(b'/') {
+                    state = State::LineComment { start: i };
+                    blank(&mut masked, b);
+                    i += 1;
+                } else if b == b'/' && next == Some(b'*') {
+                    state = State::BlockComment { start: i, depth: 1 };
+                    blank(&mut masked, b);
+                    blank(&mut masked, b'*');
+                    i += 2;
+                } else if b == b'"' {
+                    // Raw/byte-string prefixes: look behind for r/b/br + hashes.
+                    let (is_raw, hashes) = raw_prefix(bytes, i);
+                    masked.push(b'"');
+                    state = if is_raw {
+                        State::RawStr { hashes }
+                    } else {
+                        State::Str
+                    };
+                    i += 1;
+                } else if b == b'\'' {
+                    // Distinguish char literal from lifetime: a lifetime is
+                    // `'ident` NOT followed by a closing quote.
+                    if is_char_literal(bytes, i) {
+                        masked.push(b'\'');
+                        state = State::Char;
+                        i += 1;
+                    } else {
+                        masked.push(b);
+                        i += 1;
+                    }
+                } else {
+                    masked.push(b);
+                    i += 1;
+                }
+            }
+            State::LineComment { start } => {
+                if b == b'\n' {
+                    push_comment(&mut comments, bytes, start, i);
+                    masked.push(b'\n');
+                    state = State::Code;
+                } else {
+                    blank(&mut masked, b);
+                }
+                i += 1;
+            }
+            State::BlockComment { start, depth } => {
+                let next = bytes.get(i + 1).copied();
+                if b == b'*' && next == Some(b'/') {
+                    blank(&mut masked, b);
+                    blank(&mut masked, b'/');
+                    i += 2;
+                    if depth == 1 {
+                        push_comment(&mut comments, bytes, start, i);
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment {
+                            start,
+                            depth: depth - 1,
+                        };
+                    }
+                } else if b == b'/' && next == Some(b'*') {
+                    blank(&mut masked, b);
+                    blank(&mut masked, b'*');
+                    i += 2;
+                    state = State::BlockComment {
+                        start,
+                        depth: depth + 1,
+                    };
+                } else {
+                    blank(&mut masked, b);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' {
+                    blank(&mut masked, b);
+                    if let Some(&esc) = bytes.get(i + 1) {
+                        blank(&mut masked, esc);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if b == b'"' {
+                    masked.push(b'"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    blank(&mut masked, b);
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if b == b'"' && has_hashes(bytes, i + 1, hashes) {
+                    masked.push(b'"');
+                    for _ in 0..hashes {
+                        masked.push(b' ');
+                    }
+                    i += 1 + hashes;
+                    state = State::Code;
+                } else {
+                    blank(&mut masked, b);
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if b == b'\\' {
+                    blank(&mut masked, b);
+                    if let Some(&esc) = bytes.get(i + 1) {
+                        blank(&mut masked, esc);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    masked.push(b'\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    blank(&mut masked, b);
+                    i += 1;
+                }
+            }
+        }
+    }
+    // EOF inside a line comment still yields the comment.
+    if let State::LineComment { start } = state {
+        push_comment(&mut comments, bytes, start, bytes.len());
+    }
+
+    let masked = String::from_utf8_lossy(&masked).into_owned();
+    let line_starts = line_starts(&masked);
+    let test_lines = mark_test_lines(&masked, &line_starts);
+    let (allows, malformed_allows) = parse_allows(&comments, &masked, &line_starts);
+    Analysis {
+        masked,
+        line_starts,
+        test_lines,
+        allows,
+        malformed_allows,
+    }
+}
+
+/// Detects an `r`/`b`/`br`/`rb` + `#…` raw-string prefix ending at the quote
+/// at `quote`. Returns `(is_raw, hash_count)`.
+fn raw_prefix(bytes: &[u8], quote: usize) -> (bool, usize) {
+    let mut j = quote;
+    let mut hashes = 0;
+    while j > 0 && bytes.get(j - 1) == Some(&b'#') {
+        j -= 1;
+        hashes += 1;
+    }
+    let at = |k: usize| j.checked_sub(k).and_then(|p| bytes.get(p)).copied();
+    let is_raw = match (at(1), at(2), at(3)) {
+        // `r"` / `r#"` — not preceded by an identifier byte.
+        (Some(b'r'), Some(b'b'), prev) => !matches!(prev, Some(c) if is_ident_byte(c)),
+        (Some(b'r'), prev, _) => !matches!(prev, Some(c) if is_ident_byte(c)),
+        _ => false,
+    };
+    if is_raw {
+        (true, hashes)
+    } else {
+        (false, 0)
+    }
+}
+
+/// `true` if `count` `#` bytes start at `from`.
+fn has_hashes(bytes: &[u8], from: usize, count: usize) -> bool {
+    (0..count).all(|k| bytes.get(from + k) == Some(&b'#'))
+}
+
+/// Heuristic: the `'` at `i` starts a char literal (not a lifetime).
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(&c) => {
+            if is_ident_byte(c) {
+                // `'x'` is a char literal; `'x` followed by anything else is
+                // a lifetime. Multibyte chars always end with a quote.
+                bytes.get(i + 2) == Some(&b'\'')
+            } else {
+                // Punctuation or multibyte start: only a char literal can
+                // contain it.
+                c != b'\'' || bytes.get(i + 2) == Some(&b'\'')
+            }
+        }
+        None => false,
+    }
+}
+
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn push_comment(comments: &mut Vec<(usize, String)>, bytes: &[u8], start: usize, end: usize) {
+    let text = String::from_utf8_lossy(bytes.get(start..end).unwrap_or(&[])).into_owned();
+    comments.push((start, text));
+}
+
+fn line_starts(s: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in s.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Marks every line inside a `#[cfg(test)]` item (attribute through the end
+/// of the item's brace block) as test-exempt.
+fn mark_test_lines(masked: &str, line_starts: &[usize]) -> Vec<bool> {
+    let mut test = vec![false; line_starts.len()];
+    let needle = "#[cfg(test)]";
+    let mut from = 0;
+    while let Some(rel) = masked.get(from..).and_then(|s| s.find(needle)) {
+        let attr_start = from + rel;
+        let after_attr = attr_start + needle.len();
+        // Find the opening `{` of the annotated item, then its matching `}`.
+        if let Some(open) = masked.get(after_attr..).and_then(|s| s.find('{')) {
+            let open_abs = after_attr + open;
+            let close_abs = match_brace(masked, open_abs).unwrap_or(masked.len());
+            let first = line_of(line_starts, attr_start);
+            let last = line_of(line_starts, close_abs);
+            for flag in test
+                .iter_mut()
+                .skip(first.saturating_sub(1))
+                .take(last.saturating_sub(first) + 1)
+            {
+                *flag = true;
+            }
+            from = close_abs;
+        } else {
+            from = after_attr;
+        }
+    }
+    test
+}
+
+/// Byte offset of the `}` matching the `{` at `open` (masked source, so
+/// braces in strings/comments are already gone).
+pub(crate) fn match_brace(masked: &str, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, b) in masked.bytes().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn line_of(line_starts: &[usize], offset: usize) -> usize {
+    match line_starts.binary_search(&offset) {
+        Ok(i) => i + 1,
+        Err(i) => i.max(1),
+    }
+}
+
+/// Parses `rbd-lint: allow(rule, rule) — justification` out of comments.
+fn parse_allows(
+    comments: &[(usize, String)],
+    masked: &str,
+    line_starts: &[usize],
+) -> (Vec<AllowDirective>, Vec<usize>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for (offset, text) in comments {
+        // Directives are plain comments; doc comments merely *document* the
+        // syntax and must not be parsed as directives.
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|d| text.starts_with(d))
+        {
+            continue;
+        }
+        let Some(at) = text.find("rbd-lint:") else {
+            continue;
+        };
+        let line = line_of(line_starts, *offset);
+        let rest = text
+            .get(at + "rbd-lint:".len()..)
+            .unwrap_or("")
+            .trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            malformed.push(line);
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            malformed.push(line);
+            continue;
+        };
+        let rules: Vec<String> = args
+            .get(..close)
+            .unwrap_or("")
+            .split(',')
+            .map(|r| r.trim().to_owned())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            malformed.push(line);
+            continue;
+        }
+        let justification = args
+            .get(close + 1..)
+            .unwrap_or("")
+            .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
+            .trim()
+            .to_owned();
+        // The directive covers its own line when code precedes the comment
+        // on that line; a comment alone on a line covers the next line.
+        let alone_on_line = line
+            .checked_sub(1)
+            .and_then(|i| line_starts.get(i))
+            .and_then(|&ls| masked.get(ls..*offset))
+            .is_some_and(|before| before.trim().is_empty());
+        let target_line = if alone_on_line { line + 1 } else { line };
+        allows.push(AllowDirective {
+            rules,
+            line,
+            target_line,
+            justification,
+        });
+    }
+    (allows, malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_strings_and_comments() {
+        let a = analyze("let x = \"panic!()\"; // .unwrap()\nlet y = 1;");
+        assert!(!a.masked.contains("panic!"));
+        assert!(!a.masked.contains(".unwrap()"));
+        assert!(a.masked.contains("let x ="));
+        assert!(a.masked.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn masking_preserves_length_and_lines() {
+        let src = "let a = \"x\ny\"; /* b\nc */ let d = 'z';\n";
+        let a = analyze(src);
+        assert_eq!(a.masked.len(), src.len());
+        assert_eq!(a.masked.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn raw_strings_masked() {
+        let a = analyze("let p = r#\"slice[0].unwrap()\"#;");
+        assert!(!a.masked.contains("unwrap"));
+        assert!(!a.masked.contains('['));
+    }
+
+    #[test]
+    fn lifetimes_not_treated_as_chars() {
+        let a = analyze("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(a.masked.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn char_literals_masked() {
+        let a = analyze("let c = '['; let d = '\\'';");
+        assert!(!a.masked.contains('['));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let a = analyze("/* outer /* inner */ still comment */ let x = 1;");
+        assert!(a.masked.contains("let x = 1;"));
+        assert!(!a.masked.contains("outer"));
+    }
+
+    #[test]
+    fn cfg_test_region_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let a = analyze(src);
+        assert!(!a.is_test_line(1));
+        assert!(a.is_test_line(2));
+        assert!(a.is_test_line(3));
+        assert!(a.is_test_line(4));
+        assert!(a.is_test_line(5));
+        assert!(!a.is_test_line(6));
+    }
+
+    #[test]
+    fn allow_directive_same_line() {
+        let src =
+            "let x = v[0]; // rbd-lint: allow(panic) — index proven in bounds by loop guard\n";
+        let a = analyze(src);
+        assert_eq!(a.allows.len(), 1);
+        assert_eq!(a.allows.first().map(|d| d.target_line), Some(1));
+        assert!(a.is_allowed("panic", 1));
+        assert!(!a.is_allowed("cast", 1));
+    }
+
+    #[test]
+    fn allow_directive_line_above() {
+        let src =
+            "// rbd-lint: allow(cast) — count bounded by u16::MAX upstream\nlet x = n as u16;\n";
+        let a = analyze(src);
+        assert_eq!(a.allows.first().map(|d| d.target_line), Some(2));
+        assert!(a.is_allowed("cast", 2));
+    }
+
+    #[test]
+    fn allow_without_justification_is_not_effective() {
+        let src = "let x = v[0]; // rbd-lint: allow(panic)\n";
+        let a = analyze(src);
+        assert_eq!(a.allows.len(), 1);
+        assert!(!a.is_allowed("panic", 1));
+    }
+
+    #[test]
+    fn allow_multiple_rules() {
+        let src = "x; // rbd-lint: allow(panic, cast) — both justified here\n";
+        let a = analyze(src);
+        assert!(a.is_allowed("panic", 1));
+        assert!(a.is_allowed("cast", 1));
+    }
+
+    #[test]
+    fn doc_comments_are_not_directives() {
+        let a = analyze("/// Waive with `rbd-lint: allow(panic) — why`.\n//! Or `rbd-lint: allow(rule)`.\nfn f() {}\n");
+        assert!(a.allows.is_empty());
+        assert!(a.malformed_allows.is_empty());
+    }
+
+    #[test]
+    fn malformed_directive_reported() {
+        let a = analyze("// rbd-lint: allww(panic) — typo\n");
+        assert_eq!(a.malformed_allows, vec![1]);
+    }
+
+    #[test]
+    fn line_of_maps_offsets() {
+        let a = analyze("a\nb\nc\n");
+        assert_eq!(a.line_of(0), 1);
+        assert_eq!(a.line_of(2), 2);
+        assert_eq!(a.line_of(4), 3);
+    }
+}

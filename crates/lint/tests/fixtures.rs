@@ -1,0 +1,101 @@
+//! Every violation fixture must produce at least one deny-severity finding
+//! for its rule, and every clean fixture must produce none — the acceptance
+//! contract of `rbd-lint`.
+
+use rbd_lint::{has_deny, lint_path, Rule};
+use std::path::PathBuf;
+
+fn fixture(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rel)
+}
+
+fn assert_denies(rel: &str, rule: Rule) {
+    let findings = lint_path(&fixture(rel)).unwrap_or_else(|e| panic!("reading {rel}: {e}"));
+    assert!(
+        has_deny(&findings),
+        "{rel} should produce deny findings, got {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == rule),
+        "{rel} should trigger `{rule}`, got {findings:?}"
+    );
+}
+
+#[test]
+fn unwrap_fixture_denies() {
+    assert_denies("violations/unwrap.rs", Rule::Panic);
+}
+
+#[test]
+fn expect_fixture_denies() {
+    assert_denies("violations/expect.rs", Rule::Panic);
+}
+
+#[test]
+fn panic_macro_fixture_denies() {
+    assert_denies("violations/panic_macro.rs", Rule::Panic);
+}
+
+#[test]
+fn indexing_fixture_denies() {
+    assert_denies("violations/indexing.rs", Rule::Panic);
+}
+
+#[test]
+fn cast_fixture_denies() {
+    assert_denies("violations/cast.rs", Rule::Cast);
+}
+
+#[test]
+fn wildcard_fixture_denies() {
+    assert_denies("violations/wildcard_match.rs", Rule::WildcardMatch);
+}
+
+#[test]
+fn bad_allow_fixture_denies_and_does_not_suppress() {
+    assert_denies("violations/bad_allow.rs", Rule::BadAllow);
+    assert_denies("violations/bad_allow.rs", Rule::Panic);
+}
+
+#[test]
+fn missing_forbid_unsafe_fixture_denies() {
+    assert_denies("violations/missing_forbid_unsafe", Rule::ForbidUnsafe);
+}
+
+#[test]
+fn allowed_fixture_is_clean() {
+    let findings = lint_path(&fixture("clean/allowed.rs")).expect("fixture readable");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn test_only_fixture_is_clean() {
+    let findings = lint_path(&fixture("clean/test_only.rs")).expect("fixture readable");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn compliant_crate_root_is_clean() {
+    let findings = lint_path(&fixture("clean/forbidden")).expect("fixture readable");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// The workspace must pass its own linter: zero deny findings from the repo
+/// this test compiles inside. This is the same check CI runs via
+/// `cargo run -p rbd-lint`.
+#[test]
+fn workspace_is_deny_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf();
+    let findings = rbd_lint::lint_workspace(&root).expect("workspace readable");
+    let denies: Vec<_> = findings
+        .iter()
+        .filter(|f| f.severity == rbd_lint::Severity::Deny)
+        .collect();
+    assert!(denies.is_empty(), "deny findings: {denies:#?}");
+}

@@ -77,10 +77,7 @@ pub fn obituaries() -> Ontology {
                 .value(alternation(lexicon::CEMETERIES))
                 .value_type(ValueType::ProperName),
         )
-        .with(
-            ObjectSet::new("Viewing", Cardinality::Many)
-                .keyword(r"viewing|visitation"),
-        )
+        .with(ObjectSet::new("Viewing", Cardinality::Many).keyword(r"viewing|visitation"))
         .with(
             ObjectSet::new("Relative", Cardinality::Many)
                 .keyword(r"survived by|preceded in death by"),
@@ -130,8 +127,7 @@ pub fn car_ads() -> Ontology {
                 .value_type(ValueType::Text),
         )
         .with(
-            ObjectSet::new("Feature", Cardinality::Many)
-                .value(alternation(lexicon::CAR_FEATURES)),
+            ObjectSet::new("Feature", Cardinality::Many).value(alternation(lexicon::CAR_FEATURES)),
         )
 }
 
@@ -174,10 +170,7 @@ pub fn job_ads() -> Ontology {
                 .value(r"[a-z][a-z0-9._]*@[a-z][a-z0-9.]*\.(com|net|org|edu)")
                 .value_type(ValueType::Email),
         )
-        .with(
-            ObjectSet::new("Skill", Cardinality::Many)
-                .value(alternation(lexicon::SKILLS)),
-        )
+        .with(ObjectSet::new("Skill", Cardinality::Many).value(alternation(lexicon::SKILLS)))
         .with(
             ObjectSet::new("ApplyBy", Cardinality::Functional)
                 .keyword(r"apply by|send resume|resumes to")
@@ -216,14 +209,8 @@ pub fn courses() -> Ontology {
                 .value(r"(MWF|TTh|MW|Daily|MTWThF) [0-9]{1,2}:[0-9]{2}")
                 .value_type(ValueType::Time),
         )
-        .with(
-            ObjectSet::new("Room", Cardinality::Functional)
-                .keyword(r"Room [0-9]{1,4}"),
-        )
-        .with(
-            ObjectSet::new("Prerequisite", Cardinality::Many)
-                .keyword(r"Prerequisites?:"),
-        )
+        .with(ObjectSet::new("Room", Cardinality::Functional).keyword(r"Room [0-9]{1,4}"))
+        .with(ObjectSet::new("Prerequisite", Cardinality::Many).keyword(r"Prerequisites?:"))
         .with(
             ObjectSet::new("Enrollment", Cardinality::Functional)
                 .keyword(r"enrollment limited to|limit(ed)? [0-9]+ students"),
@@ -354,8 +341,7 @@ mod tests {
         for o in all() {
             let fields = o.record_identifying_fields();
             assert!(
-                fields.iter().take(3).any(|f| f.via_keywords)
-                    || fields.iter().take(3).count() == 3,
+                fields.iter().take(3).any(|f| f.via_keywords) || fields.iter().take(3).count() == 3,
                 "{}",
                 o.name
             );

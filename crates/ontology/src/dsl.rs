@@ -117,12 +117,7 @@ impl<'a> DslParser<'a> {
             Some("one-to-one") => Cardinality::OneToOne,
             Some("functional") => Cardinality::Functional,
             Some("many") => Cardinality::Many,
-            other => {
-                return Err(self.error(
-                    line,
-                    format!("expected cardinality, found {other:?}"),
-                ))
-            }
+            other => return Err(self.error(line, format!("expected cardinality, found {other:?}"))),
         };
         let mut set = ObjectSet::new(name, card);
         while let Some(word) = words.next() {
@@ -131,9 +126,10 @@ impl<'a> DslParser<'a> {
                     let t = words
                         .next()
                         .ok_or_else(|| self.error(line, "`type` needs a value"))?;
-                    set = set.value_type(parse_type(t).ok_or_else(|| {
-                        self.error(line, format!("unknown value type `{t}`"))
-                    })?);
+                    set = set
+                        .value_type(parse_type(t).ok_or_else(|| {
+                            self.error(line, format!("unknown value type `{t}`"))
+                        })?);
                 }
                 "non-lexical" => set = set.non_lexical(),
                 other => {
@@ -251,7 +247,9 @@ object Relative many {
         assert!(parse_ontology("ontology x\n").is_err());
         assert!(parse_ontology("ontology t entity E\nobject X many {\n").is_err());
         assert!(parse_ontology("ontology t entity E\nobject X sideways {\n}\n").is_err());
-        assert!(parse_ontology("ontology t entity E\nobject X many {\nkeyword unquoted\n}\n").is_err());
+        assert!(
+            parse_ontology("ontology t entity E\nobject X many {\nkeyword unquoted\n}\n").is_err()
+        );
         assert!(parse_ontology("ontology t entity E\nobject X many type bogus {\n}\n").is_err());
         assert!(parse_ontology("ontology t entity E\nrandom line\n").is_err());
     }

@@ -238,7 +238,10 @@ mod tests {
     fn builder_and_lookup() {
         let o = tiny();
         assert_eq!(o.len(), 3);
-        assert_eq!(o.object_set("When").unwrap().cardinality, Cardinality::Functional);
+        assert_eq!(
+            o.object_set("When").unwrap().cardinality,
+            Cardinality::Functional
+        );
         assert!(o.object_set("Nope").is_none());
     }
 

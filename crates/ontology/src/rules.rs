@@ -63,7 +63,9 @@ impl MatchingRules {
 
     /// Rules belonging to one object set.
     pub fn rules_for<'a>(&'a self, object_set: &'a str) -> impl Iterator<Item = &'a MatchRule> {
-        self.rules.iter().filter(move |r| r.object_set == object_set)
+        self.rules
+            .iter()
+            .filter(move |r| r.object_set == object_set)
     }
 
     /// Counts non-overlapping occurrences of any rule of `object_set` in
@@ -135,8 +137,8 @@ pub fn select_record_identifying_fields(ontology: &Ontology) -> Vec<RecordIdenti
     let mut fields: Vec<(usize, RecordIdentifyingField<'_>)> = Vec::new();
     for set in &candidates {
         let has_kw = set.data_frame.has_keywords();
-        let usable_values = set.data_frame.has_values()
-            && !set.data_frame.value_type.is_some_and(shared_type);
+        let usable_values =
+            set.data_frame.has_values() && !set.data_frame.value_type.is_some_and(shared_type);
         if !has_kw && !usable_values {
             continue;
         }

@@ -455,7 +455,10 @@ mod tests {
 
     #[test]
     fn repetition_forms() {
-        let Ast::Repeat { min, max, greedy, .. } = parse("a{2,5}").unwrap() else {
+        let Ast::Repeat {
+            min, max, greedy, ..
+        } = parse("a{2,5}").unwrap()
+        else {
             panic!()
         };
         assert_eq!((min, max, greedy), (2, Some(5), true));

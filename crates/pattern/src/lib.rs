@@ -217,7 +217,10 @@ mod tests {
 
     #[test]
     fn escapes() {
-        assert_eq!(all(r"\d{2,4}", "7 19 1998 12345"), vec!["19", "1998", "1234"]);
+        assert_eq!(
+            all(r"\d{2,4}", "7 19 1998 12345"),
+            vec!["19", "1998", "1234"]
+        );
         assert_eq!(all(r"\w+", "a_b c!"), vec!["a_b", "c"]);
         assert_eq!(all(r"\s+", "a  b\tc"), vec!["  ", "\t"]);
         assert_eq!(all(r"\$\d+", "$100 and $5"), vec!["$100", "$5"]);

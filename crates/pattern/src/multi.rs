@@ -90,9 +90,7 @@ impl FirstChars {
     fn admits(&self, c: Option<char>) -> bool {
         match c {
             None => true, // EOF step must run (zero-width matches)
-            Some(c) => {
-                self.any || ((c as u32) < 128 && self.ascii[c as usize])
-            }
+            Some(c) => self.any || ((c as u32) < 128 && self.ascii[c as usize]),
         }
     }
 }
@@ -179,7 +177,6 @@ impl Scan {
     }
 }
 
-
 /// Generation-marked `(pc, start)` dedup table (see [`Scan::seen`]).
 struct DedupTable {
     generation: u32,
@@ -247,11 +244,7 @@ impl MultiPattern {
     /// `Pattern::find_iter` yields per pattern. Results are ordered by
     /// `(pattern, start)`.
     pub fn find_all(&self, haystack: &str) -> Vec<MultiMatch> {
-        let mut scans: Vec<Scan> = self
-            .programs
-            .iter()
-            .map(|p| Scan::new(p.len()))
-            .collect();
+        let mut scans: Vec<Scan> = self.programs.iter().map(|p| Scan::new(p.len())).collect();
 
         let hay_len = haystack.len();
         let mut chars = haystack.char_indices().peekable();
@@ -263,18 +256,10 @@ impl MultiPattern {
             let lookahead: Option<char> =
                 cur.and_then(|c| haystack[byte + c.len_utf8()..].chars().next());
 
-            for ((prog, fc), scan) in self
-                .programs
-                .iter()
-                .zip(&self.first_chars)
-                .zip(&mut scans)
-            {
+            for ((prog, fc), scan) in self.programs.iter().zip(&self.first_chars).zip(&mut scans) {
                 // Fast path: nothing live, nothing pending, and the current
                 // character cannot begin a match — the step is a no-op.
-                if scan.threads.is_empty()
-                    && scan.candidates.is_empty()
-                    && !fc.admits(cur)
-                {
+                if scan.threads.is_empty() && scan.candidates.is_empty() && !fc.admits(cur) {
                     continue;
                 }
                 step_program(prog, scan, byte, hay_len, prev, cur, lookahead);
@@ -440,7 +425,8 @@ fn nullable_at(prog: &Program, at: usize, prev: Option<char>, hay_len: usize) ->
     let mut seen = DedupTable::new(prog.len());
     seen.clear();
     add_closure(prog, &mut list, &mut seen, 0, at, (at, hay_len, prev, None));
-    list.iter().any(|&(pc, _)| matches!(prog.insts[pc], Inst::Match))
+    list.iter()
+        .any(|&(pc, _)| matches!(prog.insts[pc], Inst::Match))
 }
 
 fn is_word(c: Option<char>) -> bool {
@@ -526,10 +512,10 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_pattern() -> impl Strategy<Value = String> {
-        let atom = prop_oneof![
-            prop::sample::select(vec!["a", "b", "c", ".", "[ab]", r"\d", r"\w"])
-                .prop_map(String::from),
-        ];
+        let atom = prop_oneof![prop::sample::select(vec![
+            "a", "b", "c", ".", "[ab]", r"\d", r"\w"
+        ])
+        .prop_map(String::from),];
         let unit = (atom, prop::sample::select(vec!["", "*", "+", "?"]))
             .prop_map(|(a, q)| format!("{a}{q}"));
         prop::collection::vec(unit, 1..4).prop_map(|v| v.concat())

@@ -232,10 +232,7 @@ mod tests {
     #[test]
     fn literal_chain() {
         let p = prog("ab");
-        assert_eq!(
-            p.insts,
-            vec![Inst::Char('a'), Inst::Char('b'), Inst::Match]
-        );
+        assert_eq!(p.insts, vec![Inst::Char('a'), Inst::Char('b'), Inst::Match]);
     }
 
     #[test]

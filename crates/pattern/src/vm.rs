@@ -128,9 +128,8 @@ pub fn search(prog: &Program, haystack: &str, from: usize) -> Option<Match> {
     loop {
         let cur: Option<char> = chars.peek().map(|&(_, c)| c);
         // The character after `cur`, for the successor position's context.
-        let lookahead: Option<char> = cur.and_then(|c| {
-            haystack[byte + c.len_utf8()..].chars().next()
-        });
+        let lookahead: Option<char> =
+            cur.and_then(|c| haystack[byte + c.len_utf8()..].chars().next());
         let ctx = Ctx {
             byte,
             hay_len,

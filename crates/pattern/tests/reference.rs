@@ -157,7 +157,10 @@ fn arb_pattern() -> impl Strategy<Value = String> {
         Just(r"\d".to_owned()),
         Just(r"\w".to_owned()),
     ];
-    let unit = (atom, prop::sample::select(vec!["", "*", "+", "?", "{2}", "{1,3}"]))
+    let unit = (
+        atom,
+        prop::sample::select(vec!["", "*", "+", "?", "{2}", "{1,3}"]),
+    )
         .prop_map(|(a, q)| format!("{a}{q}"));
     prop::collection::vec(unit, 1..5).prop_map(|units| {
         // Sprinkle an alternation bar occasionally by joining halves.

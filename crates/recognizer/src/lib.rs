@@ -269,7 +269,10 @@ mod tests {
         assert!(death.iter().any(|e| e.kind == MatchKind::Constant));
         // Keyword "died on" precedes the date constant.
         let kw = death.iter().find(|e| e.kind == MatchKind::Keyword).unwrap();
-        let c = death.iter().find(|e| e.kind == MatchKind::Constant).unwrap();
+        let c = death
+            .iter()
+            .find(|e| e.kind == MatchKind::Constant)
+            .unwrap();
         assert!(kw.position < c.position);
     }
 
@@ -329,7 +332,8 @@ mod tests {
     #[test]
     fn car_ads_recognizer() {
         let rec = Recognizer::new(&rbd_ontology::domains::car_ads()).unwrap();
-        let t = rec.recognize("1996 Honda Accord, teal, 40,000 miles, $8,900 obo, call 801-555-9999");
+        let t =
+            rec.recognize("1996 Honda Accord, teal, 40,000 miles, $8,900 obo, call 801-555-9999");
         for d in ["Year", "Make", "Model", "Price", "Phone", "Color"] {
             assert!(
                 t.for_descriptor(d).count() >= 1,

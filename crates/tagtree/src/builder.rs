@@ -2,7 +2,7 @@
 //! normalization (steps 1–2) with tree construction (step 3).
 
 use crate::event::{normalize_tokens, NormalizeStats};
-use crate::tree::{tree_from_events, TagTree};
+use crate::tree::{tree_from_events, TagTree, TreeError};
 use rbd_html::{TokenStream, Tokenizer};
 
 /// Builds [`TagTree`]s from raw HTML.
@@ -31,7 +31,9 @@ impl TagTreeBuilder {
     /// Parses `source` and builds its tag tree.
     ///
     /// Never fails: malformed HTML is repaired per Appendix A (missing
-    /// end-tags inserted, comments and orphan end-tags discarded).
+    /// end-tags inserted, comments and orphan end-tags discarded), and the
+    /// theoretical-only construction errors of [`TagTreeBuilder::try_build`]
+    /// degrade to a root-only tree.
     pub fn build(&self, source: &str) -> TagTree {
         self.build_with_stats(source).0
     }
@@ -39,12 +41,9 @@ impl TagTreeBuilder {
     /// Like [`TagTreeBuilder::build`], also returning what normalization had
     /// to repair.
     pub fn build_with_stats(&self, source: &str) -> (TagTree, NormalizeStats) {
-        let tokens = if self.xml {
-            Tokenizer::new_xml(source).run()
-        } else {
-            Tokenizer::new(source).run()
-        };
-        self.build_from_tokens(source.len(), &tokens)
+        let source_len = source.len();
+        self.try_build_with_stats(source)
+            .unwrap_or_else(|_| (TagTree::empty(source_len), NormalizeStats::default()))
     }
 
     /// Builds from an existing token stream (lets callers reuse tokens for
@@ -54,9 +53,41 @@ impl TagTreeBuilder {
         source_len: usize,
         tokens: &TokenStream,
     ) -> (TagTree, NormalizeStats) {
+        self.try_build_from_tokens(source_len, tokens)
+            .unwrap_or_else(|_| (TagTree::empty(source_len), NormalizeStats::default()))
+    }
+
+    /// Fallible form of [`TagTreeBuilder::build`].
+    ///
+    /// Normalization guarantees a balanced event stream, so in practice the
+    /// only reachable error is [`TreeError::TooManyNodes`] on documents with
+    /// more than `u32::MAX` start-tags.
+    pub fn try_build(&self, source: &str) -> Result<TagTree, TreeError> {
+        self.try_build_with_stats(source).map(|(tree, _)| tree)
+    }
+
+    /// Fallible form of [`TagTreeBuilder::build_with_stats`].
+    pub fn try_build_with_stats(
+        &self,
+        source: &str,
+    ) -> Result<(TagTree, NormalizeStats), TreeError> {
+        let tokens = if self.xml {
+            Tokenizer::new_xml(source).run()
+        } else {
+            Tokenizer::new(source).run()
+        };
+        self.try_build_from_tokens(source.len(), &tokens)
+    }
+
+    /// Fallible form of [`TagTreeBuilder::build_from_tokens`].
+    pub fn try_build_from_tokens(
+        &self,
+        source_len: usize,
+        tokens: &TokenStream,
+    ) -> Result<(TagTree, NormalizeStats), TreeError> {
         let (events, stats) = normalize_tokens(tokens);
         debug_assert!(crate::event::is_balanced(&events));
-        (tree_from_events(&events, source_len), stats)
+        Ok((tree_from_events(&events, source_len)?, stats))
     }
 }
 

@@ -159,19 +159,22 @@ pub fn normalize_tokens(tokens: &TokenStream) -> (Vec<Event>, NormalizeStats) {
                     Some(pos) => {
                         note_tag(&mut stack, events.len(), t.span.start);
                         // Pop every tag above the match; each gets a
-                        // synthetic end-tag at its own `L`.
-                        while stack.len() > pos + 1 {
-                            let open = stack.pop().expect("len > pos+1");
+                        // synthetic end-tag at its own `L`. The final pop
+                        // (down to `pos`) is the match itself, which gets
+                        // the real end-tag.
+                        while let Some(open) = stack.pop() {
+                            if stack.len() <= pos {
+                                debug_assert_eq!(open.name, t.name);
+                                events.push(Event::End {
+                                    name: t.name.clone(),
+                                    src: t.span,
+                                    synthetic: false,
+                                });
+                                break;
+                            }
                             stats.end_tags_inserted += 1;
                             schedule_close(events.len(), &mut pending, open);
                         }
-                        let open = stack.pop().expect("matched entry");
-                        debug_assert_eq!(open.name, t.name);
-                        events.push(Event::End {
-                            name: t.name.clone(),
-                            src: t.span,
-                            synthetic: false,
-                        });
                     }
                 }
             }
@@ -220,19 +223,15 @@ fn splice(events: Vec<Event>, mut pending: Vec<(usize, Event)>) -> Vec<Event> {
     // first at the same anchor to preserve nesting.
     pending.sort_by_key(|(a, _)| *a);
     let mut out = Vec::with_capacity(events.len() + pending.len());
-    let mut p = 0;
+    let mut queue = pending.into_iter().peekable();
     for (i, ev) in events.into_iter().enumerate() {
-        while p < pending.len() && pending[p].0 == i {
-            out.push(pending[p].1.clone());
-            p += 1;
+        while let Some((_, inserted)) = queue.next_if(|&(anchor, _)| anchor == i) {
+            out.push(inserted);
         }
         out.push(ev);
     }
     // EOF insertions.
-    while p < pending.len() {
-        out.push(pending[p].1.clone());
-        p += 1;
-    }
+    out.extend(queue.map(|(_, inserted)| inserted));
     out
 }
 

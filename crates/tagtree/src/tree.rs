@@ -24,6 +24,35 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Error from tag-tree construction over an event stream.
+///
+/// [`normalize`](crate::event::normalize) always yields balanced streams, so
+/// the high-level [`TagTreeBuilder`](crate::TagTreeBuilder) API never
+/// surfaces these; they exist so construction is total even over
+/// hand-assembled event lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeError {
+    /// An `End` event arrived with no matching open `Start` (the stream was
+    /// not balanced).
+    Unbalanced,
+    /// The stream would produce more than `u32::MAX` nodes, overflowing the
+    /// arena's `NodeId` space.
+    TooManyNodes,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Unbalanced => write!(f, "event stream is not balanced"),
+            TreeError::TooManyNodes => {
+                write!(f, "event stream exceeds the arena's u32 node capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
 /// One node of the tag tree: the paper's `[G, I, O]` triple plus structure.
 #[derive(Debug, Clone)]
 pub struct Node {
@@ -105,12 +134,24 @@ impl TagTree {
         TagTree { nodes, source_len }
     }
 
+    /// A tree holding only the synthetic root — what an empty document
+    /// builds, and the fallback the infallible builder API degrades to.
+    pub(crate) fn empty(source_len: usize) -> Self {
+        TagTree::new(vec![root_node(source_len)], source_len)
+    }
+
     /// Borrow a node.
     ///
     /// # Panics
     /// Panics if `id` does not belong to this tree.
     pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+        // NodeIds are only minted by this module's constructor, so an
+        // in-tree id always indexes the arena; mixing ids across trees is a
+        // caller bug worth failing loudly on.
+        self.nodes
+            .get(id.index())
+            // rbd-lint: allow(panic) — ids are minted by this tree's constructor, always in-bounds
+            .expect("NodeId does not belong to this TagTree")
     }
 
     /// The synthetic root (named `#root`); its children are the document's
@@ -136,6 +177,7 @@ impl TagTree {
 
     /// All node ids in document (pre-) order.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        // rbd-lint: allow(cast) — construction caps the arena at u32::MAX nodes (TooManyNodes)
         (0..self.nodes.len() as u32).map(NodeId)
     }
 
@@ -290,10 +332,9 @@ impl TagTree {
     }
 }
 
-/// Rebuilds a [`TagTree`] from normalized events — exposed for property
-/// tests that validate builder equivalence.
-pub(crate) fn tree_from_events(events: &[Event], source_len: usize) -> TagTree {
-    let root = Node {
+/// The synthetic root every tree starts from.
+fn root_node(source_len: usize) -> Node {
+    Node {
         name: "#root".to_owned(),
         inner_text: String::new(),
         trailing_text: String::new(),
@@ -301,8 +342,17 @@ pub(crate) fn tree_from_events(events: &[Event], source_len: usize) -> TagTree {
         parent: None,
         region: Span::new(0, source_len),
         start_tag: Span::new(0, 0),
-    };
-    let mut nodes = vec![root];
+    }
+}
+
+/// Rebuilds a [`TagTree`] from normalized events — exposed for property
+/// tests that validate builder equivalence.
+///
+/// Total: an unbalanced stream yields [`TreeError::Unbalanced`] instead of
+/// panicking, and node counts past `u32::MAX` yield
+/// [`TreeError::TooManyNodes`].
+pub(crate) fn tree_from_events(events: &[Event], source_len: usize) -> Result<TagTree, TreeError> {
+    let mut nodes = vec![root_node(source_len)];
     let mut stack: Vec<NodeId> = vec![NodeId::ROOT];
     // The node the last event "belongs" to for text attachment: Start(x)
     // directs following text into x.inner_text, End(x) into x.trailing_text.
@@ -315,8 +365,11 @@ pub(crate) fn tree_from_events(events: &[Event], source_len: usize) -> TagTree {
     for ev in events {
         match ev {
             Event::Start { name, src } => {
-                let parent = *stack.last().expect("stack never empty");
-                let id = NodeId(nodes.len() as u32);
+                let Some(&parent) = stack.last() else {
+                    return Err(TreeError::Unbalanced);
+                };
+                let raw = u32::try_from(nodes.len()).map_err(|_| TreeError::TooManyNodes)?;
+                let id = NodeId(raw);
                 nodes.push(Node {
                     name: name.clone(),
                     inner_text: String::new(),
@@ -326,23 +379,42 @@ pub(crate) fn tree_from_events(events: &[Event], source_len: usize) -> TagTree {
                     region: Span::new(src.start, src.end),
                     start_tag: *src,
                 });
-                nodes[parent.index()].children.push(id);
+                match nodes.get_mut(parent.index()) {
+                    Some(p) => p.children.push(id),
+                    None => return Err(TreeError::Unbalanced),
+                }
                 stack.push(id);
                 attach = Attach::Inner(id);
             }
             Event::End { src, .. } => {
-                let id = stack.pop().expect("balanced events");
-                debug_assert_ne!(id, NodeId::ROOT, "unbalanced event stream");
-                nodes[id.index()].region = Span::new(nodes[id.index()].region.start, src.end);
+                let Some(id) = stack.pop() else {
+                    return Err(TreeError::Unbalanced);
+                };
+                if id == NodeId::ROOT {
+                    // The root has no end-tag; popping it means the stream
+                    // held an `End` with no matching `Start`.
+                    return Err(TreeError::Unbalanced);
+                }
+                match nodes.get_mut(id.index()) {
+                    Some(n) => n.region = Span::new(n.region.start, src.end),
+                    None => return Err(TreeError::Unbalanced),
+                }
                 attach = Attach::Trailing(id);
             }
-            Event::Text { text, .. } => match attach {
-                Attach::Inner(id) => nodes[id.index()].inner_text.push_str(text),
-                Attach::Trailing(id) => nodes[id.index()].trailing_text.push_str(text),
-            },
+            Event::Text { text, .. } => {
+                let (id, inner) = match attach {
+                    Attach::Inner(id) => (id, true),
+                    Attach::Trailing(id) => (id, false),
+                };
+                match nodes.get_mut(id.index()) {
+                    Some(n) if inner => n.inner_text.push_str(text),
+                    Some(n) => n.trailing_text.push_str(text),
+                    None => return Err(TreeError::Unbalanced),
+                }
+            }
         }
     }
-    TagTree::new(nodes, source_len)
+    Ok(TagTree::new(nodes, source_len))
 }
 
 #[cfg(test)]
@@ -413,10 +485,7 @@ mod tests {
     #[test]
     fn subtree_text_concatenates_in_order() {
         let tree = build("<div>a<p>b</p>c<p>d</p>e</div>");
-        let div = tree
-            .ids()
-            .find(|&i| tree.node(i).name == "div")
-            .unwrap();
+        let div = tree.ids().find(|&i| tree.node(i).name == "div").unwrap();
         assert_eq!(tree.subtree_text(div), "abcde");
     }
 
@@ -424,10 +493,7 @@ mod tests {
     fn flatten_depth_and_order() {
         use super::FlatEvent;
         let tree = build("<div><p>x<b>y</b></p><hr></div>");
-        let div = tree
-            .ids()
-            .find(|&i| tree.node(i).name == "div")
-            .unwrap();
+        let div = tree.ids().find(|&i| tree.node(i).name == "div").unwrap();
         let flat = tree.flatten(div);
         let mut tags = vec![];
         for ev in &flat {
@@ -442,10 +508,7 @@ mod tests {
     fn child_tag_positions_are_cut_points() {
         let src = "<td><hr>a<hr>b<hr>c</td>";
         let tree = build(src);
-        let td = tree
-            .ids()
-            .find(|&i| tree.node(i).name == "td")
-            .unwrap();
+        let td = tree.ids().find(|&i| tree.node(i).name == "td").unwrap();
         let pos = tree.child_tag_positions(td, "hr");
         assert_eq!(pos.len(), 3);
         for &p in &pos {
@@ -471,14 +534,10 @@ mod tests {
     fn fanout_tie_goes_to_document_order() {
         // Both divs have fan-out 3 (more than their parent's 2); on the
         // tie, the first div in document order must win.
-        let tree = build(
-            "<a><div><p>1</p><p>2</p><p>3</p></div><div><p>4</p><p>5</p><p>6</p></div></a>",
-        );
+        let tree =
+            build("<a><div><p>1</p><p>2</p><p>3</p></div><div><p>4</p><p>5</p><p>6</p></div></a>");
         let hf = tree.highest_fanout();
-        let divs: Vec<_> = tree
-            .ids()
-            .filter(|&i| tree.node(i).name == "div")
-            .collect();
+        let divs: Vec<_> = tree.ids().filter(|&i| tree.node(i).name == "div").collect();
         assert_eq!(hf, divs[0]);
     }
 
@@ -498,10 +557,7 @@ mod tests {
     fn synthetic_region_ends_before_next_tag() {
         let src = "<td><br>text<hr></td>";
         let tree = build(src);
-        let td = tree
-            .ids()
-            .find(|&i| tree.node(i).name == "td")
-            .unwrap();
+        let td = tree.ids().find(|&i| tree.node(i).name == "td").unwrap();
         let br = tree.node(tree.node(td).children[0]);
         assert_eq!(br.name, "br");
         assert_eq!(br.region.slice(src), "<br>text");

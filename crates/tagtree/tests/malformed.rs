@@ -1,0 +1,175 @@
+//! Regression property tests: arbitrarily malformed HTML must never panic
+//! anywhere in the tokenize → normalize → tree-build pipeline, and the
+//! resulting tree must be well-formed (parent/child links agree, regions
+//! nest, node count matches the start-tag count).
+//!
+//! These complement the builder's inline proptests with generators biased
+//! toward the specific malformations the panic-freedom audit targets:
+//! orphan end-tags, unterminated comments, truncated entities, and
+//! misclosed tag nesting.
+
+use proptest::prelude::*;
+use rbd_tagtree::{event, normalize, TagTreeBuilder};
+
+/// Checks every structural invariant the tree promises, panicking (and thus
+/// failing the property) if any is violated.
+fn assert_well_formed(src: &str) {
+    let (events, _) = normalize(src);
+    assert!(event::is_balanced(&events), "unbalanced events for {src:?}");
+
+    let (tree, stats) = TagTreeBuilder::new().build_with_stats(src);
+    assert_eq!(
+        tree.len(),
+        stats.start_tags + 1,
+        "node count != start tags + root for {src:?}"
+    );
+    assert_eq!(tree.node(tree.root()).name, "#root");
+    for id in tree.ids() {
+        let node = tree.node(id);
+        for &c in &node.children {
+            assert_eq!(tree.node(c).parent, Some(id), "parent link for {src:?}");
+            assert!(
+                node.region.encloses(tree.node(c).region),
+                "child region escapes parent for {src:?}"
+            );
+        }
+        // Span::slice is total: out-of-bounds or non-boundary spans yield "".
+        let _ = node.region.slice(src);
+        let _ = node.start_tag.slice(src);
+    }
+    // The fallible API agrees with the infallible one on real documents.
+    let tried = TagTreeBuilder::new()
+        .try_build(src)
+        .expect("normalized streams always build");
+    assert_eq!(tried.len(), tree.len());
+}
+
+/// Tag names the generators draw from — the paper's own repertoire.
+fn arb_tag() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec![
+        "b", "i", "hr", "br", "td", "tr", "p", "h1", "table", "ul", "li",
+    ])
+}
+
+/// Documents saturated with end-tags that have no matching start-tag.
+fn arb_orphan_ends() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        3 => arb_tag().prop_map(|t| format!("</{t}>")),
+        1 => arb_tag().prop_map(|t| format!("<{t}>")),
+        1 => "[a-z ]{0,8}".prop_map(|s| s),
+    ];
+    prop::collection::vec(piece, 0..30).prop_map(|v| v.concat())
+}
+
+/// Documents whose comments, CDATA and declarations are cut off mid-way.
+fn arb_unterminated_comments() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        Just("<!-- open".to_owned()),
+        Just("<!--".to_owned()),
+        Just("-->".to_owned()),
+        Just("<![CDATA[ stuck".to_owned()),
+        Just("<!DOCTYPE html".to_owned()),
+        Just("<?pi never closed".to_owned()),
+        arb_tag().prop_map(|t| format!("<{t}>")),
+        "[a-z ]{0,8}".prop_map(|s| s),
+    ];
+    prop::collection::vec(piece, 0..30).prop_map(|v| v.concat())
+}
+
+/// Documents full of truncated and invalid character references.
+fn arb_truncated_entities() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        Just("&".to_owned()),
+        Just("&#".to_owned()),
+        Just("&#x".to_owned()),
+        Just("&amp".to_owned()),
+        Just("&#xD800;".to_owned()),
+        Just("&bogus;".to_owned()),
+        Just("&#99999999;".to_owned()),
+        "&#?x?[0-9A-Fa-f]{0,4};?".prop_map(|s| s),
+        arb_tag().prop_map(|t| format!("<{t}>")),
+        "[a-z ]{0,8}".prop_map(|s| s),
+    ];
+    prop::collection::vec(piece, 0..30).prop_map(|v| v.concat())
+}
+
+/// Well-formed-looking tags closed in the wrong order (`<b><i></b></i>`) or
+/// truncated mid-tag.
+fn arb_misclosed_nesting() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        2 => arb_tag().prop_map(|t| format!("<{t}>")),
+        2 => arb_tag().prop_map(|t| format!("</{t}>")),
+        1 => arb_tag().prop_map(|t| format!("<{t} attr=\"unterminated")),
+        1 => arb_tag().prop_map(|t| format!("<{t}")),
+        1 => "[a-z ]{0,8}".prop_map(|s| s),
+    ];
+    prop::collection::vec(piece, 0..40).prop_map(|v| v.concat())
+}
+
+/// Arbitrary UTF-8 — the harshest generator; no HTML structure at all.
+fn arb_noise() -> impl Strategy<Value = String> {
+    "(.|\\PC){0,64}"
+}
+
+proptest! {
+    #[test]
+    fn orphan_end_tags_never_panic(src in arb_orphan_ends()) {
+        assert_well_formed(&src);
+    }
+
+    #[test]
+    fn unterminated_comments_never_panic(src in arb_unterminated_comments()) {
+        assert_well_formed(&src);
+    }
+
+    #[test]
+    fn truncated_entities_never_panic(src in arb_truncated_entities()) {
+        assert_well_formed(&src);
+    }
+
+    #[test]
+    fn misclosed_nesting_never_panics(src in arb_misclosed_nesting()) {
+        assert_well_formed(&src);
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics(src in arb_noise()) {
+        assert_well_formed(&src);
+    }
+
+    /// Entity decoding itself is total over arbitrary strings.
+    #[test]
+    fn decode_entities_total(src in "(.|\\PC){0,64}") {
+        let _ = rbd_html::decode_entities(&src);
+    }
+
+    /// The XML tokenizer is total too (footnote-1 mode).
+    #[test]
+    fn xml_mode_never_panics(src in arb_misclosed_nesting()) {
+        let _ = rbd_html::tokenize_xml(&src);
+        let _ = TagTreeBuilder::new().xml().build(&src);
+    }
+}
+
+/// Deterministic regressions distilled from the generators — kept as plain
+/// tests so they run even with proptest's shrinking disabled.
+#[test]
+fn known_nasty_inputs() {
+    for src in [
+        "</b></b></b>",
+        "<!-- never closed",
+        "<![CDATA[ stuck",
+        "&#xD800;&#&amp&",
+        "<b><i></b></i>",
+        "<a href=\"unterminated",
+        "<b",
+        "</",
+        "<",
+        "<3",
+        "<!",
+        "\u{0}\u{0}<p>\u{0}",
+        "<table><tr><td><hr><b></td>text</b></table>trailing",
+    ] {
+        assert_well_formed(src);
+    }
+}

@@ -14,16 +14,19 @@ use rbd_recognizer::Recognizer;
 
 fn main() {
     let ontology = domains::car_ads();
-    let extractor = RecordExtractor::new(
-        ExtractorConfig::default().with_ontology(ontology.clone()),
-    )
-    .expect("ontology compiles");
+    let extractor =
+        RecordExtractor::new(ExtractorConfig::default().with_ontology(ontology.clone()))
+            .expect("ontology compiles");
     let recognizer = Recognizer::new(&ontology).expect("rules compile");
     let generator = InstanceGenerator::new(&ontology);
 
     // Extract from several synthetic classifieds sites into one database.
     let mut all_tables = Vec::new();
-    for (i, style) in sites::initial_sites(Domain::CarAds).iter().enumerate().take(4) {
+    for (i, style) in sites::initial_sites(Domain::CarAds)
+        .iter()
+        .enumerate()
+        .take(4)
+    {
         let doc = generate_document(style, Domain::CarAds, i, 77);
         match extractor.extract_records(&doc.html) {
             Ok(extraction) => {

@@ -73,10 +73,9 @@ fn main() {
     }
 
     // 2. Everything downstream is unchanged.
-    let extractor = RecordExtractor::new(
-        ExtractorConfig::default().with_ontology(ontology.clone()),
-    )
-    .expect("ontology compiles");
+    let extractor =
+        RecordExtractor::new(ExtractorConfig::default().with_ontology(ontology.clone()))
+            .expect("ontology compiles");
     let extraction = extractor.extract_records(LISTINGS_PAGE).expect("records");
     println!(
         "\nSeparator <{}>; {} listings found.",

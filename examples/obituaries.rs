@@ -27,10 +27,9 @@ fn main() {
     println!("{}", ontology.database_scheme().to_ddl());
 
     // Record extractor: discover boundaries, chunk, clean.
-    let extractor = RecordExtractor::new(
-        ExtractorConfig::default().with_ontology(ontology.clone()),
-    )
-    .expect("ontology compiles");
+    let extractor =
+        RecordExtractor::new(ExtractorConfig::default().with_ontology(ontology.clone()))
+            .expect("ontology compiles");
     let extraction = extractor.extract_records(&doc.html).expect("records found");
     println!(
         "Discovered separator <{}> — {} record chunks (ground truth: <{}> / {})",

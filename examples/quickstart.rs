@@ -47,10 +47,9 @@ fn main() {
     }
 
     // 3. Full discovery with the obituary ontology enabled (§4–§5).
-    let extractor = RecordExtractor::new(
-        ExtractorConfig::default().with_ontology(domains::obituaries()),
-    )
-    .expect("built-in ontology compiles");
+    let extractor =
+        RecordExtractor::new(ExtractorConfig::default().with_ontology(domains::obituaries()))
+            .expect("built-in ontology compiles");
     let outcome = extractor.discover(FIGURE_2).expect("document has records");
 
     println!("\nIndividual heuristics:");

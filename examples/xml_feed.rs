@@ -38,7 +38,9 @@ fn main() {
     // Full discovery + extraction with the car ontology, in XML mode
     // (case-sensitive names, CDATA text survives intact).
     let extractor = RecordExtractor::new(
-        ExtractorConfig::default().with_ontology(domains::car_ads()).xml(),
+        ExtractorConfig::default()
+            .with_ontology(domains::car_ads())
+            .xml(),
     )
     .expect("ontology compiles");
     let extraction = extractor.extract_records(FEED).expect("feed has records");

@@ -13,6 +13,8 @@
 //! loads the `rbd_ontology::dsl` text format, so new domains need no
 //! recompilation.
 
+#![forbid(unsafe_code)]
+
 use rbd::core::{check_assumptions, ExtractorConfig, RecordExtractor};
 use rbd::db::InstanceGenerator;
 use rbd::ontology::{domains, parse_ontology, Ontology};
@@ -92,9 +94,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn read_input(file: Option<&str>) -> Result<String, String> {
     match file {
-        Some(path) => {
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
-        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}")),
         None => {
             let mut buf = String::new();
             std::io::stdin()
@@ -185,12 +185,13 @@ fn run() -> Result<(), String> {
                         )
                     })
                     .collect();
-                let _ = writeln!(out, 
-                    "{{\"separator\":\"{}\",\"subtree\":\"{}\",\"candidates\":{},\"scored\":[{}]}}",
-                    json_escape(&outcome.separator),
-                    json_escape(&outcome.subtree_tag),
-                    outcome.candidates.len(),
-                    scored.join(",")
+                let _ = writeln!(
+                    out,
+                    "{{\"separator\":\"{sep}\",\"subtree\":\"{sub}\",\"candidates\":{n},\"scored\":[{scored}]}}",
+                    sep = json_escape(&outcome.separator),
+                    sub = json_escape(&outcome.subtree_tag),
+                    n = outcome.candidates.len(),
+                    scored = scored.join(",")
                 );
             } else {
                 let _ = writeln!(out, "highest-fan-out subtree: <{}>", outcome.subtree_tag);
@@ -204,7 +205,9 @@ fn run() -> Result<(), String> {
             }
         }
         "extract" => {
-            let extraction = extractor.extract_records(&html).map_err(|e| e.to_string())?;
+            let extraction = extractor
+                .extract_records(&html)
+                .map_err(|e| e.to_string())?;
             if args.json {
                 let records: Vec<String> = extraction
                     .records
@@ -218,7 +221,8 @@ fn run() -> Result<(), String> {
                         )
                     })
                     .collect();
-                let _ = writeln!(out, 
+                let _ = writeln!(
+                    out,
                     "{{\"separator\":\"{}\",\"records\":[{}]}}",
                     json_escape(&extraction.outcome.separator),
                     records.join(",")
@@ -234,7 +238,9 @@ fn run() -> Result<(), String> {
             let ontology = args
                 .ontology
                 .ok_or("pipeline requires --ontology or --ontology-file")?;
-            let extraction = extractor.extract_records(&html).map_err(|e| e.to_string())?;
+            let extraction = extractor
+                .extract_records(&html)
+                .map_err(|e| e.to_string())?;
             let recognizer = Recognizer::new(&ontology).map_err(|e| e.to_string())?;
             let tables: Vec<_> = extraction
                 .records

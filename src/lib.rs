@@ -32,6 +32,8 @@
 //! assert_eq!(outcome.separator.as_str(), "hr");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use rbd_certainty as certainty;
 pub use rbd_core as core;
 pub use rbd_corpus as corpus;

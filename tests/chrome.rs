@@ -65,7 +65,10 @@ fn corpus_chrome_is_always_modest() {
     // Every generator style keeps nav_links far below the record count, so
     // the conjecture holds corpus-wide.
     for domain in Domain::ALL {
-        for style in sites::initial_sites(domain).iter().chain(&sites::test_sites(domain)) {
+        for style in sites::initial_sites(domain)
+            .iter()
+            .chain(&sites::test_sites(domain))
+        {
             assert!(
                 style.nav_links < style.records.0,
                 "{}: {} links vs {} records",

@@ -62,8 +62,7 @@ fn extract_prints_three_records() {
 
 #[test]
 fn pipeline_populates_database() {
-    let (stdout, stderr, ok) =
-        run_with_stdin(&["pipeline", "--ontology", "obituary"], PAGE);
+    let (stdout, stderr, ok) = run_with_stdin(&["pipeline", "--ontology", "obituary"], PAGE);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("-- Deceased (3 rows)"), "{stdout}");
     assert!(stdout.contains("May 2, 1998"));

@@ -33,7 +33,10 @@ fn individual_heuristic_ordering_matches_table_10() {
     let [om, rp, sd, it, ht] = report.individual_success;
     assert!(it >= om && it >= rp && it >= sd && it >= ht, "IT strongest");
     assert!(ht <= om && ht <= rp && ht <= sd, "HT weakest");
-    assert!(report.compound_success >= it, "compound beats best individual");
+    assert!(
+        report.compound_success >= it,
+        "compound beats best individual"
+    );
 }
 
 #[test]
@@ -45,12 +48,21 @@ fn calibrated_factors_resemble_paper_table_4() {
     let rank1: Vec<f64> = report.table4.iter().map(|row| row[0]).collect();
     for (i, &r1) in rank1.iter().enumerate() {
         let rest: f64 = report.table4[i][1..].iter().sum();
-        assert!(r1 >= rest - 1e-9, "heuristic {i}: rank-1 {r1} < rest {rest}");
+        assert!(
+            r1 >= rest - 1e-9,
+            "heuristic {i}: rank-1 {r1} < rest {rest}"
+        );
     }
     let it = rank1[3];
     let ht = rank1[4];
-    assert!(rank1.iter().all(|&r| it >= r), "IT has the best rank-1 rate");
-    assert!(rank1.iter().all(|&r| ht <= r), "HT has the worst rank-1 rate");
+    assert!(
+        rank1.iter().all(|&r| it >= r),
+        "IT has the best rank-1 rate"
+    );
+    assert!(
+        rank1.iter().all(|&r| ht <= r),
+        "HT has the worst rank-1 rate"
+    );
 }
 
 #[test]
@@ -72,10 +84,7 @@ fn it_containing_combinations_dominate_table_5() {
         }
     }
     // ORSIH is among the best.
-    assert!(report
-        .best()
-        .iter()
-        .any(|r| r.combination == "ORSIH"));
+    assert!(report.best().iter().any(|r| r.combination == "ORSIH"));
 }
 
 #[test]

@@ -69,10 +69,9 @@ fn candidates_match_section_3() {
 #[test]
 fn heuristic_rankings_match_section_5_3() {
     let doc = figure2_document();
-    let extractor = RecordExtractor::new(
-        ExtractorConfig::default().with_ontology(domains::obituaries()),
-    )
-    .unwrap();
+    let extractor =
+        RecordExtractor::new(ExtractorConfig::default().with_ontology(domains::obituaries()))
+            .unwrap();
     let outcome = extractor.discover(&doc).unwrap();
     let by_kind = |k: HeuristicKind| {
         outcome
@@ -92,10 +91,9 @@ fn heuristic_rankings_match_section_5_3() {
 #[test]
 fn compound_certainties_match_section_5_3() {
     let doc = figure2_document();
-    let extractor = RecordExtractor::new(
-        ExtractorConfig::default().with_ontology(domains::obituaries()),
-    )
-    .unwrap();
+    let extractor =
+        RecordExtractor::new(ExtractorConfig::default().with_ontology(domains::obituaries()))
+            .unwrap();
     let outcome = extractor.discover(&doc).unwrap();
     assert_eq!(outcome.separator, "hr");
 
@@ -130,7 +128,9 @@ fn records_chunk_into_three_obituaries() {
     assert_eq!(extraction.records.len(), 3);
     assert!(extraction.records[0].text.contains("Lemar K. Adamson"));
     assert!(extraction.records[1].text.contains("Brian Fielding Frost"));
-    assert!(extraction.records[2].text.contains("Leonard Kenneth Gunther"));
+    assert!(extraction.records[2]
+        .text
+        .contains("Leonard Kenneth Gunther"));
     let preamble = extraction.preamble.expect("heading preamble");
     assert!(preamble.text.contains("Funeral Notices"));
 }

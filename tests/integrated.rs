@@ -22,12 +22,14 @@ fn ontology_for(domain: Domain) -> Ontology {
 fn integrated_discovery_agrees_across_the_corpus() {
     for domain in Domain::ALL {
         let ontology = ontology_for(domain);
-        let extractor = RecordExtractor::new(
-            ExtractorConfig::default().with_ontology(ontology.clone()),
-        )
-        .unwrap();
+        let extractor =
+            RecordExtractor::new(ExtractorConfig::default().with_ontology(ontology.clone()))
+                .unwrap();
         let recognizer = Recognizer::new(&ontology).unwrap();
-        for style in sites::initial_sites(domain).iter().chain(&sites::test_sites(domain)) {
+        for style in sites::initial_sites(domain)
+            .iter()
+            .chain(&sites::test_sites(domain))
+        {
             let doc = generate_document(style, domain, 0, rbd_eval::DEFAULT_SEED);
             let separate = extractor.discover(&doc.html).unwrap();
             let integrated = extractor

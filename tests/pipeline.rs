@@ -16,10 +16,8 @@ fn pipeline(domain: Domain, site_idx: usize, seed: u64) -> (usize, rbd_db::Datab
     };
     let style = &sites::initial_sites(domain)[site_idx];
     let doc = generate_document(style, domain, 0, seed);
-    let extractor = RecordExtractor::new(
-        ExtractorConfig::default().with_ontology(ontology.clone()),
-    )
-    .unwrap();
+    let extractor =
+        RecordExtractor::new(ExtractorConfig::default().with_ontology(ontology.clone())).unwrap();
     let extraction = extractor.extract_records(&doc.html).unwrap();
     assert_eq!(
         extraction.outcome.separator, doc.truth.separator,
@@ -66,7 +64,11 @@ fn car_pipeline_recognizes_core_fields() {
     assert_eq!(cars.project("Price").len(), n);
     // Features satellite has multiple rows per ad on average.
     let features = db.table("CarForSale_Feature").unwrap();
-    assert!(features.len() >= n, "{} features for {n} ads", features.len());
+    assert!(
+        features.len() >= n,
+        "{} features for {n} ads",
+        features.len()
+    );
 }
 
 #[test]
@@ -118,10 +120,8 @@ fn record_boundaries_partition_the_data_record_table() {
     let ontology = domains::obituaries();
     let style = &sites::initial_sites(Domain::Obituaries)[0];
     let doc = generate_document(style, Domain::Obituaries, 1, 55);
-    let extractor = RecordExtractor::new(
-        ExtractorConfig::default().with_ontology(ontology.clone()),
-    )
-    .unwrap();
+    let extractor =
+        RecordExtractor::new(ExtractorConfig::default().with_ontology(ontology.clone())).unwrap();
     let extraction = extractor.extract_records(&doc.html).unwrap();
     let recognizer = Recognizer::new(&ontology).unwrap();
 
@@ -141,10 +141,7 @@ fn record_boundaries_partition_the_data_record_table() {
     assert_eq!(parts.len(), extraction.records.len());
 
     for (part, record) in parts.iter().zip(&extraction.records) {
-        let whole = part
-            .iter()
-            .filter(|e| e.descriptor == "DeathDate")
-            .count();
+        let whole = part.iter().filter(|e| e.descriptor == "DeathDate").count();
         let separate = recognizer
             .recognize(&record.text)
             .for_descriptor("DeathDate")

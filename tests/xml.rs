@@ -75,7 +75,10 @@ fn xml_extraction_preserves_cdata_content() {
     let extraction = extractor.extract_records(feed).unwrap();
     assert_eq!(extraction.outcome.separator, "entry");
     assert_eq!(extraction.records.len(), 3);
-    assert_eq!(extraction.records[1].text, "second record with < and & intact");
+    assert_eq!(
+        extraction.records[1].text,
+        "second record with < and & intact"
+    );
 }
 
 #[test]
