@@ -7,11 +7,10 @@
 //! Each variant asserts its accuracy side effect where the outcome is
 //! stable, so the bench run also documents *why* the paper's choices win.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbd_bench::{black_box, Harness};
 use rbd_certainty::CertaintyTable;
 use rbd_core::{ExtractorConfig, RecordExtractor};
 use rbd_corpus::{test_corpus, Domain, GeneratedDoc};
-use std::hint::black_box;
 
 fn all_test_docs() -> Vec<GeneratedDoc> {
     Domain::ALL
@@ -31,31 +30,29 @@ fn accuracy(extractor: &RecordExtractor, docs: &[GeneratedDoc]) -> f64 {
                 .unwrap_or(false)
         })
         .count();
-    hits as f64 / docs.len() as f64
+    #[allow(clippy::cast_precision_loss)]
+    let acc = hits as f64 / docs.len() as f64;
+    acc
 }
 
-fn bench_candidate_threshold(c: &mut Criterion) {
+fn bench_candidate_threshold(h: &mut Harness) {
     let docs = all_test_docs();
-    let mut group = c.benchmark_group("ablation_threshold");
+    let mut group = h.group("ablation_threshold");
     group.sample_size(10);
     for threshold in [0.01, 0.05, 0.10, 0.20, 0.30] {
         let extractor =
             RecordExtractor::new(ExtractorConfig::default().with_candidate_threshold(threshold))
                 .expect("config valid");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{threshold:.2}")),
-            &docs,
-            |b, docs| {
-                b.iter(|| black_box(accuracy(&extractor, docs)));
-            },
-        );
+        group.bench_function(&format!("{threshold:.2}"), |b| {
+            b.iter(|| black_box(accuracy(&extractor, &docs)));
+        });
     }
     group.finish();
 }
 
-fn bench_heuristic_subsets(c: &mut Criterion) {
+fn bench_heuristic_subsets(h: &mut Harness) {
     let docs = all_test_docs();
-    let mut group = c.benchmark_group("ablation_subset");
+    let mut group = h.group("ablation_subset");
     group.sample_size(10);
     for subset in ["ORSIH", "SI", "I", "OH", "RS"] {
         let extractor = RecordExtractor::new(
@@ -64,9 +61,9 @@ fn bench_heuristic_subsets(c: &mut Criterion) {
                 .with_certainty_table(CertaintyTable::paper_table4()),
         )
         .expect("config valid");
-        group.bench_with_input(BenchmarkId::from_parameter(subset), &docs, |b, docs| {
+        group.bench_function(subset, |b| {
             b.iter(|| {
-                let acc = accuracy(&extractor, docs);
+                let acc = accuracy(&extractor, &docs);
                 if subset == "ORSIH" {
                     assert!(acc >= 0.95, "ORSIH accuracy fell to {acc}");
                 }
@@ -77,5 +74,9 @@ fn bench_heuristic_subsets(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_candidate_threshold, bench_heuristic_subsets);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("ablations");
+    bench_candidate_threshold(&mut h);
+    bench_heuristic_subsets(&mut h);
+    h.finish();
+}

@@ -5,14 +5,13 @@
 //!
 //! The `tag_tree_construction` and `full_discovery` groups sweep document
 //! sizes over two orders of magnitude; linear scaling shows as constant
-//! per-byte throughput in Criterion's `Throughput::Bytes` report.
+//! per-byte throughput in the harness's MiB/s column.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rbd_bench::{black_box, Harness};
 use rbd_core::{ExtractorConfig, RecordExtractor};
 use rbd_corpus::{generate_document, sites, Domain};
 use rbd_ontology::domains;
 use rbd_tagtree::TagTreeBuilder;
-use std::hint::black_box;
 
 /// Builds a document of roughly `target_bytes` by concatenating generated
 /// record areas.
@@ -38,49 +37,41 @@ fn document_of_size(target_bytes: usize) -> String {
     html
 }
 
-fn bench_tag_tree_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tag_tree_construction");
+fn bench_tag_tree_construction(h: &mut Harness) {
+    let mut group = h.group("tag_tree_construction");
     for kb in [16usize, 64, 256, 1024] {
         let doc = document_of_size(kb * 1024);
-        group.throughput(Throughput::Bytes(doc.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{kb}KiB")),
-            &doc,
-            |b, doc| {
-                let builder = TagTreeBuilder::default();
-                b.iter(|| black_box(builder.build(black_box(doc))));
-            },
-        );
+        group.throughput_bytes(doc.len() as u64);
+        let builder = TagTreeBuilder::default();
+        group.bench_function(&format!("{kb}KiB"), |b| {
+            b.iter(|| black_box(builder.build(black_box(&doc))));
+        });
     }
     group.finish();
 }
 
-fn bench_full_discovery(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_discovery");
+fn bench_full_discovery(h: &mut Harness) {
+    let mut group = h.group("full_discovery");
     group.sample_size(20);
     let extractor =
         RecordExtractor::new(ExtractorConfig::default().with_ontology(domains::obituaries()))
             .expect("ontology compiles");
     for kb in [16usize, 64, 256, 1024] {
         let doc = document_of_size(kb * 1024);
-        group.throughput(Throughput::Bytes(doc.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{kb}KiB")),
-            &doc,
-            |b, doc| {
-                b.iter(|| black_box(extractor.discover(black_box(doc)).expect("discovers")));
-            },
-        );
+        group.throughput_bytes(doc.len() as u64);
+        group.bench_function(&format!("{kb}KiB"), |b| {
+            b.iter(|| black_box(extractor.discover(black_box(&doc)).expect("discovers")));
+        });
     }
     group.finish();
 }
 
-fn bench_record_chunking(c: &mut Criterion) {
-    let mut group = c.benchmark_group("record_extraction");
+fn bench_record_chunking(h: &mut Harness) {
+    let mut group = h.group("record_extraction");
     group.sample_size(20);
     let extractor = RecordExtractor::default();
     let doc = document_of_size(256 * 1024);
-    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.throughput_bytes(doc.len() as u64);
     group.bench_function("extract_records_256KiB", |b| {
         b.iter(|| {
             black_box(
@@ -93,10 +84,10 @@ fn bench_record_chunking(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_tag_tree_construction,
-    bench_full_discovery,
-    bench_record_chunking
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("complexity");
+    bench_tag_tree_construction(&mut h);
+    bench_full_discovery(&mut h);
+    bench_record_chunking(&mut h);
+    h.finish();
+}

@@ -3,7 +3,7 @@
 //! OM's regex pass is the most expensive component, which is why the paper
 //! amortizes it into the recognizer).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rbd_bench::{black_box, Harness};
 use rbd_corpus::{generate_document, sites, Domain};
 use rbd_heuristics::{
     ht::HighestCount, it::IdentifiableTags, om::OntologyMatching, rp::RepeatingPattern,
@@ -11,7 +11,6 @@ use rbd_heuristics::{
 };
 use rbd_ontology::domains;
 use rbd_tagtree::{TagTree, TagTreeBuilder};
-use std::hint::black_box;
 
 fn fixture() -> (TagTree, String) {
     let style = &sites::initial_sites(Domain::Obituaries)[0];
@@ -32,41 +31,41 @@ fn fixture() -> (TagTree, String) {
     (tree, html)
 }
 
-fn bench_individual_heuristics(c: &mut Criterion) {
+fn bench_individual_heuristics(h: &mut Harness) {
     let (tree, _html) = fixture();
     let view = SubtreeView::from_tree(&tree, 0.10);
     let om = OntologyMatching::new(domains::obituaries()).expect("compiles");
 
-    let mut group = c.benchmark_group("heuristics");
+    let mut group = h.group("heuristics");
     group.bench_function("HT", |b| {
-        b.iter(|| black_box(HighestCount.rank(black_box(&view))))
+        b.iter(|| black_box(HighestCount.rank(black_box(&view))));
     });
+    let it = IdentifiableTags::default();
     group.bench_function("IT", |b| {
-        let it = IdentifiableTags::default();
-        b.iter(|| black_box(it.rank(black_box(&view))))
+        b.iter(|| black_box(it.rank(black_box(&view))));
     });
     group.bench_function("SD", |b| {
-        b.iter(|| black_box(StandardDeviation.rank(black_box(&view))))
+        b.iter(|| black_box(StandardDeviation.rank(black_box(&view))));
     });
+    let rp = RepeatingPattern::default();
     group.bench_function("RP", |b| {
-        let rp = RepeatingPattern::default();
-        b.iter(|| black_box(rp.rank(black_box(&view))))
+        b.iter(|| black_box(rp.rank(black_box(&view))));
     });
     group.sample_size(20);
     group.bench_function("OM", |b| b.iter(|| black_box(om.rank(black_box(&view)))));
     group.finish();
 }
 
-fn bench_view_construction(c: &mut Criterion) {
+fn bench_view_construction(h: &mut Harness) {
     let (tree, _html) = fixture();
-    let mut group = c.benchmark_group("heuristics");
+    let mut group = h.group("heuristics");
     group.bench_function("subtree_view", |b| {
-        b.iter(|| black_box(SubtreeView::from_tree(black_box(&tree), 0.10)))
+        b.iter(|| black_box(SubtreeView::from_tree(black_box(&tree), 0.10)));
     });
     group.finish();
 }
 
-fn bench_pattern_engine(c: &mut Criterion) {
+fn bench_pattern_engine(h: &mut Harness) {
     // The OM/recognizer substrate: regex matching throughput.
     let (_, html) = fixture();
     let text = rbd_html::tokenize(&html).plain_text();
@@ -74,21 +73,21 @@ fn bench_pattern_engine(c: &mut Criterion) {
         .expect("compiles");
     let date = rbd_pattern::Pattern::new(r"[A-Z][a-z]+ [0-9]{1,2}, [0-9]{4}").expect("compiles");
 
-    let mut group = c.benchmark_group("pattern");
-    group.throughput(criterion::Throughput::Bytes(text.len() as u64));
+    let mut group = h.group("pattern");
+    group.throughput_bytes(text.len() as u64);
     group.bench_function("keyword_count", |b| {
-        b.iter(|| black_box(kw.count_matches(black_box(&text))))
+        b.iter(|| black_box(kw.count_matches(black_box(&text))));
     });
     group.bench_function("date_count", |b| {
-        b.iter(|| black_box(date.count_matches(black_box(&text))))
+        b.iter(|| black_box(date.count_matches(black_box(&text))));
     });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_individual_heuristics,
-    bench_view_construction,
-    bench_pattern_engine
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("heuristics");
+    bench_individual_heuristics(&mut h);
+    bench_view_construction(&mut h);
+    bench_pattern_engine(&mut h);
+    h.finish();
+}

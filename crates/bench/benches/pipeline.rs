@@ -1,15 +1,14 @@
 //! End-to-end Figure-1 pipeline throughput: page in, populated relational
 //! database out.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rbd_bench::{black_box, Harness};
 use rbd_core::{ExtractorConfig, RecordExtractor};
 use rbd_corpus::{generate_document, sites, Domain};
 use rbd_db::InstanceGenerator;
 use rbd_ontology::domains;
 use rbd_recognizer::Recognizer;
-use std::hint::black_box;
 
-fn bench_full_pipeline(c: &mut Criterion) {
+fn bench_full_pipeline(h: &mut Harness) {
     let ontology = domains::obituaries();
     let extractor =
         RecordExtractor::new(ExtractorConfig::default().with_ontology(ontology.clone()))
@@ -19,8 +18,8 @@ fn bench_full_pipeline(c: &mut Criterion) {
     let style = &sites::initial_sites(Domain::Obituaries)[0];
     let doc = generate_document(style, Domain::Obituaries, 0, 1998);
 
-    let mut group = c.benchmark_group("pipeline");
-    group.throughput(Throughput::Bytes(doc.html.len() as u64));
+    let mut group = h.group("pipeline");
+    group.throughput_bytes(doc.html.len() as u64);
     group.bench_function("page_to_database", |b| {
         b.iter(|| {
             let extraction = extractor.extract_records(&doc.html).expect("records");
@@ -40,15 +39,15 @@ fn bench_full_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_recognizer(c: &mut Criterion) {
+fn bench_recognizer(h: &mut Harness) {
     let ontology = domains::obituaries();
     let recognizer = Recognizer::new(&ontology).expect("compiles");
     let style = &sites::initial_sites(Domain::Obituaries)[0];
     let doc = generate_document(style, Domain::Obituaries, 0, 1998);
     let text = rbd_html::tokenize(&doc.html).plain_text();
 
-    let mut group = c.benchmark_group("pipeline");
-    group.throughput(Throughput::Bytes(text.len() as u64));
+    let mut group = h.group("pipeline");
+    group.throughput_bytes(text.len() as u64);
     group.bench_function("recognize_data_record_table", |b| {
         b.iter(|| black_box(recognizer.recognize(black_box(&text))));
     });
@@ -59,7 +58,7 @@ fn bench_recognizer(c: &mut Criterion) {
 /// re-scans the text, then recognition scans it again, per record) vs the
 /// integrated pipeline (one recognition pass feeds OM and the Data-Record
 /// Table both).
-fn bench_integration_ablation(c: &mut Criterion) {
+fn bench_integration_ablation(h: &mut Harness) {
     let ontology = domains::obituaries();
     let extractor =
         RecordExtractor::new(ExtractorConfig::default().with_ontology(ontology.clone()))
@@ -68,7 +67,7 @@ fn bench_integration_ablation(c: &mut Criterion) {
     let style = &sites::initial_sites(Domain::Obituaries)[0];
     let doc = generate_document(style, Domain::Obituaries, 0, 1998);
 
-    let mut group = c.benchmark_group("integration");
+    let mut group = h.group("integration");
     group.sample_size(20);
     group.bench_function("separate_passes", |b| {
         b.iter(|| {
@@ -100,10 +99,10 @@ fn bench_integration_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_full_pipeline,
-    bench_recognizer,
-    bench_integration_ablation
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("pipeline");
+    bench_full_pipeline(&mut h);
+    bench_recognizer(&mut h);
+    bench_integration_ablation(&mut h);
+    h.finish();
+}

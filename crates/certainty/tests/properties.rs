@@ -1,20 +1,27 @@
 //! Algebraic properties of Stanford certainty combination and structural
 //! invariants of the compound heuristic.
 
-use proptest::prelude::*;
 use rbd_certainty::{CertaintyFactor, CertaintyTable, CompoundHeuristic, HeuristicSet};
 use rbd_heuristics::{HeuristicKind, Ranking};
+use rbd_prop::{check, gen, prop_assert, prop_assert_eq, Gen};
 
-fn cf() -> impl Strategy<Value = CertaintyFactor> {
-    (0.0f64..=1.0).prop_map(CertaintyFactor::new)
+fn cf() -> Gen<CertaintyFactor> {
+    // Mostly uniform over [0, 1), with the exact endpoints mixed in so the
+    // boundary algebra (identity at 0, absorption at 1) is exercised.
+    Gen::weighted(vec![
+        (8, gen::f64_in(0.0, 1.0).map(CertaintyFactor::new)),
+        (1, Gen::just(CertaintyFactor::new(0.0))),
+        (1, Gen::just(CertaintyFactor::new(1.0))),
+    ])
 }
 
-proptest! {
-    /// Combination is commutative and (numerically) associative, stays in
-    /// [0, 1], and never decreases either operand — more agreeing evidence
-    /// can only increase certainty.
-    #[test]
-    fn combine_laws(a in cf(), b in cf(), c in cf()) {
+/// Combination is commutative and (numerically) associative, stays in
+/// [0, 1], and never decreases either operand — more agreeing evidence
+/// can only increase certainty.
+#[test]
+fn combine_laws() {
+    let triple = gen::zip3(cf(), cf(), cf());
+    check("combine_laws", &triple, |&(a, b, c)| {
         let ab = a.combine(b);
         prop_assert!((0.0..=1.0).contains(&ab.value()));
         prop_assert!(ab.value() >= a.value() - 1e-12);
@@ -23,22 +30,29 @@ proptest! {
         let left = a.combine(b).combine(c).value();
         let right = a.combine(b.combine(c)).value();
         prop_assert!((left - right).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    /// Folding in any order gives the same result.
-    #[test]
-    fn combine_all_order_independent(mut xs in prop::collection::vec(cf(), 0..6)) {
+/// Folding in any order gives the same result.
+#[test]
+fn combine_all_order_independent() {
+    let xs = Gen::vec(cf(), 0..=5);
+    check("combine_all_order_independent", &xs, |xs| {
         let forward = CertaintyFactor::combine_all(xs.clone()).value();
-        xs.reverse();
-        let backward = CertaintyFactor::combine_all(xs).value();
+        let mut rev = xs.clone();
+        rev.reverse();
+        let backward = CertaintyFactor::combine_all(rev).value();
         prop_assert!((forward - backward).abs() < 1e-9);
-    }
+        Ok(())
+    });
 }
 
 /// Random rankings over a small tag universe.
-fn arb_rankings() -> impl Strategy<Value = Vec<Ranking>> {
-    let tags = prop::sample::subsequence(vec!["hr", "b", "br", "p", "td"], 1..5);
-    prop::collection::vec((0usize..5, tags), 1..5).prop_map(|specs| {
+fn arb_rankings() -> Gen<Vec<Ranking>> {
+    let tags = Gen::subsequence(vec!["hr", "b", "br", "p", "td"], 1..=4);
+    let spec = gen::int_in(0usize..5).zip(tags);
+    Gen::vec(spec, 1..=4).map(|specs| {
         specs
             .into_iter()
             .map(|(kind_idx, tags)| {
@@ -49,13 +63,13 @@ fn arb_rankings() -> impl Strategy<Value = Vec<Ranking>> {
     })
 }
 
-proptest! {
-    /// Compound scores are sorted descending, winners equal the leading tie
-    /// set, and every scored tag appeared in some selected ranking.
-    #[test]
-    fn consensus_structure(rankings in arb_rankings()) {
+/// Compound scores are sorted descending, winners equal the leading tie
+/// set, and every scored tag appeared in some selected ranking.
+#[test]
+fn consensus_structure() {
+    check("consensus_structure", &arb_rankings(), |rankings| {
         let compound = CompoundHeuristic::paper_orsih();
-        let consensus = compound.combine(&rankings);
+        let consensus = compound.combine(rankings);
         for w in consensus.scored.windows(2) {
             prop_assert!(w[0].certainty >= w[1].certainty);
         }
@@ -68,7 +82,11 @@ proptest! {
                 .collect();
             prop_assert_eq!(
                 ties,
-                consensus.winners.iter().map(String::as_str).collect::<Vec<_>>()
+                consensus
+                    .winners
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>()
             );
         } else {
             prop_assert!(consensus.winners.is_empty());
@@ -80,20 +98,29 @@ proptest! {
                 s.tag
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Growing the heuristic subset never lowers any tag's certainty
-    /// (evidence is non-negative).
-    #[test]
-    fn more_heuristics_never_hurt_a_tag(rankings in arb_rankings()) {
-        let small = CompoundHeuristic::new("SI".parse().unwrap(), CertaintyTable::paper_table4());
-        let big = CompoundHeuristic::new(HeuristicSet::ORSIH, CertaintyTable::paper_table4());
-        let small_scores = small.combine(&rankings);
-        let big_scores = big.combine(&rankings);
-        for s in &small_scores.scored {
-            if let Some(b) = big_scores.scored.iter().find(|b| b.tag == s.tag) {
-                prop_assert!(b.certainty.value() >= s.certainty.value() - 1e-12);
+/// Growing the heuristic subset never lowers any tag's certainty
+/// (evidence is non-negative).
+#[test]
+fn more_heuristics_never_hurt_a_tag() {
+    check(
+        "more_heuristics_never_hurt_a_tag",
+        &arb_rankings(),
+        |rankings| {
+            let small =
+                CompoundHeuristic::new("SI".parse().unwrap(), CertaintyTable::paper_table4());
+            let big = CompoundHeuristic::new(HeuristicSet::ORSIH, CertaintyTable::paper_table4());
+            let small_scores = small.combine(rankings);
+            let big_scores = big.combine(rankings);
+            for s in &small_scores.scored {
+                if let Some(b) = big_scores.scored.iter().find(|b| b.tag == s.tag) {
+                    prop_assert!(b.certainty.value() >= s.certainty.value() - 1e-12);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }

@@ -3,15 +3,14 @@
 use crate::content::{self, RecordContent, Sentence};
 use crate::style::{SiteStyle, WrapKind};
 use crate::Domain;
-use rand::rngs::StdRng;
-use rand::Rng;
+use rbd_prop::Rng;
 
 /// Composes one document, returning its HTML, the number of records, and
 /// each record's ground-truth fields.
 pub fn compose(
     style: &SiteStyle,
     domain: Domain,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> (String, usize, Vec<Vec<(String, String)>>) {
     let n_records = rng.random_range(style.records.0..=style.records.1);
     let mut html = String::with_capacity(n_records * 400 + 512);
@@ -121,7 +120,7 @@ fn wrapper(kind: WrapKind) -> (&'static str, &'static str) {
 }
 
 /// `<tr><td>record</td></tr>` emission for row-separated sites.
-fn emit_row_record(html: &mut String, style: &SiteStyle, record: &RecordContent, rng: &mut StdRng) {
+fn emit_row_record(html: &mut String, style: &SiteStyle, record: &RecordContent, rng: &mut Rng) {
     html.push_str("<tr><td>");
     if style.inline.bold_lead {
         html.push_str(&format!("<b>{}</b>", record.lead));
@@ -161,7 +160,7 @@ fn emit_flow_record(
     html: &mut String,
     style: &SiteStyle,
     record: &RecordContent,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     _ordinal: usize,
 ) {
     let intro_before_lead = style.inline.lead_prefix;
@@ -198,12 +197,7 @@ fn emit_flow_record(
 }
 
 /// Sentences with the style's inline-markup budget applied.
-fn push_record_body(
-    html: &mut String,
-    style: &SiteStyle,
-    record: &RecordContent,
-    rng: &mut StdRng,
-) {
+fn push_record_body(html: &mut String, style: &SiteStyle, record: &RecordContent, rng: &mut Rng) {
     let inline = &style.inline;
     let mut budget = InlineBudget {
         bolds: range_count(rng, inline.bolds),
@@ -240,7 +234,7 @@ struct InlineBudget {
     nested_bolds: u8,
 }
 
-fn range_count(rng: &mut StdRng, (lo, hi): (u8, u8)) -> u8 {
+fn range_count(rng: &mut Rng, (lo, hi): (u8, u8)) -> u8 {
     if hi == 0 {
         0
     } else {
@@ -264,7 +258,7 @@ fn push_sentence(
     s: &Sentence,
     budget: &mut InlineBudget,
     nested_here: bool,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) {
     html.push_str(&s.prefix);
     if s.phrase.is_empty() {
@@ -297,7 +291,7 @@ fn push_sentence(
 
 /// Injects period-typical HTML messiness so Appendix A's repairs are
 /// exercised: comments and orphan end-tags.
-fn maybe_mess(html: &mut String, style: &SiteStyle, rng: &mut StdRng) {
+fn maybe_mess(html: &mut String, style: &SiteStyle, rng: &mut Rng) {
     if style.messiness <= 0.0 || !rng.random_bool(style.messiness) {
         return;
     }
@@ -315,7 +309,6 @@ fn maybe_mess(html: &mut String, style: &SiteStyle, rng: &mut StdRng) {
 mod tests {
     use super::*;
     use crate::style::{InlineStyle, SeparatorStyle};
-    use rand::SeedableRng;
 
     fn style() -> SiteStyle {
         SiteStyle {
@@ -346,7 +339,7 @@ mod tests {
 
     #[test]
     fn composed_document_structure() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let (html, n, truths) = compose(&style(), Domain::Obituaries, &mut rng);
         assert_eq!(truths.len(), n);
         assert!(html.starts_with("<html><head><title>Funeral Notices"));
@@ -360,7 +353,7 @@ mod tests {
 
     #[test]
     fn bold_lead_present() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let (html, _, _) = compose(&style(), Domain::Obituaries, &mut rng);
         assert!(html.contains("<hr>\n<b>"));
     }
@@ -375,7 +368,7 @@ mod tests {
             closed: true,
             lead_inside: false,
         };
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let (html, n, _) = compose(&s, Domain::JobAds, &mut rng);
         assert_eq!(html.matches("<p></p>").count(), n - 1);
     }
@@ -384,7 +377,7 @@ mod tests {
     fn messiness_injects_comments_or_orphans() {
         let mut s = style();
         s.messiness = 1.0;
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::from_seed(4);
         let (html, _, _) = compose(&s, Domain::CarAds, &mut rng);
         assert!(html.contains("<!--") || html.contains("</font>"));
     }
@@ -393,7 +386,7 @@ mod tests {
     fn no_inline_markup_when_style_plain() {
         let mut s = style();
         s.inline = InlineStyle::plain();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::from_seed(5);
         let (html, _, _) = compose(&s, Domain::Courses, &mut rng);
         assert!(!html.contains("<b>"));
         assert!(!html.contains("<br>"));

@@ -2,10 +2,8 @@
 //! `rbd-ontology` domain data frames recognize.
 
 use crate::Domain;
-use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
-use rand::Rng;
 use rbd_ontology::lexicon;
+use rbd_prop::{Choose, Rng};
 
 /// One sentence of a record, split so the composer can wrap the
 /// emphasizable phrase in `<b>`, `<i>` or `<a>`.
@@ -69,11 +67,11 @@ pub struct RecordContent {
     pub truth: Vec<(String, String)>,
 }
 
-fn pick<'a>(rng: &mut StdRng, items: &[&'a str]) -> &'a str {
+fn pick<'a>(rng: &mut Rng, items: &[&'a str]) -> &'a str {
     items.choose(rng).expect("lexicons are nonempty")
 }
 
-fn date(rng: &mut StdRng) -> String {
+fn date(rng: &mut Rng) -> String {
     format!(
         "{} {}, {}",
         pick(rng, lexicon::MONTHS),
@@ -82,7 +80,7 @@ fn date(rng: &mut StdRng) -> String {
     )
 }
 
-fn old_date(rng: &mut StdRng) -> String {
+fn old_date(rng: &mut Rng) -> String {
     format!(
         "{} {}, {}",
         pick(rng, lexicon::MONTHS),
@@ -91,7 +89,7 @@ fn old_date(rng: &mut StdRng) -> String {
     )
 }
 
-fn time(rng: &mut StdRng) -> String {
+fn time(rng: &mut Rng) -> String {
     let ampm = if rng.random_bool(0.5) { "a.m." } else { "p.m." };
     format!(
         "{}:{:02} {ampm}",
@@ -100,7 +98,7 @@ fn time(rng: &mut StdRng) -> String {
     )
 }
 
-fn person(rng: &mut StdRng) -> String {
+fn person(rng: &mut Rng) -> String {
     if rng.random_bool(0.4) {
         format!(
             "{} {}. {}",
@@ -121,7 +119,7 @@ fn person(rng: &mut StdRng) -> String {
     }
 }
 
-fn phone(rng: &mut StdRng) -> String {
+fn phone(rng: &mut Rng) -> String {
     format!(
         "({}) 555-{:04}",
         [801, 520, 713, 415, 206][rng.random_range(0..5)],
@@ -227,7 +225,7 @@ const OOV_TITLES: &[&str] = &[
 /// `SiteStyle::oov`).
 pub fn record(
     domain: Domain,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     richness: f64,
     jitter: f64,
     oov: f64,
@@ -248,7 +246,7 @@ pub fn record(
 /// sync (the truth records the unrecognizable value, so it scores as a
 /// recall miss — exactly what real-world prose did to the companion
 /// papers' extractors).
-fn apply_oov(domain: Domain, record: &mut RecordContent, rng: &mut StdRng, oov: f64) {
+fn apply_oov(domain: Domain, record: &mut RecordContent, rng: &mut Rng, oov: f64) {
     match domain {
         Domain::Obituaries => {
             if rng.random_bool(oov) {
@@ -319,7 +317,9 @@ fn set_truth(record: &mut RecordContent, field: &str, value: &str) {
 }
 
 /// Number of filler sentences: a base of one, plus jitter-scaled variance.
-fn filler_count(rng: &mut StdRng, jitter: f64) -> usize {
+fn filler_count(rng: &mut Rng, jitter: f64) -> usize {
+    // `jitter` is a corpus knob in [0, 1]; the product rounds to 0..=6.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let max_extra = (jitter * 6.0).round() as usize;
     1 + if max_extra == 0 {
         0
@@ -330,14 +330,14 @@ fn filler_count(rng: &mut StdRng, jitter: f64) -> usize {
 
 /// Draws an intro with probability one half. The caller drops one filler
 /// sentence in exchange (see [`RecordContent::intro`]).
-fn choose_intro(rng: &mut StdRng, pool: &[&str]) -> Option<String> {
+fn choose_intro(rng: &mut Rng, pool: &[&str]) -> Option<String> {
     rng.random_bool(0.5)
         .then(|| (*pool.choose(rng).expect("nonempty intro pool")).to_owned())
 }
 
 fn push_filler(
     sentences: &mut Vec<Sentence>,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     pool: &[&str],
     jitter: f64,
     gave_up_one: bool,
@@ -348,7 +348,7 @@ fn push_filler(
     }
 }
 
-fn obituary(rng: &mut StdRng, richness: f64, jitter: f64) -> RecordContent {
+fn obituary(rng: &mut Rng, richness: f64, jitter: f64) -> RecordContent {
     let name = person(rng);
     let intro = choose_intro(rng, INTROS);
     let mut s = Vec::new();
@@ -417,7 +417,7 @@ fn obituary(rng: &mut StdRng, richness: f64, jitter: f64) -> RecordContent {
     }
 }
 
-fn car_ad(rng: &mut StdRng, richness: f64, jitter: f64) -> RecordContent {
+fn car_ad(rng: &mut Rng, richness: f64, jitter: f64) -> RecordContent {
     let intro = choose_intro(rng, CAR_INTROS);
     let year = rng.random_range(1988..=1998);
     let make = pick(rng, lexicon::CAR_MAKES);
@@ -466,6 +466,8 @@ fn car_ad(rng: &mut StdRng, richness: f64, jitter: f64) -> RecordContent {
     truth.push(("Phone".to_owned(), phone_no.clone()));
     s.push(Sentence::plain(format!(". Call {phone_no}. ")));
     if jitter > 0.0 {
+        // `jitter` is a corpus knob in [0, 1]; the product rounds to 0..=3.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let extra = (jitter * 3.0).round() as usize;
         let n = rng
             .random_range(0..=extra)
@@ -482,7 +484,7 @@ fn car_ad(rng: &mut StdRng, richness: f64, jitter: f64) -> RecordContent {
     }
 }
 
-fn job_ad(rng: &mut StdRng, richness: f64, jitter: f64) -> RecordContent {
+fn job_ad(rng: &mut Rng, richness: f64, jitter: f64) -> RecordContent {
     let intro = choose_intro(rng, JOB_INTROS);
     let lead = pick(rng, lexicon::JOB_TITLES).to_owned();
     let company = pick(rng, lexicon::COMPANIES);
@@ -535,7 +537,7 @@ fn job_ad(rng: &mut StdRng, richness: f64, jitter: f64) -> RecordContent {
     }
 }
 
-fn course(rng: &mut StdRng, richness: f64, jitter: f64) -> RecordContent {
+fn course(rng: &mut Rng, richness: f64, jitter: f64) -> RecordContent {
     let intro = choose_intro(rng, COURSE_INTROS);
     let lead = format!(
         "{} {}",
@@ -587,10 +589,9 @@ fn course(rng: &mut StdRng, richness: f64, jitter: f64) -> RecordContent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(11)
+    fn rng() -> Rng {
+        Rng::from_seed(11)
     }
 
     #[test]
@@ -643,7 +644,7 @@ mod tests {
 
     #[test]
     fn jitter_increases_length_variance() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let len = |r: &RecordContent| r.sentences.iter().map(|s| s.text().len()).sum::<usize>();
         let tight: Vec<usize> = (0..30)
             .map(|_| len(&record(Domain::Obituaries, &mut rng, 1.0, 0.0, 0.0)))

@@ -43,8 +43,7 @@ pub mod content;
 pub mod sites;
 pub mod style;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rbd_prop::Rng;
 use std::fmt;
 
 pub use style::{InlineStyle, SeparatorStyle, SiteStyle, WrapKind};
@@ -160,7 +159,7 @@ pub fn test_corpus(domain: Domain, seed: u64) -> Vec<GeneratedDoc> {
 
 /// Derives a per-document RNG from the identifying tuple (an FNV-1a fold so
 /// the streams of different documents are unrelated).
-fn doc_rng(style: &SiteStyle, domain: Domain, doc_index: usize, seed: u64) -> StdRng {
+fn doc_rng(style: &SiteStyle, domain: Domain, doc_index: usize, seed: u64) -> Rng {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -173,7 +172,7 @@ fn doc_rng(style: &SiteStyle, domain: Domain, doc_index: usize, seed: u64) -> St
     eat(format!("{domain:?}").as_bytes());
     eat(&doc_index.to_le_bytes());
     eat(&seed.to_le_bytes());
-    StdRng::seed_from_u64(h)
+    Rng::from_seed(h)
 }
 
 #[cfg(test)]

@@ -175,7 +175,7 @@ impl<'t> Query<'t> {
             .into_iter()
             .map(|row| {
                 idxs.iter()
-                    .map(|&i| row.get(i).and_then(|v| v.clone()))
+                    .map(|&i| row.get(i).and_then(Clone::clone))
                     .collect()
             })
             .collect()

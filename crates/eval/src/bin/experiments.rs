@@ -6,7 +6,7 @@
 //!
 //! * `--table N` prints the analogue of paper table N (1–10).
 //! * `--all` (default) prints everything in order.
-//! * `--seed S` sets the corpus seed (default 1998).
+//! * `--seed S` sets the corpus seed (default [`DEFAULT_SEED`]).
 //! * `--paper-cf` uses the paper's published Table 4 certainty factors for
 //!   tables 5–10 instead of the freshly calibrated ones.
 //! * `--ablations` additionally runs the design-choice ablations
@@ -25,6 +25,7 @@ use rbd_eval::{
     calibrate, combination_sweep, extraction_quality, run_ablations, run_test_sets, seed_sweep,
     HeuristicRunner, DEFAULT_SEED,
 };
+use rbd_json::{Json, ToJson};
 use std::process::ExitCode;
 
 struct Args {
@@ -141,18 +142,16 @@ fn main() -> ExitCode {
         } else {
             None
         };
-        let blob = serde_json::json!({
-            "seed": args.seed,
-            "paper_cf": args.paper_cf,
-            "calibration": calibration,
-            "combinations": combos,
-            "test_sets": tests,
-            "ablations": ablations,
-        });
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&blob).expect("serializable")
-        );
+        // Serialization is total (rbd-json): no fallible path, no expect.
+        let blob = Json::object([
+            ("seed", args.seed.to_json()),
+            ("paper_cf", args.paper_cf.to_json()),
+            ("calibration", calibration.to_json()),
+            ("combinations", combos.to_json()),
+            ("test_sets", tests.to_json()),
+            ("ablations", ablations.to_json()),
+        ]);
+        println!("{}", blob.to_pretty());
         return ExitCode::SUCCESS;
     }
 

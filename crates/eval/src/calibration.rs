@@ -5,13 +5,13 @@ use crate::runner::{evaluate_document, DocEvaluation, HeuristicRunner};
 use rbd_certainty::{CertaintyFactor, CertaintyTable};
 use rbd_corpus::{initial_corpus, Domain};
 use rbd_heuristics::HeuristicKind;
-use serde::Serialize;
+use rbd_json::{Json, ToJson};
 use std::fmt;
 
 /// Where the correct separator landed for one heuristic, as percentages of
 /// documents: index 0 = rank 1, … index 3 = rank 4; `beyond` counts rank>4
 /// or unranked/abstained documents.
-#[derive(Debug, Clone, Copy, Serialize, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RankDistribution {
     /// Percentages for ranks 1–4.
     pub percent: [f64; 4],
@@ -43,7 +43,7 @@ impl RankDistribution {
 }
 
 /// One domain's calibration run: Table 2 (obituaries) or Table 3 (car ads).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DomainCalibration {
     /// The calibration domain.
     pub domain: String,
@@ -52,12 +52,11 @@ pub struct DomainCalibration {
     /// Number of documents evaluated.
     pub documents: usize,
     /// Per-document evaluations (kept for the Table-5 combination sweep).
-    #[serde(skip)]
     pub evaluations: Vec<DocEvaluation>,
 }
 
 /// The complete calibration: both domains plus the averaged Table 4.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CalibrationReport {
     /// Table 2.
     pub obituaries: DomainCalibration,
@@ -173,6 +172,37 @@ impl fmt::Display for CalibrationReport {
             )?;
         }
         Ok(())
+    }
+}
+
+impl ToJson for RankDistribution {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("percent", self.percent.to_json()),
+            ("beyond", self.beyond.to_json()),
+        ])
+    }
+}
+
+impl ToJson for DomainCalibration {
+    // `evaluations` is working state for the combination sweep, not report
+    // output, and is deliberately omitted.
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("domain", self.domain.to_json()),
+            ("distributions", self.distributions.to_json()),
+            ("documents", self.documents.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CalibrationReport {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("obituaries", self.obituaries.to_json()),
+            ("car_ads", self.car_ads.to_json()),
+            ("table4", self.table4.to_json()),
+        ])
     }
 }
 

@@ -4,11 +4,11 @@
 use crate::calibration::CalibrationReport;
 use crate::sc;
 use rbd_certainty::{CertaintyTable, CompoundHeuristic, HeuristicSet};
-use serde::Serialize;
+use rbd_json::{Json, ToJson};
 use std::fmt;
 
 /// One combination's success rate.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CombinationResult {
     /// The combination in letter notation (`OR`, `RSIH`, …).
     pub combination: String,
@@ -17,7 +17,7 @@ pub struct CombinationResult {
 }
 
 /// The full Table-5 analogue.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CombinationReport {
     /// All 26 combinations in the paper's order.
     pub results: Vec<CombinationResult>,
@@ -97,6 +97,21 @@ impl fmt::Display for CombinationReport {
             writeln!(f)?;
         }
         Ok(())
+    }
+}
+
+impl ToJson for CombinationResult {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("combination", self.combination.to_json()),
+            ("success_rate", self.success_rate.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CombinationReport {
+    fn to_json(&self) -> Json {
+        Json::object([("results", self.results.to_json())])
     }
 }
 

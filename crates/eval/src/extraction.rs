@@ -11,15 +11,15 @@
 use rbd_core::{ExtractorConfig, RecordExtractor};
 use rbd_corpus::{Domain, GeneratedDoc};
 use rbd_db::InstanceGenerator;
+use rbd_json::{Json, ToJson};
 use rbd_ontology::{domains, Ontology};
 use rbd_pattern::PatternError;
 use rbd_recognizer::Recognizer;
-use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Recall/precision for one ontology field.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FieldQuality {
     /// Object-set name.
     pub field: String,
@@ -52,7 +52,7 @@ impl FieldQuality {
 }
 
 /// One domain's extraction-quality report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DomainExtraction {
     /// Domain name.
     pub domain: String,
@@ -87,7 +87,7 @@ impl DomainExtraction {
 }
 
 /// The full four-domain report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExtractionReport {
     /// Per-domain quality.
     pub domains: Vec<DomainExtraction>,
@@ -290,6 +290,33 @@ impl fmt::Display for ExtractionReport {
             }
         }
         Ok(())
+    }
+}
+
+impl ToJson for FieldQuality {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("field", self.field.to_json()),
+            ("truth_count", self.truth_count.to_json()),
+            ("extracted_count", self.extracted_count.to_json()),
+            ("correct", self.correct.to_json()),
+        ])
+    }
+}
+
+impl ToJson for DomainExtraction {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("domain", self.domain.to_json()),
+            ("records", self.records.to_json()),
+            ("fields", self.fields.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ExtractionReport {
+    fn to_json(&self) -> Json {
+        Json::object([("domains", self.domains.to_json())])
     }
 }
 

@@ -8,10 +8,10 @@ use rbd_heuristics::{
     ht::HighestCount, it::IdentifiableTags, rp::RepeatingPattern, sd::StandardDeviation, Heuristic,
     HeuristicKind, Ranking, SubtreeView,
 };
+use rbd_json::{Json, ToJson};
 use rbd_ontology::domains;
 use rbd_pattern::PatternError;
 use rbd_tagtree::TagTreeBuilder;
-use serde::Serialize;
 
 /// Runs the five heuristics with the right ontology per domain; the OM
 /// heuristics (one per domain) are compiled once and reused.
@@ -45,7 +45,7 @@ impl HeuristicRunner {
 }
 
 /// The evaluation record of one document.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DocEvaluation {
     /// Site name.
     pub site: String,
@@ -57,7 +57,6 @@ pub struct DocEvaluation {
     /// (`None` = abstained or did not rank the truth).
     pub ranks: [Option<usize>; 5],
     /// The rankings themselves (for compound-combination sweeps).
-    #[serde(skip)]
     pub rankings: Vec<Ranking>,
     /// Candidate-tag count (1 means the §3 single-candidate shortcut fired).
     pub candidate_count: usize,
@@ -137,6 +136,20 @@ fn synthetic_unanimous_rankings(tag: Option<String>) -> Vec<Ranking> {
         .into_iter()
         .map(|kind| Ranking::from_order(kind, vec![tag.clone()]))
         .collect()
+}
+
+impl ToJson for DocEvaluation {
+    // `rankings` is working state for compound-combination sweeps, not
+    // report output, and is deliberately omitted.
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("site", self.site.to_json()),
+            ("url", self.url.to_json()),
+            ("truth", self.truth.to_json()),
+            ("ranks", self.ranks.to_json()),
+            ("candidate_count", self.candidate_count.to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]

@@ -7,11 +7,11 @@ use crate::calibration::calibrate;
 use crate::runner::HeuristicRunner;
 use crate::testsets::run_test_sets;
 use rbd_heuristics::HeuristicKind;
-use serde::Serialize;
+use rbd_json::{Json, ToJson};
 use std::fmt;
 
 /// Summary statistics for one success-rate series.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Stat {
     /// Mean over seeds (percent).
     pub mean: f64,
@@ -33,7 +33,7 @@ impl Stat {
 }
 
 /// The multi-seed report: Table-10 statistics across seeds.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SeedSweep {
     /// The seeds exercised.
     pub seeds: Vec<u64>,
@@ -100,6 +100,27 @@ impl fmt::Display for SeedSweep {
             self.perfect_seeds,
             self.seeds.len()
         )
+    }
+}
+
+impl ToJson for Stat {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("mean", self.mean.to_json()),
+            ("min", self.min.to_json()),
+            ("max", self.max.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SeedSweep {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("seeds", self.seeds.to_json()),
+            ("individual", self.individual.to_json()),
+            ("compound", self.compound.to_json()),
+            ("perfect_seeds", self.perfect_seeds.to_json()),
+        ])
     }
 }
 

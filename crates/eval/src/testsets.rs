@@ -6,12 +6,12 @@ use crate::sc;
 use rbd_certainty::{CertaintyTable, CompoundHeuristic, HeuristicSet};
 use rbd_corpus::{test_corpus, Domain};
 use rbd_heuristics::HeuristicKind;
-use serde::Serialize;
+use rbd_json::{Json, ToJson};
 use std::fmt;
 
 /// One row of a Table 6–9 analogue: the ranks each heuristic (and the
 /// compound, column "A") gave the correct separator at one site.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TestSiteRow {
     /// Site name.
     pub site: String,
@@ -27,7 +27,7 @@ pub struct TestSiteRow {
 }
 
 /// One domain's test table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DomainTestSet {
     /// Domain name.
     pub domain: String,
@@ -39,7 +39,7 @@ pub struct DomainTestSet {
 
 /// The complete §6 report: all four test sets plus the Table-10 success
 /// rates.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TestSetReport {
     /// Tables 6–9.
     pub sets: Vec<DomainTestSet>,
@@ -163,6 +163,38 @@ impl fmt::Display for TestSetReport {
         }
         writeln!(f, "  {:<6} {:>6.1}%", "ORSIH", self.compound_success)?;
         Ok(())
+    }
+}
+
+impl ToJson for TestSiteRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("site", self.site.to_json()),
+            ("url", self.url.to_json()),
+            ("ranks", self.ranks.to_json()),
+            ("compound_rank", self.compound_rank.to_json()),
+            ("sc", self.sc.to_json()),
+        ])
+    }
+}
+
+impl ToJson for DomainTestSet {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("domain", self.domain.to_json()),
+            ("table_number", self.table_number.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for TestSetReport {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("sets", self.sets.to_json()),
+            ("individual_success", self.individual_success.to_json()),
+            ("compound_success", self.compound_success.to_json()),
+        ])
     }
 }
 

@@ -14,11 +14,15 @@ use crate::Heuristic;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StandardDeviation;
 
-/// Population standard deviation of `values`. Empty input yields infinity
-/// (so tags with fewer than two occurrences rank last: one cannot measure
-/// regularity from a single occurrence).
+/// Population standard deviation of `values`, where `values` are the
+/// intervals between consecutive occurrences of a candidate tag.
+///
+/// Fewer than two intervals (i.e. fewer than three occurrences of the tag)
+/// yield infinity: regularity cannot be measured from a single interval, and
+/// treating it as zero deviation would hand a twice-occurring decoration tag
+/// a perfect score over the true separator.
 pub fn std_dev(values: &[f64]) -> f64 {
-    if values.is_empty() {
+    if values.len() < 2 {
         return f64::INFINITY;
     }
     let n = values.len() as f64;
@@ -56,10 +60,30 @@ mod tests {
     #[test]
     fn std_dev_basics() {
         assert_eq!(std_dev(&[]), f64::INFINITY);
-        assert_eq!(std_dev(&[5.0]), 0.0);
+        // One interval says nothing about regularity.
+        assert_eq!(std_dev(&[5.0]), f64::INFINITY);
         assert_eq!(std_dev(&[2.0, 2.0, 2.0]), 0.0);
         let sd = std_dev(&[1.0, 3.0]);
         assert!((sd - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn twice_occurring_decoration_tag_does_not_beat_the_separator() {
+        // Regression: `h4` appears exactly twice, giving a single interval.
+        // Scoring that interval's "deviation" as 0.0 would rank `h4` above
+        // `hr`, whose four genuinely regular — but not identical — intervals
+        // have a small positive standard deviation.
+        let src = "<td>\
+            <hr>aaaaaaaaaaaaaaaaaaaa\
+            <hr>aaaaaaaaaaaaaaaaaaaaa\
+            <hr><h4>section</h4>aaaaaaaaaaaaa\
+            <hr>aaaaaaaaaaaaaaaaaaaa<h4>other</h4>\
+            <hr></td>";
+        let tree = TagTreeBuilder::default().build(src);
+        let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        let r = StandardDeviation.rank(&view).unwrap();
+        assert_eq!(r.best(), Some("hr"));
+        assert!(r.rank_of("h4").unwrap() > r.rank_of("hr").unwrap());
     }
 
     #[test]

@@ -127,10 +127,7 @@ fn decode_one(s: &str) -> Option<(&'static str, usize)> {
         return decode_numeric(num).map(|(ch, used)| (ch, used + 2));
     }
     // Longest-match a run of alphanumerics.
-    let name_len = rest
-        .bytes()
-        .take_while(|b| b.is_ascii_alphanumeric())
-        .count();
+    let name_len = rest.bytes().take_while(u8::is_ascii_alphanumeric).count();
     if name_len == 0 {
         return None;
     }

@@ -735,7 +735,7 @@ mod tests {
     fn paper_figure2_prefix() {
         let src = "<html><head><title>Classifieds</title></head>\n<body bgcolor=\"#FFFFFF\">";
         let ts = tokenize(src);
-        let tags: Vec<_> = ts.tags().map(|t| t.to_string()).collect();
+        let tags: Vec<_> = ts.tags().map(ToString::to_string).collect();
         assert_eq!(
             tags,
             vec![

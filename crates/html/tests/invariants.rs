@@ -1,13 +1,13 @@
 //! Tokenizer invariants, property-tested on arbitrary input: totality,
 //! span discipline, and idempotent re-tokenization of the rendered stream.
 
-use proptest::prelude::*;
 use rbd_html::{tokenize, Token};
+use rbd_prop::{check_cases, gen, prop_assert, prop_assert_eq, Gen};
 
-fn arb_html() -> impl Strategy<Value = String> {
-    let piece = prop_oneof![
+fn arb_html() -> Gen<String> {
+    let piece = Gen::one_of(vec![
         // Well-formed fragments.
-        prop::sample::select(vec![
+        Gen::select(vec![
             "<b>",
             "</b>",
             "<hr>",
@@ -20,78 +20,118 @@ fn arb_html() -> impl Strategy<Value = String> {
             "&amp;",
             "&#65;",
         ])
-        .prop_map(String::from),
+        .map(String::from),
         // Arbitrary text including metacharacters.
-        "[a-z<>&\"'= ]{0,12}",
+        gen::string_from("abcdefghijklmnopqrstuvwxyz<>&\"'= ", 0..=12),
         // Raw unicode.
-        "\\PC{0,6}",
-    ];
-    prop::collection::vec(piece, 0..40).prop_map(|v| v.concat())
+        gen::unicode_string(0..=6),
+    ]);
+    gen::concat(piece, 0..=40)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Tokenization never panics and consumes the whole input: token spans
-    /// are sorted, non-overlapping, and tag/text spans tile into the
-    /// document (gaps are only where markup was discarded as malformed).
-    #[test]
-    fn spans_sorted_and_nonoverlapping(src in arb_html()) {
-        let ts = tokenize(&src);
-        let mut last_end = 0usize;
-        for tok in &ts.tokens {
-            let span = tok.span();
-            prop_assert!(span.start <= span.end);
-            prop_assert!(span.end <= src.len());
-            prop_assert!(
-                span.start >= last_end,
-                "overlap: {} starts before {}",
-                span,
-                last_end
-            );
-            last_end = span.end;
-        }
+/// Tokenization never panics and consumes the whole input: token spans
+/// are sorted, non-overlapping, and tag/text spans tile into the
+/// document (gaps are only where markup was discarded as malformed).
+fn spans_sorted_and_nonoverlapping(src: &str) -> Result<(), String> {
+    let ts = tokenize(src);
+    let mut last_end = 0usize;
+    for tok in &ts.tokens {
+        let span = tok.span();
+        prop_assert!(span.start <= span.end);
+        prop_assert!(span.end <= src.len());
+        prop_assert!(
+            span.start >= last_end,
+            "overlap: {span} starts before {last_end}"
+        );
+        last_end = span.end;
     }
+    Ok(())
+}
 
-    /// Every tag token's span slices to text that starts with `<`.
-    #[test]
-    fn tag_spans_point_at_angle_brackets(src in arb_html()) {
-        let ts = tokenize(&src);
-        for tok in &ts.tokens {
-            if matches!(tok, Token::Start(_) | Token::End(_)) {
-                let span = tok.span();
-                if span.start < src.len() && src.is_char_boundary(span.start) {
-                    prop_assert!(src[span.start..].starts_with('<'), "{tok:?}");
-                }
+#[test]
+fn spans_sorted_and_nonoverlapping_holds() {
+    check_cases("spans_sorted_and_nonoverlapping", 256, &arb_html(), |s| {
+        spans_sorted_and_nonoverlapping(s)
+    });
+}
+
+/// Every tag token's span slices to text that starts with `<`.
+fn tag_spans_point_at_angle_brackets(src: &str) -> Result<(), String> {
+    let ts = tokenize(src);
+    for tok in &ts.tokens {
+        if matches!(tok, Token::Start(_) | Token::End(_)) {
+            let span = tok.span();
+            if span.start < src.len() && src.is_char_boundary(span.start) {
+                prop_assert!(src[span.start..].starts_with('<'), "{tok:?}");
             }
         }
     }
+    Ok(())
+}
 
-    /// Rendering the token stream back to markup and re-tokenizing yields
-    /// the same tag sequence (normalization fixpoint).
-    #[test]
-    fn render_retokenize_fixpoint(src in arb_html()) {
-        let ts = tokenize(&src);
-        let rendered: String = ts.tokens.iter().map(|t| t.to_string()).collect();
-        let ts2 = tokenize(&rendered);
-        let tags = |ts: &rbd_html::TokenStream| -> Vec<String> {
-            ts.tokens
-                .iter()
-                .filter_map(|t| match t {
-                    Token::Start(s) => Some(format!("<{}>", s.name)),
-                    Token::End(e) => Some(format!("</{}>", e.name)),
-                    _ => None,
-                })
-                .collect()
-        };
-        prop_assert_eq!(tags(&ts), tags(&ts2), "rendered: {:?}", rendered);
-    }
+#[test]
+fn tag_spans_point_at_angle_brackets_holds() {
+    check_cases("tag_spans_point_at_angle_brackets", 256, &arb_html(), |s| {
+        tag_spans_point_at_angle_brackets(s)
+    });
+}
 
-    /// Plain text survives a tokenize → plain_text round trip for inputs
-    /// with no markup at all.
-    #[test]
-    fn plain_text_identity(src in "[a-z 0-9.,]{0,40}") {
-        let ts = tokenize(&src);
-        prop_assert_eq!(ts.plain_text(), src);
-    }
+/// Rendering the token stream back to markup and re-tokenizing yields
+/// the same tag sequence (normalization fixpoint).
+fn render_retokenize_fixpoint(src: &str) -> Result<(), String> {
+    let ts = tokenize(src);
+    let rendered: String = ts.tokens.iter().map(ToString::to_string).collect();
+    let ts2 = tokenize(&rendered);
+    let tags = |ts: &rbd_html::TokenStream| -> Vec<String> {
+        ts.tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Start(s) => Some(format!("<{}>", s.name)),
+                Token::End(e) => Some(format!("</{}>", e.name)),
+                _ => None,
+            })
+            .collect()
+    };
+    prop_assert_eq!(tags(&ts), tags(&ts2), "rendered: {rendered:?}");
+    Ok(())
+}
+
+#[test]
+fn render_retokenize_fixpoint_holds() {
+    check_cases("render_retokenize_fixpoint", 256, &arb_html(), |s| {
+        render_retokenize_fixpoint(s)
+    });
+}
+
+/// Plain text survives a tokenize → plain_text round trip for inputs
+/// with no markup at all.
+#[test]
+fn plain_text_identity_holds() {
+    let plain = gen::string_from("abcdefghijklmnopqrstuvwxyz 0123456789.,", 0..=40);
+    check_cases("plain_text_identity", 256, &plain, |src: &String| {
+        let ts = tokenize(src);
+        prop_assert_eq!(ts.plain_text(), *src);
+        Ok(())
+    });
+}
+
+/// Regressions distilled from historical proptest runs (the former
+/// `invariants.proptest-regressions` cases), kept as explicit tests so
+/// they run on every `cargo test` forever.
+#[test]
+fn regression_malformed_attr_soup() {
+    // shrunk from: src = "<a&=<\"a= <b><b>"
+    let src = "<a&=<\"a= <b><b>".to_owned();
+    spans_sorted_and_nonoverlapping(&src).unwrap();
+    tag_spans_point_at_angle_brackets(&src).unwrap();
+    render_retokenize_fixpoint(&src).unwrap();
+}
+
+#[test]
+fn regression_declaration_with_multibyte() {
+    // shrunk from: src = "<!\u{135d}a🌀"
+    let src = "<!\u{135d}a🌀".to_owned();
+    spans_sorted_and_nonoverlapping(&src).unwrap();
+    tag_spans_point_at_angle_brackets(&src).unwrap();
+    render_retokenize_fixpoint(&src).unwrap();
 }

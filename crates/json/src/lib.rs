@@ -1,0 +1,385 @@
+//! # rbd-json — minimal in-tree JSON
+//!
+//! The evaluation harness emits machine-readable reports (`experiments
+//! --json`, the bench harness's `BENCH_*.json`). This crate provides the
+//! small JSON surface those need — a value type, an escaping-correct
+//! serializer, and a [`ToJson`] conversion trait — with no external
+//! dependencies, so the workspace builds and tests fully offline (see
+//! DESIGN.md, "Hermetic build").
+//!
+//! Only *serialization* is provided: nothing in the pipeline parses JSON.
+//! Serialization is total — every [`Json`] value renders to a valid JSON
+//! document, so there is no fallible path and no `expect` at call sites
+//! (non-finite floats serialize as `null`, exactly as `serde_json` did).
+//!
+//! Object members keep their insertion order, which keeps report output
+//! stable across runs and easy to diff.
+//!
+//! ## Example
+//!
+//! ```
+//! use rbd_json::{Json, ToJson};
+//!
+//! let report = Json::object([
+//!     ("seed", 1998u64.to_json()),
+//!     ("rates", vec![97.5, 100.0].to_json()),
+//!     ("note", "record-boundary \"analogue\"".to_json()),
+//! ]);
+//! assert_eq!(
+//!     report.to_string(),
+//!     r#"{"seed":1998,"rates":[97.5,100],"note":"record-boundary \"analogue\""}"#
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON value.
+///
+/// Numbers are split into three variants so integer report fields (counts,
+/// seeds) serialize exactly, without a round trip through `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (seeds are full-range `u64`).
+    UInt(u64),
+    /// A floating-point number; non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; members keep insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(members: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// Compact rendering (no whitespace). Equivalent to `to_string()`.
+    pub fn to_compact(&self) -> String {
+        self.to_string()
+    }
+
+    /// Pretty rendering with two-space indentation, one member per line —
+    /// the layout `serde_json::to_string_pretty` produced, so downstream
+    /// diffs of `experiments --json` output stay quiet.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                push_indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(members) if !members.is_empty() => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, depth + 1);
+                    push_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                push_indent(out, depth);
+                out.push('}');
+            }
+            // Scalars, "[]" and "{}" render identically in both modes.
+            other => push_compact(out, other),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn push_compact(out: &mut String, value: &Json) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(n) => {
+            let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+        }
+        Json::UInt(n) => {
+            let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+        }
+        Json::Float(x) => push_float(out, *x),
+        Json::Str(s) => push_escaped(out, s),
+        Json::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_compact(out, item);
+            }
+            out.push(']');
+        }
+        Json::Object(members) => {
+            out.push('{');
+            for (i, (key, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_escaped(out, key);
+                out.push(':');
+                push_compact(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// JSON has no lexeme for NaN or the infinities; `null` is the established
+/// lossy encoding (`serde_json`'s default for `f64::NAN`).
+fn push_float(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // Rust's shortest-roundtrip formatting emits `1` for `1.0`, which
+        // is a valid JSON number.
+        let _ = fmt::Write::write_fmt(out, format_args!("{x}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Escapes `s` into `out` as a JSON string literal, including the
+/// surrounding quotes. `"` and `\` get their short escapes, control
+/// characters below U+0020 get `\b` `\t` `\n` `\f` `\r` or `\u00XX`, and
+/// everything else — including non-ASCII — passes through as raw UTF-8
+/// (RFC 8259 §7 permits unescaped code points above U+001F other than
+/// `"` and `\`).
+pub fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{08}' => out.push_str("\\b"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\u{0C}' => out.push_str("\\f"),
+            '\r' => out.push_str("\\r"),
+            c if c < '\u{20}' => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        push_compact(&mut out, self);
+        f.write_str(&out)
+    }
+}
+
+/// Conversion into a [`Json`] value. The in-tree analogue of deriving
+/// `serde::Serialize`: report types implement this by hand, which keeps
+/// the field list explicit and the serialization infallible.
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(f64::from(*self))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+macro_rules! impl_tojson_signed {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(i64::from(*self))
+            }
+        }
+    )*};
+}
+impl_tojson_signed!(i8, i16, i32, i64, u8, u16, u32);
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self as u64)
+    }
+}
+
+impl ToJson for isize {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i64)
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Bool(false).to_string(), "false");
+        assert_eq!(Json::Int(-3).to_string(), "-3");
+        assert_eq!(Json::UInt(u64::MAX).to_string(), "18446744073709551615");
+        assert_eq!(Json::Float(2.5).to_string(), "2.5");
+        assert_eq!(Json::Float(100.0).to_string(), "100");
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::Float(f64::NEG_INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let obj = Json::object([
+            ("z", Json::Int(1)),
+            ("a", Json::Int(2)),
+            ("m", Json::Int(3)),
+        ]);
+        assert_eq!(obj.to_string(), r#"{"z":1,"a":2,"m":3}"#);
+    }
+
+    #[test]
+    fn nested_structures_render_compactly() {
+        let v = Json::object([(
+            "rows",
+            Json::array([Json::array([Json::Int(1), Json::Null]), Json::Bool(false)]),
+        )]);
+        assert_eq!(v.to_string(), r#"{"rows":[[1,null],false]}"#);
+    }
+
+    #[test]
+    fn pretty_matches_serde_json_layout() {
+        let v = Json::object([
+            ("seed", Json::UInt(1998)),
+            ("sets", Json::array([Json::Int(6), Json::Int(7)])),
+            ("empty_obj", Json::object::<String>([])),
+            ("empty_arr", Json::array([])),
+        ]);
+        let expected = "{\n  \"seed\": 1998,\n  \"sets\": [\n    6,\n    7\n  ],\n  \"empty_obj\": {},\n  \"empty_arr\": []\n}";
+        assert_eq!(v.to_pretty(), expected);
+    }
+
+    #[test]
+    fn tojson_primitives() {
+        assert_eq!(17usize.to_json(), Json::UInt(17));
+        assert_eq!((-4i32).to_json(), Json::Int(-4));
+        assert_eq!(1.5f64.to_json(), Json::Float(1.5));
+        assert_eq!("x".to_json(), Json::Str("x".into()));
+        assert_eq!(Option::<usize>::None.to_json(), Json::Null);
+        assert_eq!(Some(3usize).to_json(), Json::UInt(3));
+        assert_eq!([1u32, 2].to_json().to_string(), "[1,2]");
+        assert_eq!(vec!["a", "b"].to_json().to_string(), r#"["a","b"]"#);
+    }
+}

@@ -1,0 +1,84 @@
+//! String-escaping conformance: every control character, the two
+//! mandatory escapes (`"` and `\`), and non-ASCII passthrough. The
+//! serializer must produce RFC 8259-valid output for arbitrary Rust
+//! strings — report fields carry site names and separator tags today, but
+//! nothing stops a future caller from serializing raw document text.
+
+use rbd_json::{Json, ToJson};
+
+fn render(s: &str) -> String {
+    s.to_json().to_string()
+}
+
+#[test]
+fn quote_and_backslash_get_short_escapes() {
+    assert_eq!(render(r#"a"b"#), r#""a\"b""#);
+    assert_eq!(render(r"a\b"), r#""a\\b""#);
+    assert_eq!(render(r#"\""#), r#""\\\"""#);
+}
+
+#[test]
+fn named_control_escapes() {
+    assert_eq!(render("\u{08}"), r#""\b""#);
+    assert_eq!(render("\t"), r#""\t""#);
+    assert_eq!(render("\n"), r#""\n""#);
+    assert_eq!(render("\u{0C}"), r#""\f""#);
+    assert_eq!(render("\r"), r#""\r""#);
+}
+
+#[test]
+fn every_other_control_char_uses_u_escape() {
+    // All of U+0000..U+001F must be escaped one way or another.
+    for code in 0u32..0x20 {
+        let c = char::from_u32(code).expect("control chars are valid");
+        let out = render(&c.to_string());
+        match c {
+            '\u{08}' | '\t' | '\n' | '\u{0C}' | '\r' => {
+                assert_eq!(out.len(), 4, "short escape for U+{code:04X}: {out}");
+            }
+            _ => {
+                assert_eq!(
+                    out,
+                    format!("\"\\u{code:04x}\""),
+                    "U+{code:04X} must use \\u00XX"
+                );
+            }
+        }
+        // Never a raw control byte inside the literal.
+        assert!(
+            out.bytes().all(|b| b >= 0x20),
+            "raw control byte in {out:?}"
+        );
+    }
+}
+
+#[test]
+fn non_ascii_passes_through_as_utf8() {
+    assert_eq!(render("é"), "\"é\"");
+    assert_eq!(render("日本語"), "\"日本語\"");
+    assert_eq!(render("🌀"), "\"🌀\"");
+    // Astral and combining characters survive round-tripping into the
+    // literal unchanged.
+    assert_eq!(render("a\u{135d}b"), "\"a\u{135d}b\"");
+}
+
+#[test]
+fn mixed_content() {
+    assert_eq!(
+        render("tab\there \"quoted\" \\ é\n"),
+        "\"tab\\there \\\"quoted\\\" \\\\ é\\n\""
+    );
+}
+
+#[test]
+fn object_keys_are_escaped_too() {
+    let v = Json::object([("we\"ird\nkey", Json::Null)]);
+    assert_eq!(v.to_string(), "{\"we\\\"ird\\nkey\":null}");
+    assert_eq!(v.to_pretty(), "{\n  \"we\\\"ird\\nkey\": null\n}");
+}
+
+#[test]
+fn delete_char_is_not_escaped() {
+    // U+007F is above U+001F; RFC 8259 does not require escaping it.
+    assert_eq!(render("\u{7F}"), "\"\u{7F}\"");
+}

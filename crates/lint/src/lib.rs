@@ -193,7 +193,7 @@ mod tests {
             severity: Severity::Deny,
             ..warn.clone()
         };
-        assert!(!has_deny(&[warn.clone()]));
+        assert!(!has_deny(std::slice::from_ref(&warn)));
         assert!(has_deny(&[warn, deny]));
     }
 }

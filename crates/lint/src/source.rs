@@ -191,9 +191,7 @@ pub fn analyze(source: &str) -> Analysis {
             State::RawStr { hashes } => {
                 if b == b'"' && has_hashes(bytes, i + 1, hashes) {
                     masked.push(b'"');
-                    for _ in 0..hashes {
-                        masked.push(b' ');
-                    }
+                    masked.extend(std::iter::repeat_n(b' ', hashes));
                     i += 1 + hashes;
                     state = State::Code;
                 } else {

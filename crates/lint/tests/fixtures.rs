@@ -99,3 +99,28 @@ fn workspace_is_deny_clean() {
         .collect();
     assert!(denies.is_empty(), "deny findings: {denies:#?}");
 }
+
+/// The in-tree dependency replacements (`rbd-json`, `rbd-prop`) are
+/// workspace members like any other: the linter must classify and scan
+/// them, and their sources must lint cleanly at library tier.
+#[test]
+fn in_tree_harness_crates_are_scanned() {
+    use rbd_lint::{lint_crate_src, tier_of, Tier};
+
+    assert_eq!(tier_of("json"), Tier::Library);
+    assert_eq!(tier_of("prop"), Tier::Library);
+
+    let crates_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("lint crate lives under crates/")
+        .to_path_buf();
+    for name in ["json", "prop"] {
+        let src = crates_dir.join(name).join("src");
+        assert!(src.is_dir(), "crates/{name}/src must exist");
+        let findings = lint_crate_src(&src, tier_of(name)).expect("sources readable");
+        assert!(
+            !rbd_lint::has_deny(&findings),
+            "crates/{name} has deny findings: {findings:#?}"
+        );
+    }
+}

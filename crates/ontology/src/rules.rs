@@ -171,6 +171,8 @@ pub fn om_field_budget(ontology: &Ontology, available: usize) -> Option<usize> {
     if available < MIN_FIELDS {
         return None;
     }
+    // `ceil` of a small non-negative product: the cast back is lossless.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let twenty_percent = (ontology.len() as f64 * 0.20).ceil() as usize;
     Some(twenty_percent.clamp(MIN_FIELDS, available))
 }

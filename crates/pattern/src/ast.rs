@@ -46,6 +46,9 @@ impl ClassSet {
         let mut extra = Vec::new();
         for &(lo, hi) in &self.ranges {
             // Intersect with a-z / A-Z and mirror.
+            // Casts are lossless: operands stay within the ASCII letter
+            // ranges, so `char as i32 + 32` always fits back in a `u8`.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let fold = |a: char, b: char, from: char, to: char, delta: i32| {
                 let lo = a.max(from);
                 let hi = b.min(to);

@@ -509,38 +509,62 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::Pattern;
-    use proptest::prelude::*;
+    use rbd_prop::{check_cases, gen, prop_assert_eq, prop_assume, Gen};
 
-    fn arb_pattern() -> impl Strategy<Value = String> {
-        let atom = prop_oneof![prop::sample::select(vec![
-            "a", "b", "c", ".", "[ab]", r"\d", r"\w"
-        ])
-        .prop_map(String::from),];
-        let unit = (atom, prop::sample::select(vec!["", "*", "+", "?"]))
-            .prop_map(|(a, q)| format!("{a}{q}"));
-        prop::collection::vec(unit, 1..4).prop_map(|v| v.concat())
+    fn arb_pattern() -> Gen<String> {
+        let atom = Gen::select(vec!["a", "b", "c", ".", "[ab]", r"\d", r"\w"]).map(String::from);
+        let unit = atom
+            .zip(Gen::select(vec!["", "*", "+", "?"]))
+            .map(|(a, q)| format!("{a}{q}"));
+        gen::concat(unit, 1..=3)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
-
-        /// One-pass multi matching equals per-pattern `find_iter`.
-        #[test]
-        fn equivalent_to_individual_runs(
-            pats in prop::collection::vec(arb_pattern(), 1..4),
-            hay in "[abc01 ]{0,16}",
-        ) {
-            let specs: Vec<(&str, bool)> = pats.iter().map(|p| (p.as_str(), false)).collect();
-            let mp = MultiPattern::new(specs.iter().copied()).unwrap();
-            let got = mp.find_all(&hay);
-            let mut expected = Vec::new();
-            for (i, p) in pats.iter().enumerate() {
-                let engine = Pattern::new(p).unwrap();
-                for m in engine.find_iter(&hay) {
-                    expected.push(MultiMatch { pattern: i, start: m.start, end: m.end });
-                }
+    /// The property behind `equivalent_to_individual_runs`, shared with the
+    /// named regression cases below.
+    fn matches_individual_runs(pats: &[String], hay: &str) -> Result<(), String> {
+        // Shrinking can leave an invalid pattern fragment; skip those.
+        prop_assume!(pats.iter().all(|p| Pattern::new(p).is_ok()));
+        let specs: Vec<(&str, bool)> = pats.iter().map(|p| (p.as_str(), false)).collect();
+        let mp = MultiPattern::new(specs.iter().copied()).expect("patterns compile");
+        let got = mp.find_all(hay);
+        let mut expected = Vec::new();
+        for (i, p) in pats.iter().enumerate() {
+            let engine = Pattern::new(p).expect("patterns compile");
+            for m in engine.find_iter(hay) {
+                expected.push(MultiMatch {
+                    pattern: i,
+                    start: m.start,
+                    end: m.end,
+                });
             }
-            prop_assert_eq!(got, expected, "patterns {:?} on {:?}", pats, hay);
         }
+        prop_assert_eq!(got, expected, "patterns {pats:?} on {hay:?}");
+        Ok(())
+    }
+
+    /// One-pass multi matching equals per-pattern `find_iter`.
+    #[test]
+    fn equivalent_to_individual_runs() {
+        let inputs = Gen::vec(arb_pattern(), 1..=3).zip(gen::string_from("abc01 ", 0..=16));
+        check_cases(
+            "equivalent_to_individual_runs",
+            256,
+            &inputs,
+            |(pats, hay)| matches_individual_runs(pats, hay),
+        );
+    }
+
+    /// Regressions distilled from historical proptest runs (the former
+    /// `proptest-regressions/multi.txt` cases), kept as explicit tests.
+    #[test]
+    fn regression_star_only_pattern() {
+        // shrinks to: pats = ["a*"], hay = "a"
+        matches_individual_runs(&["a*".to_owned()], "a").unwrap();
+    }
+
+    #[test]
+    fn regression_star_dot_optional_overlap() {
+        // shrinks to: pats = ["b*.?."], hay = " 000c00  "
+        matches_individual_runs(&["b*.?.".to_owned()], " 000c00  ").unwrap();
     }
 }

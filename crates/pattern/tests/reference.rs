@@ -3,9 +3,9 @@
 //! `is_match` must agree exactly; leftmost-longest `find` spans are checked
 //! against the reference's exhaustive enumeration.
 
-use proptest::prelude::*;
 use rbd_pattern::ast::{parse, Ast};
 use rbd_pattern::Pattern;
+use rbd_prop::{check_cases, gen, prop_assert, prop_assert_eq, prop_assume, shrink, Gen};
 
 /// Naive matcher: can `ast` match some prefix of `chars[pos..]`? Returns
 /// every end position (exhaustive, exponential — fine for tiny inputs).
@@ -149,75 +149,98 @@ fn reference_find(ast: &Ast, haystack: &str) -> Option<(usize, usize)> {
 }
 
 /// A small pattern grammar that stays within the reference matcher's reach.
-fn arb_pattern() -> impl Strategy<Value = String> {
-    let atom = prop_oneof![
-        prop::sample::select(vec!["a", "b", "c", "x", "."]).prop_map(String::from),
-        Just("[ab]".to_owned()),
-        Just("[^a]".to_owned()),
-        Just(r"\d".to_owned()),
-        Just(r"\w".to_owned()),
-    ];
-    let unit = (
-        atom,
-        prop::sample::select(vec!["", "*", "+", "?", "{2}", "{1,3}"]),
-    )
-        .prop_map(|(a, q)| format!("{a}{q}"));
-    prop::collection::vec(unit, 1..5).prop_map(|units| {
-        // Sprinkle an alternation bar occasionally by joining halves.
-        units.concat()
-    })
+///
+/// Shrinking removes characters from the rendered pattern, which can leave
+/// an invalid pattern (e.g. a leading quantifier) — the properties guard
+/// with `prop_assume!` so such candidates are skipped, not failed.
+fn arb_pattern() -> Gen<String> {
+    let atom = Gen::one_of(vec![
+        Gen::select(vec!["a", "b", "c", "x", "."]).map(String::from),
+        Gen::just("[ab]".to_owned()),
+        Gen::just("[^a]".to_owned()),
+        Gen::just(r"\d".to_owned()),
+        Gen::just(r"\w".to_owned()),
+    ]);
+    let unit = atom
+        .zip(Gen::select(vec!["", "*", "+", "?", "{2}", "{1,3}"]))
+        .map(|(a, q)| format!("{a}{q}"));
+    gen::concat(unit, 1..=4)
 }
 
-fn arb_alt_pattern() -> impl Strategy<Value = String> {
-    (arb_pattern(), arb_pattern(), any::<bool>()).prop_map(|(a, b, alt)| {
-        if alt {
-            format!("{a}|{b}")
-        } else {
-            format!("({a})({b})")
-        }
-    })
+fn arb_alt_pattern() -> Gen<String> {
+    let alt = Gen::new(|rng| rng.random_bool(0.5));
+    gen::zip3(arb_pattern(), arb_pattern(), alt)
+        .map(|(a, b, alt)| {
+            if alt {
+                format!("{a}|{b}")
+            } else {
+                format!("({a})({b})")
+            }
+        })
+        .with_shrink(|s: &String| shrink::string(s))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn haystack_gen(max: usize) -> Gen<String> {
+    gen::string_from("abcx01 ", 0..=max)
+}
 
-    #[test]
-    fn is_match_agrees_with_reference(
-        pattern in arb_alt_pattern(),
-        haystack in "[abcx01 ]{0,10}",
-    ) {
-        let ast = parse(&pattern).expect("generated patterns are valid");
-        let engine = Pattern::new(&pattern).expect("compiles");
-        let expected = reference_find(&ast, &haystack).is_some();
-        prop_assert_eq!(
-            engine.is_match(&haystack),
-            expected,
-            "pattern {} on {:?}",
-            pattern,
-            haystack
-        );
-    }
+#[test]
+fn is_match_agrees_with_reference() {
+    let inputs = arb_alt_pattern().zip(haystack_gen(10));
+    check_cases(
+        "is_match_agrees_with_reference",
+        256,
+        &inputs,
+        |(pattern, haystack)| {
+            let parsed = parse(pattern);
+            prop_assume!(parsed.is_ok()); // shrunk patterns may be invalid
+            let ast = parsed.expect("checked");
+            let engine = Pattern::new(pattern).expect("parsed patterns compile");
+            let expected = reference_find(&ast, haystack).is_some();
+            prop_assert_eq!(
+                engine.is_match(haystack),
+                expected,
+                "pattern {pattern} on {haystack:?}"
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn find_span_agrees_with_reference(
-        pattern in arb_pattern(),
-        haystack in "[abcx01 ]{0,10}",
-    ) {
-        let ast = parse(&pattern).expect("valid");
-        let engine = Pattern::new(&pattern).expect("compiles");
-        let expected = reference_find(&ast, &haystack);
-        let got = engine.find(&haystack).map(|m| (m.start, m.end));
-        prop_assert_eq!(got, expected, "pattern {} on {:?}", pattern, haystack);
-    }
+#[test]
+fn find_span_agrees_with_reference() {
+    let inputs = arb_pattern().zip(haystack_gen(10));
+    check_cases(
+        "find_span_agrees_with_reference",
+        256,
+        &inputs,
+        |(pattern, haystack)| {
+            let parsed = parse(pattern);
+            prop_assume!(parsed.is_ok());
+            let ast = parsed.expect("checked");
+            let engine = Pattern::new(pattern).expect("parsed patterns compile");
+            let expected = reference_find(&ast, haystack);
+            let got = engine.find(haystack).map(|m| (m.start, m.end));
+            prop_assert_eq!(got, expected, "pattern {pattern} on {haystack:?}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn count_matches_terminates_and_is_bounded(
-        pattern in arb_pattern(),
-        haystack in "[abcx01 ]{0,24}",
-    ) {
-        let engine = Pattern::new(&pattern).expect("compiles");
-        let n = engine.count_matches(&haystack);
-        // At most one match can start per character position plus the end.
-        prop_assert!(n <= haystack.chars().count() + 1);
-    }
+#[test]
+fn count_matches_terminates_and_is_bounded() {
+    let inputs = arb_pattern().zip(haystack_gen(24));
+    check_cases(
+        "count_matches_terminates_and_is_bounded",
+        256,
+        &inputs,
+        |(pattern, haystack)| {
+            prop_assume!(parse(pattern).is_ok());
+            let engine = Pattern::new(pattern).expect("parsed patterns compile");
+            let n = engine.count_matches(haystack);
+            // At most one match can start per character position plus the end.
+            prop_assert!(n <= haystack.chars().count() + 1);
+            Ok(())
+        },
+    );
 }

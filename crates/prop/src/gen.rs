@@ -1,0 +1,425 @@
+//! Input generators: composable random-value strategies with attached
+//! shrinkers, the in-tree analogue of a proptest `Strategy`.
+//!
+//! A [`Gen<T>`] pairs a generation function (`&mut Rng -> T`) with a
+//! shrink function (`&T -> Vec<T>` of simpler candidates). Combinators
+//! preserve shrinking where the structure allows it (vectors, strings,
+//! tuples); `map` discards it, since an arbitrary mapping cannot be
+//! inverted — re-attach one with [`Gen::with_shrink`] when it matters.
+
+use std::ops::RangeInclusive;
+use std::rc::Rc;
+
+use crate::rng::{Rng, SampleRange, UniformInt};
+use crate::shrink;
+
+type GenerateFn<T> = Rc<dyn Fn(&mut Rng) -> T>;
+type ShrinkFn<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
+/// A random-value generator with an attached shrinker.
+pub struct Gen<T> {
+    generate: GenerateFn<T>,
+    shrink: ShrinkFn<T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Gen<T> {
+        Gen {
+            generate: Rc::clone(&self.generate),
+            shrink: Rc::clone(&self.shrink),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// A generator from a raw sampling function, with no shrinker.
+    pub fn new(generate: impl Fn(&mut Rng) -> T + 'static) -> Gen<T> {
+        Gen {
+            generate: Rc::new(generate),
+            shrink: Rc::new(|_| Vec::new()),
+        }
+    }
+
+    /// Replaces the shrinker: `shrink(value)` must return candidates
+    /// strictly simpler than `value` (the runner guards against cycles
+    /// with a step budget, but a well-founded shrinker converges faster).
+    #[must_use]
+    pub fn with_shrink(self, shrink: impl Fn(&T) -> Vec<T> + 'static) -> Gen<T> {
+        Gen {
+            generate: self.generate,
+            shrink: Rc::new(shrink),
+        }
+    }
+
+    /// Draws one value.
+    pub fn generate(&self, rng: &mut Rng) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Simpler candidates for `value` (empty when fully minimized).
+    pub fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+
+    /// Applies `f` to every generated value. The shrinker is dropped —
+    /// use [`Gen::with_shrink`] on the result to re-attach one.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let generate = self.generate;
+        Gen::new(move |rng| f(generate(rng)))
+    }
+
+    /// Pairs this generator with another; shrinks componentwise.
+    pub fn zip<U>(self, other: Gen<U>) -> Gen<(T, U)>
+    where
+        T: Clone,
+        U: Clone + 'static,
+    {
+        let (ga, sa) = (self.generate, self.shrink);
+        let (gb, sb) = (other.generate, other.shrink);
+        Gen {
+            generate: Rc::new(move |rng| (ga(rng), gb(rng))),
+            shrink: Rc::new(move |(a, b)| {
+                let mut out: Vec<(T, U)> = sa(a).into_iter().map(|a2| (a2, b.clone())).collect();
+                out.extend(sb(b).into_iter().map(|b2| (a.clone(), b2)));
+                out
+            }),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Gen<T> {
+    /// Always yields `value`.
+    pub fn just(value: T) -> Gen<T> {
+        Gen::new(move |_| value.clone())
+    }
+
+    /// A uniform draw from a fixed pool; shrinks toward the first option.
+    pub fn select(options: Vec<T>) -> Gen<T>
+    where
+        T: PartialEq,
+    {
+        assert!(!options.is_empty(), "select needs at least one option");
+        let pool = Rc::new(options);
+        let gen_pool = Rc::clone(&pool);
+        Gen {
+            generate: Rc::new(move |rng| gen_pool[rng.random_range(0..gen_pool.len())].clone()),
+            shrink: Rc::new(move |v| {
+                if *v == pool[0] {
+                    Vec::new()
+                } else {
+                    vec![pool[0].clone()]
+                }
+            }),
+        }
+    }
+
+    /// Picks one of the given generators uniformly per draw.
+    pub fn one_of(gens: Vec<Gen<T>>) -> Gen<T> {
+        let weighted = gens.into_iter().map(|g| (1, g)).collect();
+        Gen::weighted(weighted)
+    }
+
+    /// Picks one of the given generators with the given relative weights.
+    pub fn weighted(choices: Vec<(u32, Gen<T>)>) -> Gen<T> {
+        assert!(!choices.is_empty(), "weighted needs at least one choice");
+        let total: u64 = choices.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "weighted needs a positive total weight");
+        Gen::new(move |rng| {
+            let mut roll = rng.random_range(0..total);
+            for (w, g) in &choices {
+                let w = u64::from(*w);
+                if roll < w {
+                    return g.generate(rng);
+                }
+                roll -= w;
+            }
+            unreachable!("roll < total by construction")
+        })
+    }
+
+    /// A vector of `len` elements drawn from `elem`; shrinks by removing
+    /// elements (down to the length floor) and by shrinking elements in
+    /// place.
+    pub fn vec(elem: Gen<T>, len: RangeInclusive<usize>) -> Gen<Vec<T>> {
+        let (lo, hi) = (*len.start(), *len.end());
+        let gen_elem = elem.clone();
+        Gen {
+            generate: Rc::new(move |rng| {
+                let n = rng.random_range(lo..=hi);
+                (0..n).map(|_| gen_elem.generate(rng)).collect()
+            }),
+            shrink: Rc::new(move |v: &Vec<T>| {
+                let mut out = shrink::vec(v, lo);
+                for (i, item) in v.iter().enumerate() {
+                    for smaller in elem.shrink(item) {
+                        let mut candidate = v.clone();
+                        candidate[i] = smaller;
+                        out.push(candidate);
+                    }
+                }
+                out
+            }),
+        }
+    }
+
+    /// An order-preserving random subsequence of `pool` with `count`
+    /// elements (clamped to the pool size); shrinks by dropping elements
+    /// down to the count floor.
+    pub fn subsequence(pool: Vec<T>, count: RangeInclusive<usize>) -> Gen<Vec<T>> {
+        let lo = (*count.start()).min(pool.len());
+        let hi = (*count.end()).min(pool.len());
+        let gen_pool = pool;
+        Gen {
+            generate: Rc::new(move |rng| {
+                let k = rng.random_range(lo..=hi);
+                let mut picked: Vec<usize> = Vec::with_capacity(k);
+                while picked.len() < k {
+                    let i = rng.random_range(0..gen_pool.len());
+                    if !picked.contains(&i) {
+                        picked.push(i);
+                    }
+                }
+                picked.sort_unstable();
+                picked.into_iter().map(|i| gen_pool[i].clone()).collect()
+            }),
+            shrink: Rc::new(move |v: &Vec<T>| shrink::vec(v, lo)),
+        }
+    }
+}
+
+/// A uniform integer in `range` (`lo..hi` or `lo..=hi`); shrinks toward
+/// the low end.
+pub fn int_in<T, R>(range: R) -> Gen<T>
+where
+    T: UniformInt + 'static,
+    R: SampleRange<T> + Clone + 'static,
+{
+    let (lo, _) = range.clone().bounds();
+    Gen::new(move |rng| rng.random_range(range.clone())).with_shrink(move |&v| {
+        if v == lo {
+            return Vec::new();
+        }
+        // Low end first (most aggressive), then halfway, then decrement —
+        // the decrement guarantees progress when the property's failure
+        // threshold sits between `lo` and `v`.
+        let mut out = vec![lo];
+        let half = T::from_offset(lo, v.offset_from(lo) / 2);
+        if half != lo && half != v {
+            out.push(half);
+        }
+        let dec = T::from_offset(lo, v.offset_from(lo) - 1);
+        if dec != lo && dec != half {
+            out.push(dec);
+        }
+        out
+    })
+}
+
+/// A uniform `f64` in `[lo, hi)`; shrinks toward `lo`.
+pub fn f64_in(lo: f64, hi: f64) -> Gen<f64> {
+    assert!(lo <= hi, "f64_in needs an ordered range");
+    Gen::new(move |rng| lo + rng.random_f64() * (hi - lo)).with_shrink(move |&v| {
+        if v == lo {
+            return Vec::new();
+        }
+        let mid = lo + (v - lo) / 2.0;
+        if mid > lo && mid < v {
+            vec![lo, mid]
+        } else {
+            vec![lo]
+        }
+    })
+}
+
+/// A string of characters drawn uniformly from `alphabet`, with a length
+/// in `len` — the replacement for regex-class strategies like
+/// `"[a-z ]{0,8}"`. Shrinks by removing characters down to the floor.
+pub fn string_from(alphabet: &str, len: RangeInclusive<usize>) -> Gen<String> {
+    assert!(
+        !alphabet.is_empty(),
+        "string_from needs a non-empty alphabet"
+    );
+    let chars: Vec<char> = alphabet.chars().collect();
+    let (lo, hi) = (*len.start(), *len.end());
+    Gen::new(move |rng| {
+        let n = rng.random_range(lo..=hi);
+        (0..n)
+            .map(|_| chars[rng.random_range(0..chars.len())])
+            .collect()
+    })
+    .with_shrink(move |s: &String| shrink::string_min(s, lo))
+}
+
+/// A string of arbitrary Unicode scalar values (all planes, controls
+/// included) with a length in `len` — the replacement for `\PC`-style
+/// strategies. Draws are biased half toward printable ASCII so generated
+/// inputs still exercise ordinary text paths. Shrinks by removal.
+pub fn unicode_string(len: RangeInclusive<usize>) -> Gen<String> {
+    let (lo, hi) = (*len.start(), *len.end());
+    Gen::new(move |rng| {
+        let n = rng.random_range(lo..=hi);
+        let mut s = String::new();
+        for _ in 0..n {
+            if rng.random_bool(0.5) {
+                s.push(char::from(rng.random_range(0x20u8..0x7F)));
+            } else {
+                // Rejection-sample the surrogate gap.
+                loop {
+                    if let Some(c) = char::from_u32(rng.random_range(0u32..=0x0010_FFFF)) {
+                        s.push(c);
+                        break;
+                    }
+                }
+            }
+        }
+        s
+    })
+    .with_shrink(move |s: &String| shrink::string_min(s, lo))
+}
+
+/// Concatenates `count` draws of `piece` into one string — the common
+/// "vec of fragments, then join" shape. Shrinks at the string level by
+/// chunk removal, which also minimizes across fragment boundaries.
+pub fn concat(piece: Gen<String>, count: RangeInclusive<usize>) -> Gen<String> {
+    Gen::vec(piece, count)
+        .map(|v| v.concat())
+        .with_shrink(|s: &String| shrink::string(s))
+}
+
+/// Triple of independent generators; shrinks componentwise.
+pub fn zip3<A, B, C>(a: Gen<A>, b: Gen<B>, c: Gen<C>) -> Gen<(A, B, C)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+    C: Clone + 'static,
+{
+    let (ga, sa) = (a.generate, a.shrink);
+    let (gb, sb) = (b.generate, b.shrink);
+    let (gc, sc) = (c.generate, c.shrink);
+    Gen {
+        generate: Rc::new(move |rng| (ga(rng), gb(rng), gc(rng))),
+        shrink: Rc::new(move |(x, y, z)| {
+            let mut out: Vec<(A, B, C)> = sa(x)
+                .into_iter()
+                .map(|x2| (x2, y.clone(), z.clone()))
+                .collect();
+            out.extend(sb(y).into_iter().map(|y2| (x.clone(), y2, z.clone())));
+            out.extend(sc(z).into_iter().map(|z2| (x.clone(), y.clone(), z2)));
+            out
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_draws_from_pool_and_shrinks_to_first() {
+        let g = Gen::select(vec!["x", "y", "z"]);
+        let mut rng = Rng::from_seed(1);
+        for _ in 0..50 {
+            assert!(["x", "y", "z"].contains(&g.generate(&mut rng)));
+        }
+        assert_eq!(g.shrink(&"z"), vec!["x"]);
+        assert!(g.shrink(&"x").is_empty());
+    }
+
+    #[test]
+    fn vec_respects_length_bounds() {
+        let g = Gen::vec(int_in(0u8..=9), 2..=5);
+        let mut rng = Rng::from_seed(2);
+        for _ in 0..100 {
+            let v = g.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()), "{v:?}");
+        }
+        for cand in g.shrink(&vec![1, 2, 3, 4]) {
+            assert!(cand.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_bounds() {
+        let g = Gen::subsequence(vec![1, 2, 3, 4, 5], 1..=3);
+        let mut rng = Rng::from_seed(3);
+        for _ in 0..100 {
+            let v = g.generate(&mut rng);
+            assert!((1..=3).contains(&v.len()), "{v:?}");
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn subsequence_clamps_counts_to_pool() {
+        let g = Gen::subsequence(vec![7, 8], 1..=9);
+        let mut rng = Rng::from_seed(4);
+        for _ in 0..20 {
+            assert!(g.generate(&mut rng).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn string_from_uses_only_the_alphabet() {
+        let g = string_from("ab ", 0..=12);
+        let mut rng = Rng::from_seed(5);
+        for _ in 0..100 {
+            let s = g.generate(&mut rng);
+            assert!(s.chars().all(|c| "ab ".contains(c)), "{s:?}");
+            assert!(s.chars().count() <= 12);
+        }
+    }
+
+    #[test]
+    fn unicode_string_is_valid_and_bounded() {
+        let g = unicode_string(0..=6);
+        let mut rng = Rng::from_seed(6);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert!(s.chars().count() <= 6);
+        }
+    }
+
+    #[test]
+    fn f64_in_stays_in_range() {
+        let g = f64_in(0.0, 1.0);
+        let mut rng = Rng::from_seed(7);
+        for _ in 0..200 {
+            let x = g.generate(&mut rng);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_shrink_makes_progress() {
+        let g = int_in(0u32..=100);
+        // From any failing value, some candidate is strictly smaller.
+        let cands = g.shrink(&7);
+        assert!(cands.contains(&0));
+        assert!(cands.iter().all(|&c| c < 7));
+        assert!(g.shrink(&0).is_empty());
+    }
+
+    #[test]
+    fn zip_shrinks_componentwise() {
+        let g = int_in(0u8..=9).zip(int_in(0u8..=9));
+        let cands = g.shrink(&(3, 4));
+        assert!(cands.iter().any(|&(a, b)| a < 3 && b == 4));
+        assert!(cands.iter().any(|&(a, b)| a == 3 && b < 4));
+    }
+
+    #[test]
+    fn weighted_respects_zero_weight() {
+        let g = Gen::weighted(vec![(0, Gen::just(1u8)), (5, Gen::just(2u8))]);
+        let mut rng = Rng::from_seed(8);
+        for _ in 0..100 {
+            assert_eq!(g.generate(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn concat_joins_pieces() {
+        let g = concat(Gen::select(vec!["ab".to_owned()]), 2..=2);
+        let mut rng = Rng::from_seed(9);
+        assert_eq!(g.generate(&mut rng), "abab");
+    }
+}

@@ -1,0 +1,117 @@
+//! # rbd-prop — deterministic property testing
+//!
+//! The in-tree replacement for the proptest dependency: a deterministic
+//! seeded RNG, composable input generators with shrinking, and a runner
+//! that minimizes failing cases. The workspace's property suites
+//! (tokenizer invariants, normalizer equivalence, Pike-VM differential
+//! tests, certainty algebra) run on this crate, so `cargo test` needs no
+//! network access (see DESIGN.md, "Hermetic build").
+//!
+//! Differences from proptest, by design:
+//!
+//! - **Fully deterministic.** Seeds derive from the property name; there
+//!   is no OS entropy and no `proptest-regressions` persistence files —
+//!   a failure reproduces identically everywhere. Regressions distilled
+//!   from past runs are kept as explicit named `#[test]`s instead.
+//! - **Explicit generators.** A [`Gen<T>`] is a value, composed with
+//!   ordinary function calls (`Gen::select`, [`gen::string_from`],
+//!   [`gen::concat`], `Gen::vec`), not a macro DSL.
+//! - **Properties return `Result`.** `Ok(())` passes; `Err(message)`
+//!   fails and triggers minimization. The [`prop_assert!`] /
+//!   [`prop_assert_eq!`] macros produce those early returns, and panics
+//!   from helper assertions are caught and minimized too.
+//!
+//! The [`Rng`] also backs the synthetic corpus generator, exposing the
+//! same method surface the `rand` crate did (`random_range`,
+//! `random_bool`, slice [`Choose::choose`]) so sampling call sites read
+//! identically.
+//!
+//! ## Example
+//!
+//! ```
+//! use rbd_prop::{check, gen, prop_assert};
+//!
+//! let lengths = gen::string_from("ab ", 0..=16);
+//! check("trim_never_grows", &lengths, |s| {
+//!     prop_assert!(s.trim().len() <= s.len());
+//!     Ok(())
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod rng;
+pub mod runner;
+pub mod shrink;
+
+pub use gen::Gen;
+pub use rng::{Choose, Rng};
+pub use runner::{check, check_cases, check_config, run, Config, Failure, DEFAULT_SEED};
+
+/// Asserts a condition inside a property, returning `Err` (and thereby
+/// triggering minimization) instead of panicking. With extra arguments,
+/// they format the failure message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property, returning `Err`
+/// with both values on mismatch. Operands are taken by reference and
+/// must implement `Debug` and `PartialEq`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n  right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "{}\n  left: {:?}\n  right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Skips the rest of a property when a precondition does not hold
+/// (useful when shrinking can produce inputs outside the generator's
+/// guarantees, e.g. an invalid pattern after chunk removal).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}

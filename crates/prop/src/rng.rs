@@ -1,0 +1,292 @@
+//! The deterministic random-number generator: xorshift64* state advanced
+//! from a splitmix64-conditioned seed.
+//!
+//! The generator is deliberately *not* cryptographic; it exists so corpus
+//! generation and property testing are reproducible from a single `u64`
+//! seed, forever, with no external crate. The method surface mirrors the
+//! subset of `rand` the workspace used (`random_range`, `random_bool`,
+//! slice `choose`), so call sites read the same.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic xorshift64* generator.
+///
+/// Streams are fully determined by the seed: the same seed always yields
+/// the same sequence, on every platform and in every build profile.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+/// splitmix64 — used to condition arbitrary seeds (including zero, which
+/// a raw xorshift state must never be) into well-mixed initial states.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Any seed is valid, zero included.
+    pub fn from_seed(seed: u64) -> Rng {
+        let mut s = seed;
+        let mut state = splitmix64(&mut s);
+        if state == 0 {
+            // xorshift has a fixed point at zero; one more splitmix round
+            // escapes it (splitmix64 maps at most one input to zero).
+            state = splitmix64(&mut s) | 1;
+        }
+        Rng { state }
+    }
+
+    /// The next raw 64 random bits (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits of randomness).
+    pub fn random_f64(&mut self) -> f64 {
+        // rbd-lint: allow(cast) — 53-bit value always fits f64 exactly
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.random_f64() < p
+    }
+
+    /// A uniform draw from an integer range, `lo..hi` or `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching `rand`'s contract.
+    pub fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range.bounds();
+        assert!(lo <= hi, "random_range called with an empty range");
+        let span = hi.offset_from(lo);
+        if span == u64::MAX {
+            // The full domain of a 64-bit type: every raw draw is in range.
+            return T::from_offset(lo, self.next_u64());
+        }
+        // Bounded draw by 128-bit widening multiply. The ~2^-64 bias of
+        // skipping rejection is far below anything the corpus statistics
+        // or property distributions can observe.
+        let bound = span + 1;
+        let wide = u128::from(self.next_u64()) * u128::from(bound);
+        // rbd-lint: allow(cast) — high 64 bits of a 128-bit product, < bound <= u64::MAX
+        let offset = (wide >> 64) as u64;
+        T::from_offset(lo, offset)
+    }
+}
+
+/// Integer types [`Rng::random_range`] can sample uniformly.
+pub trait UniformInt: Copy + PartialOrd {
+    /// `self - base` as a `u64` (the range span; never negative because
+    /// the caller orders the bounds).
+    fn offset_from(self, base: Self) -> u64;
+    /// `base + offset`, where `offset <= self.offset_from(base)` for the
+    /// range's upper bound — always representable.
+    fn from_offset(base: Self, offset: u64) -> Self;
+    /// The predecessor value, for converting an exclusive upper bound.
+    /// Panics on underflow (an empty `lo..lo` range is a caller bug).
+    fn prev(self) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn offset_from(self, base: Self) -> u64 {
+                (self - base) as u64
+            }
+            #[allow(clippy::cast_possible_truncation)] // offset <= span of $t by contract
+            fn from_offset(base: Self, offset: u64) -> Self {
+                base + offset as $t
+            }
+            fn prev(self) -> Self {
+                self.checked_sub(1)
+                    .expect("random_range called with an empty range")
+            }
+        }
+    )*};
+}
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            #[allow(clippy::cast_sign_loss)] // wrapping difference of ordered bounds is non-negative
+            fn offset_from(self, base: Self) -> u64 {
+                self.wrapping_sub(base) as $u as u64
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            // offset <= span of $t by contract; wrapping add re-enters range
+            fn from_offset(base: Self, offset: u64) -> Self {
+                base.wrapping_add(offset as $u as $t)
+            }
+            fn prev(self) -> Self {
+                self.checked_sub(1)
+                    .expect("random_range called with an empty range")
+            }
+        }
+    )*};
+}
+impl_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64);
+
+/// Range forms [`Rng::random_range`] accepts.
+pub trait SampleRange<T> {
+    /// The inclusive `(low, high)` bounds.
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn bounds(self) -> (T, T) {
+        (self.start, self.end.prev())
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        self.into_inner()
+    }
+}
+
+/// Uniform element selection from slices, mirroring
+/// `rand::seq::IndexedRandom::choose`.
+pub trait Choose<T> {
+    /// A uniformly random element, or `None` when empty.
+    fn choose<'a>(&'a self, rng: &mut Rng) -> Option<&'a T>;
+}
+
+impl<T> Choose<T> for [T] {
+    fn choose<'a>(&'a self, rng: &mut Rng) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.random_range(0..self.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::from_seed(1998);
+        let mut b = Rng::from_seed(1998);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::from_seed(1);
+        let mut b = Rng::from_seed(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn zero_seed_is_valid() {
+        let mut rng = Rng::from_seed(0);
+        // Must not get stuck at the xorshift fixed point.
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::from_seed(7);
+        for _ in 0..2000 {
+            let v: usize = rng.random_range(0..3);
+            assert!(v < 3);
+            let w: i32 = rng.random_range(1990..=1998);
+            assert!((1990..=1998).contains(&w));
+            let x: u8 = rng.random_range(1..=2);
+            assert!((1..=2).contains(&x));
+            let y: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn single_value_range() {
+        let mut rng = Rng::from_seed(9);
+        let v: usize = rng.random_range(4..=4);
+        assert_eq!(v, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Rng::from_seed(9);
+        let _: usize = rng.random_range(3..3);
+    }
+
+    #[test]
+    fn ranges_cover_all_values() {
+        let mut rng = Rng::from_seed(11);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.random_range(0..3usize)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn bool_probability_edges() {
+        let mut rng = Rng::from_seed(13);
+        for _ in 0..100 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = Rng::from_seed(17);
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4500..=5500).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::from_seed(19);
+        for _ in 0..1000 {
+            let x = rng.random_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn choose_is_uniform_ish_and_total() {
+        let mut rng = Rng::from_seed(23);
+        let pool = ["a", "b", "c"];
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            let p = pool.choose(&mut rng).unwrap();
+            counts[pool.iter().position(|x| x == p).unwrap()] += 1;
+        }
+        for c in counts {
+            assert!((800..=1200).contains(&c), "{counts:?}");
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,254 @@
+//! The property runner: draws cases from a [`Gen`], evaluates the
+//! property, and minimizes any failing input before reporting it.
+//!
+//! Runs are fully deterministic: the seed is derived from the property
+//! name (or given explicitly), so a failure reproduces identically on
+//! every machine and every rerun — there is no persistence file because
+//! there is nothing nondeterministic to persist.
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::gen::Gen;
+use crate::rng::Rng;
+
+/// Base seed mixed with the property name; bumping it reshuffles every
+/// property's case stream at once.
+pub const DEFAULT_SEED: u64 = 0x5EED_1999_0B0D_CAFE;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to draw.
+    pub cases: u32,
+    /// Seed for the case stream.
+    pub seed: u64,
+    /// Budget of property evaluations spent minimizing a failure.
+    pub max_shrink_steps: u32,
+}
+
+impl Config {
+    /// The standard configuration for a named property: 256 cases, seed
+    /// derived deterministically from the name.
+    pub fn for_name(name: &str) -> Config {
+        Config {
+            cases: 256,
+            seed: DEFAULT_SEED ^ fnv1a(name),
+            max_shrink_steps: 4096,
+        }
+    }
+}
+
+/// FNV-1a — cheap, stable string hash for per-property seed derivation.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A minimized property failure.
+#[derive(Debug, Clone)]
+pub struct Failure<T> {
+    /// Zero-based index of the failing case in the stream.
+    pub case: u32,
+    /// The seed the stream ran with.
+    pub seed: u64,
+    /// The input as originally drawn.
+    pub original: T,
+    /// The input after minimization (equals `original` if nothing
+    /// simpler still fails).
+    pub minimal: T,
+    /// The failure message for `minimal`.
+    pub message: String,
+    /// Property evaluations spent shrinking.
+    pub shrink_steps: u32,
+}
+
+/// Evaluates the property, converting a panic into an `Err` so panicking
+/// assertions inside helper functions still get minimized.
+fn eval<T>(prop: &impl Fn(&T) -> Result<(), String>, value: &T) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "property panicked".to_owned());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Runs the property over `config.cases` random inputs. On failure,
+/// minimizes the input and returns the [`Failure`]; passing runs return
+/// `Ok(())`. This is the non-panicking core — tests normally use
+/// [`check`].
+pub fn run<T: Clone + 'static>(
+    config: &Config,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) -> Result<(), Box<Failure<T>>> {
+    let mut rng = Rng::from_seed(config.seed);
+    for case in 0..config.cases {
+        let original = gen.generate(&mut rng);
+        let Err(first_message) = eval(&prop, &original) else {
+            continue;
+        };
+
+        // Greedy minimization: take the first shrink candidate that still
+        // fails, restart from it, stop at a fixpoint or budget exhaustion.
+        let mut minimal = original.clone();
+        let mut message = first_message;
+        let mut steps = 0u32;
+        'minimize: while steps < config.max_shrink_steps {
+            for candidate in gen.shrink(&minimal) {
+                steps += 1;
+                if let Err(m) = eval(&prop, &candidate) {
+                    minimal = candidate;
+                    message = m;
+                    continue 'minimize;
+                }
+                if steps >= config.max_shrink_steps {
+                    break;
+                }
+            }
+            break;
+        }
+        return Err(Box::new(Failure {
+            case,
+            seed: config.seed,
+            original,
+            minimal,
+            message,
+            shrink_steps: steps,
+        }));
+    }
+    Ok(())
+}
+
+/// Runs a named property with the standard configuration, panicking with
+/// a report (minimal input, message, seed) on failure. The direct
+/// replacement for a `proptest!` block's body.
+pub fn check<T: Clone + Debug + 'static>(
+    name: &str,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    check_config(&Config::for_name(name), name, gen, prop);
+}
+
+/// Like [`check`] with an explicit case count (`with_cases` analogue).
+pub fn check_cases<T: Clone + Debug + 'static>(
+    name: &str,
+    cases: u32,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    let mut config = Config::for_name(name);
+    config.cases = cases;
+    check_config(&config, name, gen, prop);
+}
+
+/// Runs with an explicit configuration, panicking on failure.
+pub fn check_config<T: Clone + Debug + 'static>(
+    config: &Config,
+    name: &str,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    if let Err(f) = run(config, gen, prop) {
+        panic!(
+            "property '{name}' failed (case {case}, seed {seed:#x}, \
+             {steps} shrink steps)\n  minimal input: {minimal:?}\n  \
+             original input: {original:?}\n  error: {message}",
+            case = f.case,
+            seed = f.seed,
+            steps = f.shrink_steps,
+            minimal = f.minimal,
+            original = f.original,
+            message = f.message,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{int_in, string_from};
+
+    #[test]
+    fn passing_property_returns_ok() {
+        let g = int_in(0u32..=100);
+        let cfg = Config::for_name("passes");
+        assert!(run(&cfg, &g, |&v| {
+            if v <= 100 {
+                Ok(())
+            } else {
+                Err("impossible".into())
+            }
+        })
+        .is_ok());
+    }
+
+    #[test]
+    fn failing_string_minimizes_to_the_culprit_char() {
+        // Fails iff the string contains 'q'; the minimal counterexample
+        // is exactly "q".
+        let g = string_from("abq", 0..=20);
+        let cfg = Config::for_name("culprit");
+        let f = run(&cfg, &g, |s: &String| {
+            if s.contains('q') {
+                Err("has q".into())
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("20-char strings over {a,b,q} contain q often");
+        assert_eq!(f.minimal, "q");
+        assert!(f.original.contains('q'));
+    }
+
+    #[test]
+    fn failing_int_minimizes_to_threshold() {
+        let g = int_in(0u32..=1000);
+        let cfg = Config::for_name("threshold");
+        let f = run(&cfg, &g, |&v| {
+            if v > 17 {
+                Err(format!("{v} too big"))
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("most draws exceed 17");
+        assert_eq!(f.minimal, 18);
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_minimized() {
+        let g = string_from("xy", 0..=10);
+        let cfg = Config::for_name("panics");
+        let f = run(&cfg, &g, |s: &String| {
+            assert!(!s.contains('y'), "saw y in {s:?}");
+            Ok(())
+        })
+        .expect_err("y appears");
+        assert_eq!(f.minimal, "y");
+        assert!(f.message.starts_with("panic:"), "{}", f.message);
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'doomed' failed")]
+    fn check_panics_with_report() {
+        let g = int_in(0u8..=9);
+        check("doomed", &g, |_| Err("always".into()));
+    }
+
+    #[test]
+    fn seeds_differ_across_names() {
+        assert_ne!(Config::for_name("a").seed, Config::for_name("b").seed);
+    }
+}

@@ -1,0 +1,116 @@
+//! Value-level shrinkers: candidate "smaller" inputs tried by the runner
+//! when minimizing a failing case.
+//!
+//! Each function returns a batch of candidates strictly simpler than the
+//! input (fewer elements / characters, or values closer to a range's low
+//! end). The runner greedily takes the first candidate that still fails
+//! and repeats, so shrinkers list aggressive candidates (big chunk
+//! removals) before timid ones (single elements).
+
+/// Smaller strings: progressively smaller chunk removals, always at
+/// character boundaries. Chunks halve from `len/2` down to single
+/// characters, so the runner can cut a large failing input down in
+/// logarithmically many rounds.
+pub fn string(s: &str) -> Vec<String> {
+    string_min(s, 0)
+}
+
+/// Like [`string`], but never proposes a candidate shorter (in characters)
+/// than `min_chars` — for generators with a length floor.
+pub fn string_min(s: &str, min_chars: usize) -> Vec<String> {
+    // Byte offset of every character boundary, including the end.
+    let bounds: Vec<usize> = s
+        .char_indices()
+        .map(|(i, _)| i)
+        .chain(std::iter::once(s.len()))
+        .collect();
+    let n = bounds.len() - 1;
+    if n <= min_chars {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut chunk = n.div_ceil(2).min(n - min_chars);
+    while chunk >= 1 {
+        let mut start = 0;
+        while start + chunk <= n {
+            let mut candidate = String::with_capacity(s.len());
+            candidate.push_str(&s[..bounds[start]]);
+            candidate.push_str(&s[bounds[start + chunk]..]);
+            out.push(candidate);
+            start += chunk;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).min(n - min_chars);
+    }
+    out
+}
+
+/// Smaller vectors: chunk removals (halving, like [`string`]) followed by
+/// single-element removals, never dropping below `min_len` elements.
+pub fn vec<T: Clone>(v: &[T], min_len: usize) -> Vec<Vec<T>> {
+    let n = v.len();
+    if n <= min_len {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut chunk = n.div_ceil(2).min(n - min_len);
+    while chunk >= 1 {
+        let mut start = 0;
+        while start + chunk <= n {
+            let mut candidate = Vec::with_capacity(n - chunk);
+            candidate.extend_from_slice(&v[..start]);
+            candidate.extend_from_slice(&v[start + chunk..]);
+            out.push(candidate);
+            start += chunk;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).min(n - min_len);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn string_candidates_are_smaller_and_valid() {
+        let s = "aé🌀b";
+        for cand in super::string(s) {
+            assert!(cand.chars().count() < s.chars().count(), "{cand:?}");
+            // Implicitly checks UTF-8 validity: slicing off a char
+            // boundary would have panicked while building the candidate.
+        }
+        assert!(!super::string(s).is_empty());
+        assert!(super::string("").is_empty());
+    }
+
+    #[test]
+    fn string_respects_min_chars() {
+        for cand in super::string_min("abcdef", 4) {
+            assert!(cand.chars().count() >= 4, "{cand:?}");
+        }
+        assert!(super::string_min("abcd", 4).is_empty());
+    }
+
+    #[test]
+    fn single_char_shrinks_to_empty() {
+        assert_eq!(super::string("x"), vec![String::new()]);
+    }
+
+    #[test]
+    fn vec_candidates_are_smaller_and_respect_min() {
+        let v = [1, 2, 3, 4, 5];
+        let cands = super::vec(&v, 2);
+        assert!(!cands.is_empty());
+        for cand in cands {
+            assert!(cand.len() < v.len());
+            assert!(cand.len() >= 2);
+            // Order is preserved (candidates are subsequences).
+            assert!(cand.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(super::vec(&v, 5).is_empty());
+    }
+}

@@ -126,27 +126,27 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use rbd_prop::{check, gen, prop_assert, prop_assert_eq, Gen};
 
     /// A small grammar of messy HTML fragments.
-    fn arb_fragment() -> impl Strategy<Value = String> {
-        let tag = prop::sample::select(vec!["b", "i", "hr", "br", "td", "tr", "p", "h1"]);
-        let piece = prop_oneof![
-            tag.clone().prop_map(|t| format!("<{t}>")),
-            tag.prop_map(|t| format!("</{t}>")),
-            "[a-z ]{0,12}".prop_map(|s| s),
-            Just("<!-- c -->".to_owned()),
-            Just("&amp;".to_owned()),
-        ];
-        prop::collection::vec(piece, 0..40).prop_map(|v| v.concat())
+    fn arb_fragment() -> Gen<String> {
+        let tag = || Gen::select(vec!["b", "i", "hr", "br", "td", "tr", "p", "h1"]);
+        let piece = Gen::one_of(vec![
+            tag().map(|t| format!("<{t}>")),
+            tag().map(|t| format!("</{t}>")),
+            gen::string_from("abcdefghijklmnopqrstuvwxyz ", 0..=12),
+            Gen::just("<!-- c -->".to_owned()),
+            Gen::just("&amp;".to_owned()),
+        ]);
+        gen::concat(piece, 0..=40)
     }
 
-    proptest! {
-        /// Building never panics and the tree is internally consistent:
-        /// parent/child links agree and regions nest.
-        #[test]
-        fn builder_total_and_consistent(src in arb_fragment()) {
-            let tree = TagTreeBuilder::new().build(&src);
+    /// Building never panics and the tree is internally consistent:
+    /// parent/child links agree and regions nest.
+    #[test]
+    fn builder_total_and_consistent() {
+        check("builder_total_and_consistent", &arb_fragment(), |src| {
+            let tree = TagTreeBuilder::new().build(src);
             for id in tree.ids() {
                 let node = tree.node(id);
                 for &c in &node.children {
@@ -154,25 +154,33 @@ mod proptests {
                     prop_assert!(
                         node.region.encloses(tree.node(c).region),
                         "child region escapes parent: {} !>= {}",
-                        node.region, tree.node(c).region
+                        node.region,
+                        tree.node(c).region
                     );
                 }
             }
-        }
+            Ok(())
+        });
+    }
 
-        /// Every start tag in the source yields exactly one node.
-        #[test]
-        fn node_count_matches_start_tags(src in arb_fragment()) {
-            let (tree, stats) = TagTreeBuilder::new().build_with_stats(&src);
+    /// Every start tag in the source yields exactly one node.
+    #[test]
+    fn node_count_matches_start_tags() {
+        check("node_count_matches_start_tags", &arb_fragment(), |src| {
+            let (tree, stats) = TagTreeBuilder::new().build_with_stats(src);
             prop_assert_eq!(tree.len(), stats.start_tags + 1);
-        }
+            Ok(())
+        });
+    }
 
-        /// The subtree text of the root equals the document's plain text.
-        #[test]
-        fn text_preserved(src in arb_fragment()) {
-            let tree = TagTreeBuilder::new().build(&src);
-            let tokens = rbd_html::tokenize(&src);
+    /// The subtree text of the root equals the document's plain text.
+    #[test]
+    fn text_preserved() {
+        check("text_preserved", &arb_fragment(), |src| {
+            let tree = TagTreeBuilder::new().build(src);
+            let tokens = rbd_html::tokenize(src);
             prop_assert_eq!(tree.subtree_text(tree.root()), tokens.plain_text());
-        }
+            Ok(())
+        });
     }
 }

@@ -177,6 +177,7 @@ impl TagTree {
 
     /// All node ids in document (pre-) order.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        #[allow(clippy::cast_possible_truncation)]
         // rbd-lint: allow(cast) — construction caps the arena at u32::MAX nodes (TooManyNodes)
         (0..self.nodes.len() as u32).map(NodeId)
     }

@@ -3,16 +3,17 @@
 //! resulting tree must be well-formed (parent/child links agree, regions
 //! nest, node count matches the start-tag count).
 //!
-//! These complement the builder's inline proptests with generators biased
-//! toward the specific malformations the panic-freedom audit targets:
-//! orphan end-tags, unterminated comments, truncated entities, and
-//! misclosed tag nesting.
+//! These complement the builder's inline property tests with generators
+//! biased toward the specific malformations the panic-freedom audit
+//! targets: orphan end-tags, unterminated comments, truncated entities,
+//! and misclosed tag nesting.
 
-use proptest::prelude::*;
+use rbd_prop::{check, gen, Gen};
 use rbd_tagtree::{event, normalize, TagTreeBuilder};
 
 /// Checks every structural invariant the tree promises, panicking (and thus
-/// failing the property) if any is violated.
+/// failing the property — the runner catches and minimizes panics) if any
+/// is violated.
 fn assert_well_formed(src: &str) {
     let (events, _) = normalize(src);
     assert!(event::is_balanced(&events), "unbalanced events for {src:?}");
@@ -44,115 +45,170 @@ fn assert_well_formed(src: &str) {
     assert_eq!(tried.len(), tree.len());
 }
 
+fn well_formed(src: &str) -> Result<(), String> {
+    assert_well_formed(src);
+    Ok(())
+}
+
 /// Tag names the generators draw from — the paper's own repertoire.
-fn arb_tag() -> impl Strategy<Value = &'static str> {
-    prop::sample::select(vec![
+fn arb_tag() -> Gen<&'static str> {
+    Gen::select(vec![
         "b", "i", "hr", "br", "td", "tr", "p", "h1", "table", "ul", "li",
     ])
 }
 
+fn lowercase_text() -> Gen<String> {
+    gen::string_from("abcdefghijklmnopqrstuvwxyz ", 0..=8)
+}
+
 /// Documents saturated with end-tags that have no matching start-tag.
-fn arb_orphan_ends() -> impl Strategy<Value = String> {
-    let piece = prop_oneof![
-        3 => arb_tag().prop_map(|t| format!("</{t}>")),
-        1 => arb_tag().prop_map(|t| format!("<{t}>")),
-        1 => "[a-z ]{0,8}".prop_map(|s| s),
-    ];
-    prop::collection::vec(piece, 0..30).prop_map(|v| v.concat())
+fn arb_orphan_ends() -> Gen<String> {
+    let piece = Gen::weighted(vec![
+        (3, arb_tag().map(|t| format!("</{t}>"))),
+        (1, arb_tag().map(|t| format!("<{t}>"))),
+        (1, lowercase_text()),
+    ]);
+    gen::concat(piece, 0..=30)
 }
 
 /// Documents whose comments, CDATA and declarations are cut off mid-way.
-fn arb_unterminated_comments() -> impl Strategy<Value = String> {
-    let piece = prop_oneof![
-        Just("<!-- open".to_owned()),
-        Just("<!--".to_owned()),
-        Just("-->".to_owned()),
-        Just("<![CDATA[ stuck".to_owned()),
-        Just("<!DOCTYPE html".to_owned()),
-        Just("<?pi never closed".to_owned()),
-        arb_tag().prop_map(|t| format!("<{t}>")),
-        "[a-z ]{0,8}".prop_map(|s| s),
-    ];
-    prop::collection::vec(piece, 0..30).prop_map(|v| v.concat())
+fn arb_unterminated_comments() -> Gen<String> {
+    let piece = Gen::one_of(vec![
+        Gen::just("<!-- open".to_owned()),
+        Gen::just("<!--".to_owned()),
+        Gen::just("-->".to_owned()),
+        Gen::just("<![CDATA[ stuck".to_owned()),
+        Gen::just("<!DOCTYPE html".to_owned()),
+        Gen::just("<?pi never closed".to_owned()),
+        arb_tag().map(|t| format!("<{t}>")),
+        lowercase_text(),
+    ]);
+    gen::concat(piece, 0..=30)
 }
 
 /// Documents full of truncated and invalid character references.
-fn arb_truncated_entities() -> impl Strategy<Value = String> {
-    let piece = prop_oneof![
-        Just("&".to_owned()),
-        Just("&#".to_owned()),
-        Just("&#x".to_owned()),
-        Just("&amp".to_owned()),
-        Just("&#xD800;".to_owned()),
-        Just("&bogus;".to_owned()),
-        Just("&#99999999;".to_owned()),
-        "&#?x?[0-9A-Fa-f]{0,4};?".prop_map(|s| s),
-        arb_tag().prop_map(|t| format!("<{t}>")),
-        "[a-z ]{0,8}".prop_map(|s| s),
-    ];
-    prop::collection::vec(piece, 0..30).prop_map(|v| v.concat())
+fn arb_truncated_entities() -> Gen<String> {
+    let piece = Gen::one_of(vec![
+        Gen::just("&".to_owned()),
+        Gen::just("&#".to_owned()),
+        Gen::just("&#x".to_owned()),
+        Gen::just("&amp".to_owned()),
+        Gen::just("&#xD800;".to_owned()),
+        Gen::just("&bogus;".to_owned()),
+        Gen::just("&#99999999;".to_owned()),
+        arb_entity_fragment(),
+        arb_tag().map(|t| format!("<{t}>")),
+        lowercase_text(),
+    ]);
+    gen::concat(piece, 0..=30)
+}
+
+/// Random partial character references: `&#?x?[0-9A-Fa-f]{0,4};?`.
+fn arb_entity_fragment() -> Gen<String> {
+    let digits = gen::string_from("0123456789ABCDEFabcdef", 0..=4);
+    Gen::new({
+        let digits = digits;
+        move |rng| {
+            let mut s = String::from("&");
+            if rng.random_bool(0.5) {
+                s.push('#');
+            }
+            if rng.random_bool(0.5) {
+                s.push('x');
+            }
+            s.push_str(&digits.generate(rng));
+            if rng.random_bool(0.5) {
+                s.push(';');
+            }
+            s
+        }
+    })
 }
 
 /// Well-formed-looking tags closed in the wrong order (`<b><i></b></i>`) or
 /// truncated mid-tag.
-fn arb_misclosed_nesting() -> impl Strategy<Value = String> {
-    let piece = prop_oneof![
-        2 => arb_tag().prop_map(|t| format!("<{t}>")),
-        2 => arb_tag().prop_map(|t| format!("</{t}>")),
-        1 => arb_tag().prop_map(|t| format!("<{t} attr=\"unterminated")),
-        1 => arb_tag().prop_map(|t| format!("<{t}")),
-        1 => "[a-z ]{0,8}".prop_map(|s| s),
-    ];
-    prop::collection::vec(piece, 0..40).prop_map(|v| v.concat())
+fn arb_misclosed_nesting() -> Gen<String> {
+    let piece = Gen::weighted(vec![
+        (2, arb_tag().map(|t| format!("<{t}>"))),
+        (2, arb_tag().map(|t| format!("</{t}>"))),
+        (1, arb_tag().map(|t| format!("<{t} attr=\"unterminated"))),
+        (1, arb_tag().map(|t| format!("<{t}"))),
+        (1, lowercase_text()),
+    ]);
+    gen::concat(piece, 0..=40)
 }
 
 /// Arbitrary UTF-8 — the harshest generator; no HTML structure at all.
-fn arb_noise() -> impl Strategy<Value = String> {
-    "(.|\\PC){0,64}"
+fn arb_noise() -> Gen<String> {
+    gen::unicode_string(0..=64)
 }
 
-proptest! {
-    #[test]
-    fn orphan_end_tags_never_panic(src in arb_orphan_ends()) {
-        assert_well_formed(&src);
-    }
+#[test]
+fn orphan_end_tags_never_panic() {
+    check("orphan_end_tags_never_panic", &arb_orphan_ends(), |s| {
+        well_formed(s)
+    });
+}
 
-    #[test]
-    fn unterminated_comments_never_panic(src in arb_unterminated_comments()) {
-        assert_well_formed(&src);
-    }
+#[test]
+fn unterminated_comments_never_panic() {
+    check(
+        "unterminated_comments_never_panic",
+        &arb_unterminated_comments(),
+        |s| well_formed(s),
+    );
+}
 
-    #[test]
-    fn truncated_entities_never_panic(src in arb_truncated_entities()) {
-        assert_well_formed(&src);
-    }
+#[test]
+fn truncated_entities_never_panic() {
+    check(
+        "truncated_entities_never_panic",
+        &arb_truncated_entities(),
+        |s| well_formed(s),
+    );
+}
 
-    #[test]
-    fn misclosed_nesting_never_panics(src in arb_misclosed_nesting()) {
-        assert_well_formed(&src);
-    }
+#[test]
+fn misclosed_nesting_never_panics() {
+    check(
+        "misclosed_nesting_never_panics",
+        &arb_misclosed_nesting(),
+        |s| well_formed(s),
+    );
+}
 
-    #[test]
-    fn arbitrary_text_never_panics(src in arb_noise()) {
-        assert_well_formed(&src);
-    }
+#[test]
+fn arbitrary_text_never_panics() {
+    check("arbitrary_text_never_panics", &arb_noise(), |s| {
+        well_formed(s)
+    });
+}
 
-    /// Entity decoding itself is total over arbitrary strings.
-    #[test]
-    fn decode_entities_total(src in "(.|\\PC){0,64}") {
-        let _ = rbd_html::decode_entities(&src);
-    }
+/// Entity decoding itself is total over arbitrary strings.
+#[test]
+fn decode_entities_total() {
+    check("decode_entities_total", &arb_noise(), |src: &String| {
+        let _ = rbd_html::decode_entities(src);
+        Ok(())
+    });
+}
 
-    /// The XML tokenizer is total too (footnote-1 mode).
-    #[test]
-    fn xml_mode_never_panics(src in arb_misclosed_nesting()) {
-        let _ = rbd_html::tokenize_xml(&src);
-        let _ = TagTreeBuilder::new().xml().build(&src);
-    }
+/// The XML tokenizer is total too (footnote-1 mode).
+#[test]
+fn xml_mode_never_panics() {
+    check(
+        "xml_mode_never_panics",
+        &arb_misclosed_nesting(),
+        |src: &String| {
+            let _ = rbd_html::tokenize_xml(src);
+            let _ = TagTreeBuilder::new().xml().build(src);
+            Ok(())
+        },
+    );
 }
 
 /// Deterministic regressions distilled from the generators — kept as plain
-/// tests so they run even with proptest's shrinking disabled.
+/// tests so they run on every `cargo test` regardless of the generators.
 #[test]
 fn known_nasty_inputs() {
     for src in [

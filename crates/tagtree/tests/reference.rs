@@ -7,8 +7,8 @@
 //! algorithm as written). Property tests check that both produce the same
 //! balanced event sequence on arbitrary tag soup.
 
-use proptest::prelude::*;
 use rbd_html::{tokenize, Token};
+use rbd_prop::{check_cases, gen, prop_assert, prop_assert_eq, Gen};
 use rbd_tagtree::event::{is_balanced, normalize, Event};
 
 /// Reference event: name + start/end/text discriminator, no spans.
@@ -122,36 +122,36 @@ fn hand_picked_cases() {
     }
 }
 
-fn arb_soup() -> impl Strategy<Value = String> {
-    let piece = prop_oneof![
-        prop::sample::select(vec!["b", "i", "hr", "br", "td", "tr", "p", "div", "li"])
-            .prop_map(|t| format!("<{t}>")),
-        prop::sample::select(vec!["b", "i", "hr", "br", "td", "tr", "p", "div", "li"])
-            .prop_map(|t| format!("</{t}>")),
-        "[a-z ]{0,10}".prop_map(|s| s),
-        Just("<br/>".to_owned()),
-        Just("<!-- c -->".to_owned()),
-    ];
-    prop::collection::vec(piece, 0..60).prop_map(|v| v.concat())
+fn arb_soup() -> Gen<String> {
+    let tag = || Gen::select(vec!["b", "i", "hr", "br", "td", "tr", "p", "div", "li"]);
+    let piece = Gen::one_of(vec![
+        tag().map(|t| format!("<{t}>")),
+        tag().map(|t| format!("</{t}>")),
+        gen::string_from("abcdefghijklmnopqrstuvwxyz ", 0..=10),
+        Gen::just("<br/>".to_owned()),
+        Gen::just("<!-- c -->".to_owned()),
+    ]);
+    gen::concat(piece, 0..=60)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+/// The O(n) production normalizer and the literal quadratic reference
+/// agree on arbitrary tag soup.
+#[test]
+fn equivalent_on_random_soup() {
+    check_cases("equivalent_on_random_soup", 512, &arb_soup(), |src| {
+        let got = production(src);
+        let expected = normalize_reference(src);
+        prop_assert_eq!(got, expected, "source: {src:?}");
+        Ok(())
+    });
+}
 
-    /// The O(n) production normalizer and the literal quadratic reference
-    /// agree on arbitrary tag soup.
-    #[test]
-    fn equivalent_on_random_soup(src in arb_soup()) {
-        let got = production(&src);
-        let expected = normalize_reference(&src);
-        prop_assert_eq!(got, expected, "source: {:?}", src);
-    }
-
-    /// The reference itself always produces balanced output (sanity check
-    /// on the oracle).
-    #[test]
-    fn reference_balances(src in arb_soup()) {
-        let events = normalize_reference(&src);
+/// The reference itself always produces balanced output (sanity check
+/// on the oracle).
+#[test]
+fn reference_balances() {
+    check_cases("reference_balances", 512, &arb_soup(), |src| {
+        let events = normalize_reference(src);
         let mut stack = Vec::new();
         for ev in &events {
             match ev {
@@ -164,5 +164,6 @@ proptest! {
             }
         }
         prop_assert!(stack.is_empty());
-    }
+        Ok(())
+    });
 }

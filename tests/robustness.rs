@@ -1,9 +1,9 @@
 //! Robustness: the extractor must never panic, whatever the input, and must
 //! behave sensibly at the edges of the paper's assumptions.
 
-use proptest::prelude::*;
 use rbd::prelude::*;
 use rbd_core::DiscoveryError;
+use rbd_prop::{check_cases, gen, prop_assert, Gen};
 
 #[test]
 fn adversarial_documents_do_not_panic() {
@@ -67,27 +67,23 @@ fn deep_nesting_is_linear_not_fatal() {
     assert_eq!(tree.len(), 10_001);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random tag soup never panics anywhere in the pipeline.
-    #[test]
-    fn discovery_total_on_tag_soup(parts in prop::collection::vec(
-        prop_oneof![
-            Just("<hr>".to_owned()),
-            Just("<b>".to_owned()),
-            Just("</b>".to_owned()),
-            Just("<td>".to_owned()),
-            Just("</td>".to_owned()),
-            Just("<!-- c -->".to_owned()),
-            Just("</stray>".to_owned()),
-            "[ a-z<>&]{0,16}",
-        ],
-        0..120,
-    )) {
-        let doc = parts.concat();
+/// Random tag soup never panics anywhere in the pipeline.
+#[test]
+fn discovery_total_on_tag_soup() {
+    let piece = Gen::one_of(vec![
+        Gen::just("<hr>".to_owned()),
+        Gen::just("<b>".to_owned()),
+        Gen::just("</b>".to_owned()),
+        Gen::just("<td>".to_owned()),
+        Gen::just("</td>".to_owned()),
+        Gen::just("<!-- c -->".to_owned()),
+        Gen::just("</stray>".to_owned()),
+        gen::string_from(" abcdefghijklmnopqrstuvwxyz<>&", 0..=16),
+    ]);
+    let doc = gen::concat(piece, 0..=120);
+    check_cases("discovery_total_on_tag_soup", 64, &doc, |doc: &String| {
         let extractor = RecordExtractor::default();
-        if let Ok(extraction) = extractor.extract_records(&doc) {
+        if let Ok(extraction) = extractor.extract_records(doc) {
             // When extraction succeeds, the records must tile within the
             // document and be non-empty.
             for r in &extraction.records {
@@ -100,24 +96,34 @@ proptest! {
                 prop_assert!(w[0].end <= w[1].start);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The discovered separator is always one of the candidate tags.
-    #[test]
-    fn separator_is_a_candidate(n_records in 2usize..12, seps in prop::sample::select(
-        vec!["hr", "p", "br", "h4"]
-    )) {
-        let mut doc = String::from("<td>");
-        for i in 0..n_records {
-            doc.push_str(&format!("<{seps}><b>Record {i}</b> body text number {i} "));
-        }
-        doc.push_str("</td>");
-        let extractor = RecordExtractor::default();
-        let out = extractor.discover(&doc).unwrap();
-        prop_assert!(
-            out.candidates.iter().any(|c| c.name == out.separator),
-            "separator {} not among candidates",
-            out.separator
-        );
-    }
+/// The discovered separator is always one of the candidate tags.
+#[test]
+fn separator_is_a_candidate() {
+    let inputs = gen::int_in(2usize..12).zip(Gen::select(vec!["hr", "p", "br", "h4"]));
+    check_cases(
+        "separator_is_a_candidate",
+        64,
+        &inputs,
+        |&(n_records, seps)| {
+            let mut doc = String::from("<td>");
+            for i in 0..n_records {
+                doc.push_str(&format!("<{seps}><b>Record {i}</b> body text number {i} "));
+            }
+            doc.push_str("</td>");
+            let extractor = RecordExtractor::default();
+            let out = extractor
+                .discover(&doc)
+                .expect("multi-record documents discover");
+            prop_assert!(
+                out.candidates.iter().any(|c| c.name == out.separator),
+                "separator {} not among candidates",
+                out.separator
+            );
+            Ok(())
+        },
+    );
 }
