@@ -1,0 +1,77 @@
+//! Cost of resource governance: pipeline throughput with limits off,
+//! at [`Limits::default`], and at [`Limits::strict`].
+//!
+//! The governed pipeline adds one length check before tokenizing, two
+//! integer comparisons per tree node, one candidate-cap pass, and one
+//! deadline read per heuristic — the target is < 3 % overhead at default
+//! limits on legitimate documents (EXPERIMENTS.md records the measured
+//! numbers).
+
+use rbd_bench::{black_box, Harness};
+use rbd_core::{ExtractorConfig, Limits, RecordExtractor};
+use rbd_corpus::{generate_document, sites, Domain};
+use rbd_ontology::domains;
+
+fn extractor_with(limits: Limits) -> RecordExtractor {
+    RecordExtractor::new(
+        ExtractorConfig::default()
+            .with_ontology(domains::obituaries())
+            .with_limits(limits),
+    )
+    .expect("compiles")
+}
+
+fn bench_limit_profiles(h: &mut Harness) {
+    let style = &sites::initial_sites(Domain::Obituaries)[0];
+    let doc = generate_document(style, Domain::Obituaries, 0, 1998);
+    let unbounded = extractor_with(Limits::unbounded());
+    let default = extractor_with(Limits::default());
+    let strict = extractor_with(Limits::strict());
+
+    let mut group = h.group("profiles");
+    group.throughput_bytes(doc.html.len() as u64);
+    group.bench_function("limits_off", |b| {
+        b.iter(|| black_box(unbounded.extract_records(&doc.html).expect("records")));
+    });
+    group.bench_function("limits_default", |b| {
+        b.iter(|| {
+            let e = default.extract_records(&doc.html).expect("records");
+            assert!(e.degradation.is_empty(), "defaults must not degrade");
+            black_box(e)
+        });
+    });
+    group.bench_function("limits_strict", |b| {
+        b.iter(|| black_box(strict.extract_records(&doc.html).expect("records")));
+    });
+    group.finish();
+}
+
+/// Rejection must be cheap: an over-budget bomb should cost far less than
+/// extracting from it would.
+fn bench_rejection_cost(h: &mut Harness) {
+    let strict = extractor_with(Limits::strict());
+    let bomb = "<b>".repeat(200_000);
+    let tower = {
+        let mut t = "<div>".repeat(2_000);
+        t.push('x');
+        t.push_str(&"</div>".repeat(2_000));
+        t
+    };
+
+    let mut group = h.group("rejection");
+    group.throughput_bytes(bomb.len() as u64);
+    group.bench_function("tag_bomb_rejected", |b| {
+        b.iter(|| black_box(strict.discover(&bomb).expect_err("over the node cap")));
+    });
+    group.bench_function("nesting_tower_rejected", |b| {
+        b.iter(|| black_box(strict.discover(&tower).expect_err("over the depth cap")));
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut h = Harness::new("limits");
+    bench_limit_profiles(&mut h);
+    bench_rejection_cost(&mut h);
+    h.finish();
+}

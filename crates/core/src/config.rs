@@ -1,5 +1,6 @@
 //! Extractor configuration.
 
+use crate::limits::Limits;
 use rbd_certainty::{CertaintyTable, HeuristicSet};
 use rbd_heuristics::view::DEFAULT_CANDIDATE_THRESHOLD;
 use rbd_ontology::Ontology;
@@ -25,6 +26,10 @@ pub struct ExtractorConfig {
     /// Tokenize as XML (case-sensitive names, CDATA) instead of HTML — the
     /// paper's footnote-1 portability claim.
     pub xml: bool,
+    /// Resource limits governing each pass (default: generous caps that no
+    /// paper-corpus document approaches; see [`Limits::strict`] for
+    /// service-grade caps).
+    pub limits: Limits,
 }
 
 impl Default for ExtractorConfig {
@@ -35,6 +40,7 @@ impl Default for ExtractorConfig {
             certainty_table: CertaintyTable::paper_table4(),
             ontology: None,
             xml: false,
+            limits: Limits::default(),
         }
     }
 }
@@ -70,6 +76,13 @@ impl ExtractorConfig {
         self.xml = true;
         self
     }
+
+    /// Sets the resource limits (e.g. [`Limits::strict`] for untrusted
+    /// input).
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +97,14 @@ mod tests {
         assert_eq!(c.heuristic_set, HeuristicSet::ORSIH);
         assert!(c.ontology.is_none());
         assert_eq!(c.certainty_table, CertaintyTable::paper_table4());
+        assert_eq!(c.limits, Limits::default());
+        assert!(c.limits.time_budget.is_none());
+    }
+
+    #[test]
+    fn with_limits_replaces_profile() {
+        let c = ExtractorConfig::default().with_limits(Limits::strict());
+        assert_eq!(c.limits, Limits::strict());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::chunk::{chunk_at_separators, Record};
 use crate::config::ExtractorConfig;
+use crate::limits::{Deadline, DegradationEvent, DegradationStage, LimitExceeded, LimitKind};
 use rbd_certainty::{CompoundHeuristic, Consensus};
 use rbd_heuristics::om::OntologyMatching;
 use rbd_heuristics::{
@@ -9,7 +10,7 @@ use rbd_heuristics::{
     Ranking, SubtreeView,
 };
 use rbd_pattern::PatternError;
-use rbd_tagtree::{CandidateTag, NodeId, TagTree, TagTreeBuilder};
+use rbd_tagtree::{CandidateTag, NodeId, TagTree, TagTreeBuilder, TreeError};
 use std::fmt;
 
 /// Errors from record-boundary discovery.
@@ -25,6 +26,10 @@ pub enum DiscoveryError {
     NoConsensus,
     /// The configured ontology's data frames failed to compile.
     Pattern(PatternError),
+    /// A hard resource limit tripped (input bytes, tree nodes, nesting
+    /// depth) or the wall-clock budget expired before any heuristic could
+    /// run — there is no partial answer to degrade to.
+    Limit(LimitExceeded),
 }
 
 impl fmt::Display for DiscoveryError {
@@ -38,6 +43,7 @@ impl fmt::Display for DiscoveryError {
                 f.write_str("all heuristics abstained; no consensus separator")
             }
             DiscoveryError::Pattern(e) => write!(f, "ontology pattern error: {e}"),
+            DiscoveryError::Limit(e) => write!(f, "resource limit exceeded: {e}"),
         }
     }
 }
@@ -68,6 +74,10 @@ pub struct DiscoveryOutcome {
     pub subtree: NodeId,
     /// The document's tag tree (kept so callers can chunk or inspect).
     pub tree: TagTree,
+    /// Degradations a governed pass applied (empty on a full-fidelity
+    /// run): truncated candidate set, capped text scans, heuristics
+    /// skipped by the wall clock. See [`crate::limits`].
+    pub degradation: Vec<DegradationEvent>,
 }
 
 impl DiscoveryOutcome {
@@ -94,6 +104,10 @@ pub struct Extraction {
     pub preamble: Option<Record>,
     /// The record chunks in document order.
     pub records: Vec<Record>,
+    /// Degradations applied during discovery (mirrors
+    /// [`DiscoveryOutcome::degradation`]); empty means the extraction ran
+    /// at full fidelity.
+    pub degradation: Vec<DegradationEvent>,
 }
 
 /// The record extractor: configured once, reused across documents.
@@ -141,15 +155,54 @@ impl RecordExtractor {
         }
     }
 
-    /// Runs the Record-Boundary Discovery Algorithm on `html`.
+    /// Builds the tag tree under the configured limits. Hard limit
+    /// breaches surface as [`DiscoveryError::Limit`]; the theoretical-only
+    /// construction errors degrade to "no tags" exactly as the infallible
+    /// builder did.
+    fn build_tree(&self, html: &str) -> Result<TagTree, DiscoveryError> {
+        match self
+            .builder()
+            .with_budget(self.config.limits.tree_budget())
+            .try_build(html)
+        {
+            Ok(tree) => Ok(tree),
+            Err(TreeError::Limit(e)) => Err(DiscoveryError::Limit(e)),
+            Err(_) => Err(DiscoveryError::EmptyDocument),
+        }
+    }
+
+    /// Applies the candidate-tag cap to a prepared view, reporting the
+    /// truncation so dropped tags are never silently out of the running.
+    fn cap_candidates(&self, view: &mut SubtreeView<'_>, degradation: &mut Vec<DegradationEvent>) {
+        if let Some(cap) = self.config.limits.max_candidate_tags {
+            let before = view.cap_candidates(cap);
+            if before > cap {
+                degradation.push(DegradationEvent {
+                    stage: DegradationStage::Candidates,
+                    cause: LimitExceeded {
+                        limit: LimitKind::CandidateTags,
+                        cap,
+                        observed: before,
+                    },
+                });
+            }
+        }
+    }
+
+    /// Runs the Record-Boundary Discovery Algorithm on `html` under the
+    /// configured [`crate::limits::Limits`].
     pub fn discover(&self, html: &str) -> Result<DiscoveryOutcome, DiscoveryError> {
-        // Step 1: tag tree (Appendix A).
-        let tree = self.builder().build(html);
+        let deadline = self.config.limits.start_deadline();
+        let mut degradation: Vec<DegradationEvent> = Vec::new();
+
+        // Step 1: tag tree (Appendix A), under the hard caps.
+        let tree = self.build_tree(html)?;
         if tree.is_empty() {
             return Err(DiscoveryError::EmptyDocument);
         }
-        // Step 2: highest-fan-out subtree. Step 3: candidate tags.
-        let view = SubtreeView::from_tree(&tree, self.config.candidate_threshold);
+        // Step 2: highest-fan-out subtree. Step 3: candidate tags, capped.
+        let mut view = SubtreeView::from_tree(&tree, self.config.candidate_threshold);
+        self.cap_candidates(&mut view, &mut degradation);
         let candidates = view.candidates().to_vec();
         if candidates.is_empty() {
             return Err(DiscoveryError::NoCandidates);
@@ -171,19 +224,28 @@ impl RecordExtractor {
                 subtree_tag,
                 subtree,
                 tree,
+                degradation,
             });
         }
 
-        // Step 4: the five individual heuristics.
-        let rankings = self.run_heuristics(&view);
+        // Step 4: the five individual heuristics, governed by the deadline
+        // and the text cap.
+        let rankings = self.run_heuristics_governed(&view, &deadline, &mut degradation);
 
         // Steps 5–6: Stanford certainty combination, argmax.
         let consensus = self.compound.combine(&rankings);
-        let separator = consensus
-            .winners
-            .first()
-            .cloned()
-            .ok_or(DiscoveryError::NoConsensus)?;
+        let out_of_time = degradation
+            .iter()
+            .any(|e| e.cause.limit == LimitKind::WallClock);
+        let separator = match consensus.winners.first() {
+            Some(w) => w.clone(),
+            None if rankings.is_empty() && out_of_time => {
+                // Nothing ranked *because* the budget ran out: that is a
+                // resource failure, not the paper's "all abstained".
+                return Err(DiscoveryError::Limit(deadline.exceeded()));
+            }
+            None => return Err(DiscoveryError::NoConsensus),
+        };
 
         Ok(DiscoveryOutcome {
             separator,
@@ -193,11 +255,14 @@ impl RecordExtractor {
             subtree_tag,
             subtree,
             tree,
+            degradation,
         })
     }
 
     /// Runs the individual heuristics over a prepared view, returning the
-    /// rankings of those that did not abstain.
+    /// rankings of those that did not abstain. Ungoverned: no deadline, no
+    /// text cap (kept for ablations and callers that manage their own
+    /// budgets).
     pub fn run_heuristics(&self, view: &SubtreeView<'_>) -> Vec<Ranking> {
         let ht = HighestCount;
         let it = IdentifiableTags::default();
@@ -210,9 +275,55 @@ impl RecordExtractor {
         rbd_heuristics::run_all(&heuristics, view)
     }
 
+    /// Governed heuristic pass: OM scans at most the configured text-byte
+    /// cap, and each heuristic starts only while the deadline holds — a
+    /// heuristic skipped by the budget abstains (the paper's §5
+    /// degradation) and is reported.
+    fn run_heuristics_governed(
+        &self,
+        view: &SubtreeView<'_>,
+        deadline: &Deadline,
+        degradation: &mut Vec<DegradationEvent>,
+    ) -> Vec<Ranking> {
+        let mut rankings: Vec<Ranking> = Vec::new();
+        if let Some(om) = &self.om {
+            if deadline.is_expired() {
+                degradation.push(DegradationEvent {
+                    stage: DegradationStage::Heuristic(om.kind()),
+                    cause: deadline.exceeded(),
+                });
+            } else {
+                let (ranking, truncation) =
+                    om.rank_governed(view, self.config.limits.max_text_bytes);
+                if let Some(cause) = truncation {
+                    degradation.push(DegradationEvent {
+                        stage: DegradationStage::Heuristic(om.kind()),
+                        cause,
+                    });
+                }
+                rankings.extend(ranking);
+            }
+        }
+        let ht = HighestCount;
+        let it = IdentifiableTags::default();
+        let sd = StandardDeviation;
+        let rp = RepeatingPattern::default();
+        let others: [&dyn Heuristic; 4] = [&rp, &sd, &it, &ht];
+        let run = rbd_heuristics::run_all_governed(&others, view, deadline);
+        for kind in run.skipped {
+            degradation.push(DegradationEvent {
+                stage: DegradationStage::Heuristic(kind),
+                cause: deadline.exceeded(),
+            });
+        }
+        rankings.extend(run.rankings);
+        rankings
+    }
+
     /// Discovery followed by record chunking and markup cleaning.
     pub fn extract_records(&self, html: &str) -> Result<Extraction, DiscoveryError> {
         let outcome = self.discover(html)?;
+        let degradation = outcome.degradation.clone();
         let (preamble, records) = chunk_at_separators(
             html,
             &outcome.tree,
@@ -224,6 +335,7 @@ impl RecordExtractor {
             outcome,
             preamble,
             records,
+            degradation,
         })
     }
 }
@@ -338,5 +450,112 @@ mod tests {
         let top = &out.consensus.scored[0];
         assert_eq!(top.tag, "hr");
         assert!(top.certainty.percent() > 95.0, "{}", top.certainty);
+    }
+
+    #[test]
+    fn default_limits_do_not_degrade_the_paper_page() {
+        let ex =
+            RecordExtractor::new(ExtractorConfig::default().with_ontology(domains::obituaries()))
+                .unwrap();
+        let out = ex.discover(&obituary_page()).unwrap();
+        assert!(out.degradation.is_empty(), "{:?}", out.degradation);
+        let extraction = ex.extract_records(&obituary_page()).unwrap();
+        assert!(extraction.degradation.is_empty());
+    }
+
+    #[test]
+    fn hard_limits_reject_structural_bombs() {
+        use crate::limits::{LimitKind, Limits};
+        let limits = Limits {
+            max_tree_nodes: Some(64),
+            ..Limits::default()
+        };
+        let ex =
+            RecordExtractor::new(ExtractorConfig::default().with_limits(limits.clone())).unwrap();
+        let bomb = "<b>".repeat(1_000);
+        match ex.discover(&bomb) {
+            Err(DiscoveryError::Limit(e)) => assert_eq!(e.limit, LimitKind::TreeNodes),
+            other => panic!("expected node-limit error, got {other:?}"),
+        }
+        // The same extractor still handles the legitimate page.
+        assert!(ex.discover(&obituary_page()).is_ok());
+    }
+
+    #[test]
+    fn zero_time_budget_degrades_every_heuristic() {
+        use crate::limits::{DegradationStage, LimitKind, Limits};
+        let limits = Limits {
+            time_budget: Some(std::time::Duration::ZERO),
+            ..Limits::default()
+        };
+        let ex = RecordExtractor::new(
+            ExtractorConfig::default()
+                .with_ontology(domains::obituaries())
+                .with_limits(limits),
+        )
+        .unwrap();
+        // Every heuristic abstains, so there is no consensus to act on —
+        // but the failure is typed as a resource limit, not NoConsensus.
+        match ex.discover(&obituary_page()) {
+            Err(DiscoveryError::Limit(e)) => assert_eq!(e.limit, LimitKind::WallClock),
+            other => panic!("expected wall-clock limit error, got {other:?}"),
+        }
+        // The governed heuristic runner reports each skip individually.
+        let tree = ex.builder().build(&obituary_page());
+        let view = SubtreeView::from_tree(&tree, ex.config.candidate_threshold);
+        let deadline = rbd_limits::Deadline::after(std::time::Duration::ZERO);
+        let mut events = Vec::new();
+        let rankings = ex.run_heuristics_governed(&view, &deadline, &mut events);
+        assert!(rankings.is_empty());
+        assert_eq!(events.len(), 5, "{events:?}");
+        assert!(events
+            .iter()
+            .all(|e| matches!(e.stage, DegradationStage::Heuristic(_))
+                && e.cause.limit == LimitKind::WallClock));
+    }
+
+    #[test]
+    fn text_cap_truncates_om_but_discovery_proceeds() {
+        use crate::limits::{DegradationStage, LimitKind, Limits};
+        let limits = Limits {
+            max_text_bytes: Some(64),
+            ..Limits::default()
+        };
+        let ex = RecordExtractor::new(
+            ExtractorConfig::default()
+                .with_ontology(domains::obituaries())
+                .with_limits(limits),
+        )
+        .unwrap();
+        let out = ex.discover(&obituary_page()).unwrap();
+        assert_eq!(out.separator, "hr", "capped OM must not flip the winner");
+        let om_events: Vec<_> = out
+            .degradation
+            .iter()
+            .filter(|e| e.stage == DegradationStage::Heuristic(HeuristicKind::OM))
+            .collect();
+        assert_eq!(om_events.len(), 1, "{:?}", out.degradation);
+        assert_eq!(om_events[0].cause.limit, LimitKind::TextBytes);
+        assert_eq!(om_events[0].cause.cap, 64);
+    }
+
+    #[test]
+    fn candidate_cap_reports_the_truncation() {
+        use crate::limits::{DegradationStage, LimitKind, Limits};
+        let limits = Limits {
+            max_candidate_tags: Some(2),
+            ..Limits::default()
+        };
+        let ex = RecordExtractor::new(ExtractorConfig::default().with_limits(limits)).unwrap();
+        let out = ex.discover(&obituary_page()).unwrap();
+        assert_eq!(out.candidates.len(), 2);
+        let ev = out
+            .degradation
+            .iter()
+            .find(|e| e.stage == DegradationStage::Candidates)
+            .expect("candidate truncation must be reported");
+        assert_eq!(ev.cause.limit, LimitKind::CandidateTags);
+        assert_eq!(ev.cause.cap, 2);
+        assert!(ev.cause.observed > 2);
     }
 }

@@ -18,11 +18,12 @@
 //! positions for downstream database population.
 
 use crate::extractor::{DiscoveryError, DiscoveryOutcome, RecordExtractor};
+use crate::limits::{DegradationEvent, DegradationStage};
 use rbd_certainty::Consensus;
 use rbd_heuristics::om::OntologyMatching;
 use rbd_heuristics::{
     ht::HighestCount, it::IdentifiableTags, rp::RepeatingPattern, sd::StandardDeviation, Heuristic,
-    Ranking, SubtreeView,
+    HeuristicKind, Ranking, SubtreeView,
 };
 use rbd_recognizer::{estimate_record_count_from_table, DataRecordTable, Recognizer, TableEntry};
 use rbd_tagtree::TagTreeBuilder;
@@ -88,11 +89,35 @@ impl RecordExtractor {
         html: &str,
         recognizer: &Recognizer,
     ) -> Result<IntegratedExtraction, DiscoveryError> {
-        let tree = TagTreeBuilder::default().build(html);
+        let limits = &self.config().limits;
+        let deadline = limits.start_deadline();
+        let mut degradation: Vec<DegradationEvent> = Vec::new();
+
+        let tree = match TagTreeBuilder::default()
+            .with_budget(limits.tree_budget())
+            .try_build(html)
+        {
+            Ok(tree) => tree,
+            Err(rbd_tagtree::TreeError::Limit(e)) => return Err(DiscoveryError::Limit(e)),
+            Err(_) => return Err(DiscoveryError::EmptyDocument),
+        };
         if tree.is_empty() {
             return Err(DiscoveryError::EmptyDocument);
         }
-        let view = SubtreeView::from_tree(&tree, self.config().candidate_threshold);
+        let mut view = SubtreeView::from_tree(&tree, self.config().candidate_threshold);
+        if let Some(cap) = limits.max_candidate_tags {
+            let before = view.cap_candidates(cap);
+            if before > cap {
+                degradation.push(DegradationEvent {
+                    stage: DegradationStage::Candidates,
+                    cause: crate::limits::LimitExceeded {
+                        limit: crate::limits::LimitKind::CandidateTags,
+                        cap,
+                        observed: before,
+                    },
+                });
+            }
+        }
         let candidates = view.candidates().to_vec();
         if candidates.is_empty() {
             return Err(DiscoveryError::NoCandidates);
@@ -101,8 +126,22 @@ impl RecordExtractor {
         let subtree_tag = tree.node(subtree).name.clone();
         let text = view.text().to_owned();
 
-        // One pass: the Data-Record Table for the whole record area.
-        let table = recognizer.recognize(&text);
+        // One pass: the Data-Record Table for the whole record area, under
+        // the text cap and the deadline.
+        let governed = recognizer.recognize_governed(&text, limits.max_text_bytes, &deadline);
+        if let Some(cause) = governed.truncation {
+            degradation.push(DegradationEvent {
+                stage: DegradationStage::Recognizer,
+                cause,
+            });
+        }
+        if let Some(cause) = governed.skipped {
+            degradation.push(DegradationEvent {
+                stage: DegradationStage::Recognizer,
+                cause,
+            });
+        }
+        let table = governed.table;
 
         let (separator, consensus, rankings) = if candidates.len() == 1 {
             // §3 single-candidate shortcut.
@@ -115,7 +154,8 @@ impl RecordExtractor {
                 Vec::new(),
             )
         } else {
-            // OM from the table; RP/SD/IT/HT as usual.
+            // OM from the (possibly partial) table; RP/SD/IT/HT as usual,
+            // each starting only while the deadline holds.
             let mut rankings: Vec<Ranking> = Vec::with_capacity(5);
             if let Some(estimate) = self
                 .config()
@@ -124,6 +164,13 @@ impl RecordExtractor {
                 .and_then(|ontology| estimate_record_count_from_table(ontology, &table))
             {
                 rankings.push(OntologyMatching::rank_with_estimate(&view, estimate));
+            } else if self.config().ontology.is_some() && governed.skipped.is_some() {
+                // The recognizer never ran, so OM had no table to estimate
+                // from: it abstained for a resource reason, not a paper one.
+                degradation.push(DegradationEvent {
+                    stage: DegradationStage::Heuristic(HeuristicKind::OM),
+                    cause: deadline.exceeded(),
+                });
             }
             let it = IdentifiableTags::default();
             let others: [&dyn Heuristic; 4] = [
@@ -132,18 +179,30 @@ impl RecordExtractor {
                 &it,
                 &HighestCount,
             ];
-            rankings.extend(others.iter().filter_map(|h| h.rank(&view)));
+            let run = rbd_heuristics::run_all_governed(&others, &view, &deadline);
+            for kind in run.skipped {
+                degradation.push(DegradationEvent {
+                    stage: DegradationStage::Heuristic(kind),
+                    cause: deadline.exceeded(),
+                });
+            }
+            rankings.extend(run.rankings);
 
             let compound = rbd_certainty::CompoundHeuristic::new(
                 self.config().heuristic_set,
                 self.config().certainty_table.clone(),
             );
             let consensus = compound.combine(&rankings);
-            let separator = consensus
-                .winners
-                .first()
-                .cloned()
-                .ok_or(DiscoveryError::NoConsensus)?;
+            let out_of_time = degradation
+                .iter()
+                .any(|e| e.cause.limit == crate::limits::LimitKind::WallClock);
+            let separator = match consensus.winners.first() {
+                Some(w) => w.clone(),
+                None if rankings.is_empty() && out_of_time => {
+                    return Err(DiscoveryError::Limit(deadline.exceeded()));
+                }
+                None => return Err(DiscoveryError::NoConsensus),
+            };
             (separator, consensus, rankings)
         };
 
@@ -157,6 +216,7 @@ impl RecordExtractor {
                 subtree_tag,
                 subtree,
                 tree,
+                degradation,
             },
             text,
             table,

@@ -43,9 +43,11 @@ pub mod chunk;
 pub mod config;
 pub mod extractor;
 pub mod integrated;
+pub mod limits;
 
 pub use assumptions::{check_assumptions, AssumptionReport, DocumentClass};
 pub use chunk::{chunk_at_separators, Record};
 pub use config::ExtractorConfig;
 pub use extractor::{DiscoveryError, DiscoveryOutcome, Extraction, RecordExtractor};
 pub use integrated::IntegratedExtraction;
+pub use limits::{Deadline, DegradationEvent, DegradationStage, LimitExceeded, LimitKind, Limits};

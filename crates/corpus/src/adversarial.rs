@@ -1,0 +1,333 @@
+//! Adversarial fault-injection generators.
+//!
+//! Everything `rbd-corpus` generates elsewhere is a *legitimate* page: well
+//! nested, modest size, data-rich. This module generates the opposite — the
+//! kind of input a resource-governed extractor must survive: tag bombs,
+//! nesting towers, entity storms, attribute floods, documents cut off
+//! mid-byte, comment/CDATA abuse, and random byte-level mutations of
+//! otherwise valid corpus documents.
+//!
+//! Like the rest of the crate, every generator is deterministic in its
+//! [`Rng`]: the chaos suite replays a failing document from its seed alone.
+//! Generators return raw HTML strings with *no* ground truth — there is no
+//! correct answer for garbage; the properties under test are "no panic",
+//! "caps respected", and "degradation reported", not extraction quality.
+
+use crate::Domain;
+use rbd_prop::{Choose, Rng};
+
+/// Tag names the structural generators draw from — a mix of separators,
+/// formatting tags, and names no heuristic has an opinion on.
+const BOMB_TAGS: [&str; 8] = ["b", "hr", "br", "p", "div", "td", "x-bomb", "li"];
+
+/// Text fragments used as filler. Deliberately includes multi-byte UTF-8
+/// (2-, 3- and 4-byte sequences) so byte-level truncation and mutation hit
+/// char boundaries mid-sequence.
+const FILLER: [&str; 6] = [
+    "plain ascii filler text",
+    "caf\u{e9} na\u{ef}ve r\u{e9}sum\u{e9}",
+    "\u{3053}\u{3093}\u{306b}\u{3061}\u{306f} \u{4e16}\u{754c}",
+    "\u{2603} \u{2764} \u{221e} \u{3a9}",
+    "\u{1f480}\u{1f4a3}\u{1f9e8} boom",
+    "mixed \u{e9}\u{4e16}\u{1f480} tail",
+];
+
+fn filler(rng: &mut Rng) -> &'static str {
+    FILLER.choose(rng).copied().unwrap_or("filler")
+}
+
+/// A flat run of start tags with no matching end tags — the classic node
+/// bomb. Sizes span three orders of magnitude so a capped pipeline sees
+/// both under- and over-budget instances: the large end exceeds a strict
+/// 65 536-node cap while the small end stays comfortably under it.
+pub fn tag_bomb(rng: &mut Rng) -> String {
+    let tag = BOMB_TAGS.choose(rng).copied().unwrap_or("b");
+    // Log-uniform-ish size: 10^2 .. ~10^5 tags.
+    let magnitude = rng.random_range(2u32..=5);
+    let count = rng.random_range(10usize.pow(magnitude - 1)..10usize.pow(magnitude) + 20_000);
+    let mut html = String::with_capacity(count * (tag.len() + 2) + 64);
+    for i in 0..count {
+        html.push('<');
+        html.push_str(tag);
+        html.push('>');
+        if i % 97 == 0 {
+            html.push_str(filler(rng));
+        }
+    }
+    html
+}
+
+/// An *explicitly closed* nesting tower. Explicit end tags matter: the
+/// Appendix A normalization closes a dangling start tag at the next tag
+/// position, so an unclosed `<div><div>…` run flattens into siblings and
+/// never gains depth.
+pub fn nesting_tower(rng: &mut Rng) -> String {
+    let tag = BOMB_TAGS.choose(rng).copied().unwrap_or("div");
+    let depth = rng.random_range(4usize..2_000);
+    let mut html = String::with_capacity(depth * (2 * tag.len() + 5) + 64);
+    for _ in 0..depth {
+        html.push('<');
+        html.push_str(tag);
+        html.push('>');
+    }
+    html.push_str(filler(rng));
+    for _ in 0..depth {
+        html.push_str("</");
+        html.push_str(tag);
+        html.push('>');
+    }
+    html
+}
+
+/// Text stuffed with entity references: valid named ones, numeric ones at
+/// hostile code points, unterminated ampersand runs, and sheer volume.
+pub fn entity_storm(rng: &mut Rng) -> String {
+    const ENTITIES: [&str; 10] = [
+        "&amp;",
+        "&lt;",
+        "&gt;",
+        "&quot;",
+        "&#65;",
+        "&#x1F480;",
+        "&#0;",
+        "&#xD800;",
+        "&bogus;",
+        "&amp",
+    ];
+    let count = rng.random_range(100usize..8_000);
+    let mut html = String::with_capacity(count * 8 + 64);
+    html.push_str("<td><p>");
+    for i in 0..count {
+        html.push_str(ENTITIES.choose(rng).copied().unwrap_or("&amp;"));
+        if i % 53 == 0 {
+            html.push_str(filler(rng));
+        }
+        if i % 211 == 0 {
+            html.push_str("<br>");
+        }
+    }
+    html.push_str("</p></td>");
+    html
+}
+
+/// A few elements carrying hundreds of attributes with long values —
+/// structure-free bytes the tokenizer must swallow without quadratic
+/// behavior.
+pub fn attribute_flood(rng: &mut Rng) -> String {
+    let elements = rng.random_range(1usize..8);
+    let mut html = String::new();
+    html.push_str("<td>");
+    for e in 0..elements {
+        let attrs = rng.random_range(50usize..800);
+        html.push_str("<div");
+        for a in 0..attrs {
+            let vlen = rng.random_range(0usize..120);
+            html.push_str(&format!(" data-a{e}-{a}=\""));
+            for _ in 0..vlen {
+                // Printable ASCII plus the odd quote-adjacent character.
+                let c = rng.random_range(32u32..127);
+                html.push(char::from_u32(c).unwrap_or('x'));
+            }
+            html.push('"');
+        }
+        html.push('>');
+        html.push_str(filler(rng));
+        html.push_str("</div>");
+    }
+    html.push_str("</td>");
+    html
+}
+
+/// Comment and CDATA abuse: unterminated comments, bogus nested openers,
+/// comments hiding whole record areas, and CDATA sections in non-XML
+/// documents.
+pub fn comment_cdata_abuse(rng: &mut Rng) -> String {
+    const SHAPES: [&str; 6] = [
+        // Unterminated comment swallowing the rest of the document.
+        "<td><hr>a<hr>b<!-- never closed <hr>c<hr>d",
+        // Comment containing what looks like more comments and tags.
+        "<td><!-- <!-- <hr> --> --><hr>x<hr>y</td>",
+        // CDATA in HTML (not special, must not confuse the tokenizer).
+        "<td><![CDATA[ <hr> not a tag ]]><hr>x<hr>y</td>",
+        // Unterminated CDATA.
+        "<td><![CDATA[ swallows <hr> everything",
+        // Comment with a near-miss terminator.
+        "<td><!-- almost -- > closed --><hr>x<hr>y</td>",
+        // Dense alternation of tiny comments and tags.
+        "<td><!--a--><hr><!--b--><hr><!--c--><hr></td>",
+    ];
+    let base = SHAPES.choose(rng).copied().unwrap_or(SHAPES[0]);
+    let reps = rng.random_range(1usize..200);
+    let mut html = String::with_capacity(base.len() * reps + 32);
+    for _ in 0..reps {
+        html.push_str(base);
+        html.push_str(filler(rng));
+    }
+    html
+}
+
+/// Truncates `html` to a byte prefix of random length — including cuts in
+/// the middle of a multi-byte UTF-8 sequence, which the lossy re-decode
+/// turns into a replacement character (the tokenizer only ever sees valid
+/// `&str`, but the *last character* of its input is now unpredictable).
+pub fn truncate_bytes(html: &str, rng: &mut Rng) -> String {
+    if html.is_empty() {
+        return String::new();
+    }
+    let cut = rng.random_range(0usize..html.len());
+    String::from_utf8_lossy(&html.as_bytes()[..cut]).into_owned()
+}
+
+/// Applies `edits` random byte-level mutations (overwrite, insert, delete)
+/// to `html` and lossily re-decodes. This is the mutation fuzzer the chaos
+/// suite runs over valid corpus documents.
+pub fn mutate_bytes(html: &str, edits: usize, rng: &mut Rng) -> String {
+    let mut bytes = html.as_bytes().to_vec();
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            break;
+        }
+        let at = rng.random_range(0usize..bytes.len());
+        match rng.random_range(0u32..3) {
+            0 => {
+                // Overwrite with a byte biased toward syntax characters.
+                bytes[at] = *[b'<', b'>', b'&', b'/', b'"', b'!', 0x00, 0xFF, b' ']
+                    .choose(rng)
+                    .unwrap_or(&b'<');
+            }
+            1 => {
+                let b = rng.random_range(0u8..=255);
+                bytes.insert(at, b);
+            }
+            _ => {
+                bytes.remove(at);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// One valid corpus document (rotating through all four domains and their
+/// initial sites), for use as mutation-fuzzer input.
+pub fn valid_seed_document(index: usize, seed: u64) -> String {
+    let domain = Domain::ALL[index % Domain::ALL.len()];
+    let styles = crate::sites::initial_sites(domain);
+    let style = &styles[(index / Domain::ALL.len()) % styles.len()];
+    crate::generate_document(style, domain, index, seed).html
+}
+
+/// The adversarial document classes, for batch generation and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Flat run of unclosed start tags ([`tag_bomb`]).
+    TagBomb,
+    /// Explicitly closed deep nesting ([`nesting_tower`]).
+    NestingTower,
+    /// Dense entity references ([`entity_storm`]).
+    EntityStorm,
+    /// Elements with hundreds of attributes ([`attribute_flood`]).
+    AttributeFlood,
+    /// Valid document cut at an arbitrary byte offset ([`truncate_bytes`]).
+    Truncation,
+    /// Comment/CDATA pathologies ([`comment_cdata_abuse`]).
+    CommentAbuse,
+    /// Random byte edits to a valid document ([`mutate_bytes`]).
+    Mutation,
+}
+
+impl AttackKind {
+    /// All attack classes, in a fixed order.
+    pub const ALL: [AttackKind; 7] = [
+        AttackKind::TagBomb,
+        AttackKind::NestingTower,
+        AttackKind::EntityStorm,
+        AttackKind::AttributeFlood,
+        AttackKind::Truncation,
+        AttackKind::CommentAbuse,
+        AttackKind::Mutation,
+    ];
+}
+
+/// Generates the `index`-th adversarial document of the given class.
+/// Deterministic in `(kind, index, seed)`.
+pub fn generate_adversarial(kind: AttackKind, index: usize, seed: u64) -> String {
+    // Mix the class into the stream so equal indices across classes do not
+    // correlate.
+    let class = kind as u64;
+    let mut rng = Rng::from_seed(
+        seed ^ class.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (index as u64).wrapping_mul(0xd134_2543_de82_ef95),
+    );
+    match kind {
+        AttackKind::TagBomb => tag_bomb(&mut rng),
+        AttackKind::NestingTower => nesting_tower(&mut rng),
+        AttackKind::EntityStorm => entity_storm(&mut rng),
+        AttackKind::AttributeFlood => attribute_flood(&mut rng),
+        AttackKind::Truncation => {
+            let doc = valid_seed_document(index, seed);
+            truncate_bytes(&doc, &mut rng)
+        }
+        AttackKind::CommentAbuse => comment_cdata_abuse(&mut rng),
+        AttackKind::Mutation => {
+            let doc = valid_seed_document(index, seed);
+            let edits = rng.random_range(1usize..64);
+            mutate_bytes(&doc, edits, &mut rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for kind in AttackKind::ALL {
+            let a = generate_adversarial(kind, 3, 42);
+            let b = generate_adversarial(kind, 3, 42);
+            assert_eq!(a, b, "{kind:?} not deterministic");
+            let c = generate_adversarial(kind, 4, 42);
+            // Different indices virtually never coincide.
+            assert_ne!(a, c, "{kind:?} ignores index");
+        }
+    }
+
+    #[test]
+    fn outputs_are_valid_utf8_strings_with_expected_shape() {
+        let mut rng = Rng::from_seed(7);
+        let bomb = tag_bomb(&mut rng);
+        assert!(bomb.matches('<').count() >= 100);
+        let tower = nesting_tower(&mut rng);
+        assert!(tower.contains("</"), "tower must be explicitly closed");
+        let storm = entity_storm(&mut rng);
+        assert!(storm.matches('&').count() >= 100);
+        let flood = attribute_flood(&mut rng);
+        assert!(flood.matches('=').count() >= 50);
+    }
+
+    #[test]
+    fn truncation_handles_multibyte_cuts() {
+        let mut rng = Rng::from_seed(9);
+        // A document that is almost entirely multi-byte characters.
+        let doc = "<p>\u{1f480}\u{4e16}\u{e9}</p>".repeat(50);
+        for _ in 0..200 {
+            let cut = truncate_bytes(&doc, &mut rng);
+            // from_utf8_lossy guarantees validity; just exercise it.
+            assert!(cut.len() <= doc.len() + 2);
+        }
+    }
+
+    #[test]
+    fn mutation_survives_any_edit_count() {
+        let mut rng = Rng::from_seed(11);
+        let doc = valid_seed_document(0, 42);
+        for edits in [0, 1, 16, 256] {
+            let m = mutate_bytes(&doc, edits, &mut rng);
+            // Still a valid string (lossy), possibly longer or shorter.
+            assert!(m.is_char_boundary(m.len()));
+        }
+        // Empty input never panics.
+        assert_eq!(mutate_bytes("", 10, &mut rng), "");
+        assert_eq!(truncate_bytes("", &mut rng), "");
+    }
+}

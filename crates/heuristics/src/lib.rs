@@ -62,6 +62,40 @@ pub fn run_all(heuristics: &[&dyn Heuristic], view: &SubtreeView<'_>) -> Vec<Ran
     heuristics.iter().filter_map(|h| h.rank(view)).collect()
 }
 
+/// The outcome of a deadline-governed heuristic run: the rankings that were
+/// produced plus the heuristics that were skipped because the budget ran
+/// out before they started.
+#[derive(Debug, Clone, Default)]
+pub struct GovernedRun {
+    /// Rankings from the heuristics that ran and did not abstain.
+    pub rankings: Vec<Ranking>,
+    /// Heuristics skipped because the deadline had expired, in the order
+    /// they would have run.
+    pub skipped: Vec<HeuristicKind>,
+}
+
+/// Runs the heuristics under a wall-clock [`Deadline`], checking it between
+/// heuristics (one heuristic = one unit of work, so overshoot is bounded by
+/// the longest single heuristic). A skipped heuristic abstains — exactly
+/// like OM with no ontology (§5) — and is reported in
+/// [`GovernedRun::skipped`] so callers can tell a budget skip from a
+/// genuine abstention.
+pub fn run_all_governed(
+    heuristics: &[&dyn Heuristic],
+    view: &SubtreeView<'_>,
+    deadline: &rbd_limits::Deadline,
+) -> GovernedRun {
+    let mut out = GovernedRun::default();
+    for h in heuristics {
+        if deadline.is_expired() {
+            out.skipped.push(h.kind());
+            continue;
+        }
+        out.rankings.extend(h.rank(view));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +123,28 @@ mod tests {
                 HeuristicKind::HT
             ]
         );
+    }
+
+    #[test]
+    fn governed_run_skips_everything_on_expired_deadline() {
+        use rbd_limits::Deadline;
+        use std::time::Duration;
+        let tree = TagTreeBuilder::default()
+            .build("<td><hr><b>A</b>x text<hr><b>B</b>y text<hr><b>C</b>z text<hr></td>");
+        let view = SubtreeView::from_tree(&tree, view::DEFAULT_CANDIDATE_THRESHOLD);
+        let ht = ht::HighestCount;
+        let it = it::IdentifiableTags::default();
+        let hs: [&dyn Heuristic; 2] = [&it, &ht];
+
+        let spent = Deadline::after(Duration::ZERO);
+        let run = run_all_governed(&hs, &view, &spent);
+        assert!(run.rankings.is_empty());
+        assert_eq!(run.skipped, vec![HeuristicKind::IT, HeuristicKind::HT]);
+
+        // An unbounded deadline reproduces run_all exactly.
+        let run = run_all_governed(&hs, &view, &Deadline::unbounded());
+        assert!(run.skipped.is_empty());
+        assert_eq!(run.rankings, run_all(&hs, &view));
     }
 
     #[test]

@@ -67,6 +67,27 @@ impl OntologyMatching {
 }
 
 impl OntologyMatching {
+    /// Governed form of [`Heuristic::rank`]: scans at most
+    /// `max_text_bytes` of the view's plain text (cut at a character
+    /// boundary). Returns the ranking — computed over the scanned prefix,
+    /// the §5 "partial evidence" reading — plus the truncation notice when
+    /// the cap actually cut something, so callers can report the
+    /// degradation instead of silently ranking on less text.
+    pub fn rank_governed(
+        &self,
+        view: &SubtreeView<'_>,
+        max_text_bytes: Option<usize>,
+    ) -> (Option<Ranking>, Option<rbd_limits::LimitExceeded>) {
+        let (text, truncation) = match max_text_bytes {
+            Some(cap) => rbd_limits::truncate_at_char_boundary(view.text(), cap),
+            None => (view.text(), None),
+        };
+        let ranking = self
+            .estimate_record_count(text)
+            .map(|est| Self::rank_with_estimate(view, est));
+        (ranking, truncation)
+    }
+
     /// Ranks candidates against an externally supplied record-count
     /// estimate — used by the integrated pipeline, where the estimate comes
     /// from the recognizer's Data-Record Table instead of a fresh scan
@@ -159,6 +180,29 @@ mod tests {
         let tree = TagTreeBuilder::default().build("<td><hr>alpha<hr>alpha</td>");
         let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
         assert!(om.rank(&view).is_none());
+    }
+
+    #[test]
+    fn governed_rank_reports_truncation() {
+        let om = OntologyMatching::new(domains::obituaries()).unwrap();
+        let doc = obituary_doc();
+        let tree = TagTreeBuilder::default().build(&doc);
+        let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        // Unbounded: identical to the plain rank, no notice.
+        let (full, notice) = om.rank_governed(&view, None);
+        assert!(notice.is_none());
+        assert_eq!(full, om.rank(&view));
+        // Capped well below the text length: still ranks (partial
+        // evidence), but the truncation is reported.
+        let (partial, notice) = om.rank_governed(&view, Some(64));
+        assert!(partial.is_some());
+        let notice = notice.expect("cap cut the text");
+        assert_eq!(notice.limit, rbd_limits::LimitKind::TextBytes);
+        assert_eq!(notice.cap, 64);
+        assert_eq!(notice.observed, view.text().len());
+        // A cap larger than the text changes nothing and reports nothing.
+        let (_, none) = om.rank_governed(&view, Some(view.text().len()));
+        assert!(none.is_none());
     }
 
     #[test]

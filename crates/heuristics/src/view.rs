@@ -60,6 +60,30 @@ impl<'t> SubtreeView<'t> {
         &self.candidates
     }
 
+    /// Truncates the candidate set to at most `max` tags, keeping the
+    /// highest appearance counts (document order among the survivors is
+    /// preserved; ties prefer earlier tags). Returns the count before
+    /// truncation. Resource governance uses this so every heuristic sees
+    /// the same capped set — an event the caller must report, since the
+    /// dropped tags can no longer win the consensus.
+    pub fn cap_candidates(&mut self, max: usize) -> usize {
+        let before = self.candidates.len();
+        if before <= max {
+            return before;
+        }
+        // Rank indices by count descending; stable sort keeps earlier tags
+        // ahead on ties.
+        let mut by_count: Vec<usize> = (0..before).collect();
+        by_count.sort_by_key(|&i| std::cmp::Reverse(self.candidates[i].count));
+        by_count.truncate(max);
+        by_count.sort_unstable(); // back to document order
+        self.candidates = by_count
+            .into_iter()
+            .map(|i| self.candidates[i].clone())
+            .collect();
+        before
+    }
+
     /// `true` if `tag` is one of the candidates.
     pub fn is_candidate(&self, tag: &str) -> bool {
         self.candidates.iter().any(|c| c.name == tag)
@@ -236,6 +260,23 @@ mod tests {
         assert_eq!(&text[..cuts[0]], "pre");
         assert_eq!(&text[cuts[0]..cuts[1]], "alpha");
         assert_eq!(&text[cuts[1]..], "beta");
+    }
+
+    #[test]
+    fn cap_candidates_keeps_top_counts_in_document_order() {
+        let tree = TagTreeBuilder::default().build(doc());
+        let mut view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        // hr=3, b=3, br=3 in document order hr, b, br. Capping to 2 keeps
+        // the first two on the count tie.
+        let before = view.cap_candidates(2);
+        assert_eq!(before, 3);
+        let names: Vec<&str> = view.candidates().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["hr", "b"]);
+        assert!(!view.is_candidate("br"));
+        // Capping above the length is a no-op.
+        let mut view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
+        assert_eq!(view.cap_candidates(10), 3);
+        assert_eq!(view.candidates().len(), 3);
     }
 
     #[test]

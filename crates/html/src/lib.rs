@@ -43,7 +43,10 @@ pub mod tokenizer;
 pub use entities::decode_entities;
 pub use span::Span;
 pub use token::{Attribute, EndTag, StartTag, Text, Token};
-pub use tokenizer::{tokenize, tokenize_xml, TokenStream, Tokenizer, Warning, WarningKind};
+pub use tokenizer::{
+    tokenize, tokenize_budgeted, tokenize_xml, tokenize_xml_budgeted, TokenBudget, TokenStream,
+    Tokenizer, Warning, WarningKind,
+};
 
 /// Returns `true` for element names that, in pre-HTML5 practice, never take
 /// an end tag ("void" elements). The tag-tree builder uses this only as a

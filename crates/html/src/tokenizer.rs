@@ -9,6 +9,7 @@ use crate::entities::decode_entities;
 use crate::is_raw_text_element;
 use crate::span::Span;
 use crate::token::{Attribute, EndTag, StartTag, Text, Token};
+use rbd_limits::{LimitExceeded, LimitKind};
 
 /// A non-fatal oddity observed while tokenizing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +74,75 @@ pub fn tokenize(source: &str) -> TokenStream {
 /// elements). Equally forgiving of malformed input.
 pub fn tokenize_xml(source: &str) -> TokenStream {
     Tokenizer::new_xml(source).run()
+}
+
+/// A resource budget for one tokenizer run.
+///
+/// The scanner is a single pass whose token stream, warnings and decoded
+/// text are all proportional to the input, so the input-byte cap bounds
+/// every allocation the run can make. The cap is enforced *before* the
+/// scan starts: a document over budget is rejected whole, never silently
+/// truncated (cutting at an arbitrary byte would manufacture tags and
+/// text the document does not contain).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TokenBudget {
+    /// Maximum input length in bytes; `None` is unbounded.
+    pub max_input_bytes: Option<usize>,
+}
+
+impl TokenBudget {
+    /// A budget with no caps — `check` always passes.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        TokenBudget::default()
+    }
+
+    /// A budget capping the input at `max_input_bytes`.
+    #[must_use]
+    pub fn with_max_input_bytes(max_input_bytes: usize) -> Self {
+        TokenBudget {
+            max_input_bytes: Some(max_input_bytes),
+        }
+    }
+
+    /// Checks `source` against the budget without scanning it.
+    ///
+    /// # Errors
+    /// [`LimitExceeded`] with [`LimitKind::InputBytes`] when the source is
+    /// longer than the cap.
+    pub fn check(&self, source: &str) -> Result<(), LimitExceeded> {
+        match self.max_input_bytes {
+            Some(cap) if source.len() > cap => Err(LimitExceeded {
+                limit: LimitKind::InputBytes,
+                cap,
+                observed: source.len(),
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Tokenizes an HTML document under a [`TokenBudget`].
+///
+/// # Errors
+/// [`LimitExceeded`] when the input is over the budget's byte cap; the
+/// scan is not attempted.
+pub fn tokenize_budgeted(source: &str, budget: &TokenBudget) -> Result<TokenStream, LimitExceeded> {
+    budget.check(source)?;
+    Ok(tokenize(source))
+}
+
+/// Tokenizes an XML document under a [`TokenBudget`].
+///
+/// # Errors
+/// [`LimitExceeded`] when the input is over the budget's byte cap; the
+/// scan is not attempted.
+pub fn tokenize_xml_budgeted(
+    source: &str,
+    budget: &TokenBudget,
+) -> Result<TokenStream, LimitExceeded> {
+    budget.check(source)?;
+    Ok(tokenize_xml(source))
 }
 
 /// Streaming tokenizer over a borrowed source document.

@@ -23,3 +23,15 @@ pub fn is_start(token: &Token) -> bool {
         _ => false,
     }
 }
+
+pub fn decoded(input: &str) -> String {
+    // rbd-lint: allow(budget) — output never exceeds the already-capped input
+    let mut out = String::with_capacity(input.len());
+    out.push_str(input);
+    out
+}
+
+pub fn bounded(input: &str, limit: usize) -> Vec<u8> {
+    // Governed: the enclosing function names its limit, so no allow needed.
+    Vec::with_capacity(input.len().min(limit))
+}

@@ -1,0 +1,17 @@
+//! Fixture: hot-path growth without governance — an input-proportional
+//! allocation and a recursive descent, neither tied to any budget.
+
+pub fn collect_names(input: &str) -> Vec<String> {
+    let mut out = Vec::with_capacity(input.len());
+    for piece in input.split('<') {
+        out.push(piece.to_owned());
+    }
+    out
+}
+
+pub fn walk(depth: usize) -> usize {
+    if depth == 0 {
+        return 0;
+    }
+    walk(depth - 1) + 1
+}

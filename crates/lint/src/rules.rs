@@ -26,6 +26,10 @@ pub enum Rule {
     /// An `rbd-lint` allow directive that is malformed or lacks its
     /// justification string.
     BadAllow,
+    /// Hot-path growth without governance: a `with_capacity(` allocation or
+    /// a self-recursive function in `crates/html`/`crates/tagtree` whose
+    /// enclosing function never names a budget, limit, or cap.
+    Budget,
 }
 
 impl Rule {
@@ -37,16 +41,18 @@ impl Rule {
             Rule::WildcardMatch => "wildcard-match",
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::BadAllow => "bad-allow",
+            Rule::Budget => "budget",
         }
     }
 
     /// All rules an allow directive may name.
-    pub fn all() -> [Rule; 4] {
+    pub fn all() -> [Rule; 5] {
         [
             Rule::Panic,
             Rule::Cast,
             Rule::WildcardMatch,
             Rule::ForbidUnsafe,
+            Rule::Budget,
         ]
     }
 }
@@ -138,6 +144,7 @@ pub fn lint_source(path: &Path, source: &str, tier: Tier, is_crate_root: bool) -
     if is_crate_root {
         check_forbid_unsafe(path, &analysis, &mut findings);
     }
+    check_budget(path, &analysis, tier, &mut findings);
     check_allow_directives(path, &analysis, &mut findings);
 
     // Apply test exemption (panic-freedom rules only) and allow directives.
@@ -145,8 +152,10 @@ pub fn lint_source(path: &Path, source: &str, tier: Tier, is_crate_root: bool) -
         if f.rule == Rule::BadAllow {
             return true;
         }
-        let test_exempt = matches!(f.rule, Rule::Panic | Rule::Cast | Rule::WildcardMatch)
-            && analysis.is_test_line(f.line);
+        let test_exempt = matches!(
+            f.rule,
+            Rule::Panic | Rule::Cast | Rule::WildcardMatch | Rule::Budget
+        ) && analysis.is_test_line(f.line);
         !test_exempt && !analysis.is_allowed(f.rule.name(), f.line)
     });
     findings.sort_by_key(|f| f.line);
@@ -467,6 +476,122 @@ fn check_forbid_unsafe(path: &Path, a: &Analysis, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Identifiers whose presence in the enclosing function marks growth as
+/// governed: the function either takes a budget, checks a limit, or caps
+/// its input before allocating.
+fn mentions_budget_check(body: &str) -> bool {
+    ["budget", "limit", "cap", "deadline"].iter().any(|w| {
+        occurrences(body, w).any(|at| {
+            // Prefix match is intentional — `budget`, `limits`, `capacity`
+            // all count; only a preceding identifier byte (as in `recap`)
+            // disqualifies, so `with_capacity` itself never self-certifies.
+            let bytes = body.as_bytes();
+            at.checked_sub(1)
+                .and_then(|i| bytes.get(i))
+                .is_none_or(|&b| !is_ident_byte(b))
+        })
+    })
+}
+
+/// `fn` items in the masked source: `(name, header_offset, body_range)`.
+fn fn_items(masked: &str) -> Vec<(String, usize, std::ops::Range<usize>)> {
+    let mut items = Vec::new();
+    for at in occurrences(masked, "fn") {
+        if !word_boundary(masked, at, 2) {
+            continue;
+        }
+        let rest = masked.get(at + 2..).unwrap_or("").trim_start();
+        let name: String = rest
+            .chars()
+            .take_while(|&c| c.is_ascii_alphanumeric() || c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        // The body opens at the first brace at zero paren/bracket depth
+        // after the header; a `;` first means a trait method signature.
+        let Some(open) = find_block_open(masked, at + 2) else {
+            continue;
+        };
+        let Some(close) = match_brace(masked, open) else {
+            continue;
+        };
+        items.push((name, at, open..close + 1));
+    }
+    items
+}
+
+/// Hot-path growth governance: every `with_capacity(` allocation and every
+/// textually self-recursive function in a hot-tier file must sit in a
+/// function that names a budget/limit/cap/deadline, or carry a justified
+/// `allow(budget)`. Library-tier files are exempt — the rule encodes a
+/// contract specific to the tokenizer/tree-builder hot path, where input
+/// is attacker-controlled and growth must be provably bounded.
+fn check_budget(path: &Path, a: &Analysis, tier: Tier, findings: &mut Vec<Finding>) {
+    if tier != Tier::Hot {
+        return;
+    }
+    let fns = fn_items(&a.masked);
+    let enclosing = |at: usize| {
+        fns.iter()
+            .filter(|(_, _, body)| body.contains(&at))
+            .max_by_key(|(_, _, body)| body.start)
+    };
+
+    for at in occurrences(&a.masked, "with_capacity(") {
+        if !word_boundary(&a.masked, at, "with_capacity".len()) {
+            continue;
+        }
+        let governed = enclosing(at)
+            .map(|(_, _, body)| a.masked.get(body.clone()).unwrap_or(""))
+            .is_some_and(mentions_budget_check);
+        if !governed {
+            push(
+                findings,
+                path,
+                a.line_of(at),
+                Rule::Budget,
+                Severity::Deny,
+                "hot-path `with_capacity` without a budget check in the enclosing \
+                 function; cap the size or justify with allow(budget)"
+                    .to_owned(),
+            );
+        }
+    }
+
+    for (name, header, body) in &fns {
+        let text = a.masked.get(body.clone()).unwrap_or("");
+        if mentions_budget_check(text) {
+            continue;
+        }
+        // Direct self-call `name(` at a word boundary, not a method or an
+        // associated call on some other type (`.name(`, `::name(`) — the
+        // classic unbounded recursive-descent shape.
+        let needle = format!("{name}(");
+        let recursive = occurrences(text, &needle).any(|rel| {
+            let abs = body.start + rel;
+            if !word_boundary(&a.masked, abs, name.len()) {
+                return false;
+            }
+            let prev = abs.checked_sub(1).and_then(|i| a.masked.as_bytes().get(i));
+            !matches!(prev, Some(b'.') | Some(b':'))
+        });
+        if recursive {
+            push(
+                findings,
+                path,
+                a.line_of(*header),
+                Rule::Budget,
+                Severity::Deny,
+                format!(
+                    "hot-path function `{name}` recurses without a depth budget; \
+                     convert to an explicit stack or justify with allow(budget)"
+                ),
+            );
+        }
+    }
+}
+
 fn check_allow_directives(path: &Path, a: &Analysis, findings: &mut Vec<Finding>) {
     for &line in &a.malformed_allows {
         push(
@@ -718,5 +843,77 @@ mod tests {
         let src = "fn f() {} // rbd-lint: allow(bogus) — justification present\n";
         let f = lint(src);
         assert_eq!(rules_of(&f), vec![Rule::BadAllow]);
+    }
+
+    // --- budget rule ---
+
+    #[test]
+    fn ungoverned_with_capacity_flagged_in_hot_tier() {
+        let src = "fn f(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n";
+        let f = lint(src);
+        assert_eq!(rules_of(&f), vec![Rule::Budget]);
+        assert_eq!(f.first().map(|x| x.severity), Some(Severity::Deny));
+    }
+
+    #[test]
+    fn budget_identifier_in_function_governs_allocation() {
+        for src in [
+            "fn f(n: usize, budget: usize) -> Vec<u8> { Vec::with_capacity(n.min(budget)) }\n",
+            "fn f(n: usize, limit: usize) -> Vec<u8> { Vec::with_capacity(n.min(limit)) }\n",
+            "fn f(n: usize, cap: usize) -> Vec<u8> { Vec::with_capacity(n.min(cap)) }\n",
+        ] {
+            assert!(lint(src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn with_capacity_does_not_self_certify_via_cap_prefix() {
+        // The `cap` inside `with_capacity` itself must not count as
+        // governance.
+        let src = "fn f(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n";
+        assert!(!lint(src).is_empty());
+    }
+
+    #[test]
+    fn self_recursion_flagged_without_depth_budget() {
+        let src =
+            "fn walk(d: usize) -> usize {\n    if d == 0 { return 0; }\n    walk(d - 1) + 1\n}\n";
+        let f = lint(src);
+        assert_eq!(rules_of(&f), vec![Rule::Budget]);
+    }
+
+    #[test]
+    fn self_recursion_with_budget_not_flagged() {
+        let src = "fn walk(d: usize, budget: usize) -> usize {\n    if d >= budget { return 0; }\n    walk(d + 1, budget) + 1\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn method_and_associated_calls_are_not_recursion() {
+        // `Other::new(...)` and `self.len()` inside `fn new`/`fn len` are
+        // calls to *different* items, not self-recursion.
+        let src = "fn new(n: usize) -> Vec<u8> { Other::new(n).collect() }\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+        let src = "fn len(v: &[u8]) -> usize { v.len() }\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn budget_rule_is_hot_tier_only() {
+        let src = "fn f(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n";
+        let lib = lint_source(Path::new("a.rs"), src, Tier::Library, false);
+        assert!(lib.is_empty(), "{lib:?}");
+    }
+
+    #[test]
+    fn budget_rule_exempts_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn helper(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn justified_allow_suppresses_budget() {
+        let src = "fn f(n: usize) -> Vec<u8> {\n    // rbd-lint: allow(budget) — n is the token count, capped upstream\n    Vec::with_capacity(n)\n}\n";
+        assert!(lint(src).is_empty());
     }
 }

@@ -124,3 +124,11 @@ fn in_tree_harness_crates_are_scanned() {
         );
     }
 }
+
+#[test]
+fn budget_fixture_denies_allocation_and_recursion() {
+    assert_denies("violations/budget.rs", Rule::Budget);
+    let findings = lint_path(&fixture("violations/budget.rs")).expect("fixture readable");
+    let budget: Vec<_> = findings.iter().filter(|f| f.rule == Rule::Budget).collect();
+    assert_eq!(budget.len(), 2, "allocation + recursion: {budget:?}");
+}

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use rbd_limits::{Deadline, LimitExceeded};
 use rbd_ontology::rules::om_field_budget;
 use rbd_ontology::{MatchKind, MatchingRules, Ontology};
 use rbd_pattern::{MultiPattern, PatternError};
@@ -176,6 +177,39 @@ impl Recognizer {
         DataRecordTable { entries }
     }
 
+    /// Governed form of [`Recognizer::recognize`].
+    ///
+    /// The one-pass scan is the recognizer's indivisible unit of work — the
+    /// lock-step multi-pattern engine cannot stop mid-pass without losing
+    /// boundary-spanning matches — so governance happens around it: the
+    /// deadline is checked *before* the scan (an expired budget skips it
+    /// entirely and yields an empty table), and `max_text_bytes` caps how
+    /// much text the one pass may cover (cut at a character boundary).
+    /// Either degradation is reported in the result, never silent.
+    pub fn recognize_governed(
+        &self,
+        text: &str,
+        max_text_bytes: Option<usize>,
+        deadline: &Deadline,
+    ) -> GovernedRecognition {
+        if deadline.is_expired() {
+            return GovernedRecognition {
+                table: DataRecordTable::default(),
+                truncation: None,
+                skipped: Some(deadline.exceeded()),
+            };
+        }
+        let (scanned, truncation) = match max_text_bytes {
+            Some(cap) => rbd_limits::truncate_at_char_boundary(text, cap),
+            None => (text, None),
+        };
+        GovernedRecognition {
+            table: self.recognize(scanned),
+            truncation,
+            skipped: None,
+        }
+    }
+
     /// Reference implementation: every rule's own engine, one scan per rule.
     /// Kept for differential testing and the amortization benchmark.
     pub fn recognize_separately(&self, text: &str) -> DataRecordTable {
@@ -192,6 +226,28 @@ impl Recognizer {
         }
         sort_entries(&mut entries);
         DataRecordTable { entries }
+    }
+}
+
+/// The outcome of a governed recognition pass: the (possibly partial)
+/// Data-Record Table plus typed notices for whatever was not scanned.
+#[derive(Debug, Clone, Default)]
+pub struct GovernedRecognition {
+    /// Entries recognized in the scanned portion of the text.
+    pub table: DataRecordTable,
+    /// Set when the text cap cut the scan short ([`rbd_limits::LimitKind::TextBytes`]):
+    /// the table covers only the prefix.
+    pub truncation: Option<LimitExceeded>,
+    /// Set when the deadline had already expired and the scan was skipped
+    /// entirely ([`rbd_limits::LimitKind::WallClock`]): the table is empty.
+    pub skipped: Option<LimitExceeded>,
+}
+
+impl GovernedRecognition {
+    /// `true` when the pass ran to completion over the full text.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.truncation.is_none() && self.skipped.is_none()
     }
 }
 
@@ -327,6 +383,40 @@ mod tests {
         assert!(s.contains("descriptor"));
         assert!(s.contains("DeathDate"));
         assert!(s.contains("died on"));
+    }
+
+    #[test]
+    fn governed_recognition_full_run_matches_ungoverned() {
+        let rec = Recognizer::new(&domains::obituaries()).unwrap();
+        let text = "Ann B. Smith died on May 1, 1998, age 90.";
+        let g = rec.recognize_governed(text, None, &Deadline::unbounded());
+        assert!(g.is_complete());
+        assert_eq!(g.table.entries(), rec.recognize(text).entries());
+    }
+
+    #[test]
+    fn governed_recognition_caps_text() {
+        let rec = Recognizer::new(&domains::obituaries()).unwrap();
+        let text = "Ann B. Smith died on May 1, 1998. Bob C. Jones died on May 2, 1998.";
+        let cap = 34; // covers only the first sentence
+        let g = rec.recognize_governed(text, Some(cap), &Deadline::unbounded());
+        let t = g.truncation.expect("cap cut the text");
+        assert_eq!(t.limit, rbd_limits::LimitKind::TextBytes);
+        assert_eq!(t.observed, text.len());
+        assert!(g.skipped.is_none());
+        // Table covers only the scanned prefix.
+        assert!(g.table.entries().iter().all(|e| e.position < cap));
+        assert!(!g.table.is_empty());
+    }
+
+    #[test]
+    fn governed_recognition_skips_on_expired_deadline() {
+        let rec = Recognizer::new(&domains::obituaries()).unwrap();
+        let spent = Deadline::after(std::time::Duration::ZERO);
+        let g = rec.recognize_governed("Ann B. Smith died on May 1, 1998.", None, &spent);
+        assert!(g.table.is_empty());
+        let skipped = g.skipped.expect("scan was skipped");
+        assert_eq!(skipped.limit, rbd_limits::LimitKind::WallClock);
     }
 
     #[test]

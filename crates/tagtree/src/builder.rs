@@ -2,17 +2,19 @@
 //! normalization (steps 1–2) with tree construction (step 3).
 
 use crate::event::{normalize_tokens, NormalizeStats};
-use crate::tree::{tree_from_events, TagTree, TreeError};
-use rbd_html::{TokenStream, Tokenizer};
+use crate::tree::{tree_from_events_budgeted, TagTree, TreeBudget, TreeError};
+use rbd_html::{TokenBudget, TokenStream, Tokenizer};
 
 /// Builds [`TagTree`]s from raw HTML.
 ///
-/// The builder is stateless today but is a struct so future options (e.g.
-/// alternative irrelevance thresholds, tag filters) extend without breaking
-/// the API.
+/// The default builder is unbudgeted and reproduces the historical
+/// behavior byte for byte; [`TagTreeBuilder::with_budget`] adds resource
+/// caps for hostile input (enforced through the fallible `try_*` API —
+/// the infallible `build` degrades a breached budget to an empty tree).
 #[derive(Debug, Clone, Default)]
 pub struct TagTreeBuilder {
     xml: bool,
+    budget: TreeBudget,
 }
 
 impl TagTreeBuilder {
@@ -25,6 +27,12 @@ impl TagTreeBuilder {
     /// approach "should carry over directly to other DTDs, such as XML".
     pub fn xml(mut self) -> Self {
         self.xml = true;
+        self
+    }
+
+    /// Sets the resource budget enforced by the `try_*` build methods.
+    pub fn with_budget(mut self, budget: TreeBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -59,9 +67,11 @@ impl TagTreeBuilder {
 
     /// Fallible form of [`TagTreeBuilder::build`].
     ///
-    /// Normalization guarantees a balanced event stream, so in practice the
-    /// only reachable error is [`TreeError::TooManyNodes`] on documents with
-    /// more than `u32::MAX` start-tags.
+    /// With the default (unbounded) budget the only reachable error is
+    /// [`TreeError::TooManyNodes`] on documents with more than `u32::MAX`
+    /// start-tags — normalization guarantees a balanced event stream. A
+    /// builder configured via [`TagTreeBuilder::with_budget`] additionally
+    /// returns [`TreeError::Limit`] when a cap trips.
     pub fn try_build(&self, source: &str) -> Result<TagTree, TreeError> {
         self.try_build_with_stats(source).map(|(tree, _)| tree)
     }
@@ -71,6 +81,10 @@ impl TagTreeBuilder {
         &self,
         source: &str,
     ) -> Result<(TagTree, NormalizeStats), TreeError> {
+        TokenBudget {
+            max_input_bytes: self.budget.max_input_bytes,
+        }
+        .check(source)?;
         let tokens = if self.xml {
             Tokenizer::new_xml(source).run()
         } else {
@@ -87,7 +101,10 @@ impl TagTreeBuilder {
     ) -> Result<(TagTree, NormalizeStats), TreeError> {
         let (events, stats) = normalize_tokens(tokens);
         debug_assert!(crate::event::is_balanced(&events));
-        Ok((tree_from_events(&events, source_len)?, stats))
+        Ok((
+            tree_from_events_budgeted(&events, source_len, &self.budget)?,
+            stats,
+        ))
     }
 }
 

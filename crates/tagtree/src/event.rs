@@ -91,6 +91,7 @@ pub fn normalize(source: &str) -> (Vec<Event>, NormalizeStats) {
 /// Normalization over an already-tokenized stream.
 pub fn normalize_tokens(tokens: &TokenStream) -> (Vec<Event>, NormalizeStats) {
     let mut stats = NormalizeStats::default();
+    // rbd-lint: allow(budget) — proportional to the token stream, which the TokenBudget caps
     let mut events: Vec<Event> = Vec::with_capacity(tokens.tokens.len() + 16);
     let mut stack: Vec<Open> = Vec::new();
     // Pending synthetic end-tags keyed by the index (into `events`) of the
@@ -222,6 +223,7 @@ fn splice(events: Vec<Event>, mut pending: Vec<(usize, Event)>) -> Vec<Event> {
     // Stable sort by anchor; entries pushed earlier (inner tags) must come
     // first at the same anchor to preserve nesting.
     pending.sort_by_key(|(a, _)| *a);
+    // rbd-lint: allow(budget) — bounded by the event stream already built under the TreeBudget
     let mut out = Vec::with_capacity(events.len() + pending.len());
     let mut queue = pending.into_iter().peekable();
     for (i, ev) in events.into_iter().enumerate() {

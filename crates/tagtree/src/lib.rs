@@ -53,4 +53,4 @@ pub mod tree;
 
 pub use builder::TagTreeBuilder;
 pub use event::{normalize, Event, NormalizeStats};
-pub use tree::{CandidateTag, FlatEvent, Node, NodeId, TagTree, TreeError};
+pub use tree::{CandidateTag, FlatEvent, Node, NodeId, TagTree, TreeBudget, TreeError};

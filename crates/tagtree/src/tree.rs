@@ -2,6 +2,7 @@
 
 use crate::event::Event;
 use rbd_html::Span;
+use rbd_limits::{LimitExceeded, LimitKind};
 use std::fmt;
 
 /// Index of a node in a [`TagTree`]'s arena.
@@ -38,6 +39,11 @@ pub enum TreeError {
     /// The stream would produce more than `u32::MAX` nodes, overflowing the
     /// arena's `NodeId` space.
     TooManyNodes,
+    /// A configured [`TreeBudget`] cap was exceeded (input bytes, arena
+    /// nodes, or nesting depth). Unlike the two errors above this one is
+    /// *routinely* reachable — it is how a governed build refuses a tag
+    /// bomb instead of allocating it.
+    Limit(LimitExceeded),
 }
 
 impl fmt::Display for TreeError {
@@ -47,11 +53,44 @@ impl fmt::Display for TreeError {
             TreeError::TooManyNodes => {
                 write!(f, "event stream exceeds the arena's u32 node capacity")
             }
+            TreeError::Limit(e) => write!(f, "tree construction over budget: {e}"),
         }
     }
 }
 
 impl std::error::Error for TreeError {}
+
+impl From<LimitExceeded> for TreeError {
+    fn from(e: LimitExceeded) -> Self {
+        TreeError::Limit(e)
+    }
+}
+
+/// A resource budget for one tag-tree build.
+///
+/// Every cap is `None` (unbounded) by default, which reproduces the
+/// historical unbudgeted behavior exactly. Caps are enforced *during*
+/// construction, before the offending allocation happens: a build that
+/// would exceed a cap returns [`TreeError::Limit`] — it never returns a
+/// silently truncated tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeBudget {
+    /// Maximum source length in bytes (checked before tokenizing).
+    pub max_input_bytes: Option<usize>,
+    /// Maximum arena size in nodes, *including* the synthetic root.
+    pub max_nodes: Option<usize>,
+    /// Maximum nesting depth of open elements (the root sits at depth 0,
+    /// its children at depth 1).
+    pub max_depth: Option<usize>,
+}
+
+impl TreeBudget {
+    /// A budget with no caps.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        TreeBudget::default()
+    }
+}
 
 /// One node of the tag tree: the paper's `[G, I, O]` triple plus structure.
 #[derive(Debug, Clone)]
@@ -242,7 +281,16 @@ impl TagTree {
     /// uses 10 %) of the subtree's total tag count. Tags below the
     /// threshold are *irrelevant*.
     pub fn candidate_tags(&self, id: NodeId, threshold: f64) -> Vec<CandidateTag> {
-        let total = self.subtree_tag_count(id) as f64;
+        let total_tags = self.subtree_tag_count(id);
+        if total_tags == 0 {
+            // A leaf subtree (empty or all-comment document) has no child
+            // tags and therefore no candidates. Returning early keeps the
+            // answer out of float territory: `count >= threshold * 0.0`
+            // would otherwise admit every tag of a hypothetical caller that
+            // mixed ids across trees, and NaN comparisons are always false.
+            return Vec::new();
+        }
+        let total = total_tags as f64;
         self.child_tag_counts(id)
             .into_iter()
             .filter(|t| (t.count as f64) >= threshold * total)
@@ -254,6 +302,13 @@ impl TagTree {
     /// trailing). The subtree root's own tag is *not* included; its inner
     /// text is.
     pub fn flatten(&self, id: NodeId) -> Vec<FlatEvent> {
+        // Explicit-stack walk: tag + inner text on entry, trailing text on
+        // exit. Depth is bounded by the source, not the call stack, so a
+        // deep-nesting tower cannot overflow here.
+        enum Walk {
+            Enter(NodeId, usize),
+            Exit(NodeId),
+        }
         let mut out = Vec::new();
         let root_node = self.node(id);
         if !root_node.inner_text.is_empty() {
@@ -261,32 +316,42 @@ impl TagTree {
                 text: root_node.inner_text.clone(),
             });
         }
-        for &c in &root_node.children {
-            self.flatten_into(c, 1, &mut out);
+        let mut stack: Vec<Walk> = root_node
+            .children
+            .iter()
+            .rev()
+            .map(|&c| Walk::Enter(c, 1))
+            .collect();
+        while let Some(item) = stack.pop() {
+            match item {
+                Walk::Enter(id, depth) => {
+                    let node = self.node(id);
+                    out.push(FlatEvent::Tag {
+                        name: node.name.clone(),
+                        depth,
+                        src_pos: node.start_tag.start,
+                    });
+                    if !node.inner_text.is_empty() {
+                        out.push(FlatEvent::Text {
+                            text: node.inner_text.clone(),
+                        });
+                    }
+                    stack.push(Walk::Exit(id));
+                    for &c in node.children.iter().rev() {
+                        stack.push(Walk::Enter(c, depth + 1));
+                    }
+                }
+                Walk::Exit(id) => {
+                    let node = self.node(id);
+                    if !node.trailing_text.is_empty() {
+                        out.push(FlatEvent::Text {
+                            text: node.trailing_text.clone(),
+                        });
+                    }
+                }
+            }
         }
         out
-    }
-
-    fn flatten_into(&self, id: NodeId, depth: usize, out: &mut Vec<FlatEvent>) {
-        let node = self.node(id);
-        out.push(FlatEvent::Tag {
-            name: node.name.clone(),
-            depth,
-            src_pos: node.start_tag.start,
-        });
-        if !node.inner_text.is_empty() {
-            out.push(FlatEvent::Text {
-                text: node.inner_text.clone(),
-            });
-        }
-        for &c in &node.children {
-            self.flatten_into(c, depth + 1, out);
-        }
-        if !node.trailing_text.is_empty() {
-            out.push(FlatEvent::Text {
-                text: node.trailing_text.clone(),
-            });
-        }
     }
 
     /// Concatenated plain text of the subtree rooted at `id`.
@@ -315,21 +380,22 @@ impl TagTree {
 
     /// Renders the tree as an indented outline (for debugging and docs).
     pub fn outline(&self) -> String {
+        // Iterative preorder: outline depth is bounded by the document's
+        // nesting, never by the call stack.
         let mut s = String::new();
-        self.outline_into(NodeId::ROOT, 0, &mut s);
+        let mut stack: Vec<(NodeId, usize)> = vec![(NodeId::ROOT, 0)];
+        while let Some((id, depth)) = stack.pop() {
+            let node = self.node(id);
+            for _ in 0..depth {
+                s.push_str("  ");
+            }
+            s.push_str(&node.name);
+            s.push('\n');
+            for &c in node.children.iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
         s
-    }
-
-    fn outline_into(&self, id: NodeId, depth: usize, out: &mut String) {
-        let node = self.node(id);
-        for _ in 0..depth {
-            out.push_str("  ");
-        }
-        out.push_str(&node.name);
-        out.push('\n');
-        for &c in &node.children {
-            self.outline_into(c, depth + 1, out);
-        }
     }
 }
 
@@ -346,13 +412,19 @@ fn root_node(source_len: usize) -> Node {
     }
 }
 
-/// Rebuilds a [`TagTree`] from normalized events — exposed for property
-/// tests that validate builder equivalence.
+/// Rebuilds a [`TagTree`] from normalized events.
 ///
 /// Total: an unbalanced stream yields [`TreeError::Unbalanced`] instead of
 /// panicking, and node counts past `u32::MAX` yield
-/// [`TreeError::TooManyNodes`].
-pub(crate) fn tree_from_events(events: &[Event], source_len: usize) -> Result<TagTree, TreeError> {
+/// [`TreeError::TooManyNodes`]. Budget caps (nodes, depth) are checked
+/// *before* the allocation or push that would exceed them, so a tag bomb is
+/// refused at its cap, not after materializing; an unbounded budget
+/// reproduces the historical unbudgeted behavior exactly.
+pub(crate) fn tree_from_events_budgeted(
+    events: &[Event],
+    source_len: usize,
+    budget: &TreeBudget,
+) -> Result<TagTree, TreeError> {
     let mut nodes = vec![root_node(source_len)];
     let mut stack: Vec<NodeId> = vec![NodeId::ROOT];
     // The node the last event "belongs" to for text attachment: Start(x)
@@ -369,6 +441,26 @@ pub(crate) fn tree_from_events(events: &[Event], source_len: usize) -> Result<Ta
                 let Some(&parent) = stack.last() else {
                     return Err(TreeError::Unbalanced);
                 };
+                if let Some(cap) = budget.max_nodes {
+                    if nodes.len() >= cap {
+                        return Err(TreeError::Limit(LimitExceeded {
+                            limit: LimitKind::TreeNodes,
+                            cap,
+                            observed: nodes.len() + 1,
+                        }));
+                    }
+                }
+                if let Some(cap) = budget.max_depth {
+                    // The new node would sit at depth == stack.len() (root
+                    // is depth 0 with stack.len() == 1 before the push).
+                    if stack.len() > cap {
+                        return Err(TreeError::Limit(LimitExceeded {
+                            limit: LimitKind::NestingDepth,
+                            cap,
+                            observed: stack.len(),
+                        }));
+                    }
+                }
                 let raw = u32::try_from(nodes.len()).map_err(|_| TreeError::TooManyNodes)?;
                 let id = NodeId(raw);
                 nodes.push(Node {
@@ -562,6 +654,125 @@ mod tests {
         let br = tree.node(tree.node(td).children[0]);
         assert_eq!(br.name, "br");
         assert_eq!(br.region.slice(src), "<br>text");
+    }
+
+    #[test]
+    fn leaf_subtree_has_no_candidates() {
+        // A leaf node's subtree has zero tags; the 10 % threshold base is
+        // zero and the candidate set must be empty by the early guard, not
+        // by float comparison luck.
+        let tree = build("<td>just text</td>");
+        let td = tree.ids().find(|&i| tree.node(i).name == "td").unwrap();
+        assert_eq!(tree.subtree_tag_count(td), 0);
+        assert!(tree.candidate_tags(td, 0.10).is_empty());
+        // Zero threshold on a zero-tag subtree is the degenerate corner:
+        // still no candidates, because there are no child tags at all.
+        assert!(tree.candidate_tags(td, 0.0).is_empty());
+    }
+
+    #[test]
+    fn all_comment_document_has_no_candidates() {
+        let tree = build("<!-- a --><!-- b --><!-- c -->");
+        assert!(tree.is_empty());
+        assert!(tree.candidate_tags(tree.root(), 0.10).is_empty());
+    }
+
+    fn nested_divs(depth: usize) -> String {
+        let mut doc = String::with_capacity(depth * 11 + 4);
+        for _ in 0..depth {
+            doc.push_str("<div>");
+        }
+        doc.push_str("core");
+        for _ in 0..depth {
+            doc.push_str("</div>");
+        }
+        doc
+    }
+
+    #[test]
+    fn deep_flatten_is_iterative() {
+        // flatten() must survive nesting far beyond any call stack; 100k
+        // levels would overflow a recursive walk in debug builds.
+        let depth = 100_000;
+        let tree = build(&nested_divs(depth));
+        assert_eq!(tree.len(), depth + 1);
+        let flat = tree.flatten(tree.root());
+        assert_eq!(flat.len(), depth + 1); // one tag per div + the text run
+    }
+
+    #[test]
+    fn deep_outline_walks_whole_tree() {
+        // Outline output is quadratic in depth (indentation), so this stays
+        // modest; the walk itself is the same explicit-stack preorder.
+        let depth = 4_000;
+        let tree = build(&nested_divs(depth));
+        assert_eq!(tree.outline().lines().count(), depth + 1);
+    }
+
+    #[test]
+    fn node_budget_refuses_tag_bomb() {
+        use crate::tree::TreeBudget;
+        use rbd_limits::LimitKind;
+        let bomb = "<b>".repeat(1000);
+        let builder = TagTreeBuilder::default().with_budget(TreeBudget {
+            max_nodes: Some(100),
+            ..TreeBudget::default()
+        });
+        match builder.try_build(&bomb) {
+            Err(super::TreeError::Limit(e)) => {
+                assert_eq!(e.limit, LimitKind::TreeNodes);
+                assert_eq!(e.cap, 100);
+                assert_eq!(e.observed, 101);
+            }
+            other => panic!("expected node-limit error, got {other:?}"),
+        }
+        // Exactly at the cap (99 start tags + root = 100 nodes) still builds.
+        let ok = builder.try_build(&"<b>".repeat(99)).unwrap();
+        assert_eq!(ok.len(), 100);
+    }
+
+    #[test]
+    fn depth_budget_refuses_nesting_tower() {
+        use crate::tree::TreeBudget;
+        use rbd_limits::LimitKind;
+        // Explicitly closed nesting: an unclosed `<div>` tower would be
+        // normalized into *siblings* (missing end-tags close at the next
+        // tag), never reaching depth 2.
+        let builder = TagTreeBuilder::default().with_budget(TreeBudget {
+            max_depth: Some(16),
+            ..TreeBudget::default()
+        });
+        match builder.try_build(&nested_divs(64)) {
+            Err(super::TreeError::Limit(e)) => {
+                assert_eq!(e.limit, LimitKind::NestingDepth);
+                assert_eq!(e.cap, 16);
+            }
+            other => panic!("expected depth-limit error, got {other:?}"),
+        }
+        // Exactly at the cap still builds: 16 nested divs reach depth 16.
+        assert!(builder.try_build(&nested_divs(16)).is_ok());
+        // Siblings don't accumulate depth.
+        assert!(builder.try_build(&"<b></b>".repeat(500)).is_ok());
+    }
+
+    #[test]
+    fn input_budget_refuses_oversized_source() {
+        use crate::tree::TreeBudget;
+        use rbd_limits::LimitKind;
+        let builder = TagTreeBuilder::default().with_budget(TreeBudget {
+            max_input_bytes: Some(32),
+            ..TreeBudget::default()
+        });
+        let doc = "<b>hello</b>".repeat(10);
+        match builder.try_build(&doc) {
+            Err(super::TreeError::Limit(e)) => {
+                assert_eq!(e.limit, LimitKind::InputBytes);
+                assert_eq!(e.observed, doc.len());
+            }
+            other => panic!("expected input-limit error, got {other:?}"),
+        }
+        // The infallible API degrades to the empty tree instead.
+        assert!(builder.build(&doc).is_empty());
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub use rbd_db as db;
 pub use rbd_eval as eval;
 pub use rbd_heuristics as heuristics;
 pub use rbd_html as html;
+pub use rbd_limits as limits;
 pub use rbd_ontology as ontology;
 pub use rbd_pattern as pattern;
 pub use rbd_recognizer as recognizer;
@@ -49,7 +50,10 @@ pub use rbd_tagtree as tagtree;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use rbd_certainty::{CertaintyFactor, CertaintyTable, CompoundHeuristic, HeuristicSet};
-    pub use rbd_core::{DiscoveryOutcome, ExtractorConfig, RecordExtractor};
+    pub use rbd_core::{
+        DegradationEvent, DegradationStage, DiscoveryError, DiscoveryOutcome, ExtractorConfig,
+        Limits, RecordExtractor,
+    };
     pub use rbd_heuristics::{Heuristic, HeuristicKind, Ranking};
     pub use rbd_html::tokenize;
     pub use rbd_ontology::Ontology;

@@ -1,0 +1,260 @@
+//! Chaos suite: the full pipeline under [`Limits::strict`] over thousands
+//! of seeded adversarial documents.
+//!
+//! No ground truth exists for garbage, so the properties here are the
+//! resource-governance contract, not extraction quality:
+//!
+//! 1. **No panic** — every document either extracts, degrades, or fails
+//!    with a typed error (the suite passing at all is the assertion).
+//! 2. **Caps respected** — any `Ok` outcome fits the configured limits:
+//!    tree within the node cap, candidate set within the candidate cap.
+//! 3. **Never silent** — a document that provably exceeds a hard cap
+//!    (e.g. more start tags than the node budget) must fail with
+//!    `DiscoveryError::Limit`, not quietly truncate.
+//! 4. **Accurate reporting** — every degradation event carries the cap
+//!    that tripped and an observed value actually over it.
+//! 5. **Bounded overshoot** — an already-expired deadline stops the pass
+//!    within one unit of work, never after scanning everything.
+
+use rbd::prelude::*;
+use rbd_core::limits::{DegradationStage, LimitKind};
+use rbd_corpus::adversarial::{generate_adversarial, AttackKind};
+
+/// Fixed seed: every document in this suite replays from `(kind, index)`.
+const CHAOS_SEED: u64 = 0x0DD5_EED5_0DD5_EED5;
+
+/// Documents per attack class; 7 classes × 150 = 1050 documents in release
+/// (the CI chaos job). The debug run — part of the ordinary workspace test
+/// pass — uses a smaller slice of the same corpus to stay fast; it checks
+/// the same properties, just over fewer documents.
+const PER_KIND: usize = if cfg!(debug_assertions) { 60 } else { 150 };
+
+fn strict_extractor() -> RecordExtractor {
+    RecordExtractor::new(ExtractorConfig::default().with_limits(Limits::strict())).unwrap()
+}
+
+fn check_outcome(
+    kind: AttackKind,
+    index: usize,
+    doc: &str,
+    result: Result<DiscoveryOutcome, DiscoveryError>,
+) {
+    let limits = Limits::strict();
+    match result {
+        Ok(out) => {
+            // Property 2: caps respected on success.
+            let node_cap = limits.max_tree_nodes.unwrap();
+            assert!(
+                out.tree.len() <= node_cap,
+                "{kind:?}#{index}: {} nodes over cap {node_cap}",
+                out.tree.len()
+            );
+            let cand_cap = limits.max_candidate_tags.unwrap();
+            assert!(
+                out.candidates.len() <= cand_cap,
+                "{kind:?}#{index}: {} candidates over cap {cand_cap}",
+                out.candidates.len()
+            );
+            assert!(doc.len() <= limits.max_input_bytes.unwrap());
+            // Property 4: every event is a real breach.
+            for ev in &out.degradation {
+                match ev.cause.limit {
+                    LimitKind::CandidateTags | LimitKind::TextBytes => assert!(
+                        ev.cause.observed > ev.cause.cap,
+                        "{kind:?}#{index}: event {ev} reports no actual breach"
+                    ),
+                    LimitKind::WallClock => assert!(
+                        matches!(
+                            ev.stage,
+                            DegradationStage::Heuristic(_) | DegradationStage::Recognizer
+                        ),
+                        "{kind:?}#{index}: wall-clock event at odd stage {ev}"
+                    ),
+                    hard => panic!("{kind:?}#{index}: hard limit {hard} as degradation"),
+                }
+            }
+        }
+        // Property 1/3: failures are typed, and a limit error names a cap.
+        Err(DiscoveryError::Limit(e)) => {
+            assert!(
+                limits_cap_for(e.limit).is_some(),
+                "{kind:?}#{index}: limit error {e} for an uncapped resource"
+            );
+        }
+        Err(
+            DiscoveryError::EmptyDocument
+            | DiscoveryError::NoCandidates
+            | DiscoveryError::NoConsensus,
+        ) => {}
+        Err(other) => panic!("{kind:?}#{index}: unexpected error {other}"),
+    }
+}
+
+fn limits_cap_for(kind: LimitKind) -> Option<usize> {
+    let l = Limits::strict();
+    match kind {
+        LimitKind::InputBytes => l.max_input_bytes,
+        LimitKind::TreeNodes => l.max_tree_nodes,
+        LimitKind::NestingDepth => l.max_nesting_depth,
+        LimitKind::CandidateTags => l.max_candidate_tags,
+        LimitKind::TextBytes => l.max_text_bytes,
+        LimitKind::WallClock => l.time_budget.map(|d| d.as_millis().try_into().unwrap_or(0)),
+    }
+}
+
+#[test]
+fn full_pipeline_survives_the_adversarial_corpus() {
+    let ex = strict_extractor();
+    for kind in AttackKind::ALL {
+        for index in 0..PER_KIND {
+            let doc = generate_adversarial(kind, index, CHAOS_SEED);
+            check_outcome(kind, index, &doc, ex.discover(&doc));
+            // Chunking after a successful discovery must also hold up.
+            if let Ok(extraction) = ex.extract_records(&doc) {
+                assert_eq!(extraction.degradation, extraction.outcome.degradation);
+                let total: usize = extraction.records.len();
+                assert!(
+                    total < doc.len().max(2),
+                    "{kind:?}#{index}: absurd chunking"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_tag_bombs_fail_typed_never_truncate() {
+    let ex = strict_extractor();
+    let node_cap = Limits::strict().max_tree_nodes.unwrap();
+    let mut over_cap_seen = 0usize;
+    for index in 0..PER_KIND {
+        let doc = generate_adversarial(AttackKind::TagBomb, index, CHAOS_SEED);
+        // Tag bombs contain no '<' outside tags, so this counts start tags.
+        let tags = doc.matches('<').count();
+        let result = ex.discover(&doc);
+        if tags + 1 > node_cap && doc.len() <= Limits::strict().max_input_bytes.unwrap() {
+            over_cap_seen += 1;
+            match result {
+                Err(DiscoveryError::Limit(e)) => {
+                    assert_eq!(e.limit, LimitKind::TreeNodes, "bomb #{index}: {e}");
+                    assert_eq!(e.cap, node_cap);
+                    assert!(e.observed > node_cap);
+                }
+                other => panic!(
+                    "bomb #{index} with {tags} tags must fail on the node cap, got {other:?}"
+                ),
+            }
+        }
+    }
+    // The size distribution must actually exercise the over-cap branch.
+    assert!(
+        over_cap_seen >= 5,
+        "only {over_cap_seen} over-cap bombs generated; distribution regressed"
+    );
+}
+
+#[test]
+fn deep_towers_fail_on_the_depth_cap() {
+    let ex = strict_extractor();
+    let depth_cap = Limits::strict().max_nesting_depth.unwrap();
+    let mut over_cap_seen = 0usize;
+    for index in 0..PER_KIND {
+        let doc = generate_adversarial(AttackKind::NestingTower, index, CHAOS_SEED);
+        // Towers are `<t>`^d … `</t>`^d: end tags count the actual depth.
+        let depth = doc.matches("</").count();
+        if depth > depth_cap {
+            over_cap_seen += 1;
+            match ex.discover(&doc) {
+                Err(DiscoveryError::Limit(e)) => {
+                    assert_eq!(e.limit, LimitKind::NestingDepth, "tower #{index}: {e}");
+                }
+                other => panic!("tower #{index} of depth {depth} must fail, got {other:?}"),
+            }
+        }
+    }
+    assert!(over_cap_seen >= 5, "only {over_cap_seen} over-cap towers");
+}
+
+#[test]
+fn expired_deadline_stops_within_one_unit_of_work() {
+    // A zero budget is expired before the first heuristic: every heuristic
+    // abstains, and the typed wall-clock failure arrives without scanning
+    // the record area even once.
+    let limits = Limits {
+        time_budget: Some(std::time::Duration::ZERO),
+        ..Limits::default()
+    };
+    let ex = RecordExtractor::new(ExtractorConfig::default().with_limits(limits)).unwrap();
+    let style = &rbd_corpus::sites::initial_sites(rbd_corpus::Domain::Obituaries)[0];
+    let doc = rbd_corpus::generate_document(style, rbd_corpus::Domain::Obituaries, 0, CHAOS_SEED);
+    let started = std::time::Instant::now();
+    match ex.discover(&doc.html) {
+        Err(DiscoveryError::Limit(e)) => assert_eq!(e.limit, LimitKind::WallClock),
+        // A single-candidate page would shortcut past the heuristics; the
+        // obituary styles all emit multiple candidates, so this is a bug.
+        other => panic!("zero budget must surface as a wall-clock limit, got {other:?}"),
+    }
+    // "One unit of work" is one heuristic pass over one small page —
+    // seconds of headroom on any machine, yet catching an implementation
+    // that ignores the deadline and scans everything.
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "expired deadline overshot by {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn mutated_corpus_keeps_degradation_reports_accurate() {
+    // Tight soft caps force frequent degradation on *valid* mutated pages;
+    // every report must be present and truthful.
+    let limits = Limits {
+        max_candidate_tags: Some(2),
+        max_text_bytes: Some(256),
+        ..Limits::strict()
+    };
+    let ex = RecordExtractor::new(
+        ExtractorConfig::default()
+            .with_ontology(rbd_ontology::domains::obituaries())
+            .with_limits(limits),
+    )
+    .unwrap();
+    let mut degraded_runs = 0usize;
+    for index in 0..200 {
+        let doc = generate_adversarial(AttackKind::Mutation, index, CHAOS_SEED);
+        if let Ok(out) = ex.discover(&doc) {
+            assert!(out.candidates.len() <= 2);
+            let text_events = out
+                .degradation
+                .iter()
+                .filter(|e| e.cause.limit == LimitKind::TextBytes)
+                .count();
+            let cand_events = out
+                .degradation
+                .iter()
+                .filter(|e| e.cause.limit == LimitKind::CandidateTags)
+                .count();
+            // At most one report per stage per cause.
+            assert!(
+                text_events <= 1,
+                "duplicate text events: {:?}",
+                out.degradation
+            );
+            assert!(
+                cand_events <= 1,
+                "duplicate candidate events: {:?}",
+                out.degradation
+            );
+            if !out.degradation.is_empty() {
+                degraded_runs += 1;
+            }
+            for ev in &out.degradation {
+                assert!(ev.cause.observed > ev.cause.cap, "untruthful event {ev}");
+            }
+        }
+    }
+    assert!(
+        degraded_runs >= 20,
+        "only {degraded_runs} degraded runs; caps too loose to test reporting"
+    );
+}

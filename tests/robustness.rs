@@ -127,3 +127,38 @@ fn separator_is_a_candidate() {
         },
     );
 }
+
+/// Seeded mutation fuzzing over all four corpus domains: random byte-level
+/// edits to valid generated documents must never panic the governed
+/// pipeline, and any success must respect the strict caps (the chaos suite
+/// checks the adversarial generators; this property covers the gap between
+/// "valid corpus page" and "garbage" at N >= 500 cases).
+#[test]
+fn mutated_corpus_documents_never_panic() {
+    use rbd_corpus::adversarial::mutate_bytes;
+    use rbd_corpus::Domain;
+
+    let inputs = Gen::new(|rng: &mut rbd_prop::Rng| {
+        let domain = Domain::ALL[rng.random_range(0usize..Domain::ALL.len())];
+        let styles = rbd_corpus::sites::initial_sites(domain);
+        let style = &styles[rng.random_range(0usize..styles.len())];
+        let doc_index = rng.random_range(0usize..4);
+        let doc = rbd_corpus::generate_document(style, domain, doc_index, 0xFACE_0FF5);
+        let edits = rng.random_range(1usize..80);
+        mutate_bytes(&doc.html, edits, rng)
+    });
+    let strict = RecordExtractor::new(ExtractorConfig::default().with_limits(Limits::strict()))
+        .expect("strict config is valid");
+    let default = RecordExtractor::default();
+    check_cases("mutated_corpus_documents", 512, &inputs, |doc: &String| {
+        // Default limits: any Result, no panic.
+        let _ = default.extract_records(doc);
+        // Strict limits: successes additionally fit the caps.
+        if let Ok(extraction) = strict.extract_records(doc) {
+            let caps = Limits::strict();
+            prop_assert!(extraction.outcome.tree.len() <= caps.max_tree_nodes.unwrap());
+            prop_assert!(extraction.outcome.candidates.len() <= caps.max_candidate_tags.unwrap());
+        }
+        Ok(())
+    });
+}
