@@ -1,0 +1,202 @@
+//! Cost of observability: extraction throughput with no sink configured
+//! (the [`rbd_trace::NullSink`] fast path), and with a live
+//! [`rbd_trace::CollectingSink`] recording the full audit trail.
+//!
+//! The NullSink path costs one `enabled()` branch per event site plus the
+//! unconditional span/counter no-ops — the gate is < 1 % overhead against
+//! the untraced baseline, measured here over the four-domain corpus
+//! (EXPERIMENTS.md records the numbers). The harness prints per-variant
+//! stats; this bench additionally interleaves the two variants and prints
+//! min- and median-based overhead ratios directly, so the gate needs no
+//! external arithmetic.
+
+use rbd_bench::{black_box, Harness};
+use rbd_core::{ExtractorConfig, RecordExtractor};
+use rbd_corpus::{generate_document, sites, Domain};
+use rbd_ontology::domains;
+use rbd_trace::CollectingSink;
+use std::sync::Arc;
+use std::time::Instant;
+
+const DOMAINS: [Domain; 4] = [
+    Domain::Obituaries,
+    Domain::CarAds,
+    Domain::JobAds,
+    Domain::Courses,
+];
+
+fn corpus() -> Vec<String> {
+    DOMAINS
+        .iter()
+        .map(|&domain| {
+            let style = &sites::initial_sites(domain)[0];
+            generate_document(style, domain, 0, 1998).html
+        })
+        .collect()
+}
+
+fn ontology_for(domain: Domain) -> rbd_ontology::Ontology {
+    match domain {
+        Domain::Obituaries => domains::obituaries(),
+        Domain::CarAds => domains::car_ads(),
+        Domain::JobAds => domains::job_ads(),
+        Domain::Courses => domains::courses(),
+    }
+}
+
+fn extractors(sink: Option<&Arc<CollectingSink>>) -> Vec<RecordExtractor> {
+    DOMAINS
+        .iter()
+        .map(|&domain| {
+            let mut config = ExtractorConfig::default().with_ontology(ontology_for(domain));
+            if let Some(sink) = sink {
+                config = config.with_sink(Arc::clone(sink) as Arc<dyn rbd_trace::TraceSink>);
+            }
+            RecordExtractor::new(config).expect("compiles")
+        })
+        .collect()
+}
+
+fn sweep(extractors: &[RecordExtractor], docs: &[String]) {
+    for (extractor, html) in extractors.iter().zip(docs) {
+        black_box(extractor.extract_records(html).expect("records"));
+    }
+}
+
+fn bench_sink_variants(h: &mut Harness, docs: &[String]) {
+    let baseline = extractors(None);
+    let collecting_sink = Arc::new(CollectingSink::new());
+    let collecting = extractors(Some(&collecting_sink));
+
+    let bytes: usize = docs.iter().map(String::len).sum();
+    let mut group = h.group("sink");
+    group.throughput_bytes(bytes as u64);
+    group.bench_function("null_sink", |b| b.iter(|| sweep(&baseline, docs)));
+    group.bench_function("collecting_sink", |b| b.iter(|| sweep(&collecting, docs)));
+    group.finish();
+}
+
+fn time_once<F: FnMut()>(routine: &mut F) -> u128 {
+    let start = Instant::now();
+    routine();
+    start.elapsed().as_nanos()
+}
+
+/// Per-routine stats from strict alternation, so slow drift in machine
+/// load (frequency scaling, noisy neighbours) hits both sides equally
+/// instead of biasing whichever ran second.
+struct Paired {
+    a_min: u128,
+    a_median: u128,
+    b_min: u128,
+    b_median: u128,
+    /// Median of the per-iteration `b/a` ratios — each pair runs
+    /// back-to-back, so whatever interference one side saw, its partner
+    /// saw nearly the same; this is the drift-robust overhead estimate.
+    ratio_median: f64,
+}
+
+fn interleaved<A: FnMut(), B: FnMut()>(mut a: A, mut b: B, runs: usize) -> Paired {
+    let mut a_samples = Vec::with_capacity(runs);
+    let mut b_samples = Vec::with_capacity(runs);
+    let mut ratios = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let a_ns = time_once(&mut a);
+        let b_ns = time_once(&mut b);
+        a_samples.push(a_ns);
+        b_samples.push(b_ns);
+        ratios.push(b_ns as f64 / a_ns as f64);
+    }
+    a_samples.sort_unstable();
+    b_samples.sort_unstable();
+    ratios.sort_unstable_by(|x, y| x.partial_cmp(y).expect("finite"));
+    Paired {
+        a_min: a_samples[0],
+        a_median: a_samples[runs / 2],
+        b_min: b_samples[0],
+        b_median: b_samples[runs / 2],
+        ratio_median: ratios[runs / 2],
+    }
+}
+
+/// The < 1 % NullSink gate, measured where an untraced path still exists:
+/// [`rbd_tagtree::TagTreeBuilder::try_build`] (no instrumentation at all)
+/// against [`rbd_tagtree::TagTreeBuilder::try_build_traced`] with
+/// [`rbd_trace::NullSink`] — tokenize + tree build is the pipeline's hot
+/// path, and every traced stage uses the same one-branch-per-event shape.
+fn measure_null_sink_overhead(docs: &[String]) {
+    let builder = rbd_tagtree::TagTreeBuilder::default();
+    let untraced = || {
+        for html in docs {
+            black_box(builder.try_build(html).expect("tree"));
+        }
+    };
+    let nulled = || {
+        for html in docs {
+            black_box(
+                builder
+                    .try_build_traced(html, &rbd_trace::NullSink)
+                    .expect("tree"),
+            );
+        }
+    };
+
+    // Noise floor first: the identical workload on both sides. Whatever
+    // ratio this arm reports is pure measurement bias (scheduler, cache,
+    // code layout) — the real comparison below is only meaningful down to
+    // this floor.
+    interleaved(&untraced, &untraced, 20); // warm-up
+    let floor = interleaved(&untraced, &untraced, 400);
+    println!(
+        "tracing-overhead/noise_floor               paired-ratio {:+.2} %",
+        (floor.ratio_median - 1.0) * 100.0
+    );
+
+    let p = interleaved(untraced, nulled, 400);
+    println!(
+        "tracing-overhead/untraced_ns               min {} median {}",
+        p.a_min, p.a_median
+    );
+    println!(
+        "tracing-overhead/null_sink_ns              min {} median {}",
+        p.b_min, p.b_median
+    );
+    println!(
+        "tracing-overhead/null_vs_untraced          paired-ratio {:+.2} %",
+        (p.ratio_median - 1.0) * 100.0
+    );
+}
+
+/// Cost of actually collecting: the full audit trail against the NullSink
+/// fast path, end to end through `extract_records`.
+fn measure_collecting_overhead(docs: &[String]) {
+    let baseline = extractors(None);
+    let collecting = extractors(Some(&Arc::new(CollectingSink::new())));
+
+    let null_sweep = || sweep(&baseline, docs);
+    let collect_sweep = || sweep(&collecting, docs);
+    interleaved(&null_sweep, &collect_sweep, 5); // warm-up
+    let p = interleaved(null_sweep, collect_sweep, 60);
+
+    println!(
+        "tracing-overhead/no_sink_extract_ns        min {} median {}",
+        p.a_min, p.a_median
+    );
+    println!(
+        "tracing-overhead/collecting_extract_ns     min {} median {}",
+        p.b_min, p.b_median
+    );
+    println!(
+        "tracing-overhead/collecting_vs_null        paired-ratio {:+.2} %",
+        (p.ratio_median - 1.0) * 100.0
+    );
+}
+
+fn main() {
+    let docs = corpus();
+    let mut h = Harness::new("tracing");
+    bench_sink_variants(&mut h, &docs);
+    h.finish();
+    measure_null_sink_overhead(&docs);
+    measure_collecting_overhead(&docs);
+}

@@ -11,7 +11,85 @@ use rbd_heuristics::{
 };
 use rbd_pattern::PatternError;
 use rbd_tagtree::{CandidateTag, NodeId, TagTree, TagTreeBuilder, TreeError};
+use rbd_trace::{CandidateDecision, NullSink, Span, TraceEvent, TraceSink};
 use std::fmt;
+
+/// The sink used when the configuration installs none: disabled, so every
+/// instrumentation site reduces to one branch.
+static NULL_SINK: NullSink = NullSink;
+
+/// Records a degradation in both places that must see it: the trace sink
+/// (as a [`TraceEvent::Degradation`], when tracing is on) and the
+/// per-extraction report. All governed code paths in this crate go through
+/// here so a degradation can never reach the report without reaching the
+/// audit trail — the `observability` rule in `rbd-lint` enforces it.
+pub(crate) fn note_degradation(
+    degradation: &mut Vec<DegradationEvent>,
+    sink: &dyn TraceSink,
+    event: DegradationEvent,
+) {
+    if sink.enabled() {
+        sink.event(TraceEvent::Degradation {
+            stage: event.stage.to_string(),
+            limit: event.cause.limit.name().to_owned(),
+            cap: event.cause.cap as u64,
+            observed: event.cause.observed as u64,
+        });
+    }
+    degradation.push(event);
+}
+
+/// Builds the audit-trail event naming the winning highest-fan-out subtree
+/// and its closest runner-up subtrees (top three by fan-out, ties broken
+/// by tag name for deterministic traces).
+pub(crate) fn subtree_chosen_event(tree: &TagTree, subtree: NodeId) -> TraceEvent {
+    let chosen = tree.node(subtree);
+    let mut runners_up: Vec<(String, usize)> = tree
+        .ids()
+        .filter(|&id| id != subtree)
+        .map(|id| {
+            let n = tree.node(id);
+            (n.name.clone(), n.fanout())
+        })
+        .filter(|(_, fanout)| *fanout > 0)
+        .collect();
+    runners_up.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    runners_up.truncate(3);
+    TraceEvent::SubtreeChosen {
+        tag: chosen.name.clone(),
+        fanout: chosen.fanout(),
+        runners_up,
+    }
+}
+
+/// Builds the audit-trail event recording every child tag of the chosen
+/// subtree with its count, its share of the subtree's tag count, and
+/// whether it cleared the candidate threshold (§3).
+pub(crate) fn candidates_event(tree: &TagTree, subtree: NodeId, threshold: f64) -> TraceEvent {
+    let total = tree.subtree_tag_count(subtree);
+    let considered = tree
+        .child_tag_counts(subtree)
+        .into_iter()
+        .map(|t| {
+            let share = if total == 0 {
+                0.0
+            } else {
+                t.count as f64 / total as f64
+            };
+            let passed = total > 0 && (t.count as f64) >= threshold * total as f64;
+            CandidateDecision {
+                tag: t.name,
+                count: t.count,
+                share,
+                passed,
+            }
+        })
+        .collect();
+    TraceEvent::Candidates {
+        threshold,
+        considered,
+    }
+}
 
 /// Errors from record-boundary discovery.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,17 +159,28 @@ pub struct DiscoveryOutcome {
 }
 
 impl DiscoveryOutcome {
-    /// Alternative separators in decreasing certainty, excluding the
-    /// consensus winner. The paper notes "a Web document may have more than
-    /// one record separator"; callers that know the domain can accept a
-    /// close runner-up (e.g. both `<hr>` and `<p>` bounding the same
-    /// records).
+    /// Alternative separators, excluding the consensus winner. The paper
+    /// notes "a Web document may have more than one record separator";
+    /// callers that know the domain can accept a close runner-up (e.g.
+    /// both `<hr>` and `<p>` bounding the same records).
+    ///
+    /// The order is deterministic: decreasing certainty, with ties broken
+    /// by ascending tag name. (Diffable trace output and the golden-trace
+    /// tests rely on this being stable across runs.)
     pub fn alternatives(&self) -> impl Iterator<Item = (&str, f64)> {
-        self.consensus
+        let mut alts: Vec<(&str, f64)> = self
+            .consensus
             .scored
             .iter()
-            .filter(move |s| s.tag != self.separator)
+            .filter(|s| s.tag != self.separator)
             .map(|s| (s.tag.as_str(), s.certainty.value()))
+            .collect();
+        alts.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(b.0))
+        });
+        alts.into_iter()
     }
 }
 
@@ -155,17 +244,26 @@ impl RecordExtractor {
         }
     }
 
-    /// Builds the tag tree under the configured limits. Hard limit
-    /// breaches surface as [`DiscoveryError::Limit`]; the theoretical-only
-    /// construction errors degrade to "no tags" exactly as the infallible
-    /// builder did.
-    fn build_tree(&self, html: &str) -> Result<TagTree, DiscoveryError> {
+    /// The sink every untraced entry point reports to: the configured one,
+    /// or the disabled [`NullSink`].
+    pub(crate) fn active_sink(&self) -> &dyn TraceSink {
+        match &self.config.sink {
+            Some(sink) => sink.as_ref(),
+            None => &NULL_SINK,
+        }
+    }
+
+    /// Builds the tag tree under the configured limits, tracing the
+    /// tokenize and tree-build stages. Hard limit breaches surface as
+    /// [`DiscoveryError::Limit`]; the theoretical-only construction errors
+    /// degrade to "no tags" exactly as the infallible builder did.
+    fn build_tree(&self, html: &str, sink: &dyn TraceSink) -> Result<TagTree, DiscoveryError> {
         match self
             .builder()
             .with_budget(self.config.limits.tree_budget())
-            .try_build(html)
+            .try_build_traced(html, sink)
         {
-            Ok(tree) => Ok(tree),
+            Ok((tree, _)) => Ok(tree),
             Err(TreeError::Limit(e)) => Err(DiscoveryError::Limit(e)),
             Err(_) => Err(DiscoveryError::EmptyDocument),
         }
@@ -173,46 +271,82 @@ impl RecordExtractor {
 
     /// Applies the candidate-tag cap to a prepared view, reporting the
     /// truncation so dropped tags are never silently out of the running.
-    fn cap_candidates(&self, view: &mut SubtreeView<'_>, degradation: &mut Vec<DegradationEvent>) {
+    pub(crate) fn cap_candidates(
+        &self,
+        view: &mut SubtreeView<'_>,
+        degradation: &mut Vec<DegradationEvent>,
+        sink: &dyn TraceSink,
+    ) {
         if let Some(cap) = self.config.limits.max_candidate_tags {
             let before = view.cap_candidates(cap);
             if before > cap {
-                degradation.push(DegradationEvent {
-                    stage: DegradationStage::Candidates,
-                    cause: LimitExceeded {
-                        limit: LimitKind::CandidateTags,
-                        cap,
-                        observed: before,
+                note_degradation(
+                    degradation,
+                    sink,
+                    DegradationEvent {
+                        stage: DegradationStage::Candidates,
+                        cause: LimitExceeded {
+                            limit: LimitKind::CandidateTags,
+                            cap,
+                            observed: before,
+                        },
                     },
-                });
+                );
             }
         }
     }
 
     /// Runs the Record-Boundary Discovery Algorithm on `html` under the
-    /// configured [`crate::limits::Limits`].
+    /// configured [`crate::limits::Limits`], reporting to the configured
+    /// sink (or none).
     pub fn discover(&self, html: &str) -> Result<DiscoveryOutcome, DiscoveryError> {
+        self.discover_traced(html, self.active_sink())
+    }
+
+    /// [`RecordExtractor::discover`] reporting to an explicit
+    /// [`TraceSink`]: stage spans, pipeline counters, and the full
+    /// decision audit trail (subtree choice with runners-up, candidate
+    /// census against the threshold, every heuristic's ranking with raw
+    /// score inputs, the certainty combination, and any degradations).
+    pub fn discover_traced(
+        &self,
+        html: &str,
+        sink: &dyn TraceSink,
+    ) -> Result<DiscoveryOutcome, DiscoveryError> {
         let deadline = self.config.limits.start_deadline();
         let mut degradation: Vec<DegradationEvent> = Vec::new();
 
         // Step 1: tag tree (Appendix A), under the hard caps.
-        let tree = self.build_tree(html)?;
+        let tree = self.build_tree(html, sink)?;
         if tree.is_empty() {
             return Err(DiscoveryError::EmptyDocument);
         }
         // Step 2: highest-fan-out subtree. Step 3: candidate tags, capped.
         let mut view = SubtreeView::from_tree(&tree, self.config.candidate_threshold);
-        self.cap_candidates(&mut view, &mut degradation);
+        let subtree = view.root();
+        let subtree_tag = tree.node(subtree).name.clone();
+        if sink.enabled() {
+            sink.event(subtree_chosen_event(&tree, subtree));
+            sink.event(candidates_event(
+                &tree,
+                subtree,
+                self.config.candidate_threshold,
+            ));
+        }
+        self.cap_candidates(&mut view, &mut degradation, sink);
         let candidates = view.candidates().to_vec();
         if candidates.is_empty() {
             return Err(DiscoveryError::NoCandidates);
         }
-        let subtree = view.root();
-        let subtree_tag = tree.node(subtree).name.clone();
 
         // §3 shortcut: a single candidate *is* the separator.
         if candidates.len() == 1 {
             let separator = candidates[0].name.clone();
+            if sink.enabled() {
+                sink.event(TraceEvent::Shortcut {
+                    separator: separator.clone(),
+                });
+            }
             return Ok(DiscoveryOutcome {
                 separator,
                 consensus: Consensus {
@@ -230,10 +364,20 @@ impl RecordExtractor {
 
         // Step 4: the five individual heuristics, governed by the deadline
         // and the text cap.
-        let rankings = self.run_heuristics_governed(&view, &deadline, &mut degradation);
+        let rankings = self.run_heuristics_governed(&view, &deadline, &mut degradation, sink);
 
         // Steps 5–6: Stanford certainty combination, argmax.
         let consensus = self.compound.combine(&rankings);
+        if sink.enabled() {
+            sink.event(TraceEvent::Consensus {
+                scored: consensus
+                    .scored
+                    .iter()
+                    .map(|s| (s.tag.clone(), s.certainty.value()))
+                    .collect(),
+                winners: consensus.winners.clone(),
+            });
+        }
         let out_of_time = degradation
             .iter()
             .any(|e| e.cause.limit == LimitKind::WallClock);
@@ -278,30 +422,59 @@ impl RecordExtractor {
     /// Governed heuristic pass: OM scans at most the configured text-byte
     /// cap, and each heuristic starts only while the deadline holds — a
     /// heuristic skipped by the budget abstains (the paper's §5
-    /// degradation) and is reported.
+    /// degradation) and is reported, both in `degradation` and on the
+    /// sink's audit trail.
     fn run_heuristics_governed(
         &self,
         view: &SubtreeView<'_>,
         deadline: &Deadline,
         degradation: &mut Vec<DegradationEvent>,
+        sink: &dyn TraceSink,
     ) -> Vec<Ranking> {
         let mut rankings: Vec<Ranking> = Vec::new();
         if let Some(om) = &self.om {
             if deadline.is_expired() {
-                degradation.push(DegradationEvent {
-                    stage: DegradationStage::Heuristic(om.kind()),
-                    cause: deadline.exceeded(),
-                });
-            } else {
-                let (ranking, truncation) =
-                    om.rank_governed(view, self.config.limits.max_text_bytes);
-                if let Some(cause) = truncation {
-                    degradation.push(DegradationEvent {
+                note_degradation(
+                    degradation,
+                    sink,
+                    DegradationEvent {
                         stage: DegradationStage::Heuristic(om.kind()),
-                        cause,
-                    });
+                        cause: deadline.exceeded(),
+                    },
+                );
+            } else {
+                let span = Span::start_if(rbd_heuristics::span_name(om.kind()), sink);
+                let detailed = om.rank_governed_detailed(view, self.config.limits.max_text_bytes);
+                if let Some(span) = span {
+                    span.finish(sink);
                 }
-                rankings.extend(ranking);
+                if detailed.ranking.is_none() {
+                    sink.add("heuristic_abstentions", 1);
+                }
+                if sink.enabled() {
+                    // OM's scores compare each candidate's occurrence count
+                    // to the record-count estimate; surface both.
+                    let mut inputs = OntologyMatching::occurrence_inputs(view);
+                    if let Some(estimate) = detailed.estimate {
+                        inputs.insert(0, ("estimate".to_owned(), estimate));
+                    }
+                    sink.event(rbd_heuristics::heuristic_event(
+                        om.kind(),
+                        detailed.ranking.as_ref(),
+                        inputs,
+                    ));
+                }
+                if let Some(cause) = detailed.truncation {
+                    note_degradation(
+                        degradation,
+                        sink,
+                        DegradationEvent {
+                            stage: DegradationStage::Heuristic(om.kind()),
+                            cause,
+                        },
+                    );
+                }
+                rankings.extend(detailed.ranking);
             }
         }
         let ht = HighestCount;
@@ -309,21 +482,40 @@ impl RecordExtractor {
         let sd = StandardDeviation;
         let rp = RepeatingPattern::default();
         let others: [&dyn Heuristic; 4] = [&rp, &sd, &it, &ht];
-        let run = rbd_heuristics::run_all_governed(&others, view, deadline);
+        let run = rbd_heuristics::run_all_governed_traced(&others, view, deadline, sink);
         for kind in run.skipped {
-            degradation.push(DegradationEvent {
-                stage: DegradationStage::Heuristic(kind),
-                cause: deadline.exceeded(),
-            });
+            note_degradation(
+                degradation,
+                sink,
+                DegradationEvent {
+                    stage: DegradationStage::Heuristic(kind),
+                    cause: deadline.exceeded(),
+                },
+            );
         }
         rankings.extend(run.rankings);
         rankings
     }
 
-    /// Discovery followed by record chunking and markup cleaning.
+    /// Discovery followed by record chunking and markup cleaning,
+    /// reporting to the configured sink (or none).
     pub fn extract_records(&self, html: &str) -> Result<Extraction, DiscoveryError> {
-        let outcome = self.discover(html)?;
+        self.extract_records_traced(html, self.active_sink())
+    }
+
+    /// [`RecordExtractor::extract_records`] reporting to an explicit
+    /// [`TraceSink`]: everything [`RecordExtractor::discover_traced`]
+    /// emits, plus a `"chunk"` span, a
+    /// [`Chunked`](TraceEvent::Chunked) event, and the `docs_extracted`
+    /// counter.
+    pub fn extract_records_traced(
+        &self,
+        html: &str,
+        sink: &dyn TraceSink,
+    ) -> Result<Extraction, DiscoveryError> {
+        let outcome = self.discover_traced(html, sink)?;
         let degradation = outcome.degradation.clone();
+        let span = Span::start_if("chunk", sink);
         let (preamble, records) = chunk_at_separators(
             html,
             &outcome.tree,
@@ -331,6 +523,17 @@ impl RecordExtractor {
             &outcome.separator,
             self.config.xml,
         );
+        if let Some(span) = span {
+            span.finish(sink);
+        }
+        sink.add("docs_extracted", 1);
+        if sink.enabled() {
+            sink.event(TraceEvent::Chunked {
+                separator: outcome.separator.clone(),
+                records: records.len(),
+                preamble: preamble.is_some(),
+            });
+        }
         Ok(Extraction {
             outcome,
             preamble,
@@ -505,7 +708,7 @@ mod tests {
         let view = SubtreeView::from_tree(&tree, ex.config.candidate_threshold);
         let deadline = rbd_limits::Deadline::after(std::time::Duration::ZERO);
         let mut events = Vec::new();
-        let rankings = ex.run_heuristics_governed(&view, &deadline, &mut events);
+        let rankings = ex.run_heuristics_governed(&view, &deadline, &mut events, &NULL_SINK);
         assert!(rankings.is_empty());
         assert_eq!(events.len(), 5, "{events:?}");
         assert!(events
@@ -537,6 +740,192 @@ mod tests {
         assert_eq!(om_events.len(), 1, "{:?}", out.degradation);
         assert_eq!(om_events[0].cause.limit, LimitKind::TextBytes);
         assert_eq!(om_events[0].cause.cap, 64);
+    }
+
+    #[test]
+    fn alternatives_sorted_by_certainty_then_tag() {
+        let ex = RecordExtractor::default();
+        let out = ex.discover(&obituary_page()).unwrap();
+        let alts: Vec<(&str, f64)> = out.alternatives().collect();
+        assert!(!alts.is_empty());
+        for pair in alts.windows(2) {
+            let ((tag_a, cert_a), (tag_b, cert_b)) = (&pair[0], &pair[1]);
+            assert!(
+                cert_a > cert_b || (cert_a == cert_b && tag_a < tag_b),
+                "alternatives out of order: ({tag_a}, {cert_a}) before ({tag_b}, {cert_b})"
+            );
+        }
+        assert!(
+            alts.iter().all(|(tag, _)| *tag != out.separator),
+            "the winner must be excluded"
+        );
+    }
+
+    #[test]
+    fn alternatives_break_certainty_ties_by_tag_name() {
+        use rbd_certainty::{CertaintyFactor, ScoredTag};
+        // A synthetic consensus with deliberate ties and shuffled input
+        // order; alternatives() must emit a deterministic order anyway.
+        let ex = RecordExtractor::default();
+        let mut out = ex.discover(&obituary_page()).unwrap();
+        out.separator = "hr".to_owned();
+        out.consensus.scored = vec![
+            ScoredTag {
+                tag: "p".into(),
+                certainty: CertaintyFactor::new(0.5),
+            },
+            ScoredTag {
+                tag: "hr".into(),
+                certainty: CertaintyFactor::new(0.9),
+            },
+            ScoredTag {
+                tag: "b".into(),
+                certainty: CertaintyFactor::new(0.5),
+            },
+            ScoredTag {
+                tag: "br".into(),
+                certainty: CertaintyFactor::new(0.7),
+            },
+        ];
+        let alts: Vec<(&str, f64)> = out.alternatives().collect();
+        let tags: Vec<&str> = alts.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tags, vec!["br", "b", "p"], "{alts:?}");
+    }
+
+    #[test]
+    fn traced_discovery_emits_the_full_audit_trail() {
+        use rbd_trace::MockSink;
+        let ex =
+            RecordExtractor::new(ExtractorConfig::default().with_ontology(domains::obituaries()))
+                .unwrap();
+        let sink = MockSink::new();
+        let extraction = ex.extract_records_traced(&obituary_page(), &sink).unwrap();
+        assert_eq!(extraction.records.len(), 3);
+
+        let kinds: Vec<String> = sink.events().iter().map(|e| e.kind().to_owned()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "tokenized",
+                "tree_built",
+                "subtree_chosen",
+                "candidates",
+                "heuristic", // OM
+                "heuristic", // RP
+                "heuristic", // SD
+                "heuristic", // IT
+                "heuristic", // HT
+                "consensus",
+                "chunked",
+            ],
+            "{kinds:?}"
+        );
+        // The audit trail names the winner and carries the raw inputs.
+        let events = sink.events();
+        match &events[2] {
+            TraceEvent::SubtreeChosen { tag, fanout, .. } => {
+                assert_eq!(tag, "td");
+                assert!(*fanout > 0);
+            }
+            other => panic!("expected SubtreeChosen, got {other:?}"),
+        }
+        match &events[4] {
+            TraceEvent::Heuristic { name, inputs, .. } => {
+                assert_eq!(name, "OM");
+                assert!(
+                    inputs.iter().any(|(n, _)| n == "estimate"),
+                    "OM must surface its estimate: {inputs:?}"
+                );
+            }
+            other => panic!("expected OM heuristic event, got {other:?}"),
+        }
+        assert_eq!(sink.counter("docs_extracted"), 1);
+        assert!(sink.counter("tags_scanned") > 0);
+        assert!(
+            sink.spans().iter().any(|s| s.name == "heuristic:OM"),
+            "{:?}",
+            sink.spans()
+        );
+    }
+
+    #[test]
+    fn sink_via_config_matches_explicit_sink() {
+        use rbd_trace::{CollectingSink, TraceSink};
+        use std::sync::Arc;
+        let sink = Arc::new(CollectingSink::new());
+        let ex = RecordExtractor::new(
+            ExtractorConfig::default().with_sink(Arc::clone(&sink) as Arc<dyn TraceSink>),
+        )
+        .unwrap();
+        ex.extract_records(&obituary_page()).unwrap();
+        assert!(!sink.events().is_empty());
+        assert_eq!(sink.registry().counter("docs_extracted"), 1);
+    }
+
+    #[test]
+    fn disabled_sink_emits_no_events() {
+        use rbd_trace::MockSink;
+        let ex = RecordExtractor::default();
+        let sink = MockSink::disabled();
+        ex.extract_records_traced(&obituary_page(), &sink).unwrap();
+        assert!(
+            sink.events().is_empty(),
+            "instrumentation must honor enabled(): {:?}",
+            sink.events()
+        );
+        // Spans are gated too (Span::start_if never reads the clock for a
+        // disabled sink); only already-at-hand counter increments flow.
+        assert!(sink.spans().is_empty(), "{:?}", sink.spans());
+        assert_eq!(sink.counter("docs_extracted"), 1);
+    }
+
+    #[test]
+    fn shortcut_is_traced() {
+        use rbd_trace::MockSink;
+        let src = "<td><p>a a a a</p><p>b b b b</p><p>c c c c</p></td>";
+        let ex = RecordExtractor::default();
+        let sink = MockSink::new();
+        let out = ex.discover_traced(src, &sink).unwrap();
+        assert_eq!(out.separator, "p");
+        assert!(
+            sink.events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Shortcut { separator } if separator == "p")),
+            "{:?}",
+            sink.events()
+        );
+    }
+
+    #[test]
+    fn degradations_reach_the_audit_trail() {
+        use crate::limits::Limits;
+        use rbd_trace::MockSink;
+        let limits = Limits {
+            max_text_bytes: Some(64),
+            ..Limits::default()
+        };
+        let ex = RecordExtractor::new(
+            ExtractorConfig::default()
+                .with_ontology(domains::obituaries())
+                .with_limits(limits),
+        )
+        .unwrap();
+        let sink = MockSink::new();
+        let out = ex.discover_traced(&obituary_page(), &sink).unwrap();
+        assert_eq!(out.degradation.len(), 1);
+        let traced: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, TraceEvent::Degradation { .. }))
+            .collect();
+        assert_eq!(traced.len(), 1, "every degradation must be traced");
+        match &traced[0] {
+            TraceEvent::Degradation { limit, cap, .. } => {
+                assert_eq!(limit, "text-bytes");
+                assert_eq!(*cap, 64);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! regex pass); and the table is partitioned at the discovered separator's
 //! positions for downstream database population.
 
-use crate::extractor::{DiscoveryError, DiscoveryOutcome, RecordExtractor};
+use crate::extractor::{
+    candidates_event, note_degradation, subtree_chosen_event, DiscoveryError, DiscoveryOutcome,
+    RecordExtractor,
+};
 use crate::limits::{DegradationEvent, DegradationStage};
 use rbd_certainty::Consensus;
 use rbd_heuristics::om::OntologyMatching;
@@ -27,6 +30,7 @@ use rbd_heuristics::{
 };
 use rbd_recognizer::{estimate_record_count_from_table, DataRecordTable, Recognizer, TableEntry};
 use rbd_tagtree::TagTreeBuilder;
+use rbd_trace::{TraceEvent, TraceSink};
 
 /// The result of integrated discovery + recognition.
 #[derive(Debug, Clone)]
@@ -89,15 +93,29 @@ impl RecordExtractor {
         html: &str,
         recognizer: &Recognizer,
     ) -> Result<IntegratedExtraction, DiscoveryError> {
+        self.discover_and_recognize_traced(html, recognizer, self.active_sink())
+    }
+
+    /// [`RecordExtractor::discover_and_recognize`] reporting to an
+    /// explicit [`TraceSink`] — the same audit trail as
+    /// [`RecordExtractor::discover_traced`], with a
+    /// [`Recognized`](TraceEvent::Recognized) event in place of a fresh OM
+    /// text scan.
+    pub fn discover_and_recognize_traced(
+        &self,
+        html: &str,
+        recognizer: &Recognizer,
+        sink: &dyn TraceSink,
+    ) -> Result<IntegratedExtraction, DiscoveryError> {
         let limits = &self.config().limits;
         let deadline = limits.start_deadline();
         let mut degradation: Vec<DegradationEvent> = Vec::new();
 
         let tree = match TagTreeBuilder::default()
             .with_budget(limits.tree_budget())
-            .try_build(html)
+            .try_build_traced(html, sink)
         {
-            Ok(tree) => tree,
+            Ok((tree, _)) => tree,
             Err(rbd_tagtree::TreeError::Limit(e)) => return Err(DiscoveryError::Limit(e)),
             Err(_) => return Err(DiscoveryError::EmptyDocument),
         };
@@ -105,48 +123,59 @@ impl RecordExtractor {
             return Err(DiscoveryError::EmptyDocument);
         }
         let mut view = SubtreeView::from_tree(&tree, self.config().candidate_threshold);
-        if let Some(cap) = limits.max_candidate_tags {
-            let before = view.cap_candidates(cap);
-            if before > cap {
-                degradation.push(DegradationEvent {
-                    stage: DegradationStage::Candidates,
-                    cause: crate::limits::LimitExceeded {
-                        limit: crate::limits::LimitKind::CandidateTags,
-                        cap,
-                        observed: before,
-                    },
-                });
-            }
+        let subtree = view.root();
+        let subtree_tag = tree.node(subtree).name.clone();
+        if sink.enabled() {
+            sink.event(subtree_chosen_event(&tree, subtree));
+            sink.event(candidates_event(
+                &tree,
+                subtree,
+                self.config().candidate_threshold,
+            ));
         }
+        self.cap_candidates(&mut view, &mut degradation, sink);
         let candidates = view.candidates().to_vec();
         if candidates.is_empty() {
             return Err(DiscoveryError::NoCandidates);
         }
-        let subtree = view.root();
-        let subtree_tag = tree.node(subtree).name.clone();
         let text = view.text().to_owned();
 
         // One pass: the Data-Record Table for the whole record area, under
         // the text cap and the deadline.
-        let governed = recognizer.recognize_governed(&text, limits.max_text_bytes, &deadline);
+        let governed =
+            recognizer.recognize_governed_traced(&text, limits.max_text_bytes, &deadline, sink);
         if let Some(cause) = governed.truncation {
-            degradation.push(DegradationEvent {
-                stage: DegradationStage::Recognizer,
-                cause,
-            });
+            note_degradation(
+                &mut degradation,
+                sink,
+                DegradationEvent {
+                    stage: DegradationStage::Recognizer,
+                    cause,
+                },
+            );
         }
         if let Some(cause) = governed.skipped {
-            degradation.push(DegradationEvent {
-                stage: DegradationStage::Recognizer,
-                cause,
-            });
+            note_degradation(
+                &mut degradation,
+                sink,
+                DegradationEvent {
+                    stage: DegradationStage::Recognizer,
+                    cause,
+                },
+            );
         }
         let table = governed.table;
 
         let (separator, consensus, rankings) = if candidates.len() == 1 {
             // §3 single-candidate shortcut.
+            let separator = candidates[0].name.clone();
+            if sink.enabled() {
+                sink.event(TraceEvent::Shortcut {
+                    separator: separator.clone(),
+                });
+            }
             (
-                candidates[0].name.clone(),
+                separator,
                 Consensus {
                     scored: Vec::new(),
                     winners: vec![candidates[0].name.clone()],
@@ -157,20 +186,44 @@ impl RecordExtractor {
             // OM from the (possibly partial) table; RP/SD/IT/HT as usual,
             // each starting only while the deadline holds.
             let mut rankings: Vec<Ranking> = Vec::with_capacity(5);
-            if let Some(estimate) = self
+            let estimate = self
                 .config()
                 .ontology
                 .as_ref()
-                .and_then(|ontology| estimate_record_count_from_table(ontology, &table))
-            {
-                rankings.push(OntologyMatching::rank_with_estimate(&view, estimate));
+                .and_then(|ontology| estimate_record_count_from_table(ontology, &table));
+            if let Some(estimate) = estimate {
+                let ranking = OntologyMatching::rank_with_estimate(&view, estimate);
+                if sink.enabled() {
+                    let mut inputs = OntologyMatching::occurrence_inputs(&view);
+                    inputs.insert(0, ("estimate".to_owned(), estimate));
+                    sink.event(rbd_heuristics::heuristic_event(
+                        HeuristicKind::OM,
+                        Some(&ranking),
+                        inputs,
+                    ));
+                }
+                rankings.push(ranking);
             } else if self.config().ontology.is_some() && governed.skipped.is_some() {
                 // The recognizer never ran, so OM had no table to estimate
                 // from: it abstained for a resource reason, not a paper one.
-                degradation.push(DegradationEvent {
-                    stage: DegradationStage::Heuristic(HeuristicKind::OM),
-                    cause: deadline.exceeded(),
-                });
+                note_degradation(
+                    &mut degradation,
+                    sink,
+                    DegradationEvent {
+                        stage: DegradationStage::Heuristic(HeuristicKind::OM),
+                        cause: deadline.exceeded(),
+                    },
+                );
+            } else if self.config().ontology.is_some() {
+                // A genuine abstention (too few record-identifying fields).
+                sink.add("heuristic_abstentions", 1);
+                if sink.enabled() {
+                    sink.event(rbd_heuristics::heuristic_event(
+                        HeuristicKind::OM,
+                        None,
+                        Vec::new(),
+                    ));
+                }
             }
             let it = IdentifiableTags::default();
             let others: [&dyn Heuristic; 4] = [
@@ -179,12 +232,16 @@ impl RecordExtractor {
                 &it,
                 &HighestCount,
             ];
-            let run = rbd_heuristics::run_all_governed(&others, &view, &deadline);
+            let run = rbd_heuristics::run_all_governed_traced(&others, &view, &deadline, sink);
             for kind in run.skipped {
-                degradation.push(DegradationEvent {
-                    stage: DegradationStage::Heuristic(kind),
-                    cause: deadline.exceeded(),
-                });
+                note_degradation(
+                    &mut degradation,
+                    sink,
+                    DegradationEvent {
+                        stage: DegradationStage::Heuristic(kind),
+                        cause: deadline.exceeded(),
+                    },
+                );
             }
             rankings.extend(run.rankings);
 
@@ -193,6 +250,16 @@ impl RecordExtractor {
                 self.config().certainty_table.clone(),
             );
             let consensus = compound.combine(&rankings);
+            if sink.enabled() {
+                sink.event(TraceEvent::Consensus {
+                    scored: consensus
+                        .scored
+                        .iter()
+                        .map(|s| (s.tag.clone(), s.certainty.value()))
+                        .collect(),
+                    winners: consensus.winners.clone(),
+                });
+            }
             let out_of_time = degradation
                 .iter()
                 .any(|e| e.cause.limit == crate::limits::LimitKind::WallClock);

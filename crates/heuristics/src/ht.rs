@@ -27,6 +27,13 @@ impl Heuristic for HighestCount {
             .collect();
         Some(Ranking::from_scores(HeuristicKind::HT, scores, false))
     }
+
+    fn score_inputs(&self, view: &SubtreeView<'_>) -> Vec<(String, f64)> {
+        view.candidates()
+            .iter()
+            .map(|c| (format!("count:{}", c.name), c.count as f64))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,15 @@ impl Heuristic for IdentifiableTags {
             .collect();
         Some(Ranking::from_order(HeuristicKind::IT, ordered))
     }
+
+    fn score_inputs(&self, view: &SubtreeView<'_>) -> Vec<(String, f64)> {
+        self.list
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| view.is_candidate(t))
+            .map(|(i, t)| (format!("priority:{t}"), (i + 1) as f64))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -54,6 +54,16 @@ pub trait Heuristic {
     /// abstains for this document (RP with no qualifying pairs, OM without
     /// enough record-identifying fields).
     fn rank(&self, view: &SubtreeView<'_>) -> Option<Ranking>;
+
+    /// The named raw inputs behind this heuristic's scores, for the
+    /// decision audit trail (e.g. HT's per-tag counts, IT's priority
+    /// indices, RP's qualifying pair counts). Only called when a trace
+    /// sink is enabled, so implementations may recompute cheap view
+    /// queries; the default is no inputs.
+    fn score_inputs(&self, view: &SubtreeView<'_>) -> Vec<(String, f64)> {
+        let _ = view;
+        Vec::new()
+    }
 }
 
 /// Runs every heuristic in `heuristics` over `view`, collecting the
@@ -85,15 +95,88 @@ pub fn run_all_governed(
     view: &SubtreeView<'_>,
     deadline: &rbd_limits::Deadline,
 ) -> GovernedRun {
+    run_all_governed_traced(heuristics, view, deadline, &rbd_trace::NullSink)
+}
+
+/// [`run_all_governed`] with a [`TraceSink`](rbd_trace::TraceSink): each
+/// heuristic that runs is timed as a `"heuristic:<KIND>"` span and — when
+/// the sink is enabled — emits a
+/// [`Heuristic`](rbd_trace::TraceEvent::Heuristic) event carrying its full
+/// ranking and the raw [`score_inputs`](Heuristic::score_inputs) behind
+/// it. Genuine abstentions bump the `heuristic_abstentions` counter (and
+/// are distinguishable from deadline skips, which appear only in
+/// [`GovernedRun::skipped`] and produce no event here — the caller reports
+/// those as degradations).
+pub fn run_all_governed_traced(
+    heuristics: &[&dyn Heuristic],
+    view: &SubtreeView<'_>,
+    deadline: &rbd_limits::Deadline,
+    sink: &dyn rbd_trace::TraceSink,
+) -> GovernedRun {
     let mut out = GovernedRun::default();
     for h in heuristics {
         if deadline.is_expired() {
             out.skipped.push(h.kind());
             continue;
         }
-        out.rankings.extend(h.rank(view));
+        let span = rbd_trace::Span::start_if(span_name(h.kind()), sink);
+        let ranking = h.rank(view);
+        if let Some(span) = span {
+            span.finish(sink);
+        }
+        if ranking.is_none() {
+            sink.add("heuristic_abstentions", 1);
+        }
+        if sink.enabled() {
+            sink.event(heuristic_event(
+                h.kind(),
+                ranking.as_ref(),
+                h.score_inputs(view),
+            ));
+        }
+        out.rankings.extend(ranking);
     }
     out
+}
+
+/// The fixed span name for one heuristic pass (`&'static` so spans stay
+/// allocation-free).
+#[must_use]
+pub fn span_name(kind: HeuristicKind) -> &'static str {
+    match kind {
+        HeuristicKind::OM => "heuristic:OM",
+        HeuristicKind::RP => "heuristic:RP",
+        HeuristicKind::SD => "heuristic:SD",
+        HeuristicKind::IT => "heuristic:IT",
+        HeuristicKind::HT => "heuristic:HT",
+    }
+}
+
+/// Builds the audit-trail event for one heuristic's outcome — shared by
+/// [`run_all_governed_traced`] and the OM special case in `rbd-core`.
+#[must_use]
+pub fn heuristic_event(
+    kind: HeuristicKind,
+    ranking: Option<&Ranking>,
+    inputs: Vec<(String, f64)>,
+) -> rbd_trace::TraceEvent {
+    rbd_trace::TraceEvent::Heuristic {
+        name: kind.to_string(),
+        abstained: ranking.is_none(),
+        entries: ranking
+            .map(|r| {
+                r.entries
+                    .iter()
+                    .map(|e| rbd_trace::RankedEntry {
+                        tag: e.tag.clone(),
+                        rank: e.rank,
+                        score: e.score,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        inputs,
+    }
 }
 
 #[cfg(test)]

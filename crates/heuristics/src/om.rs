@@ -66,6 +66,20 @@ impl OntologyMatching {
     }
 }
 
+/// Everything a governed OM pass decided, for the decision audit trail:
+/// the ranking (if OM did not abstain), the record-count estimate behind
+/// it, and the truncation notice when the text cap cut the scan.
+#[derive(Debug, Clone, Default)]
+pub struct GovernedOmRank {
+    /// The ranking, `None` when OM abstained.
+    pub ranking: Option<Ranking>,
+    /// The record-count estimate the ranking was scored against; `None`
+    /// exactly when OM abstained.
+    pub estimate: Option<f64>,
+    /// Set when `max_text_bytes` actually cut the scanned text.
+    pub truncation: Option<rbd_limits::LimitExceeded>,
+}
+
 impl OntologyMatching {
     /// Governed form of [`Heuristic::rank`]: scans at most
     /// `max_text_bytes` of the view's plain text (cut at a character
@@ -78,14 +92,42 @@ impl OntologyMatching {
         view: &SubtreeView<'_>,
         max_text_bytes: Option<usize>,
     ) -> (Option<Ranking>, Option<rbd_limits::LimitExceeded>) {
+        let detailed = self.rank_governed_detailed(view, max_text_bytes);
+        (detailed.ranking, detailed.truncation)
+    }
+
+    /// Like [`OntologyMatching::rank_governed`] but also surfacing the
+    /// record-count estimate, so a tracing caller can report the input
+    /// behind OM's scores without scanning the text twice.
+    pub fn rank_governed_detailed(
+        &self,
+        view: &SubtreeView<'_>,
+        max_text_bytes: Option<usize>,
+    ) -> GovernedOmRank {
         let (text, truncation) = match max_text_bytes {
             Some(cap) => rbd_limits::truncate_at_char_boundary(view.text(), cap),
             None => (view.text(), None),
         };
-        let ranking = self
-            .estimate_record_count(text)
-            .map(|est| Self::rank_with_estimate(view, est));
-        (ranking, truncation)
+        let estimate = self.estimate_record_count(text);
+        GovernedOmRank {
+            ranking: estimate.map(|est| Self::rank_with_estimate(view, est)),
+            estimate,
+            truncation,
+        }
+    }
+
+    /// The per-candidate occurrence counts OM's scores are measured
+    /// against (the other input, the record-count estimate, comes from
+    /// [`OntologyMatching::rank_governed_detailed`]).
+    #[must_use]
+    pub fn occurrence_inputs(view: &SubtreeView<'_>) -> Vec<(String, f64)> {
+        view.candidates()
+            .iter()
+            .map(|c| {
+                let occurrences = view.occurrence_count(&c.name);
+                (format!("occurrences:{}", c.name), occurrences as f64)
+            })
+            .collect()
     }
 
     /// Ranks candidates against an externally supplied record-count
@@ -117,6 +159,10 @@ impl Heuristic for OntologyMatching {
     fn rank(&self, view: &SubtreeView<'_>) -> Option<Ranking> {
         let estimate = self.estimate_record_count(view.text())?;
         Some(Self::rank_with_estimate(view, estimate))
+    }
+
+    fn score_inputs(&self, view: &SubtreeView<'_>) -> Vec<(String, f64)> {
+        Self::occurrence_inputs(view)
     }
 }
 

@@ -69,6 +69,23 @@ impl Heuristic for RepeatingPattern {
         }
         Some(Ranking::from_scores(HeuristicKind::RP, best, true))
     }
+
+    fn score_inputs(&self, view: &SubtreeView<'_>) -> Vec<(String, f64)> {
+        let lowest = view
+            .candidates()
+            .iter()
+            .map(|c| view.occurrence_count(&c.name))
+            .min()
+            .unwrap_or(0) as f64;
+        let min_count = self.threshold * lowest;
+        let mut inputs = vec![("pair_count_floor".to_owned(), min_count)];
+        for (a, b, pair_count) in view.adjacent_candidate_pairs() {
+            if (pair_count as f64) > min_count {
+                inputs.push((format!("pair:{a}+{b}"), pair_count as f64));
+            }
+        }
+        inputs
+    }
 }
 
 #[cfg(test)]

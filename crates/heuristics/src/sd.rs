@@ -49,6 +49,17 @@ impl Heuristic for StandardDeviation {
             .collect();
         Some(Ranking::from_scores(HeuristicKind::SD, scores, true))
     }
+
+    fn score_inputs(&self, view: &SubtreeView<'_>) -> Vec<(String, f64)> {
+        view.candidates()
+            .iter()
+            .map(|c| {
+                let offsets = view.tag_text_offsets(&c.name);
+                let intervals = offsets.len().saturating_sub(1);
+                (format!("intervals:{}", c.name), intervals as f64)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -44,8 +44,8 @@ pub use entities::decode_entities;
 pub use span::Span;
 pub use token::{Attribute, EndTag, StartTag, Text, Token};
 pub use tokenizer::{
-    tokenize, tokenize_budgeted, tokenize_xml, tokenize_xml_budgeted, TokenBudget, TokenStream,
-    Tokenizer, Warning, WarningKind,
+    tokenize, tokenize_budgeted, tokenize_traced, tokenize_xml, tokenize_xml_budgeted, TokenBudget,
+    TokenStream, Tokenizer, Warning, WarningKind,
 };
 
 /// Returns `true` for element names that, in pre-HTML5 practice, never take

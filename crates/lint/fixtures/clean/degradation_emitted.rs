@@ -1,0 +1,24 @@
+//! Fixture: the same degradation, routed through the active trace sink —
+//! the result vector and the audit trail stay in sync.
+
+pub fn cap_candidates(
+    observed: usize,
+    cap: usize,
+    events: &mut Vec<DegradationEvent>,
+    sink: &dyn TraceSink,
+) {
+    if observed > cap {
+        note_degradation(
+            events,
+            sink,
+            DegradationEvent {
+                stage: DegradationStage::Candidates,
+                cause: LimitExceeded {
+                    limit: LimitKind::CandidateTags,
+                    cap,
+                    observed,
+                },
+            },
+        );
+    }
+}

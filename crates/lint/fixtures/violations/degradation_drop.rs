@@ -1,0 +1,15 @@
+//! Fixture: a degradation recorded in the result but dropped from the
+//! audit trail — the constructing function never touches a trace sink.
+
+pub fn cap_candidates(observed: usize, cap: usize, events: &mut Vec<DegradationEvent>) {
+    if observed > cap {
+        events.push(DegradationEvent {
+            stage: DegradationStage::Candidates,
+            cause: LimitExceeded {
+                limit: LimitKind::CandidateTags,
+                cap,
+                observed,
+            },
+        });
+    }
+}

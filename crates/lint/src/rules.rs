@@ -30,6 +30,10 @@ pub enum Rule {
     /// a self-recursive function in `crates/html`/`crates/tagtree` whose
     /// enclosing function never names a budget, limit, or cap.
     Budget,
+    /// A `DegradationEvent` constructed in a function that never touches a
+    /// trace sink — the degradation would be recorded in the result but
+    /// silently dropped from the audit trail.
+    Observability,
 }
 
 impl Rule {
@@ -42,17 +46,19 @@ impl Rule {
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::BadAllow => "bad-allow",
             Rule::Budget => "budget",
+            Rule::Observability => "observability",
         }
     }
 
     /// All rules an allow directive may name.
-    pub fn all() -> [Rule; 5] {
+    pub fn all() -> [Rule; 6] {
         [
             Rule::Panic,
             Rule::Cast,
             Rule::WildcardMatch,
             Rule::ForbidUnsafe,
             Rule::Budget,
+            Rule::Observability,
         ]
     }
 }
@@ -95,8 +101,9 @@ impl Tier {
     /// Severity of `rule` under this tier.
     pub fn severity(self, rule: Rule) -> Severity {
         match (rule, self) {
-            // Structural rules hold everywhere.
-            (Rule::ForbidUnsafe | Rule::BadAllow, _) => Severity::Deny,
+            // Structural rules hold everywhere. Observability is among
+            // them: a silently dropped degradation is wrong in any crate.
+            (Rule::ForbidUnsafe | Rule::BadAllow | Rule::Observability, _) => Severity::Deny,
             (_, Tier::Hot) => Severity::Deny,
             (_, Tier::Library) => Severity::Warn,
         }
@@ -145,6 +152,7 @@ pub fn lint_source(path: &Path, source: &str, tier: Tier, is_crate_root: bool) -
         check_forbid_unsafe(path, &analysis, &mut findings);
     }
     check_budget(path, &analysis, tier, &mut findings);
+    check_observability(path, &analysis, &mut findings);
     check_allow_directives(path, &analysis, &mut findings);
 
     // Apply test exemption (panic-freedom rules only) and allow directives.
@@ -154,7 +162,7 @@ pub fn lint_source(path: &Path, source: &str, tier: Tier, is_crate_root: bool) -
         }
         let test_exempt = matches!(
             f.rule,
-            Rule::Panic | Rule::Cast | Rule::WildcardMatch | Rule::Budget
+            Rule::Panic | Rule::Cast | Rule::WildcardMatch | Rule::Budget | Rule::Observability
         ) && analysis.is_test_line(f.line);
         !test_exempt && !analysis.is_allowed(f.rule.name(), f.line)
     });
@@ -592,6 +600,61 @@ fn check_budget(path: &Path, a: &Analysis, tier: Tier, findings: &mut Vec<Findin
     }
 }
 
+/// `true` if the function body names a sink. The match is on a snake_case
+/// segment boundary — `sink`, `sinks`, `active_sink()`, `with_sink`, and a
+/// `sink:` field all count; only a `sink` embedded mid-segment (as in
+/// `heatsink`) disqualifies.
+fn mentions_sink(body: &str) -> bool {
+    occurrences(body, "sink").any(|at| {
+        let bytes = body.as_bytes();
+        at.checked_sub(1)
+            .and_then(|i| bytes.get(i))
+            .is_none_or(|&b| !b.is_ascii_alphanumeric())
+    })
+}
+
+/// Degradation events must reach the audit trail: any function that
+/// constructs a `DegradationEvent` (the name followed by a brace — struct
+/// literal) must also touch a trace sink, normally by routing the event
+/// through `note_degradation(&mut degradation, sink, …)`. A function that
+/// only pushes the event into its result silently drops it from the trace,
+/// which is exactly the class of bug the audit trail exists to prevent.
+/// Constructions outside any function (the type's own definition,
+/// `impl` headers) are structural, not emissions, and are skipped.
+fn check_observability(path: &Path, a: &Analysis, findings: &mut Vec<Finding>) {
+    const NEEDLE: &str = "DegradationEvent";
+    let fns = fn_items(&a.masked);
+    for at in occurrences(&a.masked, NEEDLE) {
+        if !word_boundary(&a.masked, at, NEEDLE.len()) {
+            continue;
+        }
+        let rest = a.masked.get(at + NEEDLE.len()..).unwrap_or("").trim_start();
+        if !rest.starts_with('{') {
+            continue;
+        }
+        let Some((_, _, body)) = fns
+            .iter()
+            .filter(|(_, _, body)| body.contains(&at))
+            .max_by_key(|(_, _, body)| body.start)
+        else {
+            continue;
+        };
+        if !mentions_sink(a.masked.get(body.clone()).unwrap_or("")) {
+            push(
+                findings,
+                path,
+                a.line_of(at),
+                Rule::Observability,
+                Severity::Deny,
+                "`DegradationEvent` constructed here but the enclosing function never \
+                 touches a trace sink; emit it to the active sink (e.g. via \
+                 `note_degradation`) or justify with allow(observability)"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
 fn check_allow_directives(path: &Path, a: &Analysis, findings: &mut Vec<Finding>) {
     for &line in &a.malformed_allows {
         push(
@@ -908,6 +971,72 @@ mod tests {
     #[test]
     fn budget_rule_exempts_test_code() {
         let src = "#[cfg(test)]\nmod tests {\n    fn helper(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    // --- observability rule ---
+
+    #[test]
+    fn degradation_without_sink_flagged() {
+        let src = "fn f(events: &mut Vec<DegradationEvent>) {\n    events.push(DegradationEvent { stage, cause });\n}\n";
+        let f = lint(src);
+        assert_eq!(rules_of(&f), vec![Rule::Observability]);
+        assert_eq!(f.first().map(|x| x.severity), Some(Severity::Deny));
+    }
+
+    #[test]
+    fn degradation_routed_to_sink_passes() {
+        for src in [
+            "fn f(events: &mut Vec<DegradationEvent>, sink: &dyn TraceSink) {\n    note_degradation(events, sink, DegradationEvent { stage, cause });\n}\n",
+            "fn f(&self, events: &mut Vec<DegradationEvent>) {\n    note_degradation(events, self.active_sink(), DegradationEvent { stage, cause });\n}\n",
+        ] {
+            assert!(lint(src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn observability_denies_in_library_tier_too() {
+        let src = "fn f(v: &mut Vec<DegradationEvent>) {\n    v.push(DegradationEvent { stage, cause });\n}\n";
+        let f = lint_source(Path::new("a.rs"), src, Tier::Library, false);
+        assert_eq!(f.first().map(|x| x.severity), Some(Severity::Deny));
+    }
+
+    #[test]
+    fn struct_definition_and_impl_header_not_flagged() {
+        let src = "pub struct DegradationEvent {\n    pub stage: u8,\n}\n\nimpl fmt::Display for DegradationEvent {\n    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {\n        write!(f, \"{}\", self.stage)\n    }\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn degradation_type_mention_without_construction_not_flagged() {
+        let src = "fn f(events: Vec<DegradationEvent>) -> usize { events.len() }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn embedded_sink_identifier_does_not_certify() {
+        // `heatsink` contains "sink" only mid-segment, with no snake_case
+        // boundary before it.
+        let src = "fn f(v: &mut Vec<DegradationEvent>) {\n    heatsink();\n    v.push(DegradationEvent { stage, cause });\n}\n";
+        let f = lint(src);
+        assert_eq!(rules_of(&f), vec![Rule::Observability]);
+    }
+
+    #[test]
+    fn snake_case_sink_segment_certifies() {
+        let src = "fn f(v: &mut Vec<DegradationEvent>) {\n    emit(self.active_sink(), DegradationEvent { stage, cause });\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn observability_exempts_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn mk() -> DegradationEvent { DegradationEvent { stage, cause } }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn justified_allow_suppresses_observability() {
+        let src = "fn f(v: &mut Vec<DegradationEvent>) {\n    // rbd-lint: allow(observability) — caller re-emits the whole vec to its sink\n    v.push(DegradationEvent { stage, cause });\n}\n";
         assert!(lint(src).is_empty());
     }
 

@@ -126,6 +126,17 @@ fn in_tree_harness_crates_are_scanned() {
 }
 
 #[test]
+fn degradation_drop_fixture_denies() {
+    assert_denies("violations/degradation_drop.rs", Rule::Observability);
+}
+
+#[test]
+fn degradation_emitted_fixture_is_clean() {
+    let findings = lint_path(&fixture("clean/degradation_emitted.rs")).expect("fixture readable");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
 fn budget_fixture_denies_allocation_and_recursion() {
     assert_denies("violations/budget.rs", Rule::Budget);
     let findings = lint_path(&fixture("violations/budget.rs")).expect("fixture readable");

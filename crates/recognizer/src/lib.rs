@@ -210,6 +210,39 @@ impl Recognizer {
         }
     }
 
+    /// [`Recognizer::recognize_governed`] with a
+    /// [`TraceSink`](rbd_trace::TraceSink): the one-pass scan is timed as
+    /// a `"recognize"` span and — when the sink is enabled — a
+    /// [`Recognized`](rbd_trace::TraceEvent::Recognized) event records how
+    /// many text bytes were actually scanned and how many table entries
+    /// came out. Degradations (truncation, deadline skip) are returned in
+    /// the result as before; the caller decides how to report them.
+    pub fn recognize_governed_traced(
+        &self,
+        text: &str,
+        max_text_bytes: Option<usize>,
+        deadline: &Deadline,
+        sink: &dyn rbd_trace::TraceSink,
+    ) -> GovernedRecognition {
+        let span = rbd_trace::Span::start_if("recognize", sink);
+        let governed = self.recognize_governed(text, max_text_bytes, deadline);
+        if let Some(span) = span {
+            span.finish(sink);
+        }
+        if sink.enabled() {
+            let scanned = match &governed.truncation {
+                Some(t) => t.cap.min(text.len()),
+                None if governed.skipped.is_some() => 0,
+                None => text.len(),
+            };
+            sink.event(rbd_trace::TraceEvent::Recognized {
+                text_bytes: scanned,
+                entries: governed.table.len(),
+            });
+        }
+        governed
+    }
+
     /// Reference implementation: every rule's own engine, one scan per rule.
     /// Kept for differential testing and the amortization benchmark.
     pub fn recognize_separately(&self, text: &str) -> DataRecordTable {

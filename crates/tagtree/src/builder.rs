@@ -93,6 +93,46 @@ impl TagTreeBuilder {
         self.try_build_from_tokens(source.len(), &tokens)
     }
 
+    /// Like [`TagTreeBuilder::try_build_with_stats`] but reporting to a
+    /// [`TraceSink`](rbd_trace::TraceSink): the tokenizer pass is traced
+    /// via [`rbd_html::tokenize_traced`] (a `"tokenize"` span plus a
+    /// `Tokenized` event), tree construction gets a `"tree_build"` span,
+    /// and — when the sink is enabled — a
+    /// [`TreeBuilt`](rbd_trace::TraceEvent::TreeBuilt) event records the
+    /// node count and what normalization repaired.
+    ///
+    /// # Errors
+    /// Same contract as [`TagTreeBuilder::try_build_with_stats`].
+    pub fn try_build_traced(
+        &self,
+        source: &str,
+        sink: &dyn rbd_trace::TraceSink,
+    ) -> Result<(TagTree, NormalizeStats), TreeError> {
+        let tokens = rbd_html::tokenize_traced(
+            source,
+            self.xml,
+            &TokenBudget {
+                max_input_bytes: self.budget.max_input_bytes,
+            },
+            sink,
+        )?;
+        let span = rbd_trace::Span::start_if("tree_build", sink);
+        let built = self.try_build_from_tokens(source.len(), &tokens);
+        if let Some(span) = span {
+            span.finish(sink);
+        }
+        if sink.enabled() {
+            if let Ok((tree, stats)) = &built {
+                sink.event(rbd_trace::TraceEvent::TreeBuilt {
+                    nodes: tree.len(),
+                    end_tags_inserted: stats.end_tags_inserted,
+                    orphan_end_tags: stats.orphan_end_tags,
+                });
+            }
+        }
+        built
+    }
+
     /// Fallible form of [`TagTreeBuilder::build_from_tokens`].
     pub fn try_build_from_tokens(
         &self,

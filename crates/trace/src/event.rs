@@ -1,0 +1,434 @@
+//! The decision audit trail: typed events, one per pipeline decision.
+//!
+//! Every variant of [`TraceEvent`] captures the *inputs* of a decision,
+//! not just its outcome — the runner-up fan-outs next to the chosen
+//! subtree, every candidate tag's count next to the threshold it was
+//! measured against, each heuristic's raw score inputs next to its
+//! ranking. A trace is therefore a self-contained explanation: given the
+//! events, a reader can re-derive the separator the pipeline chose.
+//!
+//! Events serialize to JSON objects with a `"type"` discriminant (see
+//! [`TraceEvent::to_json`]); [`events_to_json`] turns a slice into the
+//! array the CLI writes for `--trace`.
+//!
+//! Events own their data (`String`, not borrows): emission is gated on
+//! [`TraceSink::enabled`](crate::TraceSink::enabled), so the untraced
+//! pipeline never pays for the clones.
+
+use rbd_json::Json;
+
+/// One candidate tag's fate at the 10 % threshold gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateDecision {
+    /// The tag name.
+    pub tag: String,
+    /// How many times it appears as a child of the chosen subtree root.
+    pub count: usize,
+    /// `count / subtree_tag_count` — what the threshold is compared to.
+    pub share: f64,
+    /// Whether the tag cleared the threshold and went on to the heuristics.
+    pub passed: bool,
+}
+
+impl CandidateDecision {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("tag", Json::Str(self.tag.clone())),
+            ("count", Json::UInt(self.count as u64)),
+            ("share", Json::Float(self.share)),
+            ("passed", Json::Bool(self.passed)),
+        ])
+    }
+}
+
+/// One row of a heuristic's ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedEntry {
+    /// The candidate tag.
+    pub tag: String,
+    /// Position in the heuristic's ranking, 1 = best.
+    pub rank: usize,
+    /// The heuristic's raw score for this tag (lower or higher is better
+    /// depending on the heuristic; the ranking order is authoritative).
+    pub score: f64,
+}
+
+impl RankedEntry {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("tag", Json::Str(self.tag.clone())),
+            ("rank", Json::UInt(self.rank as u64)),
+            ("score", Json::Float(self.score)),
+        ])
+    }
+}
+
+/// One pipeline decision, in emission order. See the module docs for the
+/// reading guide and DESIGN.md §8 for the full taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The tokenizer finished a document.
+    Tokenized {
+        /// Input length in bytes.
+        bytes: usize,
+        /// Tokens produced (tags + text runs).
+        tokens: usize,
+        /// Tag tokens among them.
+        tags: usize,
+        /// Recoverable malformations noted while scanning.
+        warnings: usize,
+    },
+    /// The tag tree is built and normalized (Appendix A).
+    TreeBuilt {
+        /// Nodes in the tree, including the synthetic root.
+        nodes: usize,
+        /// End tags the normalizer synthesized for unclosed elements.
+        end_tags_inserted: usize,
+        /// End tags discarded because no matching start tag was open.
+        orphan_end_tags: usize,
+    },
+    /// The highest-fan-out subtree was selected as the record region.
+    SubtreeChosen {
+        /// Tag name of the winning subtree root.
+        tag: String,
+        /// Its fan-out (direct child count).
+        fanout: usize,
+        /// The next-best subtree roots `(tag, fanout)`, best first.
+        runners_up: Vec<(String, usize)>,
+    },
+    /// Candidate separator tags were screened against the threshold.
+    Candidates {
+        /// The configured threshold (paper default 0.10).
+        threshold: f64,
+        /// Every tag considered, with count, share, and verdict.
+        considered: Vec<CandidateDecision>,
+    },
+    /// §3 shortcut: exactly one candidate survived, heuristics skipped.
+    Shortcut {
+        /// The sole candidate, adopted as the separator.
+        separator: String,
+    },
+    /// One heuristic ran (or abstained).
+    Heuristic {
+        /// Heuristic name: `"OM"`, `"RP"`, `"SD"`, `"IT"`, or `"HT"`.
+        name: String,
+        /// `true` when the heuristic produced no ranking.
+        abstained: bool,
+        /// Its full ranking, best first; empty when abstained.
+        entries: Vec<RankedEntry>,
+        /// Raw inputs behind the scores (`("count:hr", 12.0)`,
+        /// `("estimate", 9.5)`, ...), named per heuristic.
+        inputs: Vec<(String, f64)>,
+    },
+    /// Stanford certainty combination across the heuristic rankings.
+    Consensus {
+        /// Combined certainty per candidate, the order the extractor saw.
+        scored: Vec<(String, f64)>,
+        /// The winning separator tag(s) (ties possible before tie-break).
+        winners: Vec<String>,
+    },
+    /// A soft limit degraded fidelity (mirrors a core `DegradationEvent`).
+    Degradation {
+        /// The pipeline stage that degraded, e.g. `"candidate selection"`.
+        stage: String,
+        /// The limit kind name, e.g. `"text-bytes"`.
+        limit: String,
+        /// The configured cap.
+        cap: u64,
+        /// The observed value at the moment of the breach.
+        observed: u64,
+    },
+    /// The ontology recognizer scanned the subtree text.
+    Recognized {
+        /// Plain-text bytes scanned.
+        text_bytes: usize,
+        /// Data-record-table entries produced.
+        entries: usize,
+    },
+    /// The document was split into records at the separator.
+    Chunked {
+        /// The separator tag used for the cuts.
+        separator: String,
+        /// Records produced.
+        records: usize,
+        /// Whether a preamble (content before the first separator) exists.
+        preamble: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The snake_case name serialized as the `"type"` discriminant.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Tokenized { .. } => "tokenized",
+            TraceEvent::TreeBuilt { .. } => "tree_built",
+            TraceEvent::SubtreeChosen { .. } => "subtree_chosen",
+            TraceEvent::Candidates { .. } => "candidates",
+            TraceEvent::Shortcut { .. } => "shortcut",
+            TraceEvent::Heuristic { .. } => "heuristic",
+            TraceEvent::Consensus { .. } => "consensus",
+            TraceEvent::Degradation { .. } => "degradation",
+            TraceEvent::Recognized { .. } => "recognized",
+            TraceEvent::Chunked { .. } => "chunked",
+        }
+    }
+
+    /// Serializes as an object whose first member is
+    /// `"type": self.kind()`, followed by the variant's fields.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut members: Vec<(&'static str, Json)> =
+            vec![("type", Json::Str(self.kind().to_owned()))];
+        match self {
+            TraceEvent::Tokenized {
+                bytes,
+                tokens,
+                tags,
+                warnings,
+            } => {
+                members.push(("bytes", Json::UInt(*bytes as u64)));
+                members.push(("tokens", Json::UInt(*tokens as u64)));
+                members.push(("tags", Json::UInt(*tags as u64)));
+                members.push(("warnings", Json::UInt(*warnings as u64)));
+            }
+            TraceEvent::TreeBuilt {
+                nodes,
+                end_tags_inserted,
+                orphan_end_tags,
+            } => {
+                members.push(("nodes", Json::UInt(*nodes as u64)));
+                members.push(("end_tags_inserted", Json::UInt(*end_tags_inserted as u64)));
+                members.push(("orphan_end_tags", Json::UInt(*orphan_end_tags as u64)));
+            }
+            TraceEvent::SubtreeChosen {
+                tag,
+                fanout,
+                runners_up,
+            } => {
+                members.push(("tag", Json::Str(tag.clone())));
+                members.push(("fanout", Json::UInt(*fanout as u64)));
+                members.push((
+                    "runners_up",
+                    Json::Array(
+                        runners_up
+                            .iter()
+                            .map(|(t, f)| {
+                                Json::object([
+                                    ("tag", Json::Str(t.clone())),
+                                    ("fanout", Json::UInt(*f as u64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            TraceEvent::Candidates {
+                threshold,
+                considered,
+            } => {
+                members.push(("threshold", Json::Float(*threshold)));
+                members.push((
+                    "considered",
+                    Json::Array(considered.iter().map(CandidateDecision::to_json).collect()),
+                ));
+            }
+            TraceEvent::Shortcut { separator } => {
+                members.push(("separator", Json::Str(separator.clone())));
+            }
+            TraceEvent::Heuristic {
+                name,
+                abstained,
+                entries,
+                inputs,
+            } => {
+                members.push(("name", Json::Str(name.clone())));
+                members.push(("abstained", Json::Bool(*abstained)));
+                members.push((
+                    "entries",
+                    Json::Array(entries.iter().map(RankedEntry::to_json).collect()),
+                ));
+                members.push((
+                    "inputs",
+                    Json::Array(
+                        inputs
+                            .iter()
+                            .map(|(name, value)| {
+                                Json::object([
+                                    ("name", Json::Str(name.clone())),
+                                    ("value", Json::Float(*value)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            TraceEvent::Consensus { scored, winners } => {
+                members.push((
+                    "scored",
+                    Json::Array(
+                        scored
+                            .iter()
+                            .map(|(tag, certainty)| {
+                                Json::object([
+                                    ("tag", Json::Str(tag.clone())),
+                                    ("certainty", Json::Float(*certainty)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                members.push((
+                    "winners",
+                    Json::Array(winners.iter().map(|w| Json::Str(w.clone())).collect()),
+                ));
+            }
+            TraceEvent::Degradation {
+                stage,
+                limit,
+                cap,
+                observed,
+            } => {
+                members.push(("stage", Json::Str(stage.clone())));
+                members.push(("limit", Json::Str(limit.clone())));
+                members.push(("cap", Json::UInt(*cap)));
+                members.push(("observed", Json::UInt(*observed)));
+            }
+            TraceEvent::Recognized {
+                text_bytes,
+                entries,
+            } => {
+                members.push(("text_bytes", Json::UInt(*text_bytes as u64)));
+                members.push(("entries", Json::UInt(*entries as u64)));
+            }
+            TraceEvent::Chunked {
+                separator,
+                records,
+                preamble,
+            } => {
+                members.push(("separator", Json::Str(separator.clone())));
+                members.push(("records", Json::UInt(*records as u64)));
+                members.push(("preamble", Json::Bool(*preamble)));
+            }
+        }
+        Json::object(members)
+    }
+}
+
+/// Serializes a slice of events as the JSON array the CLI's `--trace`
+/// output embeds under `"events"`.
+#[must_use]
+pub fn events_to_json(events: &[TraceEvent]) -> Json {
+    Json::Array(events.iter().map(TraceEvent::to_json).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_discriminant_comes_first() {
+        let json = TraceEvent::Shortcut {
+            separator: "hr".into(),
+        }
+        .to_json()
+        .to_compact();
+        assert_eq!(json, r#"{"type":"shortcut","separator":"hr"}"#);
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let events = [
+            TraceEvent::Tokenized {
+                bytes: 0,
+                tokens: 0,
+                tags: 0,
+                warnings: 0,
+            },
+            TraceEvent::TreeBuilt {
+                nodes: 0,
+                end_tags_inserted: 0,
+                orphan_end_tags: 0,
+            },
+            TraceEvent::SubtreeChosen {
+                tag: String::new(),
+                fanout: 0,
+                runners_up: Vec::new(),
+            },
+            TraceEvent::Candidates {
+                threshold: 0.1,
+                considered: Vec::new(),
+            },
+            TraceEvent::Shortcut {
+                separator: String::new(),
+            },
+            TraceEvent::Heuristic {
+                name: String::new(),
+                abstained: false,
+                entries: Vec::new(),
+                inputs: Vec::new(),
+            },
+            TraceEvent::Consensus {
+                scored: Vec::new(),
+                winners: Vec::new(),
+            },
+            TraceEvent::Degradation {
+                stage: String::new(),
+                limit: String::new(),
+                cap: 0,
+                observed: 0,
+            },
+            TraceEvent::Recognized {
+                text_bytes: 0,
+                entries: 0,
+            },
+            TraceEvent::Chunked {
+                separator: String::new(),
+                records: 0,
+                preamble: false,
+            },
+        ];
+        let mut kinds: Vec<_> = events.iter().map(TraceEvent::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len(), "every kind must be unique");
+    }
+
+    #[test]
+    fn heuristic_event_carries_inputs_and_entries() {
+        let json = TraceEvent::Heuristic {
+            name: "HT".into(),
+            abstained: false,
+            entries: vec![RankedEntry {
+                tag: "hr".into(),
+                rank: 1,
+                score: 12.0,
+            }],
+            inputs: vec![("count:hr".into(), 12.0)],
+        }
+        .to_json()
+        .to_compact();
+        assert!(json.contains(r#""name":"HT""#), "{json}");
+        assert!(json.contains(r#""rank":1"#), "{json}");
+        assert!(json.contains(r#""count:hr""#), "{json}");
+    }
+
+    #[test]
+    fn events_to_json_preserves_order() {
+        let events = vec![
+            TraceEvent::Tokenized {
+                bytes: 10,
+                tokens: 3,
+                tags: 2,
+                warnings: 0,
+            },
+            TraceEvent::Shortcut {
+                separator: "hr".into(),
+            },
+        ];
+        let json = events_to_json(&events).to_compact();
+        let tokenized = json.find("tokenized").expect("first event present");
+        let shortcut = json.find("shortcut").expect("second event present");
+        assert!(tokenized < shortcut, "{json}");
+    }
+}

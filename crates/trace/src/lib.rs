@@ -1,0 +1,374 @@
+//! # rbd-trace — tracing, metrics, and the decision audit trail
+//!
+//! The extraction pipeline is a chain of discrete stages (tokenize → tag
+//! tree → highest-fan-out subtree → candidate tags → five heuristics →
+//! certainty combination → boundary split), yet its only ordinary output is
+//! the final extraction. This crate makes every intermediate decision
+//! observable without changing any of them:
+//!
+//! * **Spans** ([`Span`] / [`SpanRecord`]) — monotonic
+//!   [`std::time::Instant`] timings of each pipeline stage;
+//! * **Counters and fixed-bucket histograms** ([`Registry`]) — process-wide
+//!   telemetry (`docs_extracted`, `tags_scanned`, `heuristic_abstentions`,
+//!   per-stage latency), snapshotable to `rbd-json`;
+//! * **The decision audit trail** ([`TraceEvent`]) — typed events carrying
+//!   the *inputs* of each decision: the chosen fan-out subtree and its
+//!   runners-up, every candidate tag's count against the 10 % threshold,
+//!   each heuristic's full ranking with its raw score inputs, the certainty
+//!   combination, and every degradation a governed pass applied.
+//!
+//! Everything funnels through one object-safe trait, [`TraceSink`]. The
+//! default [`NullSink`] reports itself as disabled so instrumented code can
+//! skip event construction entirely — the untraced pipeline pays one
+//! branch, nothing more (measured <1 % in `crates/bench/benches/tracing.rs`;
+//! see EXPERIMENTS.md). [`CollectingSink`] gathers everything in memory for
+//! the CLI's `--trace`/`--metrics` flags and the golden-trace tests;
+//! [`MockSink`] additionally records the call order for instrumentation
+//! tests.
+//!
+//! Like `rbd-json`, `rbd-limits`, and `rbd-prop`, this crate has no
+//! external dependencies, keeping the workspace hermetic.
+//!
+//! ## Example
+//!
+//! ```
+//! use rbd_trace::{CollectingSink, Span, TraceEvent, TraceSink};
+//!
+//! let sink = CollectingSink::new();
+//! let span = Span::start("tokenize");
+//! // ... do the work ...
+//! span.finish(&sink);
+//! if sink.enabled() {
+//!     sink.event(TraceEvent::Tokenized { bytes: 64, tokens: 9, tags: 4, warnings: 0 });
+//! }
+//! sink.add("tags_scanned", 4);
+//!
+//! assert_eq!(sink.events().len(), 1);
+//! assert_eq!(sink.spans().len(), 1);
+//! let snapshot = sink.registry_snapshot().to_compact();
+//! assert!(snapshot.contains("\"tags_scanned\":4"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod span;
+
+pub use event::{events_to_json, CandidateDecision, RankedEntry, TraceEvent};
+pub use metrics::{Histogram, HistogramSnapshot, Registry, LATENCY_BOUNDS_NS};
+pub use span::{Span, SpanRecord};
+
+use rbd_json::Json;
+use std::sync::{Mutex, PoisonError};
+
+/// Destination of trace output. Object-safe, shareable across threads.
+///
+/// The contract instrumented code follows:
+///
+/// * call [`TraceSink::enabled`] before doing *any* work that exists only
+///   to be traced — building events, counting tags, even reading the clock
+///   ([`Span::start_if`] wraps that check) — so a disabled sink makes
+///   instrumentation one predictable branch per stage;
+/// * counter increments whose value is already at hand (`add("x", 1)`) may
+///   be emitted unconditionally; implementations must make them cheap
+///   no-ops when disabled.
+pub trait TraceSink: Send + Sync + std::fmt::Debug {
+    /// `false` when the sink discards everything — instrumented code skips
+    /// event construction entirely. Defaults to `true`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one decision-audit event.
+    fn event(&self, event: TraceEvent);
+
+    /// Records one finished span.
+    fn span(&self, span: SpanRecord);
+
+    /// Adds `delta` to the named counter.
+    fn add(&self, counter: &'static str, delta: u64);
+}
+
+/// The no-op sink: reports itself disabled, discards everything. This is
+/// what untraced pipeline runs use, so its methods must never allocate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn event(&self, _event: TraceEvent) {}
+
+    fn span(&self, _span: SpanRecord) {}
+
+    fn add(&self, _counter: &'static str, _delta: u64) {}
+}
+
+/// Collects events and spans in memory and maintains a [`Registry`]:
+/// counters from [`TraceSink::add`], per-stage latency histograms from the
+/// spans. The backing store is mutex-protected, so one sink can serve a
+/// whole extraction (or a corpus of them) across threads.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<TraceEvent>>,
+    spans: Mutex<Vec<SpanRecord>>,
+    registry: Registry,
+}
+
+impl CollectingSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events recorded so far, in emission order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The spans recorded so far, in finish order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Snapshot of the counters and histograms.
+    pub fn registry_snapshot(&self) -> Json {
+        self.registry.snapshot()
+    }
+
+    /// The underlying registry (for direct counter reads in tests).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The full trace as JSON: `{"events": [...], "spans": [...],
+    /// "metrics": {...}}` — what `rbd --trace <file>` writes.
+    pub fn trace_json(&self) -> Json {
+        Json::object([
+            ("events", events_to_json(&self.events())),
+            (
+                "spans",
+                Json::Array(self.spans().iter().map(SpanRecord::to_json).collect()),
+            ),
+            ("metrics", self.registry_snapshot()),
+        ])
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn event(&self, event: TraceEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event);
+    }
+
+    fn span(&self, span: SpanRecord) {
+        self.registry.observe(span.name, span.nanos);
+        self.spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(span);
+    }
+
+    fn add(&self, counter: &'static str, delta: u64) {
+        self.registry.add(counter, delta);
+    }
+}
+
+/// A test double: collects like [`CollectingSink`] but also records a
+/// flat, ordered log of every call (`"event:subtree_chosen"`,
+/// `"span:tokenize"`, `"add:tags_scanned+42"`), and its
+/// [`TraceSink::enabled`] answer is configurable so tests can assert the
+/// disabled path emits nothing.
+#[derive(Debug)]
+pub struct MockSink {
+    enabled: bool,
+    inner: CollectingSink,
+    calls: Mutex<Vec<String>>,
+}
+
+impl Default for MockSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MockSink {
+    /// An enabled mock.
+    #[must_use]
+    pub fn new() -> Self {
+        MockSink {
+            enabled: true,
+            inner: CollectingSink::new(),
+            calls: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A mock that reports itself disabled (but still records calls, so a
+    /// test can prove no event reached it).
+    #[must_use]
+    pub fn disabled() -> Self {
+        MockSink {
+            enabled: false,
+            ..Self::new()
+        }
+    }
+
+    /// The ordered call log.
+    pub fn calls(&self) -> Vec<String> {
+        self.calls
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The collected events (same as [`CollectingSink::events`]).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.events()
+    }
+
+    /// The collected spans.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.spans()
+    }
+
+    /// Counter value, zero if never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.registry().counter(name)
+    }
+
+    fn log(&self, entry: String) {
+        self.calls
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(entry);
+    }
+}
+
+impl TraceSink for MockSink {
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn event(&self, event: TraceEvent) {
+        self.log(format!("event:{}", event.kind()));
+        self.inner.event(event);
+    }
+
+    fn span(&self, span: SpanRecord) {
+        self.log(format!("span:{}", span.name));
+        self.inner.span(span);
+    }
+
+    fn add(&self, counter: &'static str, delta: u64) {
+        self.log(format!("add:{counter}+{delta}"));
+        self.inner.add(counter, delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled_and_silent() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+        sink.event(TraceEvent::Shortcut {
+            separator: "hr".into(),
+        });
+        sink.span(SpanRecord {
+            name: "tokenize",
+            nanos: 1,
+        });
+        sink.add("docs_extracted", 1);
+        // Nothing to observe: NullSink holds no state at all.
+    }
+
+    #[test]
+    fn collecting_sink_gathers_everything() {
+        let sink = CollectingSink::new();
+        assert!(sink.enabled());
+        sink.event(TraceEvent::Shortcut {
+            separator: "p".into(),
+        });
+        sink.span(SpanRecord {
+            name: "tree_build",
+            nanos: 1_500,
+        });
+        sink.add("docs_extracted", 2);
+        sink.add("docs_extracted", 1);
+
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(sink.spans().len(), 1);
+        assert_eq!(sink.registry().counter("docs_extracted"), 3);
+        let json = sink.trace_json().to_compact();
+        assert!(json.contains("\"events\""), "{json}");
+        assert!(json.contains("\"spans\""), "{json}");
+        assert!(json.contains("\"docs_extracted\":3"), "{json}");
+    }
+
+    #[test]
+    fn spans_feed_latency_histograms() {
+        let sink = CollectingSink::new();
+        for nanos in [500, 1_500, 2_000_000] {
+            sink.span(SpanRecord {
+                name: "heuristic:HT",
+                nanos,
+            });
+        }
+        let snap = sink.registry_snapshot().to_compact();
+        assert!(snap.contains("\"heuristic:HT\""), "{snap}");
+        assert!(snap.contains("\"count\":3"), "{snap}");
+    }
+
+    #[test]
+    fn mock_sink_records_call_order() {
+        let sink = MockSink::new();
+        sink.span(SpanRecord {
+            name: "tokenize",
+            nanos: 10,
+        });
+        sink.add("tags_scanned", 7);
+        sink.event(TraceEvent::Shortcut {
+            separator: "hr".into(),
+        });
+        assert_eq!(
+            sink.calls(),
+            vec!["span:tokenize", "add:tags_scanned+7", "event:shortcut"]
+        );
+        assert_eq!(sink.counter("tags_scanned"), 7);
+    }
+
+    #[test]
+    fn disabled_mock_reports_disabled() {
+        let sink = MockSink::disabled();
+        assert!(!sink.enabled());
+        // Callers honoring the contract will not emit; the mock still
+        // records anything that *does* arrive, which is how tests catch
+        // instrumentation that ignores `enabled()`.
+        assert!(sink.calls().is_empty());
+    }
+
+    #[test]
+    fn sink_is_object_safe_and_shareable() {
+        let sink: std::sync::Arc<dyn TraceSink> = std::sync::Arc::new(CollectingSink::new());
+        let clone = std::sync::Arc::clone(&sink);
+        std::thread::spawn(move || clone.add("docs_extracted", 1))
+            .join()
+            .expect("thread");
+        sink.add("docs_extracted", 1);
+    }
+}

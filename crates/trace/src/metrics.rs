@@ -1,0 +1,237 @@
+//! Counters and fixed-bucket histograms.
+//!
+//! A [`Registry`] is a mutex-protected pair of `BTreeMap`s — named `u64`
+//! counters and named [`Histogram`]s — so snapshots come out in a
+//! deterministic (sorted) order, which the golden-trace tests and the CI
+//! chaos-metrics artifact rely on. Histograms use one fixed bucket layout,
+//! [`LATENCY_BOUNDS_NS`]: recording is a linear scan over 12 bounds, no
+//! allocation, no floating point.
+
+use rbd_json::Json;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+
+/// Upper bounds (inclusive, nanoseconds) of the histogram buckets, plus an
+/// implicit final overflow bucket. Spaced 1µs → 100ms in 1-2.5-5 steps:
+/// wide enough for a whole-document pipeline run, fine enough to separate
+/// a heuristic pass from a tokenizer pass.
+pub const LATENCY_BOUNDS_NS: [u64; 12] = [
+    1_000,       // 1 µs
+    2_500,       // 2.5 µs
+    5_000,       // 5 µs
+    10_000,      // 10 µs
+    25_000,      // 25 µs
+    50_000,      // 50 µs
+    100_000,     // 100 µs
+    250_000,     // 250 µs
+    500_000,     // 500 µs
+    1_000_000,   // 1 ms
+    10_000_000,  // 10 ms
+    100_000_000, // 100 ms
+];
+
+/// A fixed-bucket histogram over [`LATENCY_BOUNDS_NS`], tracking count,
+/// sum, and maximum alongside the bucket tallies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; LATENCY_BOUNDS_NS.len() + 1],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Records one observation (saturating on sum overflow).
+    pub fn record(&mut self, value: u64) {
+        let idx = LATENCY_BOUNDS_NS
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(LATENCY_BOUNDS_NS.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// An immutable copy of the current state for reporting.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets,
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Tallies per bucket; the last entry is the overflow bucket.
+    pub buckets: [u64; LATENCY_BOUNDS_NS.len() + 1],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// `{"count": ..., "sum": ..., "max": ..., "buckets": [...]}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("count", Json::UInt(self.count)),
+            ("sum", Json::UInt(self.sum)),
+            ("max", Json::UInt(self.max)),
+            (
+                "buckets",
+                Json::Array(self.buckets.iter().map(|&b| Json::UInt(b)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Thread-safe home of all counters and histograms. Names are `&'static
+/// str` by design: the metric namespace is closed at compile time, which
+/// keeps hot-path recording allocation-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        let mut counters = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
+        let slot = counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        self.histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    /// Current value of a counter; zero if never touched.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of a single histogram, if it has been observed.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .map(Histogram::snapshot)
+    }
+
+    /// Snapshot of everything:
+    /// `{"counters": {...}, "histograms": {...}, "bounds_ns": [...]}` with
+    /// keys in sorted order.
+    #[must_use]
+    pub fn snapshot(&self) -> Json {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&name, &value)| (name, Json::UInt(value)))
+            .collect::<Vec<_>>();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&name, histogram)| (name, histogram.snapshot().to_json()))
+            .collect::<Vec<_>>();
+        Json::object([
+            ("counters", Json::object(counters)),
+            ("histograms", Json::object(histograms)),
+            (
+                "bounds_ns",
+                Json::Array(LATENCY_BOUNDS_NS.iter().map(|&b| Json::UInt(b)).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let registry = Registry::new();
+        assert_eq!(registry.counter("docs_extracted"), 0);
+        registry.add("docs_extracted", 2);
+        registry.add("docs_extracted", 3);
+        assert_eq!(registry.counter("docs_extracted"), 5);
+    }
+
+    #[test]
+    fn counter_add_saturates() {
+        let registry = Registry::new();
+        registry.add("c", u64::MAX);
+        registry.add("c", 10);
+        assert_eq!(registry.counter("c"), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let mut h = Histogram::default();
+        h.record(999); // bucket 0 (≤ 1µs)
+        h.record(1_000); // bucket 0 (inclusive bound)
+        h.record(1_001); // bucket 1
+        h.record(1_000_000_000); // overflow bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[LATENCY_BOUNDS_NS.len()], 1);
+        assert_eq!(snap.max, 1_000_000_000);
+        assert_eq!(snap.sum, 999 + 1_000 + 1_001 + 1_000_000_000);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let registry = Registry::new();
+        registry.add("zebra", 1);
+        registry.add("apple", 1);
+        registry.observe("stage", 5_000);
+        let json = registry.snapshot().to_compact();
+        let apple = json.find("\"apple\"").expect("apple present");
+        let zebra = json.find("\"zebra\"").expect("zebra present");
+        assert!(apple < zebra, "counters must come out sorted: {json}");
+        assert!(json.contains("\"stage\""), "{json}");
+        assert!(json.contains("\"bounds_ns\""), "{json}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Monotonic stage timing.
+//!
+//! A [`Span`] wraps [`std::time::Instant`]: start it at the top of a
+//! pipeline stage, [`Span::finish`] it into a sink at the bottom. The
+//! finished form is a [`SpanRecord`] — just a static name and a nanosecond
+//! duration — so sinks can store and serialize spans without touching the
+//! clock again.
+
+use crate::TraceSink;
+use rbd_json::Json;
+use std::time::Instant;
+
+/// An in-flight timing. Spans are deliberately not nested or linked — the
+/// pipeline is a straight line, so the stage name alone identifies where a
+/// duration came from.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    started: Instant,
+}
+
+impl Span {
+    /// Starts timing the named stage now.
+    #[must_use]
+    pub fn start(name: &'static str) -> Self {
+        Span {
+            name,
+            started: Instant::now(),
+        }
+    }
+
+    /// Starts timing only when `sink` is listening — the disabled path
+    /// never touches the clock, which is what keeps the
+    /// [`NullSink`](crate::NullSink) overhead to a branch per stage.
+    /// Pair with `if let Some(span) = span { span.finish(sink) }`.
+    #[must_use]
+    pub fn start_if(name: &'static str, sink: &dyn TraceSink) -> Option<Self> {
+        sink.enabled().then(|| Span::start(name))
+    }
+
+    /// Stops the clock and records the span into `sink`.
+    pub fn finish(self, sink: &dyn TraceSink) {
+        sink.span(self.record());
+    }
+
+    /// Stops the clock without recording (useful when the sink decision is
+    /// made after the work, e.g. in tests).
+    #[must_use]
+    pub fn record(self) -> SpanRecord {
+        let nanos = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        SpanRecord {
+            name: self.name,
+            nanos,
+        }
+    }
+}
+
+/// A finished span: stage name plus wall-clock duration in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage name, e.g. `"tokenize"` or `"heuristic:HT"`.
+    pub name: &'static str,
+    /// Elapsed wall-clock time in nanoseconds.
+    pub nanos: u64,
+}
+
+impl SpanRecord {
+    /// `{"name": ..., "nanos": ...}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::Str(self.name.to_owned())),
+            ("nanos", Json::UInt(self.nanos)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CollectingSink;
+
+    #[test]
+    fn span_measures_nonzero_time() {
+        let span = Span::start("work");
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            acc = acc.wrapping_add(i);
+        }
+        assert!(acc > 0);
+        let record = span.record();
+        assert_eq!(record.name, "work");
+        assert!(record.nanos > 0);
+    }
+
+    #[test]
+    fn finish_delivers_to_sink() {
+        let sink = CollectingSink::new();
+        Span::start("tokenize").finish(&sink);
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "tokenize");
+    }
+
+    #[test]
+    fn record_serializes() {
+        let json = SpanRecord {
+            name: "tree_build",
+            nanos: 1234,
+        }
+        .to_json()
+        .to_compact();
+        assert_eq!(json, r#"{"name":"tree_build","nanos":1234}"#);
+    }
+}

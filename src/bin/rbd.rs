@@ -20,21 +20,29 @@ use rbd::db::InstanceGenerator;
 use rbd::ontology::{domains, parse_ontology, Ontology};
 use rbd::recognizer::Recognizer;
 use rbd::tagtree::TagTreeBuilder;
+use rbd::trace::CollectingSink;
 use std::fmt::Write as _;
 use std::io::{Read, Write as _};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 usage: rbd <discover|extract|pipeline|check|tree> [FILE]
            [--ontology obituary|car-ad|job-ad|course]
            [--ontology-file PATH] [--json] [--xml]
+           [--trace PATH] [--metrics]
 
 Reads HTML from FILE (or stdin) and:
   discover   print the consensus record separator and heuristic rankings
   extract    print the cleaned record chunks
   pipeline   populate and dump the relational database (needs an ontology)
   check      verify the paper's assumptions (multiple records present?)
-  tree       print the document's tag tree";
+  tree       print the document's tag tree
+
+Observability:
+  --trace PATH  write the decision audit trail (events, spans, metrics)
+                of the run to PATH as JSON
+  --metrics     print the counter/histogram snapshot to stderr";
 
 struct Args {
     command: String,
@@ -42,6 +50,8 @@ struct Args {
     ontology: Option<Ontology>,
     json: bool,
     xml: bool,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
         ontology: None,
         json: false,
         xml: false,
+        trace: None,
+        metrics: false,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -83,6 +95,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json = true,
             "--xml" => args.xml = true,
+            "--trace" => args.trace = Some(argv.next().ok_or("--trace needs a path")?),
+            "--metrics" => args.metrics = true,
             other if args.file.is_none() && !other.starts_with('-') => {
                 args.file = Some(other.to_owned());
             }
@@ -127,10 +141,31 @@ fn emit(text: &str) {
     let _ = std::io::stdout().write_all(text.as_bytes());
 }
 
+/// Writes the sink's collected trace to `path` (when `--trace` was given)
+/// and its metrics snapshot to stderr (when `--metrics` was given).
+fn finish_observability(
+    sink: Option<&Arc<CollectingSink>>,
+    trace_path: Option<&str>,
+    metrics: bool,
+) -> Result<(), String> {
+    let Some(sink) = sink else { return Ok(()) };
+    if let Some(path) = trace_path {
+        let json = sink.trace_json().to_pretty();
+        std::fs::write(path, json.as_bytes()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if metrics {
+        eprintln!("{}", sink.registry_snapshot().to_pretty());
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let html = read_input(args.file.as_deref())?;
     let mut out = String::new();
+
+    let sink: Option<Arc<CollectingSink>> =
+        (args.trace.is_some() || args.metrics).then(|| Arc::new(CollectingSink::new()));
 
     if args.command == "tree" {
         let builder = if args.xml {
@@ -139,7 +174,7 @@ fn run() -> Result<(), String> {
             TagTreeBuilder::default()
         };
         emit(&builder.build(&html).outline());
-        return Ok(());
+        return finish_observability(sink.as_ref(), args.trace.as_deref(), args.metrics);
     }
 
     let mut config = ExtractorConfig::default();
@@ -148,6 +183,9 @@ fn run() -> Result<(), String> {
     }
     if let Some(ontology) = args.ontology.clone() {
         config = config.with_ontology(ontology);
+    }
+    if let Some(sink) = &sink {
+        config = config.with_sink(Arc::clone(sink) as Arc<dyn rbd::trace::TraceSink>);
     }
 
     if args.command == "check" {
@@ -164,7 +202,7 @@ fn run() -> Result<(), String> {
             }
         }
         emit(&out);
-        return Ok(());
+        return finish_observability(sink.as_ref(), args.trace.as_deref(), args.metrics);
     }
 
     let extractor = RecordExtractor::new(config).map_err(|e| e.to_string())?;
@@ -282,7 +320,7 @@ fn run() -> Result<(), String> {
         other => return Err(format!("unknown command `{other}`\n{USAGE}")),
     }
     emit(&out);
-    Ok(())
+    finish_observability(sink.as_ref(), args.trace.as_deref(), args.metrics)
 }
 
 fn main() -> ExitCode {

@@ -14,7 +14,8 @@
 //! * [`recognizer`] — constant/keyword recognition (Data-Record Table),
 //! * [`db`] — in-memory relational database and instance generator,
 //! * [`corpus`] — synthetic web-document corpus,
-//! * [`eval`] — the experiment harness reproducing the paper's tables.
+//! * [`eval`] — the experiment harness reproducing the paper's tables,
+//! * [`trace`] — tracing, metrics, and the decision audit trail.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ pub use rbd_ontology as ontology;
 pub use rbd_pattern as pattern;
 pub use rbd_recognizer as recognizer;
 pub use rbd_tagtree as tagtree;
+pub use rbd_trace as trace;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -58,4 +60,5 @@ pub mod prelude {
     pub use rbd_html::tokenize;
     pub use rbd_ontology::Ontology;
     pub use rbd_tagtree::{TagTree, TagTreeBuilder};
+    pub use rbd_trace::{CollectingSink, NullSink, TraceEvent, TraceSink};
 }

@@ -15,10 +15,15 @@
 //!    that tripped and an observed value actually over it.
 //! 5. **Bounded overshoot** — an already-expired deadline stops the pass
 //!    within one unit of work, never after scanning everything.
+//! 6. **Tracing survives the attacks** — the main sweep runs with a live
+//!    [`CollectingSink`], so the instrumentation itself is under fire; set
+//!    `RBD_CHAOS_METRICS=<path>` to write the final counter/histogram
+//!    snapshot (the CI chaos job uploads it as an artifact).
 
 use rbd::prelude::*;
 use rbd_core::limits::{DegradationStage, LimitKind};
 use rbd_corpus::adversarial::{generate_adversarial, AttackKind};
+use std::sync::Arc;
 
 /// Fixed seed: every document in this suite replays from `(kind, index)`.
 const CHAOS_SEED: u64 = 0x0DD5_EED5_0DD5_EED5;
@@ -104,7 +109,14 @@ fn limits_cap_for(kind: LimitKind) -> Option<usize> {
 
 #[test]
 fn full_pipeline_survives_the_adversarial_corpus() {
-    let ex = strict_extractor();
+    // Property 6: a live sink collects through the whole sweep.
+    let sink = Arc::new(CollectingSink::new());
+    let ex = RecordExtractor::new(
+        ExtractorConfig::default()
+            .with_limits(Limits::strict())
+            .with_sink(Arc::clone(&sink) as Arc<dyn TraceSink>),
+    )
+    .unwrap();
     for kind in AttackKind::ALL {
         for index in 0..PER_KIND {
             let doc = generate_adversarial(kind, index, CHAOS_SEED);
@@ -119,6 +131,14 @@ fn full_pipeline_survives_the_adversarial_corpus() {
                 );
             }
         }
+    }
+    // The whole corpus went through traced code paths; the registry must
+    // reflect that, and CI archives the snapshot for trend-watching.
+    assert!(sink.registry().counter("tags_scanned") > 0);
+    if let Some(path) = std::env::var_os("RBD_CHAOS_METRICS") {
+        let snapshot = sink.registry_snapshot().to_pretty();
+        std::fs::write(&path, snapshot.as_bytes())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.to_string_lossy()));
     }
 }
 

@@ -142,6 +142,59 @@ fn bad_arguments_fail_cleanly() {
 }
 
 #[test]
+fn trace_flag_writes_audit_trail() {
+    let dir = std::env::temp_dir().join("rbd-cli-trace-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("trace.json");
+    let (stdout, stderr, ok) = run_with_stdin(
+        &[
+            "discover",
+            "--ontology",
+            "obituary",
+            "--trace",
+            path.to_str().expect("utf8"),
+        ],
+        PAGE,
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("separator: <hr>"), "{stdout}");
+    let trace = std::fs::read_to_string(&path).expect("trace written");
+    // The winning subtree, every candidate with count and threshold, all
+    // five heuristics with raw inputs, and the consensus all appear.
+    assert!(trace.contains("\"subtree_chosen\""), "{trace}");
+    assert!(trace.contains("\"candidates\""), "{trace}");
+    assert!(trace.contains("\"threshold\": 0.1"), "{trace}");
+    for h in ["OM", "RP", "SD", "IT", "HT"] {
+        assert!(
+            trace.contains(&format!("\"name\": \"{h}\"")),
+            "{h}\n{trace}"
+        );
+    }
+    assert!(trace.contains("\"estimate\""), "OM's raw input\n{trace}");
+    assert!(trace.contains("\"consensus\""), "{trace}");
+    assert!(trace.contains("\"spans\""), "{trace}");
+    assert!(trace.contains("\"metrics\""), "{trace}");
+}
+
+#[test]
+fn metrics_flag_prints_snapshot_to_stderr() {
+    let (stdout, stderr, ok) = run_with_stdin(&["extract", "--metrics"], PAGE);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("--- record "), "{stdout}");
+    assert!(stderr.contains("\"counters\""), "{stderr}");
+    assert!(stderr.contains("\"docs_extracted\": 1"), "{stderr}");
+    assert!(stderr.contains("\"tags_scanned\""), "{stderr}");
+    assert!(stderr.contains("\"bounds_ns\""), "{stderr}");
+}
+
+#[test]
+fn trace_flag_needs_a_path() {
+    let (_, stderr, ok) = run_with_stdin(&["discover", "--trace"], PAGE);
+    assert!(!ok);
+    assert!(stderr.contains("--trace needs a path"), "{stderr}");
+}
+
+#[test]
 fn empty_input_reports_error() {
     let (_, stderr, ok) = run_with_stdin(&["discover"], "");
     assert!(!ok);
