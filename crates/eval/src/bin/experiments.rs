@@ -15,6 +15,8 @@
 //!   Table-10 quantities as mean/min/max (robustness check).
 //! * `--extraction` scores end-to-end extraction quality (the §2 context's
 //!   recall/precision) against the corpus ground truth.
+//! * `--jobs N` evaluates documents on N pipeline workers (default 1 =
+//!   serial); the tables are identical either way.
 //! * `--json` emits machine-readable JSON instead of text tables.
 
 #![forbid(unsafe_code)]
@@ -22,11 +24,12 @@
 use rbd_certainty::CertaintyTable;
 use rbd_corpus::{sites, Domain};
 use rbd_eval::{
-    calibrate, combination_sweep, extraction_quality, run_ablations, run_test_sets, seed_sweep,
-    HeuristicRunner, DEFAULT_SEED,
+    calibrate_jobs, combination_sweep, extraction_quality, run_ablations, run_test_sets_jobs,
+    seed_sweep, HeuristicRunner, DEFAULT_SEED,
 };
 use rbd_json::{Json, ToJson};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     table: Option<u8>,
@@ -36,6 +39,7 @@ struct Args {
     ablations: bool,
     sweep_seeds: Option<usize>,
     extraction: bool,
+    jobs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         ablations: false,
         sweep_seeds: None,
         extraction: false,
+        jobs: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -72,8 +77,19 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--seeds needs a count")?;
                 args.sweep_seeds = Some(v.parse().map_err(|_| format!("bad count {v}"))?);
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a worker count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad worker count {v}"))?;
+                if n == 0 {
+                    return Err("--jobs needs a positive worker count".to_owned());
+                }
+                args.jobs = n;
+            }
             "--help" | "-h" => {
-                println!("usage: experiments [--table N | --all] [--seed S] [--paper-cf] [--json]");
+                println!(
+                    "usage: experiments [--table N | --all] [--seed S] [--paper-cf] \
+                     [--jobs N] [--json]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other}")),
@@ -101,7 +117,7 @@ fn main() -> ExitCode {
     };
 
     let runner = match HeuristicRunner::new() {
-        Ok(r) => r,
+        Ok(r) => Arc::new(r),
         Err(e) => {
             eprintln!("error compiling domain ontologies: {e}");
             return ExitCode::FAILURE;
@@ -120,7 +136,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let calibration = calibrate(&runner, args.seed);
+    let calibration = calibrate_jobs(&runner, args.seed, args.jobs);
     let table: CertaintyTable = if args.paper_cf {
         CertaintyTable::paper_table4()
     } else {
@@ -130,7 +146,7 @@ fn main() -> ExitCode {
     if args.json {
         // One JSON object with everything requested.
         let combos = combination_sweep(&calibration, &table);
-        let tests = run_test_sets(&runner, &table, args.seed);
+        let tests = run_test_sets_jobs(&runner, &table, args.seed, args.jobs);
         let ablations = if args.ablations {
             match run_ablations(&runner, &table, args.seed) {
                 Ok(r) => Some(r),
@@ -173,7 +189,7 @@ fn main() -> ExitCode {
         println!("{}", combination_sweep(&calibration, &table));
     }
     if (6..=10).any(want) {
-        let report = run_test_sets(&runner, &table, args.seed);
+        let report = run_test_sets_jobs(&runner, &table, args.seed, args.jobs);
         for set in &report.sets {
             if want(set.table_number) {
                 println!("{set}");

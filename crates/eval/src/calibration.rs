@@ -88,6 +88,24 @@ impl CalibrationReport {
 pub fn calibrate(runner: &HeuristicRunner, seed: u64) -> CalibrationReport {
     let obituaries = calibrate_domain(runner, Domain::Obituaries, seed);
     let car_ads = calibrate_domain(runner, Domain::CarAds, seed);
+    assemble_report(obituaries, car_ads)
+}
+
+/// [`calibrate`] with document evaluation spread over `jobs` pipeline
+/// workers. The report is identical to the serial one — per-document
+/// evaluation is deterministic and order is restored before aggregation —
+/// and `jobs <= 1` degenerates to the serial sweep.
+pub fn calibrate_jobs(
+    runner: &std::sync::Arc<HeuristicRunner>,
+    seed: u64,
+    jobs: usize,
+) -> CalibrationReport {
+    let obituaries = calibrate_domain_jobs(runner, Domain::Obituaries, seed, jobs);
+    let car_ads = calibrate_domain_jobs(runner, Domain::CarAds, seed, jobs);
+    assemble_report(obituaries, car_ads)
+}
+
+fn assemble_report(obituaries: DomainCalibration, car_ads: DomainCalibration) -> CalibrationReport {
     let mut table4 = [[0.0; 4]; 5];
     for (i, row) in table4.iter_mut().enumerate() {
         for (r, cell) in row.iter_mut().enumerate() {
@@ -106,6 +124,21 @@ fn calibrate_domain(runner: &HeuristicRunner, domain: Domain, seed: u64) -> Doma
     let docs = initial_corpus(domain, seed);
     let evaluations: Vec<DocEvaluation> =
         docs.iter().map(|d| evaluate_document(runner, d)).collect();
+    summarize_domain(domain, evaluations)
+}
+
+fn calibrate_domain_jobs(
+    runner: &std::sync::Arc<HeuristicRunner>,
+    domain: Domain,
+    seed: u64,
+    jobs: usize,
+) -> DomainCalibration {
+    let docs = initial_corpus(domain, seed);
+    let evaluations = crate::runner::evaluate_corpus_parallel(runner, &docs, jobs);
+    summarize_domain(domain, evaluations)
+}
+
+fn summarize_domain(domain: Domain, evaluations: Vec<DocEvaluation>) -> DomainCalibration {
     let total = evaluations.len();
     let mut distributions = [RankDistribution::default(); 5];
     for (i, kind) in HeuristicKind::ALL.into_iter().enumerate() {

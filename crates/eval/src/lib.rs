@@ -27,12 +27,12 @@ pub mod seeds;
 pub mod testsets;
 
 pub use ablation::{run_ablations, AblationReport};
-pub use calibration::{calibrate, CalibrationReport, RankDistribution};
+pub use calibration::{calibrate, calibrate_jobs, CalibrationReport, RankDistribution};
 pub use combinations::{combination_sweep, CombinationReport};
 pub use extraction::{extraction_quality, extraction_quality_with_oov, ExtractionReport};
-pub use runner::{evaluate_document, DocEvaluation, HeuristicRunner};
+pub use runner::{evaluate_corpus_parallel, evaluate_document, DocEvaluation, HeuristicRunner};
 pub use seeds::{seed_sweep, SeedSweep};
-pub use testsets::{run_test_sets, TestSetReport, TestSiteRow};
+pub use testsets::{run_test_sets, run_test_sets_jobs, TestSetReport, TestSiteRow};
 
 /// Default experiment seed.
 ///

@@ -11,7 +11,9 @@ use rbd_heuristics::{
 use rbd_json::{Json, ToJson};
 use rbd_ontology::domains;
 use rbd_pattern::PatternError;
+use rbd_pipeline::{JobResult, Pool, PoolConfig, TrySubmitError};
 use rbd_tagtree::TagTreeBuilder;
+use std::sync::Arc;
 
 /// Runs the five heuristics with the right ontology per domain; the OM
 /// heuristics (one per domain) are compiled once and reused.
@@ -126,6 +128,90 @@ pub fn evaluate_document(runner: &HeuristicRunner, doc: &GeneratedDoc) -> DocEva
     }
 }
 
+/// Evaluates a corpus on `jobs` pipeline workers, returning evaluations in
+/// input order — byte-identical to the serial sweep, since each document's
+/// evaluation is independent and deterministic. `jobs <= 1` (or a corpus of
+/// at most one document) falls back to the serial loop and spawns nothing,
+/// so callers can thread a `--jobs` flag straight through.
+pub fn evaluate_corpus_parallel(
+    runner: &Arc<HeuristicRunner>,
+    docs: &[GeneratedDoc],
+    jobs: usize,
+) -> Vec<DocEvaluation> {
+    if jobs <= 1 || docs.len() <= 1 {
+        return docs.iter().map(|d| evaluate_document(runner, d)).collect();
+    }
+    let worker_runner = Arc::clone(runner);
+    let sink: Arc<dyn rbd_trace::TraceSink> = Arc::new(rbd_trace::NullSink);
+    let pool = match Pool::new(
+        PoolConfig::with_workers(jobs),
+        move |(index, doc): (usize, GeneratedDoc), _| {
+            (index, evaluate_document(&worker_runner, &doc))
+        },
+        sink,
+    ) {
+        Ok(pool) => pool,
+        // Zero workers is unreachable (jobs >= 2 here); a failed spawn
+        // degrades to the serial sweep rather than losing the experiment.
+        Err(_) => return docs.iter().map(|d| evaluate_document(runner, d)).collect(),
+    };
+
+    let total = docs.len();
+    let mut slots: Vec<Option<DocEvaluation>> = docs.iter().map(|_| None).collect();
+    let mut received = 0usize;
+    let store = |result: JobResult<(usize, DocEvaluation)>,
+                 slots: &mut Vec<Option<DocEvaluation>>| {
+        if let Ok((index, eval)) = result.output {
+            if let Some(slot) = slots.get_mut(index) {
+                *slot = Some(eval);
+            }
+        }
+    };
+
+    for (index, doc) in docs.iter().enumerate() {
+        let mut payload = (index, doc.clone());
+        loop {
+            match pool.try_submit(payload) {
+                Ok(_) => break,
+                Err(TrySubmitError::QueueFull(p)) => {
+                    payload = p;
+                    // Drain one completion to guarantee progress, then retry.
+                    if let Some(result) = pool.recv_result() {
+                        store(result, &mut slots);
+                        received += 1;
+                    }
+                }
+                // No shed policy is configured and the pool cannot close
+                // under us (we own it); treat both as "evaluate inline".
+                Err(TrySubmitError::Shed { .. } | TrySubmitError::Closed(_)) => {
+                    received += 1; // no completion will arrive for this doc
+                    break;
+                }
+            }
+        }
+    }
+    while received < total {
+        match pool.recv_result() {
+            Some(result) => {
+                store(result, &mut slots);
+                received += 1;
+            }
+            None => break,
+        }
+    }
+    for result in pool.shutdown().unclaimed {
+        store(result, &mut slots);
+    }
+
+    // Any hole left (a panicked worker, an inline fallback above) is filled
+    // serially: the experiment result never depends on pipeline health.
+    slots
+        .into_iter()
+        .zip(docs)
+        .map(|(slot, doc)| slot.unwrap_or_else(|| evaluate_document(runner, doc)))
+        .collect()
+}
+
 /// For single-candidate documents: unanimous rank-1 rankings so compound
 /// sweeps behave as the shortcut dictates.
 fn synthetic_unanimous_rankings(tag: Option<String>) -> Vec<Ranking> {
@@ -185,6 +271,30 @@ mod tests {
                     "{} ({d}) produced no candidates",
                     style.site
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial() {
+        let runner = Arc::new(HeuristicRunner::new().unwrap());
+        let docs: Vec<GeneratedDoc> = Domain::ALL
+            .into_iter()
+            .flat_map(|d| {
+                sites::test_sites(d)
+                    .into_iter()
+                    .map(move |style| generate_document(&style, d, 0, crate::DEFAULT_SEED))
+            })
+            .collect();
+        let serial: Vec<DocEvaluation> =
+            docs.iter().map(|d| evaluate_document(&runner, d)).collect();
+        for jobs in [1, 3] {
+            let parallel = evaluate_corpus_parallel(&runner, &docs, jobs);
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.site, p.site, "jobs={jobs}: order not restored");
+                assert_eq!(s.ranks, p.ranks, "jobs={jobs}: ranks diverge at {}", s.site);
+                assert_eq!(s.candidate_count, p.candidate_count, "jobs={jobs}");
             }
         }
     }

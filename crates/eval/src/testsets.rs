@@ -1,10 +1,10 @@
 //! The §6 test experiments: Tables 6–9 (per-site ranks in four application
 //! areas) and Table 10 (overall success rates).
 
-use crate::runner::{evaluate_document, HeuristicRunner};
+use crate::runner::{evaluate_document, DocEvaluation, HeuristicRunner};
 use crate::sc;
 use rbd_certainty::{CertaintyTable, CompoundHeuristic, HeuristicSet};
-use rbd_corpus::{test_corpus, Domain};
+use rbd_corpus::{test_corpus, Domain, GeneratedDoc};
 use rbd_heuristics::HeuristicKind;
 use rbd_json::{Json, ToJson};
 use std::fmt;
@@ -52,6 +52,33 @@ pub struct TestSetReport {
 
 /// Runs the four test sets with the given certainty table.
 pub fn run_test_sets(runner: &HeuristicRunner, table: &CertaintyTable, seed: u64) -> TestSetReport {
+    run_test_sets_with(
+        |docs| docs.iter().map(|d| evaluate_document(runner, d)).collect(),
+        table,
+        seed,
+    )
+}
+
+/// [`run_test_sets`] with document evaluation spread over `jobs` pipeline
+/// workers — identical report, `jobs <= 1` degenerates to the serial sweep.
+pub fn run_test_sets_jobs(
+    runner: &std::sync::Arc<HeuristicRunner>,
+    table: &CertaintyTable,
+    seed: u64,
+    jobs: usize,
+) -> TestSetReport {
+    run_test_sets_with(
+        |docs| crate::runner::evaluate_corpus_parallel(runner, docs, jobs),
+        table,
+        seed,
+    )
+}
+
+fn run_test_sets_with(
+    evaluate: impl Fn(&[GeneratedDoc]) -> Vec<DocEvaluation>,
+    table: &CertaintyTable,
+    seed: u64,
+) -> TestSetReport {
     let compound = CompoundHeuristic::new(HeuristicSet::ORSIH, table.clone());
     let mut sets = Vec::new();
     let mut individual_sc = [0.0f64; 5];
@@ -66,8 +93,7 @@ pub fn run_test_sets(runner: &HeuristicRunner, table: &CertaintyTable, seed: u64
     ] {
         let docs = test_corpus(domain, seed);
         let mut rows = Vec::new();
-        for doc in &docs {
-            let eval = evaluate_document(runner, doc);
+        for eval in evaluate(&docs) {
             let consensus = compound.combine(&eval.rankings);
             let doc_sc = sc(&consensus.winners, &eval.truth);
             compound_sc += doc_sc;

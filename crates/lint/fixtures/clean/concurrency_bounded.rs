@@ -1,0 +1,16 @@
+//! Clean fixture: no raw spawns, and the only channel is bounded. Thread
+//! creation belongs to the rbd-pipeline pool; everything else just picks a
+//! capacity.
+
+use std::sync::mpsc;
+
+fn bounded_fan_in(jobs: &[u64]) -> Vec<u64> {
+    let (tx, rx) = mpsc::sync_channel(8);
+    for &job in jobs {
+        if tx.send(job * 2).is_err() {
+            break;
+        }
+    }
+    drop(tx);
+    rx.iter().collect()
+}

@@ -1,0 +1,16 @@
+//! Violation fixture: raw thread spawning and an unbounded channel outside
+//! the pipeline crate. Both must deny — the worker pool owns all threads,
+//! and every queue in the workspace has a capacity.
+
+use std::sync::mpsc;
+use std::thread;
+
+fn fan_out(jobs: Vec<u64>) -> Vec<u64> {
+    let (tx, rx) = mpsc::channel();
+    for job in jobs {
+        let tx = tx.clone();
+        thread::spawn(move || tx.send(job * 2).ok());
+    }
+    drop(tx);
+    rx.iter().collect()
+}

@@ -11,6 +11,9 @@
 //! | `wildcard-match` | `_ =>` arms in `match`es over the crate-local `Token` / `Event` enums | deny | warn |
 //! | `forbid-unsafe` | crate roots missing `#![forbid(unsafe_code)]` | deny | deny |
 //! | `bad-allow` | malformed or unjustified allow directives | deny | deny |
+//! | `budget` | unbounded `with_capacity` / recursion in the hot path | deny | warn |
+//! | `observability` | `DegradationEvent` built in a function that never touches a trace sink | deny | deny |
+//! | `concurrency` | `thread::spawn` / `thread::Builder` outside `crates/pipeline`; unbounded `mpsc::channel` anywhere | deny | deny |
 //!
 //! The *hot path* is `crates/html` and `crates/tagtree` — the tokenizer →
 //! tag-tree route every byte of untrusted input flows through. Code inside

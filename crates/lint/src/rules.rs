@@ -34,6 +34,12 @@ pub enum Rule {
     /// trace sink — the degradation would be recorded in the result but
     /// silently dropped from the audit trail.
     Observability,
+    /// Raw thread spawns (`thread::spawn`, `thread::Builder`) outside
+    /// `crates/pipeline` — the worker pool must own every thread — and
+    /// unbounded channel constructs (`mpsc::channel`) anywhere: a queue
+    /// without a capacity is a memory limit waiting to be discovered in
+    /// production.
+    Concurrency,
 }
 
 impl Rule {
@@ -47,11 +53,12 @@ impl Rule {
             Rule::BadAllow => "bad-allow",
             Rule::Budget => "budget",
             Rule::Observability => "observability",
+            Rule::Concurrency => "concurrency",
         }
     }
 
     /// All rules an allow directive may name.
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 7] {
         [
             Rule::Panic,
             Rule::Cast,
@@ -59,6 +66,7 @@ impl Rule {
             Rule::ForbidUnsafe,
             Rule::Budget,
             Rule::Observability,
+            Rule::Concurrency,
         ]
     }
 }
@@ -103,7 +111,12 @@ impl Tier {
         match (rule, self) {
             // Structural rules hold everywhere. Observability is among
             // them: a silently dropped degradation is wrong in any crate.
-            (Rule::ForbidUnsafe | Rule::BadAllow | Rule::Observability, _) => Severity::Deny,
+            // So is concurrency: a stray thread or an unbounded queue
+            // undermines the pool's guarantees no matter which crate
+            // spawned it.
+            (Rule::ForbidUnsafe | Rule::BadAllow | Rule::Observability | Rule::Concurrency, _) => {
+                Severity::Deny
+            }
             (_, Tier::Hot) => Severity::Deny,
             (_, Tier::Library) => Severity::Warn,
         }
@@ -153,6 +166,7 @@ pub fn lint_source(path: &Path, source: &str, tier: Tier, is_crate_root: bool) -
     }
     check_budget(path, &analysis, tier, &mut findings);
     check_observability(path, &analysis, &mut findings);
+    check_concurrency(path, &analysis, &mut findings);
     check_allow_directives(path, &analysis, &mut findings);
 
     // Apply test exemption (panic-freedom rules only) and allow directives.
@@ -162,7 +176,12 @@ pub fn lint_source(path: &Path, source: &str, tier: Tier, is_crate_root: bool) -
         }
         let test_exempt = matches!(
             f.rule,
-            Rule::Panic | Rule::Cast | Rule::WildcardMatch | Rule::Budget | Rule::Observability
+            Rule::Panic
+                | Rule::Cast
+                | Rule::WildcardMatch
+                | Rule::Budget
+                | Rule::Observability
+                | Rule::Concurrency
         ) && analysis.is_test_line(f.line);
         !test_exempt && !analysis.is_allowed(f.rule.name(), f.line)
     });
@@ -655,6 +674,51 @@ fn check_observability(path: &Path, a: &Analysis, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Thread and channel discipline. Threads may only be spawned inside
+/// `crates/pipeline` (any path with a `pipeline` component) — the pool owns
+/// every worker, so shutdown, panic isolation, and metrics aggregation have
+/// exactly one implementation. Unbounded `mpsc::channel` constructs are
+/// denied *everywhere*, the pipeline crate included: its whole design is
+/// bounded queues (`mpsc::sync_channel` and the in-tree `Bounded` pass).
+/// Test code is exempt, and a justified `allow(concurrency)` escapes.
+fn check_concurrency(path: &Path, a: &Analysis, findings: &mut Vec<Finding>) {
+    let in_pipeline = path.components().any(|c| c.as_os_str() == "pipeline");
+    if !in_pipeline {
+        for needle in ["thread::spawn", "thread::Builder"] {
+            for at in occurrences(&a.masked, needle) {
+                if word_boundary(&a.masked, at, needle.len()) {
+                    push(
+                        findings,
+                        path,
+                        a.line_of(at),
+                        Rule::Concurrency,
+                        Severity::Deny,
+                        format!(
+                            "raw `{needle}` outside `crates/pipeline`; route concurrency \
+                             through the rbd-pipeline worker pool"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    const UNBOUNDED: &str = "mpsc::channel";
+    for at in occurrences(&a.masked, UNBOUNDED) {
+        if word_boundary(&a.masked, at, UNBOUNDED.len()) {
+            push(
+                findings,
+                path,
+                a.line_of(at),
+                Rule::Concurrency,
+                Severity::Deny,
+                "unbounded `mpsc::channel` can grow without limit under load; use a \
+                 bounded queue (`rbd_pipeline::Bounded` or `mpsc::sync_channel`)"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
 fn check_allow_directives(path: &Path, a: &Analysis, findings: &mut Vec<Finding>) {
     for &line in &a.malformed_allows {
         push(
@@ -1043,6 +1107,70 @@ mod tests {
     #[test]
     fn justified_allow_suppresses_budget() {
         let src = "fn f(n: usize) -> Vec<u8> {\n    // rbd-lint: allow(budget) — n is the token count, capped upstream\n    Vec::with_capacity(n)\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    // --- concurrency rule ---
+
+    #[test]
+    fn raw_thread_spawn_flagged() {
+        let src = "fn f() {\n    std::thread::spawn(|| ());\n}\n";
+        let findings = lint(src);
+        assert_eq!(rules_of(&findings), vec![Rule::Concurrency]);
+        assert_eq!(findings[0].severity, Severity::Deny);
+    }
+
+    #[test]
+    fn thread_builder_flagged() {
+        let src = "fn f() {\n    let b = std::thread::Builder::new();\n}\n";
+        assert_eq!(rules_of(&lint(src)), vec![Rule::Concurrency]);
+    }
+
+    #[test]
+    fn unbounded_mpsc_channel_flagged() {
+        let src = "fn f() {\n    let (tx, rx) = std::sync::mpsc::channel::<u64>();\n}\n";
+        assert_eq!(rules_of(&lint(src)), vec![Rule::Concurrency]);
+    }
+
+    #[test]
+    fn bounded_sync_channel_is_clean() {
+        let src = "fn f() {\n    let (tx, rx) = std::sync::mpsc::sync_channel::<u64>(8);\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn spawn_inside_pipeline_crate_is_exempt() {
+        let src = "fn f() {\n    std::thread::spawn(|| ());\n}\n";
+        let findings = lint_source(
+            Path::new("crates/pipeline/src/pool.rs"),
+            src,
+            Tier::Library,
+            false,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn unbounded_channel_denied_even_inside_pipeline() {
+        let src = "fn f() {\n    let (tx, rx) = std::sync::mpsc::channel::<u64>();\n}\n";
+        let findings = lint_source(
+            Path::new("crates/pipeline/src/pool.rs"),
+            src,
+            Tier::Library,
+            false,
+        );
+        assert_eq!(rules_of(&findings), vec![Rule::Concurrency]);
+    }
+
+    #[test]
+    fn spawn_in_test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| ()); }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn justified_allow_suppresses_concurrency() {
+        let src = "fn f() {\n    // rbd-lint: allow(concurrency) — one-shot watchdog, joined before return\n    std::thread::spawn(|| ());\n}\n";
         assert!(lint(src).is_empty());
     }
 }

@@ -137,6 +137,23 @@ fn degradation_emitted_fixture_is_clean() {
 }
 
 #[test]
+fn concurrency_fixture_denies_spawn_and_unbounded_channel() {
+    assert_denies("violations/concurrency.rs", Rule::Concurrency);
+    let findings = lint_path(&fixture("violations/concurrency.rs")).expect("fixture readable");
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::Concurrency)
+        .collect();
+    assert_eq!(hits.len(), 2, "spawn + unbounded channel: {hits:?}");
+}
+
+#[test]
+fn bounded_concurrency_fixture_is_clean() {
+    let findings = lint_path(&fixture("clean/concurrency_bounded.rs")).expect("fixture readable");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
 fn budget_fixture_denies_allocation_and_recursion() {
     assert_denies("violations/budget.rs", Rule::Budget);
     let findings = lint_path(&fixture("violations/budget.rs")).expect("fixture readable");

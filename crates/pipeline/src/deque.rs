@@ -1,0 +1,110 @@
+//! Per-worker job deques with two ends and two access patterns.
+//!
+//! The owner treats its deque as a LIFO stack (`push`/`pop` on the back):
+//! the most recently queued job is the one whose input is hottest in
+//! cache, so draining newest-first keeps a worker's working set tight.
+//! Thieves take from the *front* — the oldest job — which is both the
+//! coldest entry (the owner has moved past it) and the fairest one to
+//! relocate: under a skewed load the jobs that have waited longest migrate
+//! first, which is what bounds tail latency.
+//!
+//! The implementation is deliberately a mutexed `VecDeque`, not a lock-free
+//! Chase-Lev deque: the workspace is hermetic (no crossbeam, no atomics
+//! gymnastics behind `unsafe`, which `#![forbid(unsafe_code)]` rules out
+//! anyway), and the deque is touched once per *job* — milliseconds of
+//! extraction per lock acquisition — so the mutex is nowhere near the
+//! critical path.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// One worker's local job queue. Owner pushes and pops the back (LIFO);
+/// other workers steal from the front (FIFO).
+#[derive(Debug, Default)]
+pub struct WorkerDeque<T> {
+    jobs: Mutex<VecDeque<T>>,
+}
+
+impl<T> WorkerDeque<T> {
+    /// An empty deque.
+    #[must_use]
+    pub fn new() -> Self {
+        WorkerDeque {
+            jobs: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Owner path: queues a job on the hot end.
+    pub fn push(&self, job: T) {
+        self.lock().push_back(job);
+    }
+
+    /// Owner path: takes the most recently queued job.
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_back()
+    }
+
+    /// Thief path: takes the oldest queued job, leaving the owner's hot
+    /// end untouched.
+    pub fn steal(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    /// Jobs currently queued (snapshot).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when no jobs are queued (snapshot).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Poison-recovering lock: only this module's loop-free push/pop code
+    /// runs under the lock, so a poisoned mutex cannot hold a torn queue.
+    fn lock(&self) -> MutexGuard<'_, VecDeque<T>> {
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let dq = WorkerDeque::new();
+        dq.push(1);
+        dq.push(2);
+        dq.push(3);
+        assert_eq!(dq.len(), 3);
+        // Owner gets the newest…
+        assert_eq!(dq.pop(), Some(3));
+        // …a thief gets the oldest.
+        assert_eq!(dq.steal(), Some(1));
+        assert_eq!(dq.pop(), Some(2));
+        assert!(dq.is_empty());
+        assert_eq!(dq.pop(), None);
+        assert_eq!(dq.steal(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_steal_preserves_every_job() {
+        let dq = WorkerDeque::new();
+        let mut seen = Vec::new();
+        for batch in 0..10 {
+            for i in 0..5 {
+                dq.push(batch * 5 + i);
+            }
+            seen.extend(dq.steal());
+            seen.extend(dq.pop());
+        }
+        while let Some(v) = dq.pop() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+}

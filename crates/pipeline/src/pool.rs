@@ -1,0 +1,986 @@
+//! The fixed-size work-stealing worker pool.
+//!
+//! Topology: one bounded **injector** channel feeds `N` worker threads,
+//! each owning a [`WorkerDeque`]. A worker drains its own deque LIFO,
+//! refills it in batches from the injector, and — only when both are
+//! empty — steals the *oldest* job from a sibling. Completed jobs leave
+//! through one bounded **completion** channel as [`JobResult`]s carrying
+//! the job id, the worker that ran it, and its queue-wait / run-time
+//! split, so the submitter can re-establish a deterministic order by
+//! sorting on the id it chose.
+//!
+//! Three policies are explicit rather than emergent:
+//!
+//! * **Backpressure** — [`Pool::submit`] blocks on a full injector;
+//!   [`Pool::try_submit`] returns [`TrySubmitError::QueueFull`] instead.
+//!   Nothing in the pool ever grows without bound.
+//! * **Load shedding** — an optional [`ShedPolicy`] watches the injector
+//!   depth at submission time. Once the queue has stayed at or above the
+//!   watermark for the configured sustain window, new work is either
+//!   dropped ([`ShedMode::Drop`]) or admitted flagged for strict limits
+//!   ([`ShedMode::Strict`]); either way the shed is reported to the trace
+//!   sink as a degradation event and counted, never silent.
+//! * **Panic isolation** — the runner executes under
+//!   [`std::panic::catch_unwind`]; a panicking job becomes a
+//!   [`JobPanic`] in its own completion record and the worker carries on.
+//!   The pool cannot be poisoned by its payloads.
+
+use crate::channel::{Bounded, RecvTimeout, TrySendError};
+use crate::deque::WorkerDeque;
+use rbd_core::limits::DegradationStage;
+use rbd_limits::LimitKind;
+use rbd_trace::{Registry, RegistrySnapshot, TraceEvent, TraceSink};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What the shedding policy does with work that arrives while the queue is
+/// saturated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedMode {
+    /// Refuse the job: submission returns a `Shed` error and the caller
+    /// decides (retry later, fail the document, spill to disk…).
+    Drop,
+    /// Admit the job but flag it [`Admission::Strict`], telling the runner
+    /// to execute under its tightest resource limits so the backlog drains
+    /// faster at reduced fidelity instead of growing.
+    Strict,
+}
+
+/// When and how the pool sheds load. The policy fires only when saturation
+/// is *sustained*: a momentary burst that fills the queue and drains again
+/// within `sustained` is ordinary backpressure, not overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedPolicy {
+    /// Queue depth (in jobs) at or above which the queue counts as
+    /// saturated.
+    pub watermark: usize,
+    /// How long saturation must persist before shedding starts.
+    pub sustained: Duration,
+    /// What to do with new work once shedding starts.
+    pub mode: ShedMode,
+}
+
+/// How a job was admitted — passed to the runner so it can pick its
+/// resource profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted normally; run at the configured fidelity.
+    Normal,
+    /// Admitted during sustained saturation under [`ShedMode::Strict`]:
+    /// the runner should use its strictest limits. Carries the watermark
+    /// and the observed queue depth for the degradation report.
+    Strict {
+        /// The policy's saturation watermark.
+        watermark: usize,
+        /// Injector depth observed at submission.
+        depth: usize,
+    },
+}
+
+/// A job the pool caught panicking. The panic payload is flattened to a
+/// message; the job's slot in the completion stream is otherwise normal —
+/// one submission, one result, panic or not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic payload, stringified (`&str` and `String` payloads pass
+    /// through verbatim).
+    pub message: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// One completed job, as delivered on the completion channel.
+#[derive(Debug, Clone)]
+pub struct JobResult<R> {
+    /// The id [`Pool::submit`] returned for this job. Ids are assigned in
+    /// submission order, so sorting results by id restores it.
+    pub job_id: u64,
+    /// Index of the worker that ran the job (`0..workers`).
+    pub worker: usize,
+    /// How the job was admitted (normal or strict-shed).
+    pub admission: Admission,
+    /// Time between submission and the worker picking the job up.
+    pub queue_wait: Duration,
+    /// Time the runner spent on the job.
+    pub run_time: Duration,
+    /// The runner's output, or the caught panic.
+    pub output: Result<R, JobPanic>,
+}
+
+/// An internal unit of work: payload plus the bookkeeping the completion
+/// record needs.
+#[derive(Debug)]
+struct Job<T> {
+    id: u64,
+    payload: T,
+    admission: Admission,
+    submitted: Instant,
+}
+
+/// Pool construction failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// `workers == 0`: a pool with no workers can accept jobs but never
+    /// run one — every submission would deadlock or rot in the queue, so
+    /// the configuration is rejected outright.
+    ZeroWorkers,
+    /// The OS refused to spawn a worker thread.
+    Spawn(String),
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::ZeroWorkers => f.write_str("pool requires at least one worker"),
+            PoolError::Spawn(e) => write!(f, "failed to spawn worker thread: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Why a blocking submission failed. The payload always comes back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError<T> {
+    /// The pool has been shut down.
+    Closed(T),
+    /// The shedding policy ([`ShedMode::Drop`]) refused the job.
+    Shed {
+        /// The refused payload, returned to the caller.
+        job: T,
+        /// The policy's saturation watermark.
+        watermark: usize,
+        /// Injector depth observed at submission.
+        depth: usize,
+    },
+}
+
+/// Why a non-blocking submission failed. The payload always comes back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySubmitError<T> {
+    /// The injector is at capacity — backpressure; try again after
+    /// draining a completion.
+    QueueFull(T),
+    /// The pool has been shut down.
+    Closed(T),
+    /// The shedding policy ([`ShedMode::Drop`]) refused the job.
+    Shed {
+        /// The refused payload, returned to the caller.
+        job: T,
+        /// The policy's saturation watermark.
+        watermark: usize,
+        /// Injector depth observed at submission.
+        depth: usize,
+    },
+}
+
+/// Pool sizing and policy.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Number of worker threads. Must be at least one.
+    pub workers: usize,
+    /// Injector capacity in jobs; zero is rounded up to one.
+    pub queue_capacity: usize,
+    /// Completion-channel capacity; `None` sizes it to
+    /// `queue_capacity + workers`, enough for every queued and in-flight
+    /// job to complete without the submitter draining.
+    pub completion_capacity: Option<usize>,
+    /// How many jobs a worker moves from the injector to its local deque
+    /// per refill (amortizes injector lock traffic).
+    pub refill_batch: usize,
+    /// How long an idle worker waits on the injector before rescanning its
+    /// siblings' deques for stealable work.
+    pub steal_poll: Duration,
+    /// Optional load-shedding policy; `None` means backpressure only.
+    pub shed: Option<ShedPolicy>,
+}
+
+impl PoolConfig {
+    /// A config with `workers` threads, a `2 × workers` injector, and no
+    /// shedding.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        PoolConfig {
+            workers,
+            queue_capacity: workers.saturating_mul(2).max(1),
+            completion_capacity: None,
+            refill_batch: 4,
+            steal_poll: Duration::from_millis(1),
+            shed: None,
+        }
+    }
+
+    /// Sets the injector capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Installs a load-shedding policy.
+    #[must_use]
+    pub fn with_shed(mut self, shed: ShedPolicy) -> Self {
+        self.shed = Some(shed);
+        self
+    }
+}
+
+/// Everything the worker threads share.
+struct Shared<T, R> {
+    injector: Bounded<Job<T>>,
+    deques: Vec<WorkerDeque<Job<T>>>,
+    completions: Bounded<JobResult<R>>,
+    runner: Box<dyn Fn(T, Admission) -> R + Send + Sync>,
+    sink: Arc<dyn TraceSink>,
+}
+
+impl<T, R> fmt::Debug for Shared<T, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shared")
+            .field("queued", &self.injector.len())
+            .field("workers", &self.deques.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// What [`Pool::shutdown`] hands back after the last worker exits.
+#[derive(Debug)]
+pub struct ShutdownReport<R> {
+    /// Completions the submitter had not received before shutdown, in
+    /// completion order. Together with what was already received, every
+    /// admitted job appears exactly once.
+    pub unclaimed: Vec<JobResult<R>>,
+    /// All workers' private metric registries, merged: job counts, steals,
+    /// panics, queue-wait and run-time histograms.
+    pub metrics: RegistrySnapshot,
+    /// Workers that died outside a job (should always be zero — job
+    /// panics are caught and reported per job).
+    pub worker_panics: usize,
+}
+
+/// The worker pool. `T` is the job payload, `R` the runner's output.
+#[derive(Debug)]
+pub struct Pool<T, R> {
+    shared: Arc<Shared<T, R>>,
+    handles: Vec<JoinHandle<RegistrySnapshot>>,
+    next_id: AtomicU64,
+    /// When the injector first hit the watermark, if it is currently at or
+    /// above it. Reset the moment a submission observes it below.
+    saturated_since: Mutex<Option<Instant>>,
+    shed: Option<ShedPolicy>,
+}
+
+/// Internal admission decision for one submission.
+enum Decision {
+    Admit(Admission),
+    Shed { watermark: usize, depth: usize },
+}
+
+impl<T: Send + 'static, R: Send + 'static> Pool<T, R> {
+    /// Spawns the workers. `runner` executes each job; it receives the
+    /// payload and the [`Admission`] the shedding policy chose. `sink`
+    /// receives submission/shed counters and shed degradation events;
+    /// per-job metrics go to private per-worker registries merged in
+    /// [`Pool::shutdown`].
+    pub fn new(
+        config: PoolConfig,
+        runner: impl Fn(T, Admission) -> R + Send + Sync + 'static,
+        sink: Arc<dyn TraceSink>,
+    ) -> Result<Self, PoolError> {
+        let PoolConfig {
+            workers,
+            queue_capacity,
+            completion_capacity,
+            refill_batch,
+            steal_poll,
+            shed,
+        } = config;
+        if workers == 0 {
+            return Err(PoolError::ZeroWorkers);
+        }
+        let completion_capacity = completion_capacity.unwrap_or(queue_capacity.max(1) + workers);
+        let shared = Arc::new(Shared {
+            injector: Bounded::new(queue_capacity),
+            deques: (0..workers).map(|_| WorkerDeque::new()).collect(),
+            completions: Bounded::new(completion_capacity),
+            runner: Box::new(runner),
+            sink,
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            let poll = steal_poll;
+            let refill = refill_batch.max(1);
+            let spawned = std::thread::Builder::new()
+                .name(format!("rbd-worker-{index}"))
+                .spawn(move || worker_loop(&worker_shared, index, poll, refill));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Unwind: release the workers already running.
+                    shared.injector.close();
+                    shared.completions.close();
+                    return Err(PoolError::Spawn(e.to_string()));
+                }
+            }
+        }
+        Ok(Pool {
+            shared,
+            handles,
+            next_id: AtomicU64::new(0),
+            saturated_since: Mutex::new(None),
+            shed,
+        })
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shared.deques.len()
+    }
+
+    /// Jobs waiting in the injector right now (excludes jobs already moved
+    /// to worker deques or running).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.injector.len()
+    }
+
+    /// Submits a job, blocking while the injector is full. Returns the
+    /// job's id — ids are assigned in submission order, so sorting
+    /// completions by id reproduces it.
+    ///
+    /// Backpressure is end to end: the completion channel is bounded too,
+    /// so a submitter that never drains results can wedge the pool once
+    /// `completion_capacity` results are outstanding (workers block
+    /// delivering, the injector fills, `submit` blocks). Either drain
+    /// concurrently — the [`Pool::try_submit`] + [`Pool::recv_result`]
+    /// alternation `run_batch` uses — or size `completion_capacity` to the
+    /// whole batch.
+    pub fn submit(&self, payload: T) -> Result<u64, SubmitError<T>> {
+        match self.decide() {
+            Decision::Shed { watermark, depth } => Err(SubmitError::Shed {
+                job: payload,
+                watermark,
+                depth,
+            }),
+            Decision::Admit(admission) => {
+                let (id, job) = self.make_job(payload, admission);
+                match self.shared.injector.send(job) {
+                    Ok(()) => {
+                        self.shared.sink.add("pipeline_jobs_submitted", 1);
+                        Ok(id)
+                    }
+                    Err(job) => Err(SubmitError::Closed(job.payload)),
+                }
+            }
+        }
+    }
+
+    /// Submits a job only if the injector has room right now;
+    /// [`TrySubmitError::QueueFull`] is the backpressure signal.
+    pub fn try_submit(&self, payload: T) -> Result<u64, TrySubmitError<T>> {
+        match self.decide() {
+            Decision::Shed { watermark, depth } => Err(TrySubmitError::Shed {
+                job: payload,
+                watermark,
+                depth,
+            }),
+            Decision::Admit(admission) => {
+                let (id, job) = self.make_job(payload, admission);
+                match self.shared.injector.try_send(job) {
+                    Ok(()) => {
+                        self.shared.sink.add("pipeline_jobs_submitted", 1);
+                        Ok(id)
+                    }
+                    Err(TrySendError::Full(job)) => Err(TrySubmitError::QueueFull(job.payload)),
+                    Err(TrySendError::Closed(job)) => Err(TrySubmitError::Closed(job.payload)),
+                }
+            }
+        }
+    }
+
+    /// Blocks for the next completion; `None` once the pool is shut down
+    /// and the completion channel drained.
+    pub fn recv_result(&self) -> Option<JobResult<R>> {
+        self.shared.completions.recv()
+    }
+
+    /// The next completion, if one is ready right now.
+    pub fn try_recv_result(&self) -> Option<JobResult<R>> {
+        self.shared.completions.try_recv()
+    }
+
+    /// Closes the injector, lets every already-admitted job finish, joins
+    /// the workers, and returns whatever completions the submitter had
+    /// not drained. Completions are drained *while* joining, so shutdown
+    /// cannot deadlock on a full completion channel — the clean-drain
+    /// guarantee the chaos suite asserts.
+    pub fn shutdown(mut self) -> ShutdownReport<R> {
+        self.shared.injector.close();
+        let mut metrics = Registry::new();
+        let mut unclaimed = Vec::new();
+        let mut worker_panics = 0usize;
+        let mut handles = std::mem::take(&mut self.handles);
+        while !handles.is_empty() {
+            while let Some(result) = self.shared.completions.try_recv() {
+                unclaimed.push(result);
+            }
+            let mut still_running = Vec::with_capacity(handles.len());
+            for handle in handles {
+                if handle.is_finished() {
+                    match handle.join() {
+                        Ok(snapshot) => metrics.merge(&snapshot),
+                        Err(_) => worker_panics += 1,
+                    }
+                } else {
+                    still_running.push(handle);
+                }
+            }
+            handles = still_running;
+            if !handles.is_empty() {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        self.shared.completions.close();
+        while let Some(result) = self.shared.completions.try_recv() {
+            unclaimed.push(result);
+        }
+        ShutdownReport {
+            unclaimed,
+            metrics: metrics.typed_snapshot(),
+            worker_panics,
+        }
+    }
+
+    /// Assigns the next id and wraps the payload.
+    fn make_job(&self, payload: T, admission: Admission) -> (u64, Job<T>) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        (
+            id,
+            Job {
+                id,
+                payload,
+                admission,
+                submitted: Instant::now(),
+            },
+        )
+    }
+
+    /// Applies the shedding policy to one submission attempt.
+    fn decide(&self) -> Decision {
+        let Some(policy) = self.shed else {
+            return Decision::Admit(Admission::Normal);
+        };
+        let depth = self.shared.injector.len();
+        let mut since = self
+            .saturated_since
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if depth < policy.watermark {
+            *since = None;
+            return Decision::Admit(Admission::Normal);
+        }
+        let start = since.get_or_insert_with(Instant::now);
+        if start.elapsed() < policy.sustained {
+            // Saturated, but not yet long enough: plain backpressure.
+            return Decision::Admit(Admission::Normal);
+        }
+        drop(since);
+        self.report_shed(&policy, depth);
+        match policy.mode {
+            ShedMode::Drop => Decision::Shed {
+                watermark: policy.watermark,
+                depth,
+            },
+            ShedMode::Strict => Decision::Admit(Admission::Strict {
+                watermark: policy.watermark,
+                depth,
+            }),
+        }
+    }
+
+    /// Every shed decision reaches the sink — as a counter always, and as
+    /// a degradation event on the audit trail when tracing is on.
+    fn report_shed(&self, policy: &ShedPolicy, depth: usize) {
+        let sink = &self.shared.sink;
+        sink.add(
+            match policy.mode {
+                ShedMode::Drop => "pipeline_jobs_shed",
+                ShedMode::Strict => "pipeline_jobs_strict",
+            },
+            1,
+        );
+        if sink.enabled() {
+            sink.event(TraceEvent::Degradation {
+                stage: DegradationStage::Pipeline.to_string(),
+                limit: LimitKind::QueueDepth.name().to_owned(),
+                cap: u64::try_from(policy.watermark).unwrap_or(u64::MAX),
+                observed: u64::try_from(depth).unwrap_or(u64::MAX),
+            });
+        }
+    }
+}
+
+impl<T, R> Drop for Pool<T, R> {
+    /// Dropping without [`Pool::shutdown`] must not leave worker threads
+    /// parked forever: closing both channels turns every blocking wait
+    /// inside a worker into an exit path. Results still queued are lost —
+    /// which is what abandoning a pool means — but the threads terminate.
+    fn drop(&mut self) {
+        self.shared.injector.close();
+        self.shared.completions.close();
+    }
+}
+
+/// One worker thread: drain own deque (LIFO) → batch-refill from the
+/// injector → steal from a sibling (oldest first) → short wait on the
+/// injector, repeat. Exits when the injector is closed and no work remains
+/// anywhere it can see. Returns its private metrics for the shutdown
+/// merge.
+fn worker_loop<T, R>(
+    shared: &Shared<T, R>,
+    me: usize,
+    poll: Duration,
+    refill: usize,
+) -> RegistrySnapshot {
+    let metrics = Registry::new();
+    loop {
+        // 1. Own deque, newest first: the cache-warm path.
+        if let Some(job) = shared.deques.get(me).and_then(WorkerDeque::pop) {
+            if !run_job(shared, &metrics, me, job) {
+                break;
+            }
+            continue;
+        }
+        // 2. Refill from the injector in one lock acquisition.
+        let mut grabbed = shared.injector.try_recv_batch(refill);
+        if !grabbed.is_empty() {
+            let first = grabbed.remove(0);
+            if let Some(deque) = shared.deques.get(me) {
+                for job in grabbed {
+                    deque.push(job);
+                }
+            }
+            if !run_job(shared, &metrics, me, first) {
+                break;
+            }
+            continue;
+        }
+        // 3. Steal the oldest job from a sibling.
+        if let Some(job) = steal_from_siblings(shared, me) {
+            metrics.add("pipeline_steals", 1);
+            if !run_job(shared, &metrics, me, job) {
+                break;
+            }
+            continue;
+        }
+        // 4. Nothing anywhere: wait briefly for the injector, then rescan
+        //    (a sibling may have become stealable while we slept).
+        match shared.injector.recv_timeout(poll) {
+            RecvTimeout::Item(job) => {
+                if !run_job(shared, &metrics, me, job) {
+                    break;
+                }
+            }
+            RecvTimeout::TimedOut => {}
+            RecvTimeout::Disconnected => {
+                // Closed and drained. One final sweep so a job pushed to a
+                // sibling's deque just before the close is not stranded if
+                // its owner is busy with a long job.
+                if let Some(job) = steal_from_siblings(shared, me) {
+                    metrics.add("pipeline_steals", 1);
+                    if !run_job(shared, &metrics, me, job) {
+                        break;
+                    }
+                    continue;
+                }
+                break;
+            }
+        }
+    }
+    metrics.typed_snapshot()
+}
+
+/// Scans the other workers' deques round-robin starting after `me`.
+fn steal_from_siblings<T, R>(shared: &Shared<T, R>, me: usize) -> Option<Job<T>> {
+    let n = shared.deques.len();
+    (1..n)
+        .filter_map(|offset| shared.deques.get((me + offset) % n))
+        .find_map(WorkerDeque::steal)
+}
+
+/// Runs one job under `catch_unwind` and delivers its completion record.
+/// Returns `false` when the completion channel is closed — the signal
+/// that the pool was abandoned and the worker should exit.
+fn run_job<T, R>(shared: &Shared<T, R>, metrics: &Registry, me: usize, job: Job<T>) -> bool {
+    let queue_wait = job.submitted.elapsed();
+    let Job {
+        id,
+        payload,
+        admission,
+        ..
+    } = job;
+    let started = Instant::now();
+    // AssertUnwindSafe: the runner only sees state it owns (the moved
+    // payload) or shares behind `&` (the caller's extractor, whose methods
+    // take `&self` and keep no cross-call mutable state), so a panic
+    // cannot leave anything observable torn.
+    let outcome = catch_unwind(AssertUnwindSafe(|| (shared.runner)(payload, admission)));
+    let run_time = started.elapsed();
+    metrics.add("pipeline_jobs_run", 1);
+    metrics.observe("pipeline:queue_wait", duration_ns(queue_wait));
+    metrics.observe("pipeline:run_time", duration_ns(run_time));
+    let output = outcome.map_err(|panic| {
+        metrics.add("pipeline_jobs_panicked", 1);
+        shared.sink.add("pipeline_jobs_panicked", 1);
+        JobPanic {
+            message: panic_message(panic.as_ref()),
+        }
+    });
+    shared
+        .completions
+        .send(JobResult {
+            job_id: id,
+            worker: me,
+            admission,
+            queue_wait,
+            run_time,
+            output,
+        })
+        .is_ok()
+}
+
+/// Flattens a panic payload to a message. `panic!("…")` produces `&str`
+/// or `String`; anything else gets a placeholder.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Saturating nanosecond conversion for histogram recording.
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_trace::{CollectingSink, NullSink};
+
+    fn null_sink() -> Arc<dyn TraceSink> {
+        Arc::new(NullSink)
+    }
+
+    /// Submits `count` squaring jobs and collects every result, plus the
+    /// id → payload map of the successful submissions. Ids burnt by
+    /// `QueueFull` retries leave gaps, so the map — not contiguity — is
+    /// the ground truth.
+    fn run_squares(
+        workers: usize,
+        count: u64,
+    ) -> (Vec<JobResult<u64>>, std::collections::BTreeMap<u64, u64>) {
+        let pool = Pool::new(
+            PoolConfig::with_workers(workers),
+            |x: u64, _| x * x,
+            null_sink(),
+        )
+        .expect("valid config");
+        let mut results = Vec::new();
+        let mut submitted = std::collections::BTreeMap::new();
+        for x in 0..count {
+            loop {
+                match pool.try_submit(x) {
+                    Ok(id) => {
+                        submitted.insert(id, x);
+                        break;
+                    }
+                    Err(TrySubmitError::QueueFull(_)) => {
+                        results.extend(pool.recv_result());
+                    }
+                    Err(e) => panic!("unexpected submit failure: {e:?}"),
+                }
+            }
+        }
+        while results.len() < usize::try_from(count).expect("small count") {
+            results.extend(pool.recv_result());
+        }
+        let report = pool.shutdown();
+        assert!(report.unclaimed.is_empty(), "all results already drained");
+        assert_eq!(report.worker_panics, 0);
+        (results, submitted)
+    }
+
+    #[test]
+    fn every_job_completes_exactly_once() {
+        for workers in [1, 2, 4] {
+            let (mut results, submitted) = run_squares(workers, 100);
+            results.sort_by_key(|r| r.job_id);
+            // Exactly the successful submissions completed — no job lost,
+            // none duplicated — and ids are monotone in submission order.
+            let ids: Vec<u64> = results.iter().map(|r| r.job_id).collect();
+            let expected: Vec<u64> = submitted.keys().copied().collect();
+            assert_eq!(ids, expected, "workers={workers}");
+            let mut payloads: Vec<u64> = submitted.values().copied().collect();
+            payloads.sort_unstable();
+            assert_eq!(payloads, (0..100).collect::<Vec<_>>(), "workers={workers}");
+            for r in &results {
+                let x = submitted[&r.job_id];
+                assert_eq!(r.output.as_ref().copied().expect("no panics"), x * x);
+                assert!(r.worker < workers);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_rejected() {
+        let result: Result<Pool<u64, u64>, PoolError> =
+            Pool::new(PoolConfig::with_workers(0), |x, _| x, null_sink());
+        assert_eq!(result.err(), Some(PoolError::ZeroWorkers));
+    }
+
+    #[test]
+    fn panicking_job_is_isolated() {
+        let pool = Pool::new(
+            PoolConfig::with_workers(2),
+            |x: u64, _| {
+                assert!(x != 13, "unlucky payload");
+                x + 1
+            },
+            null_sink(),
+        )
+        .expect("valid config");
+        for x in [13u64, 1, 2, 3] {
+            pool.submit(x).expect("open pool");
+        }
+        let mut results: Vec<JobResult<u64>> = Vec::new();
+        while results.len() < 4 {
+            results.extend(pool.recv_result());
+        }
+        let report = pool.shutdown();
+        results.sort_by_key(|r| r.job_id);
+        let panicked = &results[0];
+        assert!(matches!(&panicked.output, Err(p) if p.message.contains("unlucky")));
+        // The pool survived: the other three ran normally.
+        assert!(results[1..].iter().all(|r| r.output.is_ok()));
+        assert_eq!(
+            report.metrics.counters.get("pipeline_jobs_panicked"),
+            Some(&1)
+        );
+        assert_eq!(report.metrics.counters.get("pipeline_jobs_run"), Some(&4));
+    }
+
+    #[test]
+    fn shutdown_returns_unclaimed_results() {
+        let pool = Pool::new(
+            PoolConfig::with_workers(2).with_queue_capacity(64),
+            |x: u64, _| x,
+            null_sink(),
+        )
+        .expect("valid config");
+        for x in 0..20u64 {
+            pool.submit(x).expect("open pool");
+        }
+        // Shut down without draining anything: nothing may be lost.
+        let report = pool.shutdown();
+        let mut ids: Vec<u64> = report.unclaimed.iter().map(|r| r.job_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_mode_sheds_and_reports() {
+        let sink = Arc::new(CollectingSink::new());
+        // One worker parked on jobs that wait for a channel we control.
+        let gate: Arc<Bounded<()>> = Arc::new(Bounded::new(64));
+        let pool = {
+            let gate = Arc::clone(&gate);
+            Pool::new(
+                PoolConfig::with_workers(1)
+                    .with_queue_capacity(4)
+                    .with_shed(ShedPolicy {
+                        watermark: 2,
+                        sustained: Duration::ZERO,
+                        mode: ShedMode::Drop,
+                    }),
+                move |x: u64, _| {
+                    gate.recv();
+                    x
+                },
+                Arc::clone(&sink) as Arc<dyn TraceSink>,
+            )
+            .expect("valid config")
+        };
+        // Fill past the watermark; with a zero sustain window the next
+        // submission must shed.
+        let mut admitted = 0u64;
+        let mut shed = 0u64;
+        for x in 0..8u64 {
+            match pool.try_submit(x) {
+                Ok(_) => admitted += 1,
+                Err(TrySubmitError::Shed {
+                    watermark, depth, ..
+                }) => {
+                    shed += 1;
+                    assert_eq!(watermark, 2);
+                    assert!(depth >= 2);
+                }
+                Err(TrySubmitError::QueueFull(_)) => break,
+                Err(e) => panic!("unexpected: {e:?}"),
+            }
+        }
+        assert!(shed > 0, "sustained saturation must shed");
+        assert_eq!(sink.registry().counter("pipeline_jobs_shed"), shed);
+        assert!(
+            sink.events().iter().any(
+                |e| matches!(e, TraceEvent::Degradation { limit, .. } if limit == "queue-depth")
+            ),
+            "shed must reach the audit trail: {:?}",
+            sink.events()
+        );
+        // Release the workers and verify the admitted jobs all complete.
+        for _ in 0..admitted {
+            gate.send(()).expect("gate open");
+        }
+        let mut got = 0;
+        while got < admitted {
+            if pool.recv_result().is_some() {
+                got += 1;
+            }
+        }
+        gate.close();
+        let report = pool.shutdown();
+        assert!(report.unclaimed.is_empty());
+    }
+
+    #[test]
+    fn strict_mode_admits_with_strict_admission() {
+        let sink = Arc::new(CollectingSink::new());
+        let gate: Arc<Bounded<()>> = Arc::new(Bounded::new(64));
+        let pool = {
+            let gate = Arc::clone(&gate);
+            Pool::new(
+                PoolConfig::with_workers(1)
+                    .with_queue_capacity(8)
+                    .with_shed(ShedPolicy {
+                        watermark: 2,
+                        sustained: Duration::ZERO,
+                        mode: ShedMode::Strict,
+                    }),
+                move |x: u64, admission| {
+                    gate.recv();
+                    match admission {
+                        Admission::Normal => x,
+                        Admission::Strict { .. } => x + 1_000,
+                    }
+                },
+                Arc::clone(&sink) as Arc<dyn TraceSink>,
+            )
+            .expect("valid config")
+        };
+        for x in 0..6u64 {
+            pool.submit(x).expect("strict mode never drops");
+        }
+        for _ in 0..6 {
+            gate.send(()).expect("gate open");
+        }
+        let mut results: Vec<JobResult<u64>> = Vec::new();
+        while results.len() < 6 {
+            results.extend(pool.recv_result());
+        }
+        gate.close();
+        pool.shutdown();
+        results.sort_by_key(|r| r.job_id);
+        let strict: Vec<&JobResult<u64>> = results
+            .iter()
+            .filter(|r| matches!(r.admission, Admission::Strict { .. }))
+            .collect();
+        assert!(!strict.is_empty(), "saturation must flag strict admissions");
+        // The runner observed the same admission the result reports.
+        for r in &results {
+            let expected = match r.admission {
+                Admission::Normal => r.job_id,
+                Admission::Strict { .. } => r.job_id + 1_000,
+            };
+            assert_eq!(r.output.as_ref().copied().expect("no panics"), expected);
+        }
+        assert_eq!(
+            sink.registry().counter("pipeline_jobs_strict"),
+            strict.len() as u64
+        );
+    }
+
+    #[test]
+    fn saturation_below_sustain_window_does_not_shed() {
+        let pool = Pool::new(
+            PoolConfig::with_workers(1)
+                .with_queue_capacity(4)
+                .with_shed(ShedPolicy {
+                    watermark: 1,
+                    sustained: Duration::from_secs(3600),
+                    mode: ShedMode::Drop,
+                }),
+            |x: u64, _| x,
+            null_sink(),
+        )
+        .expect("valid config");
+        // The queue crosses the watermark instantly, but the sustain
+        // window is an hour: every submission must be admitted.
+        for x in 0..4u64 {
+            pool.submit(x).expect("no shedding inside the window");
+        }
+        let mut results = Vec::new();
+        while results.len() < 4 {
+            results.extend(pool.recv_result());
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn metrics_cover_every_job() {
+        let (results, _) = run_squares(4, 50);
+        assert_eq!(results.len(), 50);
+        // This submitter never drains, so the completion channel (sized
+        // from the queue capacity) must have room for the whole batch —
+        // otherwise the bounded completions exert backpressure right back
+        // through the workers and `submit` blocks forever, by design.
+        let pool = Pool::new(
+            PoolConfig::with_workers(4).with_queue_capacity(64),
+            |x: u64, _| x,
+            null_sink(),
+        )
+        .expect("valid config");
+        for x in 0..50u64 {
+            pool.submit(x).expect("open pool");
+        }
+        let report = pool.shutdown();
+        assert_eq!(report.metrics.counters.get("pipeline_jobs_run"), Some(&50));
+        let wait = report
+            .metrics
+            .histograms
+            .get("pipeline:queue_wait")
+            .expect("queue-wait histogram");
+        assert_eq!(wait.count, 50);
+        let run = report
+            .metrics
+            .histograms
+            .get("pipeline:run_time")
+            .expect("run-time histogram");
+        assert_eq!(run.count, 50);
+    }
+}

@@ -57,7 +57,7 @@ pub mod metrics;
 pub mod span;
 
 pub use event::{events_to_json, CandidateDecision, RankedEntry, TraceEvent};
-pub use metrics::{Histogram, HistogramSnapshot, Registry, LATENCY_BOUNDS_NS};
+pub use metrics::{Histogram, HistogramSnapshot, Registry, RegistrySnapshot, LATENCY_BOUNDS_NS};
 pub use span::{Span, SpanRecord};
 
 use rbd_json::Json;
@@ -74,6 +74,30 @@ use std::sync::{Mutex, PoisonError};
 /// * counter increments whose value is already at hand (`add("x", 1)`) may
 ///   be emitted unconditionally; implementations must make them cheap
 ///   no-ops when disabled.
+///
+/// # Thread safety
+///
+/// The `Send + Sync` supertrait bounds are part of the contract, not an
+/// implementation convenience: one sink instance (typically an
+/// `Arc<dyn TraceSink>`) is shared by every worker of a concurrent batch
+/// run (`rbd-pipeline`), so every method takes `&self` and must be safe to
+/// call from many threads at once. Implementations must guarantee:
+///
+/// * **No lost writes** — concurrent [`TraceSink::event`] /
+///   [`TraceSink::span`] / [`TraceSink::add`] calls all land; counter
+///   increments are atomic with respect to one another.
+/// * **Per-thread order** — the calls one thread makes are observed in
+///   the order it made them. *Cross*-thread interleaving is unspecified:
+///   events from different documents may interleave arbitrarily, which is
+///   why concurrent callers must not assume a global event order (the
+///   batch pipeline restores determinism by sorting results by document
+///   id, not by trace order).
+/// * **No blocking on the caller's critical path** beyond a short mutex
+///   hold; a sink must never call back into the pipeline.
+///
+/// Code that needs contention-free hot-path metrics should record into a
+/// private [`Registry`] per thread and aggregate with [`Registry::merge`]
+/// afterwards, reserving the shared sink for per-document events.
 pub trait TraceSink: Send + Sync + std::fmt::Debug {
     /// `false` when the sink discards everything — instrumented code skips
     /// event construction entirely. Defaults to `true`.
@@ -112,6 +136,10 @@ impl TraceSink for NullSink {
 /// counters from [`TraceSink::add`], per-stage latency histograms from the
 /// spans. The backing store is mutex-protected, so one sink can serve a
 /// whole extraction (or a corpus of them) across threads.
+///
+/// `CollectingSink` is `Send + Sync` by construction (every field is
+/// mutex-protected); the `sinks_are_send_and_sync` compile-time assertion
+/// test pins that property so a future field cannot silently revoke it.
 #[derive(Debug, Default)]
 pub struct CollectingSink {
     events: Mutex<Vec<TraceEvent>>,
@@ -360,6 +388,24 @@ mod tests {
         // records anything that *does* arrive, which is how tests catch
         // instrumentation that ignores `enabled()`.
         assert!(sink.calls().is_empty());
+    }
+
+    /// Compile-time assertion: the shipped sinks satisfy the `Send + Sync`
+    /// thread-safety contract of [`TraceSink`]. If a future field makes
+    /// one of them thread-unsafe (an `Rc`, a `Cell`, a raw pointer), this
+    /// test stops *compiling* — the failure cannot reach CI as a flaky
+    /// runtime race.
+    #[test]
+    fn sinks_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NullSink>();
+        assert_send_sync::<CollectingSink>();
+        assert_send_sync::<MockSink>();
+        // The trait object form workers actually share.
+        assert_send_sync::<std::sync::Arc<dyn TraceSink>>();
+        // The aggregation types the pipeline hands between threads.
+        assert_send_sync::<Registry>();
+        assert_send_sync::<RegistrySnapshot>();
     }
 
     #[test]

@@ -59,6 +59,18 @@ impl Histogram {
         self.count
     }
 
+    /// Folds a snapshot of another histogram into this one: bucket-wise
+    /// tally addition, count and sum added (sum saturating, like
+    /// [`Histogram::record`]), max taken as the larger of the two.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (bucket, &add) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *bucket = bucket.saturating_add(add);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// An immutable copy of the current state for reporting.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -95,6 +107,47 @@ impl HistogramSnapshot {
             (
                 "buckets",
                 Json::Array(self.buckets.iter().map(|&b| Json::UInt(b)).collect()),
+            ),
+        ])
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`]: every counter and every
+/// histogram, keyed by their `&'static str` names.
+///
+/// This is the hand-off format for multi-threaded aggregation: each worker
+/// records into a *private* `Registry` (no lock contention on the hot
+/// path), takes a `RegistrySnapshot` when it finishes, and the owner folds
+/// the snapshots into one aggregate via [`Registry::merge`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// JSON view in the same shape as [`Registry::snapshot`]:
+    /// `{"counters": {...}, "histograms": {...}, "bounds_ns": [...]}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(&name, &value)| (name, Json::UInt(value)))
+            .collect::<Vec<_>>();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(&name, histogram)| (name, histogram.to_json()))
+            .collect::<Vec<_>>();
+        Json::object([
+            ("counters", Json::object(counters)),
+            ("histograms", Json::object(histograms)),
+            (
+                "bounds_ns",
+                Json::Array(LATENCY_BOUNDS_NS.iter().map(|&b| Json::UInt(b)).collect()),
             ),
         ])
     }
@@ -152,6 +205,53 @@ impl Registry {
             .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .map(Histogram::snapshot)
+    }
+
+    /// Typed snapshot of everything — the input format of
+    /// [`Registry::merge`]. Unlike [`Registry::snapshot`] this is data, not
+    /// JSON, so aggregation needs no parsing.
+    #[must_use]
+    pub fn typed_snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(&name, histogram)| (name, histogram.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Folds another registry's snapshot into this one: counters are
+    /// summed (saturating), histograms are merged bucket-wise
+    /// ([`Histogram::merge`]).
+    ///
+    /// Takes `&mut self` deliberately: aggregation is a cold path owned by
+    /// one thread (per-worker registries merged after the workers finish),
+    /// so exclusive access lets it use [`Mutex::get_mut`] and touch no lock
+    /// — the hot recording path never contends with a merge.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        let counters = self
+            .counters
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        for (&name, &value) in &other.counters {
+            let slot = counters.entry(name).or_insert(0);
+            *slot = slot.saturating_add(value);
+        }
+        let histograms = self
+            .histograms
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        for (&name, snapshot) in &other.histograms {
+            histograms.entry(name).or_default().merge(snapshot);
+        }
     }
 
     /// Snapshot of everything:
@@ -219,6 +319,80 @@ mod tests {
         assert_eq!(snap.buckets[LATENCY_BOUNDS_NS.len()], 1);
         assert_eq!(snap.max, 1_000_000_000);
         assert_eq!(snap.sum, 999 + 1_000 + 1_001 + 1_000_000_000);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = Registry::new();
+        a.add("docs_extracted", 3);
+        a.add("only_in_a", 1);
+        let b = Registry::new();
+        b.add("docs_extracted", 4);
+        b.add("only_in_b", 7);
+        a.merge(&b.typed_snapshot());
+        assert_eq!(a.counter("docs_extracted"), 7);
+        assert_eq!(a.counter("only_in_a"), 1);
+        assert_eq!(a.counter("only_in_b"), 7);
+        // Saturating, like add().
+        a.add("big", u64::MAX);
+        let c = Registry::new();
+        c.add("big", 5);
+        a.merge(&c.typed_snapshot());
+        assert_eq!(a.counter("big"), u64::MAX);
+    }
+
+    #[test]
+    fn merge_adds_histograms_bucket_wise() {
+        let mut a = Registry::new();
+        a.observe("stage", 500); // bucket 0
+        a.observe("stage", 2_000); // bucket 1
+        let b = Registry::new();
+        b.observe("stage", 900); // bucket 0
+        b.observe("stage", 1_000_000_000); // overflow bucket
+        b.observe("b_only", 5_000);
+        a.merge(&b.typed_snapshot());
+        let merged = a.histogram("stage").expect("merged histogram");
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.buckets[0], 2, "{merged:?}");
+        assert_eq!(merged.buckets[1], 1, "{merged:?}");
+        assert_eq!(merged.buckets[LATENCY_BOUNDS_NS.len()], 1, "{merged:?}");
+        assert_eq!(merged.sum, 500 + 2_000 + 900 + 1_000_000_000);
+        assert_eq!(merged.max, 1_000_000_000);
+        // Histograms only the other side had are created whole.
+        assert_eq!(a.histogram("b_only").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn merge_equals_single_registry_recording_everything() {
+        // The per-worker-then-merge path must be indistinguishable from one
+        // shared registry: this is the property the pipeline's metrics
+        // aggregation rests on.
+        let observations: [(&str, u64); 5] = [
+            ("w", 800),
+            ("w", 30_000),
+            ("w", 2_000_000),
+            ("x", 1_000),
+            ("w", 999),
+        ];
+        let mut merged = Registry::new();
+        for chunk in observations.chunks(2) {
+            let worker = Registry::new();
+            for &(name, v) in chunk {
+                worker.observe(name, v);
+                worker.add("jobs", 1);
+            }
+            merged.merge(&worker.typed_snapshot());
+        }
+        let shared = Registry::new();
+        for &(name, v) in &observations {
+            shared.observe(name, v);
+            shared.add("jobs", 1);
+        }
+        assert_eq!(merged.typed_snapshot(), shared.typed_snapshot());
+        assert_eq!(
+            merged.snapshot().to_compact(),
+            shared.snapshot().to_compact()
+        );
     }
 
     #[test]

@@ -6,12 +6,16 @@
 //! rbd pipeline [FILE] --ontology NAME|--ontology-file PATH   [--json]
 //! rbd check    [FILE] [--ontology NAME|--ontology-file PATH]
 //! rbd tree     [FILE]
+//! rbd batch    FILE... [--jobs N] [--json]
 //! ```
 //!
-//! `FILE` defaults to standard input. `--ontology` accepts the four built-in
-//! domain names (`obituary`, `car-ad`, `job-ad`, `course`); `--ontology-file`
-//! loads the `rbd_ontology::dsl` text format, so new domains need no
-//! recompilation.
+//! `FILE` defaults to standard input (except `batch`, which takes one or
+//! more files). `--ontology` accepts the four built-in domain names
+//! (`obituary`, `car-ad`, `job-ad`, `course`); `--ontology-file` loads the
+//! `rbd_ontology::dsl` text format, so new domains need no recompilation.
+//! `batch` runs every file through the concurrent extraction pipeline
+//! (`rbd-pipeline`) on `--jobs` workers and reports per-document results in
+//! input order.
 
 #![forbid(unsafe_code)]
 
@@ -31,6 +35,7 @@ usage: rbd <discover|extract|pipeline|check|tree> [FILE]
            [--ontology obituary|car-ad|job-ad|course]
            [--ontology-file PATH] [--json] [--xml]
            [--trace PATH] [--metrics]
+       rbd batch FILE... [--jobs N] [--json] [--metrics]
 
 Reads HTML from FILE (or stdin) and:
   discover   print the consensus record separator and heuristic rankings
@@ -38,16 +43,20 @@ Reads HTML from FILE (or stdin) and:
   pipeline   populate and dump the relational database (needs an ontology)
   check      verify the paper's assumptions (multiple records present?)
   tree       print the document's tag tree
+  batch      extract every FILE concurrently on --jobs workers (default 4)
+             and print one result line per document, in input order
 
 Observability:
   --trace PATH  write the decision audit trail (events, spans, metrics)
                 of the run to PATH as JSON
-  --metrics     print the counter/histogram snapshot to stderr";
+  --metrics     print the counter/histogram snapshot to stderr (for
+                batch: the merged per-worker pipeline metrics)";
 
 struct Args {
     command: String,
-    file: Option<String>,
+    files: Vec<String>,
     ontology: Option<Ontology>,
+    jobs: usize,
     json: bool,
     xml: bool,
     trace: Option<String>,
@@ -63,8 +72,9 @@ fn parse_args() -> Result<Args, String> {
     }
     let mut args = Args {
         command,
-        file: None,
+        files: Vec::new(),
         ontology: None,
+        jobs: 4,
         json: false,
         xml: false,
         trace: None,
@@ -97,8 +107,22 @@ fn parse_args() -> Result<Args, String> {
             "--xml" => args.xml = true,
             "--trace" => args.trace = Some(argv.next().ok_or("--trace needs a path")?),
             "--metrics" => args.metrics = true,
-            other if args.file.is_none() && !other.starts_with('-') => {
-                args.file = Some(other.to_owned());
+            "--jobs" => {
+                let n = argv.next().ok_or("--jobs needs a worker count")?;
+                args.jobs = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs needs a positive integer, got `{n}`"))?;
+            }
+            other if !other.starts_with('-') => {
+                if args.files.is_empty() || args.command == "batch" {
+                    args.files.push(other.to_owned());
+                } else {
+                    return Err(format!(
+                        "only `batch` accepts multiple FILE arguments (second was `{other}`)"
+                    ));
+                }
             }
             other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
         }
@@ -159,15 +183,85 @@ fn finish_observability(
     Ok(())
 }
 
+/// `rbd batch FILE... --jobs N`: runs every file through the concurrent
+/// pipeline and appends one line (or JSON object) per document to `out`,
+/// in input order. Returns the merged pipeline metrics snapshot.
+fn run_batch_files(
+    args: &Args,
+    extractor: &RecordExtractor,
+    sink: Option<&Arc<CollectingSink>>,
+    out: &mut String,
+) -> Result<rbd::trace::RegistrySnapshot, String> {
+    if args.files.is_empty() {
+        return Err("batch requires at least one FILE argument".to_owned());
+    }
+    let mut docs = Vec::with_capacity(args.files.len());
+    for (id, path) in (0u64..).zip(&args.files) {
+        let html = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        docs.push((id, html));
+    }
+    let trace_sink: Arc<dyn rbd::trace::TraceSink> = match sink {
+        Some(s) => Arc::clone(s) as Arc<dyn rbd::trace::TraceSink>,
+        None => Arc::new(rbd::trace::NullSink),
+    };
+    let config = rbd::pipeline::BatchConfig::with_jobs(args.jobs);
+    let report = rbd::pipeline::run_batch(extractor, docs, &config, &trace_sink)
+        .map_err(|e| e.to_string())?;
+
+    let mut lines = Vec::with_capacity(report.results.len());
+    for result in &report.results {
+        let path = args
+            .files
+            .get(usize::try_from(result.doc_id).unwrap_or(usize::MAX))
+            .map_or("?", String::as_str);
+        lines.push(match (&result.outcome, args.json) {
+            (Ok(extraction), false) => format!(
+                "{path}: {} records (separator <{}>)",
+                extraction.records.len(),
+                extraction.outcome.separator
+            ),
+            (Err(e), false) => format!("{path}: error: {e}"),
+            (Ok(extraction), true) => format!(
+                "{{\"file\":\"{}\",\"records\":{},\"separator\":\"{}\"}}",
+                json_escape(path),
+                extraction.records.len(),
+                json_escape(&extraction.outcome.separator)
+            ),
+            (Err(e), true) => format!(
+                "{{\"file\":\"{}\",\"error\":\"{}\"}}",
+                json_escape(path),
+                json_escape(&e.to_string())
+            ),
+        });
+    }
+    if args.json {
+        let _ = writeln!(out, "[{}]", lines.join(","));
+    } else {
+        for line in &lines {
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(
+            out,
+            "{} docs, {} succeeded, {} shed, {} strict-limited, {} workers",
+            report.results.len(),
+            report.succeeded(),
+            report.shed,
+            report.strict,
+            args.jobs
+        );
+    }
+    Ok(report.metrics)
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let html = read_input(args.file.as_deref())?;
     let mut out = String::new();
 
     let sink: Option<Arc<CollectingSink>> =
         (args.trace.is_some() || args.metrics).then(|| Arc::new(CollectingSink::new()));
 
     if args.command == "tree" {
+        let html = read_input(args.files.first().map(String::as_str))?;
         let builder = if args.xml {
             TagTreeBuilder::default().xml()
         } else {
@@ -187,6 +281,26 @@ fn run() -> Result<(), String> {
     if let Some(sink) = &sink {
         config = config.with_sink(Arc::clone(sink) as Arc<dyn rbd::trace::TraceSink>);
     }
+
+    if args.command == "batch" {
+        let extractor = RecordExtractor::new(config).map_err(|e| e.to_string())?;
+        let pool_metrics = run_batch_files(&args, &extractor, sink.as_ref(), &mut out)?;
+        emit(&out);
+        if args.metrics {
+            // Merge the pool's per-worker registries with the extraction
+            // metrics the workers recorded through the shared sink, so
+            // `--metrics` shows one snapshot for the whole batch.
+            let mut merged = rbd::trace::Registry::new();
+            merged.merge(&pool_metrics);
+            if let Some(sink) = &sink {
+                merged.merge(&sink.registry().typed_snapshot());
+            }
+            eprintln!("{}", merged.snapshot().to_pretty());
+        }
+        return finish_observability(sink.as_ref(), args.trace.as_deref(), false);
+    }
+
+    let html = read_input(args.files.first().map(String::as_str))?;
 
     if args.command == "check" {
         let report = check_assumptions(&html, &config).map_err(|e| e.to_string())?;

@@ -15,7 +15,9 @@
 //! * [`db`] — in-memory relational database and instance generator,
 //! * [`corpus`] — synthetic web-document corpus,
 //! * [`eval`] — the experiment harness reproducing the paper's tables,
-//! * [`trace`] — tracing, metrics, and the decision audit trail.
+//! * [`trace`] — tracing, metrics, and the decision audit trail,
+//! * [`pipeline`] — concurrent batch-extraction engine (bounded queues,
+//!   work stealing, load shedding).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use rbd_html as html;
 pub use rbd_limits as limits;
 pub use rbd_ontology as ontology;
 pub use rbd_pattern as pattern;
+pub use rbd_pipeline as pipeline;
 pub use rbd_recognizer as recognizer;
 pub use rbd_tagtree as tagtree;
 pub use rbd_trace as trace;
@@ -59,6 +62,7 @@ pub mod prelude {
     pub use rbd_heuristics::{Heuristic, HeuristicKind, Ranking};
     pub use rbd_html::tokenize;
     pub use rbd_ontology::Ontology;
+    pub use rbd_pipeline::{run_batch, BatchConfig, BatchReport};
     pub use rbd_tagtree::{TagTree, TagTreeBuilder};
     pub use rbd_trace::{CollectingSink, NullSink, TraceEvent, TraceSink};
 }

@@ -104,6 +104,9 @@ fn limits_cap_for(kind: LimitKind) -> Option<usize> {
         LimitKind::CandidateTags => l.max_candidate_tags,
         LimitKind::TextBytes => l.max_text_bytes,
         LimitKind::WallClock => l.time_budget.map(|d| d.as_millis().try_into().unwrap_or(0)),
+        // Queue depth is a batch-pipeline admission limit; a single
+        // governed extraction can never trip it.
+        LimitKind::QueueDepth => None,
     }
 }
 
@@ -137,6 +140,83 @@ fn full_pipeline_survives_the_adversarial_corpus() {
     assert!(sink.registry().counter("tags_scanned") > 0);
     if let Some(path) = std::env::var_os("RBD_CHAOS_METRICS") {
         let snapshot = sink.registry_snapshot().to_pretty();
+        std::fs::write(&path, snapshot.as_bytes())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.to_string_lossy()));
+    }
+}
+
+#[test]
+fn threaded_batch_arm_matches_the_serial_sweep() {
+    // The strict profile minus its wall-clock budget: the time-based
+    // degradations are the only nondeterministic part of the contract, so
+    // dropping them makes "parallel equals serial" an exact assertion
+    // while every size cap stays armed.
+    let limits = Limits {
+        time_budget: None,
+        ..Limits::strict()
+    };
+    let ex = RecordExtractor::new(ExtractorConfig::default().with_limits(limits)).unwrap();
+
+    let mut docs: Vec<(u64, String)> = Vec::new();
+    for kind in AttackKind::ALL {
+        for index in 0..PER_KIND {
+            let id = u64::try_from(docs.len()).expect("small corpus");
+            docs.push((id, generate_adversarial(kind, index, CHAOS_SEED)));
+        }
+    }
+    let total = docs.len();
+
+    let serial: Vec<_> = docs
+        .iter()
+        .map(|(_, html)| ex.extract_records(html))
+        .collect();
+
+    let sink: Arc<dyn TraceSink> = Arc::new(NullSink);
+    let report = run_batch(&ex, docs, &BatchConfig::with_jobs(4), &sink)
+        .expect("four workers is a valid batch config");
+
+    // Clean drain: one result per document, ids contiguous after the sort
+    // — nothing lost, nothing duplicated, nothing shed.
+    assert_eq!(report.results.len(), total);
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.strict, 0);
+    let ids: Vec<u64> = report.results.iter().map(|r| r.doc_id).collect();
+    let expected: Vec<u64> = (0..u64::try_from(total).expect("small corpus")).collect();
+    assert_eq!(ids, expected, "batch lost or duplicated documents");
+
+    // Identical outcomes, document by document: same separator, same
+    // record texts, same degradation events, same typed errors.
+    for (got, want) in report.results.iter().zip(&serial) {
+        let doc_id = got.doc_id;
+        match (&got.outcome, want) {
+            (Ok(g), Ok(w)) => {
+                assert_eq!(g.outcome.separator, w.outcome.separator, "doc {doc_id}");
+                assert_eq!(g.degradation, w.degradation, "doc {doc_id}");
+                assert_eq!(
+                    g.records.iter().map(|r| &r.text).collect::<Vec<_>>(),
+                    w.records.iter().map(|r| &r.text).collect::<Vec<_>>(),
+                    "doc {doc_id}"
+                );
+            }
+            (Err(rbd::pipeline::BatchError::Discovery(g)), Err(w)) => {
+                assert_eq!(g, w, "doc {doc_id}");
+            }
+            (got_outcome, want_outcome) => {
+                panic!("doc {doc_id}: batch {got_outcome:?} vs serial {want_outcome:?}")
+            }
+        }
+    }
+
+    // The merged worker metrics account for every document, and CI archives
+    // the snapshot alongside the serial chaos metrics.
+    assert_eq!(
+        report.metrics.counters.get("pipeline_jobs_run"),
+        Some(&u64::try_from(total).expect("small corpus")),
+        "{:?}",
+        report.metrics.counters
+    );
+    if let Some(path) = std::env::var_os("RBD_BATCH_METRICS") {
+        let snapshot = report.metrics.to_json().to_pretty();
         std::fs::write(&path, snapshot.as_bytes())
             .unwrap_or_else(|e| panic!("writing {}: {e}", path.to_string_lossy()));
     }
