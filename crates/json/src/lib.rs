@@ -134,9 +134,11 @@ fn push_compact(out: &mut String, value: &Json) {
         Json::Null => out.push_str("null"),
         Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Json::Int(n) => {
+            // rbd-lint: allow(swallowed-error) — fmt::Write into a String is infallible
             let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
         }
         Json::UInt(n) => {
+            // rbd-lint: allow(swallowed-error) — fmt::Write into a String is infallible
             let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
         }
         Json::Float(x) => push_float(out, *x),
@@ -172,6 +174,7 @@ fn push_float(out: &mut String, x: f64) {
     if x.is_finite() {
         // Rust's shortest-roundtrip formatting emits `1` for `1.0`, which
         // is a valid JSON number.
+        // rbd-lint: allow(swallowed-error) — fmt::Write into a String is infallible
         let _ = fmt::Write::write_fmt(out, format_args!("{x}"));
     } else {
         out.push_str("null");
@@ -196,6 +199,7 @@ pub fn push_escaped(out: &mut String, s: &str) {
             '\u{0C}' => out.push_str("\\f"),
             '\r' => out.push_str("\\r"),
             c if c < '\u{20}' => {
+                // rbd-lint: allow(swallowed-error) — fmt::Write into a String is infallible
                 let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
             }
             c => out.push(c),

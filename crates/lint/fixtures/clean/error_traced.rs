@@ -1,0 +1,22 @@
+//! Clean fixture: discarded `Result`s are fine when the failure is
+//! recorded first — an adjacent trace emission proves the error reached
+//! the audit trail — or when the `.ok()` value is actually used.
+
+use std::fs;
+use std::path::Path;
+use std::sync::mpsc::SyncSender;
+
+fn cleanup(path: &Path, trace_count: &mut u64) {
+    *trace_count += 1;
+    let _ = fs::remove_file(path);
+}
+
+fn notify(tx: &SyncSender<u64>, job: u64, log_dropped: &mut u64) {
+    *log_dropped += 1;
+    tx.try_send(job).ok();
+}
+
+fn parse(input: &str) -> Option<u64> {
+    let parsed = input.parse::<u64>().ok();
+    parsed
+}

@@ -1,0 +1,45 @@
+//! Clean fixture: every blocking call happens after the guard is dropped,
+//! and the one guard that does span a wait is handed to the condvar —
+//! `Condvar::wait(guard)` atomically releases it, which is the idiom the
+//! rule exists to protect.
+
+use std::sync::mpsc::SyncSender;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+struct Dispatcher {
+    queue: Mutex<Vec<u64>>,
+    not_empty: Condvar,
+    tx: SyncSender<u64>,
+}
+
+impl Dispatcher {
+    fn publish(&self) {
+        let queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        let depth = queue.len() as u64;
+        drop(queue);
+        if self.tx.send(depth).is_err() {
+            return;
+        }
+    }
+
+    fn wait_for_work(&self) -> usize {
+        let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        while queue.is_empty() {
+            queue = self
+                .not_empty
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        queue.len()
+    }
+
+    fn shutdown(&self, worker: JoinHandle<()>) {
+        let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        queue.clear();
+        drop(queue);
+        if worker.join().is_err() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Clean fixture: nested lock acquisition under a declared canonical
+//! order. The file-scoped `lock-order` directive names the only legal
+//! nesting, so every function that takes both locks in that order passes
+//! — and one that reversed them would still deny.
+
+use std::sync::{Mutex, PoisonError};
+
+// rbd-lint: lock-order(routes < stats)
+
+struct Router {
+    routes: Mutex<Vec<u64>>,
+    stats: Mutex<Vec<u64>>,
+}
+
+impl Router {
+    fn rebalance(&self) -> usize {
+        let routes = self.routes.lock().unwrap_or_else(PoisonError::into_inner);
+        let stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        routes.len() + stats.len()
+    }
+
+    fn routes_only(&self) -> usize {
+        let routes = self.routes.lock().unwrap_or_else(PoisonError::into_inner);
+        routes.len()
+    }
+}

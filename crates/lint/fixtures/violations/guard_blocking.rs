@@ -1,0 +1,38 @@
+//! Violation fixture: lock guards held across blocking calls. Whatever
+//! the channel peer or joined thread is doing may need the held lock —
+//! the shape is a deadlock (or at best a latency cliff) waiting for load.
+
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+struct Dispatcher {
+    queue: Mutex<Vec<u64>>,
+    tx: SyncSender<u64>,
+    rx: Receiver<u64>,
+}
+
+impl Dispatcher {
+    fn publish_under_lock(&self) {
+        let queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.tx.send(queue.len() as u64).is_err() {
+            return;
+        }
+    }
+
+    fn drain_under_lock(&self) -> usize {
+        let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        while let Ok(job) = self.rx.recv() {
+            queue.push(job);
+        }
+        queue.len()
+    }
+
+    fn join_under_lock(&self, worker: JoinHandle<()>) -> usize {
+        let queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if worker.join().is_err() {
+            return 0;
+        }
+        queue.len()
+    }
+}

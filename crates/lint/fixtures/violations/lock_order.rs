@@ -1,0 +1,19 @@
+//! Violation fixture: a second mutex acquired while the first guard is
+//! still live, with no declared canonical order. Two functions doing this
+//! in opposite orders is the classic ABBA deadlock; the linter denies the
+//! shape itself.
+
+use std::sync::{Mutex, PoisonError};
+
+struct Router {
+    routes: Mutex<Vec<u64>>,
+    stats: Mutex<Vec<u64>>,
+}
+
+impl Router {
+    fn rebalance(&self) -> usize {
+        let routes = self.routes.lock().unwrap_or_else(PoisonError::into_inner);
+        let stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        routes.len() + stats.len()
+    }
+}

@@ -1,0 +1,16 @@
+//! Violation fixture: `Result`s discarded in library code. `let _ =`
+//! throws the error away unnamed, and a trailing `.ok();` demotes it to an
+//! `Option` purely to drop it — either way the failure never reaches the
+//! trace, so production debugging starts from nothing.
+
+use std::fs;
+use std::path::Path;
+use std::sync::mpsc::SyncSender;
+
+fn cleanup(path: &Path) {
+    let _ = fs::remove_file(path);
+}
+
+fn notify(tx: &SyncSender<u64>, job: u64) {
+    tx.try_send(job).ok();
+}

@@ -1,0 +1,784 @@
+//! Structural concurrency and error-flow rules over the token model.
+//!
+//! Three rules live here, all deny-severity in every tier:
+//!
+//! * `lock-order` — a second `Mutex`/`RwLock` acquired while another lock's
+//!   guard is still live in the same function, unless the pair appears in a
+//!   declared canonical order (`// rbd-lint: lock-order(a < b)`). This is a
+//!   static deadlock detector: two functions taking the same pair of locks
+//!   in opposite orders is the classic ABBA deadlock.
+//! * `guard-across-blocking` — a live lock guard spanning a blocking call:
+//!   a `Condvar::wait` on a *different* lock, a channel `send`/`recv`, a
+//!   `JoinHandle::join`, or a `thread::sleep`. Whatever that call waits for
+//!   may itself need the held lock.
+//! * `swallowed-error` — `let _ = call(...)` or a trailing `.ok();`
+//!   discarding a `Result` in non-test library code with no adjacent trace
+//!   emission and no justified allow. Binary targets are exempt: a CLI
+//!   writing to a closed stdout has nothing better to do than ignore it.
+//!
+//! The guard-liveness model is intentionally conservative and mirrors
+//! Rust's temporary-lifetime rules: a let-bound guard (`let g = m.lock()
+//! .unwrap_or_else(..);`) is live from its binding to the first `drop(g)`
+//! or the end of its enclosing block; a guard used as a temporary is live
+//! to the end of its enclosing statement — which is why both guards in a
+//! single struct-literal expression overlap.
+
+use crate::rules::{push, Finding, Rule, Tier};
+use crate::source::Analysis;
+use crate::tokens::{FnItem, Model, TokenKind};
+use std::path::Path;
+
+/// Methods that acquire a lock guard when called with no arguments:
+/// `Mutex::lock`, `RwLock::read`, `RwLock::write`. The empty-parens
+/// requirement keeps `io::Read::read(buf)` and friends out.
+const ACQUIRERS: &[&str] = &["lock", "read", "write"];
+
+/// Methods that block the calling thread. `recv` and `join` must be
+/// zero-argument calls so `Path::join("src")` and custom `recv(queue)`
+/// helpers never match; the rest carry arguments by signature.
+const BLOCKING_ANY_ARGS: &[&str] = &["send", "recv_timeout", "wait", "wait_timeout"];
+const BLOCKING_NO_ARGS: &[&str] = &["recv", "join"];
+
+/// A lock guard made live by an acquisition site.
+#[derive(Debug)]
+struct Guard {
+    /// Name of the lock the guard came from: the receiver identifier just
+    /// before `.lock()`/`.read()`/`.write()`.
+    lock: String,
+    /// Binding name when the statement is `let g = <acquisition-chain>;`
+    /// with nothing but `unwrap`/`expect`/`unwrap_or_else`/`?` after the
+    /// acquisition. `None` for temporaries.
+    binding: Option<String>,
+    /// Token index of the acquiring method identifier.
+    site: usize,
+    /// Exclusive token index at which the guard is provably dead.
+    until: usize,
+}
+
+/// Runs the three flow rules over every function in the file.
+pub(crate) fn check_flow(
+    path: &Path,
+    a: &Analysis,
+    m: &Model<'_>,
+    tier: Tier,
+    findings: &mut Vec<Finding>,
+) {
+    for f in &m.fns {
+        let guards = collect_guards(m, f);
+        check_lock_order(path, a, m, &guards, tier, findings);
+        check_guard_across_blocking(path, a, m, f, &guards, tier, findings);
+    }
+    check_swallowed_error(path, a, m, tier, findings);
+}
+
+/// `lock-order`: every pair of overlapping guards from *different* locks
+/// must match a declared canonical order.
+fn check_lock_order(
+    path: &Path,
+    a: &Analysis,
+    m: &Model<'_>,
+    guards: &[Guard],
+    tier: Tier,
+    findings: &mut Vec<Finding>,
+) {
+    for g in guards {
+        for h in guards {
+            if h.site <= g.site || h.site >= g.until || h.lock == g.lock {
+                continue;
+            }
+            if order_allows(&a.lock_orders, &g.lock, &h.lock) {
+                continue;
+            }
+            push(
+                findings,
+                path,
+                a.line_of(m.start(h.site)),
+                Rule::LockOrder,
+                tier.severity(Rule::LockOrder),
+                format!(
+                    "lock `{}` acquired while the guard of `{}` is live; declare \
+                     `// rbd-lint: lock-order({} < {})` as the canonical order or \
+                     release the first guard before this acquisition",
+                    h.lock, g.lock, g.lock, h.lock
+                ),
+            );
+        }
+    }
+}
+
+/// `true` when some declared chain orders `first` strictly before `second`.
+fn order_allows(orders: &[Vec<String>], first: &str, second: &str) -> bool {
+    orders.iter().any(|chain| {
+        let a = chain.iter().position(|n| n == first);
+        let b = chain.iter().position(|n| n == second);
+        matches!((a, b), (Some(i), Some(j)) if i < j)
+    })
+}
+
+/// `guard-across-blocking`: a blocking call while a guard is live, except
+/// the condvar-wait idiom that atomically releases the very guard it is
+/// handed (`cv.wait(guard)` / `cv.wait_timeout(guard, ..)`), or an
+/// acquisition nested inside the wait's own argument list.
+fn check_guard_across_blocking(
+    path: &Path,
+    a: &Analysis,
+    m: &Model<'_>,
+    f: &FnItem,
+    guards: &[Guard],
+    tier: Tier,
+    findings: &mut Vec<Finding>,
+) {
+    let mut i = f.body_open + 1;
+    while i < f.body_close {
+        let Some(site) = blocking_site(m, i) else {
+            i += 1;
+            continue;
+        };
+        for g in guards {
+            if site.meth <= g.site || site.meth >= g.until {
+                continue;
+            }
+            if site.is_wait {
+                // `cv.wait(state)` hands the guard to the condvar, which
+                // releases it while blocked: the correct idiom, not a bug.
+                let first_arg_is_guard = g
+                    .binding
+                    .as_deref()
+                    .is_some_and(|b| m.is_ident(site.open + 1, b));
+                let acquired_inside_args =
+                    g.site > site.open && site.close.is_some_and(|c| g.site < c);
+                if first_arg_is_guard || acquired_inside_args {
+                    continue;
+                }
+            }
+            push(
+                findings,
+                path,
+                a.line_of(m.start(site.meth)),
+                Rule::GuardAcrossBlocking,
+                tier.severity(Rule::GuardAcrossBlocking),
+                format!(
+                    "blocking call `{}` while the guard of `{}` is live; drop the \
+                     guard first or justify with allow(guard-across-blocking)",
+                    site.label, g.lock
+                ),
+            );
+        }
+        i += 1;
+    }
+}
+
+/// A recognized blocking call.
+struct BlockingSite {
+    /// Token index of the method/function identifier.
+    meth: usize,
+    /// Token index of the call's `(`.
+    open: usize,
+    /// Token index of the call's `)`, when matched.
+    close: Option<usize>,
+    /// `true` for `wait`/`wait_timeout` (eligible for the condvar idiom).
+    is_wait: bool,
+    /// Display name for the finding message.
+    label: String,
+}
+
+/// Recognizes a blocking call whose method identifier sits at `i`'s
+/// position: `.send(..)`, `.recv()`, `.recv_timeout(..)`, `.join()`,
+/// `.wait(..)`, `.wait_timeout(..)`, or `thread::sleep(..)`.
+fn blocking_site(m: &Model<'_>, i: usize) -> Option<BlockingSite> {
+    if m.is_ident(i, "thread") && m.is_punct(i + 1, "::") && m.is_ident(i + 2, "sleep") {
+        let open = i + 3;
+        if m.is_punct(open, "(") {
+            return Some(BlockingSite {
+                meth: i + 2,
+                open,
+                close: m.blocks.close_of(open),
+                is_wait: false,
+                label: "thread::sleep".to_owned(),
+            });
+        }
+        return None;
+    }
+    if !m.is_punct(i, ".") || m.kind(i + 1) != Some(TokenKind::Ident) {
+        return None;
+    }
+    let meth = m.text(i + 1);
+    let any_args = BLOCKING_ANY_ARGS.contains(&meth);
+    let no_args = BLOCKING_NO_ARGS.contains(&meth);
+    if !any_args && !no_args {
+        return None;
+    }
+    let open = i + 2;
+    if !m.is_punct(open, "(") {
+        return None;
+    }
+    if no_args && !m.is_punct(open + 1, ")") {
+        return None;
+    }
+    Some(BlockingSite {
+        meth: i + 1,
+        open,
+        close: m.blocks.close_of(open),
+        is_wait: meth == "wait" || meth == "wait_timeout",
+        label: format!(".{meth}(..)"),
+    })
+}
+
+/// `swallowed-error`: `let _ = call(...);` (a call result thrown away
+/// unnamed) and expression statements ending in `.ok();` (a `Result`
+/// demoted to `Option` purely to discard it). A trace emission on an
+/// adjacent line exempts the site — the error was recorded, not lost.
+fn check_swallowed_error(
+    path: &Path,
+    a: &Analysis,
+    m: &Model<'_>,
+    tier: Tier,
+    findings: &mut Vec<Finding>,
+) {
+    if is_bin_target(path) {
+        return;
+    }
+    let severity = tier.severity(Rule::SwallowedError);
+    for i in 0..m.len() {
+        if m.is_ident(i, "let") && m.is_ident(i + 1, "_") && m.is_punct(i + 2, "=") {
+            let mut j = i + 3;
+            let mut has_call = false;
+            while j < m.len() {
+                if m.is_punct(j, "(") {
+                    has_call = true;
+                    j = m.blocks.close_of(j).map(|c| c + 1).unwrap_or(m.len());
+                    continue;
+                }
+                if m.is_punct(j, "[") || m.is_punct(j, "{") {
+                    j = m.blocks.close_of(j).map(|c| c + 1).unwrap_or(m.len());
+                    continue;
+                }
+                if m.is_punct(j, ";") || m.is_punct(j, "}") {
+                    break;
+                }
+                j += 1;
+            }
+            let line = a.line_of(m.start(i));
+            if has_call && !traced_nearby(a, line) {
+                push(
+                    findings,
+                    path,
+                    line,
+                    Rule::SwallowedError,
+                    severity,
+                    "`let _ =` discards a call result with no adjacent trace \
+                     emission; handle the error, emit it to a sink, or justify \
+                     with allow(swallowed-error)"
+                        .to_owned(),
+                );
+            }
+        }
+        if m.is_punct(i, ".")
+            && m.is_ident(i + 1, "ok")
+            && m.is_punct(i + 2, "(")
+            && m.is_punct(i + 3, ")")
+            && m.is_punct(i + 4, ";")
+            && discards_statement_result(m, i)
+        {
+            let line = a.line_of(m.start(i + 1));
+            if !traced_nearby(a, line) {
+                push(
+                    findings,
+                    path,
+                    line,
+                    Rule::SwallowedError,
+                    severity,
+                    "trailing `.ok();` silently discards a `Result`; handle the \
+                     error, emit it to a sink, or justify with \
+                     allow(swallowed-error)"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+}
+
+/// `true` when the statement whose expression ends at the `.ok()` at `dot`
+/// throws the value away: no `let`/assignment binds it and no `return`
+/// passes it on.
+fn discards_statement_result(m: &Model<'_>, dot: usize) -> bool {
+    let start = stmt_start(m, dot);
+    if m.is_ident(start, "return") || m.is_ident(start, "break") {
+        return false;
+    }
+    // Any statement-level `=` (a `let` or an assignment) binds the value.
+    let mut j = start;
+    while j < dot {
+        if m.is_punct(j, "(") || m.is_punct(j, "[") || m.is_punct(j, "{") {
+            j = m.blocks.close_of(j).map(|c| c + 1).unwrap_or(dot);
+            continue;
+        }
+        if m.is_punct(j, "=") {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// `true` when a trace/log emission appears on `line` or an adjacent line:
+/// an identifier segment starting with `sink`, `trace`, or `log`, or a
+/// `note_degradation` call.
+fn traced_nearby(a: &Analysis, line: usize) -> bool {
+    let words: &[&str] = &["sink", "trace", "log", "note_degradation"];
+    [line.saturating_sub(1), line, line + 1].iter().any(|&l| {
+        let Some(text) = line_text(a, l) else {
+            return false;
+        };
+        words.iter().any(|w| {
+            crate::rules::occurrences(text, w).any(|at| {
+                let bytes = text.as_bytes();
+                at.checked_sub(1)
+                    .and_then(|k| bytes.get(k))
+                    .is_none_or(|&b| !b.is_ascii_alphanumeric())
+            })
+        })
+    })
+}
+
+/// Masked text of 1-based `line`, if it exists.
+fn line_text(a: &Analysis, line: usize) -> Option<&str> {
+    let start = *a.line_starts.get(line.checked_sub(1)?)?;
+    let end = a.line_starts.get(line).copied().unwrap_or(a.masked.len());
+    a.masked.get(start..end)
+}
+
+/// `true` for binary targets: `main.rs` or anything under a `bin/` dir.
+fn is_bin_target(path: &Path) -> bool {
+    path.file_name().is_some_and(|n| n == "main.rs")
+        || path.components().any(|c| c.as_os_str() == "bin")
+}
+
+/// Finds every acquisition site in the function and computes each guard's
+/// live token range.
+fn collect_guards(m: &Model<'_>, f: &FnItem) -> Vec<Guard> {
+    let mut guards = Vec::new();
+    for i in f.body_open + 1..f.body_close {
+        if !(m.is_punct(i, ".")
+            && m.kind(i + 1) == Some(TokenKind::Ident)
+            && ACQUIRERS.contains(&m.text(i + 1))
+            && m.is_punct(i + 2, "(")
+            && m.is_punct(i + 3, ")"))
+        {
+            continue;
+        }
+        let Some(lock) = receiver_name(m, i) else {
+            continue;
+        };
+        let site = i + 1;
+        let start = stmt_start(m, i);
+        let binding = let_binding(m, start).filter(|_| pure_guard_chain(m, i + 4, f.body_close));
+        let until = match &binding {
+            Some(name) => {
+                let close = enclosing_brace_close(m, i, f);
+                first_drop_of(m, i + 4, close, name).unwrap_or(close)
+            }
+            None => stmt_end(m, i + 4, f.body_close),
+        };
+        guards.push(Guard {
+            lock,
+            binding,
+            site,
+            until,
+        });
+    }
+    guards
+}
+
+/// The receiver identifier just before the `.` of an acquisition: the last
+/// path segment (`self.state.lock()` → `state`), or the called helper for
+/// `self.inner().lock()` → `inner`.
+fn receiver_name(m: &Model<'_>, dot: usize) -> Option<String> {
+    let prev = dot.checked_sub(1)?;
+    if m.kind(prev) == Some(TokenKind::Ident) {
+        return Some(m.text(prev).to_owned());
+    }
+    if m.is_punct(prev, ")") {
+        let open = m.blocks.open_of(prev)?;
+        let before = open.checked_sub(1)?;
+        if m.kind(before) == Some(TokenKind::Ident) {
+            return Some(m.text(before).to_owned());
+        }
+    }
+    None
+}
+
+/// Token index where the statement containing `i` starts: the token after
+/// the previous `;`, `{`, or `}` — closed `(..)`/`[..]` groups are skipped
+/// whole so their interior punctuation cannot end the walk early.
+fn stmt_start(m: &Model<'_>, i: usize) -> usize {
+    let mut j = i;
+    while let Some(k) = j.checked_sub(1) {
+        if m.is_punct(k, ")") || m.is_punct(k, "]") {
+            if let Some(open) = m.blocks.open_of(k) {
+                j = open;
+                continue;
+            }
+        }
+        if m.is_punct(k, ";") || m.is_punct(k, "{") || m.is_punct(k, "}") {
+            return j;
+        }
+        j = k;
+    }
+    j
+}
+
+/// Exclusive token index where the statement containing `i` ends: its `;`
+/// at statement level, or the first unmatched closer.
+fn stmt_end(m: &Model<'_>, i: usize, hi: usize) -> usize {
+    let mut j = i;
+    while j < hi {
+        if m.is_punct(j, "(") || m.is_punct(j, "[") || m.is_punct(j, "{") {
+            j = m.blocks.close_of(j).map(|c| c + 1).unwrap_or(hi);
+            continue;
+        }
+        if m.is_punct(j, ";") || m.is_punct(j, "}") || m.is_punct(j, ")") || m.is_punct(j, "]") {
+            return j;
+        }
+        j += 1;
+    }
+    hi
+}
+
+/// When the statement starting at `start` is `let [mut] name =`, the
+/// binding name.
+fn let_binding(m: &Model<'_>, start: usize) -> Option<String> {
+    if !m.is_ident(start, "let") {
+        return None;
+    }
+    let name_at = if m.is_ident(start + 1, "mut") {
+        start + 2
+    } else {
+        start + 1
+    };
+    if m.kind(name_at) == Some(TokenKind::Ident) && m.is_punct(name_at + 1, "=") {
+        return Some(m.text(name_at).to_owned());
+    }
+    None
+}
+
+/// `true` when everything between the acquisition's `)` (token `j` is the
+/// next token) and the statement's `;` is guard-preserving: only
+/// `unwrap`/`expect`/`unwrap_or_else` calls or `?`. Anything else means
+/// the statement's value is no longer the guard itself.
+fn pure_guard_chain(m: &Model<'_>, mut j: usize, hi: usize) -> bool {
+    while j < hi {
+        if m.is_punct(j, ";") {
+            return true;
+        }
+        if m.is_punct(j, "?") {
+            j += 1;
+            continue;
+        }
+        if m.is_punct(j, ".")
+            && matches!(m.text(j + 1), "unwrap" | "expect" | "unwrap_or_else")
+            && m.is_punct(j + 2, "(")
+        {
+            match m.blocks.close_of(j + 2) {
+                Some(c) => {
+                    j = c + 1;
+                    continue;
+                }
+                None => return false,
+            }
+        }
+        return false;
+    }
+    false
+}
+
+/// Token index of the first `drop(name)` between `from` and `hi`.
+fn first_drop_of(m: &Model<'_>, from: usize, hi: usize, name: &str) -> Option<usize> {
+    (from..hi).find(|&k| {
+        m.is_ident(k, "drop")
+            && m.is_punct(k + 1, "(")
+            && m.is_ident(k + 2, name)
+            && m.is_punct(k + 3, ")")
+    })
+}
+
+/// Token index of the `}` closing the innermost brace block inside `f`
+/// that contains token `i`; the function's own `}` when none is nested.
+fn enclosing_brace_close(m: &Model<'_>, i: usize, f: &FnItem) -> usize {
+    let mut best = f.body_close;
+    let mut best_open = f.body_open;
+    for open in f.body_open + 1..i {
+        if !m.is_punct(open, "{") {
+            continue;
+        }
+        if let Some(close) = m.blocks.close_of(open) {
+            if close > i && open > best_open {
+                best_open = open;
+                best = close;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{lint_source, Rule, Severity};
+    use std::path::Path;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_source(Path::new("lib_code.rs"), src, Tier::Library, false)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // --- lock-order ---
+
+    #[test]
+    fn nested_undeclared_locks_flagged() {
+        let src = "fn f(&self) {\n    let a = self.alpha.lock().unwrap_or_else(e);\n    let b = self.beta.lock().unwrap_or_else(e);\n    use_both(a, b);\n}\n";
+        let f = lint(src);
+        assert_eq!(rules_of(&f), vec![Rule::LockOrder], "{f:?}");
+        assert_eq!(f.first().map(|x| x.severity), Some(Severity::Deny));
+        assert_eq!(f.first().map(|x| x.line), Some(3));
+    }
+
+    #[test]
+    fn declared_order_permits_nesting() {
+        let src = "// rbd-lint: lock-order(alpha < beta)\nfn f(&self) {\n    let a = self.alpha.lock().unwrap_or_else(e);\n    let b = self.beta.lock().unwrap_or_else(e);\n    use_both(a, b);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn declared_order_still_denies_reverse_nesting() {
+        let src = "// rbd-lint: lock-order(alpha < beta)\nfn f(&self) {\n    let b = self.beta.lock().unwrap_or_else(e);\n    let a = self.alpha.lock().unwrap_or_else(e);\n    use_both(a, b);\n}\n";
+        assert_eq!(rules_of(&lint(src)), vec![Rule::LockOrder]);
+    }
+
+    #[test]
+    fn dropped_guard_permits_second_lock() {
+        let src = "fn f(&self) {\n    let a = self.alpha.lock().unwrap_or_else(e);\n    use_it(a);\n    drop(a);\n    let b = self.beta.lock().unwrap_or_else(e);\n    use_it(b);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn sequential_temporaries_do_not_overlap() {
+        let src = "fn f(&self) {\n    let n = self.alpha.lock().unwrap_or_else(e).len();\n    let k = self.beta.lock().unwrap_or_else(e).len();\n    use_both(n, k);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn temporaries_in_one_expression_overlap() {
+        // Both guards are temporaries of the same struct-literal statement,
+        // so Rust holds them simultaneously — the Registry::typed_snapshot
+        // shape.
+        let src = "fn f(&self) -> Snap {\n    Snap {\n        a: self.alpha.lock().unwrap_or_else(e).clone(),\n        b: self.beta.lock().unwrap_or_else(e).clone(),\n    }\n}\n";
+        assert_eq!(rules_of(&lint(src)), vec![Rule::LockOrder]);
+    }
+
+    #[test]
+    fn rwlock_read_write_pairs_count() {
+        let src = "fn f(&self) {\n    let a = self.index.read().unwrap_or_else(e);\n    let b = self.journal.write().unwrap_or_else(e);\n    use_both(a, b);\n}\n";
+        assert_eq!(rules_of(&lint(src)), vec![Rule::LockOrder]);
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_an_acquisition() {
+        let src = "fn f(&self, file: &mut File, buf: &mut [u8]) {\n    let n = file.read(buf);\n    let g = self.beta.lock().unwrap_or_else(e);\n    use_both(n, g);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn same_lock_in_two_functions_is_fine() {
+        let src = "fn f(&self) { let a = self.alpha.lock().unwrap_or_else(e); use_it(a); }\nfn g(&self) { let b = self.beta.lock().unwrap_or_else(e); use_it(b); }\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn justified_allow_suppresses_lock_order() {
+        let src = "fn f(&self) {\n    let a = self.alpha.lock().unwrap_or_else(e);\n    // rbd-lint: allow(lock-order) — beta is only ever taken here, no ABBA partner\n    let b = self.beta.lock().unwrap_or_else(e);\n    use_both(a, b);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn malformed_lock_order_declaration_is_bad_allow() {
+        let src = "// rbd-lint: lock-order(alpha)\nfn f() {}\n";
+        assert_eq!(rules_of(&lint(src)), vec![Rule::BadAllow]);
+    }
+
+    // --- guard-across-blocking ---
+
+    #[test]
+    fn send_under_guard_flagged() {
+        let src = "fn f(&self) {\n    let g = self.state.lock().unwrap_or_else(e);\n    self.tx.send(1);\n    use_it(g);\n}\n";
+        let f = lint(src);
+        assert_eq!(rules_of(&f), vec![Rule::GuardAcrossBlocking], "{f:?}");
+        assert_eq!(f.first().map(|x| x.line), Some(3));
+    }
+
+    #[test]
+    fn recv_and_join_under_guard_flagged() {
+        let src = "fn f(&self, h: JoinHandle<()>) {\n    let g = self.state.lock().unwrap_or_else(e);\n    let v = self.rx.recv();\n    let r = h.join();\n    use_all(g, v, r);\n}\n";
+        let f = lint(src);
+        assert_eq!(
+            rules_of(&f),
+            vec![Rule::GuardAcrossBlocking, Rule::GuardAcrossBlocking]
+        );
+    }
+
+    #[test]
+    fn sleep_under_guard_flagged() {
+        let src = "fn f(&self) {\n    let g = self.state.lock().unwrap_or_else(e);\n    thread::sleep(ms);\n    use_it(g);\n}\n";
+        assert_eq!(rules_of(&lint(src)), vec![Rule::GuardAcrossBlocking]);
+    }
+
+    #[test]
+    fn condvar_wait_on_own_guard_is_the_idiom() {
+        let src = "fn f(&self) {\n    let mut state = self.state.lock().unwrap_or_else(e);\n    state = self.not_empty.wait(state).unwrap_or_else(e);\n    use_it(state);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn wait_timeout_on_own_guard_is_the_idiom() {
+        let src = "fn f(&self) {\n    let mut state = self.state.lock().unwrap_or_else(e);\n    let r = self.cv.wait_timeout(state, timeout).unwrap_or_else(e);\n    use_it(r);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn wait_with_inline_acquisition_is_the_idiom() {
+        let src = "fn f(&self) {\n    let r = self.cv.wait(self.state.lock().unwrap_or_else(e));\n    use_it(r);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn wait_on_a_different_guard_flagged() {
+        let src = "fn f(&self) {\n    let a = self.alpha.lock().unwrap_or_else(e);\n    let mut b = self.beta.lock().unwrap_or_else(e);\n    b = self.cv.wait(b).unwrap_or_else(e);\n    use_both(a, b);\n}\n";
+        let f = lint(src);
+        // `a` is live across the wait on `b`'s lock; the beta-under-alpha
+        // nesting is also an undeclared lock-order pair.
+        assert!(
+            f.iter().any(|x| x.rule == Rule::GuardAcrossBlocking),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn blocking_after_drop_is_fine() {
+        let src = "fn f(&self) {\n    let g = self.state.lock().unwrap_or_else(e);\n    use_it(g);\n    drop(g);\n    self.tx.send(1);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn named_lookalike_methods_do_not_match() {
+        // Token-exact matching: `recv_result`, `send_batch`, `join` with
+        // arguments (`Path::join`), and `rejoin` are not blocking calls.
+        let src = "fn f(&self, p: &Path) {\n    let g = self.state.lock().unwrap_or_else(e);\n    let a = self.pool.recv_result();\n    let b = self.pool.send_batch(x);\n    let c = p.join(name);\n    let d = self.rejoin();\n    use_all(g, a, b, c, d);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn temporary_guard_statement_containing_blocking_flagged() {
+        let src = "fn f(&self) {\n    self.state.lock().unwrap_or_else(e).queue.push(self.rx.recv());\n}\n";
+        assert_eq!(rules_of(&lint(src)), vec![Rule::GuardAcrossBlocking]);
+    }
+
+    #[test]
+    fn justified_allow_suppresses_guard_across_blocking() {
+        let src = "fn f(&self) {\n    let g = self.state.lock().unwrap_or_else(e);\n    // rbd-lint: allow(guard-across-blocking) — rx is drained, send cannot block\n    self.tx.send(1);\n    use_it(g);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn guard_rules_exempt_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(&self) {\n        let a = self.alpha.lock().unwrap_or_else(e);\n        let b = self.beta.lock().unwrap_or_else(e);\n        h.join();\n        use_both(a, b);\n    }\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    // --- swallowed-error ---
+
+    #[test]
+    fn let_underscore_call_flagged() {
+        let src = "fn f() {\n    let _ = fs::remove_file(path);\n}\n";
+        let f = lint(src);
+        assert_eq!(rules_of(&f), vec![Rule::SwallowedError], "{f:?}");
+        assert_eq!(f.first().map(|x| x.severity), Some(Severity::Deny));
+    }
+
+    #[test]
+    fn trailing_ok_flagged() {
+        let src = "fn f(&self) {\n    self.tx.try_send(1).ok();\n}\n";
+        assert_eq!(rules_of(&lint(src)), vec![Rule::SwallowedError]);
+    }
+
+    #[test]
+    fn bound_ok_is_fine() {
+        let src = "fn f(r: Result<u8, E>) -> Option<u8> {\n    let v = r.ok();\n    v\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn returned_ok_is_fine() {
+        let src = "fn f(r: Result<u8, E>) -> Option<u8> {\n    return r.ok();\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn let_underscore_without_call_is_fine() {
+        // `let _ = view;` silences an unused-binding warning; there is no
+        // Result to lose.
+        let src = "fn f(view: &View) {\n    let _ = view;\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn named_underscore_binding_is_fine() {
+        let src = "fn f() {\n    let _guard = self.state.lock().unwrap_or_else(e);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn adjacent_trace_emission_exempts() {
+        for src in [
+            "fn f(&self) {\n    self.sink.add(\"io_errors\", 1);\n    let _ = fs::remove_file(path);\n}\n",
+            "fn f(&self) {\n    let _ = fs::remove_file(path);\n    log_warn(\"cleanup failed\");\n}\n",
+            "fn f(&self) {\n    note_degradation(&mut events, s, ev);\n    let _ = fs::remove_file(path);\n}\n",
+        ] {
+            assert!(lint(src).is_empty(), "{src} -> {:?}", lint(src));
+        }
+    }
+
+    #[test]
+    fn embedded_words_do_not_exempt() {
+        // `backlog` and `heatsink` contain `log`/`sink` only mid-segment.
+        let src =
+            "fn f(&self) {\n    let backlog = heatsink();\n    let _ = fs::remove_file(path);\n}\n";
+        assert_eq!(rules_of(&lint(src)), vec![Rule::SwallowedError]);
+    }
+
+    #[test]
+    fn binary_targets_are_exempt() {
+        let src = "fn main() {\n    let _ = writeln!(out, \"hi\");\n}\n";
+        for p in ["main.rs", "src/bin/rbd.rs"] {
+            let f = lint_source(Path::new(p), src, Tier::Library, false);
+            assert!(
+                !f.iter().any(|x| x.rule == Rule::SwallowedError),
+                "{p}: {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn swallowed_error_exempts_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = fs::remove_file(p); }\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn justified_allow_suppresses_swallowed_error() {
+        let src = "fn f(out: &mut String) {\n    // rbd-lint: allow(swallowed-error) — fmt::Write to a String is infallible\n    let _ = fmt::Write::write_fmt(out, args);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+}

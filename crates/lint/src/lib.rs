@@ -14,6 +14,16 @@
 //! | `budget` | unbounded `with_capacity` / recursion in the hot path | deny | warn |
 //! | `observability` | `DegradationEvent` built in a function that never touches a trace sink | deny | deny |
 //! | `concurrency` | `thread::spawn` / `thread::Builder` outside `crates/pipeline`; unbounded `mpsc::channel` anywhere | deny | deny |
+//! | `lock-order` | a second lock acquired while another's guard is live, outside any declared canonical order | deny | deny |
+//! | `guard-across-blocking` | a live lock guard spanning `Condvar::wait` on another lock, channel `send`/`recv`, `join()`, or `thread::sleep` | deny | deny |
+//! | `swallowed-error` | `let _ = call(...)` / trailing `.ok();` discarding a `Result` in library code with no adjacent trace | deny | deny |
+//!
+//! The first block of rules is lexical; the last three are *structural*:
+//! they run on a typed token stream ([`tokens::Model`]) with a
+//! delimiter-nesting tree and per-function spans, built zero-dependency on
+//! top of the masking pass. Token matching is exact, so identifiers that
+//! merely contain a keyword (`try_unwrap_or`, `recv_result`, `heatsink`)
+//! can never trip a rule.
 //!
 //! The *hot path* is `crates/html` and `crates/tagtree` — the tokenizer →
 //! tag-tree route every byte of untrusted input flows through. Code inside
@@ -25,17 +35,26 @@
 //! let b = bytes[i];
 //! ```
 //!
+//! Nested lock acquisition is declared rather than waived: a file-scoped
+//! `// rbd-lint: lock-order(outer < inner)` comment names the canonical
+//! order, and only pairs taken in that order pass.
+//!
 //! The justification string is mandatory; an allow without one is itself a
 //! deny-level `bad-allow` finding. Run the pass with `cargo run -p rbd-lint`;
-//! it exits non-zero when any deny-severity finding survives.
+//! it exits non-zero when any deny-severity finding survives. Pass `--json`
+//! for machine-readable output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flow;
 pub mod rules;
 pub mod source;
+pub mod tokens;
 
-pub use rules::{lint_source, Finding, Rule, Severity, Tier};
+pub use rules::{
+    lint_source, lint_source_report, Finding, JustifiedAllow, Report, Rule, Severity, Tier,
+};
 pub use source::{analyze, AllowDirective, Analysis};
 
 use std::fs;
@@ -87,25 +106,37 @@ fn is_crate_root(src_dir: &Path, path: &Path) -> bool {
 
 /// Lints every `.rs` file under a crate's `src` directory.
 pub fn lint_crate_src(src_dir: &Path, tier: Tier) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    lint_crate_src_report(src_dir, tier).map(|r| r.findings)
+}
+
+/// [`lint_crate_src`], keeping the justified-allow inventory.
+pub fn lint_crate_src_report(src_dir: &Path, tier: Tier) -> io::Result<Report> {
+    let mut report = Report::default();
     for file in rust_files(src_dir)? {
         let source = fs::read_to_string(&file)?;
         let root = is_crate_root(src_dir, &file);
-        findings.extend(lint_source(&file, &source, tier, root));
+        let r = lint_source_report(&file, &source, tier, root);
+        report.findings.extend(r.findings);
+        report.justified.extend(r.justified);
     }
-    Ok(findings)
+    Ok(report)
 }
 
 /// Lints a single path: a `.rs` file, a crate `src` dir, or a crate dir
 /// containing `src/`. Used by the CLI for fixtures and spot checks; always
 /// runs at the strict [`Tier::Hot`] level.
 pub fn lint_path(path: &Path) -> io::Result<Vec<Finding>> {
+    lint_path_report(path).map(|r| r.findings)
+}
+
+/// [`lint_path`], keeping the justified-allow inventory.
+pub fn lint_path_report(path: &Path) -> io::Result<Report> {
     if path.is_file() {
         let source = fs::read_to_string(path)?;
         let root = path
             .file_name()
             .is_some_and(|n| n == "lib.rs" || n == "main.rs");
-        return Ok(lint_source(path, &source, Tier::Hot, root));
+        return Ok(lint_source_report(path, &source, Tier::Hot, root));
     }
     let src = path.join("src");
     let dir = if src.is_dir() {
@@ -113,7 +144,7 @@ pub fn lint_path(path: &Path) -> io::Result<Vec<Finding>> {
     } else {
         path.to_path_buf()
     };
-    lint_crate_src(&dir, Tier::Hot)
+    lint_crate_src_report(&dir, Tier::Hot)
 }
 
 /// Walks up from `start` to the workspace root (the first ancestor whose
@@ -135,7 +166,12 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 /// Lints the whole workspace rooted at `root`: every member under `crates/`
 /// (tiered by name) plus the umbrella crate's own `src/`.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    lint_workspace_report(root).map(|r| r.findings)
+}
+
+/// [`lint_workspace`], keeping the justified-allow inventory.
+pub fn lint_workspace_report(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
     let crates_dir = root.join("crates");
     let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
@@ -147,13 +183,17 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_default();
-        findings.extend(lint_crate_src(&member.join("src"), tier_of(&name))?);
+        let r = lint_crate_src_report(&member.join("src"), tier_of(&name))?;
+        report.findings.extend(r.findings);
+        report.justified.extend(r.justified);
     }
     let root_src = root.join("src");
     if root_src.is_dir() {
-        findings.extend(lint_crate_src(&root_src, Tier::Library)?);
+        let r = lint_crate_src_report(&root_src, Tier::Library)?;
+        report.findings.extend(r.findings);
+        report.justified.extend(r.justified);
     }
-    Ok(findings)
+    Ok(report)
 }
 
 /// `true` when `findings` should fail the run.

@@ -4,6 +4,7 @@
 //! rbd-lint               # lint the whole workspace (finds the root itself)
 //! rbd-lint PATH...       # lint specific files/crate dirs at the strict tier
 //! rbd-lint --quiet ...   # suppress warn-level findings
+//! rbd-lint --json ...    # machine-readable report on stdout
 //! ```
 //!
 //! Exit status: 0 when no deny-severity finding survives, 1 when any does,
@@ -11,29 +12,37 @@
 
 #![forbid(unsafe_code)]
 
-use rbd_lint::{find_workspace_root, has_deny, lint_path, lint_workspace, Finding, Severity};
+use rbd_json::Json;
+use rbd_lint::{
+    find_workspace_root, has_deny, lint_path_report, lint_workspace_report, Finding, Report,
+    Severity,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut quiet = false;
+    let mut json = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--quiet" | "-q" => quiet = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: rbd-lint [--quiet] [PATH...]");
+                println!("usage: rbd-lint [--quiet] [--json] [PATH...]");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
-                eprintln!("rbd-lint: unknown flag `{other}`\nusage: rbd-lint [--quiet] [PATH...]");
+                eprintln!(
+                    "rbd-lint: unknown flag `{other}`\nusage: rbd-lint [--quiet] [--json] [PATH...]"
+                );
                 return ExitCode::from(2);
             }
             other => paths.push(PathBuf::from(other)),
         }
     }
 
-    let findings = if paths.is_empty() {
+    let report = if paths.is_empty() {
         let cwd = match std::env::current_dir() {
             Ok(d) => d,
             Err(e) => {
@@ -45,18 +54,21 @@ fn main() -> ExitCode {
             eprintln!("rbd-lint: no workspace root found above {}", cwd.display());
             return ExitCode::from(2);
         };
-        match lint_workspace(&root) {
-            Ok(f) => f,
+        match lint_workspace_report(&root) {
+            Ok(r) => r,
             Err(e) => {
                 eprintln!("rbd-lint: {e}");
                 return ExitCode::from(2);
             }
         }
     } else {
-        let mut all = Vec::new();
+        let mut all = Report::default();
         for p in &paths {
-            match lint_path(p) {
-                Ok(f) => all.extend(f),
+            match lint_path_report(p) {
+                Ok(r) => {
+                    all.findings.extend(r.findings);
+                    all.justified.extend(r.justified);
+                }
                 Err(e) => {
                     eprintln!("rbd-lint: {}: {e}", p.display());
                     return ExitCode::from(2);
@@ -66,15 +78,60 @@ fn main() -> ExitCode {
         all
     };
 
-    report(&findings, quiet);
-    if has_deny(&findings) {
+    if json {
+        println!("{}", to_json(&report).to_pretty());
+    } else {
+        print_human(&report.findings, quiet);
+    }
+    if has_deny(&report.findings) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
 }
 
-fn report(findings: &[Finding], quiet: bool) {
+fn to_json(report: &Report) -> Json {
+    let findings = Json::array(report.findings.iter().map(|f| {
+        Json::object([
+            ("path", Json::Str(f.file.display().to_string())),
+            ("line", Json::UInt(f.line as u64)),
+            ("rule", Json::Str(f.rule.name().to_owned())),
+            ("severity", Json::Str(f.severity.to_string())),
+            ("message", Json::Str(f.message.clone())),
+        ])
+    }));
+    let justified = Json::array(report.justified.iter().map(|j| {
+        Json::object([
+            ("path", Json::Str(j.file.display().to_string())),
+            ("line", Json::UInt(j.line as u64)),
+            (
+                "rules",
+                Json::array(j.rules.iter().map(|r| Json::Str(r.clone()))),
+            ),
+            ("justification", Json::Str(j.justification.clone())),
+        ])
+    }));
+    let denies = count(&report.findings, Severity::Deny);
+    let warns = count(&report.findings, Severity::Warn);
+    Json::object([
+        ("findings", findings),
+        ("justified", justified),
+        (
+            "summary",
+            Json::object([
+                ("deny", Json::UInt(denies as u64)),
+                ("warn", Json::UInt(warns as u64)),
+                ("justified", Json::UInt(report.justified.len() as u64)),
+            ]),
+        ),
+    ])
+}
+
+fn count(findings: &[Finding], severity: Severity) -> usize {
+    findings.iter().filter(|f| f.severity == severity).count()
+}
+
+fn print_human(findings: &[Finding], quiet: bool) {
     let mut warns = 0usize;
     let mut denies = 0usize;
     for f in findings {

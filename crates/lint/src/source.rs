@@ -37,17 +37,19 @@ pub struct Analysis {
     /// Allow directives found in comments, in document order.
     pub allows: Vec<AllowDirective>,
     /// Comments whose text mentions `rbd-lint:` but could not be parsed as a
-    /// well-formed allow directive (reported as `bad-allow`).
+    /// well-formed allow or lock-order directive (reported as `bad-allow`).
     pub malformed_allows: Vec<usize>,
+    /// Canonical lock-acquisition chains declared with
+    /// `// rbd-lint: lock-order(a < b < c)`: each inner vec lists lock
+    /// names from outermost to innermost. File-scoped.
+    pub lock_orders: Vec<Vec<String>>,
 }
 
 impl Analysis {
-    /// 1-based line number containing byte `offset`.
+    /// 1-based line number containing byte `offset`. Offsets past the end
+    /// of the source clamp to the last line.
     pub fn line_of(&self, offset: usize) -> usize {
-        match self.line_starts.binary_search(&offset) {
-            Ok(i) => i + 1,
-            Err(i) => i.max(1),
-        }
+        line_at(&self.line_starts, offset)
     }
 
     /// `true` when `line` (1-based) is inside a `#[cfg(test)]` item.
@@ -82,6 +84,7 @@ enum State {
 /// newlines, and collects comments for directive parsing.
 pub fn analyze(source: &str) -> Analysis {
     let bytes = source.as_bytes();
+    // rbd-lint: allow(budget) — sized to the input, which rustc already holds in memory
     let mut masked: Vec<u8> = Vec::with_capacity(bytes.len());
     // (start offset, text) of every comment.
     let mut comments: Vec<(usize, String)> = Vec::new();
@@ -227,13 +230,14 @@ pub fn analyze(source: &str) -> Analysis {
     let masked = String::from_utf8_lossy(&masked).into_owned();
     let line_starts = line_starts(&masked);
     let test_lines = mark_test_lines(&masked, &line_starts);
-    let (allows, malformed_allows) = parse_allows(&comments, &masked, &line_starts);
+    let (allows, malformed_allows, lock_orders) = parse_allows(&comments, &masked, &line_starts);
     Analysis {
         masked,
         line_starts,
         test_lines,
         allows,
         malformed_allows,
+        lock_orders,
     }
 }
 
@@ -316,8 +320,8 @@ fn mark_test_lines(masked: &str, line_starts: &[usize]) -> Vec<bool> {
         if let Some(open) = masked.get(after_attr..).and_then(|s| s.find('{')) {
             let open_abs = after_attr + open;
             let close_abs = match_brace(masked, open_abs).unwrap_or(masked.len());
-            let first = line_of(line_starts, attr_start);
-            let last = line_of(line_starts, close_abs);
+            let first = line_at(line_starts, attr_start);
+            let last = line_at(line_starts, close_abs);
             for flag in test
                 .iter_mut()
                 .skip(first.saturating_sub(1))
@@ -352,21 +356,25 @@ pub(crate) fn match_brace(masked: &str, open: usize) -> Option<usize> {
     None
 }
 
-fn line_of(line_starts: &[usize], offset: usize) -> usize {
+/// 1-based line containing byte `offset`; clamps past-the-end offsets to
+/// the last line instead of inventing one beyond it.
+fn line_at(line_starts: &[usize], offset: usize) -> usize {
     match line_starts.binary_search(&offset) {
         Ok(i) => i + 1,
-        Err(i) => i.max(1),
+        Err(i) => i.clamp(1, line_starts.len().max(1)),
     }
 }
 
-/// Parses `rbd-lint: allow(rule, rule) — justification` out of comments.
+/// Parses `rbd-lint: allow(rule, rule) — justification` and
+/// `rbd-lint: lock-order(a < b < c)` out of comments.
 fn parse_allows(
     comments: &[(usize, String)],
     masked: &str,
     line_starts: &[usize],
-) -> (Vec<AllowDirective>, Vec<usize>) {
+) -> (Vec<AllowDirective>, Vec<usize>, Vec<Vec<String>>) {
     let mut allows = Vec::new();
     let mut malformed = Vec::new();
+    let mut lock_orders = Vec::new();
     for (offset, text) in comments {
         // Directives are plain comments; doc comments merely *document* the
         // syntax and must not be parsed as directives.
@@ -379,11 +387,18 @@ fn parse_allows(
         let Some(at) = text.find("rbd-lint:") else {
             continue;
         };
-        let line = line_of(line_starts, *offset);
+        let line = line_at(line_starts, *offset);
         let rest = text
             .get(at + "rbd-lint:".len()..)
             .unwrap_or("")
             .trim_start();
+        if let Some(args) = rest.strip_prefix("lock-order(") {
+            match parse_lock_order(args) {
+                Some(chain) => lock_orders.push(chain),
+                None => malformed.push(line),
+            }
+            continue;
+        }
         let Some(args) = rest.strip_prefix("allow(") else {
             malformed.push(line);
             continue;
@@ -424,7 +439,27 @@ fn parse_allows(
             justification,
         });
     }
-    (allows, malformed)
+    (allows, malformed, lock_orders)
+}
+
+/// Parses the body of `lock-order(a < b < c)`: at least two `<`-separated
+/// identifier-only lock names before the closing paren.
+fn parse_lock_order(args: &str) -> Option<Vec<String>> {
+    let close = args.find(')')?;
+    let chain: Vec<String> = args
+        .get(..close)?
+        .split('<')
+        .map(|n| n.trim().to_owned())
+        .collect();
+    let well_formed = chain.len() >= 2
+        && chain
+            .iter()
+            .all(|n| !n.is_empty() && n.bytes().all(is_ident_byte));
+    if well_formed {
+        Some(chain)
+    } else {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -541,5 +576,110 @@ mod tests {
         assert_eq!(a.line_of(0), 1);
         assert_eq!(a.line_of(2), 2);
         assert_eq!(a.line_of(4), 3);
+    }
+
+    #[test]
+    fn line_of_clamps_past_the_end() {
+        let a = analyze("a\nb");
+        assert_eq!(a.line_of(1000), 2);
+        let empty = analyze("");
+        assert_eq!(empty.line_of(0), 1);
+        assert_eq!(empty.line_of(7), 1);
+    }
+
+    #[test]
+    fn raw_string_with_multiple_hashes() {
+        // The embedded `"#` must not close an `r##"…"##` string.
+        let src = "let p = r##\"has \"# inside .unwrap()\"##; let q = 1;";
+        let a = analyze(src);
+        assert_eq!(a.masked.len(), src.len());
+        assert!(!a.masked.contains("unwrap"));
+        assert!(!a.masked.contains("inside"));
+        assert!(a.masked.contains("let q = 1;"));
+    }
+
+    #[test]
+    fn byte_string_and_raw_byte_string_masked() {
+        let a = analyze("let b = b\"panic!\"; let r = br#\"x[0]\"#; let z = 2;");
+        assert!(!a.masked.contains("panic"));
+        assert!(!a.masked.contains("[0]"));
+        assert!(a.masked.contains("let z = 2;"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let src = "/* a /* b /* c */ b */ a */ let x = 1; /* tail */";
+        let a = analyze(src);
+        assert!(a.masked.contains("let x = 1;"));
+        assert!(!a.masked.contains('a'));
+        assert!(!a.masked.contains("tail"));
+    }
+
+    #[test]
+    fn string_with_escaped_quotes_masked() {
+        let src = "let s = \"say \\\"panic!()\\\" ok\"; let t = 3;";
+        let a = analyze(src);
+        assert!(!a.masked.contains("panic"));
+        assert!(a.masked.contains("let t = 3;"));
+    }
+
+    #[test]
+    fn char_literal_with_escaped_quote_and_backslash() {
+        let src = "let q = '\\''; let b = '\\\\'; let u = 4;";
+        let a = analyze(src);
+        assert_eq!(a.masked.len(), src.len());
+        assert!(a.masked.contains("let u = 4;"));
+    }
+
+    #[test]
+    fn cfg_test_span_ending_at_eof() {
+        // Unclosed test module: the exemption must run to EOF, not panic
+        // or stop early.
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n";
+        let a = analyze(src);
+        assert!(!a.is_test_line(1));
+        assert!(a.is_test_line(2));
+        assert!(a.is_test_line(4));
+    }
+
+    #[test]
+    fn cfg_test_attr_without_brace() {
+        // `#[cfg(test)]` at EOF with no following item must not loop or
+        // mark anything spurious.
+        let a = analyze("fn live() {}\n#[cfg(test)]");
+        assert!(!a.is_test_line(1));
+    }
+
+    #[test]
+    fn lock_order_declaration_parsed() {
+        let a = analyze("// rbd-lint: lock-order(counters < histograms)\nfn f() {}\n");
+        assert_eq!(
+            a.lock_orders,
+            vec![vec!["counters".to_owned(), "histograms".to_owned()]]
+        );
+        assert!(a.malformed_allows.is_empty());
+    }
+
+    #[test]
+    fn lock_order_three_way_chain() {
+        let a = analyze("// rbd-lint: lock-order(a < b < c)\n");
+        assert_eq!(
+            a.lock_orders,
+            vec![vec!["a".to_owned(), "b".to_owned(), "c".to_owned()]]
+        );
+    }
+
+    #[test]
+    fn lock_order_single_name_is_malformed() {
+        let a = analyze("// rbd-lint: lock-order(alpha)\n");
+        assert!(a.lock_orders.is_empty());
+        assert_eq!(a.malformed_allows, vec![1]);
+    }
+
+    #[test]
+    fn lock_order_bad_name_is_malformed() {
+        let a = analyze("// rbd-lint: lock-order(self.a < b)\n");
+        assert!(a.lock_orders.is_empty());
+        assert_eq!(a.malformed_allows, vec![1]);
     }
 }

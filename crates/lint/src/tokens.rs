@@ -1,0 +1,483 @@
+//! Token stream and block structure over the masked source.
+//!
+//! [`crate::source::analyze`] blanks string/char/comment interiors but keeps
+//! every code byte in place; this module lexes that masked text into typed
+//! tokens, matches `{}`/`()`/`[]` delimiter pairs over the token stream, and
+//! indexes `fn` items with their body spans. The rules operate on these
+//! tokens instead of raw substrings, so an identifier that merely *contains*
+//! a rule keyword (`try_unwrap_or`, `unwrap_budget`, `recv_result`) can
+//! never match, and whitespace between a method name and its parentheses no
+//! longer defeats a needle.
+
+use crate::source::is_ident_byte;
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword, including the lone underscore pattern `_`.
+    Ident,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// String, byte-string, or char literal (interior already masked).
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// Punctuation; `::`, `->` and `=>` lex as a single token.
+    Punct,
+}
+
+/// One token: its kind plus the byte span in the masked source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Start byte offset into the masked source (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+/// Lexes the masked source into tokens. Masking guarantees that every
+/// remaining `'` is either a lifetime head or a char-literal quote with a
+/// blanked interior, and that string quotes are balanced except at EOF.
+pub fn lex(masked: &str) -> Vec<Token> {
+    let bytes = masked.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while let Some(&b) = bytes.get(i) {
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if b == b'\'' {
+            if bytes.get(i + 1).is_some_and(|&c| is_ident_byte(c)) {
+                // Lifetime: masking blanked every char-literal interior, so
+                // an ident byte after `'` can only start a lifetime name.
+                let mut j = i + 1;
+                while bytes.get(j).is_some_and(|&c| is_ident_byte(c)) {
+                    j += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::Lifetime,
+                    start: i,
+                    end: j,
+                });
+                i = j;
+            } else {
+                // Masked char literal: scan to the closing quote on the
+                // same line; a stray quote falls back to punctuation.
+                let mut j = i + 1;
+                let mut closed = false;
+                while let Some(&c) = bytes.get(j) {
+                    if c == b'\'' {
+                        closed = true;
+                        j += 1;
+                        break;
+                    }
+                    if c == b'\n' {
+                        break;
+                    }
+                    j += 1;
+                }
+                if closed {
+                    toks.push(Token {
+                        kind: TokenKind::Literal,
+                        start: i,
+                        end: j,
+                    });
+                    i = j;
+                } else {
+                    toks.push(Token {
+                        kind: TokenKind::Punct,
+                        start: i,
+                        end: i + 1,
+                    });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if b == b'"' {
+            let mut j = i + 1;
+            while let Some(&c) = bytes.get(j) {
+                j += 1;
+                if c == b'"' {
+                    break;
+                }
+            }
+            toks.push(Token {
+                kind: TokenKind::Literal,
+                start: i,
+                end: j,
+            });
+            i = j;
+            continue;
+        }
+        if b.is_ascii_digit() {
+            let mut j = i + 1;
+            while bytes.get(j).is_some_and(|&c| is_ident_byte(c)) {
+                j += 1;
+            }
+            // A decimal point joins only when a digit follows, so `1..5`
+            // stays three tokens while `1.5` and `1.0e3` stay one.
+            if bytes.get(j) == Some(&b'.') && bytes.get(j + 1).is_some_and(u8::is_ascii_digit) {
+                j += 2;
+                while bytes.get(j).is_some_and(|&c| is_ident_byte(c)) {
+                    j += 1;
+                }
+            }
+            toks.push(Token {
+                kind: TokenKind::Number,
+                start: i,
+                end: j,
+            });
+            i = j;
+            continue;
+        }
+        if is_ident_byte(b) {
+            let mut j = i + 1;
+            while bytes.get(j).is_some_and(|&c| is_ident_byte(c)) {
+                j += 1;
+            }
+            toks.push(Token {
+                kind: TokenKind::Ident,
+                start: i,
+                end: j,
+            });
+            i = j;
+            continue;
+        }
+        let pair = [b, bytes.get(i + 1).copied().unwrap_or(b' ')];
+        let len = match pair {
+            [b':', b':'] | [b'-', b'>'] | [b'=', b'>'] => 2,
+            _ => 1,
+        };
+        toks.push(Token {
+            kind: TokenKind::Punct,
+            start: i,
+            end: i + len,
+        });
+        i += len;
+    }
+    toks
+}
+
+/// Matched `{}`/`()`/`[]` delimiter pairs over a token stream.
+#[derive(Debug)]
+pub struct Blocks {
+    close_of: Vec<Option<usize>>,
+    open_of: Vec<Option<usize>>,
+}
+
+impl Blocks {
+    /// Pairs up delimiters with a stack; mismatched closers are ignored
+    /// rather than force-matched, so one stray brace cannot skew every
+    /// later pairing.
+    pub fn build(masked: &str, toks: &[Token]) -> Blocks {
+        let mut close_of = vec![None; toks.len()];
+        let mut open_of = vec![None; toks.len()];
+        let mut stack: Vec<(usize, u8)> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Punct || t.end != t.start + 1 {
+                continue;
+            }
+            let b = masked.as_bytes().get(t.start).copied().unwrap_or(b' ');
+            match b {
+                b'{' | b'(' | b'[' => stack.push((i, b)),
+                b'}' | b')' | b']' => {
+                    let want = match b {
+                        b'}' => b'{',
+                        b')' => b'(',
+                        _ => b'[',
+                    };
+                    if stack.last().is_some_and(|&(_, o)| o == want) {
+                        if let Some((open, _)) = stack.pop() {
+                            if let Some(slot) = close_of.get_mut(open) {
+                                *slot = Some(i);
+                            }
+                            if let Some(slot) = open_of.get_mut(i) {
+                                *slot = Some(open);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Blocks { close_of, open_of }
+    }
+
+    /// Token index of the closer matching the opener at `open`.
+    pub fn close_of(&self, open: usize) -> Option<usize> {
+        self.close_of.get(open).copied().flatten()
+    }
+
+    /// Token index of the opener matching the closer at `close`.
+    pub fn open_of(&self, close: usize) -> Option<usize> {
+        self.open_of.get(close).copied().flatten()
+    }
+}
+
+/// A `fn` item with its brace-delimited body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token index of the body's `{`.
+    pub body_open: usize,
+    /// Token index of the body's `}`.
+    pub body_close: usize,
+}
+
+/// Everything the token-level rules need for one file: the stream, the
+/// delimiter pairing, and the function index, all over the masked source.
+#[derive(Debug)]
+pub struct Model<'a> {
+    /// The masked source the spans index into.
+    pub masked: &'a str,
+    /// The token stream.
+    pub toks: Vec<Token>,
+    /// Delimiter pairing over [`Model::toks`].
+    pub blocks: Blocks,
+    /// Every `fn` item with a body, in document order.
+    pub fns: Vec<FnItem>,
+}
+
+impl<'a> Model<'a> {
+    /// Lexes and indexes one masked file.
+    pub fn build(masked: &'a str) -> Model<'a> {
+        let toks = lex(masked);
+        let blocks = Blocks::build(masked, &toks);
+        let fns = fn_items(masked, &toks, &blocks);
+        Model {
+            masked,
+            toks,
+            blocks,
+            fns,
+        }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.toks.len()
+    }
+
+    /// `true` when the file lexed to no tokens at all.
+    pub fn is_empty(&self) -> bool {
+        self.toks.is_empty()
+    }
+
+    /// Text of token `i`; empty for out-of-range indexes.
+    pub fn text(&self, i: usize) -> &'a str {
+        self.toks
+            .get(i)
+            .and_then(|t| self.masked.get(t.start..t.end))
+            .unwrap_or("")
+    }
+
+    /// Kind of token `i`, if in range.
+    pub fn kind(&self, i: usize) -> Option<TokenKind> {
+        self.toks.get(i).map(|t| t.kind)
+    }
+
+    /// Start byte offset of token `i` (0 when out of range).
+    pub fn start(&self, i: usize) -> usize {
+        self.toks.get(i).map(|t| t.start).unwrap_or(0)
+    }
+
+    /// `true` when token `i` is the identifier `s`.
+    pub fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.kind(i) == Some(TokenKind::Ident) && self.text(i) == s
+    }
+
+    /// `true` when token `i` is the punctuation `s`.
+    pub fn is_punct(&self, i: usize, s: &str) -> bool {
+        self.kind(i) == Some(TokenKind::Punct) && self.text(i) == s
+    }
+
+    /// The innermost `fn` whose body strictly contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body_open < i && i < f.body_close)
+            .max_by_key(|f| f.body_open)
+    }
+
+    /// The masked text of a function's body, braces included.
+    pub fn body_text(&self, f: &FnItem) -> &'a str {
+        let s = self.start(f.body_open);
+        let e = self.toks.get(f.body_close).map(|t| t.end).unwrap_or(s);
+        self.masked.get(s..e).unwrap_or("")
+    }
+}
+
+/// Indexes every `fn` item that has a body. The body opens at the first
+/// `{` found at zero paren/bracket depth after the name (delimited groups
+/// are skipped via [`Blocks`], so generic bounds like `Fn(u8)` cannot
+/// confuse the scan); a `;` first means a bodyless signature. `fn` pointer
+/// types (`fn(u8) -> u8`) have no name identifier and are skipped.
+fn fn_items(masked: &str, toks: &[Token], blocks: &Blocks) -> Vec<FnItem> {
+    let text = |i: usize| {
+        toks.get(i)
+            .and_then(|t| masked.get(t.start..t.end))
+            .unwrap_or("")
+    };
+    let is_kind = |i: usize, k: TokenKind| toks.get(i).is_some_and(|t| t.kind == k);
+    let is_punct = |i: usize, s: &str| is_kind(i, TokenKind::Punct) && text(i) == s;
+
+    let mut items = Vec::new();
+    for i in 0..toks.len() {
+        if !(is_kind(i, TokenKind::Ident) && text(i) == "fn") {
+            continue;
+        }
+        if !is_kind(i + 1, TokenKind::Ident) {
+            continue;
+        }
+        let name = text(i + 1).to_owned();
+        let mut j = i + 2;
+        let mut body = None;
+        while j < toks.len() {
+            if is_punct(j, "(") || is_punct(j, "[") {
+                j = blocks.close_of(j).map(|c| c + 1).unwrap_or(toks.len());
+                continue;
+            }
+            if is_punct(j, "{") {
+                body = blocks.close_of(j).map(|close| (j, close));
+                break;
+            }
+            if is_punct(j, ";") {
+                break;
+            }
+            j += 1;
+        }
+        if let Some((body_open, body_close)) = body {
+            items.push(FnItem {
+                name,
+                fn_tok: i,
+                body_open,
+                body_close,
+            });
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::analyze;
+
+    fn model_of(src: &str) -> (String, Vec<Token>) {
+        let a = analyze(src);
+        let toks = lex(&a.masked);
+        (a.masked, toks)
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        let (masked, toks) = model_of(src);
+        toks.iter()
+            .map(|t| masked[t.start..t.end].to_string())
+            .collect()
+    }
+
+    #[test]
+    fn lexes_idents_puncts_and_numbers() {
+        assert_eq!(
+            texts("let x = foo(1, 2);"),
+            ["let", "x", "=", "foo", "(", "1", ",", "2", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn joins_multichar_puncts() {
+        assert_eq!(
+            texts("a::b -> c => d"),
+            ["a", "::", "b", "->", "c", "=>", "d"]
+        );
+    }
+
+    #[test]
+    fn ranges_do_not_merge_into_floats() {
+        assert_eq!(texts("1..5"), ["1", ".", ".", "5"]);
+        assert_eq!(texts("1.5"), ["1.5"]);
+    }
+
+    #[test]
+    fn lifetimes_are_single_tokens() {
+        let (masked, toks) = model_of("fn f<'a>(x: &'a str) {}");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| &masked[t.start..t.end])
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+    }
+
+    #[test]
+    fn char_and_string_literals_lex_as_literals() {
+        let (_, toks) = model_of("let c = 'x'; let s = \"hi\";");
+        let kinds: Vec<_> = toks.iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TokenKind::Literal));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn underscore_is_an_ident() {
+        let (masked, toks) = model_of("let _ = x;");
+        let t = toks.get(1).copied().expect("underscore token");
+        assert_eq!(t.kind, TokenKind::Ident);
+        assert_eq!(&masked[t.start..t.end], "_");
+    }
+
+    #[test]
+    fn blocks_pair_delimiters() {
+        let a = analyze("fn f() { g(h[0]); }");
+        let toks = lex(&a.masked);
+        let blocks = Blocks::build(&a.masked, &toks);
+        // tokens: fn f ( ) { g ( h [ 0 ] ) ; }
+        assert_eq!(blocks.close_of(2), Some(3));
+        assert_eq!(blocks.close_of(4), Some(13));
+        assert_eq!(blocks.open_of(13), Some(4));
+        assert_eq!(blocks.close_of(8), Some(10));
+    }
+
+    #[test]
+    fn fn_index_finds_bodies_and_skips_signatures() {
+        let m =
+            Model::build("fn a() { 1 } trait T { fn sig(&self); } fn b(x: [u8; 2]) -> u8 { 2 }");
+        let names: Vec<_> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let m = Model::build("type F = fn(u8) -> u8; fn real() {}");
+        let names: Vec<_> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["real"]);
+    }
+
+    #[test]
+    fn enclosing_fn_is_innermost() {
+        let m = Model::build("fn outer() { fn inner() { marker(); } }");
+        let marker = (0..m.len())
+            .find(|&i| m.is_ident(i, "marker"))
+            .expect("marker");
+        assert_eq!(
+            m.enclosing_fn(marker).map(|f| f.name.as_str()),
+            Some("inner")
+        );
+    }
+
+    #[test]
+    fn generic_bounds_do_not_confuse_body_scan() {
+        let m = Model::build("fn f<T: Fn(u8) -> u8>(g: T) -> u8 { g(1) }");
+        assert_eq!(m.fns.len(), 1);
+        let f = m.fns.first().expect("one fn");
+        assert!(m.is_punct(f.body_open, "{"));
+    }
+}

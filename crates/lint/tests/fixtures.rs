@@ -160,3 +160,60 @@ fn budget_fixture_denies_allocation_and_recursion() {
     let budget: Vec<_> = findings.iter().filter(|f| f.rule == Rule::Budget).collect();
     assert_eq!(budget.len(), 2, "allocation + recursion: {budget:?}");
 }
+
+#[test]
+fn lock_order_fixture_denies() {
+    assert_denies("violations/lock_order.rs", Rule::LockOrder);
+}
+
+#[test]
+fn declared_lock_order_fixture_is_clean() {
+    let findings = lint_path(&fixture("clean/lock_order_declared.rs")).expect("fixture readable");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn guard_blocking_fixture_denies_send_recv_and_join() {
+    assert_denies("violations/guard_blocking.rs", Rule::GuardAcrossBlocking);
+    let findings = lint_path(&fixture("violations/guard_blocking.rs")).expect("fixture readable");
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::GuardAcrossBlocking)
+        .collect();
+    assert_eq!(hits.len(), 3, "send + recv + join under guard: {hits:?}");
+}
+
+#[test]
+fn guard_released_fixture_is_clean() {
+    let findings = lint_path(&fixture("clean/guard_released.rs")).expect("fixture readable");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn swallowed_error_fixture_denies_both_patterns() {
+    assert_denies("violations/swallowed_error.rs", Rule::SwallowedError);
+    let findings = lint_path(&fixture("violations/swallowed_error.rs")).expect("fixture readable");
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::SwallowedError)
+        .collect();
+    assert_eq!(hits.len(), 2, "`let _ =` + trailing `.ok();`: {hits:?}");
+}
+
+#[test]
+fn error_traced_fixture_is_clean() {
+    let findings = lint_path(&fixture("clean/error_traced.rs")).expect("fixture readable");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// The linter passes over itself at the strict tier — the same check CI
+/// runs as the `lint-self` job.
+#[test]
+fn lint_crate_is_deny_clean_at_strict_tier() {
+    let findings = lint_path(&PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src"))
+        .expect("lint sources readable");
+    assert!(
+        !has_deny(&findings),
+        "rbd-lint fails its own strict tier: {findings:#?}"
+    );
+}
