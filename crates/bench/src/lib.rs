@@ -154,6 +154,35 @@ impl Harness {
         }
     }
 
+    /// Looks up the measured throughput (MiB/s, from the median sample) of
+    /// an already-run benchmark — `None` if it has not run or declared no
+    /// [`Group::throughput_bytes`]. The `hotpath` bench's regression gate
+    /// reads its arms back through this before [`Harness::finish`].
+    #[must_use]
+    pub fn throughput_mib_s(&self, group: &str, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.group == group && r.name == name)
+            .and_then(BenchResult::throughput_mib_s)
+    }
+
+    /// Like [`Harness::throughput_mib_s`] but computed from the *fastest*
+    /// sample (`min_ns`). Best-case throughput is far less sensitive to
+    /// scheduler noise than the median — one clean sample suffices — which
+    /// is what a pass/fail regression gate needs.
+    #[must_use]
+    pub fn peak_throughput_mib_s(&self, group: &str, name: &str) -> Option<f64> {
+        let r = self
+            .results
+            .iter()
+            .find(|r| r.group == group && r.name == name)?;
+        r.throughput_bytes.map(|bytes| {
+            #[allow(clippy::cast_precision_loss)]
+            let per_second = bytes as f64 / (r.stats.min_ns / 1e9);
+            per_second / (1024.0 * 1024.0)
+        })
+    }
+
     /// Opens a named benchmark group.
     pub fn group(&mut self, name: &str) -> Group<'_> {
         Group {

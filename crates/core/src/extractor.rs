@@ -47,16 +47,13 @@ pub(crate) fn subtree_chosen_event(tree: &TagTree, subtree: NodeId) -> TraceEven
     let mut runners_up: Vec<(String, usize)> = tree
         .ids()
         .filter(|&id| id != subtree)
-        .map(|id| {
-            let n = tree.node(id);
-            (n.name.clone(), n.fanout())
-        })
+        .map(|id| (tree.name(id).to_owned(), tree.node(id).fanout()))
         .filter(|(_, fanout)| *fanout > 0)
         .collect();
     runners_up.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     runners_up.truncate(3);
     TraceEvent::SubtreeChosen {
-        tag: chosen.name.clone(),
+        tag: tree.name(subtree).to_owned(),
         fanout: chosen.fanout(),
         runners_up,
     }
@@ -324,7 +321,7 @@ impl RecordExtractor {
         // Step 2: highest-fan-out subtree. Step 3: candidate tags, capped.
         let mut view = SubtreeView::from_tree(&tree, self.config.candidate_threshold);
         let subtree = view.root();
-        let subtree_tag = tree.node(subtree).name.clone();
+        let subtree_tag = tree.name(subtree).to_owned();
         if sink.enabled() {
             sink.event(subtree_chosen_event(&tree, subtree));
             sink.event(candidates_event(

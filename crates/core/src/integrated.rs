@@ -124,7 +124,7 @@ impl RecordExtractor {
         }
         let mut view = SubtreeView::from_tree(&tree, self.config().candidate_threshold);
         let subtree = view.root();
-        let subtree_tag = tree.node(subtree).name.clone();
+        let subtree_tag = tree.name(subtree).to_owned();
         if sink.enabled() {
             sink.event(subtree_chosen_event(&tree, subtree));
             sink.event(candidates_event(

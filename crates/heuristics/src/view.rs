@@ -204,7 +204,7 @@ mod tests {
     fn view_candidates() {
         let tree = TagTreeBuilder::default().build(doc());
         let view = SubtreeView::from_tree(&tree, DEFAULT_CANDIDATE_THRESHOLD);
-        assert_eq!(tree.node(view.root()).name, "td");
+        assert_eq!(tree.name(view.root()), "td");
         let mut names: Vec<&str> = view.candidates().iter().map(|c| c.name.as_str()).collect();
         names.sort_unstable();
         assert_eq!(names, vec!["b", "br", "hr"]);

@@ -6,6 +6,9 @@
 //! period browsers behaved and keeps plain-text offsets sane for heuristics
 //! that count characters.
 
+use crate::scan::find_byte;
+use std::borrow::Cow;
+
 /// Named entities recognized by [`decode_entities`]. Sorted by name so the
 /// table is binary-searchable.
 static NAMED: &[(&str, &str)] = &[
@@ -74,50 +77,50 @@ fn lookup_named(name: &str) -> Option<&'static str> {
 /// (`&amp` `&lt` `&gt` `&quot` `&nbsp`) which period documents frequently
 /// left unterminated. Anything unrecognized is copied through unchanged.
 ///
+/// Zero-copy on the hot path: input with no `&` at all — the overwhelming
+/// majority of text runs — is returned as `Cow::Borrowed` without
+/// allocating. When decoding does happen, the runs between references are
+/// copied as whole slices (every run boundary sits on an ASCII `&`, so no
+/// byte can be dropped at a multi-byte character), and the decoded output
+/// is never longer than the input.
+///
 /// ```
 /// use rbd_html::decode_entities;
 /// assert_eq!(decode_entities("Mortuary &amp; Chapel"), "Mortuary & Chapel");
 /// assert_eq!(decode_entities("&#65;&#x42;"), "AB");
 /// assert_eq!(decode_entities("AT&T"), "AT&T"); // lenient pass-through
+/// assert!(matches!(
+///     decode_entities("no references here"),
+///     std::borrow::Cow::Borrowed(_)
+/// ));
 /// ```
-pub fn decode_entities(input: &str) -> String {
-    if !input.contains('&') {
-        return input.to_owned();
-    }
+pub fn decode_entities(input: &str) -> Cow<'_, str> {
+    let bytes = input.as_bytes();
+    let Some(first) = find_byte(bytes, b'&', 0) else {
+        return Cow::Borrowed(input);
+    };
     // rbd-lint: allow(budget) — output ≤ input, whose size the TokenBudget caps upstream
     let mut out = String::with_capacity(input.len());
-    let bytes = input.as_bytes();
-    let mut i = 0;
-    while let Some(&b) = bytes.get(i) {
-        if b != b'&' {
-            // Copy the full UTF-8 character.
-            let ch_len = utf8_len(b);
-            out.push_str(input.get(i..i + ch_len).unwrap_or(""));
-            i += ch_len;
-            continue;
-        }
-        match decode_one(input.get(i..).unwrap_or("")) {
+    out.push_str(input.get(..first).unwrap_or(""));
+    let mut i = first;
+    while let Some(amp) = find_byte(bytes, b'&', i) {
+        // Copy the run since the last reference wholesale: both boundaries
+        // sit on an ASCII `&` (or the scan start), so they are always char
+        // boundaries and no input byte is ever lost.
+        out.push_str(input.get(i..amp).unwrap_or(""));
+        match decode_one(input.get(amp..).unwrap_or("")) {
             Some((decoded, consumed)) => {
                 out.push_str(decoded);
-                i += consumed;
+                i = amp + consumed;
             }
             None => {
                 out.push('&');
-                i += 1;
+                i = amp + 1;
             }
         }
     }
-    out
-}
-
-/// Byte length of the UTF-8 character starting with `first`.
-fn utf8_len(first: u8) -> usize {
-    match first {
-        b if b < 0x80 => 1,
-        b if b >= 0xF0 => 4,
-        b if b >= 0xE0 => 3,
-        _ => 2,
-    }
+    out.push_str(input.get(i..).unwrap_or(""));
+    Cow::Owned(out)
 }
 
 /// Attempts to decode one reference at the start of `s` (which begins with
@@ -241,13 +244,14 @@ mod tests {
     }
 
     #[test]
-    fn surrogate_code_points_rejected() {
-        assert_eq!(decode_entities("&#xD800;"), "&#xD800;");
-    }
-
-    #[test]
-    fn no_ampersand_fast_path() {
-        assert_eq!(decode_entities("plain text"), "plain text");
+    fn no_ampersand_borrows() {
+        // The hot-path contract: no `&` means no allocation at all.
+        assert!(matches!(decode_entities("plain text"), Cow::Borrowed(_)));
+        assert!(matches!(decode_entities(""), Cow::Borrowed(_)));
+        assert!(matches!(
+            decode_entities("caf\u{E9} \u{4e16}\u{754c}"),
+            Cow::Borrowed(_)
+        ));
     }
 
     #[test]
@@ -256,7 +260,123 @@ mod tests {
     }
 
     #[test]
+    fn no_bytes_lost_around_multibyte_chars() {
+        // Regression for the old copy loop, which stepped by a computed
+        // UTF-8 length and silently dropped bytes when the step overshot.
+        // The run-copy rewrite slices between `&` positions instead, so
+        // every non-reference byte must survive verbatim — including
+        // multi-byte characters hard against the buffer end or a reference.
+        for src in [
+            "\u{1F480}",                       // lone 4-byte char
+            "\u{1F480}&amp;\u{1F480}",         // 4-byte flanking a reference
+            "a\u{E9}&lt;\u{4E16}&gt;\u{754C}", // 2- and 3-byte neighbors
+            "&amp;\u{2603}",                   // reference then 3-byte at EOF
+            "\u{2603}&",                       // trailing lone ampersand
+            "&#x41;\u{1F480}",                 // numeric then 4-byte at EOF
+        ] {
+            let decoded = decode_entities(src);
+            // Every multi-byte char of the input must appear in the output.
+            for ch in src.chars().filter(|c| !c.is_ascii()) {
+                assert!(decoded.contains(ch), "{src:?}: lost {ch:?} in {decoded:?}");
+            }
+        }
+    }
+
+    #[test]
     fn adjacent_references() {
         assert_eq!(decode_entities("&lt;&lt;&gt;&gt;"), "<<>>");
+    }
+
+    #[test]
+    fn surrogate_code_points_pass_through() {
+        // `char::from_u32` returns None for the whole surrogate range.
+        assert_eq!(decode_entities("&#xD800;"), "&#xD800;");
+        assert_eq!(decode_entities("&#xDFFF;"), "&#xDFFF;");
+        assert_eq!(decode_entities("&#55296;"), "&#55296;");
+    }
+
+    #[test]
+    fn overlong_numeric_references_pass_through() {
+        // More than 7 digits is rejected before parsing, so overflow can
+        // never wrap into a valid code point.
+        assert_eq!(decode_entities("&#99999999;"), "&#99999999;");
+        assert_eq!(decode_entities("&#x10FFFF0;"), "&#x10FFFF0;");
+        assert_eq!(decode_entities("&#00000000065;"), "&#00000000065;");
+    }
+
+    #[test]
+    fn unterminated_numeric_forms() {
+        assert_eq!(decode_entities("&#65"), "A");
+        assert_eq!(decode_entities("&#65x"), "Ax");
+        assert_eq!(decode_entities("&#x"), "&#x");
+        assert_eq!(decode_entities("&#x;"), "&#x;");
+        assert_eq!(decode_entities("&#"), "&#");
+    }
+
+    #[test]
+    fn out_of_range_code_point_passes_through() {
+        assert_eq!(decode_entities("&#1114112;"), "&#1114112;"); // 0x110000
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use rbd_prop::{check, gen, prop_assert, Gen};
+
+    /// Text sprinkled with reference-shaped fragments, valid and broken.
+    fn arb_entity_soup() -> Gen<String> {
+        let piece = Gen::one_of(vec![
+            Gen::select(vec![
+                "&amp;",
+                "&lt;",
+                "&gt",
+                "&nbsp",
+                "&copy;",
+                "&copy",
+                "&#65;",
+                "&#x41;",
+                "&#xD800;",
+                "&#99999999;",
+                "&#",
+                "&#x;",
+                "&;",
+                "&",
+                "&bogus;",
+            ])
+            .map(String::from),
+            gen::string_from("ab&#; xyz0123", 0..=8),
+            gen::unicode_string(0..=4),
+        ]);
+        gen::concat(piece, 0..=24)
+    }
+
+    /// Every reference this decoder accepts replaces at least as many
+    /// source bytes as it produces, so decoding can never grow the text.
+    #[test]
+    fn output_never_longer_than_input() {
+        check("decode_output_le_input", &arb_entity_soup(), |src| {
+            let decoded = decode_entities(src);
+            prop_assert!(
+                decoded.len() <= src.len(),
+                "decoded {} bytes from {} ({src:?} -> {decoded:?})",
+                decoded.len(),
+                src.len()
+            );
+            Ok(())
+        });
+    }
+
+    /// Inputs with no `&` come back borrowed and bit-identical.
+    #[test]
+    fn amp_free_input_is_identity() {
+        let plain = gen::string_from("abcdefghijklmnop <>;# \u{E9}\u{4E16}", 0..=32);
+        check("decode_identity_no_amp", &plain, |src: &String| {
+            let src = src.replace('&', "");
+            let decoded = decode_entities(&src);
+            prop_assert!(matches!(decoded, Cow::Borrowed(_)) || src.is_empty());
+            prop_assert!(decoded == src.as_str());
+            Ok(())
+        });
     }
 }

@@ -19,6 +19,10 @@
 //! * enforce HTML5 parsing-spec state-machine details — the paper predates
 //!   HTML5 and its algorithm only needs tag/text segmentation.
 //!
+//! Tokens are zero-copy views of the source: tag names are interned
+//! [`Sym`]s resolved against the stream's [`SymbolTable`], and text tokens
+//! borrow their raw slice, decoding character references lazily.
+//!
 //! ## Example
 //!
 //! ```
@@ -26,21 +30,24 @@
 //!
 //! let tokens = tokenize("<b>Brian &amp; Field</b><hr>");
 //! assert_eq!(tokens.tokens.len(), 4);
-//! assert!(matches!(&tokens.tokens[0], Token::Start(t) if t.name == "b"));
-//! assert!(matches!(&tokens.tokens[1], Token::Text(t) if t.text == "Brian & Field"));
-//! assert!(matches!(&tokens.tokens[2], Token::End(t) if t.name == "b"));
-//! assert!(matches!(&tokens.tokens[3], Token::Start(t) if t.name == "hr"));
+//! assert!(tokens.tokens[0].is_start(&tokens.symbols, "b"));
+//! assert!(matches!(&tokens.tokens[1], Token::Text(t) if t.text() == "Brian & Field"));
+//! assert!(tokens.tokens[2].is_end(&tokens.symbols, "b"));
+//! assert!(tokens.tokens[3].is_start(&tokens.symbols, "hr"));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod entities;
+pub mod intern;
+mod scan;
 pub mod span;
 pub mod token;
 pub mod tokenizer;
 
 pub use entities::decode_entities;
+pub use intern::{Sym, SymbolTable};
 pub use span::Span;
 pub use token::{Attribute, EndTag, StartTag, Text, Token};
 pub use tokenizer::{

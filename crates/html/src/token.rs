@@ -1,21 +1,30 @@
 //! Token types produced by the tokenizer.
+//!
+//! Tokens are zero-copy views of the source document: tag names are
+//! interned [`Sym`]s resolved against the stream's
+//! [`SymbolTable`](crate::SymbolTable), text tokens borrow their raw source
+//! slice and decode entities lazily, and attribute names/values are `Cow`s
+//! that borrow whenever the source already holds the canonical form.
 
+use crate::entities::decode_entities;
+use crate::intern::{Sym, SymbolTable};
 use crate::span::Span;
-use std::fmt;
+use std::borrow::Cow;
 
 /// A parsed attribute of a start tag, e.g. `bgcolor="#FFFFFF"`.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Attribute {
-    /// Attribute name, lower-cased.
-    pub name: String,
-    /// Attribute value with surrounding quotes removed and entities decoded.
-    /// `None` for bare boolean attributes such as `noshade`.
-    pub value: Option<String>,
+pub struct Attribute<'a> {
+    /// Attribute name, lower-cased (borrowed when already lower-case).
+    pub name: Cow<'a, str>,
+    /// Attribute value with surrounding quotes removed and entities decoded
+    /// (borrowed when no entities occur). `None` for bare boolean
+    /// attributes such as `noshade`.
+    pub value: Option<Cow<'a, str>>,
 }
 
-impl Attribute {
+impl<'a> Attribute<'a> {
     /// Convenience constructor for a valued attribute.
-    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Cow<'a, str>>, value: impl Into<Cow<'a, str>>) -> Self {
         Attribute {
             name: name.into(),
             value: Some(value.into()),
@@ -23,7 +32,7 @@ impl Attribute {
     }
 
     /// Convenience constructor for a bare (valueless) attribute.
-    pub fn bare(name: impl Into<String>) -> Self {
+    pub fn bare(name: impl Into<Cow<'a, str>>) -> Self {
         Attribute {
             name: name.into(),
             value: None,
@@ -33,18 +42,18 @@ impl Attribute {
 
 /// A start tag such as `<td align="left">`.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct StartTag {
-    /// Tag name, lower-cased (`td`).
-    pub name: String,
+pub struct StartTag<'a> {
+    /// Interned tag name, lower-cased in HTML mode (`td`).
+    pub name: Sym,
     /// Attributes in document order.
-    pub attrs: Vec<Attribute>,
+    pub attrs: Vec<Attribute<'a>>,
     /// `true` for XML-style self-closing syntax (`<br/>`).
     pub self_closing: bool,
     /// Byte range of the whole tag including angle brackets.
     pub span: Span,
 }
 
-impl StartTag {
+impl StartTag<'_> {
     /// Looks up an attribute value by (lower-case) name.
     pub fn attr(&self, name: &str) -> Option<&str> {
         self.attrs
@@ -55,32 +64,49 @@ impl StartTag {
 }
 
 /// An end tag such as `</td>`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EndTag {
-    /// Tag name, lower-cased, without the leading slash.
-    pub name: String,
+    /// Interned tag name, without the leading slash.
+    pub name: Sym,
     /// Byte range of the whole tag including angle brackets.
     pub span: Span,
 }
 
-/// A run of plain text between tags, with character references decoded.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Text {
-    /// Decoded text content.
-    pub text: String,
+/// A run of plain text between tags, borrowed raw from the source;
+/// character references decode lazily via [`Text::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Text<'a> {
+    /// The raw source slice (entities not yet decoded).
+    pub raw: &'a str,
+    /// `true` if the run may contain character references (an `&` was seen
+    /// while scanning). Raw-text elements and CDATA set this to `false`:
+    /// their content is never decoded.
+    pub decode: bool,
     /// Byte range in the *source* document (pre-decoding).
     pub span: Span,
 }
 
+impl<'a> Text<'a> {
+    /// The decoded text content. Borrows the source when no decoding is
+    /// needed — the overwhelmingly common case.
+    pub fn text(&self) -> Cow<'a, str> {
+        if self.decode {
+            decode_entities(self.raw)
+        } else {
+            Cow::Borrowed(self.raw)
+        }
+    }
+}
+
 /// One lexical token of an HTML document.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Token {
+pub enum Token<'a> {
     /// A start tag (`<b>`, `<hr>`, `<table border=1>`, …).
-    Start(StartTag),
+    Start(StartTag<'a>),
     /// An end tag (`</b>`).
     End(EndTag),
     /// Plain text between tags.
-    Text(Text),
+    Text(Text<'a>),
     /// A comment (`<!-- … -->`) or other `<!…>` markup declaration.
     /// The paper discards these; they are surfaced so the tag-tree layer can
     /// count what it drops.
@@ -91,7 +117,7 @@ pub enum Token {
     ProcessingInstruction(Span),
 }
 
-impl Token {
+impl Token<'_> {
     /// The byte span of the token in the source document.
     pub fn span(&self) -> Span {
         match self {
@@ -102,11 +128,11 @@ impl Token {
         }
     }
 
-    /// Tag name if this token is a start or end tag.
-    pub fn tag_name(&self) -> Option<&str> {
+    /// Interned tag name if this token is a start or end tag.
+    pub fn tag_sym(&self) -> Option<Sym> {
         match self {
-            Token::Start(t) => Some(&t.name),
-            Token::End(t) => Some(&t.name),
+            Token::Start(t) => Some(t.name),
+            Token::End(t) => Some(t.name),
             Token::Text(_)
             | Token::Comment(_)
             | Token::Doctype(_)
@@ -114,73 +140,84 @@ impl Token {
         }
     }
 
+    /// Tag name resolved against the stream's symbol table, if this token
+    /// is a start or end tag.
+    pub fn tag_name<'s>(&self, symbols: &'s SymbolTable) -> Option<&'s str> {
+        self.tag_sym().map(|sym| symbols.resolve(sym))
+    }
+
     /// `true` if this is a start tag with the given name.
-    pub fn is_start(&self, name: &str) -> bool {
-        matches!(self, Token::Start(t) if t.name == name)
+    pub fn is_start(&self, symbols: &SymbolTable, name: &str) -> bool {
+        matches!(self, Token::Start(t) if symbols.resolve(t.name) == name)
     }
 
     /// `true` if this is an end tag with the given name.
-    pub fn is_end(&self, name: &str) -> bool {
-        matches!(self, Token::End(t) if t.name == name)
+    pub fn is_end(&self, symbols: &SymbolTable, name: &str) -> bool {
+        matches!(self, Token::End(t) if symbols.resolve(t.name) == name)
+    }
+
+    /// Serializes the token back to markup, resolving names against
+    /// `symbols`. Text and attribute values are escaped, so rendering a
+    /// token stream and re-tokenizing it yields an equivalent stream
+    /// (property-tested in `tests/invariants.rs`).
+    pub fn render(&self, symbols: &SymbolTable) -> String {
+        let mut out = String::new();
+        self.render_into(symbols, &mut out);
+        out
+    }
+
+    /// [`Token::render`] appending into an existing buffer.
+    pub fn render_into(&self, symbols: &SymbolTable, out: &mut String) {
+        match self {
+            Token::Start(t) => {
+                out.push('<');
+                out.push_str(symbols.resolve(t.name));
+                for a in &t.attrs {
+                    out.push(' ');
+                    out.push_str(&a.name);
+                    if let Some(v) = &a.value {
+                        out.push_str("=\"");
+                        escape_attr(v, out);
+                        out.push('"');
+                    }
+                }
+                if t.self_closing {
+                    out.push('/');
+                }
+                out.push('>');
+            }
+            Token::End(t) => {
+                out.push_str("</");
+                out.push_str(symbols.resolve(t.name));
+                out.push('>');
+            }
+            Token::Text(t) => escape_text(&t.text(), out),
+            Token::Comment(_) => out.push_str("<!-- comment -->"),
+            Token::Doctype(_) => out.push_str("<!DOCTYPE html>"),
+            Token::ProcessingInstruction(_) => out.push_str("<?pi?>"),
+        }
     }
 }
 
 /// Escapes text content so it re-tokenizes to the same text.
-fn escape_text(s: &str, out: &mut fmt::Formatter<'_>) -> fmt::Result {
-    use fmt::Write as _;
+fn escape_text(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
-            '&' => out.write_str("&amp;")?,
-            '<' => out.write_str("&lt;")?,
-            '>' => out.write_str("&gt;")?,
-            c => out.write_char(c)?,
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
         }
     }
-    Ok(())
 }
 
 /// Escapes a double-quoted attribute value.
-fn escape_attr(s: &str, out: &mut fmt::Formatter<'_>) -> fmt::Result {
-    use fmt::Write as _;
+fn escape_attr(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
-            '&' => out.write_str("&amp;")?,
-            '"' => out.write_str("&quot;")?,
-            c => out.write_char(c)?,
-        }
-    }
-    Ok(())
-}
-
-impl fmt::Display for Token {
-    /// Serializes the token back to markup. Text and attribute values are
-    /// escaped, so rendering a token stream and re-tokenizing it yields an
-    /// equivalent stream (property-tested in `tests/invariants.rs`).
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        use fmt::Write as _;
-        match self {
-            Token::Start(t) => {
-                write!(f, "<{}", t.name)?;
-                for a in &t.attrs {
-                    match &a.value {
-                        Some(v) => {
-                            write!(f, " {}=\"", a.name)?;
-                            escape_attr(v, f)?;
-                            f.write_char('"')?;
-                        }
-                        None => write!(f, " {}", a.name)?,
-                    }
-                }
-                if t.self_closing {
-                    write!(f, "/")?;
-                }
-                write!(f, ">")
-            }
-            Token::End(t) => write!(f, "</{}>", t.name),
-            Token::Text(t) => escape_text(&t.text, f),
-            Token::Comment(_) => f.write_str("<!-- comment -->"),
-            Token::Doctype(_) => f.write_str("<!DOCTYPE html>"),
-            Token::ProcessingInstruction(_) => f.write_str("<?pi?>"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
         }
     }
 }
@@ -189,19 +226,11 @@ impl fmt::Display for Token {
 mod tests {
     use super::*;
 
-    fn start(name: &str) -> Token {
-        Token::Start(StartTag {
-            name: name.into(),
-            attrs: vec![],
-            self_closing: false,
-            span: Span::new(0, 0),
-        })
-    }
-
     #[test]
     fn attr_lookup() {
+        let mut symbols = SymbolTable::new();
         let t = StartTag {
-            name: "body".into(),
+            name: symbols.intern("body"),
             attrs: vec![Attribute::new("bgcolor", "#FFFFFF"), Attribute::bare("x")],
             self_closing: false,
             span: Span::new(0, 10),
@@ -213,33 +242,55 @@ mod tests {
 
     #[test]
     fn token_predicates() {
-        let s = start("hr");
-        assert!(s.is_start("hr"));
-        assert!(!s.is_start("b"));
-        assert!(!s.is_end("hr"));
-        assert_eq!(s.tag_name(), Some("hr"));
+        let mut symbols = SymbolTable::new();
+        let s = Token::Start(StartTag {
+            name: symbols.intern("hr"),
+            attrs: vec![],
+            self_closing: false,
+            span: Span::new(0, 0),
+        });
+        assert!(s.is_start(&symbols, "hr"));
+        assert!(!s.is_start(&symbols, "b"));
+        assert!(!s.is_end(&symbols, "hr"));
+        assert_eq!(s.tag_name(&symbols), Some("hr"));
 
         let e = Token::End(EndTag {
-            name: "b".into(),
+            name: symbols.intern("b"),
             span: Span::new(0, 4),
         });
-        assert!(e.is_end("b"));
-        assert_eq!(e.tag_name(), Some("b"));
+        assert!(e.is_end(&symbols, "b"));
+        assert_eq!(e.tag_name(&symbols), Some("b"));
     }
 
     #[test]
-    fn display_roundtrips_simple_tags() {
+    fn render_roundtrips_simple_tags() {
+        let mut symbols = SymbolTable::new();
         let t = Token::Start(StartTag {
-            name: "h1".into(),
+            name: symbols.intern("h1"),
             attrs: vec![Attribute::new("align", "left")],
             self_closing: false,
             span: Span::new(0, 0),
         });
-        assert_eq!(t.to_string(), "<h1 align=\"left\">");
+        assert_eq!(t.render(&symbols), "<h1 align=\"left\">");
         let e = Token::End(EndTag {
-            name: "h1".into(),
+            name: symbols.intern("h1"),
             span: Span::new(0, 0),
         });
-        assert_eq!(e.to_string(), "</h1>");
+        assert_eq!(e.render(&symbols), "</h1>");
+    }
+
+    #[test]
+    fn lazy_text_decodes_only_when_flagged() {
+        let raw = Text {
+            raw: "a &amp; b",
+            decode: false,
+            span: Span::new(0, 9),
+        };
+        assert_eq!(raw.text(), "a &amp; b"); // raw-text content stays raw
+        let cooked = Text {
+            decode: true,
+            ..raw
+        };
+        assert_eq!(cooked.text(), "a & b");
     }
 }

@@ -2,14 +2,19 @@
 //!
 //! A hand-written, single-pass, byte-oriented scanner. It is `O(n)` in the
 //! document length — the property the paper's overall complexity argument
-//! rests on — and never allocates proportionally more than the output
-//! requires.
+//! rests on — and allocation-light: delimiter scanning runs eight bytes at
+//! a time (see `scan`), tag names are interned into a per-document
+//! [`SymbolTable`], and text tokens borrow the source, deferring entity
+//! decoding until someone asks.
 
 use crate::entities::decode_entities;
+use crate::intern::{Sym, SymbolTable};
 use crate::is_raw_text_element;
+use crate::scan::{find_byte, find_sub, scan_text_run};
 use crate::span::Span;
 use crate::token::{Attribute, EndTag, StartTag, Text, Token};
 use rbd_limits::{LimitExceeded, LimitKind};
+use std::borrow::Cow;
 
 /// A non-fatal oddity observed while tokenizing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,30 +40,42 @@ pub enum WarningKind {
     UnterminatedAttributeValue,
 }
 
-/// The output of [`tokenize`]: the token stream plus any warnings.
+/// The output of [`tokenize`]: the token stream plus any warnings, and the
+/// symbol table that tag-name [`Sym`]s resolve against.
 #[derive(Debug, Clone, Default)]
-pub struct TokenStream {
+pub struct TokenStream<'a> {
     /// Tokens in document order.
-    pub tokens: Vec<Token>,
+    pub tokens: Vec<Token<'a>>,
     /// Non-fatal parse oddities, in document order.
     pub warnings: Vec<Warning>,
+    /// Interned tag names for this document.
+    pub symbols: SymbolTable,
 }
 
-impl TokenStream {
+impl<'a> TokenStream<'a> {
     /// Iterates over only the start/end tag tokens.
-    pub fn tags(&self) -> impl Iterator<Item = &Token> {
+    pub fn tags(&self) -> impl Iterator<Item = &Token<'a>> {
         self.tokens
             .iter()
             .filter(|t| matches!(t, Token::Start(_) | Token::End(_)))
     }
 
-    /// Concatenated plain text of the document.
+    /// Concatenated plain text of the document, entities decoded.
     pub fn plain_text(&self) -> String {
         let mut out = String::new();
         for t in &self.tokens {
             if let Token::Text(t) = t {
-                out.push_str(&t.text);
+                out.push_str(&t.text());
             }
+        }
+        out
+    }
+
+    /// Serializes the whole stream back to markup (see [`Token::render`]).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tokens {
+            t.render_into(&self.symbols, &mut out);
         }
         out
     }
@@ -66,13 +83,13 @@ impl TokenStream {
 
 /// Tokenizes an HTML document. Never fails; malformed constructs degrade to
 /// text and produce [`Warning`]s.
-pub fn tokenize(source: &str) -> TokenStream {
+pub fn tokenize(source: &str) -> TokenStream<'_> {
     Tokenizer::new(source).run()
 }
 
 /// Tokenizes an XML document (case-sensitive names, CDATA, no raw-text
 /// elements). Equally forgiving of malformed input.
-pub fn tokenize_xml(source: &str) -> TokenStream {
+pub fn tokenize_xml(source: &str) -> TokenStream<'_> {
     Tokenizer::new_xml(source).run()
 }
 
@@ -127,7 +144,10 @@ impl TokenBudget {
 /// # Errors
 /// [`LimitExceeded`] when the input is over the budget's byte cap; the
 /// scan is not attempted.
-pub fn tokenize_budgeted(source: &str, budget: &TokenBudget) -> Result<TokenStream, LimitExceeded> {
+pub fn tokenize_budgeted<'a>(
+    source: &'a str,
+    budget: &TokenBudget,
+) -> Result<TokenStream<'a>, LimitExceeded> {
     budget.check(source)?;
     Ok(tokenize(source))
 }
@@ -137,10 +157,10 @@ pub fn tokenize_budgeted(source: &str, budget: &TokenBudget) -> Result<TokenStre
 /// # Errors
 /// [`LimitExceeded`] when the input is over the budget's byte cap; the
 /// scan is not attempted.
-pub fn tokenize_xml_budgeted(
-    source: &str,
+pub fn tokenize_xml_budgeted<'a>(
+    source: &'a str,
     budget: &TokenBudget,
-) -> Result<TokenStream, LimitExceeded> {
+) -> Result<TokenStream<'a>, LimitExceeded> {
     budget.check(source)?;
     Ok(tokenize_xml(source))
 }
@@ -155,12 +175,12 @@ pub fn tokenize_xml_budgeted(
 /// # Errors
 /// [`LimitExceeded`] when the input is over the budget's byte cap; the
 /// rejection itself is not traced (nothing was scanned).
-pub fn tokenize_traced(
-    source: &str,
+pub fn tokenize_traced<'a>(
+    source: &'a str,
     xml: bool,
     budget: &TokenBudget,
     sink: &dyn rbd_trace::TraceSink,
-) -> Result<TokenStream, LimitExceeded> {
+) -> Result<TokenStream<'a>, LimitExceeded> {
     budget.check(source)?;
     let span = rbd_trace::Span::start_if("tokenize", sink);
     let stream = if xml {
@@ -192,10 +212,12 @@ pub struct Tokenizer<'a> {
     src: &'a str,
     bytes: &'a [u8],
     pos: usize,
-    out: TokenStream,
+    out: TokenStream<'a>,
     /// When `Some(name)`, we are inside a raw-text element and scan for its
     /// end tag only.
-    raw_text: Option<String>,
+    raw_text: Option<Sym>,
+    /// Reused buffer for lower-casing mixed-case tag names before interning.
+    scratch: String,
     /// XML mode: tag names keep their case, `<![CDATA[…]]>` sections become
     /// text, and no element is raw-text. The paper's footnote 1 claims the
     /// approach "should carry over directly to other document type
@@ -212,6 +234,7 @@ impl<'a> Tokenizer<'a> {
             pos: 0,
             out: TokenStream::default(),
             raw_text: None,
+            scratch: String::new(),
             xml: false,
         }
     }
@@ -226,9 +249,10 @@ impl<'a> Tokenizer<'a> {
     }
 
     /// Runs the tokenizer to completion.
-    pub fn run(mut self) -> TokenStream {
+    pub fn run(mut self) -> TokenStream<'a> {
         while let Some(b) = self.byte(self.pos) {
-            if let Some(name) = self.raw_text.take() {
+            if let Some(sym) = self.raw_text.take() {
+                let name = self.out.symbols.resolve(sym).to_owned();
                 self.scan_raw_text(&name);
                 continue;
             }
@@ -265,22 +289,22 @@ impl<'a> Tokenizer<'a> {
     }
 
     /// Consumes plain text up to the next `<` (or EOF) and emits a Text
-    /// token unless the run is entirely empty.
+    /// token unless the run is entirely empty. One fused SWAR pass finds
+    /// the boundary and learns whether the run needs entity decoding.
     fn scan_text(&mut self) {
         let start = self.pos;
-        while self.byte(self.pos).is_some_and(|b| b != b'<') {
-            self.pos += 1;
-        }
-        self.emit_text(start, self.pos);
+        let (end, has_amp) = scan_text_run(self.bytes, start);
+        self.pos = end;
+        self.emit_text(start, end, has_amp);
     }
 
-    fn emit_text(&mut self, start: usize, end: usize) {
+    fn emit_text(&mut self, start: usize, end: usize, decode: bool) {
         if start == end {
             return;
         }
-        let raw = self.slice(start, end);
         self.out.tokens.push(Token::Text(Text {
-            text: decode_entities(raw),
+            raw: self.slice(start, end),
+            decode,
             span: Span::new(start, end),
         }));
     }
@@ -298,7 +322,7 @@ impl<'a> Tokenizer<'a> {
                 // `<` followed by junk: emit the `<` as text, keep going.
                 self.warn(WarningKind::StrayLessThan, Span::new(start, start + 1));
                 self.pos = start + 1;
-                self.emit_text(start, start + 1);
+                self.emit_text(start, start + 1, false);
             }
         }
     }
@@ -311,7 +335,8 @@ impl<'a> Tokenizer<'a> {
             match find_sub(self.bytes, b"]]>", body_start) {
                 Some(end) => {
                     self.out.tokens.push(Token::Text(Text {
-                        text: self.slice(body_start, end).to_owned(),
+                        raw: self.slice(body_start, end),
+                        decode: false,
                         span: Span::new(start, end + 3),
                     }));
                     self.pos = end + 3;
@@ -320,7 +345,8 @@ impl<'a> Tokenizer<'a> {
                     let span = Span::new(start, self.bytes.len());
                     self.warn(WarningKind::UnterminatedComment, span);
                     self.out.tokens.push(Token::Text(Text {
-                        text: self.slice_from(body_start).to_owned(),
+                        raw: self.slice_from(body_start),
+                        decode: false,
                         span,
                     }));
                     self.pos = self.bytes.len();
@@ -388,7 +414,7 @@ impl<'a> Tokenizer<'a> {
             // `</>` or `</ …`: treat as stray text.
             self.warn(WarningKind::StrayLessThan, Span::new(start, start + 2));
             self.pos = start + 1;
-            self.emit_text(start, start + 1);
+            self.emit_text(start, start + 1, false);
             return;
         }
         let name = self.tag_name(name_start, i);
@@ -415,8 +441,8 @@ impl<'a> Tokenizer<'a> {
         if after == self.bytes.len() && last != Some(b'>') {
             self.warn(WarningKind::UnterminatedTag, span);
         }
-        if !self_closing && !self.xml && is_raw_text_element(&name) {
-            self.raw_text = Some(name.clone());
+        if !self_closing && !self.xml && is_raw_text_element(self.out.symbols.resolve(name)) {
+            self.raw_text = Some(name);
         }
         self.out.tokens.push(Token::Start(StartTag {
             name,
@@ -427,18 +453,23 @@ impl<'a> Tokenizer<'a> {
         self.pos = after;
     }
 
-    /// Tag names are lower-cased in HTML mode; XML is case-sensitive.
-    fn tag_name(&self, start: usize, end: usize) -> String {
-        if self.xml {
-            self.slice(start, end).to_owned()
-        } else {
-            self.slice(start, end).to_ascii_lowercase()
+    /// Interns the tag name at `src[start..end]`. HTML mode lower-cases
+    /// first (through a reused scratch buffer, so an already-lower-case
+    /// name — the common case — never allocates); XML is case-sensitive.
+    fn tag_name(&mut self, start: usize, end: usize) -> Sym {
+        let raw = self.slice(start, end);
+        if self.xml || !raw.bytes().any(|b| b.is_ascii_uppercase()) {
+            return self.out.symbols.intern(raw);
         }
+        self.scratch.clear();
+        self.scratch.push_str(raw);
+        self.scratch.make_ascii_lowercase();
+        self.out.symbols.intern(&self.scratch)
     }
 
     /// Parses the attribute list starting at `i` (just after the tag name).
     /// Returns `(attrs, self_closing, position after '>')`.
-    fn scan_attributes(&mut self, mut i: usize) -> (Vec<Attribute>, bool, usize) {
+    fn scan_attributes(&mut self, mut i: usize) -> (Vec<Attribute<'a>>, bool, usize) {
         let mut attrs = Vec::new();
         let mut self_closing = false;
         loop {
@@ -471,7 +502,7 @@ impl<'a> Tokenizer<'a> {
 
     /// Parses a single `name`, `name=value`, `name="value"` or `name='value'`
     /// attribute starting at non-whitespace position `i`.
-    fn scan_one_attribute(&mut self, mut i: usize) -> (Option<Attribute>, usize) {
+    fn scan_one_attribute(&mut self, mut i: usize) -> (Option<Attribute<'a>>, usize) {
         let name_start = i;
         while self
             .byte(i)
@@ -482,7 +513,12 @@ impl<'a> Tokenizer<'a> {
         if i == name_start {
             return (None, i + 1);
         }
-        let name = self.slice(name_start, i).to_ascii_lowercase();
+        let raw_name = self.slice(name_start, i);
+        let name: Cow<'a, str> = if raw_name.bytes().any(|b| b.is_ascii_uppercase()) {
+            Cow::Owned(raw_name.to_ascii_lowercase())
+        } else {
+            Cow::Borrowed(raw_name)
+        };
         // Skip whitespace around `=`.
         let mut j = i;
         while self.byte(j).is_some_and(|b| b.is_ascii_whitespace()) {
@@ -549,6 +585,11 @@ impl<'a> Tokenizer<'a> {
 
     /// Inside `<script>`/`<style>`/…: everything until the matching end tag
     /// is one text token; no entity decoding (raw text).
+    ///
+    /// The closing-tag probe compares exactly `name.len()` bytes
+    /// case-insensitively — the old implementation lower-cased the entire
+    /// remaining document on every `<` inside the raw text, which was
+    /// quadratic on script-heavy pages.
     fn scan_raw_text(&mut self, name: &str) {
         let start = self.pos;
         let mut i = start;
@@ -558,9 +599,8 @@ impl<'a> Tokenizer<'a> {
                 Some(lt) => {
                     if self.byte(lt + 1) == Some(b'/')
                         && self
-                            .slice_from(lt + 2)
-                            .to_ascii_lowercase()
-                            .starts_with(name)
+                            .slice(lt + 2, lt + 2 + name.len())
+                            .eq_ignore_ascii_case(name)
                     {
                         break Some(lt);
                     }
@@ -572,7 +612,8 @@ impl<'a> Tokenizer<'a> {
             Some(lt) => {
                 if lt > start {
                     self.out.tokens.push(Token::Text(Text {
-                        text: self.slice(start, lt).to_owned(),
+                        raw: self.slice(start, lt),
+                        decode: false,
                         span: Span::new(start, lt),
                     }));
                 }
@@ -584,7 +625,8 @@ impl<'a> Tokenizer<'a> {
                 self.warn(WarningKind::UnterminatedRawText, span);
                 if !span.is_empty() {
                     self.out.tokens.push(Token::Text(Text {
-                        text: self.slice_from(start).to_owned(),
+                        raw: self.slice_from(start),
+                        decode: false,
                         span,
                     }));
                 }
@@ -599,40 +641,17 @@ fn is_name_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b':' | b'.')
 }
 
-/// Index of the first occurrence of `needle` byte at or after `from`.
-fn find_byte(haystack: &[u8], needle: u8, from: usize) -> Option<usize> {
-    haystack
-        .get(from..)
-        .unwrap_or(&[])
-        .iter()
-        .position(|&b| b == needle)
-        .map(|i| i + from)
-}
-
-/// Index of the first occurrence of the `needle` byte string at or after `from`.
-fn find_sub(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
-    if needle.is_empty() {
-        return None;
-    }
-    haystack
-        .get(from..)
-        .unwrap_or(&[])
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|i| i + from)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn names(ts: &TokenStream) -> Vec<String> {
+    fn names(ts: &TokenStream<'_>) -> Vec<String> {
         ts.tokens
             .iter()
             .map(|t| match t {
-                Token::Start(s) => format!("<{}>", s.name),
-                Token::End(e) => format!("</{}>", e.name),
-                Token::Text(t) => format!("'{}'", t.text),
+                Token::Start(s) => format!("<{}>", ts.symbols.resolve(s.name)),
+                Token::End(e) => format!("</{}>", ts.symbols.resolve(e.name)),
+                Token::Text(t) => format!("'{}'", t.text()),
                 Token::Comment(_) => "<!--->".into(),
                 Token::Doctype(_) => "<!DOCTYPE>".into(),
                 Token::ProcessingInstruction(_) => "<?>".into(),
@@ -683,6 +702,22 @@ mod tests {
     }
 
     #[test]
+    fn attribute_without_entities_borrows() {
+        let ts = tokenize(r#"<a href="plain.html" Class="x">"#);
+        let Token::Start(t) = &ts.tokens[0] else {
+            panic!()
+        };
+        // Lower-case name + entity-free value: both borrow the source.
+        assert!(matches!(&ts.tokens[0], Token::Start(_)));
+        let href = t.attrs.iter().find(|a| a.name == "href").unwrap();
+        assert!(matches!(href.name, Cow::Borrowed(_)));
+        assert!(matches!(href.value, Some(Cow::Borrowed(_))));
+        // Mixed-case name must be lower-cased (and therefore owned).
+        let class = t.attrs.iter().find(|a| a.name == "class").unwrap();
+        assert!(matches!(class.name, Cow::Owned(_)));
+    }
+
+    #[test]
     fn tag_names_lowercased() {
         let ts = tokenize("<TABLE><TR><TD>x</TD></TR></TABLE>");
         assert_eq!(
@@ -692,25 +727,34 @@ mod tests {
     }
 
     #[test]
+    fn mixed_case_names_intern_to_one_symbol() {
+        let ts = tokenize("<TD></td><Td>");
+        let syms: Vec<_> = ts.tags().filter_map(Token::tag_sym).collect();
+        assert_eq!(syms.len(), 3);
+        assert!(syms.iter().all(|&s| s == syms[0]));
+        assert_eq!(ts.symbols.resolve(syms[0]), "td");
+    }
+
+    #[test]
     fn comments_and_doctype() {
         let ts = tokenize("<!DOCTYPE html><!-- hidden --><p>x</p>");
         assert!(matches!(ts.tokens[0], Token::Doctype(_)));
         assert!(matches!(ts.tokens[1], Token::Comment(_)));
-        assert!(ts.tokens[2].is_start("p"));
+        assert!(ts.tokens[2].is_start(&ts.symbols, "p"));
     }
 
     #[test]
     fn comment_containing_tags() {
         let ts = tokenize("<!-- <b>not real</b> --><i>x</i>");
         assert!(matches!(ts.tokens[0], Token::Comment(_)));
-        assert!(ts.tokens[1].is_start("i"));
+        assert!(ts.tokens[1].is_start(&ts.symbols, "i"));
     }
 
     #[test]
     fn bang_tag_without_dashes_is_comment() {
         let ts = tokenize("<!WEIRD thing><p>x");
         assert!(matches!(ts.tokens[0], Token::Comment(_)));
-        assert!(ts.tokens[1].is_start("p"));
+        assert!(ts.tokens[1].is_start(&ts.symbols, "p"));
     }
 
     #[test]
@@ -723,7 +767,7 @@ mod tests {
         let Token::Start(h) = &ts.tokens[1] else {
             panic!()
         };
-        assert_eq!(h.name, "hr");
+        assert_eq!(ts.symbols.resolve(h.name), "hr");
         assert!(h.self_closing);
     }
 
@@ -745,15 +789,25 @@ mod tests {
     }
 
     #[test]
+    fn entity_free_text_borrows_the_source() {
+        let ts = tokenize("<p>plain run</p>");
+        let Token::Text(t) = &ts.tokens[1] else {
+            panic!()
+        };
+        assert!(!t.decode);
+        assert!(matches!(t.text(), Cow::Borrowed(_)));
+    }
+
+    #[test]
     fn raw_text_script_not_parsed() {
         let ts = tokenize("<script>if (a<b) { x(\"<td>\"); }</script><p>y");
-        assert!(ts.tokens[0].is_start("script"));
+        assert!(ts.tokens[0].is_start(&ts.symbols, "script"));
         let Token::Text(t) = &ts.tokens[1] else {
             panic!("{:?}", ts.tokens)
         };
-        assert!(t.text.contains("<td>"));
-        assert!(ts.tokens[2].is_end("script"));
-        assert!(ts.tokens[3].is_start("p"));
+        assert!(t.text().contains("<td>"));
+        assert!(ts.tokens[2].is_end(&ts.symbols, "script"));
+        assert!(ts.tokens[3].is_start(&ts.symbols, "p"));
     }
 
     #[test]
@@ -762,7 +816,23 @@ mod tests {
         let Token::Text(t) = &ts.tokens[1] else {
             panic!()
         };
-        assert_eq!(t.text, "A < B");
+        assert_eq!(t.text(), "A < B");
+    }
+
+    #[test]
+    fn raw_text_entities_stay_raw() {
+        let ts = tokenize("<script>a &amp;&amp; b</script>");
+        let Token::Text(t) = &ts.tokens[1] else {
+            panic!()
+        };
+        assert_eq!(t.text(), "a &amp;&amp; b");
+    }
+
+    #[test]
+    fn mixed_case_raw_text_closes() {
+        let ts = tokenize("<SCRIPT>x</ScRiPt><p>y");
+        assert!(ts.tokens[2].is_end(&ts.symbols, "script"));
+        assert!(ts.tokens[3].is_start(&ts.symbols, "p"));
     }
 
     #[test]
@@ -804,11 +874,11 @@ mod tests {
     #[test]
     fn end_tag_with_junk() {
         let ts = tokenize("<b>x</b extra>y");
-        assert!(ts.tokens[2].is_end("b"));
+        assert!(ts.tokens[2].is_end(&ts.symbols, "b"));
         let Token::Text(t) = &ts.tokens[3] else {
             panic!()
         };
-        assert_eq!(t.text, "y");
+        assert_eq!(t.text(), "y");
     }
 
     #[test]
@@ -844,7 +914,7 @@ mod tests {
     fn paper_figure2_prefix() {
         let src = "<html><head><title>Classifieds</title></head>\n<body bgcolor=\"#FFFFFF\">";
         let ts = tokenize(src);
-        let tags: Vec<_> = ts.tags().map(ToString::to_string).collect();
+        let tags: Vec<_> = ts.tags().map(|t| t.render(&ts.symbols)).collect();
         assert_eq!(
             tags,
             vec![

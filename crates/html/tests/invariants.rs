@@ -80,14 +80,14 @@ fn tag_spans_point_at_angle_brackets_holds() {
 /// the same tag sequence (normalization fixpoint).
 fn render_retokenize_fixpoint(src: &str) -> Result<(), String> {
     let ts = tokenize(src);
-    let rendered: String = ts.tokens.iter().map(ToString::to_string).collect();
+    let rendered = ts.render();
     let ts2 = tokenize(&rendered);
     let tags = |ts: &rbd_html::TokenStream| -> Vec<String> {
         ts.tokens
             .iter()
             .filter_map(|t| match t {
-                Token::Start(s) => Some(format!("<{}>", s.name)),
-                Token::End(e) => Some(format!("</{}>", e.name)),
+                Token::Start(s) => Some(format!("<{}>", ts.symbols.resolve(s.name))),
+                Token::End(e) => Some(format!("</{}>", ts.symbols.resolve(e.name))),
                 _ => None,
             })
             .collect()

@@ -34,14 +34,15 @@ fn assert_span_discipline(source: &str) -> Result<(), String> {
         // Slicing is the real proof: &str indexing panics off-boundary.
         let raw = &source[span.start..span.end];
         if let Token::Text(t) = token {
+            let text = t.text();
             prop_assert!(
-                t.text.is_char_boundary(t.text.len()),
+                text.is_char_boundary(text.len()),
                 "decoded text not a valid string"
             );
             // A text token's raw slice contains no tag-opening '<' except
             // possibly a stray one re-classified as text.
             prop_assert!(
-                !raw.is_empty() || t.text.is_empty(),
+                !raw.is_empty() || text.is_empty(),
                 "empty span with non-empty text"
             );
         }

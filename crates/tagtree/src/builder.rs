@@ -142,7 +142,7 @@ impl TagTreeBuilder {
         let (events, stats) = normalize_tokens(tokens);
         debug_assert!(crate::event::is_balanced(&events));
         Ok((
-            tree_from_events_budgeted(&events, source_len, &self.budget)?,
+            tree_from_events_budgeted(&events, source_len, &self.budget, &tokens.symbols)?,
             stats,
         ))
     }
@@ -175,7 +175,7 @@ mod tests {
         ] {
             let tree = b.build(src);
             // Must not panic, and the synthetic root always exists.
-            assert_eq!(tree.node(tree.root()).name, "#root", "source {src:?}");
+            assert_eq!(tree.name(tree.root()), "#root", "source {src:?}");
         }
     }
 }

@@ -9,23 +9,29 @@
 //! we keep the equivalent event list in memory. The stack-plus-table bookkeeping
 //! is the same: each pushed start-tag remembers "the location of the next tag
 //! in `D`" so a later recovery pop knows where its end-tag belongs.
+//!
+//! Events are zero-copy: tag names are interned [`Sym`]s (matching the
+//! stack search in step 2 is an integer compare) and text events borrow
+//! their raw source slice, deferring entity decoding to the tree builder's
+//! single arena append.
 
-use rbd_html::{Span, Token, TokenStream, Tokenizer};
+use rbd_html::{decode_entities, Span, Sym, SymbolTable, Token, TokenStream, Tokenizer};
+use std::borrow::Cow;
 
 /// One event of the normalized, balanced document.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Event {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event<'a> {
     /// A start tag. `src` covers the tag in the original source.
     Start {
-        /// Lower-cased tag name.
-        name: String,
+        /// Interned tag name (lower-cased by the tokenizer).
+        name: Sym,
         /// Byte span of the start tag in the source document.
         src: Span,
     },
     /// An end tag, real or synthesized.
     End {
-        /// Lower-cased tag name.
-        name: String,
+        /// Interned tag name (lower-cased by the tokenizer).
+        name: Sym,
         /// Byte span of the end tag in the source. For a synthetic end-tag
         /// this is the empty span at the paper's position `L` (the start of
         /// the tag that follows the unclosed start-tag).
@@ -33,21 +39,35 @@ pub enum Event {
         /// `true` if this end-tag was inserted by normalization.
         synthetic: bool,
     },
-    /// A run of plain text (entities already decoded).
+    /// A run of plain text, borrowed raw from the source.
     Text {
-        /// Decoded text.
-        text: String,
+        /// Raw source slice (entities not yet decoded).
+        raw: &'a str,
+        /// Whether the run may contain character references to decode.
+        decode: bool,
         /// Byte span in the source.
         src: Span,
     },
 }
 
-impl Event {
+impl<'a> Event<'a> {
     /// Tag name for start/end events.
-    pub fn name(&self) -> Option<&str> {
+    pub fn name(&self) -> Option<Sym> {
         match self {
-            Event::Start { name, .. } | Event::End { name, .. } => Some(name),
+            Event::Start { name, .. } | Event::End { name, .. } => Some(*name),
             Event::Text { .. } => None,
+        }
+    }
+
+    /// Decoded text for text events; `None` for tags.
+    pub fn text(&self) -> Option<Cow<'a, str>> {
+        match self {
+            Event::Text { raw, decode, .. } => Some(if *decode {
+                decode_entities(raw)
+            } else {
+                Cow::Borrowed(*raw)
+            }),
+            Event::Start { .. } | Event::End { .. } => None,
         }
     }
 }
@@ -70,8 +90,9 @@ pub struct NormalizeStats {
 /// `next_tag` is the paper's `L` — the location of the first tag that
 /// follows this start-tag — recorded incrementally so recovery pops are
 /// `O(1)` (the paper achieves the same with its table of linked lists).
+#[derive(Clone, Copy)]
 struct Open {
-    name: String,
+    name: Sym,
     /// The paper's `L`: `(event index, source position)` of the first tag
     /// event after this start-tag. `None` until such a tag is pushed.
     next_tag: Option<(usize, usize)>,
@@ -80,23 +101,27 @@ struct Open {
     text_end: usize,
 }
 
-/// Normalizes `source` into a balanced event stream (Appendix A steps 1–2).
+/// Normalizes `source` into a balanced event stream (Appendix A steps 1–2),
+/// returning the events, what normalization did, and the symbol table the
+/// events' [`Sym`]s resolve against.
 ///
 /// Never fails: arbitrarily malformed HTML yields a well-nested event list.
-pub fn normalize(source: &str) -> (Vec<Event>, NormalizeStats) {
+pub fn normalize(source: &str) -> (Vec<Event<'_>>, NormalizeStats, SymbolTable) {
     let tokens = Tokenizer::new(source).run();
-    normalize_tokens(&tokens)
+    let (events, stats) = normalize_tokens(&tokens);
+    (events, stats, tokens.symbols)
 }
 
-/// Normalization over an already-tokenized stream.
-pub fn normalize_tokens(tokens: &TokenStream) -> (Vec<Event>, NormalizeStats) {
+/// Normalization over an already-tokenized stream. Events resolve against
+/// the stream's own `symbols` table.
+pub fn normalize_tokens<'a>(tokens: &TokenStream<'a>) -> (Vec<Event<'a>>, NormalizeStats) {
     let mut stats = NormalizeStats::default();
     // rbd-lint: allow(budget) — proportional to the token stream, which the TokenBudget caps
-    let mut events: Vec<Event> = Vec::with_capacity(tokens.tokens.len() + 16);
+    let mut events: Vec<Event<'a>> = Vec::with_capacity(tokens.tokens.len() + 16);
     let mut stack: Vec<Open> = Vec::new();
     // Pending synthetic end-tags keyed by the index (into `events`) of the
     // event they must precede; indices ≥ `events.len()` at splice time append.
-    let mut pending: Vec<(usize, Event)> = Vec::new();
+    let mut pending: Vec<(usize, Event<'a>)> = Vec::new();
 
     // Records the paper's `L` for the innermost open tag when a new tag
     // event arrives at `(idx, src_pos)`. Only the stack top can still lack
@@ -121,7 +146,8 @@ pub fn normalize_tokens(tokens: &TokenStream) -> (Vec<Event>, NormalizeStats) {
                     }
                 }
                 events.push(Event::Text {
-                    text: t.text.clone(),
+                    raw: t.raw,
+                    decode: t.decode,
                     src: t.span,
                 });
             }
@@ -130,18 +156,18 @@ pub fn normalize_tokens(tokens: &TokenStream) -> (Vec<Event>, NormalizeStats) {
                 let idx = events.len();
                 note_tag(&mut stack, idx, t.span.start);
                 events.push(Event::Start {
-                    name: t.name.clone(),
+                    name: t.name,
                     src: t.span,
                 });
                 if t.self_closing {
                     events.push(Event::End {
-                        name: t.name.clone(),
+                        name: t.name,
                         src: Span::new(t.span.end, t.span.end),
                         synthetic: false,
                     });
                 } else {
                     stack.push(Open {
-                        name: t.name.clone(),
+                        name: t.name,
                         next_tag: None,
                         text_end: t.span.end,
                     });
@@ -150,7 +176,7 @@ pub fn normalize_tokens(tokens: &TokenStream) -> (Vec<Event>, NormalizeStats) {
             Token::End(t) => {
                 // Find the matching start-tag on the stack, searching from
                 // the top (paper: "Search for the corresponding start-tag of
-                // G in S").
+                // G in S"). Interned names make this an integer scan.
                 match stack.iter().rposition(|o| o.name == t.name) {
                     None => {
                         // Useless tag: an end-tag with no corresponding
@@ -167,7 +193,7 @@ pub fn normalize_tokens(tokens: &TokenStream) -> (Vec<Event>, NormalizeStats) {
                             if stack.len() <= pos {
                                 debug_assert_eq!(open.name, t.name);
                                 events.push(Event::End {
-                                    name: t.name.clone(),
+                                    name: t.name,
                                     src: t.span,
                                     synthetic: false,
                                 });
@@ -197,7 +223,7 @@ pub fn normalize_tokens(tokens: &TokenStream) -> (Vec<Event>, NormalizeStats) {
 /// start-tag — or at the current frontier (`events.len()`) when no tag
 /// followed, so the region covers exactly the start-tag and its trailing
 /// text.
-fn schedule_close(frontier: usize, pending: &mut Vec<(usize, Event)>, open: Open) {
+fn schedule_close<'a>(frontier: usize, pending: &mut Vec<(usize, Event<'a>)>, open: Open) {
     let (anchor, pos) = match open.next_tag {
         Some((idx, p)) => (idx, p),
         None => (frontier, open.text_end),
@@ -216,7 +242,7 @@ fn schedule_close(frontier: usize, pending: &mut Vec<(usize, Event)>, open: Open
 /// `(anchor, ev)` inserts `ev` immediately *before* `events[anchor]`;
 /// anchors at or past the end append. At equal anchors, insertion order is
 /// preserved — pops happen innermost-first, which yields correct nesting.
-fn splice(events: Vec<Event>, mut pending: Vec<(usize, Event)>) -> Vec<Event> {
+fn splice<'a>(events: Vec<Event<'a>>, mut pending: Vec<(usize, Event<'a>)>) -> Vec<Event<'a>> {
     if pending.is_empty() {
         return events;
     }
@@ -239,13 +265,13 @@ fn splice(events: Vec<Event>, mut pending: Vec<(usize, Event)>) -> Vec<Event> {
 
 /// Checks that an event stream is balanced: every `Start` has a matching
 /// `End` in proper nesting order. Used by tests and debug assertions.
-pub fn is_balanced(events: &[Event]) -> bool {
-    let mut stack: Vec<&str> = Vec::new();
+pub fn is_balanced(events: &[Event<'_>]) -> bool {
+    let mut stack: Vec<Sym> = Vec::new();
     for ev in events {
         match ev {
-            Event::Start { name, .. } => stack.push(name),
+            Event::Start { name, .. } => stack.push(*name),
             Event::End { name, .. } => {
-                if stack.pop() != Some(name.as_str()) {
+                if stack.pop() != Some(*name) {
                     return false;
                 }
             }
@@ -259,26 +285,26 @@ pub fn is_balanced(events: &[Event]) -> bool {
 mod tests {
     use super::*;
 
-    fn render(events: &[Event]) -> String {
+    fn render(events: &[Event<'_>], symbols: &SymbolTable) -> String {
         let mut s = String::new();
         for ev in events {
             match ev {
                 Event::Start { name, .. } => {
                     s.push('<');
-                    s.push_str(name);
+                    s.push_str(symbols.resolve(*name));
                     s.push('>');
                 }
                 Event::End {
                     name, synthetic, ..
                 } => {
                     s.push_str("</");
-                    s.push_str(name);
+                    s.push_str(symbols.resolve(*name));
                     if *synthetic {
                         s.push('*');
                     }
                     s.push('>');
                 }
-                Event::Text { text, .. } => s.push_str(text),
+                Event::Text { .. } => s.push_str(&ev.text().unwrap_or_default()),
             }
         }
         s
@@ -286,8 +312,8 @@ mod tests {
 
     #[test]
     fn already_balanced_passes_through() {
-        let (ev, stats) = normalize("<html><body>x</body></html>");
-        assert_eq!(render(&ev), "<html><body>x</body></html>");
+        let (ev, stats, syms) = normalize("<html><body>x</body></html>");
+        assert_eq!(render(&ev, &syms), "<html><body>x</body></html>");
         assert!(is_balanced(&ev));
         assert_eq!(stats.end_tags_inserted, 0);
         assert_eq!(stats.orphan_end_tags, 0);
@@ -295,8 +321,8 @@ mod tests {
 
     #[test]
     fn void_tag_closed_before_next_tag() {
-        let (ev, stats) = normalize("<td><br>text<hr>more</td>");
-        assert_eq!(render(&ev), "<td><br>text</br*><hr>more</hr*></td>");
+        let (ev, stats, syms) = normalize("<td><br>text<hr>more</td>");
+        assert_eq!(render(&ev, &syms), "<td><br>text</br*><hr>more</hr*></td>");
         assert!(is_balanced(&ev));
         assert_eq!(stats.end_tags_inserted, 2);
     }
@@ -305,22 +331,22 @@ mod tests {
     fn region_of_unclosed_tag_is_start_plus_text() {
         // `<b>` unclosed: when `</td>` arrives, `</b>` goes before the tag
         // following `<b>` — i.e. before `<i>` — so `<i>` is b's sibling.
-        let (ev, _) = normalize("<td><b>bold<i>it</i></td>");
-        assert_eq!(render(&ev), "<td><b>bold</b*><i>it</i></td>");
+        let (ev, _, syms) = normalize("<td><b>bold<i>it</i></td>");
+        assert_eq!(render(&ev, &syms), "<td><b>bold</b*><i>it</i></td>");
         assert!(is_balanced(&ev));
     }
 
     #[test]
     fn orphan_end_tag_discarded() {
-        let (ev, stats) = normalize("<p>a</b>b</p>");
-        assert_eq!(render(&ev), "<p>ab</p>");
+        let (ev, stats, syms) = normalize("<p>a</b>b</p>");
+        assert_eq!(render(&ev, &syms), "<p>ab</p>");
         assert_eq!(stats.orphan_end_tags, 1);
     }
 
     #[test]
     fn comments_discarded() {
-        let (ev, stats) = normalize("<p><!-- hi -->a</p>");
-        assert_eq!(render(&ev), "<p>a</p>");
+        let (ev, stats, syms) = normalize("<p><!-- hi -->a</p>");
+        assert_eq!(render(&ev, &syms), "<p>a</p>");
         assert_eq!(stats.comments_discarded, 1);
     }
 
@@ -329,8 +355,8 @@ mod tests {
         // Section 3: a region without an end-tag ends just before the next
         // tag — so an unclosed `<html>` region covers only itself, and
         // `<body>` becomes its sibling, not its child.
-        let (ev, stats) = normalize("<html><body>text");
-        assert_eq!(render(&ev), "<html></html*><body>text</body*>");
+        let (ev, stats, syms) = normalize("<html><body>text");
+        assert_eq!(render(&ev, &syms), "<html></html*><body>text</body*>");
         assert!(is_balanced(&ev));
         assert_eq!(stats.end_tags_inserted, 2);
     }
@@ -339,15 +365,15 @@ mod tests {
     fn eof_close_respects_anchor() {
         // `<b>` is followed by `<i>`: even at EOF-recovery, `</b>` belongs
         // before `<i>`, not at the end.
-        let (ev, _) = normalize("<b>x<i>y");
-        assert_eq!(render(&ev), "<b>x</b*><i>y</i*>");
+        let (ev, _, syms) = normalize("<b>x<i>y");
+        assert_eq!(render(&ev, &syms), "<b>x</b*><i>y</i*>");
         assert!(is_balanced(&ev));
     }
 
     #[test]
     fn self_closing_immediately_balanced() {
-        let (ev, _) = normalize("<p><br/>x</p>");
-        assert_eq!(render(&ev), "<p><br></br>x</p>");
+        let (ev, _, syms) = normalize("<p><br/>x</p>");
+        assert_eq!(render(&ev, &syms), "<p><br></br>x</p>");
         assert!(is_balanced(&ev));
     }
 
@@ -355,8 +381,8 @@ mod tests {
     fn interleaved_misnesting_recovers() {
         // <b><i></b></i>: at </b>, i is popped with a synthetic end before
         // … the next tag after <i> is </b> itself; then </i> is an orphan.
-        let (ev, stats) = normalize("<b>x<i>y</b>z</i>w");
-        assert_eq!(render(&ev), "<b>x<i>y</i*></b>zw");
+        let (ev, stats, syms) = normalize("<b>x<i>y</b>z</i>w");
+        assert_eq!(render(&ev, &syms), "<b>x<i>y</i*></b>zw");
         assert!(is_balanced(&ev));
         assert_eq!(stats.orphan_end_tags, 1);
         assert_eq!(stats.end_tags_inserted, 1);
@@ -370,10 +396,10 @@ mod tests {
                    <hr><b>L</b><br> died.\
                    <hr><b>B</b><br> passed.\
                    <hr></td></tr></table>";
-        let (ev, _) = normalize(src);
+        let (ev, _, syms) = normalize(src);
         assert!(is_balanced(&ev));
         assert_eq!(
-            render(&ev),
+            render(&ev, &syms),
             "<table><tr><td><h1>F</h1> Oct<hr></hr*><b>L</b><br> died.</br*>\
              <hr></hr*><b>B</b><br> passed.</br*><hr></hr*></td></tr></table>"
         );
@@ -381,27 +407,30 @@ mod tests {
 
     #[test]
     fn repeated_same_tag_unclosed() {
-        let (ev, _) = normalize("<ul><li>a<li>b<li>c</ul>");
-        assert_eq!(render(&ev), "<ul><li>a</li*><li>b</li*><li>c</li*></ul>");
+        let (ev, _, syms) = normalize("<ul><li>a<li>b<li>c</ul>");
+        assert_eq!(
+            render(&ev, &syms),
+            "<ul><li>a</li*><li>b</li*><li>c</li*></ul>"
+        );
         assert!(is_balanced(&ev));
     }
 
     #[test]
     fn empty_document() {
-        let (ev, stats) = normalize("");
+        let (ev, stats, _) = normalize("");
         assert!(ev.is_empty());
         assert_eq!(stats, NormalizeStats::default());
     }
 
     #[test]
     fn text_only_document() {
-        let (ev, _) = normalize("just words");
-        assert_eq!(render(&ev), "just words");
+        let (ev, _, syms) = normalize("just words");
+        assert_eq!(render(&ev, &syms), "just words");
     }
 
     #[test]
     fn stats_count_start_tags() {
-        let (_, stats) = normalize("<a><b></b></a><c/>");
+        let (_, stats, _) = normalize("<a><b></b></a><c/>");
         assert_eq!(stats.start_tags, 3);
     }
 }

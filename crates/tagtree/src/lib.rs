@@ -37,7 +37,7 @@
 //!   </td></tr></table></body></html>";
 //! let tree = TagTreeBuilder::default().build(html);
 //! let fanout = tree.highest_fanout();
-//! assert_eq!(tree.node(fanout).name, "td");
+//! assert_eq!(tree.name(fanout), "td");
 //! let cands = tree.candidate_tags(fanout, 0.10);
 //! let names: Vec<&str> = cands.iter().map(|c| c.name.as_str()).collect();
 //! assert!(names.contains(&"hr") && names.contains(&"b") && names.contains(&"br"));

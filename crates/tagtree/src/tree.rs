@@ -1,7 +1,12 @@
 //! The tag tree and its analysis operations (Section 3).
+//!
+//! Storage is allocation-light: nodes live in a flat arena, tag names are
+//! interned [`Sym`]s resolved against the tree's [`SymbolTable`], and all
+//! inner/trailing text lives in one shared `String` arena that nodes
+//! reference by byte span — a node carries no heap strings of its own.
 
 use crate::event::Event;
-use rbd_html::Span;
+use rbd_html::{Span, Sym, SymbolTable};
 use rbd_limits::{LimitExceeded, LimitKind};
 use std::fmt;
 
@@ -93,16 +98,22 @@ impl TreeBudget {
 }
 
 /// One node of the tag tree: the paper's `[G, I, O]` triple plus structure.
+///
+/// Text is stored as spans into the owning tree's shared text arena; use
+/// [`TagTree::inner_text`] / [`TagTree::trailing_text`] to read it, and
+/// [`TagTree::name`] to resolve the interned tag name.
 #[derive(Debug, Clone)]
 pub struct Node {
-    /// Start-tag name `G` (the synthetic root is named `#root`).
-    pub name: String,
-    /// Inner text `I`: plain text between the start-tag and the next tag.
-    pub inner_text: String,
-    /// Trailing text `O`: plain text between this node's end-tag and the
-    /// next tag. Belongs to the parent's region but is recorded on this
-    /// node, exactly as the paper's node form specifies.
-    pub trailing_text: String,
+    /// Start-tag name `G`, interned (the synthetic root is named `#root`).
+    pub name: Sym,
+    /// Inner text `I` as a span of the tree's text arena: plain text between
+    /// the start-tag and the next tag.
+    pub(crate) inner: Span,
+    /// Trailing text `O` as a span of the tree's text arena: plain text
+    /// between this node's end-tag and the next tag. Belongs to the parent's
+    /// region but is recorded on this node, exactly as the paper's node form
+    /// specifies.
+    pub(crate) trailing: Span,
     /// Children in document order.
     pub children: Vec<NodeId>,
     /// Parent node (`None` only for the root).
@@ -163,20 +174,41 @@ impl FlatEvent {
 #[derive(Debug, Clone)]
 pub struct TagTree {
     pub(crate) nodes: Vec<Node>,
+    /// Shared text arena: every node's inner/trailing text is a span here.
+    pub(crate) text: String,
+    /// Interner the nodes' name [`Sym`]s resolve against.
+    pub(crate) symbols: SymbolTable,
     /// Length of the source document in bytes (regions index into it).
     pub(crate) source_len: usize,
 }
 
 impl TagTree {
-    pub(crate) fn new(nodes: Vec<Node>, source_len: usize) -> Self {
+    pub(crate) fn new(
+        nodes: Vec<Node>,
+        text: String,
+        symbols: SymbolTable,
+        source_len: usize,
+    ) -> Self {
         debug_assert!(!nodes.is_empty());
-        TagTree { nodes, source_len }
+        TagTree {
+            nodes,
+            text,
+            symbols,
+            source_len,
+        }
     }
 
     /// A tree holding only the synthetic root — what an empty document
     /// builds, and the fallback the infallible builder API degrades to.
     pub(crate) fn empty(source_len: usize) -> Self {
-        TagTree::new(vec![root_node(source_len)], source_len)
+        let mut symbols = SymbolTable::new();
+        let root = symbols.intern(ROOT_NAME);
+        TagTree::new(
+            vec![root_node(root, source_len)],
+            String::new(),
+            symbols,
+            source_len,
+        )
     }
 
     /// Borrow a node.
@@ -191,6 +223,28 @@ impl TagTree {
             .get(id.index())
             // rbd-lint: allow(panic) — ids are minted by this tree's constructor, always in-bounds
             .expect("NodeId does not belong to this TagTree")
+    }
+
+    /// The symbol table the nodes' name [`Sym`]s resolve against.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Resolved tag name of `id` (the synthetic root is `#root`).
+    pub fn name(&self, id: NodeId) -> &str {
+        self.symbols.resolve(self.node(id).name)
+    }
+
+    /// Inner text `I` of `id`: plain text between its start-tag and the
+    /// next tag, entities decoded.
+    pub fn inner_text(&self, id: NodeId) -> &str {
+        self.node(id).inner.slice(&self.text)
+    }
+
+    /// Trailing text `O` of `id`: plain text between its end-tag and the
+    /// next tag, entities decoded.
+    pub fn trailing_text(&self, id: NodeId) -> &str {
+        self.node(id).trailing.slice(&self.text)
     }
 
     /// The synthetic root (named `#root`); its children are the document's
@@ -255,25 +309,46 @@ impl TagTree {
     /// Number of start-tags in the subtree rooted at `id`, excluding `id`
     /// itself — the paper's "total number of tags in the subtree rooted at
     /// N" used as the base of the 10 % irrelevance threshold.
+    ///
+    /// Counts with an explicit-stack walk instead of materializing the
+    /// descendant list: the old `descendants(id).len() - 1` allocated a
+    /// subtree-sized `Vec` just to throw it away (and its `- 1` relied on
+    /// the walk always yielding `id` itself). Every node is counted once as
+    /// its parent's child, so the sum of child-list lengths over the
+    /// subtree *is* the descendant count — no subtraction involved.
     pub fn subtree_tag_count(&self, id: NodeId) -> usize {
-        self.descendants(id).len() - 1
+        let mut count = 0usize;
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            let children = &self.node(n).children;
+            count = count.saturating_add(children.len());
+            stack.extend(children.iter().copied());
+        }
+        count
     }
 
     /// Appearance counts of each start-tag among the *immediate children*
-    /// of `id`, in first-appearance order.
+    /// of `id`, in first-appearance order. Interned names make this an
+    /// array bump per child rather than a string-compare scan.
     pub fn child_tag_counts(&self, id: NodeId) -> Vec<CandidateTag> {
-        let mut counts: Vec<CandidateTag> = Vec::new();
+        let mut counts = vec![0usize; self.symbols.len()];
+        let mut order: Vec<Sym> = Vec::new();
         for &c in &self.node(id).children {
-            let name = &self.node(c).name;
-            match counts.iter_mut().find(|t| &t.name == name) {
-                Some(t) => t.count += 1,
-                None => counts.push(CandidateTag {
-                    name: name.clone(),
-                    count: 1,
-                }),
+            let sym = self.node(c).name;
+            if let Some(slot) = counts.get_mut(sym.index()) {
+                if *slot == 0 {
+                    order.push(sym);
+                }
+                *slot += 1;
             }
         }
-        counts
+        order
+            .into_iter()
+            .map(|sym| CandidateTag {
+                name: self.symbols.resolve(sym).to_owned(),
+                count: counts.get(sym.index()).copied().unwrap_or(0),
+            })
+            .collect()
     }
 
     /// Candidate separator tags of the subtree rooted at `id`: child
@@ -310,13 +385,14 @@ impl TagTree {
             Exit(NodeId),
         }
         let mut out = Vec::new();
-        let root_node = self.node(id);
-        if !root_node.inner_text.is_empty() {
+        let root_inner = self.inner_text(id);
+        if !root_inner.is_empty() {
             out.push(FlatEvent::Text {
-                text: root_node.inner_text.clone(),
+                text: root_inner.to_owned(),
             });
         }
-        let mut stack: Vec<Walk> = root_node
+        let mut stack: Vec<Walk> = self
+            .node(id)
             .children
             .iter()
             .rev()
@@ -327,13 +403,14 @@ impl TagTree {
                 Walk::Enter(id, depth) => {
                     let node = self.node(id);
                     out.push(FlatEvent::Tag {
-                        name: node.name.clone(),
+                        name: self.symbols.resolve(node.name).to_owned(),
                         depth,
                         src_pos: node.start_tag.start,
                     });
-                    if !node.inner_text.is_empty() {
+                    let inner = self.inner_text(id);
+                    if !inner.is_empty() {
                         out.push(FlatEvent::Text {
-                            text: node.inner_text.clone(),
+                            text: inner.to_owned(),
                         });
                     }
                     stack.push(Walk::Exit(id));
@@ -342,10 +419,10 @@ impl TagTree {
                     }
                 }
                 Walk::Exit(id) => {
-                    let node = self.node(id);
-                    if !node.trailing_text.is_empty() {
+                    let trailing = self.trailing_text(id);
+                    if !trailing.is_empty() {
                         out.push(FlatEvent::Text {
-                            text: node.trailing_text.clone(),
+                            text: trailing.to_owned(),
                         });
                     }
                 }
@@ -369,11 +446,15 @@ impl TagTree {
     /// among the immediate children of `id`, in document order. These are
     /// the record-boundary cut points.
     pub fn child_tag_positions(&self, id: NodeId, tag: &str) -> Vec<usize> {
+        // A name nobody interned can't name any node.
+        let Some(sym) = self.symbols.lookup(tag) else {
+            return Vec::new();
+        };
         self.node(id)
             .children
             .iter()
             .map(|&c| self.node(c))
-            .filter(|n| n.name == tag)
+            .filter(|n| n.name == sym)
             .map(|n| n.start_tag.start)
             .collect()
     }
@@ -389,7 +470,7 @@ impl TagTree {
             for _ in 0..depth {
                 s.push_str("  ");
             }
-            s.push_str(&node.name);
+            s.push_str(self.symbols.resolve(node.name));
             s.push('\n');
             for &c in node.children.iter().rev() {
                 stack.push((c, depth + 1));
@@ -399,12 +480,16 @@ impl TagTree {
     }
 }
 
+/// Name of the synthetic root. `#` is not a tag-name byte, so no document
+/// tag can ever collide with it in the symbol table.
+const ROOT_NAME: &str = "#root";
+
 /// The synthetic root every tree starts from.
-fn root_node(source_len: usize) -> Node {
+fn root_node(name: Sym, source_len: usize) -> Node {
     Node {
-        name: "#root".to_owned(),
-        inner_text: String::new(),
-        trailing_text: String::new(),
+        name,
+        inner: Span::new(0, 0),
+        trailing: Span::new(0, 0),
         children: Vec::new(),
         parent: None,
         region: Span::new(0, source_len),
@@ -412,7 +497,24 @@ fn root_node(source_len: usize) -> Node {
     }
 }
 
-/// Rebuilds a [`TagTree`] from normalized events.
+/// Extends a text-arena span over a freshly appended `[start, end)` chunk.
+///
+/// Appends for one (node, inner/trailing) slot are always contiguous: the
+/// attach target changes only at Start/End events and never returns to an
+/// earlier slot (each Start and End occurs once in a balanced stream), so a
+/// non-empty span's `end` always equals the chunk's `start`.
+fn extend_text_span(span: &mut Span, start: usize, end: usize) {
+    if span.is_empty() {
+        *span = Span::new(start, end);
+    } else {
+        debug_assert_eq!(span.end, start, "non-contiguous arena append");
+        *span = Span::new(span.start, end);
+    }
+}
+
+/// Rebuilds a [`TagTree`] from normalized events, resolving names against
+/// `symbols` (the table of the token stream the events came from; the tree
+/// keeps its own clone, extended with the synthetic root's name).
 ///
 /// Total: an unbalanced stream yields [`TreeError::Unbalanced`] instead of
 /// panicking, and node counts past `u32::MAX` yield
@@ -421,14 +523,18 @@ fn root_node(source_len: usize) -> Node {
 /// refused at its cap, not after materializing; an unbounded budget
 /// reproduces the historical unbudgeted behavior exactly.
 pub(crate) fn tree_from_events_budgeted(
-    events: &[Event],
+    events: &[Event<'_>],
     source_len: usize,
     budget: &TreeBudget,
+    symbols: &SymbolTable,
 ) -> Result<TagTree, TreeError> {
-    let mut nodes = vec![root_node(source_len)];
+    let mut symbols = symbols.clone();
+    let root_sym = symbols.intern(ROOT_NAME);
+    let mut nodes = vec![root_node(root_sym, source_len)];
+    let mut arena = String::new();
     let mut stack: Vec<NodeId> = vec![NodeId::ROOT];
     // The node the last event "belongs" to for text attachment: Start(x)
-    // directs following text into x.inner_text, End(x) into x.trailing_text.
+    // directs following text into x's inner span, End(x) into x's trailing.
     enum Attach {
         Inner(NodeId),
         Trailing(NodeId),
@@ -464,9 +570,9 @@ pub(crate) fn tree_from_events_budgeted(
                 let raw = u32::try_from(nodes.len()).map_err(|_| TreeError::TooManyNodes)?;
                 let id = NodeId(raw);
                 nodes.push(Node {
-                    name: name.clone(),
-                    inner_text: String::new(),
-                    trailing_text: String::new(),
+                    name: *name,
+                    inner: Span::new(0, 0),
+                    trailing: Span::new(0, 0),
                     children: Vec::new(),
                     parent: Some(parent),
                     region: Span::new(src.start, src.end),
@@ -494,20 +600,26 @@ pub(crate) fn tree_from_events_budgeted(
                 }
                 attach = Attach::Trailing(id);
             }
-            Event::Text { text, .. } => {
+            Event::Text { .. } => {
+                let Some(text) = ev.text() else {
+                    continue;
+                };
+                let start = arena.len();
+                arena.push_str(&text);
+                let end = arena.len();
                 let (id, inner) = match attach {
                     Attach::Inner(id) => (id, true),
                     Attach::Trailing(id) => (id, false),
                 };
                 match nodes.get_mut(id.index()) {
-                    Some(n) if inner => n.inner_text.push_str(text),
-                    Some(n) => n.trailing_text.push_str(text),
+                    Some(n) if inner => extend_text_span(&mut n.inner, start, end),
+                    Some(n) => extend_text_span(&mut n.trailing, start, end),
                     None => return Err(TreeError::Unbalanced),
                 }
             }
         }
     }
-    Ok(TagTree::new(nodes, source_len))
+    Ok(TagTree::new(nodes, arena, symbols, source_len))
 }
 
 #[cfg(test)]
@@ -542,7 +654,7 @@ mod tests {
             </td></tr></table></body></html>";
         let tree = build(src);
         let hf = tree.highest_fanout();
-        assert_eq!(tree.node(hf).name, "td");
+        assert_eq!(tree.name(hf), "td");
         assert_eq!(tree.node(hf).fanout(), 18);
         assert_eq!(tree.subtree_tag_count(hf), 18);
         let cands = tree.candidate_tags(hf, 0.10);
@@ -557,28 +669,37 @@ mod tests {
     #[test]
     fn inner_and_trailing_text() {
         let tree = build("<td><b>name</b> died on <hr></td>");
-        let td = tree.node(tree.highest_fanout());
-        assert_eq!(td.name, "td");
-        let b = tree.node(td.children[0]);
-        assert_eq!(b.name, "b");
-        assert_eq!(b.inner_text, "name");
-        assert_eq!(b.trailing_text, " died on ");
+        let td = tree.highest_fanout();
+        assert_eq!(tree.name(td), "td");
+        let b = tree.node(td).children[0];
+        assert_eq!(tree.name(b), "b");
+        assert_eq!(tree.inner_text(b), "name");
+        assert_eq!(tree.trailing_text(b), " died on ");
     }
 
     #[test]
     fn nested_text_attachment() {
         let tree = build("<div>lead<p>para</p>tail</div>");
-        let div = tree.node(tree.node(tree.root()).children[0]);
-        assert_eq!(div.inner_text, "lead");
-        let p = tree.node(div.children[0]);
-        assert_eq!(p.inner_text, "para");
-        assert_eq!(p.trailing_text, "tail");
+        let div = tree.node(tree.root()).children[0];
+        assert_eq!(tree.inner_text(div), "lead");
+        let p = tree.node(div).children[0];
+        assert_eq!(tree.inner_text(p), "para");
+        assert_eq!(tree.trailing_text(p), "tail");
+    }
+
+    #[test]
+    fn entities_decode_into_the_arena() {
+        let tree = build("<td><b>Smith &amp; Sons</b> of A&#110;n </td>");
+        let td = tree.node(tree.root()).children[0];
+        let b = tree.node(td).children[0];
+        assert_eq!(tree.inner_text(b), "Smith & Sons");
+        assert_eq!(tree.trailing_text(b), " of Ann ");
     }
 
     #[test]
     fn subtree_text_concatenates_in_order() {
         let tree = build("<div>a<p>b</p>c<p>d</p>e</div>");
-        let div = tree.ids().find(|&i| tree.node(i).name == "div").unwrap();
+        let div = tree.ids().find(|&i| tree.name(i) == "div").unwrap();
         assert_eq!(tree.subtree_text(div), "abcde");
     }
 
@@ -586,7 +707,7 @@ mod tests {
     fn flatten_depth_and_order() {
         use super::FlatEvent;
         let tree = build("<div><p>x<b>y</b></p><hr></div>");
-        let div = tree.ids().find(|&i| tree.node(i).name == "div").unwrap();
+        let div = tree.ids().find(|&i| tree.name(i) == "div").unwrap();
         let flat = tree.flatten(div);
         let mut tags = vec![];
         for ev in &flat {
@@ -601,26 +722,45 @@ mod tests {
     fn child_tag_positions_are_cut_points() {
         let src = "<td><hr>a<hr>b<hr>c</td>";
         let tree = build(src);
-        let td = tree.ids().find(|&i| tree.node(i).name == "td").unwrap();
+        let td = tree.ids().find(|&i| tree.name(i) == "td").unwrap();
         let pos = tree.child_tag_positions(td, "hr");
         assert_eq!(pos.len(), 3);
         for &p in &pos {
             assert_eq!(&src[p..p + 4], "<hr>");
         }
+        // A tag name the document never used is no one's cut point.
+        assert!(tree.child_tag_positions(td, "blink").is_empty());
     }
 
     #[test]
     fn empty_document_tree() {
         let tree = build("");
         assert!(tree.is_empty());
-        assert_eq!(tree.node(tree.root()).name, "#root");
+        assert_eq!(tree.name(tree.root()), "#root");
         assert_eq!(tree.highest_fanout(), tree.root());
     }
 
     #[test]
     fn text_only_document_attaches_to_root() {
         let tree = build("hello");
-        assert_eq!(tree.node(tree.root()).inner_text, "hello");
+        assert_eq!(tree.inner_text(tree.root()), "hello");
+    }
+
+    #[test]
+    fn subtree_tag_count_is_allocation_free_walk() {
+        // Regression for the old `descendants(id).len() - 1` form: the
+        // counting walk must agree with the materializing walk everywhere,
+        // and a leaf (where the subtraction path had zero slack) counts 0.
+        let tree = build("<a><b><c>x</c></b><d></d></a><e>leaf</e>");
+        for id in tree.ids() {
+            assert_eq!(
+                tree.subtree_tag_count(id),
+                tree.descendants(id).len() - 1,
+                "mismatch at {id}"
+            );
+        }
+        let leaf = tree.ids().find(|&i| tree.name(i) == "c").unwrap();
+        assert_eq!(tree.subtree_tag_count(leaf), 0);
     }
 
     #[test]
@@ -630,7 +770,7 @@ mod tests {
         let tree =
             build("<a><div><p>1</p><p>2</p><p>3</p></div><div><p>4</p><p>5</p><p>6</p></div></a>");
         let hf = tree.highest_fanout();
-        let divs: Vec<_> = tree.ids().filter(|&i| tree.node(i).name == "div").collect();
+        let divs: Vec<_> = tree.ids().filter(|&i| tree.name(i) == "div").collect();
         assert_eq!(hf, divs[0]);
     }
 
@@ -638,22 +778,22 @@ mod tests {
     fn regions_nest() {
         let src = "<html><body><b>x</b></body></html>";
         let tree = build(src);
-        let html = tree.node(tree.node(tree.root()).children[0]);
-        let body = tree.node(html.children[0]);
-        let b = tree.node(body.children[0]);
-        assert!(html.region.encloses(body.region));
-        assert!(body.region.encloses(b.region));
-        assert_eq!(b.region.slice(src), "<b>x</b>");
+        let html = tree.node(tree.root()).children[0];
+        let body = tree.node(html).children[0];
+        let b = tree.node(body).children[0];
+        assert!(tree.node(html).region.encloses(tree.node(body).region));
+        assert!(tree.node(body).region.encloses(tree.node(b).region));
+        assert_eq!(tree.node(b).region.slice(src), "<b>x</b>");
     }
 
     #[test]
     fn synthetic_region_ends_before_next_tag() {
         let src = "<td><br>text<hr></td>";
         let tree = build(src);
-        let td = tree.ids().find(|&i| tree.node(i).name == "td").unwrap();
-        let br = tree.node(tree.node(td).children[0]);
-        assert_eq!(br.name, "br");
-        assert_eq!(br.region.slice(src), "<br>text");
+        let td = tree.ids().find(|&i| tree.name(i) == "td").unwrap();
+        let br = tree.node(td).children[0];
+        assert_eq!(tree.name(br), "br");
+        assert_eq!(tree.node(br).region.slice(src), "<br>text");
     }
 
     #[test]
@@ -662,7 +802,7 @@ mod tests {
         // zero and the candidate set must be empty by the early guard, not
         // by float comparison luck.
         let tree = build("<td>just text</td>");
-        let td = tree.ids().find(|&i| tree.node(i).name == "td").unwrap();
+        let td = tree.ids().find(|&i| tree.name(i) == "td").unwrap();
         assert_eq!(tree.subtree_tag_count(td), 0);
         assert!(tree.candidate_tags(td, 0.10).is_empty());
         // Zero threshold on a zero-tag subtree is the degenerate corner:
@@ -782,7 +922,7 @@ mod tests {
         let names: Vec<_> = tree
             .descendants(a)
             .into_iter()
-            .map(|i| tree.node(i).name.clone())
+            .map(|i| tree.name(i).to_owned())
             .collect();
         assert_eq!(names, vec!["a", "b", "c", "d"]);
     }

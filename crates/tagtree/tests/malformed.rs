@@ -15,7 +15,7 @@ use rbd_tagtree::{event, normalize, TagTreeBuilder};
 /// failing the property — the runner catches and minimizes panics) if any
 /// is violated.
 fn assert_well_formed(src: &str) {
-    let (events, _) = normalize(src);
+    let (events, _, _) = normalize(src);
     assert!(event::is_balanced(&events), "unbalanced events for {src:?}");
 
     let (tree, stats) = TagTreeBuilder::new().build_with_stats(src);
@@ -24,7 +24,7 @@ fn assert_well_formed(src: &str) {
         stats.start_tags + 1,
         "node count != start tags + root for {src:?}"
     );
-    assert_eq!(tree.node(tree.root()).name, "#root");
+    assert_eq!(tree.name(tree.root()), "#root");
     for id in tree.ids() {
         let node = tree.node(id);
         for &c in &node.children {

@@ -38,25 +38,29 @@ fn normalize_reference(source: &str) -> Vec<RefEvent> {
     }
 
     for tok in &tokens.tokens {
+        let name = tok
+            .tag_name(&tokens.symbols)
+            .map(str::to_owned)
+            .unwrap_or_default();
         match tok {
             Token::Comment(_) | Token::Doctype(_) | Token::ProcessingInstruction(_) => {}
-            Token::Text(t) => events.push(RefEvent::Text(t.text.clone())),
+            Token::Text(t) => events.push(RefEvent::Text(t.text().into_owned())),
             Token::Start(t) => {
-                events.push(RefEvent::Start(t.name.clone()));
+                events.push(RefEvent::Start(name.clone()));
                 if t.self_closing {
-                    events.push(RefEvent::End(t.name.clone()));
+                    events.push(RefEvent::End(name));
                 } else {
-                    stack.push((t.name.clone(), events.len() - 1));
+                    stack.push((name, events.len() - 1));
                 }
             }
-            Token::End(t) => {
-                let Some(pos) = stack.iter().rposition(|(n, _)| *n == t.name) else {
+            Token::End(_) => {
+                let Some(pos) = stack.iter().rposition(|(n, _)| *n == name) else {
                     continue; // orphan end tag: discard
                 };
                 while stack.len() > pos + 1 {
-                    let (name, start_idx) = stack.pop().expect("len > pos+1");
+                    let (popped, start_idx) = stack.pop().expect("len > pos+1");
                     let at = anchor(&events, start_idx);
-                    events.insert(at, RefEvent::End(name));
+                    events.insert(at, RefEvent::End(popped));
                     // Insertion may shift indices recorded on the stack;
                     // fix up any start index at or after the insertion.
                     for (_, idx) in stack.iter_mut() {
@@ -66,7 +70,7 @@ fn normalize_reference(source: &str) -> Vec<RefEvent> {
                     }
                 }
                 stack.pop();
-                events.push(RefEvent::End(t.name.clone()));
+                events.push(RefEvent::End(name));
             }
         }
     }
@@ -83,14 +87,14 @@ fn normalize_reference(source: &str) -> Vec<RefEvent> {
 }
 
 fn production(source: &str) -> Vec<RefEvent> {
-    let (events, _) = normalize(source);
+    let (events, _, symbols) = normalize(source);
     assert!(is_balanced(&events), "production output must balance");
     events
         .into_iter()
         .map(|ev| match ev {
-            Event::Start { name, .. } => RefEvent::Start(name),
-            Event::End { name, .. } => RefEvent::End(name),
-            Event::Text { text, .. } => RefEvent::Text(text),
+            Event::Start { name, .. } => RefEvent::Start(symbols.resolve(name).to_owned()),
+            Event::End { name, .. } => RefEvent::End(symbols.resolve(name).to_owned()),
+            Event::Text { .. } => RefEvent::Text(ev.text().unwrap_or_default().into_owned()),
         })
         .collect()
 }

@@ -39,7 +39,7 @@ fn main() {
     let fanout = tree.highest_fanout();
     println!(
         "Highest-fan-out subtree: <{}> with {} children",
-        tree.node(fanout).name,
+        tree.name(fanout),
         tree.node(fanout).fanout()
     );
     for c in tree.candidate_tags(fanout, 0.10) {

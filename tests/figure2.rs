@@ -59,7 +59,7 @@ fn tag_tree_matches_figure_2b() {
 fn candidates_match_section_3() {
     let tree = TagTreeBuilder::default().build(&figure2_document());
     let td = tree.highest_fanout();
-    assert_eq!(tree.node(td).name, "td");
+    assert_eq!(tree.name(td), "td");
     assert_eq!(tree.node(td).fanout(), 18);
     let cands = tree.candidate_tags(td, DEFAULT_CANDIDATE_THRESHOLD);
     let as_pairs: Vec<(&str, usize)> = cands.iter().map(|c| (c.name.as_str(), c.count)).collect();

@@ -19,26 +19,26 @@ const FEED: &str = r#"<?xml version="1.0"?>
 #[test]
 fn xml_tokenizer_preserves_case_and_cdata() {
     let ts = tokenize_xml("<Ad><![CDATA[1 < 2 & <b>not markup</b>]]></Ad>");
-    assert!(ts.tokens[0].is_start("Ad"), "case preserved");
+    assert!(ts.tokens[0].is_start(&ts.symbols, "Ad"), "case preserved");
     let Token::Text(t) = &ts.tokens[1] else {
         panic!("CDATA must become text: {:?}", ts.tokens)
     };
-    assert_eq!(t.text, "1 < 2 & <b>not markup</b>");
-    assert!(ts.tokens[2].is_end("Ad"));
+    assert_eq!(t.text(), "1 < 2 & <b>not markup</b>");
+    assert!(ts.tokens[2].is_end(&ts.symbols, "Ad"));
 }
 
 #[test]
 fn xml_mode_has_no_raw_text_elements() {
     // In HTML, <title> swallows markup; in XML it nests normally.
     let ts = tokenize_xml("<title><item>x</item></title>");
-    assert!(ts.tokens[1].is_start("item"));
+    assert!(ts.tokens[1].is_start(&ts.symbols, "item"));
 }
 
 #[test]
 fn tag_tree_builds_from_xml() {
     let tree = TagTreeBuilder::default().xml().build(FEED);
     let fanout = tree.highest_fanout();
-    assert_eq!(tree.node(fanout).name, "classifieds");
+    assert_eq!(tree.name(fanout), "classifieds");
     // The repeated element is the fan-out node's dominant child.
     let counts = tree.child_tag_counts(fanout);
     let ad = counts.iter().find(|c| c.name == "Ad").expect("Ad children");
