@@ -1,0 +1,115 @@
+//! `rbd-serve` end-to-end throughput: documents per second through the
+//! full service path — TCP connect, HTTP parse, pool admission, governed
+//! extraction, response write, close — at 1/2/4 workers.
+//!
+//! This is the number EXPERIMENTS.md's soak table quotes: it prices the
+//! whole fault-tolerant front (socket deadlines, caps, panic isolation)
+//! against the raw engine throughput the `batch` bench reports. Clients
+//! run on threads so worker scaling is actually observable; each client
+//! reuses the serial extraction corpus the batch bench uses.
+
+use rbd_bench::{black_box, Harness};
+use rbd_corpus::{generate_document, sites, Domain};
+use rbd_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+const CORPUS_DOCS: usize = 24;
+const CLIENTS: usize = 4;
+
+fn corpus() -> Vec<String> {
+    let styles = sites::initial_sites(Domain::Obituaries);
+    (0..CORPUS_DOCS)
+        .map(|i| {
+            let style = &styles[i % styles.len()];
+            generate_document(style, Domain::Obituaries, i, 1998).html
+        })
+        .collect()
+}
+
+fn request_for(doc: &str) -> Vec<u8> {
+    let mut raw = format!(
+        "POST /extract HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        doc.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(doc.as_bytes());
+    raw
+}
+
+/// One full exchange; returns true on HTTP 200.
+fn exchange(addr: SocketAddr, raw: &[u8]) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    let armed = stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(30))));
+    if armed.is_err() || stream.write_all(raw).is_err() {
+        return false;
+    }
+    let mut out = String::new();
+    stream.read_to_string(&mut out).is_ok() && out.starts_with("HTTP/1.1 200")
+}
+
+fn bench_serve(h: &mut Harness) {
+    let docs = corpus();
+    let requests: Vec<Vec<u8>> = docs.iter().map(|d| request_for(d)).collect();
+    let bytes: u64 = docs
+        .iter()
+        .map(|d| u64::try_from(d.len()).expect("small doc"))
+        .sum();
+
+    let mut group = h.group("serve_extract");
+    group.sample_size(10);
+    group.throughput_bytes(bytes);
+    for workers in WORKERS {
+        let server = Server::bind(
+            ServeConfig {
+                workers,
+                queue_capacity: 64,
+                max_connections: 256,
+                io_timeout: Duration::from_secs(10),
+                request_deadline: Duration::from_secs(30),
+                ..ServeConfig::default()
+            },
+            None,
+        )
+        .expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        let shutdown = server.shutdown_handle();
+        let server_thread = std::thread::spawn(move || server.run());
+
+        group.bench_function(&format!("workers_{workers}"), |b| {
+            b.iter(|| {
+                let mut clients = Vec::with_capacity(CLIENTS);
+                for c in 0..CLIENTS {
+                    let slice: Vec<Vec<u8>> =
+                        requests.iter().skip(c).step_by(CLIENTS).cloned().collect();
+                    clients.push(std::thread::spawn(move || {
+                        slice.iter().filter(|raw| exchange(addr, raw)).count()
+                    }));
+                }
+                let ok: usize = clients
+                    .into_iter()
+                    .map(|c| c.join().expect("client thread"))
+                    .sum();
+                assert_eq!(ok, CORPUS_DOCS, "every request must succeed");
+                black_box(ok)
+            });
+        });
+
+        shutdown.trigger();
+        let report = server_thread.join().expect("server thread");
+        assert_eq!(report.worker_panics, 0);
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut h = Harness::new("serve");
+    bench_serve(&mut h);
+    h.finish();
+}

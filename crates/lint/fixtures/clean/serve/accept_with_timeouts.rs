@@ -1,0 +1,14 @@
+//! Clean fixture (network tier): the accepted connection gets both socket
+//! deadlines in the same function that accepted it, before the stream can
+//! leave — the shape `crates/serve`'s accept loop follows.
+
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+fn accept_armed(listener: &TcpListener) -> std::io::Result<TcpStream> {
+    let (stream, _peer) = listener.accept()?;
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    Ok(stream)
+}

@@ -1,0 +1,11 @@
+//! Violation fixture (network tier): a connection accepted inside a `serve`
+//! path without arming both socket deadlines. Must deny — an accepted
+//! `TcpStream` with no read/write timeout is a slowloris foothold.
+
+use std::net::TcpListener;
+
+fn accept_unarmed(listener: &TcpListener) -> std::io::Result<()> {
+    let (stream, _peer) = listener.accept()?;
+    drop(stream);
+    Ok(())
+}

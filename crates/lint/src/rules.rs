@@ -680,9 +680,19 @@ fn check_observability(path: &Path, a: &Analysis, m: &Model<'_>, findings: &mut 
 /// exactly one implementation. Unbounded `mpsc::channel` constructs are
 /// denied *everywhere*, the pipeline crate included: its whole design is
 /// bounded queues (`mpsc::sync_channel` and the in-tree `Bounded` pass).
+///
+/// The network tier (any path with a `serve` component) carries one more
+/// obligation: a function that accepts a connection (`.accept(`) must also
+/// call `set_read_timeout` *and* `set_write_timeout` before the stream
+/// leaves its hands. A `TcpStream` without deadlines is a slowloris
+/// foothold — one byte-dribbling client per worker wedges the pool forever.
+///
 /// Test code is exempt, and a justified `allow(concurrency)` escapes.
 fn check_concurrency(path: &Path, a: &Analysis, m: &Model<'_>, findings: &mut Vec<Finding>) {
     let in_pipeline = path.components().any(|c| c.as_os_str() == "pipeline");
+    if path.components().any(|c| c.as_os_str() == "serve") {
+        check_accept_timeouts(path, a, m, findings);
+    }
     for i in 0..m.len() {
         if !m.is_punct(i + 1, "::") {
             continue;
@@ -714,6 +724,43 @@ fn check_concurrency(path: &Path, a: &Analysis, m: &Model<'_>, findings: &mut Ve
                 "unbounded `mpsc::channel` can grow without limit under load; use a \
                  bounded queue (`rbd_pipeline::Bounded` or `mpsc::sync_channel`)"
                     .to_owned(),
+            );
+        }
+    }
+}
+
+/// The serve-tier half of the concurrency rule: every function that calls
+/// `.accept(` must also name `set_read_timeout` and `set_write_timeout` in
+/// its body. Matching is token-exact, so `accept` as a free function or an
+/// identifier like `acceptable` never counts, and the timeout calls may sit
+/// in any position (directly on the stream, through a helper the function
+/// also defines, behind `?`).
+fn check_accept_timeouts(path: &Path, a: &Analysis, m: &Model<'_>, findings: &mut Vec<Finding>) {
+    for f in &m.fns {
+        let body = f.body_open + 1..f.body_close;
+        let accept_at = body.clone().find(|&k| {
+            m.is_ident(k, "accept")
+                && m.is_punct(k + 1, "(")
+                && k.checked_sub(1).is_some_and(|p| m.is_punct(p, "."))
+        });
+        let Some(accept_at) = accept_at else {
+            continue;
+        };
+        let has_read = body.clone().any(|k| m.is_ident(k, "set_read_timeout"));
+        let has_write = body.clone().any(|k| m.is_ident(k, "set_write_timeout"));
+        if !(has_read && has_write) {
+            push(
+                findings,
+                path,
+                a.line_of(m.start(accept_at)),
+                Rule::Concurrency,
+                Severity::Deny,
+                format!(
+                    "`{}` accepts a connection but never arms both socket deadlines; \
+                     call `set_read_timeout` and `set_write_timeout` in the same \
+                     function (slowloris defense) or justify with allow(concurrency)",
+                    f.name
+                ),
             );
         }
     }
@@ -1253,5 +1300,78 @@ mod tests {
     fn justified_allow_suppresses_concurrency() {
         let src = "fn f() {\n    // rbd-lint: allow(concurrency) — one-shot watchdog, joined before return\n    std::thread::spawn(|| ());\n}\n";
         assert!(lint(src).is_empty());
+    }
+
+    // --- concurrency rule: serve tier (accept without socket deadlines) ---
+
+    fn lint_serve(src: &str) -> Vec<Finding> {
+        lint_source(
+            Path::new("crates/serve/src/server.rs"),
+            src,
+            Tier::Library,
+            false,
+        )
+    }
+
+    #[test]
+    fn accept_without_timeouts_flagged_in_serve() {
+        let src = "fn f(l: &std::net::TcpListener) {\n    let (s, _) = l.accept().unwrap();\n    drop(s);\n}\n";
+        let findings = lint_serve(src);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == Rule::Concurrency && f.severity == Severity::Deny),
+            "{findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("set_read_timeout")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn accept_with_one_timeout_still_flagged() {
+        let src = "fn f(l: &std::net::TcpListener) {\n    let (s, _) = l.accept().expect(\"x\");\n    s.set_read_timeout(None).expect(\"x\");\n}\n";
+        assert!(
+            lint_serve(src).iter().any(|f| f.rule == Rule::Concurrency),
+            "one deadline is not enough"
+        );
+    }
+
+    #[test]
+    fn accept_with_both_timeouts_is_clean() {
+        let src = "fn f(l: &std::net::TcpListener) -> std::io::Result<()> {\n    let (s, _) = l.accept()?;\n    s.set_read_timeout(None)?;\n    s.set_write_timeout(None)?;\n    Ok(())\n}\n";
+        let findings = lint_serve(src);
+        assert!(
+            !findings.iter().any(|f| f.rule == Rule::Concurrency),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn accept_rule_only_applies_under_serve_paths() {
+        let src = "fn f(l: &std::net::TcpListener) -> std::io::Result<()> {\n    let (s, _) = l.accept()?;\n    drop(s);\n    Ok(())\n}\n";
+        let findings = lint_source(
+            Path::new("crates/eval/src/fetch.rs"),
+            src,
+            Tier::Library,
+            false,
+        );
+        assert!(
+            !findings.iter().any(|f| f.rule == Rule::Concurrency),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn acceptable_identifier_does_not_trip_accept_rule() {
+        let src = "fn f(x: &T) {\n    x.acceptable();\n    accept(1);\n}\n";
+        let findings = lint_serve(src);
+        assert!(
+            !findings.iter().any(|f| f.rule == Rule::Concurrency),
+            "{findings:?}"
+        );
     }
 }

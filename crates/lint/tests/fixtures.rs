@@ -154,6 +154,18 @@ fn bounded_concurrency_fixture_is_clean() {
 }
 
 #[test]
+fn serve_accept_without_timeouts_fixture_denies() {
+    assert_denies("violations/serve/accept_no_timeout.rs", Rule::Concurrency);
+}
+
+#[test]
+fn serve_accept_with_timeouts_fixture_is_clean() {
+    let findings =
+        lint_path(&fixture("clean/serve/accept_with_timeouts.rs")).expect("fixture readable");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
 fn budget_fixture_denies_allocation_and_recursion() {
     assert_denies("violations/budget.rs", Rule::Budget);
     let findings = lint_path(&fixture("violations/budget.rs")).expect("fixture readable");

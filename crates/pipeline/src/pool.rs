@@ -203,6 +203,13 @@ pub struct PoolConfig {
     pub steal_poll: Duration,
     /// Optional load-shedding policy; `None` means backpressure only.
     pub shed: Option<ShedPolicy>,
+    /// `true` (the default) delivers a [`JobResult`] per job on the
+    /// completion channel. `false` is **detached** mode for jobs that route
+    /// their own results (e.g. a network handler writing its response to
+    /// the connection it owns): no completion is sent, so nothing wedges
+    /// when nobody drains, and per-job metrics still land in the worker
+    /// registries merged at shutdown.
+    pub deliver_completions: bool,
 }
 
 impl PoolConfig {
@@ -217,6 +224,7 @@ impl PoolConfig {
             refill_batch: 4,
             steal_poll: Duration::from_millis(1),
             shed: None,
+            deliver_completions: true,
         }
     }
 
@@ -233,6 +241,15 @@ impl PoolConfig {
         self.shed = Some(shed);
         self
     }
+
+    /// Switches the pool to detached mode: jobs produce no [`JobResult`]s
+    /// on the completion channel (see
+    /// [`PoolConfig::deliver_completions`]).
+    #[must_use]
+    pub fn detached(mut self) -> Self {
+        self.deliver_completions = false;
+        self
+    }
 }
 
 /// Everything the worker threads share.
@@ -242,6 +259,7 @@ struct Shared<T, R> {
     completions: Bounded<JobResult<R>>,
     runner: Box<dyn Fn(T, Admission) -> R + Send + Sync>,
     sink: Arc<dyn TraceSink>,
+    deliver_completions: bool,
 }
 
 impl<T, R> fmt::Debug for Shared<T, R> {
@@ -258,14 +276,20 @@ impl<T, R> fmt::Debug for Shared<T, R> {
 pub struct ShutdownReport<R> {
     /// Completions the submitter had not received before shutdown, in
     /// completion order. Together with what was already received, every
-    /// admitted job appears exactly once.
+    /// admitted job appears exactly once. Always empty in detached mode.
     pub unclaimed: Vec<JobResult<R>>,
     /// All workers' private metric registries, merged: job counts, steals,
-    /// panics, queue-wait and run-time histograms.
+    /// panics, queue-wait and run-time histograms. Workers abandoned at a
+    /// drain deadline could not contribute theirs.
     pub metrics: RegistrySnapshot,
     /// Workers that died outside a job (should always be zero — job
     /// panics are caught and reported per job).
     pub worker_panics: usize,
+    /// Workers still running when a [`Pool::shutdown_within`] drain
+    /// deadline expired. Their threads keep finishing in the background
+    /// (threads cannot be killed), but the pool stopped waiting for them.
+    /// Always zero after a plain [`Pool::shutdown`].
+    pub abandoned: usize,
 }
 
 /// The worker pool. `T` is the job payload, `R` the runner's output.
@@ -304,6 +328,7 @@ impl<T: Send + 'static, R: Send + 'static> Pool<T, R> {
             refill_batch,
             steal_poll,
             shed,
+            deliver_completions,
         } = config;
         if workers == 0 {
             return Err(PoolError::ZeroWorkers);
@@ -315,6 +340,7 @@ impl<T: Send + 'static, R: Send + 'static> Pool<T, R> {
             completions: Bounded::new(completion_capacity),
             runner: Box::new(runner),
             sink,
+            deliver_completions,
         });
         let mut handles = Vec::with_capacity(workers);
         for index in 0..workers {
@@ -426,13 +452,29 @@ impl<T: Send + 'static, R: Send + 'static> Pool<T, R> {
     /// not drained. Completions are drained *while* joining, so shutdown
     /// cannot deadlock on a full completion channel — the clean-drain
     /// guarantee the chaos suite asserts.
-    pub fn shutdown(mut self) -> ShutdownReport<R> {
+    pub fn shutdown(self) -> ShutdownReport<R> {
+        self.drain(None)
+    }
+
+    /// [`Pool::shutdown`] with a drain deadline: already-admitted jobs get
+    /// up to `deadline` of wall clock to finish; workers still running
+    /// when it expires are *abandoned* — their `JoinHandle`s dropped, the
+    /// channels closed so they exit as soon as their current job returns —
+    /// and counted in [`ShutdownReport::abandoned`]. This is the graceful-
+    /// shutdown primitive for a long-lived service: drain in-flight work,
+    /// but never let one wedged request hold the process open forever.
+    pub fn shutdown_within(self, deadline: Duration) -> ShutdownReport<R> {
+        self.drain(Some(deadline))
+    }
+
+    fn drain(mut self, deadline: Option<Duration>) -> ShutdownReport<R> {
         self.shared.injector.close();
+        let started = Instant::now();
         let mut metrics = Registry::new();
         let mut unclaimed = Vec::new();
         let mut worker_panics = 0usize;
         let mut handles = std::mem::take(&mut self.handles);
-        while !handles.is_empty() {
+        loop {
             while let Some(result) = self.shared.completions.try_recv() {
                 unclaimed.push(result);
             }
@@ -448,10 +490,18 @@ impl<T: Send + 'static, R: Send + 'static> Pool<T, R> {
                 }
             }
             handles = still_running;
-            if !handles.is_empty() {
-                std::thread::sleep(Duration::from_micros(200));
+            if handles.is_empty() {
+                break;
             }
+            if deadline.is_some_and(|d| started.elapsed() >= d) {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
         }
+        let abandoned = handles.len();
+        // Dropping the surviving handles detaches the threads; closing the
+        // channels turns their next blocking wait into an exit path.
+        drop(handles);
         self.shared.completions.close();
         while let Some(result) = self.shared.completions.try_recv() {
             unclaimed.push(result);
@@ -460,6 +510,7 @@ impl<T: Send + 'static, R: Send + 'static> Pool<T, R> {
             unclaimed,
             metrics: metrics.typed_snapshot(),
             worker_panics,
+            abandoned,
         }
     }
 
@@ -648,6 +699,11 @@ fn run_job<T, R>(shared: &Shared<T, R>, metrics: &Registry, me: usize, job: Job<
             message: panic_message(panic.as_ref()),
         }
     });
+    if !shared.deliver_completions {
+        // Detached mode: the job routed its own result; the channel stays
+        // untouched so an undrained pool can never wedge the workers.
+        return true;
+    }
     shared
         .completions
         .send(JobResult {
@@ -949,6 +1005,97 @@ mod tests {
             results.extend(pool.recv_result());
         }
         pool.shutdown();
+    }
+
+    #[test]
+    fn detached_pool_runs_jobs_without_completions() {
+        use std::sync::atomic::AtomicU64;
+        let ran = Arc::new(AtomicU64::new(0));
+        let pool = {
+            let ran = Arc::clone(&ran);
+            Pool::new(
+                PoolConfig::with_workers(2)
+                    .with_queue_capacity(8)
+                    .detached(),
+                move |x: u64, _| {
+                    ran.fetch_add(x, Ordering::SeqCst);
+                },
+                null_sink(),
+            )
+            .expect("valid config")
+        };
+        // Far more jobs than the completion channel could hold: in
+        // delivering mode an undrained submitter would wedge here; in
+        // detached mode every job must run to completion regardless.
+        for x in 0..100u64 {
+            pool.submit(x).expect("open pool");
+        }
+        let report = pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), (0..100).sum::<u64>());
+        assert!(report.unclaimed.is_empty(), "detached mode sends nothing");
+        assert_eq!(report.metrics.counters.get("pipeline_jobs_run"), Some(&100));
+        assert_eq!(report.worker_panics, 0);
+        assert_eq!(report.abandoned, 0);
+    }
+
+    #[test]
+    fn detached_pool_still_counts_panics() {
+        let pool = Pool::new(
+            PoolConfig::with_workers(1).detached(),
+            |x: u64, _| assert!(x != 7, "bad payload"),
+            null_sink(),
+        )
+        .expect("valid config");
+        for x in [7u64, 1, 2] {
+            pool.submit(x).expect("open pool");
+        }
+        let report = pool.shutdown();
+        assert_eq!(report.metrics.counters.get("pipeline_jobs_run"), Some(&3));
+        assert_eq!(
+            report.metrics.counters.get("pipeline_jobs_panicked"),
+            Some(&1)
+        );
+        assert_eq!(report.worker_panics, 0, "job panics are caught, not fatal");
+    }
+
+    #[test]
+    fn shutdown_within_abandons_a_wedged_worker() {
+        let gate: Arc<Bounded<()>> = Arc::new(Bounded::new(4));
+        let pool = {
+            let gate = Arc::clone(&gate);
+            Pool::new(
+                PoolConfig::with_workers(1).detached(),
+                move |_: u64, _| {
+                    gate.recv();
+                },
+                null_sink(),
+            )
+            .expect("valid config")
+        };
+        pool.submit(0).expect("open pool");
+        // The single worker is parked inside the job waiting on the gate;
+        // the drain deadline must expire and abandon it rather than hang.
+        let started = Instant::now();
+        let report = pool.shutdown_within(Duration::from_millis(50));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "drain deadline must bound shutdown"
+        );
+        assert_eq!(report.abandoned, 1);
+        // Release the detached thread so it exits cleanly in background.
+        gate.close();
+    }
+
+    #[test]
+    fn shutdown_within_reports_zero_abandoned_when_workers_finish() {
+        let pool = Pool::new(PoolConfig::with_workers(2), |x: u64, _| x, null_sink())
+            .expect("valid config");
+        for x in 0..10u64 {
+            pool.submit(x).expect("open pool");
+        }
+        let report = pool.shutdown_within(Duration::from_secs(30));
+        assert_eq!(report.abandoned, 0);
+        assert_eq!(report.unclaimed.len(), 10);
     }
 
     #[test]

@@ -1,0 +1,599 @@
+//! Bounded, deadline-aware HTTP/1.1 request parsing and response writing.
+//!
+//! This is not a general HTTP implementation — it is the smallest strict
+//! subset the extraction service needs, written so that *no* byte sequence a
+//! peer can send causes a panic, an unbounded allocation, or an unbounded
+//! wait:
+//!
+//! - the request head is capped ([`HttpCaps::max_head_bytes`] → 431),
+//! - the body is capped *before it is read*, from the declared
+//!   `Content-Length` ([`HttpCaps::max_body_bytes`] → 413),
+//! - every read checks an overall [`Deadline`], so a peer dribbling one
+//!   byte per socket-timeout window still gets cut off (slowloris defense),
+//! - header lines must be CRLF-terminated; a bare LF anywhere in the head
+//!   is rejected outright,
+//! - `Content-Length` must be present on `POST` (411), unique (400), and
+//!   parse as a `u64` that fits `usize` (400 on garbage or overflow).
+//!
+//! The service speaks one request per connection and always answers
+//! `Connection: close`, which neutralizes request pipelining: any bytes a
+//! client stuffs after the declared body are never parsed as a second
+//! request.
+
+use rbd_limits::Deadline;
+use std::io::{self, ErrorKind, Read, Write};
+
+/// How much of a request the parser will buffer before refusing it.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpCaps {
+    /// Maximum bytes of request line + headers (including the blank-line
+    /// terminator). Exceeding it yields 431.
+    pub max_head_bytes: usize,
+    /// Maximum *declared* body size in bytes. A larger `Content-Length`
+    /// yields 413 before any body byte is read.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpCaps {
+    fn default() -> Self {
+        HttpCaps {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request. Header names are lowercased; values keep their bytes
+/// minus surrounding whitespace.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, verbatim (must be an absolute path).
+    pub target: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body, exactly `Content-Length` bytes (empty when the
+    /// request declared none).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with the given (lowercase) name, if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Every variant maps to the status the
+/// connection handler answers with — except [`HttpError::Disconnected`],
+/// where there is no one left to answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Protocol violation: bad request line, bare LF line ending,
+    /// malformed or duplicate or overflowing `Content-Length`, truncated
+    /// head, body shorter than declared… → 400.
+    Malformed(&'static str),
+    /// A `POST` without `Content-Length` → 411.
+    LengthRequired,
+    /// Declared body exceeds the cap → 413, refused before reading.
+    BodyTooLarge {
+        /// The configured cap in bytes.
+        cap: usize,
+        /// What the peer declared.
+        declared: u64,
+    },
+    /// Request line + headers exceed the cap → 431.
+    HeadTooLarge {
+        /// The configured cap in bytes.
+        cap: usize,
+    },
+    /// The per-request deadline or a socket timeout fired → 408.
+    TimedOut {
+        /// Which phase timed out (`"head"` or `"body"`).
+        phase: &'static str,
+    },
+    /// The peer vanished before sending a full request; nothing to answer.
+    Disconnected,
+}
+
+impl HttpError {
+    /// Status line for this error, or `None` when the peer is gone and no
+    /// response can be delivered.
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Malformed(_) => Some((400, "Bad Request")),
+            HttpError::LengthRequired => Some((411, "Length Required")),
+            HttpError::BodyTooLarge { .. } => Some((413, "Payload Too Large")),
+            HttpError::HeadTooLarge { .. } => Some((431, "Request Header Fields Too Large")),
+            HttpError::TimedOut { .. } => Some((408, "Request Timeout")),
+            HttpError::Disconnected => None,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::LengthRequired => write!(f, "POST requires Content-Length"),
+            HttpError::BodyTooLarge { cap, declared } => {
+                write!(f, "declared body of {declared} bytes exceeds cap of {cap}")
+            }
+            HttpError::HeadTooLarge { cap } => {
+                write!(f, "request head exceeds cap of {cap} bytes")
+            }
+            HttpError::TimedOut { phase } => write!(f, "timed out reading request {phase}"),
+            HttpError::Disconnected => write!(f, "peer disconnected mid-request"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one request from `stream`, enforcing `caps` and `deadline`.
+///
+/// Generic over [`Read`] so the parser unit-tests run against byte slices
+/// and fault-injecting readers; the server passes `&mut TcpStream` with
+/// socket timeouts already armed (a timeout surfaces here as
+/// [`ErrorKind::WouldBlock`] / [`ErrorKind::TimedOut`]).
+///
+/// # Errors
+/// Any [`HttpError`]; see the variant docs for the status each maps to.
+pub fn read_request<S: Read>(
+    stream: &mut S,
+    caps: HttpCaps,
+    deadline: &Deadline,
+) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::new();
+    let head_len = read_head(stream, &mut buf, caps, deadline)?;
+    let head = buf.get(..head_len).ok_or(HttpError::Malformed(
+        "internal: head length out of range", // unreachable; keeps the parser index-free
+    ))?;
+    let (method, target, headers) = parse_head(head)?;
+
+    let declared = content_length(&headers)?;
+    let wants_body = method == "POST" || method == "PUT";
+    let length = match declared {
+        Some(n) => n,
+        None if wants_body => return Err(HttpError::LengthRequired),
+        None => 0,
+    };
+    if length > caps.max_body_bytes as u64 {
+        return Err(HttpError::BodyTooLarge {
+            cap: caps.max_body_bytes,
+            declared: length,
+        });
+    }
+    // The cap check above bounds `length` by a usize, so this cannot fail;
+    // map rather than unwrap to keep the parser panic-free.
+    let length = usize::try_from(length).map_err(|_| HttpError::BodyTooLarge {
+        cap: caps.max_body_bytes,
+        declared: u64::MAX,
+    })?;
+
+    // Bytes that arrived in the same segments as the head; anything beyond
+    // the declared length is a pipelining attempt and is deliberately
+    // dropped (the connection closes after this response).
+    let mut body: Vec<u8> = buf.get(head_len..).unwrap_or(&[]).to_vec();
+    body.truncate(length);
+    read_exactly(stream, &mut body, length, deadline)?;
+    Ok(Request {
+        method,
+        target,
+        headers,
+        body,
+    })
+}
+
+/// Accumulates bytes until the blank-line head terminator, returning the
+/// head length (terminator included). Extra body bytes stay in `buf`.
+fn read_head<S: Read>(
+    stream: &mut S,
+    buf: &mut Vec<u8>,
+    caps: HttpCaps,
+    deadline: &Deadline,
+) -> Result<usize, HttpError> {
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(end) = find_terminator(buf) {
+            // Only the head region is line-ending-checked: bytes past the
+            // terminator are body payload and may contain anything.
+            if bare_lf(buf.get(..end).unwrap_or(buf)) {
+                return Err(HttpError::Malformed("header lines must end in CRLF"));
+            }
+            return Ok(end);
+        }
+        if bare_lf(buf) {
+            return Err(HttpError::Malformed("header lines must end in CRLF"));
+        }
+        if buf.len() > caps.max_head_bytes {
+            return Err(HttpError::HeadTooLarge {
+                cap: caps.max_head_bytes,
+            });
+        }
+        if deadline.is_expired() {
+            return Err(HttpError::TimedOut { phase: "head" });
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) if buf.is_empty() => return Err(HttpError::Disconnected),
+            Ok(0) => return Err(HttpError::Malformed("truncated request head")),
+            Ok(n) => buf.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(HttpError::TimedOut { phase: "head" });
+            }
+            Err(_) => return Err(HttpError::Disconnected),
+        }
+    }
+}
+
+/// Position just past the first `\r\n\r\n`, if present.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// True when the buffer contains an LF not preceded by CR — illegal
+/// anywhere in a request head.
+fn bare_lf(buf: &[u8]) -> bool {
+    buf.iter()
+        .enumerate()
+        .any(|(i, &b)| b == b'\n' && (i == 0 || buf.get(i - 1).copied() != Some(b'\r')))
+}
+
+/// Parsed request line plus lowercased header pairs.
+type ParsedHead = (String, String, Vec<(String, String)>);
+
+/// Splits the head into (method, target, lowercased headers).
+fn parse_head(head: &[u8]) -> Result<ParsedHead, HttpError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("request head is not valid UTF-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or(HttpError::Malformed("empty request head"))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::Malformed("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    if !method.chars().all(|c| c.is_ascii_uppercase() || c == '-') {
+        return Err(HttpError::Malformed("malformed method token"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::Malformed(
+            "request target must be an absolute path",
+        ));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break; // the head terminator's blank line
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header line without a colon"))?;
+        if name.is_empty() || name.chars().any(|c| c.is_ascii_whitespace()) {
+            return Err(HttpError::Malformed("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok((method.to_string(), target.to_string(), headers))
+}
+
+/// Extracts and validates `Content-Length`: at most one, parseable as
+/// `u64`. Garbage and overflow are both protocol errors, not panics.
+fn content_length(headers: &[(String, String)]) -> Result<Option<u64>, HttpError> {
+    let mut found: Option<u64> = None;
+    for (name, value) in headers {
+        if name != "content-length" {
+            continue;
+        }
+        if found.is_some() {
+            return Err(HttpError::Malformed("duplicate Content-Length"));
+        }
+        let n = value
+            .parse::<u64>()
+            .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
+        found = Some(n);
+    }
+    Ok(found)
+}
+
+/// Extends `body` (already holding a prefix) to exactly `length` bytes.
+fn read_exactly<S: Read>(
+    stream: &mut S,
+    body: &mut Vec<u8>,
+    length: usize,
+    deadline: &Deadline,
+) -> Result<(), HttpError> {
+    let mut chunk = [0u8; 4096];
+    while body.len() < length {
+        if deadline.is_expired() {
+            return Err(HttpError::TimedOut { phase: "body" });
+        }
+        let want = (length - body.len()).min(chunk.len());
+        match stream.read(chunk.get_mut(..want).unwrap_or(&mut [])) {
+            Ok(0) => return Err(HttpError::Malformed("body shorter than Content-Length")),
+            Ok(n) => body.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(HttpError::TimedOut { phase: "body" });
+            }
+            Err(_) => return Err(HttpError::Disconnected),
+        }
+    }
+    Ok(())
+}
+
+/// A response ready to serialize. The service always closes the connection
+/// after one exchange, so `Connection: close` is unconditional.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// Optional `Retry-After` header in seconds (set on 503).
+    pub retry_after_s: Option<u64>,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status line and body.
+    pub fn json(status: u16, reason: &'static str, body: String) -> Self {
+        Response {
+            status,
+            reason,
+            retry_after_s: None,
+            body,
+        }
+    }
+}
+
+/// Serializes `response` to `stream`.
+///
+/// # Errors
+/// Propagates I/O errors (including socket write timeouts); the caller
+/// counts them — a peer that vanishes before reading its response is
+/// routine, not fatal.
+pub fn write_response<S: Write>(stream: &mut S, response: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        response.reason,
+        response.body.len()
+    );
+    if let Some(seconds) = response.retry_after_s {
+        head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn far() -> Deadline {
+        Deadline::after(Duration::from_secs(30))
+    }
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        let mut cursor = raw;
+        read_request(&mut cursor, HttpCaps::default(), &far())
+    }
+
+    #[test]
+    fn well_formed_post_parses() {
+        let req = parse(b"POST /extract HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+            .expect("valid request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/extract");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn zero_length_body_parses_empty() {
+        let req = parse(b"POST /extract HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+            .expect("zero-length body is well-formed at the protocol layer");
+        assert!(req.body.is_empty());
+    }
+
+    // Satellite: truncated request line → 400, never a hang.
+    #[test]
+    fn truncated_request_line_is_400() {
+        let err = parse(b"GET /ex").expect_err("truncated");
+        assert_eq!(err, HttpError::Malformed("truncated request head"));
+        assert_eq!(err.status(), Some((400, "Bad Request")));
+    }
+
+    // Satellite: POST with no Content-Length → 411.
+    #[test]
+    fn missing_content_length_on_post_is_411() {
+        let err = parse(b"POST /extract HTTP/1.1\r\nHost: x\r\n\r\n").expect_err("no CL");
+        assert_eq!(err, HttpError::LengthRequired);
+        assert_eq!(err.status().map(|(s, _)| s), Some(411));
+    }
+
+    // Satellite: duplicate Content-Length → 400.
+    #[test]
+    fn duplicate_content_length_is_400() {
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello")
+            .expect_err("duplicate CL");
+        assert_eq!(err, HttpError::Malformed("duplicate Content-Length"));
+    }
+
+    // Satellite: Content-Length that overflows u64 → 400, not a panic.
+    #[test]
+    fn content_length_overflow_is_400() {
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 99999999999999999999999\r\n\r\n")
+            .expect_err("overflowing CL");
+        assert_eq!(err, HttpError::Malformed("unparseable Content-Length"));
+        assert_eq!(err.status().map(|(s, _)| s), Some(400));
+    }
+
+    #[test]
+    fn negative_and_garbage_content_length_are_400() {
+        for bad in ["-5", "abc", "5, 5", "0x10"] {
+            let raw = format!("POST / HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n");
+            let err = parse(raw.as_bytes()).expect_err("garbage CL");
+            assert_eq!(
+                err,
+                HttpError::Malformed("unparseable Content-Length"),
+                "{bad}"
+            );
+        }
+    }
+
+    // Satellite: headers separated by bare LF instead of CRLF → 400.
+    #[test]
+    fn bare_lf_line_endings_are_400() {
+        let err = parse(b"GET / HTTP/1.1\nHost: x\n\n").expect_err("bare LF");
+        assert_eq!(err, HttpError::Malformed("header lines must end in CRLF"));
+    }
+
+    #[test]
+    fn garbage_request_line_is_400() {
+        let err = parse(b"\x00\x01\x02garbage\r\n\r\n").expect_err("garbage");
+        assert_eq!(err.status().map(|(s, _)| s), Some(400));
+    }
+
+    #[test]
+    fn lowercase_method_is_400() {
+        let err = parse(b"post /extract HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+            .expect_err("lowercase method");
+        assert_eq!(err, HttpError::Malformed("malformed method token"));
+    }
+
+    #[test]
+    fn relative_target_is_400() {
+        let err = parse(b"GET extract HTTP/1.1\r\n\r\n").expect_err("relative target");
+        assert_eq!(
+            err,
+            HttpError::Malformed("request target must be an absolute path")
+        );
+    }
+
+    #[test]
+    fn header_flood_is_431() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..4096 {
+            raw.extend_from_slice(format!("X-Flood-{i}: {}\r\n", "v".repeat(64)).as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let err = parse(&raw).expect_err("flood");
+        assert!(matches!(err, HttpError::HeadTooLarge { .. }), "{err:?}");
+        assert_eq!(err.status().map(|(s, _)| s), Some(431));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_without_reading_it() {
+        let caps = HttpCaps {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024,
+        };
+        // Only the head is supplied: the parser must refuse from the
+        // declaration alone instead of waiting for 1 MiB that never comes.
+        let mut cursor: &[u8] = b"POST / HTTP/1.1\r\nContent-Length: 1048576\r\n\r\n";
+        let err = read_request(&mut cursor, caps, &far()).expect_err("too large");
+        assert_eq!(
+            err,
+            HttpError::BodyTooLarge {
+                cap: 1024,
+                declared: 1_048_576
+            }
+        );
+        assert_eq!(err.status().map(|(s, _)| s), Some(413));
+    }
+
+    #[test]
+    fn body_shorter_than_declared_is_400() {
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi").expect_err("short");
+        assert_eq!(
+            err,
+            HttpError::Malformed("body shorter than Content-Length")
+        );
+    }
+
+    #[test]
+    fn pipelined_second_request_is_dropped() {
+        let req =
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /metrics HTTP/1.1\r\n\r\n")
+                .expect("first request parses");
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn immediate_disconnect_is_disconnected() {
+        let err = parse(b"").expect_err("eof");
+        assert_eq!(err, HttpError::Disconnected);
+        assert_eq!(err.status(), None);
+    }
+
+    #[test]
+    fn expired_deadline_times_out_instead_of_hanging() {
+        struct NeverReady;
+        impl Read for NeverReady {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(ErrorKind::WouldBlock, "socket timeout"))
+            }
+        }
+        let deadline = Deadline::after(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let err = read_request(&mut NeverReady, HttpCaps::default(), &deadline)
+            .expect_err("must time out");
+        assert_eq!(err, HttpError::TimedOut { phase: "head" });
+        assert_eq!(err.status().map(|(s, _)| s), Some(408));
+    }
+
+    #[test]
+    fn socket_timeout_maps_to_408() {
+        struct HeadThenStall(Vec<u8>);
+        impl Read for HeadThenStall {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.0.is_empty() {
+                    return Err(io::Error::new(ErrorKind::TimedOut, "recv timeout"));
+                }
+                let n = self.0.len().min(buf.len());
+                let rest = self.0.split_off(n);
+                buf[..n].copy_from_slice(&self.0);
+                self.0 = rest;
+                Ok(n)
+            }
+        }
+        let mut stream =
+            HeadThenStall(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\npartial".to_vec());
+        let err = read_request(&mut stream, HttpCaps::default(), &far()).expect_err("stall");
+        assert_eq!(err, HttpError::TimedOut { phase: "body" });
+    }
+
+    #[test]
+    fn response_serializes_with_connection_close_and_retry_after() {
+        let mut out = Vec::new();
+        let mut shed = Response::json(503, "Service Unavailable", "{\"error\":true}".to_string());
+        shed.retry_after_s = Some(1);
+        write_response(&mut out, &shed).expect("write to vec");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 14\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"error\":true}"), "{text}");
+    }
+}

@@ -1,0 +1,877 @@
+//! The long-lived extraction service: accept loop, admission control,
+//! request routing, and graceful drain.
+//!
+//! ## Shape
+//!
+//! ```text
+//!  accept loop (this thread)          rbd-pipeline pool (N workers)
+//!  ───────────────────────           ───────────────────────────────
+//!  accept → arm socket deadlines
+//!         → connection-count gate ──refuse──▶ 503 + Retry-After
+//!         → try_submit ────────────queue/shed─▶ 503 + Retry-After
+//!                      └──────────admitted───▶ worker: parse request
+//!                                              → route → extract
+//!                                              → write response → close
+//! ```
+//!
+//! Each accepted connection is one pool job; the worker owns the socket
+//! end to end, so backpressure is structural — when every worker is busy
+//! and the bounded injector is full, new connections are *refused* with a
+//! retryable status instead of piling up in unbounded buffers.
+//!
+//! ## Fault containment
+//!
+//! - Socket read/write timeouts and an overall per-request [`Deadline`]
+//!   bound every peer interaction (slowloris defense, 408).
+//! - The request head and body are capped before allocation (431 / 413).
+//! - An extraction panic is caught at the request boundary, answered with
+//!   500, traced as [`ServerEvent::WorkerPanic`], and counted — the worker
+//!   thread survives.
+//! - Shutdown (via [`ShutdownHandle`] or `POST /shutdown`) stops the
+//!   accept loop, then drains in-flight work under
+//!   [`ServeConfig::drain_deadline`]; wedged workers are abandoned rather
+//!   than holding the process open.
+
+use crate::http::{self, HttpCaps, HttpError, Request, Response};
+use rbd_core::{DiscoveryError, Extraction, ExtractorConfig, Limits, Record, RecordExtractor};
+use rbd_json::Json;
+use rbd_limits::Deadline;
+use rbd_pipeline::{Admission, Pool, PoolConfig, PoolError, ShedMode, ShedPolicy, TrySubmitError};
+use rbd_trace::{MetricsSink, NullSink, RegistrySnapshot, ServerEvent, TraceEvent, TraceSink};
+use std::io::{ErrorKind, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often the nonblocking accept loop polls for new connections and
+/// re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// How long a refused connection is parked after its 503 so the peer can
+/// read the response before we close. Closing a socket that still has
+/// unread request bytes makes the kernel send RST, which can discard the
+/// response from the peer's receive buffer — the parking window lets the
+/// exchange settle without blocking the accept thread.
+const PARTING_GRACE: Duration = Duration::from_millis(250);
+
+/// Parked refused connections are capped; past this, new refusals close
+/// immediately (an RST to a peer we are shedding under flood is fine).
+const PARTING_MAX: usize = 64;
+
+/// Service sizing and fault-tolerance policy. Every bound has a default
+/// that keeps a misbehaving peer from taking the service down; `rbd serve`
+/// exposes the ones operators actually tune.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `"127.0.0.1:8080"`. Port 0 picks a free port
+    /// (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Extraction worker threads.
+    pub workers: usize,
+    /// Bounded injector capacity — connections admitted but not yet
+    /// picked up by a worker.
+    pub queue_capacity: usize,
+    /// Connections in flight (queued + being served) before the accept
+    /// loop starts refusing with 503.
+    pub max_connections: usize,
+    /// HTTP parsing caps (head → 431, body → 413).
+    pub caps: HttpCaps,
+    /// Socket read/write timeout armed on every accepted connection.
+    pub io_timeout: Duration,
+    /// Overall wall-clock budget for reading one request (408 past it).
+    pub request_deadline: Duration,
+    /// How long graceful shutdown waits for in-flight requests before
+    /// abandoning wedged workers.
+    pub drain_deadline: Duration,
+    /// Load-shedding policy forwarded to the pipeline pool.
+    pub shed: Option<ShedPolicy>,
+    /// `Retry-After` seconds sent with every 503.
+    pub retry_after_s: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            max_connections: 256,
+            caps: HttpCaps::default(),
+            io_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
+            shed: Some(ShedPolicy {
+                watermark: 48,
+                sustained: Duration::from_millis(100),
+                mode: ShedMode::Drop,
+            }),
+            retry_after_s: 1,
+        }
+    }
+}
+
+/// Why the service could not start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding or configuring the listener failed.
+    Bind(String),
+    /// The worker pool could not start.
+    Pool(PoolError),
+    /// Building the extraction profiles failed (ontology/pattern errors).
+    Extractor(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(e) => write!(f, "bind failed: {e}"),
+            ServeError::Pool(e) => write!(f, "worker pool failed: {e}"),
+            ServeError::Extractor(e) => write!(f, "extractor setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What [`Server::run`] hands back after the drain completes.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Connections that finished during the drain window.
+    pub drained: usize,
+    /// Workers abandoned at the drain deadline (0 on a clean drain).
+    pub abandoned: usize,
+    /// Workers that died outside a job (should always be zero).
+    pub worker_panics: usize,
+    /// Server counters merged with the pool's per-worker registries.
+    pub metrics: RegistrySnapshot,
+}
+
+/// Flips the accept loop's shutdown flag from another thread — the
+/// in-process analogue of SIGTERM (which `std` cannot trap portably).
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Requests graceful shutdown: stop accepting, drain, exit.
+    pub fn trigger(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The three extraction profiles a request can select with the
+/// `x-rbd-limits` header. Built once at startup; extractors are reused
+/// across requests (the paper's "configured once" contract).
+struct Profiles {
+    default_profile: RecordExtractor,
+    strict: RecordExtractor,
+    unbounded: RecordExtractor,
+}
+
+/// State shared between the accept loop and every worker.
+struct Ctx {
+    profiles: Profiles,
+    metrics: Arc<MetricsSink>,
+    audit: Arc<dyn TraceSink>,
+    active: AtomicUsize,
+    shutdown: Arc<AtomicBool>,
+    caps: HttpCaps,
+    request_deadline: Duration,
+    retry_after_s: u64,
+}
+
+/// Decrements the in-flight connection count when the handler returns —
+/// including by panic, since the pool's `catch_unwind` runs this `Drop`
+/// during unwinding. Without it a single panicking request would leak a
+/// connection slot forever.
+struct ActiveGuard<'a> {
+    active: &'a AtomicUsize,
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The extraction service. [`Server::bind`] starts the workers and binds
+/// the listener; [`Server::run`] blocks in the accept loop until shutdown.
+pub struct Server {
+    listener: TcpListener,
+    pool: Pool<TcpStream, ()>,
+    ctx: Arc<Ctx>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Binds the listener, builds the extraction profiles, and starts the
+    /// worker pool. `audit` receives [`ServerEvent`]s when enabled (pass
+    /// `None` for metrics-only operation — the right default for a
+    /// long-lived service, since event collection grows without bound).
+    ///
+    /// # Errors
+    /// [`ServeError`] when the address cannot be bound, the extractors
+    /// cannot be built, or the pool cannot spawn workers.
+    pub fn bind(
+        config: ServeConfig,
+        audit: Option<Arc<dyn TraceSink>>,
+    ) -> Result<Self, ServeError> {
+        let metrics = Arc::new(MetricsSink::new());
+        let sink: Arc<dyn TraceSink> = Arc::clone(&metrics) as Arc<dyn TraceSink>;
+        let profile = |limits: Limits| -> Result<RecordExtractor, ServeError> {
+            RecordExtractor::new(
+                ExtractorConfig::default()
+                    .with_limits(limits)
+                    .with_sink(Arc::clone(&sink)),
+            )
+            .map_err(|e| ServeError::Extractor(e.to_string()))
+        };
+        let profiles = Profiles {
+            default_profile: profile(Limits::default())?,
+            strict: profile(Limits::strict())?,
+            unbounded: profile(Limits::unbounded())?,
+        };
+
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind(e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Bind(e.to_string()))?;
+
+        let ctx = Arc::new(Ctx {
+            profiles,
+            metrics: Arc::clone(&metrics),
+            audit: audit.unwrap_or_else(|| Arc::new(NullSink)),
+            active: AtomicUsize::new(0),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            caps: config.caps,
+            request_deadline: config.request_deadline,
+            retry_after_s: config.retry_after_s,
+        });
+
+        let mut pool_config = PoolConfig::with_workers(config.workers)
+            .with_queue_capacity(config.queue_capacity)
+            .detached();
+        if let Some(shed) = config.shed {
+            pool_config = pool_config.with_shed(shed);
+        }
+        let runner_ctx = Arc::clone(&ctx);
+        let pool = Pool::new(
+            pool_config,
+            move |stream: TcpStream, admission| handle_connection(&runner_ctx, stream, admission),
+            Arc::clone(&metrics) as Arc<dyn TraceSink>,
+        )
+        .map_err(ServeError::Pool)?;
+
+        Ok(Server {
+            listener,
+            pool,
+            ctx,
+            config,
+        })
+    }
+
+    /// The bound address — the actual port when the config asked for 0.
+    ///
+    /// # Errors
+    /// Propagates the OS error if the socket has gone bad since binding.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that requests graceful shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shutdown: Arc::clone(&self.ctx.shutdown),
+        }
+    }
+
+    /// Live server counters (also served at `GET /metrics`).
+    pub fn metrics(&self) -> RegistrySnapshot {
+        self.ctx.metrics.registry().typed_snapshot()
+    }
+
+    /// Runs the accept loop until shutdown is requested, then drains
+    /// in-flight requests under the drain deadline and returns the final
+    /// report. Consumes the server: after `run` the listener is closed.
+    pub fn run(self) -> ServeReport {
+        let Server {
+            listener,
+            pool,
+            ctx,
+            config,
+        } = self;
+        let mut parting: Vec<(TcpStream, Instant)> = Vec::new();
+        while !ctx.shutdown.load(Ordering::SeqCst) {
+            reap_parting(&mut parting);
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    // The lint rule `concurrency` (serve tier) requires the
+                    // deadlines armed in the same function as the accept:
+                    // an unarmed stream must never escape this scope.
+                    let armed = stream
+                        .set_nonblocking(false)
+                        .and_then(|()| stream.set_read_timeout(Some(config.io_timeout)))
+                        .and_then(|()| stream.set_write_timeout(Some(config.io_timeout)));
+                    match armed {
+                        Ok(()) => admit(&ctx, &pool, &config, stream, peer, &mut parting),
+                        Err(_) => ctx.metrics.add("serve_accept_errors", 1),
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+                Err(_) => {
+                    ctx.metrics.add("serve_accept_errors", 1);
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+        drop(parting);
+
+        // Stop accepting before draining: closing the listener makes new
+        // connection attempts fail fast instead of hanging in the backlog.
+        drop(listener);
+        let in_flight = ctx.active.load(Ordering::SeqCst);
+        let drain_started = Instant::now();
+        let report = pool.shutdown_within(config.drain_deadline);
+        let remaining = ctx.active.load(Ordering::SeqCst);
+        let drained = in_flight.saturating_sub(remaining);
+        let elapsed_ms = u64::try_from(drain_started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        ctx.metrics
+            .add("serve_drain_abandoned", report.abandoned as u64);
+        if ctx.audit.enabled() {
+            ctx.audit.event(TraceEvent::Server(ServerEvent::Drained {
+                drained,
+                abandoned: report.abandoned,
+                elapsed_ms,
+            }));
+        }
+        let mut merged = rbd_trace::Registry::new();
+        merged.merge(&report.metrics);
+        merged.merge(&ctx.metrics.registry().typed_snapshot());
+        ServeReport {
+            drained,
+            abandoned: report.abandoned,
+            worker_panics: report.worker_panics,
+            metrics: merged.typed_snapshot(),
+        }
+    }
+}
+
+/// Connection-count gate and pool submission. Runs on the accept thread,
+/// so everything here must be non-blocking.
+fn admit(
+    ctx: &Arc<Ctx>,
+    pool: &Pool<TcpStream, ()>,
+    config: &ServeConfig,
+    stream: TcpStream,
+    peer: SocketAddr,
+    parting: &mut Vec<(TcpStream, Instant)>,
+) {
+    let active_now = ctx.active.load(Ordering::SeqCst);
+    if active_now >= config.max_connections {
+        ctx.metrics.add("serve_conns_refused", 1);
+        shed_event(ctx, pool.queue_depth());
+        refuse(ctx, stream, parting);
+        return;
+    }
+    ctx.active.fetch_add(1, Ordering::SeqCst);
+    ctx.metrics.add("serve_conns_accepted", 1);
+    if ctx.audit.enabled() {
+        ctx.audit
+            .event(TraceEvent::Server(ServerEvent::ConnAccepted {
+                peer: peer.to_string(),
+                active: active_now + 1,
+            }));
+    }
+    match pool.try_submit(stream) {
+        Ok(_id) => {}
+        Err(TrySubmitError::QueueFull(stream)) => {
+            bounce(ctx, stream, pool.queue_depth(), parting);
+        }
+        Err(TrySubmitError::Shed { job, depth, .. }) => {
+            bounce(ctx, job, depth, parting);
+        }
+        Err(TrySubmitError::Closed(stream)) => {
+            ctx.active.fetch_sub(1, Ordering::SeqCst);
+            drop(stream);
+        }
+    }
+}
+
+/// Rolls back an admission the pool refused, then refuses the peer.
+fn bounce(ctx: &Ctx, stream: TcpStream, depth: usize, parting: &mut Vec<(TcpStream, Instant)>) {
+    ctx.active.fetch_sub(1, Ordering::SeqCst);
+    ctx.metrics.add("serve_requests_shed", 1);
+    shed_event(ctx, depth);
+    refuse(ctx, stream, parting);
+}
+
+fn shed_event(ctx: &Ctx, depth: usize) {
+    if ctx.audit.enabled() {
+        ctx.audit
+            .event(TraceEvent::Server(ServerEvent::RequestShed {
+                depth,
+                retry_after_s: ctx.retry_after_s,
+            }));
+    }
+}
+
+/// Answers 503 + `Retry-After` on the accept thread, then parks the
+/// socket in `parting` so it closes cleanly (see [`PARTING_GRACE`]). The
+/// socket already has a write timeout, so a peer that refuses to read
+/// cannot stall the accept loop for longer than one timeout window.
+fn refuse(ctx: &Ctx, mut stream: TcpStream, parting: &mut Vec<(TcpStream, Instant)>) {
+    let mut response = Response::json(
+        503,
+        "Service Unavailable",
+        error_json("overload", "service is at capacity; retry shortly"),
+    );
+    response.retry_after_s = Some(ctx.retry_after_s);
+    send(ctx, &mut stream, &response);
+    let parked = parting.len() < PARTING_MAX
+        && stream.shutdown(Shutdown::Write).is_ok()
+        && stream.set_nonblocking(true).is_ok();
+    if parked {
+        parting.push((stream, Instant::now()));
+    }
+}
+
+/// Polls parked refused connections: discards any late request bytes and
+/// drops each socket once the peer closes (clean FIN) or its grace
+/// expires. Non-blocking — runs on the accept thread every poll tick.
+fn reap_parting(parting: &mut Vec<(TcpStream, Instant)>) {
+    parting.retain_mut(|(stream, since)| {
+        let mut scratch = [0u8; 512];
+        loop {
+            match stream.read(&mut scratch) {
+                Ok(0) => return false,
+                Ok(_n) => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        since.elapsed() < PARTING_GRACE
+    });
+}
+
+/// The per-connection worker job: parse one request, route it, respond,
+/// close. Never panics outward except through the pool's own isolation.
+fn handle_connection(ctx: &Ctx, mut stream: TcpStream, admission: Admission) {
+    let _guard = ActiveGuard {
+        active: &ctx.active,
+    };
+    let deadline = Deadline::after(ctx.request_deadline);
+    match http::read_request(&mut stream, ctx.caps, &deadline) {
+        Ok(request) => route(ctx, &mut stream, &request, admission),
+        Err(error) => {
+            match &error {
+                HttpError::TimedOut { phase } => {
+                    ctx.metrics.add("serve_timeouts", 1);
+                    if ctx.audit.enabled() {
+                        ctx.audit.event(TraceEvent::Server(ServerEvent::Deadline {
+                            phase: (*phase).to_string(),
+                            elapsed_ms: deadline.elapsed_ms() as u64,
+                        }));
+                    }
+                }
+                HttpError::Disconnected => ctx.metrics.add("serve_disconnects", 1),
+                HttpError::Malformed(_)
+                | HttpError::LengthRequired
+                | HttpError::BodyTooLarge { .. }
+                | HttpError::HeadTooLarge { .. } => {
+                    ctx.metrics.add("serve_requests_client_error", 1);
+                }
+            }
+            if let Some((status, reason)) = error.status() {
+                let response =
+                    Response::json(status, reason, error_json("http", &error.to_string()));
+                send(ctx, &mut stream, &response);
+                // The request was not fully read (flood, oversized body,
+                // garbage): drain leftovers with a short budget so closing
+                // doesn't RST the error response out from under the peer.
+                drain_politely(&mut stream);
+            }
+        }
+    }
+}
+
+/// Bounded post-response drain for connections whose request was never
+/// fully consumed: half-close the write side, then discard inbound bytes
+/// until the peer closes, a short timeout fires, or a byte budget runs
+/// out. Runs on a worker thread, so a brief blocking wait is fine.
+fn drain_politely(stream: &mut TcpStream) {
+    if stream.shutdown(Shutdown::Write).is_err()
+        || stream
+            .set_read_timeout(Some(Duration::from_millis(250)))
+            .is_err()
+    {
+        return;
+    }
+    let mut scratch = [0u8; 4096];
+    let mut budget: usize = 256 * 1024;
+    loop {
+        match stream.read(&mut scratch) {
+            Ok(0) => return,
+            Ok(n) => {
+                budget = budget.saturating_sub(n);
+                if budget == 0 {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn route(ctx: &Ctx, stream: &mut TcpStream, request: &Request, admission: Admission) {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("POST", "/extract") => extract(ctx, stream, request, admission),
+        ("GET", "/healthz") => {
+            let body = Json::object([
+                ("status", Json::Str("ok".to_string())),
+                (
+                    "active",
+                    Json::UInt(ctx.active.load(Ordering::SeqCst) as u64),
+                ),
+            ])
+            .to_string();
+            send(ctx, stream, &Response::json(200, "OK", body));
+        }
+        ("GET", "/metrics") => {
+            send(ctx, stream, &Response::json(200, "OK", metrics_json(ctx)));
+        }
+        ("POST", "/shutdown") => {
+            let body = Json::object([("status", Json::Str("draining".to_string()))]).to_string();
+            send(ctx, stream, &Response::json(200, "OK", body));
+            ctx.shutdown.store(true, Ordering::SeqCst);
+        }
+        (_method, "/extract" | "/healthz" | "/metrics" | "/shutdown") => {
+            ctx.metrics.add("serve_requests_client_error", 1);
+            send(
+                ctx,
+                stream,
+                &Response::json(
+                    405,
+                    "Method Not Allowed",
+                    error_json("method", "method not allowed for this endpoint"),
+                ),
+            );
+        }
+        (_method, _target) => {
+            ctx.metrics.add("serve_requests_client_error", 1);
+            send(
+                ctx,
+                stream,
+                &Response::json(
+                    404,
+                    "Not Found",
+                    error_json("not_found", "unknown endpoint"),
+                ),
+            );
+        }
+    }
+}
+
+/// `POST /extract`: run record-boundary discovery on the body under the
+/// selected limits profile, with panic isolation at the request boundary.
+fn extract(ctx: &Ctx, stream: &mut TcpStream, request: &Request, admission: Admission) {
+    let Ok(html) = std::str::from_utf8(&request.body) else {
+        ctx.metrics.add("serve_requests_client_error", 1);
+        send(
+            ctx,
+            stream,
+            &Response::json(
+                400,
+                "Bad Request",
+                error_json("encoding", "request body is not valid UTF-8"),
+            ),
+        );
+        return;
+    };
+    let extractor = profile_for(ctx, request, admission);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        extractor.extract_records(html)
+    }));
+    match outcome {
+        Err(payload) => {
+            let message = panic_message(&payload);
+            ctx.metrics.add("serve_panics", 1);
+            if ctx.audit.enabled() {
+                ctx.audit
+                    .event(TraceEvent::Server(ServerEvent::WorkerPanic {
+                        message: message.clone(),
+                    }));
+            }
+            send(
+                ctx,
+                stream,
+                &Response::json(500, "Internal Server Error", error_json("panic", &message)),
+            );
+        }
+        Ok(Err(error)) => {
+            ctx.metrics.add("serve_requests_unprocessable", 1);
+            send(
+                ctx,
+                stream,
+                &Response::json(
+                    422,
+                    "Unprocessable Entity",
+                    error_json(discovery_kind(&error), &error.to_string()),
+                ),
+            );
+        }
+        Ok(Ok(extraction)) => {
+            ctx.metrics.add("serve_requests_ok", 1);
+            send(
+                ctx,
+                stream,
+                &Response::json(200, "OK", extraction_response_json(&extraction).to_string()),
+            );
+        }
+    }
+}
+
+/// Picks the limits profile: strict admission (shed pressure) wins, then
+/// the `x-rbd-limits` header; an unrecognized value degrades to the
+/// default profile with a counter rather than failing the request.
+fn profile_for<'a>(ctx: &'a Ctx, request: &Request, admission: Admission) -> &'a RecordExtractor {
+    if let Admission::Strict { .. } = admission {
+        ctx.metrics.add("serve_admitted_strict", 1);
+        return &ctx.profiles.strict;
+    }
+    match request.header("x-rbd-limits") {
+        None | Some("default") => &ctx.profiles.default_profile,
+        Some("strict") => &ctx.profiles.strict,
+        Some("unbounded") => &ctx.profiles.unbounded,
+        Some(_other) => {
+            ctx.metrics.add("serve_limits_degraded", 1);
+            &ctx.profiles.default_profile
+        }
+    }
+}
+
+/// Writes a response, counting (never propagating) write failures — a
+/// peer that vanishes before reading its response is routine.
+fn send(ctx: &Ctx, stream: &mut TcpStream, response: &Response) {
+    if http::write_response(stream, response).is_err() {
+        ctx.metrics.add("serve_write_errors", 1);
+    }
+}
+
+/// The stable error body shape: `{"error":{"kind":…,"message":…}}`.
+fn error_json(kind: &str, message: &str) -> String {
+    Json::object([(
+        "error",
+        Json::object([
+            ("kind", Json::Str(kind.to_string())),
+            ("message", Json::Str(message.to_string())),
+        ]),
+    )])
+    .to_string()
+}
+
+/// Discriminant for the 422 body, mirroring [`DiscoveryError`].
+fn discovery_kind(error: &DiscoveryError) -> &'static str {
+    match error {
+        DiscoveryError::EmptyDocument => "empty_document",
+        DiscoveryError::NoCandidates => "no_candidates",
+        DiscoveryError::NoConsensus => "no_consensus",
+        DiscoveryError::Pattern(_) => "pattern",
+        DiscoveryError::Limit(_) => "limit",
+    }
+}
+
+/// Flattens a panic payload to text, matching the pipeline's convention.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The `200 OK` body for `/extract`, and the soak harness's comparison
+/// key: the same extraction must serialize byte-identically whether it
+/// ran through the service or the serial engine.
+pub fn extraction_response_json(extraction: &Extraction) -> Json {
+    Json::object([
+        ("separator", Json::Str(extraction.outcome.separator.clone())),
+        ("preamble", Json::Bool(extraction.preamble.is_some())),
+        (
+            "records",
+            Json::array(extraction.records.iter().map(record_json)),
+        ),
+        ("degraded", Json::UInt(extraction.degradation.len() as u64)),
+    ])
+}
+
+fn record_json(record: &Record) -> Json {
+    Json::object([
+        ("start", Json::UInt(record.start as u64)),
+        ("end", Json::UInt(record.end as u64)),
+        ("text", Json::Str(record.text.clone())),
+    ])
+}
+
+/// The `GET /metrics` body: a small curated `server` block plus the full
+/// registry snapshot (server counters and extraction/pipeline metrics).
+fn metrics_json(ctx: &Ctx) -> String {
+    let registry = ctx.metrics.registry();
+    Json::object([
+        (
+            "server",
+            Json::object([
+                (
+                    "active",
+                    Json::UInt(ctx.active.load(Ordering::SeqCst) as u64),
+                ),
+                (
+                    "accepted",
+                    Json::UInt(registry.counter("serve_conns_accepted")),
+                ),
+                (
+                    "shed",
+                    Json::UInt(
+                        registry.counter("serve_requests_shed")
+                            + registry.counter("serve_conns_refused"),
+                    ),
+                ),
+                ("timeouts", Json::UInt(registry.counter("serve_timeouts"))),
+                ("panics", Json::UInt(registry.counter("serve_panics"))),
+            ]),
+        ),
+        ("metrics", registry.typed_snapshot().to_json()),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn start(
+        config: ServeConfig,
+    ) -> (
+        SocketAddr,
+        ShutdownHandle,
+        std::thread::JoinHandle<ServeReport>,
+    ) {
+        let server = Server::bind(config, None).expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || server.run());
+        (addr, handle, join)
+    }
+
+    fn talk(addr: SocketAddr, raw: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("client read timeout");
+        stream.write_all(raw).expect("send");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    fn post_extract(addr: SocketAddr, html: &str) -> String {
+        let raw = format!(
+            "POST /extract HTTP/1.1\r\nContent-Length: {}\r\n\r\n{html}",
+            html.len()
+        );
+        talk(addr, raw.as_bytes())
+    }
+
+    #[test]
+    fn serves_extraction_health_metrics_and_shuts_down() {
+        let (addr, handle, join) = start(ServeConfig {
+            workers: 2,
+            io_timeout: Duration::from_secs(2),
+            request_deadline: Duration::from_secs(5),
+            ..ServeConfig::default()
+        });
+
+        let html = "<html><body>\
+                    <h2>A</h2><p>alpha</p>\
+                    <h2>B</h2><p>beta</p>\
+                    <h2>C</h2><p>gamma</p>\
+                    </body></html>";
+        let ok = post_extract(addr, html);
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("\"separator\""), "{ok}");
+
+        let health = talk(addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+
+        let metrics = talk(addr, b"GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(metrics.contains("\"accepted\""), "{metrics}");
+        assert!(metrics.contains("serve_requests_ok"), "{metrics}");
+
+        let missing = talk(addr, b"GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        let wrong_method = talk(addr, b"GET /extract HTTP/1.1\r\n\r\n");
+        assert!(wrong_method.starts_with("HTTP/1.1 405"), "{wrong_method}");
+
+        handle.trigger();
+        let report = join.join().expect("server thread");
+        assert_eq!(report.worker_panics, 0);
+        assert_eq!(report.abandoned, 0);
+        assert!(report.metrics.counters.get("serve_requests_ok").copied() >= Some(1));
+    }
+
+    #[test]
+    fn empty_body_is_422_and_shutdown_endpoint_drains() {
+        let (addr, _handle, join) = start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let unprocessable = post_extract(addr, "");
+        assert!(unprocessable.starts_with("HTTP/1.1 422"), "{unprocessable}");
+        assert!(
+            unprocessable.contains("\"kind\":\"empty_document\""),
+            "{unprocessable}"
+        );
+
+        let bye = talk(
+            addr,
+            b"POST /shutdown HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert!(bye.starts_with("HTTP/1.1 200"), "{bye}");
+        let report = join.join().expect("server thread");
+        assert_eq!(report.abandoned, 0);
+    }
+
+    #[test]
+    fn unknown_limits_profile_degrades_not_fails() {
+        let (addr, handle, join) = start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let html = "<html><body><h2>A</h2><p>x</p><h2>B</h2><p>y</p></body></html>";
+        let raw = format!(
+            "POST /extract HTTP/1.1\r\nx-rbd-limits: turbo\r\nContent-Length: {}\r\n\r\n{html}",
+            html.len()
+        );
+        let out = talk(addr, raw.as_bytes());
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        handle.trigger();
+        let report = join.join().expect("server thread");
+        assert_eq!(
+            report
+                .metrics
+                .counters
+                .get("serve_limits_degraded")
+                .copied(),
+            Some(1)
+        );
+    }
+}

@@ -63,6 +63,102 @@ impl RankedEntry {
     }
 }
 
+/// One operational decision of the long-lived network front (`rbd-serve`),
+/// wrapped into the audit trail as [`TraceEvent::Server`]. Where the
+/// pipeline events explain *what the extractor decided about a document*,
+/// these explain *what the service decided about a connection*: admission,
+/// refusal, deadline enforcement, drain. See DESIGN.md §12.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerEvent {
+    /// A connection cleared the accept loop's connection-count gate.
+    ConnAccepted {
+        /// Peer address, as reported by the OS (`"unknown"` if it refused).
+        peer: String,
+        /// Connections in flight *including* this one.
+        active: usize,
+    },
+    /// A request was refused with `503` + `Retry-After` — either the
+    /// pipeline's shed policy fired or the injector was full and the
+    /// connection gate chose refusal over unbounded queueing.
+    RequestShed {
+        /// Injector depth observed at the refusal.
+        depth: usize,
+        /// The `Retry-After` value sent, in seconds.
+        retry_after_s: u64,
+    },
+    /// A per-connection deadline fired and the connection was reaped —
+    /// the slowloris defense doing its job.
+    Deadline {
+        /// Which deadline: `"read"`, `"write"`, or `"request"`.
+        phase: String,
+        /// Wall-clock the connection had consumed, in milliseconds.
+        elapsed_ms: u64,
+    },
+    /// An extraction job panicked inside the worker's isolation boundary;
+    /// the connection was answered `500` and the service kept running.
+    WorkerPanic {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// Graceful shutdown finished draining in-flight requests.
+    Drained {
+        /// Requests that completed inside the drain deadline.
+        drained: usize,
+        /// Workers abandoned when the deadline expired (0 on a clean drain).
+        abandoned: usize,
+        /// How long the drain took, in milliseconds.
+        elapsed_ms: u64,
+    },
+}
+
+impl ServerEvent {
+    /// The snake_case name serialized as the `"type"` discriminant. All
+    /// server kinds carry a `server_` prefix so a mixed audit stream
+    /// separates cleanly from the per-document pipeline events.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServerEvent::ConnAccepted { .. } => "server_conn_accepted",
+            ServerEvent::RequestShed { .. } => "server_request_shed",
+            ServerEvent::Deadline { .. } => "server_deadline",
+            ServerEvent::WorkerPanic { .. } => "server_worker_panic",
+            ServerEvent::Drained { .. } => "server_drained",
+        }
+    }
+
+    fn push_members(&self, members: &mut Vec<(&'static str, Json)>) {
+        match self {
+            ServerEvent::ConnAccepted { peer, active } => {
+                members.push(("peer", Json::Str(peer.clone())));
+                members.push(("active", Json::UInt(*active as u64)));
+            }
+            ServerEvent::RequestShed {
+                depth,
+                retry_after_s,
+            } => {
+                members.push(("depth", Json::UInt(*depth as u64)));
+                members.push(("retry_after_s", Json::UInt(*retry_after_s)));
+            }
+            ServerEvent::Deadline { phase, elapsed_ms } => {
+                members.push(("phase", Json::Str(phase.clone())));
+                members.push(("elapsed_ms", Json::UInt(*elapsed_ms)));
+            }
+            ServerEvent::WorkerPanic { message } => {
+                members.push(("message", Json::Str(message.clone())));
+            }
+            ServerEvent::Drained {
+                drained,
+                abandoned,
+                elapsed_ms,
+            } => {
+                members.push(("drained", Json::UInt(*drained as u64)));
+                members.push(("abandoned", Json::UInt(*abandoned as u64)));
+                members.push(("elapsed_ms", Json::UInt(*elapsed_ms)));
+            }
+        }
+    }
+}
+
 /// One pipeline decision, in emission order. See the module docs for the
 /// reading guide and DESIGN.md §8 for the full taxonomy.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,6 +250,9 @@ pub enum TraceEvent {
         /// Whether a preamble (content before the first separator) exists.
         preamble: bool,
     },
+    /// An operational decision of the long-lived service front
+    /// ([`ServerEvent`]): connection admission, shed, deadline, drain.
+    Server(ServerEvent),
 }
 
 impl TraceEvent {
@@ -171,6 +270,7 @@ impl TraceEvent {
             TraceEvent::Degradation { .. } => "degradation",
             TraceEvent::Recognized { .. } => "recognized",
             TraceEvent::Chunked { .. } => "chunked",
+            TraceEvent::Server(server) => server.kind(),
         }
     }
 
@@ -310,6 +410,7 @@ impl TraceEvent {
                 members.push(("records", Json::UInt(*records as u64)));
                 members.push(("preamble", Json::Bool(*preamble)));
             }
+            TraceEvent::Server(server) => server.push_members(&mut members),
         }
         Json::object(members)
     }
@@ -387,6 +488,26 @@ mod tests {
                 records: 0,
                 preamble: false,
             },
+            TraceEvent::Server(ServerEvent::ConnAccepted {
+                peer: String::new(),
+                active: 0,
+            }),
+            TraceEvent::Server(ServerEvent::RequestShed {
+                depth: 0,
+                retry_after_s: 0,
+            }),
+            TraceEvent::Server(ServerEvent::Deadline {
+                phase: String::new(),
+                elapsed_ms: 0,
+            }),
+            TraceEvent::Server(ServerEvent::WorkerPanic {
+                message: String::new(),
+            }),
+            TraceEvent::Server(ServerEvent::Drained {
+                drained: 0,
+                abandoned: 0,
+                elapsed_ms: 0,
+            }),
         ];
         let mut kinds: Vec<_> = events.iter().map(TraceEvent::kind).collect();
         kinds.sort_unstable();
@@ -411,6 +532,30 @@ mod tests {
         assert!(json.contains(r#""name":"HT""#), "{json}");
         assert!(json.contains(r#""rank":1"#), "{json}");
         assert!(json.contains(r#""count:hr""#), "{json}");
+    }
+
+    #[test]
+    fn server_events_serialize_with_prefixed_kinds() {
+        let json = TraceEvent::Server(ServerEvent::RequestShed {
+            depth: 9,
+            retry_after_s: 1,
+        })
+        .to_json()
+        .to_compact();
+        assert_eq!(
+            json,
+            r#"{"type":"server_request_shed","depth":9,"retry_after_s":1}"#
+        );
+        let json = TraceEvent::Server(ServerEvent::Deadline {
+            phase: "read".into(),
+            elapsed_ms: 5_000,
+        })
+        .to_json()
+        .to_compact();
+        assert_eq!(
+            json,
+            r#"{"type":"server_deadline","phase":"read","elapsed_ms":5000}"#
+        );
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod event;
 pub mod metrics;
 pub mod span;
 
-pub use event::{events_to_json, CandidateDecision, RankedEntry, TraceEvent};
+pub use event::{events_to_json, CandidateDecision, RankedEntry, ServerEvent, TraceEvent};
 pub use metrics::{Histogram, HistogramSnapshot, Registry, RegistrySnapshot, LATENCY_BOUNDS_NS};
 pub use span::{Span, SpanRecord};
 
@@ -215,6 +215,53 @@ impl TraceSink for CollectingSink {
     }
 }
 
+/// The long-lived-service sink: keeps counters and latency histograms in a
+/// [`Registry`], *discards* events and spans, and reports itself disabled
+/// so instrumented code skips event construction. [`CollectingSink`]
+/// accumulates every event in an unbounded `Vec`, which is exactly wrong
+/// for a process meant to run for weeks — this sink's memory footprint is
+/// bounded by the number of distinct metric names, not by traffic.
+///
+/// `rbd serve` installs one of these for its worker pool and serves the
+/// snapshot over `/metrics`.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    registry: Registry,
+}
+
+impl MetricsSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying registry (for snapshots and direct reads).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+impl TraceSink for MetricsSink {
+    /// Disabled: events exist only to be collected, and this sink keeps
+    /// none — callers honoring the contract never build them.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn event(&self, _event: TraceEvent) {}
+
+    /// Spans still feed the latency histograms; only the per-span records
+    /// are dropped.
+    fn span(&self, span: SpanRecord) {
+        self.registry.observe(span.name, span.nanos);
+    }
+
+    fn add(&self, counter: &'static str, delta: u64) {
+        self.registry.add(counter, delta);
+    }
+}
+
 /// A test double: collects like [`CollectingSink`] but also records a
 /// flat, ordered log of every call (`"event:subtree_chosen"`,
 /// `"span:tokenize"`, `"add:tags_scanned+42"`), and its
@@ -363,6 +410,27 @@ mod tests {
     }
 
     #[test]
+    fn metrics_sink_is_bounded_and_disabled() {
+        let sink = MetricsSink::new();
+        assert!(!sink.enabled(), "events must be skippable at the call site");
+        // Events that arrive anyway (unconditional emitters) vanish without
+        // allocating; counters and span latencies still accumulate.
+        sink.event(TraceEvent::Server(ServerEvent::ConnAccepted {
+            peer: "127.0.0.1:9".into(),
+            active: 1,
+        }));
+        sink.span(SpanRecord {
+            name: "serve:request",
+            nanos: 2_000,
+        });
+        sink.add("serve_requests", 1);
+        sink.add("serve_requests", 1);
+        assert_eq!(sink.registry().counter("serve_requests"), 2);
+        let snap = sink.registry().snapshot().to_compact();
+        assert!(snap.contains("\"serve:request\""), "{snap}");
+    }
+
+    #[test]
     fn mock_sink_records_call_order() {
         let sink = MockSink::new();
         sink.span(SpanRecord {
@@ -400,6 +468,7 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<NullSink>();
         assert_send_sync::<CollectingSink>();
+        assert_send_sync::<MetricsSink>();
         assert_send_sync::<MockSink>();
         // The trait object form workers actually share.
         assert_send_sync::<std::sync::Arc<dyn TraceSink>>();

@@ -36,6 +36,7 @@ usage: rbd <discover|extract|pipeline|check|tree> [FILE]
            [--ontology-file PATH] [--json] [--xml]
            [--trace PATH] [--metrics]
        rbd batch FILE... [--jobs N] [--json] [--metrics]
+       rbd serve [--addr HOST:PORT | --port N] [--jobs N] [--metrics]
 
 Reads HTML from FILE (or stdin) and:
   discover   print the consensus record separator and heuristic rankings
@@ -45,6 +46,9 @@ Reads HTML from FILE (or stdin) and:
   tree       print the document's tag tree
   batch      extract every FILE concurrently on --jobs workers (default 4)
              and print one result line per document, in input order
+  serve      run the long-lived extraction service (default 127.0.0.1:8080)
+             on --jobs workers: POST /extract, GET /healthz, GET /metrics,
+             POST /shutdown; drains gracefully on shutdown
 
 Observability:
   --trace PATH  write the decision audit trail (events, spans, metrics)
@@ -61,6 +65,7 @@ struct Args {
     xml: bool,
     trace: Option<String>,
     metrics: bool,
+    addr: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -79,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
         xml: false,
         trace: None,
         metrics: false,
+        addr: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -107,6 +113,16 @@ fn parse_args() -> Result<Args, String> {
             "--xml" => args.xml = true,
             "--trace" => args.trace = Some(argv.next().ok_or("--trace needs a path")?),
             "--metrics" => args.metrics = true,
+            "--addr" => {
+                args.addr = Some(argv.next().ok_or("--addr needs HOST:PORT")?);
+            }
+            "--port" => {
+                let p = argv.next().ok_or("--port needs a port number")?;
+                let port = p
+                    .parse::<u16>()
+                    .map_err(|_| format!("--port needs a port number, got `{p}`"))?;
+                args.addr = Some(format!("127.0.0.1:{port}"));
+            }
             "--jobs" => {
                 let n = argv.next().ok_or("--jobs needs a worker count")?;
                 args.jobs = n
@@ -214,24 +230,20 @@ fn run_batch_files(
             .files
             .get(usize::try_from(result.doc_id).unwrap_or(usize::MAX))
             .map_or("?", String::as_str);
-        lines.push(match (&result.outcome, args.json) {
-            (Ok(extraction), false) => format!(
-                "{path}: {} records (separator <{}>)",
-                extraction.records.len(),
-                extraction.outcome.separator
-            ),
-            (Err(e), false) => format!("{path}: error: {e}"),
-            (Ok(extraction), true) => format!(
-                "{{\"file\":\"{}\",\"records\":{},\"separator\":\"{}\"}}",
-                json_escape(path),
-                extraction.records.len(),
-                json_escape(&extraction.outcome.separator)
-            ),
-            (Err(e), true) => format!(
-                "{{\"file\":\"{}\",\"error\":\"{}\"}}",
-                json_escape(path),
-                json_escape(&e.to_string())
-            ),
+        lines.push(if args.json {
+            // Typed entries (rbd::report): failures carry an `"error"`
+            // object with a `kind` discriminant (`discovery`/`shed`/
+            // `panic`) instead of a bare string.
+            rbd::report::batch_entry_json(path, &result.outcome).to_string()
+        } else {
+            match &result.outcome {
+                Ok(extraction) => format!(
+                    "{path}: {} records (separator <{}>)",
+                    extraction.records.len(),
+                    extraction.outcome.separator
+                ),
+                Err(e) => format!("{path}: error: {e}"),
+            }
         });
     }
     if args.json {
@@ -253,12 +265,44 @@ fn run_batch_files(
     Ok(report.metrics)
 }
 
+/// `rbd serve`: runs the fault-tolerant extraction service until it is
+/// told to stop (`POST /shutdown`), then reports the drain outcome.
+fn run_serve(args: &Args, sink: Option<&Arc<CollectingSink>>) -> Result<(), String> {
+    let config = rbd::serve::ServeConfig {
+        addr: args
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+        workers: args.jobs,
+        ..rbd::serve::ServeConfig::default()
+    };
+    let audit: Option<Arc<dyn rbd::trace::TraceSink>> =
+        sink.map(|s| Arc::clone(s) as Arc<dyn rbd::trace::TraceSink>);
+    let server = rbd::serve::Server::bind(config, audit).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("rbd serve: listening on {addr} ({} workers)", args.jobs);
+    eprintln!("rbd serve: POST /extract | GET /healthz | GET /metrics | POST /shutdown");
+    let report = server.run();
+    eprintln!(
+        "rbd serve: drained {} in-flight, {} abandoned, {} worker panics",
+        report.drained, report.abandoned, report.worker_panics
+    );
+    if args.metrics {
+        eprintln!("{}", report.metrics.to_json().to_pretty());
+    }
+    finish_observability(sink, args.trace.as_deref(), false)
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let mut out = String::new();
 
     let sink: Option<Arc<CollectingSink>> =
         (args.trace.is_some() || args.metrics).then(|| Arc::new(CollectingSink::new()));
+
+    if args.command == "serve" {
+        return run_serve(&args, sink.as_ref());
+    }
 
     if args.command == "tree" {
         let html = read_input(args.files.first().map(String::as_str))?;

@@ -17,7 +17,10 @@
 //! * [`eval`] — the experiment harness reproducing the paper's tables,
 //! * [`trace`] — tracing, metrics, and the decision audit trail,
 //! * [`pipeline`] — concurrent batch-extraction engine (bounded queues,
-//!   work stealing, load shedding).
+//!   work stealing, load shedding),
+//! * [`serve`] — fault-tolerant long-lived HTTP extraction service
+//!   (socket deadlines, load shedding, graceful drain),
+//! * [`report`] — stable machine-readable shapes for CLI output.
 //!
 //! ## Quickstart
 //!
@@ -49,8 +52,11 @@ pub use rbd_ontology as ontology;
 pub use rbd_pattern as pattern;
 pub use rbd_pipeline as pipeline;
 pub use rbd_recognizer as recognizer;
+pub use rbd_serve as serve;
 pub use rbd_tagtree as tagtree;
 pub use rbd_trace as trace;
+
+pub mod report;
 
 /// Commonly used items, for glob import.
 pub mod prelude {

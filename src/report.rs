@@ -1,0 +1,105 @@
+//! Stable machine-readable shapes for CLI output.
+//!
+//! `rbd batch --json` is consumed by scripts, so its per-document entries
+//! are built here — as [`Json`](rbd_json::Json) values with a tested
+//! contract — instead of ad-hoc `format!` strings in the binary. The key
+//! robustness property: a document that *panicked* or was *shed* inside
+//! the pipeline produces a typed `"error"` object naming the failure kind,
+//! not a bare string a consumer has to pattern-match.
+
+use rbd_core::Extraction;
+use rbd_json::Json;
+use rbd_pipeline::BatchError;
+
+/// One `rbd batch --json` entry: `{"file", "records", "separator"}` on
+/// success, `{"file", "error": {"kind", "message", …}}` on failure.
+///
+/// Error kinds are `"discovery"` (the extractor ran and failed, same as a
+/// serial run), `"shed"` (dropped by the load-shedding policy before it
+/// ran; carries `watermark` and `depth`), and `"panic"` (the extraction
+/// panicked; the pool isolated it and the batch carried on).
+pub fn batch_entry_json(file: &str, outcome: &Result<Extraction, BatchError>) -> Json {
+    match outcome {
+        Ok(extraction) => Json::object([
+            ("file", Json::Str(file.to_string())),
+            ("records", Json::UInt(extraction.records.len() as u64)),
+            ("separator", Json::Str(extraction.outcome.separator.clone())),
+        ]),
+        Err(error) => Json::object([
+            ("file", Json::Str(file.to_string())),
+            ("error", batch_error_json(error)),
+        ]),
+    }
+}
+
+fn batch_error_json(error: &BatchError) -> Json {
+    match error {
+        BatchError::Discovery(e) => Json::object([
+            ("kind", Json::Str("discovery".to_string())),
+            ("message", Json::Str(e.to_string())),
+        ]),
+        BatchError::Shed { watermark, depth } => Json::object([
+            ("kind", Json::Str("shed".to_string())),
+            ("message", Json::Str(error.to_string())),
+            ("watermark", Json::UInt(*watermark as u64)),
+            ("depth", Json::UInt(*depth as u64)),
+        ]),
+        BatchError::Panicked(message) => Json::object([
+            ("kind", Json::Str("panic".to_string())),
+            ("message", Json::Str(message.clone())),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panicked_doc_serializes_as_typed_error() {
+        let outcome: Result<Extraction, BatchError> =
+            Err(BatchError::Panicked("index out of bounds".to_string()));
+        let entry = batch_entry_json("docs/a.html", &outcome);
+        assert_eq!(
+            entry.to_string(),
+            r#"{"file":"docs/a.html","error":{"kind":"panic","message":"index out of bounds"}}"#
+        );
+    }
+
+    #[test]
+    fn shed_doc_carries_watermark_and_depth() {
+        let outcome: Result<Extraction, BatchError> = Err(BatchError::Shed {
+            watermark: 32,
+            depth: 40,
+        });
+        let entry = batch_entry_json("b.html", &outcome);
+        assert_eq!(
+            entry.get("error").and_then(|e| e.get("kind")),
+            Some(&Json::Str("shed".into()))
+        );
+        assert_eq!(
+            entry.get("error").and_then(|e| e.get("watermark")),
+            Some(&Json::UInt(32))
+        );
+        assert_eq!(
+            entry.get("error").and_then(|e| e.get("depth")),
+            Some(&Json::UInt(40))
+        );
+    }
+
+    #[test]
+    fn discovery_error_keeps_the_serial_message() {
+        let outcome: Result<Extraction, BatchError> = Err(BatchError::Discovery(
+            rbd_core::DiscoveryError::EmptyDocument,
+        ));
+        let entry = batch_entry_json("c.html", &outcome);
+        assert_eq!(
+            entry.get("error").and_then(|e| e.get("kind")),
+            Some(&Json::Str("discovery".into()))
+        );
+        assert_eq!(
+            entry.get("error").and_then(|e| e.get("message")),
+            Some(&Json::Str("document contains no tags".into()))
+        );
+    }
+}

@@ -200,3 +200,87 @@ fn empty_input_reports_error() {
     assert!(!ok);
     assert!(stderr.contains("no tags"), "{stderr}");
 }
+
+#[test]
+fn batch_json_reports_typed_error_entries() {
+    let dir = std::env::temp_dir().join(format!("rbd-cli-batch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let good = dir.join("good.html");
+    let bad = dir.join("bad.html");
+    std::fs::write(&good, PAGE).expect("write good");
+    std::fs::write(&bad, "no tags at all").expect("write bad");
+
+    let (stdout, stderr, ok) = run_with_stdin(
+        &[
+            "batch",
+            good.to_str().expect("utf-8 path"),
+            bad.to_str().expect("utf-8 path"),
+            "--json",
+        ],
+        "",
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("\"records\":3"), "{stdout}");
+    // The failing document yields a typed error object, not a bare string.
+    assert!(
+        stdout.contains("\"error\":{\"kind\":\"discovery\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("document contains no tags"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end `rbd serve`: boot on an ephemeral port, extract over HTTP,
+/// shut down gracefully via the admin endpoint, and check the exit report.
+#[test]
+fn serve_subcommand_extracts_and_shuts_down() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let mut child = rbd()
+        .args(["serve", "--port", "0", "--jobs", "2"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner}"))
+        .to_string();
+
+    let talk = |raw: &[u8]| -> String {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .expect("client timeout");
+        std::io::Write::write_all(&mut stream, raw).expect("send");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        out
+    };
+
+    let request = format!(
+        "POST /extract HTTP/1.1\r\nContent-Length: {}\r\n\r\n{PAGE}",
+        PAGE.len()
+    );
+    let response = talk(request.as_bytes());
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+    assert!(response.contains("\"separator\":\"hr\""), "{response}");
+
+    let health = talk(b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+
+    let bye = talk(b"POST /shutdown HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    assert!(bye.starts_with("HTTP/1.1 200"), "{bye}");
+
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "serve exited non-zero");
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).expect("drain stderr");
+    assert!(rest.contains("drained"), "{rest}");
+}

@@ -129,6 +129,42 @@ fn tag_bomb_strict_trace_matches_golden() {
     assert_matches_golden("tag_bomb_strict", &trace);
 }
 
+/// The server-event taxonomy (`rbd serve`'s operational audit trail),
+/// serialized from synthetic fixed-value events. The live server's events
+/// carry nondeterministic data — peer ports, elapsed times — so the golden
+/// pins the *shape*: every variant, every field, the `server_` kind
+/// prefix. A field rename or reorder in `ServerEvent` shows up here as a
+/// reviewable diff, exactly like the pipeline events above.
+#[test]
+fn server_event_taxonomy_matches_golden() {
+    use rbd::trace::ServerEvent;
+    let events = vec![
+        TraceEvent::Server(ServerEvent::ConnAccepted {
+            peer: "127.0.0.1:50000".into(),
+            active: 3,
+        }),
+        TraceEvent::Server(ServerEvent::RequestShed {
+            depth: 16,
+            retry_after_s: 1,
+        }),
+        TraceEvent::Server(ServerEvent::Deadline {
+            phase: "read".into(),
+            elapsed_ms: 5_000,
+        }),
+        TraceEvent::Server(ServerEvent::WorkerPanic {
+            message: "index out of bounds".into(),
+        }),
+        TraceEvent::Server(ServerEvent::Drained {
+            drained: 7,
+            abandoned: 0,
+            elapsed_ms: 42,
+        }),
+    ];
+    let mut json = rbd::trace::events_to_json(&events).to_pretty();
+    json.push('\n');
+    assert_matches_golden("server_events", &json);
+}
+
 /// The same clean obituary squeezed through a 2 KiB text cap: the pipeline
 /// degrades instead of failing, and the trace must carry the degradation
 /// event alongside the decisions made on the truncated text. No time
