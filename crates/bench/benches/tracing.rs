@@ -167,6 +167,33 @@ fn measure_null_sink_overhead(docs: &[String]) {
     );
 }
 
+/// Rolling windows add one `record()` per request in `rbd serve`; a
+/// disabled ring must reduce that to a single relaxed atomic load.
+/// Measured as the hot-path workload plus one disabled `record()` per
+/// document against the bare workload — the same shape batch mode pays
+/// when windows are off.
+fn measure_disabled_windows_overhead(docs: &[String]) {
+    let builder = rbd_tagtree::TagTreeBuilder::default();
+    let windows = rbd_trace::RollingWindows::disabled();
+    let bare = || {
+        for html in docs {
+            black_box(builder.try_build(html).expect("tree"));
+        }
+    };
+    let gated = || {
+        for html in docs {
+            black_box(builder.try_build(html).expect("tree"));
+            windows.record(black_box(1_000), false);
+        }
+    };
+    interleaved(&bare, &bare, 20); // warm-up
+    let p = interleaved(bare, gated, 400);
+    println!(
+        "tracing-overhead/disabled_windows_vs_bare  paired-ratio {:+.2} %",
+        (p.ratio_median - 1.0) * 100.0
+    );
+}
+
 /// Cost of actually collecting: the full audit trail against the NullSink
 /// fast path, end to end through `extract_records`.
 fn measure_collecting_overhead(docs: &[String]) {
@@ -198,5 +225,6 @@ fn main() {
     bench_sink_variants(&mut h, &docs);
     h.finish();
     measure_null_sink_overhead(&docs);
+    measure_disabled_windows_overhead(&docs);
     measure_collecting_overhead(&docs);
 }

@@ -446,7 +446,7 @@ impl RecordExtractor {
                     span.finish(sink);
                 }
                 if detailed.ranking.is_none() {
-                    sink.add("heuristic_abstentions", 1);
+                    sink.add("extract_heuristic_abstentions", 1);
                 }
                 if sink.enabled() {
                     // OM's scores compare each candidate's occurrence count
@@ -503,7 +503,7 @@ impl RecordExtractor {
     /// [`RecordExtractor::extract_records`] reporting to an explicit
     /// [`TraceSink`]: everything [`RecordExtractor::discover_traced`]
     /// emits, plus a `"chunk"` span, a
-    /// [`Chunked`](TraceEvent::Chunked) event, and the `docs_extracted`
+    /// [`Chunked`](TraceEvent::Chunked) event, and the `extract_docs`
     /// counter.
     pub fn extract_records_traced(
         &self,
@@ -523,7 +523,7 @@ impl RecordExtractor {
         if let Some(span) = span {
             span.finish(sink);
         }
-        sink.add("docs_extracted", 1);
+        sink.add("extract_docs", 1);
         if sink.enabled() {
             sink.event(TraceEvent::Chunked {
                 separator: outcome.separator.clone(),
@@ -836,8 +836,8 @@ mod tests {
             }
             other => panic!("expected OM heuristic event, got {other:?}"),
         }
-        assert_eq!(sink.counter("docs_extracted"), 1);
-        assert!(sink.counter("tags_scanned") > 0);
+        assert_eq!(sink.counter("extract_docs"), 1);
+        assert!(sink.counter("extract_tags_scanned") > 0);
         assert!(
             sink.spans().iter().any(|s| s.name == "heuristic:OM"),
             "{:?}",
@@ -856,7 +856,7 @@ mod tests {
         .unwrap();
         ex.extract_records(&obituary_page()).unwrap();
         assert!(!sink.events().is_empty());
-        assert_eq!(sink.registry().counter("docs_extracted"), 1);
+        assert_eq!(sink.registry().counter("extract_docs"), 1);
     }
 
     #[test]
@@ -873,7 +873,7 @@ mod tests {
         // Spans are gated too (Span::start_if never reads the clock for a
         // disabled sink); only already-at-hand counter increments flow.
         assert!(sink.spans().is_empty(), "{:?}", sink.spans());
-        assert_eq!(sink.counter("docs_extracted"), 1);
+        assert_eq!(sink.counter("extract_docs"), 1);
     }
 
     #[test]

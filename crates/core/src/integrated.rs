@@ -216,7 +216,7 @@ impl RecordExtractor {
                 );
             } else if self.config().ontology.is_some() {
                 // A genuine abstention (too few record-identifying fields).
-                sink.add("heuristic_abstentions", 1);
+                sink.add("extract_heuristic_abstentions", 1);
                 if sink.enabled() {
                     sink.event(rbd_heuristics::heuristic_event(
                         HeuristicKind::OM,

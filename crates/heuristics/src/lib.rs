@@ -103,7 +103,7 @@ pub fn run_all_governed(
 /// the sink is enabled — emits a
 /// [`Heuristic`](rbd_trace::TraceEvent::Heuristic) event carrying its full
 /// ranking and the raw [`score_inputs`](Heuristic::score_inputs) behind
-/// it. Genuine abstentions bump the `heuristic_abstentions` counter (and
+/// it. Genuine abstentions bump the `extract_heuristic_abstentions` counter (and
 /// are distinguishable from deadline skips, which appear only in
 /// [`GovernedRun::skipped`] and produce no event here — the caller reports
 /// those as degradations).
@@ -125,7 +125,7 @@ pub fn run_all_governed_traced(
             span.finish(sink);
         }
         if ranking.is_none() {
-            sink.add("heuristic_abstentions", 1);
+            sink.add("extract_heuristic_abstentions", 1);
         }
         if sink.enabled() {
             sink.event(heuristic_event(

@@ -167,7 +167,7 @@ pub fn tokenize_xml_budgeted<'a>(
 
 /// Tokenizes under a [`TokenBudget`] while reporting to a
 /// [`TraceSink`](rbd_trace::TraceSink): times the scan as a `"tokenize"`
-/// span, bumps the `tags_scanned` counter, and — when the sink is enabled —
+/// span, bumps the `extract_tags_scanned` counter, and — when the sink is enabled —
 /// emits a [`Tokenized`](rbd_trace::TraceEvent::Tokenized) event with the
 /// stream's shape. With a disabled sink the only extra cost over
 /// [`tokenize_budgeted`] is the span's two clock reads.
@@ -193,7 +193,7 @@ pub fn tokenize_traced<'a>(
     }
     if sink.enabled() {
         let tags = stream.tags().count();
-        sink.add("tags_scanned", tags as u64);
+        sink.add("extract_tags_scanned", tags as u64);
         sink.event(rbd_trace::TraceEvent::Tokenized {
             bytes: source.len(),
             tokens: stream.tokens.len(),

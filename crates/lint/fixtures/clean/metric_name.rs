@@ -1,0 +1,12 @@
+//! Fixture: metric literals inside the shared namespace — snake_case
+//! over [a-z0-9_] with a `serve_`/`pipeline_`/`extract_`/`trace_`
+//! prefix — plus a name that flows through a variable, which is
+//! structurally out of the rule's scope.
+
+pub fn record(sink: &dyn TraceSink, registry: &Registry, span: &SpanRecord) {
+    sink.add("serve_requests_ok", 1);
+    sink.add("extract_tags_scanned", 12);
+    registry.observe("pipeline_queue_wait", 5);
+    registry.observe("trace_events_dropped", 1);
+    registry.observe(span.name, span.nanos);
+}

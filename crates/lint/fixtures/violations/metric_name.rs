@@ -1,0 +1,10 @@
+//! Violation fixture: metric literals registered outside the shared
+//! namespace. Counter and histogram names feed dashboards and alert
+//! rules verbatim, so an unprefixed or non-snake_case literal silently
+//! forks the namespace; the linter denies the literal at the call site.
+
+pub fn record(sink: &dyn TraceSink, registry: &Registry) {
+    sink.add("docs_extracted", 1);
+    registry.observe("serve:latency", 5);
+    sink.add("Serve_Requests", 1);
+}

@@ -742,7 +742,7 @@ mod tests {
     #[test]
     fn adjacent_trace_emission_exempts() {
         for src in [
-            "fn f(&self) {\n    self.sink.add(\"io_errors\", 1);\n    let _ = fs::remove_file(path);\n}\n",
+            "fn f(&self) {\n    self.sink.add(\"serve_io_errors\", 1);\n    let _ = fs::remove_file(path);\n}\n",
             "fn f(&self) {\n    let _ = fs::remove_file(path);\n    log_warn(\"cleanup failed\");\n}\n",
             "fn f(&self) {\n    note_degradation(&mut events, s, ev);\n    let _ = fs::remove_file(path);\n}\n",
         ] {

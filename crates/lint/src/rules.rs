@@ -56,6 +56,12 @@ pub enum Rule {
     /// `let _ = call(...)` or a trailing `.ok();` discarding a `Result` in
     /// non-test library code with no adjacent trace emission.
     SwallowedError,
+    /// A string literal registered as a counter/histogram name
+    /// (`.add("…", n)` / `.observe("…", v)`) that is not snake_case over
+    /// `[a-z0-9_]` with a `serve_`/`pipeline_`/`extract_`/`trace_`
+    /// subsystem prefix — the metric namespace dashboards scrape must stay
+    /// uniform.
+    MetricName,
 }
 
 impl Rule {
@@ -73,11 +79,12 @@ impl Rule {
             Rule::LockOrder => "lock-order",
             Rule::GuardAcrossBlocking => "guard-across-blocking",
             Rule::SwallowedError => "swallowed-error",
+            Rule::MetricName => "metric-name",
         }
     }
 
     /// All rules an allow directive may name.
-    pub fn all() -> [Rule; 10] {
+    pub fn all() -> [Rule; 11] {
         [
             Rule::Panic,
             Rule::Cast,
@@ -89,6 +96,7 @@ impl Rule {
             Rule::LockOrder,
             Rule::GuardAcrossBlocking,
             Rule::SwallowedError,
+            Rule::MetricName,
         ]
     }
 }
@@ -145,7 +153,8 @@ impl Tier {
                 | Rule::Concurrency
                 | Rule::LockOrder
                 | Rule::GuardAcrossBlocking
-                | Rule::SwallowedError,
+                | Rule::SwallowedError
+                | Rule::MetricName,
                 _,
             ) => Severity::Deny,
             (_, Tier::Hot) => Severity::Deny,
@@ -228,6 +237,7 @@ pub fn lint_source_report(path: &Path, source: &str, tier: Tier, is_crate_root: 
     check_budget(path, &analysis, &model, tier, &mut findings);
     check_observability(path, &analysis, &model, &mut findings);
     check_concurrency(path, &analysis, &model, &mut findings);
+    check_metric_name(path, &analysis, &model, source, &mut findings);
     crate::flow::check_flow(path, &analysis, &model, tier, &mut findings);
     check_allow_directives(path, &analysis, &mut findings);
 
@@ -248,6 +258,7 @@ pub fn lint_source_report(path: &Path, source: &str, tier: Tier, is_crate_root: 
                 | Rule::LockOrder
                 | Rule::GuardAcrossBlocking
                 | Rule::SwallowedError
+                | Rule::MetricName
         ) && analysis.is_test_line(f.line);
         !test_exempt && !analysis.is_allowed(f.rule.name(), f.line)
     });
@@ -760,6 +771,70 @@ fn check_accept_timeouts(path: &Path, a: &Analysis, m: &Model<'_>, findings: &mu
                      call `set_read_timeout` and `set_write_timeout` in the same \
                      function (slowloris defense) or justify with allow(concurrency)",
                     f.name
+                ),
+            );
+        }
+    }
+}
+
+/// The prefixes that partition the metric namespace by subsystem.
+const METRIC_PREFIXES: [&str; 4] = ["serve_", "pipeline_", "extract_", "trace_"];
+
+/// Metric-name hygiene: a string literal registered as a counter or
+/// histogram — the first argument of an `.add(` or `.observe(` call —
+/// must be snake_case over `[a-z0-9_]` and start with a subsystem prefix
+/// ([`METRIC_PREFIXES`]). Names that flow in through variables (span
+/// names recorded via `span.name`) are out of scope by construction: the
+/// rule only fires on a literal in argument position.
+///
+/// The token model is built over the masked source (string interiors
+/// blanked), but masking preserves byte offsets, so the literal's actual
+/// text is read from the raw source at the token's span.
+fn check_metric_name(
+    path: &Path,
+    a: &Analysis,
+    m: &Model<'_>,
+    source: &str,
+    findings: &mut Vec<Finding>,
+) {
+    for i in 0..m.len() {
+        if !m.is_punct(i, ".") {
+            continue;
+        }
+        if !(m.is_ident(i + 1, "add") || m.is_ident(i + 1, "observe")) || !m.is_punct(i + 2, "(") {
+            continue;
+        }
+        if m.kind(i + 3) != Some(TokenKind::Literal) {
+            continue;
+        }
+        let Some(raw) = source.get(m.start(i + 3)..m.end(i + 3)) else {
+            continue;
+        };
+        // Only plain string literals name metrics; numeric literals
+        // (`checked_add(1)`, `duration.add(…)`) are arithmetic, not
+        // registration.
+        let Some(name) = raw
+            .strip_prefix('"')
+            .and_then(|rest| rest.strip_suffix('"'))
+        else {
+            continue;
+        };
+        let prefixed = METRIC_PREFIXES.iter().any(|p| name.starts_with(p));
+        let snake = !name.is_empty()
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_');
+        if !(prefixed && snake) {
+            push(
+                findings,
+                path,
+                a.line_of(m.start(i + 3)),
+                Rule::MetricName,
+                Severity::Deny,
+                format!(
+                    "metric name {raw} must be snake_case over [a-z0-9_] with a \
+                     `serve_`/`pipeline_`/`extract_`/`trace_` prefix; dashboards and \
+                     alerts depend on one uniform namespace"
                 ),
             );
         }
@@ -1372,6 +1447,79 @@ mod tests {
         assert!(
             !findings.iter().any(|f| f.rule == Rule::Concurrency),
             "{findings:?}"
+        );
+    }
+
+    // --- metric-name rule ---
+
+    #[test]
+    fn unprefixed_metric_name_flagged() {
+        let src = "fn f(sink: &dyn TraceSink) {\n    sink.add(\"docs_extracted\", 1);\n}\n";
+        let f = lint(src);
+        assert_eq!(rules_of(&f), vec![Rule::MetricName]);
+        assert_eq!(f.first().map(|x| x.severity), Some(Severity::Deny));
+        assert!(
+            f.first()
+                .is_some_and(|x| x.message.contains("docs_extracted")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn non_snake_case_metric_name_flagged() {
+        for src in [
+            "fn f(r: &Registry) {\n    r.observe(\"serve:latency\", 5);\n}\n",
+            "fn f(r: &Registry) {\n    r.add(\"serve_Requests\", 1);\n}\n",
+            "fn f(r: &Registry) {\n    r.add(\"serve_requests-ok\", 1);\n}\n",
+        ] {
+            let f = lint(src);
+            assert_eq!(rules_of(&f), vec![Rule::MetricName], "{src}");
+        }
+    }
+
+    #[test]
+    fn prefixed_snake_case_metric_names_pass() {
+        for src in [
+            "fn f(s: &dyn TraceSink) {\n    s.add(\"serve_requests_ok\", 1);\n}\n",
+            "fn f(s: &dyn TraceSink) {\n    s.add(\"pipeline_queue_wait\", 1);\n}\n",
+            "fn f(r: &Registry) {\n    r.observe(\"extract_tags_scanned\", 42);\n}\n",
+            "fn f(r: &Registry) {\n    r.add(\"trace_events_dropped\", 1);\n}\n",
+        ] {
+            assert!(lint(src).is_empty(), "{src} -> {:?}", lint(src));
+        }
+    }
+
+    #[test]
+    fn non_literal_and_non_string_arguments_are_out_of_scope() {
+        for src in [
+            // Span names flow through a variable; the callee owns hygiene.
+            "fn f(r: &Registry, span: Span) {\n    r.observe(span.name, span.nanos);\n}\n",
+            // Arithmetic `.add(` with a numeric literal is not registration.
+            "fn f(n: u64) -> Option<u64> {\n    n.checked_add(1)\n}\n",
+        ] {
+            assert!(lint(src).is_empty(), "{src} -> {:?}", lint(src));
+        }
+    }
+
+    #[test]
+    fn metric_name_rule_exempts_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { sink.add(\"whatever\", 1); }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn justified_allow_suppresses_metric_name() {
+        let src = "fn f(s: &dyn TraceSink) {\n    // rbd-lint: allow(metric-name) — legacy dashboard key, renamed in the next major\n    s.add(\"docs_extracted\", 1);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn metric_name_denies_in_library_tier_too() {
+        let src = "fn f(s: &dyn TraceSink) {\n    s.add(\"bad\", 1);\n}\n";
+        let f = lint_source(Path::new("a.rs"), src, Tier::Library, false);
+        assert_eq!(
+            f.first().map(|x| (x.rule, x.severity)),
+            Some((Rule::MetricName, Severity::Deny))
         );
     }
 }

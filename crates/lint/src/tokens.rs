@@ -287,6 +287,12 @@ impl<'a> Model<'a> {
         self.toks.get(i).map(|t| t.start).unwrap_or(0)
     }
 
+    /// End byte offset of token `i` (0 when out of range). Masking
+    /// preserves byte offsets, so the span is valid in the raw source too.
+    pub fn end(&self, i: usize) -> usize {
+        self.toks.get(i).map(|t| t.end).unwrap_or(0)
+    }
+
     /// `true` when token `i` is the identifier `s`.
     pub fn is_ident(&self, i: usize, s: &str) -> bool {
         self.kind(i) == Some(TokenKind::Ident) && self.text(i) == s

@@ -218,6 +218,23 @@ fn error_traced_fixture_is_clean() {
     assert!(findings.is_empty(), "{findings:?}");
 }
 
+#[test]
+fn metric_name_fixture_denies_each_bad_literal() {
+    assert_denies("violations/metric_name.rs", Rule::MetricName);
+    let findings = lint_path(&fixture("violations/metric_name.rs")).expect("fixture readable");
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::MetricName)
+        .collect();
+    assert_eq!(hits.len(), 3, "unprefixed + colon + CamelCase: {hits:?}");
+}
+
+#[test]
+fn metric_name_prefixed_fixture_is_clean() {
+    let findings = lint_path(&fixture("clean/metric_name.rs")).expect("fixture readable");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
 /// The linter passes over itself at the strict tier — the same check CI
 /// runs as the `lint-self` job.
 #[test]

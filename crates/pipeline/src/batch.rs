@@ -111,7 +111,7 @@ pub struct BatchReport {
     /// One entry per input document, ascending `doc_id`.
     pub results: Vec<BatchResult>,
     /// Merged per-worker registries: `pipeline_jobs_run`,
-    /// `pipeline_steals`, `pipeline:queue_wait` / `pipeline:run_time`
+    /// `pipeline_steals`, `pipeline_queue_wait` / `pipeline_run_time`
     /// histograms, and so on.
     pub metrics: RegistrySnapshot,
     /// Documents dropped by the shedding policy.
@@ -154,10 +154,32 @@ pub fn run_batch(
         let normal = extractor.clone();
         let sink = Arc::clone(sink);
         move |(doc_id, html): (u64, String), admission: Admission| {
+            // Each document is one trace: a fresh id plus a root span,
+            // stamped onto every stage span the extraction records, so a
+            // `--trace` dump separates into per-document span trees. The
+            // disabled path (metrics-only batch runs) skips all of it.
+            let (scoped, root) = if sink.enabled() {
+                let trace = rbd_trace::TraceId::generate();
+                let root = rbd_trace::Span::start("batch:doc").with_context(trace, None);
+                (
+                    Some(rbd_trace::ScopedSink::new(
+                        sink.as_ref(),
+                        trace,
+                        Some(root.id()),
+                    )),
+                    Some(root),
+                )
+            } else {
+                (None, None)
+            };
+            let doc_sink: &dyn TraceSink = match &scoped {
+                Some(s) => s,
+                None => sink.as_ref(),
+            };
             let result = match admission {
-                Admission::Normal => normal.extract_records_traced(&html, sink.as_ref()),
+                Admission::Normal => normal.extract_records_traced(&html, doc_sink),
                 Admission::Strict { watermark, depth } => strict_extractor
-                    .extract_records_traced(&html, sink.as_ref())
+                    .extract_records_traced(&html, doc_sink)
                     .map(|mut extraction| {
                         // The pool already put this shed on the sink's
                         // audit trail at admission time; the per-document
@@ -176,6 +198,9 @@ pub fn run_batch(
                         extraction
                     }),
             };
+            if let Some(root) = root {
+                root.finish(sink.as_ref());
+            }
             (doc_id, result)
         }
     };
@@ -376,5 +401,41 @@ mod tests {
         let ids: Vec<u64> = report.results.iter().map(|r| r.doc_id).collect();
         assert_eq!(ids, (0..10).collect::<Vec<_>>());
         assert!(report.succeeded() > 0);
+    }
+
+    #[test]
+    fn traced_batch_yields_one_span_tree_per_document() {
+        let ex = RecordExtractor::default();
+        let collecting = Arc::new(rbd_trace::CollectingSink::new());
+        let audit: Arc<dyn TraceSink> = Arc::clone(&collecting) as Arc<dyn TraceSink>;
+        let n = 6u64;
+        run_batch(&ex, corpus(n), &BatchConfig::with_jobs(2), &audit).expect("valid config");
+
+        let spans = collecting.spans();
+        let roots: Vec<_> = spans.iter().filter(|s| s.name == "batch:doc").collect();
+        assert_eq!(
+            roots.len(),
+            usize::try_from(n).expect("small"),
+            "one root per document"
+        );
+
+        let mut traces: Vec<_> = roots.iter().map(|r| r.trace).collect();
+        traces.sort();
+        traces.dedup();
+        assert_eq!(traces.len(), roots.len(), "distinct trace per document");
+
+        // Every stage span is stamped with some root's trace and parented
+        // under that root.
+        for span in spans.iter().filter(|s| s.name != "batch:doc") {
+            assert!(span.trace.is_set(), "unstamped span {span:?}");
+            let root = roots
+                .iter()
+                .find(|r| r.trace == span.trace)
+                .unwrap_or_else(|| panic!("span {span:?} belongs to no document root"));
+            assert_eq!(span.parent, Some(root.span), "span {span:?}");
+        }
+        // The non-degenerate documents exercise the full pipeline.
+        assert!(spans.iter().any(|s| s.name == "tokenize"));
+        assert!(spans.iter().any(|s| s.name == "tree_build"));
     }
 }

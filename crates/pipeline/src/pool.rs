@@ -690,8 +690,8 @@ fn run_job<T, R>(shared: &Shared<T, R>, metrics: &Registry, me: usize, job: Job<
     let outcome = catch_unwind(AssertUnwindSafe(|| (shared.runner)(payload, admission)));
     let run_time = started.elapsed();
     metrics.add("pipeline_jobs_run", 1);
-    metrics.observe("pipeline:queue_wait", duration_ns(queue_wait));
-    metrics.observe("pipeline:run_time", duration_ns(run_time));
+    metrics.observe("pipeline_queue_wait", duration_ns(queue_wait));
+    metrics.observe("pipeline_run_time", duration_ns(run_time));
     let output = outcome.map_err(|panic| {
         metrics.add("pipeline_jobs_panicked", 1);
         shared.sink.add("pipeline_jobs_panicked", 1);
@@ -1120,13 +1120,13 @@ mod tests {
         let wait = report
             .metrics
             .histograms
-            .get("pipeline:queue_wait")
+            .get("pipeline_queue_wait")
             .expect("queue-wait histogram");
         assert_eq!(wait.count, 50);
         let run = report
             .metrics
             .histograms
-            .get("pipeline:run_time")
+            .get("pipeline_run_time")
             .expect("run-time histogram");
         assert_eq!(run.count, 50);
     }

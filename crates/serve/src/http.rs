@@ -343,7 +343,12 @@ pub struct Response {
     pub reason: &'static str,
     /// Optional `Retry-After` header in seconds (set on 503).
     pub retry_after_s: Option<u64>,
-    /// JSON body.
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Extra response headers (name, value), written verbatim. Names must
+    /// be valid header tokens; values must not contain CR or LF.
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Response body.
     pub body: String,
 }
 
@@ -354,8 +359,37 @@ impl Response {
             status,
             reason,
             retry_after_s: None,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
             body,
         }
+    }
+
+    /// A plain-text response (Prometheus exposition uses
+    /// `text/plain; version=0.0.4`).
+    pub fn text(
+        status: u16,
+        reason: &'static str,
+        content_type: &'static str,
+        body: String,
+    ) -> Self {
+        Response {
+            status,
+            reason,
+            retry_after_s: None,
+            content_type,
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Adds an extra response header. Values containing CR or LF are
+    /// dropped rather than risk header injection.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        if !value.contains(['\r', '\n']) {
+            self.extra_headers.push((name, value));
+        }
+        self
     }
 }
 
@@ -367,13 +401,17 @@ impl Response {
 /// routine, not fatal.
 pub fn write_response<S: Write>(stream: &mut S, response: &Response) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         response.reason,
+        response.content_type,
         response.body.len()
     );
     if let Some(seconds) = response.retry_after_s {
         head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
+    for (name, value) in &response.extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
@@ -593,7 +631,35 @@ mod tests {
         );
         assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(
+            text.contains("Content-Type: application/json\r\n"),
+            "{text}"
+        );
         assert!(text.contains("Content-Length: 14\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{\"error\":true}"), "{text}");
+    }
+
+    #[test]
+    fn response_carries_content_type_and_extra_headers() {
+        let mut out = Vec::new();
+        let response = Response::text(200, "OK", "text/plain; version=0.0.4", "x 1\n".to_string())
+            .with_header("x-rbd-trace-id", "00000000000000ff".to_string());
+        write_response(&mut out, &response).expect("write to vec");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(
+            text.contains("Content-Type: text/plain; version=0.0.4\r\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("x-rbd-trace-id: 00000000000000ff\r\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn header_values_with_line_breaks_are_dropped() {
+        let response = Response::json(200, "OK", String::new())
+            .with_header("x-rbd-trace-id", "evil\r\nX-Injected: 1".to_string());
+        assert!(response.extra_headers.is_empty());
     }
 }

@@ -37,11 +37,15 @@ use rbd_core::{DiscoveryError, Extraction, ExtractorConfig, Limits, Record, Reco
 use rbd_json::Json;
 use rbd_limits::Deadline;
 use rbd_pipeline::{Admission, Pool, PoolConfig, PoolError, ShedMode, ShedPolicy, TrySubmitError};
-use rbd_trace::{MetricsSink, NullSink, RegistrySnapshot, ServerEvent, TraceEvent, TraceSink};
-use std::io::{ErrorKind, Read};
+use rbd_trace::{
+    export, unix_micros, MetricsSink, NullSink, RegistrySnapshot, RollingWindows, ScopedSink,
+    ServerEvent, SlowCapture, SlowLog, SpanId, SpanRecord, TraceEvent, TraceId, TraceSink,
+};
+use std::io::{ErrorKind, Read, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How often the nonblocking accept loop polls for new connections and
@@ -88,6 +92,13 @@ pub struct ServeConfig {
     pub shed: Option<ShedPolicy>,
     /// `Retry-After` seconds sent with every 503.
     pub retry_after_s: u64,
+    /// When set, each traced request's span tree is written to
+    /// `<dir>/trace-<id>.json` in Chrome trace-event format, and slow
+    /// captures append to `<dir>/slow.jsonl`.
+    pub trace_dir: Option<PathBuf>,
+    /// Requests at or over this latency get their full span tree and
+    /// audit events kept in the bounded slow log. `None` disables capture.
+    pub slow_threshold: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +118,8 @@ impl Default for ServeConfig {
                 mode: ShedMode::Drop,
             }),
             retry_after_s: 1,
+            trace_dir: None,
+            slow_threshold: None,
         }
     }
 }
@@ -175,11 +188,208 @@ struct Ctx {
     profiles: Profiles,
     metrics: Arc<MetricsSink>,
     audit: Arc<dyn TraceSink>,
+    windows: RollingWindows,
+    slow: Option<SlowLog>,
+    trace_dir: Option<PathBuf>,
+    started: Instant,
     active: AtomicUsize,
     shutdown: Arc<AtomicBool>,
     caps: HttpCaps,
     request_deadline: Duration,
     retry_after_s: u64,
+}
+
+impl Ctx {
+    /// Whether any consumer wants per-request span trees. When false,
+    /// requests run the metrics-only path: no span collection, no clock
+    /// reads beyond the one latency measurement every request pays.
+    fn collecting(&self) -> bool {
+        self.audit.enabled() || self.trace_dir.is_some() || self.slow.is_some()
+    }
+}
+
+/// A connection in flight between accept and worker pickup. Carrying the
+/// accept timestamps lets the worker reconstruct queue wait as a span
+/// without the accept thread doing any tracing work.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    accepted: Instant,
+    accepted_us: u64,
+}
+
+/// How many slow captures the in-memory log retains (oldest evicted).
+const SLOW_LOG_CAP: usize = 256;
+
+/// Per-request trace assembly: the request's [`TraceId`], the synthetic
+/// serve-layer spans (`serve:request` → `serve:queue_wait` /
+/// `serve:worker`), and — while [`Ctx::collecting`] — every span and
+/// audit event the extraction emits, stamped onto the request's tree by
+/// the [`ScopedSink`] wrapped around this sink.
+///
+/// Spans always flow through to the [`MetricsSink`] so the cumulative
+/// latency histograms see them; local collection is what audit export,
+/// Chrome-trace files, and the slow log read at request end.
+#[derive(Debug)]
+struct RequestTrace {
+    trace: TraceId,
+    root: SpanId,
+    worker: SpanId,
+    collecting: bool,
+    accepted: Instant,
+    accepted_us: u64,
+    job_started: Instant,
+    job_started_us: u64,
+    metrics: Arc<MetricsSink>,
+    spans: Mutex<Vec<SpanRecord>>,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl RequestTrace {
+    fn begin(
+        ctx: &Ctx,
+        trace: TraceId,
+        accepted: Instant,
+        accepted_us: u64,
+        job_started: Instant,
+        job_started_us: u64,
+    ) -> Self {
+        RequestTrace {
+            trace,
+            root: SpanId::next(),
+            worker: SpanId::next(),
+            collecting: ctx.collecting(),
+            accepted,
+            accepted_us,
+            job_started,
+            job_started_us,
+            metrics: Arc::clone(&ctx.metrics),
+            spans: Mutex::new(Vec::new()),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Closes out the request: records rolling-window and cumulative
+    /// latency, synthesizes the serve-layer spans, and fans the finished
+    /// tree out to the audit sink, the Chrome-trace directory, and the
+    /// slow log.
+    fn finish(self, ctx: &Ctx, status: u16) {
+        let latency_ns = u64::try_from(self.accepted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        ctx.windows.record(latency_ns, status >= 500);
+        ctx.metrics
+            .registry()
+            .observe("serve_request_latency", latency_ns);
+        if !self.collecting {
+            return;
+        }
+        let queue_wait = self.job_started.saturating_duration_since(self.accepted);
+        let queue_ns = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
+        let worker_ns = u64::try_from(self.job_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut spans = self
+            .spans
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        spans.push(SpanRecord {
+            name: "serve:queue_wait",
+            nanos: queue_ns,
+            trace: self.trace,
+            span: SpanId::next(),
+            parent: Some(self.root),
+            start_us: self.accepted_us,
+        });
+        spans.push(SpanRecord {
+            name: "serve:worker",
+            nanos: worker_ns,
+            trace: self.trace,
+            span: self.worker,
+            parent: Some(self.root),
+            start_us: self.job_started_us,
+        });
+        spans.push(SpanRecord {
+            name: "serve:request",
+            nanos: latency_ns,
+            trace: self.trace,
+            span: self.root,
+            parent: None,
+            start_us: self.accepted_us,
+        });
+        let events = self
+            .events
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        if ctx.audit.enabled() {
+            for span in &spans {
+                ctx.audit.span(*span);
+            }
+            for event in &events {
+                ctx.audit.event(event.clone());
+            }
+        }
+        if let Some(dir) = &ctx.trace_dir {
+            let path = dir.join(format!("trace-{}.json", self.trace.to_hex()));
+            let body = export::chrome_trace(&spans).to_compact();
+            if std::fs::write(path, body).is_err() {
+                ctx.metrics.add("serve_trace_write_errors", 1);
+            }
+        }
+        if let Some(slow) = &ctx.slow {
+            let capture = SlowCapture {
+                trace: self.trace,
+                latency_ns,
+                status,
+                spans,
+                events,
+            };
+            if slow.offer(capture.clone()) {
+                ctx.metrics.add("serve_requests_slow", 1);
+                if let Some(dir) = &ctx.trace_dir {
+                    append_slow_line(ctx, &dir.join("slow.jsonl"), &capture);
+                }
+            }
+        }
+    }
+}
+
+/// Appends one slow capture as a JSONL line; failures are counted, never
+/// propagated (slow capture is diagnostics, not the request path).
+fn append_slow_line(ctx: &Ctx, path: &std::path::Path, capture: &SlowCapture) {
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{}", capture.to_json().to_compact()));
+    if appended.is_err() {
+        ctx.metrics.add("serve_trace_write_errors", 1);
+    }
+}
+
+impl TraceSink for RequestTrace {
+    fn enabled(&self) -> bool {
+        self.collecting
+    }
+
+    fn event(&self, event: TraceEvent) {
+        if self.collecting {
+            self.events
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(event);
+        }
+    }
+
+    fn span(&self, span: SpanRecord) {
+        self.metrics.span(span);
+        if self.collecting {
+            self.spans
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(span);
+        }
+    }
+
+    fn add(&self, counter: &'static str, delta: u64) {
+        self.metrics.add(counter, delta);
+    }
 }
 
 /// Decrements the in-flight connection count when the handler returns —
@@ -200,7 +410,7 @@ impl Drop for ActiveGuard<'_> {
 /// the listener; [`Server::run`] blocks in the accept loop until shutdown.
 pub struct Server {
     listener: TcpListener,
-    pool: Pool<TcpStream, ()>,
+    pool: Pool<Conn, ()>,
     ctx: Arc<Ctx>,
     config: ServeConfig,
 }
@@ -240,10 +450,20 @@ impl Server {
             .set_nonblocking(true)
             .map_err(|e| ServeError::Bind(e.to_string()))?;
 
+        if let Some(dir) = &config.trace_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| ServeError::Bind(format!("trace dir {}: {e}", dir.display())))?;
+        }
         let ctx = Arc::new(Ctx {
             profiles,
             metrics: Arc::clone(&metrics),
             audit: audit.unwrap_or_else(|| Arc::new(NullSink)),
+            windows: RollingWindows::new(),
+            slow: config
+                .slow_threshold
+                .map(|threshold| SlowLog::new(threshold, SLOW_LOG_CAP)),
+            trace_dir: config.trace_dir.clone(),
+            started: Instant::now(),
             active: AtomicUsize::new(0),
             shutdown: Arc::new(AtomicBool::new(false)),
             caps: config.caps,
@@ -260,7 +480,7 @@ impl Server {
         let runner_ctx = Arc::clone(&ctx);
         let pool = Pool::new(
             pool_config,
-            move |stream: TcpStream, admission| handle_connection(&runner_ctx, stream, admission),
+            move |conn: Conn, admission| handle_connection(&runner_ctx, conn, admission),
             Arc::clone(&metrics) as Arc<dyn TraceSink>,
         )
         .map_err(ServeError::Pool)?;
@@ -363,7 +583,7 @@ impl Server {
 /// so everything here must be non-blocking.
 fn admit(
     ctx: &Arc<Ctx>,
-    pool: &Pool<TcpStream, ()>,
+    pool: &Pool<Conn, ()>,
     config: &ServeConfig,
     stream: TcpStream,
     peer: SocketAddr,
@@ -385,17 +605,22 @@ fn admit(
                 active: active_now + 1,
             }));
     }
-    match pool.try_submit(stream) {
+    let conn = Conn {
+        stream,
+        accepted: Instant::now(),
+        accepted_us: unix_micros(),
+    };
+    match pool.try_submit(conn) {
         Ok(_id) => {}
-        Err(TrySubmitError::QueueFull(stream)) => {
-            bounce(ctx, stream, pool.queue_depth(), parting);
+        Err(TrySubmitError::QueueFull(conn)) => {
+            bounce(ctx, conn.stream, pool.queue_depth(), parting);
         }
         Err(TrySubmitError::Shed { job, depth, .. }) => {
-            bounce(ctx, job, depth, parting);
+            bounce(ctx, job.stream, depth, parting);
         }
-        Err(TrySubmitError::Closed(stream)) => {
+        Err(TrySubmitError::Closed(conn)) => {
             ctx.active.fetch_sub(1, Ordering::SeqCst);
-            drop(stream);
+            drop(conn);
         }
     }
 }
@@ -459,13 +684,42 @@ fn reap_parting(parting: &mut Vec<(TcpStream, Instant)>) {
 
 /// The per-connection worker job: parse one request, route it, respond,
 /// close. Never panics outward except through the pool's own isolation.
-fn handle_connection(ctx: &Ctx, mut stream: TcpStream, admission: Admission) {
+///
+/// Once the request head parses, the request gets a [`TraceId`] — the
+/// peer's `x-rbd-trace-id` header when it carries a valid one, freshly
+/// generated otherwise — which is echoed back in the response and stamps
+/// the whole span tree.
+fn handle_connection(ctx: &Ctx, conn: Conn, admission: Admission) {
     let _guard = ActiveGuard {
         active: &ctx.active,
     };
+    let job_started = Instant::now();
+    let job_started_us = unix_micros();
+    let Conn {
+        mut stream,
+        accepted,
+        accepted_us,
+    } = conn;
     let deadline = Deadline::after(ctx.request_deadline);
     match http::read_request(&mut stream, ctx.caps, &deadline) {
-        Ok(request) => route(ctx, &mut stream, &request, admission),
+        Ok(request) => {
+            let trace = request
+                .header("x-rbd-trace-id")
+                .and_then(TraceId::parse_hex)
+                .unwrap_or_else(TraceId::generate);
+            let rt = RequestTrace::begin(
+                ctx,
+                trace,
+                accepted,
+                accepted_us,
+                job_started,
+                job_started_us,
+            );
+            let response =
+                route(ctx, &rt, &request, admission).with_header("x-rbd-trace-id", trace.to_hex());
+            send(ctx, &mut stream, &response);
+            rt.finish(ctx, response.status);
+        }
         Err(error) => {
             match &error {
                 HttpError::TimedOut { phase } => {
@@ -527,74 +781,93 @@ fn drain_politely(stream: &mut TcpStream) {
     }
 }
 
-fn route(ctx: &Ctx, stream: &mut TcpStream, request: &Request, admission: Admission) {
+fn route(ctx: &Ctx, rt: &RequestTrace, request: &Request, admission: Admission) -> Response {
     match (request.method.as_str(), request.target.as_str()) {
-        ("POST", "/extract") => extract(ctx, stream, request, admission),
+        ("POST", "/extract") => extract(ctx, rt, request, admission),
         ("GET", "/healthz") => {
             let body = Json::object([
                 ("status", Json::Str("ok".to_string())),
+                ("version", Json::Str(env!("CARGO_PKG_VERSION").to_string())),
+                (
+                    "uptime_seconds",
+                    Json::UInt(ctx.started.elapsed().as_secs()),
+                ),
                 (
                     "active",
                     Json::UInt(ctx.active.load(Ordering::SeqCst) as u64),
                 ),
             ])
             .to_string();
-            send(ctx, stream, &Response::json(200, "OK", body));
+            Response::json(200, "OK", body)
         }
+        // Prometheus exposition by default; JSON for clients that ask for
+        // it (and always at /metrics.json, so scripted consumers don't
+        // depend on header handling).
         ("GET", "/metrics") => {
-            send(ctx, stream, &Response::json(200, "OK", metrics_json(ctx)));
+            let wants_json = request
+                .header("accept")
+                .is_some_and(|accept| accept.contains("application/json"));
+            if wants_json {
+                Response::json(200, "OK", metrics_json(ctx))
+            } else {
+                Response::text(
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4",
+                    metrics_prometheus(ctx),
+                )
+            }
         }
+        ("GET", "/metrics.json") => Response::json(200, "OK", metrics_json(ctx)),
         ("POST", "/shutdown") => {
-            let body = Json::object([("status", Json::Str("draining".to_string()))]).to_string();
-            send(ctx, stream, &Response::json(200, "OK", body));
             ctx.shutdown.store(true, Ordering::SeqCst);
+            let body = Json::object([("status", Json::Str("draining".to_string()))]).to_string();
+            Response::json(200, "OK", body)
         }
-        (_method, "/extract" | "/healthz" | "/metrics" | "/shutdown") => {
+        (_method, "/extract" | "/healthz" | "/metrics" | "/metrics.json" | "/shutdown") => {
             ctx.metrics.add("serve_requests_client_error", 1);
-            send(
-                ctx,
-                stream,
-                &Response::json(
-                    405,
-                    "Method Not Allowed",
-                    error_json("method", "method not allowed for this endpoint"),
-                ),
-            );
+            Response::json(
+                405,
+                "Method Not Allowed",
+                error_json("method", "method not allowed for this endpoint"),
+            )
         }
         (_method, _target) => {
             ctx.metrics.add("serve_requests_client_error", 1);
-            send(
-                ctx,
-                stream,
-                &Response::json(
-                    404,
-                    "Not Found",
-                    error_json("not_found", "unknown endpoint"),
-                ),
-            );
+            Response::json(
+                404,
+                "Not Found",
+                error_json("not_found", "unknown endpoint"),
+            )
         }
     }
 }
 
 /// `POST /extract`: run record-boundary discovery on the body under the
 /// selected limits profile, with panic isolation at the request boundary.
-fn extract(ctx: &Ctx, stream: &mut TcpStream, request: &Request, admission: Admission) {
+///
+/// While the request is being collected (audit / trace dir / slow log),
+/// extraction runs its traced path through a [`ScopedSink`] that stamps
+/// the request's trace id and parents every extraction span under the
+/// `serve:worker` span — one coherent tree per request. Otherwise it runs
+/// the metrics-only path, identical to the pre-tracing service.
+fn extract(ctx: &Ctx, rt: &RequestTrace, request: &Request, admission: Admission) -> Response {
     let Ok(html) = std::str::from_utf8(&request.body) else {
         ctx.metrics.add("serve_requests_client_error", 1);
-        send(
-            ctx,
-            stream,
-            &Response::json(
-                400,
-                "Bad Request",
-                error_json("encoding", "request body is not valid UTF-8"),
-            ),
+        return Response::json(
+            400,
+            "Bad Request",
+            error_json("encoding", "request body is not valid UTF-8"),
         );
-        return;
     };
     let extractor = profile_for(ctx, request, admission);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        extractor.extract_records(html)
+        if rt.collecting {
+            let scoped = ScopedSink::new(rt, rt.trace, Some(rt.worker));
+            extractor.extract_records_traced(html, &scoped)
+        } else {
+            extractor.extract_records(html)
+        }
     }));
     match outcome {
         Err(payload) => {
@@ -606,31 +879,19 @@ fn extract(ctx: &Ctx, stream: &mut TcpStream, request: &Request, admission: Admi
                         message: message.clone(),
                     }));
             }
-            send(
-                ctx,
-                stream,
-                &Response::json(500, "Internal Server Error", error_json("panic", &message)),
-            );
+            Response::json(500, "Internal Server Error", error_json("panic", &message))
         }
         Ok(Err(error)) => {
             ctx.metrics.add("serve_requests_unprocessable", 1);
-            send(
-                ctx,
-                stream,
-                &Response::json(
-                    422,
-                    "Unprocessable Entity",
-                    error_json(discovery_kind(&error), &error.to_string()),
-                ),
-            );
+            Response::json(
+                422,
+                "Unprocessable Entity",
+                error_json(discovery_kind(&error), &error.to_string()),
+            )
         }
         Ok(Ok(extraction)) => {
             ctx.metrics.add("serve_requests_ok", 1);
-            send(
-                ctx,
-                stream,
-                &Response::json(200, "OK", extraction_response_json(&extraction).to_string()),
-            );
+            Response::json(200, "OK", extraction_response_json(&extraction).to_string())
         }
     }
 }
@@ -719,8 +980,9 @@ fn record_json(record: &Record) -> Json {
     ])
 }
 
-/// The `GET /metrics` body: a small curated `server` block plus the full
-/// registry snapshot (server counters and extraction/pipeline metrics).
+/// The `GET /metrics.json` body: a small curated `server` block, the
+/// rolling 1m/5m windows, and the full registry snapshot (server counters
+/// and extraction/pipeline metrics).
 fn metrics_json(ctx: &Ctx) -> String {
     let registry = ctx.metrics.registry();
     Json::object([
@@ -746,9 +1008,18 @@ fn metrics_json(ctx: &Ctx) -> String {
                 ("panics", Json::UInt(registry.counter("serve_panics"))),
             ]),
         ),
+        ("windows", ctx.windows.to_json()),
         ("metrics", registry.typed_snapshot().to_json()),
     ])
     .to_string()
+}
+
+/// The default `GET /metrics` body: Prometheus text exposition of the
+/// cumulative registry followed by the rolling-window gauges.
+fn metrics_prometheus(ctx: &Ctx) -> String {
+    let mut out = export::registry_to_prometheus(&ctx.metrics.registry().typed_snapshot());
+    out.push_str(&export::windows_to_prometheus(&ctx.windows));
+    out
 }
 
 #[cfg(test)]
@@ -763,7 +1034,18 @@ mod tests {
         ShutdownHandle,
         std::thread::JoinHandle<ServeReport>,
     ) {
-        let server = Server::bind(config, None).expect("bind");
+        start_with(config, None)
+    }
+
+    fn start_with(
+        config: ServeConfig,
+        audit: Option<Arc<dyn TraceSink>>,
+    ) -> (
+        SocketAddr,
+        ShutdownHandle,
+        std::thread::JoinHandle<ServeReport>,
+    ) {
+        let server = Server::bind(config, audit).expect("bind");
         let addr = server.local_addr().expect("local addr");
         let handle = server.shutdown_handle();
         let join = std::thread::spawn(move || server.run());
@@ -810,10 +1092,39 @@ mod tests {
         let health = talk(addr, b"GET /healthz HTTP/1.1\r\n\r\n");
         assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
         assert!(health.contains("\"status\":\"ok\""), "{health}");
+        assert!(health.contains("\"version\":\""), "{health}");
+        assert!(health.contains("\"uptime_seconds\""), "{health}");
 
+        // Default /metrics speaks Prometheus text exposition…
         let metrics = talk(addr, b"GET /metrics HTTP/1.1\r\n\r\n");
-        assert!(metrics.contains("\"accepted\""), "{metrics}");
-        assert!(metrics.contains("serve_requests_ok"), "{metrics}");
+        assert!(
+            metrics.contains("Content-Type: text/plain; version=0.0.4\r\n"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("# TYPE serve_requests_ok counter"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("rbd_window_requests{window=\"1m\"}"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("serve_request_latency_ns_bucket{le=\"+Inf\"}"),
+            "{metrics}"
+        );
+
+        // …while an Accept header or /metrics.json keeps the JSON view.
+        let negotiated = talk(
+            addr,
+            b"GET /metrics HTTP/1.1\r\nAccept: application/json\r\n\r\n",
+        );
+        assert!(negotiated.contains("\"accepted\""), "{negotiated}");
+        let metrics_json = talk(addr, b"GET /metrics.json HTTP/1.1\r\n\r\n");
+        assert!(metrics_json.contains("\"accepted\""), "{metrics_json}");
+        assert!(metrics_json.contains("\"windows\""), "{metrics_json}");
+        assert!(metrics_json.contains("\"p99_ns\""), "{metrics_json}");
+        assert!(metrics_json.contains("serve_requests_ok"), "{metrics_json}");
 
         let missing = talk(addr, b"GET /nope HTTP/1.1\r\n\r\n");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
@@ -873,5 +1184,116 @@ mod tests {
                 .copied(),
             Some(1)
         );
+    }
+
+    #[test]
+    fn request_produces_one_parented_span_tree() {
+        use rbd_trace::CollectingSink;
+        let audit = Arc::new(CollectingSink::new());
+        let (addr, handle, join) = start_with(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            Some(Arc::clone(&audit) as Arc<dyn TraceSink>),
+        );
+        let html = "<html><body><h2>A</h2><p>x</p><h2>B</h2><p>y</p></body></html>";
+        let raw = format!(
+            "POST /extract HTTP/1.1\r\nx-rbd-trace-id: deadbeef\r\nContent-Length: {}\r\n\r\n{html}",
+            html.len()
+        );
+        let out = talk(addr, raw.as_bytes());
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        // The inbound trace id is echoed back verbatim (zero-padded hex).
+        assert!(
+            out.contains("x-rbd-trace-id: 00000000deadbeef\r\n"),
+            "{out}"
+        );
+        handle.trigger();
+        join.join().expect("server thread");
+
+        let trace = TraceId::parse_hex("deadbeef").expect("valid hex");
+        let spans: Vec<SpanRecord> = audit
+            .spans()
+            .into_iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        assert!(!spans.is_empty(), "audit sink saw no request spans");
+        // Exactly one root, named serve:request.
+        let roots: Vec<&SpanRecord> = spans.iter().filter(|s| s.parent.is_none()).collect();
+        assert_eq!(roots.len(), 1, "{spans:?}");
+        assert_eq!(roots[0].name, "serve:request");
+        let root = roots[0].span;
+        // Queue wait and worker hang off the root.
+        for name in ["serve:queue_wait", "serve:worker"] {
+            let span = spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing {name}: {spans:?}"));
+            assert_eq!(span.parent, Some(root), "{name} must parent at the root");
+        }
+        let worker = spans
+            .iter()
+            .find(|s| s.name == "serve:worker")
+            .expect("worker span")
+            .span;
+        // Extraction stages are grandchildren via the worker span, and
+        // every span reaches the root by walking parents.
+        let tokenize = spans
+            .iter()
+            .find(|s| s.name == "tokenize")
+            .unwrap_or_else(|| panic!("no tokenize span: {spans:?}"));
+        assert_eq!(tokenize.parent, Some(worker));
+        for span in &spans {
+            let mut cursor = *span;
+            let mut hops = 0;
+            while let Some(parent) = cursor.parent {
+                cursor = *spans
+                    .iter()
+                    .find(|s| s.span == parent)
+                    .unwrap_or_else(|| panic!("dangling parent for {cursor:?}"));
+                hops += 1;
+                assert!(hops < 16, "parent cycle at {span:?}");
+            }
+            assert_eq!(cursor.span, root, "{span:?} must root at serve:request");
+        }
+    }
+
+    #[test]
+    fn slow_requests_are_captured_and_traces_written() {
+        let trace_dir =
+            std::env::temp_dir().join(format!("rbd-serve-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&trace_dir);
+        let (addr, handle, join) = start(ServeConfig {
+            workers: 1,
+            trace_dir: Some(trace_dir.clone()),
+            // Zero threshold: every request is "slow", so the capture path
+            // runs deterministically.
+            slow_threshold: Some(Duration::from_nanos(0)),
+            ..ServeConfig::default()
+        });
+        let html = "<html><body><h2>A</h2><p>x</p><h2>B</h2><p>y</p></body></html>";
+        let raw = format!(
+            "POST /extract HTTP/1.1\r\nx-rbd-trace-id: c0ffee\r\nContent-Length: {}\r\n\r\n{html}",
+            html.len()
+        );
+        let out = talk(addr, raw.as_bytes());
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        handle.trigger();
+        let report = join.join().expect("server thread");
+        assert!(
+            report.metrics.counters.get("serve_requests_slow").copied() >= Some(1),
+            "{:?}",
+            report.metrics.counters
+        );
+        let chrome = std::fs::read_to_string(trace_dir.join("trace-0000000000c0ffee.json"))
+            .expect("per-trace Chrome file");
+        assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+        assert!(chrome.contains("\"serve:request\""), "{chrome}");
+        let slow = std::fs::read_to_string(trace_dir.join("slow.jsonl")).expect("slow log file");
+        let first = slow.lines().next().expect("one capture line");
+        assert!(first.contains("\"latency_ns\""), "{first}");
+        assert!(first.contains("\"0000000000c0ffee\""), "{first}");
+        let _ = std::fs::remove_dir_all(&trace_dir);
     }
 }

@@ -13,8 +13,10 @@
 //!    byte-identically to the serial engine, concurrency notwithstanding,
 //! 5. **graceful drain**: shutdown completes in-flight work.
 //!
-//! Set `RBD_SERVE_METRICS=path` to export the final `/metrics` snapshot
-//! (CI uploads it as an artifact). Throughput is reported on stdout.
+//! Set `RBD_SERVE_METRICS=path` to export the final `/metrics.json`
+//! snapshot and `RBD_SERVE_TRACE_DIR=dir` to dump per-request Chrome
+//! traces (CI uploads both as artifacts). Throughput is reported on
+//! stdout.
 
 use rbd_corpus::adversarial::{generate_adversarial, valid_seed_document, AttackKind};
 use rbd_serve::{extraction_response_json, HttpCaps, ServeConfig, Server};
@@ -78,11 +80,13 @@ fn status_of(response: &str) -> u16 {
 #[test]
 fn soak_survives_adversarial_fleet_with_correct_answers() {
     let audit = Arc::new(CollectingSink::new());
-    let server = Server::bind(
-        soak_config(),
-        Some(Arc::clone(&audit) as Arc<dyn TraceSink>),
-    )
-    .expect("bind");
+    let trace_dir = std::env::var_os("RBD_SERVE_TRACE_DIR").map(std::path::PathBuf::from);
+    let config = ServeConfig {
+        trace_dir: trace_dir.clone(),
+        ..soak_config()
+    };
+    let server =
+        Server::bind(config, Some(Arc::clone(&audit) as Arc<dyn TraceSink>)).expect("bind");
     let addr = server.local_addr().expect("local addr");
     let shutdown = server.shutdown_handle();
     let server_thread = std::thread::spawn(move || server.run());
@@ -231,7 +235,17 @@ fn soak_survives_adversarial_fleet_with_correct_answers() {
     );
 
     // ---- Phase 2: metrics + audit-stream checks -----------------------
-    let metrics = talk(addr, b"GET /metrics HTTP/1.1\r\n\r\n").expect("metrics");
+    // `/metrics` speaks Prometheus text by default; the rolling p99 must
+    // be live while soak traffic is still inside the 1-minute window.
+    let prom = talk(addr, b"GET /metrics HTTP/1.1\r\n\r\n").expect("prometheus metrics");
+    assert_eq!(status_of(&prom), 200);
+    assert!(prom.contains("# TYPE serve_requests_ok counter"), "{prom}");
+    assert!(
+        prom.contains("rbd_window_latency_ns{window=\"1m\",quantile=\"0.99\"}"),
+        "rolling p99 missing under live traffic:\n{prom}"
+    );
+
+    let metrics = talk(addr, b"GET /metrics.json HTTP/1.1\r\n\r\n").expect("metrics");
     assert_eq!(status_of(&metrics), 200);
     let metrics_body = metrics
         .split("\r\n\r\n")
@@ -248,8 +262,41 @@ fn soak_survives_adversarial_fleet_with_correct_answers() {
         panics, 0.0,
         "extraction panicked under soak:\n{metrics_body}"
     );
+    let one_m = parsed
+        .get("windows")
+        .and_then(|w| w.get("1m"))
+        .expect("1m rolling window in metrics.json");
+    let window_count = one_m
+        .get("count")
+        .and_then(rbd_json::Json::as_f64)
+        .expect("window count");
+    assert!(
+        window_count >= 1.0,
+        "soak traffic must land in the 1m window:\n{metrics_body}"
+    );
+    let p99 = one_m
+        .get("p99_ns")
+        .and_then(rbd_json::Json::as_f64)
+        .expect("rolling p99 over live traffic");
+    assert!(p99 > 0.0, "{metrics_body}");
+    let error_rate = one_m
+        .get("error_rate")
+        .and_then(rbd_json::Json::as_f64)
+        .expect("rolling error rate");
+    assert!((0.0..=1.0).contains(&error_rate), "{metrics_body}");
     if let Ok(path) = std::env::var("RBD_SERVE_METRICS") {
         std::fs::write(&path, &metrics_body).expect("export metrics snapshot");
+    }
+    if let Some(dir) = &trace_dir {
+        let traces = std::fs::read_dir(dir)
+            .expect("trace dir readable")
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().starts_with("trace-"))
+            .count();
+        assert!(
+            traces >= 1,
+            "RBD_SERVE_TRACE_DIR set but no Chrome traces written"
+        );
     }
 
     let kinds: Vec<&'static str> = audit
@@ -264,6 +311,39 @@ fn soak_survives_adversarial_fleet_with_correct_answers() {
     assert!(
         kinds.contains(&"server_deadline"),
         "slowloris reap should emit a deadline event: {kinds:?}"
+    );
+
+    // Every span the audit stream saw belongs to exactly one request
+    // tree: a single `serve:request` root per trace, every parent
+    // resolving inside the same trace.
+    let spans = audit.spans();
+    let roots: Vec<_> = spans.iter().filter(|s| s.name == "serve:request").collect();
+    assert!(!roots.is_empty(), "soak produced no request roots");
+    for root in &roots {
+        assert!(root.parent.is_none(), "request root has a parent: {root:?}");
+        let tree: Vec<_> = spans.iter().filter(|s| s.trace == root.trace).collect();
+        assert_eq!(
+            tree.iter().filter(|s| s.parent.is_none()).count(),
+            1,
+            "trace {} must have exactly one root",
+            root.trace.to_hex()
+        );
+        for span in &tree {
+            if let Some(parent) = span.parent {
+                assert!(
+                    tree.iter().any(|s| s.span == parent),
+                    "span {span:?} has a parent outside its own trace"
+                );
+            }
+        }
+    }
+    assert!(
+        spans.iter().any(|s| s.name == "serve:queue_wait"),
+        "queue wait must be recorded per request"
+    );
+    assert!(
+        spans.iter().any(|s| s.name == "tokenize"),
+        "extraction stages must parent under the request tree"
     );
 
     // ---- Phase 3: graceful shutdown drains in-flight work -------------

@@ -1,0 +1,328 @@
+//! Standard export formats: Prometheus text exposition and Chrome
+//! trace-event JSON (loadable in Perfetto / `chrome://tracing`).
+//!
+//! The registry's metric namespace is internal (`serve_requests_ok`,
+//! `pipeline_queue_wait`, span names like `heuristic:HT`); this module
+//! renders it into the two formats operators' tooling already speaks,
+//! without the instrumentation sites knowing either exists.
+
+use crate::metrics::{RegistrySnapshot, LATENCY_BOUNDS_NS};
+use crate::span::SpanRecord;
+use crate::window::RollingWindows;
+use crate::TraceId;
+use rbd_json::Json;
+use std::fmt::Write as _;
+
+/// Maps a registry name onto the Prometheus metric-name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other byte becomes `_`, and a
+/// leading digit gets a `_` prefix.
+#[must_use]
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, b) in name.bytes().enumerate() {
+        let ok = b.is_ascii_alphabetic() || b == b'_' || b == b':' || (i > 0 && b.is_ascii_digit());
+        if i == 0 && b.is_ascii_digit() {
+            out.push('_');
+            out.push(char::from(b));
+        } else if ok {
+            out.push(char::from(b));
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Appends one line, ignoring the infallible `fmt::Write` error like
+/// `rbd-json` does.
+fn line(out: &mut String, args: std::fmt::Arguments<'_>) {
+    // rbd-lint: allow(swallowed-error) — fmt::Write into a String cannot fail
+    let _ = out.write_fmt(args);
+    out.push('\n');
+}
+
+/// Renders the cumulative registry as Prometheus text exposition
+/// (`text/plain; version=0.0.4`): counters as `counter`, latency
+/// histograms as `histogram` with cumulative `le` buckets in nanoseconds
+/// under a `_ns` suffix.
+#[must_use]
+pub fn registry_to_prometheus(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (&name, &value) in &snap.counters {
+        let name = sanitize_metric_name(name);
+        line(&mut out, format_args!("# TYPE {name} counter"));
+        line(&mut out, format_args!("{name} {value}"));
+    }
+    for (&name, hist) in &snap.histograms {
+        let name = sanitize_metric_name(name);
+        line(&mut out, format_args!("# TYPE {name}_ns histogram"));
+        let mut cumulative = 0u64;
+        for (i, &tally) in hist.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(tally);
+            match LATENCY_BOUNDS_NS.get(i) {
+                Some(bound) => line(
+                    &mut out,
+                    format_args!("{name}_ns_bucket{{le=\"{bound}\"}} {cumulative}"),
+                ),
+                None => line(
+                    &mut out,
+                    format_args!("{name}_ns_bucket{{le=\"+Inf\"}} {cumulative}"),
+                ),
+            }
+        }
+        line(&mut out, format_args!("{name}_ns_sum {}", hist.sum));
+        line(&mut out, format_args!("{name}_ns_count {}", hist.count));
+    }
+    out
+}
+
+/// Renders the rolling windows as Prometheus gauges: per-window request
+/// and error counts, RPS, error rate, and p50/p95/p99 latency (omitted
+/// while a window is empty).
+#[must_use]
+pub fn windows_to_prometheus(windows: &RollingWindows) -> String {
+    let snaps = [("1m", windows.snapshot(60)), ("5m", windows.snapshot(300))];
+    let mut out = String::new();
+    line(&mut out, format_args!("# TYPE rbd_window_requests gauge"));
+    for (label, s) in &snaps {
+        line(
+            &mut out,
+            format_args!("rbd_window_requests{{window=\"{label}\"}} {}", s.count),
+        );
+    }
+    line(&mut out, format_args!("# TYPE rbd_window_errors gauge"));
+    for (label, s) in &snaps {
+        line(
+            &mut out,
+            format_args!("rbd_window_errors{{window=\"{label}\"}} {}", s.errors),
+        );
+    }
+    line(&mut out, format_args!("# TYPE rbd_window_rps gauge"));
+    for (label, s) in &snaps {
+        line(
+            &mut out,
+            format_args!("rbd_window_rps{{window=\"{label}\"}} {}", s.rps()),
+        );
+    }
+    line(&mut out, format_args!("# TYPE rbd_window_error_rate gauge"));
+    for (label, s) in &snaps {
+        line(
+            &mut out,
+            format_args!(
+                "rbd_window_error_rate{{window=\"{label}\"}} {}",
+                s.error_rate()
+            ),
+        );
+    }
+    line(&mut out, format_args!("# TYPE rbd_window_latency_ns gauge"));
+    for (label, s) in &snaps {
+        for (q_label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
+            if let Some(ns) = s.latency.quantile(q) {
+                line(
+                    &mut out,
+                    format_args!(
+                        "rbd_window_latency_ns{{window=\"{label}\",quantile=\"{q_label}\"}} {ns}"
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Converts finished spans to Chrome trace-event objects (`ph: "X"`
+/// complete events, timestamps in microseconds). Each distinct trace id
+/// maps to its own `tid` in first-appearance order, so Perfetto renders
+/// one request per track with parent/child spans nested by time range;
+/// unstamped spans share track 0.
+#[must_use]
+pub fn spans_to_chrome_events(spans: &[SpanRecord]) -> Json {
+    let mut tids: Vec<TraceId> = Vec::new();
+    let events = spans
+        .iter()
+        .map(|s| {
+            let tid = if s.trace.is_set() {
+                match tids.iter().position(|&t| t == s.trace) {
+                    Some(i) => i as u64 + 1,
+                    None => {
+                        tids.push(s.trace);
+                        tids.len() as u64
+                    }
+                }
+            } else {
+                0
+            };
+            Json::object([
+                ("name", Json::Str(s.name.to_owned())),
+                ("cat", Json::Str("rbd".to_owned())),
+                ("ph", Json::Str("X".to_owned())),
+                ("ts", Json::UInt(s.start_us)),
+                ("dur", Json::UInt(s.nanos / 1_000)),
+                ("pid", Json::UInt(1)),
+                ("tid", Json::UInt(tid)),
+                (
+                    "args",
+                    Json::object([
+                        (
+                            "trace",
+                            if s.trace.is_set() {
+                                Json::Str(s.trace.to_hex())
+                            } else {
+                                Json::Null
+                            },
+                        ),
+                        ("span", Json::UInt(s.span.0)),
+                        (
+                            "parent",
+                            match s.parent {
+                                Some(p) => Json::UInt(p.0),
+                                None => Json::Null,
+                            },
+                        ),
+                        ("nanos", Json::UInt(s.nanos)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    Json::Array(events)
+}
+
+/// A complete, standalone Chrome trace document:
+/// `{"displayTimeUnit": "ms", "traceEvents": [...]}` — the shape Perfetto
+/// and `chrome://tracing` load directly.
+#[must_use]
+pub fn chrome_trace(spans: &[SpanRecord]) -> Json {
+    Json::object([
+        ("displayTimeUnit", Json::Str("ms".to_owned())),
+        ("traceEvents", spans_to_chrome_events(spans)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Registry, Span};
+
+    #[test]
+    fn sanitizes_names_onto_the_prometheus_alphabet() {
+        assert_eq!(
+            sanitize_metric_name("serve_requests_ok"),
+            "serve_requests_ok"
+        );
+        assert_eq!(sanitize_metric_name("heuristic:HT"), "heuristic:HT");
+        assert_eq!(sanitize_metric_name("bad name-x"), "bad_name_x");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn counters_and_histograms_render_as_exposition_text() {
+        let registry = Registry::new();
+        registry.add("serve_requests_ok", 5);
+        registry.observe("serve_request_latency", 800);
+        registry.observe("serve_request_latency", 2_000_000_000);
+        let text = registry_to_prometheus(&registry.typed_snapshot());
+        assert!(
+            text.contains("# TYPE serve_requests_ok counter\nserve_requests_ok 5\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE serve_request_latency_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_request_latency_ns_bucket{le=\"1000\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_request_latency_ns_bucket{le=\"+Inf\"} 2"),
+            "cumulative buckets must end at the total count: {text}"
+        );
+        assert!(text.contains("serve_request_latency_ns_count 2"), "{text}");
+        // Every non-comment line is `name<space>value`.
+        for l in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(l.split(' ').count(), 2, "malformed line: {l}");
+        }
+    }
+
+    #[test]
+    fn window_gauges_render_with_quantiles() {
+        let windows = RollingWindows::new();
+        for _ in 0..10 {
+            windows.record(5_000, false);
+        }
+        windows.record(5_000, true);
+        let text = windows_to_prometheus(&windows);
+        assert!(
+            text.contains("rbd_window_requests{window=\"1m\"} 11"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rbd_window_errors{window=\"5m\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("rbd_window_rps{window=\"1m\"}"), "{text}");
+        assert!(
+            text.contains("rbd_window_error_rate{window=\"1m\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rbd_window_latency_ns{window=\"1m\",quantile=\"0.99\"} 5000"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_windows_omit_quantile_lines() {
+        let text = windows_to_prometheus(&RollingWindows::new());
+        assert!(!text.contains("quantile"), "{text}");
+        assert!(
+            text.contains("rbd_window_requests{window=\"1m\"} 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_has_the_loadable_shape() {
+        let trace = crate::TraceId::generate();
+        let root = Span::start("serve:request").with_context(trace, None);
+        let root_id = root.id();
+        let child = Span::start("tokenize")
+            .with_context(trace, Some(root_id))
+            .record();
+        let spans = [child, root.record()];
+        let json = chrome_trace(&spans);
+        let text = json.to_compact();
+        assert!(text.contains("\"traceEvents\""), "{text}");
+        assert!(text.contains("\"ph\":\"X\""), "{text}");
+        let events = json
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("events");
+        assert_eq!(events.len(), 2);
+        // Same trace → same tid; parent linkage carried in args.
+        let tid = |e: &Json| e.get("tid").and_then(Json::as_f64);
+        assert_eq!(tid(&events[0]), tid(&events[1]));
+        assert_eq!(
+            events[0]
+                .get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(Json::as_f64),
+            Some(root_id.0 as f64)
+        );
+    }
+
+    #[test]
+    fn unstamped_spans_share_track_zero() {
+        let spans = [SpanRecord::synthetic("a", 5), SpanRecord::synthetic("b", 5)];
+        let json = spans_to_chrome_events(&spans);
+        let events = json.as_array().expect("array");
+        for e in events {
+            assert_eq!(e.get("tid").and_then(Json::as_f64), Some(0.0));
+        }
+    }
+}

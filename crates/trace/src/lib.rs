@@ -9,7 +9,7 @@
 //! * **Spans** ([`Span`] / [`SpanRecord`]) — monotonic
 //!   [`std::time::Instant`] timings of each pipeline stage;
 //! * **Counters and fixed-bucket histograms** ([`Registry`]) — process-wide
-//!   telemetry (`docs_extracted`, `tags_scanned`, `heuristic_abstentions`,
+//!   telemetry (`extract_docs`, `extract_tags_scanned`, `extract_heuristic_abstentions`,
 //!   per-stage latency), snapshotable to `rbd-json`;
 //! * **The decision audit trail** ([`TraceEvent`]) — typed events carrying
 //!   the *inputs* of each decision: the chosen fan-out subtree and its
@@ -41,24 +41,35 @@
 //! if sink.enabled() {
 //!     sink.event(TraceEvent::Tokenized { bytes: 64, tokens: 9, tags: 4, warnings: 0 });
 //! }
-//! sink.add("tags_scanned", 4);
+//! sink.add("extract_tags_scanned", 4);
 //!
 //! assert_eq!(sink.events().len(), 1);
 //! assert_eq!(sink.spans().len(), 1);
 //! let snapshot = sink.registry_snapshot().to_compact();
-//! assert!(snapshot.contains("\"tags_scanned\":4"));
+//! assert!(snapshot.contains("\"extract_tags_scanned\":4"));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod export;
 pub mod metrics;
+pub mod scoped;
+pub mod slow;
 pub mod span;
+pub mod window;
 
 pub use event::{events_to_json, CandidateDecision, RankedEntry, ServerEvent, TraceEvent};
+pub use export::{
+    chrome_trace, registry_to_prometheus, sanitize_metric_name, spans_to_chrome_events,
+    windows_to_prometheus,
+};
 pub use metrics::{Histogram, HistogramSnapshot, Registry, RegistrySnapshot, LATENCY_BOUNDS_NS};
-pub use span::{Span, SpanRecord};
+pub use scoped::ScopedSink;
+pub use slow::{SlowCapture, SlowLog};
+pub use span::{unix_micros, Span, SpanId, SpanRecord, TraceId};
+pub use window::{RollingWindows, WindowSnapshot};
 
 use rbd_json::Json;
 use std::sync::{Mutex, PoisonError};
@@ -137,21 +148,54 @@ impl TraceSink for NullSink {
 /// spans. The backing store is mutex-protected, so one sink can serve a
 /// whole extraction (or a corpus of them) across threads.
 ///
+/// Collection is bounded: once the event (or span) store reaches the
+/// configured cap — [`CollectingSink::DEFAULT_CAP`] unless overridden via
+/// [`CollectingSink::with_event_cap`] — further records are dropped and
+/// counted under `trace_events_dropped` / `trace_spans_dropped`, so a
+/// long soak or `--trace` run cannot grow memory without bound. Dropped
+/// spans still feed the latency histograms; only the per-record storage
+/// is capped.
+///
 /// `CollectingSink` is `Send + Sync` by construction (every field is
 /// mutex-protected); the `sinks_are_send_and_sync` compile-time assertion
 /// test pins that property so a future field cannot silently revoke it.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CollectingSink {
     events: Mutex<Vec<TraceEvent>>,
     spans: Mutex<Vec<SpanRecord>>,
     registry: Registry,
+    cap: usize,
+}
+
+impl Default for CollectingSink {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl CollectingSink {
-    /// Creates an empty sink.
+    /// Default bound on stored events and spans (each).
+    pub const DEFAULT_CAP: usize = 65_536;
+
+    /// Creates an empty sink with the default cap.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        CollectingSink {
+            events: Mutex::new(Vec::new()),
+            spans: Mutex::new(Vec::new()),
+            registry: Registry::new(),
+            cap: Self::DEFAULT_CAP,
+        }
+    }
+
+    /// Creates an empty sink holding at most `cap` events and `cap` spans
+    /// (at least one each).
+    #[must_use]
+    pub fn with_event_cap(cap: usize) -> Self {
+        CollectingSink {
+            cap: cap.max(1),
+            ..Self::new()
+        }
     }
 
     /// The events recorded so far, in emission order.
@@ -181,33 +225,44 @@ impl CollectingSink {
     }
 
     /// The full trace as JSON: `{"events": [...], "spans": [...],
-    /// "metrics": {...}}` — what `rbd --trace <file>` writes.
+    /// "metrics": {...}, "traceEvents": [...]}` — what `rbd --trace
+    /// <file>` writes. The `traceEvents` key makes the same file loadable
+    /// as-is in Perfetto / `chrome://tracing`, which accept any JSON
+    /// object containing that key.
     pub fn trace_json(&self) -> Json {
+        let spans = self.spans();
         Json::object([
             ("events", events_to_json(&self.events())),
             (
                 "spans",
-                Json::Array(self.spans().iter().map(SpanRecord::to_json).collect()),
+                Json::Array(spans.iter().map(SpanRecord::to_json).collect()),
             ),
             ("metrics", self.registry_snapshot()),
+            ("traceEvents", export::spans_to_chrome_events(&spans)),
         ])
     }
 }
 
 impl TraceSink for CollectingSink {
     fn event(&self, event: TraceEvent) {
-        self.events
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(event);
+        let mut events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        if events.len() >= self.cap {
+            drop(events);
+            self.registry.add("trace_events_dropped", 1);
+            return;
+        }
+        events.push(event);
     }
 
     fn span(&self, span: SpanRecord) {
         self.registry.observe(span.name, span.nanos);
-        self.spans
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(span);
+        let mut spans = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
+        if spans.len() >= self.cap {
+            drop(spans);
+            self.registry.add("trace_spans_dropped", 1);
+            return;
+        }
+        spans.push(span);
     }
 
     fn add(&self, counter: &'static str, delta: u64) {
@@ -364,10 +419,7 @@ mod tests {
         sink.event(TraceEvent::Shortcut {
             separator: "hr".into(),
         });
-        sink.span(SpanRecord {
-            name: "tokenize",
-            nanos: 1,
-        });
+        sink.span(SpanRecord::synthetic("tokenize", 1));
         sink.add("docs_extracted", 1);
         // Nothing to observe: NullSink holds no state at all.
     }
@@ -379,10 +431,7 @@ mod tests {
         sink.event(TraceEvent::Shortcut {
             separator: "p".into(),
         });
-        sink.span(SpanRecord {
-            name: "tree_build",
-            nanos: 1_500,
-        });
+        sink.span(SpanRecord::synthetic("tree_build", 1_500));
         sink.add("docs_extracted", 2);
         sink.add("docs_extracted", 1);
 
@@ -399,10 +448,7 @@ mod tests {
     fn spans_feed_latency_histograms() {
         let sink = CollectingSink::new();
         for nanos in [500, 1_500, 2_000_000] {
-            sink.span(SpanRecord {
-                name: "heuristic:HT",
-                nanos,
-            });
+            sink.span(SpanRecord::synthetic("heuristic:HT", nanos));
         }
         let snap = sink.registry_snapshot().to_compact();
         assert!(snap.contains("\"heuristic:HT\""), "{snap}");
@@ -419,10 +465,7 @@ mod tests {
             peer: "127.0.0.1:9".into(),
             active: 1,
         }));
-        sink.span(SpanRecord {
-            name: "serve:request",
-            nanos: 2_000,
-        });
+        sink.span(SpanRecord::synthetic("serve:request", 2_000));
         sink.add("serve_requests", 1);
         sink.add("serve_requests", 1);
         assert_eq!(sink.registry().counter("serve_requests"), 2);
@@ -433,10 +476,7 @@ mod tests {
     #[test]
     fn mock_sink_records_call_order() {
         let sink = MockSink::new();
-        sink.span(SpanRecord {
-            name: "tokenize",
-            nanos: 10,
-        });
+        sink.span(SpanRecord::synthetic("tokenize", 10));
         sink.add("tags_scanned", 7);
         sink.event(TraceEvent::Shortcut {
             separator: "hr".into(),
@@ -456,6 +496,39 @@ mod tests {
         // records anything that *does* arrive, which is how tests catch
         // instrumentation that ignores `enabled()`.
         assert!(sink.calls().is_empty());
+    }
+
+    #[test]
+    fn collecting_sink_caps_events_and_counts_overflow() {
+        let sink = CollectingSink::with_event_cap(3);
+        for _ in 0..5 {
+            sink.event(TraceEvent::Shortcut {
+                separator: "hr".into(),
+            });
+        }
+        assert_eq!(sink.events().len(), 3);
+        assert_eq!(sink.registry().counter("trace_events_dropped"), 2);
+    }
+
+    #[test]
+    fn collecting_sink_caps_spans_but_histograms_see_everything() {
+        let sink = CollectingSink::with_event_cap(2);
+        for nanos in [100, 200, 300, 400] {
+            sink.span(SpanRecord::synthetic("tokenize", nanos));
+        }
+        assert_eq!(sink.spans().len(), 2);
+        assert_eq!(sink.registry().counter("trace_spans_dropped"), 2);
+        let hist = sink.registry().histogram("tokenize").expect("histogram");
+        assert_eq!(hist.count, 4, "dropped spans still feed the histogram");
+    }
+
+    #[test]
+    fn trace_json_includes_perfetto_trace_events() {
+        let sink = CollectingSink::new();
+        Span::start("tokenize").finish(&sink);
+        let json = sink.trace_json().to_compact();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
     }
 
     /// Compile-time assertion: the shipped sinks satisfy the `Send + Sync`

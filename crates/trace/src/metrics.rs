@@ -97,6 +97,42 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// The `q`-quantile (0 < q ≤ 1) as an upper bound in nanoseconds, or
+    /// `None` for an empty histogram.
+    ///
+    /// Fixed buckets cannot resolve a quantile below bucket granularity,
+    /// so this returns the inclusive upper bound of the bucket containing
+    /// the rank-⌈q·count⌉ observation — a conservative (never
+    /// underestimating) figure, which is the right bias for latency
+    /// alerting. When the rank lands in the overflow bucket, the recorded
+    /// maximum is returned, since the overflow bucket has no upper bound.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank_f = (q * self.count as f64).ceil();
+        let rank = if rank_f < 1.0 {
+            1
+        } else if rank_f >= self.count as f64 {
+            self.count
+        } else {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            // 1.0 <= rank_f < count by the branches above
+            {
+                rank_f as u64
+            }
+        };
+        let mut cumulative = 0u64;
+        for (i, &tally) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(tally);
+            if cumulative >= rank {
+                return Some(LATENCY_BOUNDS_NS.get(i).copied().unwrap_or(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// `{"count": ..., "sum": ..., "max": ..., "buckets": [...]}`.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -294,10 +330,10 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let registry = Registry::new();
-        assert_eq!(registry.counter("docs_extracted"), 0);
-        registry.add("docs_extracted", 2);
-        registry.add("docs_extracted", 3);
-        assert_eq!(registry.counter("docs_extracted"), 5);
+        assert_eq!(registry.counter("extract_docs"), 0);
+        registry.add("extract_docs", 2);
+        registry.add("extract_docs", 3);
+        assert_eq!(registry.counter("extract_docs"), 5);
     }
 
     #[test]
@@ -327,13 +363,13 @@ mod tests {
     #[test]
     fn merge_sums_counters() {
         let mut a = Registry::new();
-        a.add("docs_extracted", 3);
+        a.add("extract_docs", 3);
         a.add("only_in_a", 1);
         let b = Registry::new();
-        b.add("docs_extracted", 4);
+        b.add("extract_docs", 4);
         b.add("only_in_b", 7);
         a.merge(&b.typed_snapshot());
-        assert_eq!(a.counter("docs_extracted"), 7);
+        assert_eq!(a.counter("extract_docs"), 7);
         assert_eq!(a.counter("only_in_a"), 1);
         assert_eq!(a.counter("only_in_b"), 7);
         // Saturating, like add().
@@ -396,6 +432,101 @@ mod tests {
             merged.snapshot().to_compact(),
             shared.snapshot().to_compact()
         );
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().quantile(0.5), None);
+        assert_eq!(h.snapshot().quantile(0.99), None);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let mut h = Histogram::default();
+        // 90 fast observations in bucket 0, 10 slow ones in bucket 6
+        // (50µs < v ≤ 100µs): p50 resolves to bucket 0's bound, p95/p99
+        // to bucket 6's.
+        for _ in 0..90 {
+            h.record(800);
+        }
+        for _ in 0..10 {
+            h.record(60_000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.50), Some(1_000));
+        assert_eq!(
+            snap.quantile(0.90),
+            Some(1_000),
+            "rank 90 is the last fast one"
+        );
+        assert_eq!(snap.quantile(0.95), Some(100_000));
+        assert_eq!(snap.quantile(0.99), Some(100_000));
+    }
+
+    #[test]
+    fn quantile_at_exact_bucket_boundary_values() {
+        let mut h = Histogram::default();
+        // Boundary values land in the bucket they bound (inclusive), so
+        // the reported quantile equals the observed value exactly.
+        for &bound in &LATENCY_BOUNDS_NS {
+            h.record(bound);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 12);
+        assert_eq!(snap.quantile(1.0 / 12.0), Some(1_000));
+        assert_eq!(snap.quantile(0.5), Some(50_000), "rank 6 of 12");
+        assert_eq!(snap.quantile(1.0), Some(100_000_000));
+    }
+
+    #[test]
+    fn single_bucket_saturation_pins_every_quantile() {
+        let mut h = Histogram::default();
+        for _ in 0..10_000 {
+            h.record(3_000); // all in bucket 2 (2.5µs < v ≤ 5µs)
+        }
+        let snap = h.snapshot();
+        for q in [0.01, 0.50, 0.95, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), Some(5_000), "q={q}");
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_quantile_reports_observed_max() {
+        let mut h = Histogram::default();
+        h.record(500);
+        h.record(7_000_000_000); // 7s: overflow bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(1.0), Some(7_000_000_000));
+        assert_eq!(snap.quantile(0.5), Some(1_000));
+    }
+
+    #[test]
+    fn merge_preserves_quantiles() {
+        // Quantiles over a merged registry must match quantiles over one
+        // registry that saw every observation — the property the rolling
+        // windows' bucket merging relies on.
+        let observations: [u64; 8] = [
+            700, 900, 3_000, 30_000, 30_001, 400_000, 2_000_000, 50_000_000,
+        ];
+        let mut merged = Registry::new();
+        for chunk in observations.chunks(3) {
+            let worker = Registry::new();
+            for &v in chunk {
+                worker.observe("lat", v);
+            }
+            merged.merge(&worker.typed_snapshot());
+        }
+        let shared = Registry::new();
+        for &v in &observations {
+            shared.observe("lat", v);
+        }
+        let m = merged.histogram("lat").expect("merged");
+        let s = shared.histogram("lat").expect("shared");
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(m.quantile(q), s.quantile(q), "q={q}");
+        }
+        assert_eq!(m.quantile(0.5), Some(50_000), "rank 4 of 8");
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Context propagation: stamping request identity onto spans in transit.
+//!
+//! The pipeline's instrumentation sites start plain spans with no trace id
+//! or parent — they cannot know which request they serve. A [`ScopedSink`]
+//! wraps the real sink for the duration of one request (or one batch
+//! document) and stamps its [`TraceId`] and parent [`SpanId`] onto every
+//! span passing through, so one request yields one coherent span tree
+//! without threading context parameters through every `*_traced` call.
+
+use crate::{SpanId, SpanRecord, TraceEvent, TraceId, TraceSink};
+
+/// A borrowing [`TraceSink`] decorator that assigns unstamped spans to a
+/// trace. Spans that already carry a trace id (e.g. a nested scope's own
+/// root) pass through untouched; only the unassigned fields are filled.
+///
+/// Events and counters forward unchanged — events are correlated to the
+/// trace by their position in the per-request collection, and counters
+/// are process-wide by design.
+#[derive(Debug, Clone, Copy)]
+pub struct ScopedSink<'a> {
+    inner: &'a dyn TraceSink,
+    trace: TraceId,
+    parent: Option<SpanId>,
+}
+
+impl<'a> ScopedSink<'a> {
+    /// Wraps `inner` so spans recorded through the scope belong to
+    /// `trace`, parented under `parent` unless they already have one.
+    #[must_use]
+    pub fn new(inner: &'a dyn TraceSink, trace: TraceId, parent: Option<SpanId>) -> Self {
+        ScopedSink {
+            inner,
+            trace,
+            parent,
+        }
+    }
+
+    /// The trace this scope stamps.
+    #[must_use]
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+}
+
+impl TraceSink for ScopedSink<'_> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn event(&self, event: TraceEvent) {
+        self.inner.event(event);
+    }
+
+    fn span(&self, mut span: SpanRecord) {
+        if !span.trace.is_set() {
+            span.trace = self.trace;
+            if span.parent.is_none() {
+                span.parent = self.parent;
+            }
+        }
+        self.inner.span(span);
+    }
+
+    fn add(&self, counter: &'static str, delta: u64) {
+        self.inner.add(counter, delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectingSink, Span};
+
+    #[test]
+    fn stamps_trace_and_parent_onto_unassigned_spans() {
+        let sink = CollectingSink::new();
+        let trace = TraceId::generate();
+        let root = Span::start("serve:request").with_context(trace, None);
+        let root_id = root.id();
+        {
+            let scoped = ScopedSink::new(&sink, trace, Some(root_id));
+            Span::start("tokenize").finish(&scoped);
+            Span::start("tree_build").finish(&scoped);
+        }
+        root.finish(&sink);
+
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|s| s.trace == trace), "{spans:?}");
+        assert_eq!(spans[0].parent, Some(root_id));
+        assert_eq!(spans[1].parent, Some(root_id));
+        assert_eq!(spans[2].parent, None, "the root has no parent");
+    }
+
+    #[test]
+    fn already_stamped_spans_pass_through() {
+        let sink = CollectingSink::new();
+        let own_trace = TraceId::generate();
+        let scope_trace = TraceId::generate();
+        let scoped = ScopedSink::new(&sink, scope_trace, None);
+        Span::start("nested")
+            .with_context(own_trace, Some(SpanId(42)))
+            .finish(&scoped);
+        let spans = sink.spans();
+        assert_eq!(spans[0].trace, own_trace);
+        assert_eq!(spans[0].parent, Some(SpanId(42)));
+    }
+
+    #[test]
+    fn events_and_counters_forward() {
+        let sink = CollectingSink::new();
+        let scoped = ScopedSink::new(&sink, TraceId::generate(), None);
+        assert!(scoped.enabled());
+        scoped.event(TraceEvent::Shortcut {
+            separator: "hr".into(),
+        });
+        scoped.add("trace_scoped_test", 2);
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(sink.registry().counter("trace_scoped_test"), 2);
+    }
+
+    #[test]
+    fn disabled_inner_disables_the_scope() {
+        let sink = crate::MockSink::disabled();
+        let scoped = ScopedSink::new(&sink, TraceId::generate(), None);
+        assert!(!scoped.enabled());
+    }
+}

@@ -1,22 +1,125 @@
-//! Monotonic stage timing.
+//! Monotonic stage timing, with request-scoped identity.
 //!
 //! A [`Span`] wraps [`std::time::Instant`]: start it at the top of a
 //! pipeline stage, [`Span::finish`] it into a sink at the bottom. The
-//! finished form is a [`SpanRecord`] — just a static name and a nanosecond
-//! duration — so sinks can store and serialize spans without touching the
+//! finished form is a [`SpanRecord`] — name, duration, and the tracing
+//! context ([`TraceId`], [`SpanId`], parent link, wall-clock start) — so
+//! sinks can store, correlate, and serialize spans without touching the
 //! clock again.
+//!
+//! Identity is assigned lazily: a span started by instrumented pipeline
+//! code carries [`TraceId::NONE`] and no parent, and a
+//! [`ScopedSink`](crate::ScopedSink) wrapping the real sink stamps the
+//! request's context onto every record passing through. That keeps the
+//! instrumentation sites (tokenizer, tree builder, heuristics, recognizer)
+//! unaware of tracing topology while still producing one coherent span
+//! tree per request.
 
 use crate::TraceSink;
 use rbd_json::Json;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Instant, SystemTime};
 
-/// An in-flight timing. Spans are deliberately not nested or linked — the
-/// pipeline is a straight line, so the stage name alone identifies where a
-/// duration came from.
+/// Identifies one request (or one batch document) across every span and
+/// event it produces. Zero means "not assigned yet" — a [`ScopedSink`]
+/// (see `crate::ScopedSink`) fills it in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TraceId(pub u64);
+
+/// Process-unique counter mixed into generated trace ids so two requests
+/// accepted in the same clock tick still differ.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// Process-unique span id allocator. Starts at 1; 0 is never handed out.
+static SPAN_SEQ: AtomicU64 = AtomicU64::new(1);
+
+impl TraceId {
+    /// The unassigned id.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// `true` when this id has been assigned.
+    #[must_use]
+    pub fn is_set(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Generates a fresh, non-zero id: wall-clock nanoseconds mixed with a
+    /// process-wide sequence number through a SplitMix64 finalizer, so ids
+    /// are unique within a process and collision-resistant across
+    /// processes without any shared state.
+    #[must_use]
+    pub fn generate() -> TraceId {
+        let nanos = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut z = nanos ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        TraceId(z.max(1))
+    }
+
+    /// The id as 16 lowercase hex digits — the wire format of the
+    /// `x-rbd-trace-id` header.
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the hex wire format back into an id. Accepts 1–16 hex
+    /// digits; rejects empty, overlong, non-hex, and all-zero input.
+    #[must_use]
+    pub fn parse_hex(s: &str) -> Option<TraceId> {
+        let s = s.trim();
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16)
+            .ok()
+            .filter(|&v| v != 0)
+            .map(TraceId)
+    }
+}
+
+/// Identifies one span within a process. Zero means "not assigned".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The unassigned id.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Allocates the next process-unique span id.
+    #[must_use]
+    pub fn next() -> SpanId {
+        SpanId(SPAN_SEQ.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Microseconds since the unix epoch — the `ts` unit of the Chrome
+/// trace-event format.
+#[must_use]
+pub fn unix_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// An in-flight timing. Each span gets a process-unique [`SpanId`] at
+/// start; trace id and parent default to unassigned and are normally
+/// stamped in transit by a [`ScopedSink`](crate::ScopedSink), though
+/// [`Span::with_context`] sets them explicitly for root spans.
 #[derive(Debug)]
 pub struct Span {
     name: &'static str,
+    id: SpanId,
+    trace: TraceId,
+    parent: Option<SpanId>,
     started: Instant,
+    start_us: u64,
 }
 
 impl Span {
@@ -25,7 +128,11 @@ impl Span {
     pub fn start(name: &'static str) -> Self {
         Span {
             name,
+            id: SpanId::next(),
+            trace: TraceId::NONE,
+            parent: None,
             started: Instant::now(),
+            start_us: unix_micros(),
         }
     }
 
@@ -36,6 +143,21 @@ impl Span {
     #[must_use]
     pub fn start_if(name: &'static str, sink: &dyn TraceSink) -> Option<Self> {
         sink.enabled().then(|| Span::start(name))
+    }
+
+    /// Sets the trace id and parent explicitly (for root spans whose
+    /// context is not stamped by a scoped sink).
+    #[must_use]
+    pub fn with_context(mut self, trace: TraceId, parent: Option<SpanId>) -> Self {
+        self.trace = trace;
+        self.parent = parent;
+        self
+    }
+
+    /// This span's id, for parenting children under it.
+    #[must_use]
+    pub fn id(&self) -> SpanId {
+        self.id
     }
 
     /// Stops the clock and records the span into `sink`.
@@ -51,26 +173,73 @@ impl Span {
         SpanRecord {
             name: self.name,
             nanos,
+            trace: self.trace,
+            span: self.id,
+            parent: self.parent,
+            start_us: self.start_us,
         }
     }
 }
 
-/// A finished span: stage name plus wall-clock duration in nanoseconds.
+/// A finished span: stage name, wall-clock duration, and tracing context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanRecord {
     /// Stage name, e.g. `"tokenize"` or `"heuristic:HT"`.
     pub name: &'static str,
     /// Elapsed wall-clock time in nanoseconds.
     pub nanos: u64,
+    /// The request (or document) this span belongs to; [`TraceId::NONE`]
+    /// until stamped.
+    pub trace: TraceId,
+    /// This span's own id.
+    pub span: SpanId,
+    /// The enclosing span, when part of a tree.
+    pub parent: Option<SpanId>,
+    /// Wall-clock start in microseconds since the unix epoch (the Chrome
+    /// trace-event `ts` unit).
+    pub start_us: u64,
 }
 
 impl SpanRecord {
-    /// `{"name": ..., "nanos": ...}`.
+    /// Builds a record directly from its parts, for synthesized spans
+    /// (e.g. queue wait measured between two other events) and tests.
+    #[must_use]
+    pub fn synthetic(name: &'static str, nanos: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            nanos,
+            trace: TraceId::NONE,
+            span: SpanId::next(),
+            parent: None,
+            start_us: 0,
+        }
+    }
+
+    /// `{"name", "nanos", "trace", "span", "parent", "start_us"}`. The
+    /// trace id uses the hex wire format; an unassigned trace serializes
+    /// as `null`, as does a missing parent.
     #[must_use]
     pub fn to_json(&self) -> Json {
         Json::object([
             ("name", Json::Str(self.name.to_owned())),
             ("nanos", Json::UInt(self.nanos)),
+            (
+                "trace",
+                if self.trace.is_set() {
+                    Json::Str(self.trace.to_hex())
+                } else {
+                    Json::Null
+                },
+            ),
+            ("span", Json::UInt(self.span.0)),
+            (
+                "parent",
+                match self.parent {
+                    Some(p) => Json::UInt(p.0),
+                    None => Json::Null,
+                },
+            ),
+            ("start_us", Json::UInt(self.start_us)),
         ])
     }
 }
@@ -91,6 +260,10 @@ mod tests {
         let record = span.record();
         assert_eq!(record.name, "work");
         assert!(record.nanos > 0);
+        assert!(record.span.0 > 0, "span ids start at 1");
+        assert_eq!(record.trace, TraceId::NONE);
+        assert_eq!(record.parent, None);
+        assert!(record.start_us > 0);
     }
 
     #[test]
@@ -103,13 +276,67 @@ mod tests {
     }
 
     #[test]
+    fn with_context_sets_trace_and_parent() {
+        let trace = TraceId::generate();
+        let parent = Span::start("serve:request");
+        let parent_id = parent.id();
+        let child = Span::start("serve:worker").with_context(trace, Some(parent_id));
+        let record = child.record();
+        assert_eq!(record.trace, trace);
+        assert_eq!(record.parent, Some(parent_id));
+    }
+
+    #[test]
+    fn span_ids_are_unique() {
+        let a = Span::start("a").id();
+        let b = Span::start("b").id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trace_ids_generate_distinct_and_roundtrip_hex() {
+        let a = TraceId::generate();
+        let b = TraceId::generate();
+        assert!(a.is_set() && b.is_set());
+        assert_ne!(a, b);
+        let hex = a.to_hex();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(TraceId::parse_hex(&hex), Some(a));
+    }
+
+    #[test]
+    fn parse_hex_rejects_garbage() {
+        assert_eq!(TraceId::parse_hex(""), None);
+        assert_eq!(TraceId::parse_hex("zz"), None);
+        assert_eq!(TraceId::parse_hex("0"), None, "zero is the unset id");
+        assert_eq!(TraceId::parse_hex("00000000000000000"), None, "17 digits");
+        assert_eq!(TraceId::parse_hex(" deadbeef "), Some(TraceId(0xdead_beef)));
+    }
+
+    #[test]
     fn record_serializes() {
         let json = SpanRecord {
             name: "tree_build",
             nanos: 1234,
+            trace: TraceId(0xabcd),
+            span: SpanId(7),
+            parent: Some(SpanId(3)),
+            start_us: 99,
         }
         .to_json()
         .to_compact();
-        assert_eq!(json, r#"{"name":"tree_build","nanos":1234}"#);
+        assert_eq!(
+            json,
+            r#"{"name":"tree_build","nanos":1234,"trace":"000000000000abcd","span":7,"parent":3,"start_us":99}"#
+        );
+    }
+
+    #[test]
+    fn unstamped_record_serializes_nulls() {
+        let json = SpanRecord::synthetic("queue_wait", 10)
+            .to_json()
+            .to_compact();
+        assert!(json.contains("\"trace\":null"), "{json}");
+        assert!(json.contains("\"parent\":null"), "{json}");
     }
 }

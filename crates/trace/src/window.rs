@@ -1,0 +1,294 @@
+//! Rolling-window telemetry: RPS, error rate, and latency quantiles over
+//! the last 1m/5m, alongside the cumulative [`Registry`](crate::Registry).
+//!
+//! The aggregator is a ring of per-second buckets, each holding a request
+//! count, an error count, and a fixed-bucket [`Histogram`]. Recording
+//! touches exactly one bucket under one short mutex hold (the bucket is
+//! lazily reset when its slot is reused for a new second), so the cost on
+//! the request path is a clock read plus a few adds — and a disabled
+//! aggregator is a single atomic load, which is what keeps the tracing
+//! bench's no-op overhead gate honest.
+
+use crate::metrics::{Histogram, HistogramSnapshot};
+use rbd_json::Json;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Ring capacity in seconds. Bounds memory and the widest window served.
+const RING_SECONDS: u64 = 300;
+
+/// One second of traffic.
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    /// Absolute second (since the aggregator's epoch) this slot holds.
+    stamp: u64,
+    count: u64,
+    errors: u64,
+    hist: Histogram,
+}
+
+/// Time-bucketed rolling aggregator. One instance serves a whole server;
+/// every worker records into it through `&self`.
+#[derive(Debug)]
+pub struct RollingWindows {
+    enabled: AtomicBool,
+    epoch: Instant,
+    ring: Mutex<Vec<Bucket>>,
+}
+
+impl Default for RollingWindows {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RollingWindows {
+    /// An enabled aggregator covering the last [`RING_SECONDS`] seconds.
+    #[must_use]
+    pub fn new() -> Self {
+        RollingWindows {
+            enabled: AtomicBool::new(true),
+            epoch: Instant::now(),
+            ring: Mutex::new(vec![
+                Bucket::default();
+                usize::try_from(RING_SECONDS).unwrap_or(300)
+            ]),
+        }
+    }
+
+    /// A disabled aggregator: [`RollingWindows::record`] is one atomic
+    /// load, nothing else. For paths that must stay within the <1 %
+    /// no-tracing overhead budget.
+    #[must_use]
+    pub fn disabled() -> Self {
+        let w = Self::new();
+        w.enabled.store(false, Ordering::Relaxed);
+        w
+    }
+
+    /// `true` when recording.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records one finished request: its latency and whether it failed
+    /// (5xx). Sub-nanosecond cost when disabled.
+    pub fn record(&self, latency_ns: u64, is_error: bool) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let now_s = self.epoch.elapsed().as_secs();
+        self.record_at(now_s, latency_ns, is_error);
+    }
+
+    /// [`RollingWindows::record`] at an explicit second — the testable
+    /// core; `record` feeds it the real clock.
+    fn record_at(&self, now_s: u64, latency_ns: u64, is_error: bool) {
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        let idx = usize::try_from(now_s % RING_SECONDS).unwrap_or(0);
+        if let Some(bucket) = ring.get_mut(idx) {
+            if bucket.stamp != now_s {
+                *bucket = Bucket {
+                    stamp: now_s,
+                    ..Bucket::default()
+                };
+            }
+            bucket.count = bucket.count.saturating_add(1);
+            if is_error {
+                bucket.errors = bucket.errors.saturating_add(1);
+            }
+            bucket.hist.record(latency_ns);
+        }
+    }
+
+    /// Aggregates the last `window_s` seconds (capped at the ring size)
+    /// into one snapshot.
+    #[must_use]
+    pub fn snapshot(&self, window_s: u64) -> WindowSnapshot {
+        let now_s = self.epoch.elapsed().as_secs();
+        self.snapshot_at(now_s, window_s)
+    }
+
+    fn snapshot_at(&self, now_s: u64, window_s: u64) -> WindowSnapshot {
+        let window_s = window_s.clamp(1, RING_SECONDS);
+        let ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut hist = Histogram::default();
+        let mut count = 0u64;
+        let mut errors = 0u64;
+        for bucket in ring.iter() {
+            // Live slots satisfy stamp ∈ (now_s - window_s, now_s]; stale
+            // slots keep an old stamp and are skipped, never zeroed.
+            if bucket.stamp > now_s || now_s - bucket.stamp >= window_s {
+                continue;
+            }
+            if bucket.count == 0 {
+                continue;
+            }
+            count = count.saturating_add(bucket.count);
+            errors = errors.saturating_add(bucket.errors);
+            hist.merge(&bucket.hist.snapshot());
+        }
+        WindowSnapshot {
+            window_s,
+            count,
+            errors,
+            latency: hist.snapshot(),
+        }
+    }
+
+    /// The standard JSON view the server exposes: 1-minute and 5-minute
+    /// windows keyed `"1m"` / `"5m"`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("1m", self.snapshot(60).to_json()),
+            ("5m", self.snapshot(300).to_json()),
+        ])
+    }
+}
+
+/// Aggregate traffic over one rolling window.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowSnapshot {
+    /// Window width in seconds.
+    pub window_s: u64,
+    /// Requests completed in the window.
+    pub count: u64,
+    /// Requests that failed (5xx) in the window.
+    pub errors: u64,
+    /// Latency distribution over the window.
+    pub latency: HistogramSnapshot,
+}
+
+impl WindowSnapshot {
+    /// Requests per second over the window.
+    #[must_use]
+    pub fn rps(&self) -> f64 {
+        self.count as f64 / self.window_s.max(1) as f64
+    }
+
+    /// Errors as a fraction of requests; zero when the window is empty.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.count as f64
+        }
+    }
+
+    /// `{"count", "errors", "rps", "error_rate", "p50_ns", "p95_ns",
+    /// "p99_ns"}`; quantiles are `null` while the window is empty.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let q = |quantile: f64| match self.latency.quantile(quantile) {
+            Some(ns) => Json::UInt(ns),
+            None => Json::Null,
+        };
+        Json::object([
+            ("count", Json::UInt(self.count)),
+            ("errors", Json::UInt(self.errors)),
+            ("rps", Json::Float(self.rps())),
+            ("error_rate", Json::Float(self.error_rate())),
+            ("p50_ns", q(0.50)),
+            ("p95_ns", q(0.95)),
+            ("p99_ns", q(0.99)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_is_all_zero() {
+        let w = RollingWindows::new();
+        let snap = w.snapshot(60);
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.errors, 0);
+        assert_eq!(snap.rps(), 0.0);
+        assert_eq!(snap.error_rate(), 0.0);
+        assert_eq!(snap.latency.quantile(0.99), None);
+    }
+
+    #[test]
+    fn records_land_in_the_current_window() {
+        let w = RollingWindows::new();
+        w.record_at(10, 5_000, false);
+        w.record_at(10, 50_000, true);
+        w.record_at(11, 5_000, false);
+        let snap = w.snapshot_at(11, 60);
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.errors, 1);
+        assert!((snap.rps() - 3.0 / 60.0).abs() < 1e-12);
+        assert!((snap.error_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn old_seconds_age_out_of_the_window() {
+        let w = RollingWindows::new();
+        w.record_at(10, 5_000, true);
+        w.record_at(100, 5_000, false);
+        let one_minute = w.snapshot_at(100, 60);
+        assert_eq!(one_minute.count, 1, "second 10 is outside (40, 100]");
+        assert_eq!(one_minute.errors, 0);
+        let five_minutes = w.snapshot_at(100, 300);
+        assert_eq!(five_minutes.count, 2);
+        assert_eq!(five_minutes.errors, 1);
+    }
+
+    #[test]
+    fn ring_slots_reset_when_reused() {
+        let w = RollingWindows::new();
+        w.record_at(5, 1_000, true);
+        // Second 5 + RING_SECONDS maps to the same slot; the stale tally
+        // must not leak into the new second.
+        w.record_at(5 + RING_SECONDS, 2_000, false);
+        let snap = w.snapshot_at(5 + RING_SECONDS, 60);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.errors, 0);
+    }
+
+    #[test]
+    fn window_quantiles_come_from_merged_buckets() {
+        let w = RollingWindows::new();
+        for _ in 0..99 {
+            w.record_at(20, 1_000, false); // first latency bucket
+        }
+        w.record_at(21, 90_000_000, false); // 90 ms: last bounded bucket
+        let snap = w.snapshot_at(21, 60);
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.latency.quantile(0.50), Some(1_000));
+        assert_eq!(snap.latency.quantile(0.99), Some(1_000));
+        assert_eq!(snap.latency.quantile(1.0), Some(100_000_000));
+    }
+
+    #[test]
+    fn disabled_windows_record_nothing() {
+        let w = RollingWindows::disabled();
+        assert!(!w.is_enabled());
+        w.record(5_000, true);
+        assert_eq!(w.snapshot(300).count, 0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let w = RollingWindows::new();
+        w.record(10_000, false);
+        let json = w.to_json().to_compact();
+        for key in [
+            "\"1m\"",
+            "\"5m\"",
+            "\"rps\"",
+            "\"error_rate\"",
+            "\"p50_ns\"",
+            "\"p95_ns\"",
+            "\"p99_ns\"",
+        ] {
+            assert!(json.contains(key), "{key} missing: {json}");
+        }
+    }
+}

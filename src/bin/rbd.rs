@@ -37,6 +37,7 @@ usage: rbd <discover|extract|pipeline|check|tree> [FILE]
            [--trace PATH] [--metrics]
        rbd batch FILE... [--jobs N] [--json] [--metrics]
        rbd serve [--addr HOST:PORT | --port N] [--jobs N] [--metrics]
+                 [--trace-dir DIR] [--slow-ms N]
 
 Reads HTML from FILE (or stdin) and:
   discover   print the consensus record separator and heuristic rankings
@@ -52,9 +53,15 @@ Reads HTML from FILE (or stdin) and:
 
 Observability:
   --trace PATH  write the decision audit trail (events, spans, metrics)
-                of the run to PATH as JSON
+                of the run to PATH as JSON; the file embeds a
+                `traceEvents` array, so Perfetto loads it directly
   --metrics     print the counter/histogram snapshot to stderr (for
-                batch: the merged per-worker pipeline metrics)";
+                batch: the merged per-worker pipeline metrics)
+  --trace-dir DIR  (serve) write each request's span tree to
+                DIR/trace-<id>.json in Chrome trace-event format and slow
+                captures to DIR/slow.jsonl
+  --slow-ms N   (serve) keep the span tree and audit events of requests
+                slower than N milliseconds in the bounded slow log";
 
 struct Args {
     command: String,
@@ -64,6 +71,8 @@ struct Args {
     json: bool,
     xml: bool,
     trace: Option<String>,
+    trace_dir: Option<String>,
+    slow_ms: Option<u64>,
     metrics: bool,
     addr: Option<String>,
 }
@@ -83,6 +92,8 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         xml: false,
         trace: None,
+        trace_dir: None,
+        slow_ms: None,
         metrics: false,
         addr: None,
     };
@@ -112,6 +123,16 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--xml" => args.xml = true,
             "--trace" => args.trace = Some(argv.next().ok_or("--trace needs a path")?),
+            "--trace-dir" => {
+                args.trace_dir = Some(argv.next().ok_or("--trace-dir needs a directory")?);
+            }
+            "--slow-ms" => {
+                let n = argv.next().ok_or("--slow-ms needs a millisecond count")?;
+                args.slow_ms =
+                    Some(n.parse::<u64>().map_err(|_| {
+                        format!("--slow-ms needs a non-negative integer, got `{n}`")
+                    })?);
+            }
             "--metrics" => args.metrics = true,
             "--addr" => {
                 args.addr = Some(argv.next().ok_or("--addr needs HOST:PORT")?);
@@ -274,6 +295,8 @@ fn run_serve(args: &Args, sink: Option<&Arc<CollectingSink>>) -> Result<(), Stri
             .clone()
             .unwrap_or_else(|| "127.0.0.1:8080".to_string()),
         workers: args.jobs,
+        trace_dir: args.trace_dir.clone().map(std::path::PathBuf::from),
+        slow_threshold: args.slow_ms.map(std::time::Duration::from_millis),
         ..rbd::serve::ServeConfig::default()
     };
     let audit: Option<Arc<dyn rbd::trace::TraceSink>> =
@@ -281,7 +304,9 @@ fn run_serve(args: &Args, sink: Option<&Arc<CollectingSink>>) -> Result<(), Stri
     let server = rbd::serve::Server::bind(config, audit).map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!("rbd serve: listening on {addr} ({} workers)", args.jobs);
-    eprintln!("rbd serve: POST /extract | GET /healthz | GET /metrics | POST /shutdown");
+    eprintln!(
+        "rbd serve: POST /extract | GET /healthz | GET /metrics (Prometheus) | GET /metrics.json | POST /shutdown"
+    );
     let report = server.run();
     eprintln!(
         "rbd serve: drained {} in-flight, {} abandoned, {} worker panics",

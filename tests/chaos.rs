@@ -137,7 +137,7 @@ fn full_pipeline_survives_the_adversarial_corpus() {
     }
     // The whole corpus went through traced code paths; the registry must
     // reflect that, and CI archives the snapshot for trend-watching.
-    assert!(sink.registry().counter("tags_scanned") > 0);
+    assert!(sink.registry().counter("extract_tags_scanned") > 0);
     if let Some(path) = std::env::var_os("RBD_CHAOS_METRICS") {
         let snapshot = sink.registry_snapshot().to_pretty();
         std::fs::write(&path, snapshot.as_bytes())

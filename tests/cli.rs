@@ -182,8 +182,8 @@ fn metrics_flag_prints_snapshot_to_stderr() {
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("--- record "), "{stdout}");
     assert!(stderr.contains("\"counters\""), "{stderr}");
-    assert!(stderr.contains("\"docs_extracted\": 1"), "{stderr}");
-    assert!(stderr.contains("\"tags_scanned\""), "{stderr}");
+    assert!(stderr.contains("\"extract_docs\": 1"), "{stderr}");
+    assert!(stderr.contains("\"extract_tags_scanned\""), "{stderr}");
     assert!(stderr.contains("\"bounds_ns\""), "{stderr}");
 }
 
