@@ -1,0 +1,490 @@
+//! A tiny SQL-ish query-expression language over [`crate::storage`].
+//!
+//! The `rbd query` CLI needs a textual surface for the fluent
+//! [`crate::query::Query`] API. The grammar covers the algebra that layer
+//! already implements — selection, projection, ordering, limits, counts:
+//!
+//! ```text
+//! select <cols | * | count(*)> from <relation>
+//!     [where <col> <op> <value> [and ...]]
+//!     [order by <col> [asc | desc]]
+//!     [limit N]
+//! op := = | contains | < | > | is null | is not null
+//! ```
+//!
+//! Values may be single-quoted (`'Honda Accord'`); `<` and `>` compare
+//! numerically via [`crate::query::parse_number`], matching the 1998-era
+//! report tools the query layer models. Keywords are case-insensitive.
+
+use crate::query::Predicate;
+use crate::storage::Database;
+use std::fmt;
+
+/// What the query projects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    /// `*` — every column of the relation.
+    All,
+    /// `count(*)` — just the matching-row count.
+    Count,
+    /// An explicit column list.
+    Columns(Vec<String>),
+}
+
+/// One parsed query expression.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// Projection clause.
+    pub projection: Projection,
+    /// Target relation name.
+    pub relation: String,
+    /// Conjunction of column predicates from the `where` clause.
+    pub filters: Vec<(String, Predicate)>,
+    /// `order by` column and direction (`true` = ascending).
+    pub order: Option<(String, bool)>,
+    /// `limit` row cap.
+    pub limit: Option<usize>,
+}
+
+/// A parse or execution failure, with a human-oriented message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExprError(pub String);
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ExprError> {
+    Err(ExprError(message.into()))
+}
+
+/// Splits the expression into words, keeping single-quoted strings as one
+/// token (quotes stripped) and separating `=`, `<`, `>`, `(`, `)`, `,`
+/// into their own tokens.
+fn tokenize_expr(input: &str) -> Result<Vec<String>, ExprError> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut chars = input.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                let mut s = String::new();
+                let mut closed = false;
+                for q in chars.by_ref() {
+                    if q == '\'' {
+                        closed = true;
+                        break;
+                    }
+                    s.push(q);
+                }
+                if !closed {
+                    return err("unterminated quoted string");
+                }
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                tokens.push(format!("'{s}"));
+            }
+            c if c.is_whitespace() => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            '=' | '<' | '>' | '(' | ')' | ',' => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                tokens.push(c.to_string());
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    Ok(tokens)
+}
+
+/// `true` when the token is the (case-insensitive) keyword.
+fn is_kw(token: &str, kw: &str) -> bool {
+    token.eq_ignore_ascii_case(kw)
+}
+
+/// A quoted token's payload, or the bare token.
+fn unquote(token: &str) -> &str {
+    token.strip_prefix('\'').unwrap_or(token)
+}
+
+/// Parses one expression.
+///
+/// # Errors
+///
+/// [`ExprError`] with a message naming the offending clause.
+pub fn parse(input: &str) -> Result<Expr, ExprError> {
+    let tokens = tokenize_expr(input)?;
+    let mut pos = 0;
+    let next = |pos: &mut usize| -> Option<&String> {
+        let t = tokens.get(*pos);
+        *pos += 1;
+        t
+    };
+    let Some(first) = next(&mut pos) else {
+        return err("empty expression");
+    };
+    if !is_kw(first, "select") {
+        return err(format!("expected `select`, got `{first}`"));
+    }
+
+    // Projection: `*`, `count ( * )`, or `col [, col ...]`.
+    let projection = match tokens.get(pos) {
+        Some(t) if t == "*" => {
+            pos += 1;
+            Projection::All
+        }
+        Some(t) if is_kw(t, "count") => {
+            pos += 1;
+            let shape: Vec<&str> = tokens
+                .get(pos..pos + 3)
+                .map(|w| w.iter().map(String::as_str).collect())
+                .unwrap_or_default();
+            if shape != ["(", "*", ")"] {
+                return err("`count` must be written `count(*)`");
+            }
+            pos += 3;
+            Projection::Count
+        }
+        Some(_) => {
+            let mut cols = Vec::new();
+            loop {
+                let Some(col) = next(&mut pos) else {
+                    return err("expected a column name in the select list");
+                };
+                if is_kw(col, "from") {
+                    return err("expected a column name before `from`");
+                }
+                cols.push(unquote(col).to_owned());
+                match tokens.get(pos) {
+                    Some(t) if t == "," => pos += 1,
+                    _ => break,
+                }
+            }
+            Projection::Columns(cols)
+        }
+        None => return err("expected a projection after `select`"),
+    };
+
+    match next(&mut pos) {
+        Some(t) if is_kw(t, "from") => {}
+        other => return err(format!("expected `from`, got {other:?}")),
+    }
+    let Some(relation) = next(&mut pos).map(|t| unquote(t).to_owned()) else {
+        return err("expected a relation name after `from`");
+    };
+
+    let mut filters = Vec::new();
+    let mut order = None;
+    let mut limit = None;
+    while let Some(clause) = tokens.get(pos) {
+        if is_kw(clause, "where") {
+            pos += 1;
+            loop {
+                let Some(col) = next(&mut pos).map(|t| unquote(t).to_owned()) else {
+                    return err("expected a column name in `where`");
+                };
+                let Some(op) = next(&mut pos).cloned() else {
+                    return err(format!("expected an operator after `{col}`"));
+                };
+                let predicate = if op == "=" {
+                    let Some(v) = next(&mut pos) else {
+                        return err(format!("expected a value after `{col} =`"));
+                    };
+                    Predicate::Eq(unquote(v).to_owned())
+                } else if is_kw(&op, "contains") {
+                    let Some(v) = next(&mut pos) else {
+                        return err(format!("expected a value after `{col} contains`"));
+                    };
+                    Predicate::Contains(unquote(v).to_owned())
+                } else if op == "<" || op == ">" {
+                    let Some(v) = next(&mut pos) else {
+                        return err(format!("expected a number after `{col} {op}`"));
+                    };
+                    let Ok(n) = unquote(v).parse::<f64>() else {
+                        return err(format!("`{col} {op}` needs a numeric literal, got `{v}`"));
+                    };
+                    if op == "<" {
+                        Predicate::NumLt(n)
+                    } else {
+                        Predicate::NumGt(n)
+                    }
+                } else if is_kw(&op, "is") {
+                    match (tokens.get(pos), tokens.get(pos + 1)) {
+                        (Some(t), _) if is_kw(t, "null") => {
+                            pos += 1;
+                            Predicate::IsNull
+                        }
+                        (Some(t), Some(u)) if is_kw(t, "not") && is_kw(u, "null") => {
+                            pos += 2;
+                            Predicate::NotNull
+                        }
+                        _ => return err(format!("expected `null` or `not null` after `{col} is`")),
+                    }
+                } else {
+                    return err(format!("unknown operator `{op}`"));
+                };
+                filters.push((col, predicate));
+                match tokens.get(pos) {
+                    Some(t) if is_kw(t, "and") => pos += 1,
+                    _ => break,
+                }
+            }
+        } else if is_kw(clause, "order") {
+            pos += 1;
+            match next(&mut pos) {
+                Some(t) if is_kw(t, "by") => {}
+                _ => return err("expected `by` after `order`"),
+            }
+            let Some(col) = next(&mut pos).map(|t| unquote(t).to_owned()) else {
+                return err("expected a column name after `order by`");
+            };
+            let ascending = match tokens.get(pos) {
+                Some(t) if is_kw(t, "desc") => {
+                    pos += 1;
+                    false
+                }
+                Some(t) if is_kw(t, "asc") => {
+                    pos += 1;
+                    true
+                }
+                _ => true,
+            };
+            order = Some((col, ascending));
+        } else if is_kw(clause, "limit") {
+            pos += 1;
+            let Some(n) = next(&mut pos) else {
+                return err("expected a row count after `limit`");
+            };
+            let Ok(n) = n.parse::<usize>() else {
+                return err(format!("`limit` needs a non-negative integer, got `{n}`"));
+            };
+            limit = Some(n);
+        } else {
+            return err(format!("unexpected token `{clause}`"));
+        }
+    }
+
+    Ok(Expr {
+        projection,
+        relation,
+        filters,
+        order,
+        limit,
+    })
+}
+
+/// An executed query's result set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResultSet {
+    /// `count(*)` output.
+    Count(usize),
+    /// Projected rows with their column headers.
+    Rows {
+        /// Column names in projection order.
+        columns: Vec<String>,
+        /// One cell per column per matching row (`None` = NULL).
+        rows: Vec<Vec<Option<String>>>,
+    },
+}
+
+/// Runs a parsed expression against a database.
+///
+/// # Errors
+///
+/// [`ExprError`] when the relation does not exist.
+pub fn run(db: &Database, expr: &Expr) -> Result<ResultSet, ExprError> {
+    let Some(table) = db.table(&expr.relation) else {
+        let known: Vec<&str> = db
+            .tables()
+            .iter()
+            .map(|t| t.relation().name.as_str())
+            .collect();
+        return err(format!(
+            "unknown relation `{}` (have: {})",
+            expr.relation,
+            known.join(", ")
+        ));
+    };
+    let mut query = table.query();
+    for (col, predicate) in &expr.filters {
+        query = query.filter(col, predicate.clone());
+    }
+    if let Some((col, ascending)) = &expr.order {
+        query = query.order_by(col, *ascending);
+    }
+    if let Some(n) = expr.limit {
+        query = query.limit(n);
+    }
+    Ok(match &expr.projection {
+        Projection::Count => ResultSet::Count(query.count()),
+        Projection::All => {
+            let columns: Vec<String> = table
+                .relation()
+                .columns
+                .iter()
+                .map(|c| c.name.clone())
+                .collect();
+            let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+            ResultSet::Rows {
+                rows: query.select(&names),
+                columns,
+            }
+        }
+        Projection::Columns(columns) => {
+            let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+            ResultSet::Rows {
+                rows: query.select(&names),
+                columns: columns.clone(),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbd_ontology::{domains, Scheme};
+
+    fn db() -> Database {
+        let mut db = Database::new(Scheme::from_ontology(&domains::car_ads()));
+        let rows = [
+            ("0", "1995", "Ford", "Taurus", "$6,500"),
+            ("1", "1996", "Honda", "Accord", "$8,900"),
+            ("2", "1997", "Dodge", "Neon", "$7,100"),
+            ("3", "1996", "Honda", "Civic", "$9,900"),
+        ];
+        for (id, year, make, model, price) in rows {
+            db.insert(
+                "CarForSale",
+                vec![
+                    Some(id.into()),
+                    Some(year.into()),
+                    Some(make.into()),
+                    Some(model.into()),
+                    Some(price.into()),
+                    None,
+                    None,
+                    None,
+                ],
+            )
+            .expect("fixture row");
+        }
+        db
+    }
+
+    fn rows_of(r: ResultSet) -> Vec<Vec<Option<String>>> {
+        match r {
+            ResultSet::Rows { rows, .. } => rows,
+            ResultSet::Count(_) => panic!("expected rows"),
+        }
+    }
+
+    #[test]
+    fn select_star_projects_every_column() {
+        let db = db();
+        let expr = parse("select * from CarForSale limit 1").expect("parse");
+        let ResultSet::Rows { columns, rows } = run(&db, &expr).expect("run") else {
+            panic!("expected rows");
+        };
+        assert_eq!(columns[0], "record_id");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), columns.len());
+    }
+
+    #[test]
+    fn where_equality_and_projection() {
+        let db = db();
+        let expr = parse("select Model from CarForSale where Make = 'Honda'").expect("parse");
+        let rows = rows_of(run(&db, &expr).expect("run"));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0].as_deref(), Some("Accord"));
+    }
+
+    #[test]
+    fn numeric_comparison_and_conjunction() {
+        let db = db();
+        let expr = parse("select Model from CarForSale where Price < 8000 and Year > 1995")
+            .expect("parse");
+        let rows = rows_of(run(&db, &expr).expect("run"));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].as_deref(), Some("Neon"));
+    }
+
+    #[test]
+    fn contains_order_and_limit() {
+        let db = db();
+        let expr = parse(
+            "select Model from CarForSale where Make contains 'hon' order by Model desc limit 1",
+        )
+        .expect("parse");
+        let rows = rows_of(run(&db, &expr).expect("run"));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].as_deref(), Some("Civic"));
+    }
+
+    #[test]
+    fn null_predicates() {
+        let db = db();
+        let count = |s: &str| match run(&db, &parse(s).expect("parse")).expect("run") {
+            ResultSet::Count(n) => n,
+            ResultSet::Rows { .. } => panic!("expected count"),
+        };
+        assert_eq!(
+            count("select count(*) from CarForSale where Mileage is null"),
+            4
+        );
+        assert_eq!(
+            count("select count(*) from CarForSale where Mileage is not null"),
+            0
+        );
+    }
+
+    #[test]
+    fn count_star() {
+        let db = db();
+        let expr = parse("SELECT COUNT(*) FROM CarForSale WHERE Make = 'Honda'").expect("parse");
+        assert_eq!(run(&db, &expr).expect("run"), ResultSet::Count(2));
+    }
+
+    #[test]
+    fn quoted_values_keep_spaces() {
+        let expr = parse("select * from t where a = 'two words'").expect("parse");
+        assert!(matches!(
+            &expr.filters[0].1,
+            Predicate::Eq(v) if v == "two words"
+        ));
+    }
+
+    #[test]
+    fn parse_errors_name_the_clause() {
+        let msg = |s: &str| parse(s).expect_err("should fail").0;
+        assert!(msg("delete from t").contains("expected `select`"));
+        assert!(msg("select * from").contains("relation name"));
+        assert!(msg("select * from t where a ~ 1").contains("unknown operator"));
+        assert!(msg("select * from t where a < x").contains("numeric literal"));
+        assert!(msg("select * from t limit many").contains("non-negative integer"));
+        assert!(msg("select * from t where a = 'open").contains("unterminated"));
+        assert!(msg("select count(x) from t").contains("count(*)"));
+    }
+
+    #[test]
+    fn unknown_relation_lists_the_known_ones() {
+        let db = db();
+        let expr = parse("select * from Nope").expect("parse");
+        let err = run(&db, &expr).expect_err("should fail");
+        assert!(err.0.contains("unknown relation `Nope`"), "{err}");
+        assert!(err.0.contains("CarForSale"), "{err}");
+    }
+}

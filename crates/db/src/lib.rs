@@ -35,10 +35,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod expr;
 pub mod generate;
 pub mod query;
 pub mod storage;
 
+pub use expr::{Expr, ExprError, Projection, ResultSet};
 pub use generate::InstanceGenerator;
 pub use query::{join, parse_number, Predicate, Query};
 pub use storage::{Database, DbError, Row, Table};

@@ -1,0 +1,28 @@
+//! Clean fixture (persistence tier): every file write is paired with a
+//! `sync_data` in the same function — the centralized write-and-sync shape
+//! `crates/store`'s log follows. The `OpenOptions::write(true)` mode flag
+//! is configuration, not a data write, and must not trip the rule.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+fn open_log(path: &Path) -> std::io::Result<File> {
+    OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)
+}
+
+fn write_and_sync(file: &mut File, offset: u64, bytes: &[u8]) -> std::io::Result<()> {
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(bytes)?;
+    file.sync_data()?;
+    Ok(())
+}
+
+fn commit(file: &mut File, end: u64, frame: &[u8]) -> std::io::Result<()> {
+    write_and_sync(file, end, frame)
+}

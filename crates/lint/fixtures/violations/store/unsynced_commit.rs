@@ -1,0 +1,13 @@
+//! Violation fixture (persistence tier): a commit-path write inside a
+//! `store` path with no `sync_all`/`sync_data` in the same function. Must
+//! deny — the caller sees `Ok`, then the buffered frame evaporates when
+//! power drops before the kernel flushes, leaving a torn tail the recovery
+//! scan has to guess about.
+
+use std::fs::File;
+use std::io::Write;
+
+fn append_frame(file: &mut File, frame: &[u8]) -> std::io::Result<()> {
+    file.write_all(frame)?;
+    Ok(())
+}

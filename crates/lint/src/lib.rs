@@ -17,6 +17,8 @@
 //! | `lock-order` | a second lock acquired while another's guard is live, outside any declared canonical order | deny | deny |
 //! | `guard-across-blocking` | a live lock guard spanning `Condvar::wait` on another lock, channel `send`/`recv`, `join()`, or `thread::sleep` | deny | deny |
 //! | `swallowed-error` | `let _ = call(...)` / trailing `.ok();` discarding a `Result` in library code with no adjacent trace | deny | deny |
+//! | `metric-name` | counter/histogram literals that are not snake_case with a `serve_`/`pipeline_`/`extract_`/`trace_`/`store_` prefix | deny | deny |
+//! | `store-durability` | a file write in `store` paths whose function never calls `sync_all`/`sync_data` — an unsynced write is a torn-tail crash window | deny | deny |
 //!
 //! The first block of rules is lexical; the last three are *structural*:
 //! they run on a typed token stream ([`tokens::Model`]) with a

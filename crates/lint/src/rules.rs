@@ -58,10 +58,17 @@ pub enum Rule {
     SwallowedError,
     /// A string literal registered as a counter/histogram name
     /// (`.add("…", n)` / `.observe("…", v)`) that is not snake_case over
-    /// `[a-z0-9_]` with a `serve_`/`pipeline_`/`extract_`/`trace_`
+    /// `[a-z0-9_]` with a `serve_`/`pipeline_`/`extract_`/`trace_`/`store_`
     /// subsystem prefix — the metric namespace dashboards scrape must stay
     /// uniform.
     MetricName,
+    /// In persistence code (any path with a `store` component): a function
+    /// that writes to a file (`.write(` / `.write_all(`) without also
+    /// naming `sync_all` or `sync_data` in its body. An unsynced write on
+    /// the commit path is a torn-tail crash window — the data can be
+    /// acknowledged, then lost or half-written when power drops before the
+    /// kernel flushes.
+    StoreDurability,
 }
 
 impl Rule {
@@ -80,11 +87,12 @@ impl Rule {
             Rule::GuardAcrossBlocking => "guard-across-blocking",
             Rule::SwallowedError => "swallowed-error",
             Rule::MetricName => "metric-name",
+            Rule::StoreDurability => "store-durability",
         }
     }
 
     /// All rules an allow directive may name.
-    pub fn all() -> [Rule; 11] {
+    pub fn all() -> [Rule; 12] {
         [
             Rule::Panic,
             Rule::Cast,
@@ -97,6 +105,7 @@ impl Rule {
             Rule::GuardAcrossBlocking,
             Rule::SwallowedError,
             Rule::MetricName,
+            Rule::StoreDurability,
         ]
     }
 }
@@ -154,7 +163,8 @@ impl Tier {
                 | Rule::LockOrder
                 | Rule::GuardAcrossBlocking
                 | Rule::SwallowedError
-                | Rule::MetricName,
+                | Rule::MetricName
+                | Rule::StoreDurability,
                 _,
             ) => Severity::Deny,
             (_, Tier::Hot) => Severity::Deny,
@@ -238,6 +248,7 @@ pub fn lint_source_report(path: &Path, source: &str, tier: Tier, is_crate_root: 
     check_observability(path, &analysis, &model, &mut findings);
     check_concurrency(path, &analysis, &model, &mut findings);
     check_metric_name(path, &analysis, &model, source, &mut findings);
+    check_store_durability(path, &analysis, &model, &mut findings);
     crate::flow::check_flow(path, &analysis, &model, tier, &mut findings);
     check_allow_directives(path, &analysis, &mut findings);
 
@@ -259,6 +270,7 @@ pub fn lint_source_report(path: &Path, source: &str, tier: Tier, is_crate_root: 
                 | Rule::GuardAcrossBlocking
                 | Rule::SwallowedError
                 | Rule::MetricName
+                | Rule::StoreDurability
         ) && analysis.is_test_line(f.line);
         !test_exempt && !analysis.is_allowed(f.rule.name(), f.line)
     });
@@ -778,7 +790,7 @@ fn check_accept_timeouts(path: &Path, a: &Analysis, m: &Model<'_>, findings: &mu
 }
 
 /// The prefixes that partition the metric namespace by subsystem.
-const METRIC_PREFIXES: [&str; 4] = ["serve_", "pipeline_", "extract_", "trace_"];
+const METRIC_PREFIXES: [&str; 5] = ["serve_", "pipeline_", "extract_", "trace_", "store_"];
 
 /// Metric-name hygiene: a string literal registered as a counter or
 /// histogram — the first argument of an `.add(` or `.observe(` call —
@@ -833,8 +845,56 @@ fn check_metric_name(
                 Severity::Deny,
                 format!(
                     "metric name {raw} must be snake_case over [a-z0-9_] with a \
-                     `serve_`/`pipeline_`/`extract_`/`trace_` prefix; dashboards and \
-                     alerts depend on one uniform namespace"
+                     `serve_`/`pipeline_`/`extract_`/`trace_`/`store_` prefix; \
+                     dashboards and alerts depend on one uniform namespace"
+                ),
+            );
+        }
+    }
+}
+
+/// Durability discipline for persistence code: in any file whose path has a
+/// `store` component, a function that performs a file write (`.write(` or
+/// `.write_all(` as a method call) must also name `sync_all` or `sync_data`
+/// somewhere in its body — directly or through the helper it delegates to.
+/// A write the kernel has buffered but not flushed is a torn-tail crash
+/// window: the caller sees `Ok`, the bytes evaporate on power loss. The
+/// store crate satisfies this by routing every write through one
+/// `write_and_sync` helper; the rule keeps future writes on that path.
+fn check_store_durability(path: &Path, a: &Analysis, m: &Model<'_>, findings: &mut Vec<Finding>) {
+    if !path.components().any(|c| c.as_os_str() == "store") {
+        return;
+    }
+    for f in &m.fns {
+        let body = f.body_open + 1..f.body_close;
+        let write_at = body.clone().find(|&k| {
+            (m.is_ident(k, "write_all") || m.is_ident(k, "write"))
+                && m.is_punct(k + 1, "(")
+                && k.checked_sub(1).is_some_and(|p| m.is_punct(p, "."))
+                // `.write(true)` / `.write(false)` is an `OpenOptions` mode
+                // flag, not a data write.
+                && !((m.is_ident(k + 2, "true") || m.is_ident(k + 2, "false"))
+                    && m.is_punct(k + 3, ")"))
+        });
+        let Some(write_at) = write_at else {
+            continue;
+        };
+        let synced = body
+            .clone()
+            .any(|k| m.is_ident(k, "sync_all") || m.is_ident(k, "sync_data"));
+        if !synced {
+            push(
+                findings,
+                path,
+                a.line_of(m.start(write_at)),
+                Rule::StoreDurability,
+                Severity::Deny,
+                format!(
+                    "`{}` writes to a file but never calls `sync_all`/`sync_data`; \
+                     an unsynced write is lost on crash after the caller saw Ok — \
+                     route the write through the store's write-and-sync helper or \
+                     justify with allow(store-durability)",
+                    f.name
                 ),
             );
         }
@@ -1157,7 +1217,7 @@ mod tests {
 
     #[test]
     fn new_rule_names_accepted_in_allows() {
-        let src = "fn f() {} // rbd-lint: allow(lock-order, guard-across-blocking, swallowed-error) — names resolve\n";
+        let src = "fn f() {} // rbd-lint: allow(lock-order, guard-across-blocking, swallowed-error, store-durability) — names resolve\n";
         assert!(lint(src).is_empty(), "{:?}", lint(src));
     }
 
@@ -1520,6 +1580,111 @@ mod tests {
         assert_eq!(
             f.first().map(|x| (x.rule, x.severity)),
             Some((Rule::MetricName, Severity::Deny))
+        );
+    }
+
+    #[test]
+    fn store_prefixed_metric_names_pass() {
+        let src = "fn f(s: &dyn TraceSink) {\n    s.add(\"store_cache_hits\", 1);\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    // --- store-durability rule ---
+
+    fn lint_store(src: &str) -> Vec<Finding> {
+        lint_source(
+            Path::new("crates/store/src/log.rs"),
+            src,
+            Tier::Library,
+            false,
+        )
+    }
+
+    #[test]
+    fn unsynced_write_flagged_in_store_paths() {
+        let src = "fn f(file: &mut std::fs::File, buf: &[u8]) -> std::io::Result<()> {\n    use std::io::Write;\n    file.write_all(buf)?;\n    Ok(())\n}\n";
+        let findings = lint_store(src);
+        assert_eq!(rules_of(&findings), vec![Rule::StoreDurability]);
+        assert_eq!(findings.first().map(|x| x.severity), Some(Severity::Deny));
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("sync_all") && f.message.contains("`f`")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn bare_write_without_sync_also_flagged() {
+        let src = "fn f(file: &mut std::fs::File, buf: &[u8]) -> std::io::Result<usize> {\n    use std::io::Write;\n    file.write(buf)\n}\n";
+        assert_eq!(rules_of(&lint_store(src)), vec![Rule::StoreDurability]);
+    }
+
+    #[test]
+    fn write_followed_by_sync_is_clean() {
+        let src = "fn f(file: &mut std::fs::File, buf: &[u8]) -> std::io::Result<()> {\n    use std::io::Write;\n    file.write_all(buf)?;\n    file.sync_data()?;\n    Ok(())\n}\n";
+        let findings = lint_store(src);
+        assert!(
+            !findings.iter().any(|f| f.rule == Rule::StoreDurability),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn delegating_to_a_sync_helper_is_clean() {
+        // Callers that route bytes through the store's centralized
+        // write-and-sync helper never touch `.write(` themselves, so the
+        // rule sees only the helper — which names the sync call.
+        let src = "fn commit(s: &mut Store, buf: &[u8]) -> std::io::Result<()> {\n    s.write_and_sync(0, buf)\n}\n";
+        let findings = lint_store(src);
+        assert!(
+            !findings.iter().any(|f| f.rule == Rule::StoreDurability),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn open_options_write_flag_is_not_a_data_write() {
+        let src = "fn f(p: &std::path::Path) -> std::io::Result<std::fs::File> {\n    std::fs::OpenOptions::new().read(true).write(true).create(true).open(p)\n}\n";
+        let findings = lint_store(src);
+        assert!(
+            !findings.iter().any(|f| f.rule == Rule::StoreDurability),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn store_durability_only_applies_under_store_paths() {
+        let src = "fn f(file: &mut std::fs::File, buf: &[u8]) -> std::io::Result<()> {\n    use std::io::Write;\n    file.write_all(buf)?;\n    Ok(())\n}\n";
+        let findings = lint_source(
+            Path::new("crates/trace/src/export.rs"),
+            src,
+            Tier::Library,
+            false,
+        );
+        assert!(
+            !findings.iter().any(|f| f.rule == Rule::StoreDurability),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn store_durability_exempts_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        use std::io::Write;\n        let mut f = std::fs::File::create(\"x\").unwrap();\n        f.write_all(b\"y\").unwrap();\n    }\n}\n";
+        let findings = lint_store(src);
+        assert!(
+            !findings.iter().any(|f| f.rule == Rule::StoreDurability),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn justified_allow_suppresses_store_durability() {
+        let src = "fn f(file: &mut std::fs::File, buf: &[u8]) -> std::io::Result<()> {\n    use std::io::Write;\n    // rbd-lint: allow(store-durability) — scratch temp file, synced by the caller on rename\n    file.write_all(buf)?;\n    Ok(())\n}\n";
+        let findings = lint_store(src);
+        assert!(
+            !findings.iter().any(|f| f.rule == Rule::StoreDurability),
+            "{findings:?}"
         );
     }
 }

@@ -235,6 +235,17 @@ fn metric_name_prefixed_fixture_is_clean() {
     assert!(findings.is_empty(), "{findings:?}");
 }
 
+#[test]
+fn store_unsynced_commit_fixture_denies() {
+    assert_denies("violations/store/unsynced_commit.rs", Rule::StoreDurability);
+}
+
+#[test]
+fn store_synced_commit_fixture_is_clean() {
+    let findings = lint_path(&fixture("clean/store/synced_commit.rs")).expect("fixture readable");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
 /// The linter passes over itself at the strict tier — the same check CI
 /// runs as the `lint-self` job.
 #[test]

@@ -26,7 +26,11 @@
 //!   document results **sorted by `doc_id`**: a concurrent batch is
 //!   byte-identical to a serial sweep over the same inputs (given
 //!   deterministic per-document limits), which the threaded arm of the
-//!   chaos suite asserts end to end.
+//!   chaos suite asserts end to end. [`cached::run_batch_stored`] layers
+//!   the persistent extraction cache (`rbd-store`, DESIGN.md §14) over
+//!   the same pool: workers hash first and only extract on a cache miss,
+//!   fresh results commit to the store in one crash-safe batch, and each
+//!   result reports its [`CacheStatus`].
 //!
 //! This crate is the only place in the workspace allowed to spawn
 //! threads; the `concurrency` lint rule keeps it that way.
@@ -54,11 +58,13 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cached;
 pub mod channel;
 pub mod deque;
 pub mod pool;
 
 pub use batch::{run_batch, BatchConfig, BatchError, BatchReport, BatchResult};
+pub use cached::{run_batch_stored, CacheStatus, CachedBatchReport, CachedResult};
 pub use channel::{Bounded, RecvTimeout, TrySendError};
 pub use deque::WorkerDeque;
 pub use pool::{

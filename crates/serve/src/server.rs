@@ -37,6 +37,7 @@ use rbd_core::{DiscoveryError, Extraction, ExtractorConfig, Limits, Record, Reco
 use rbd_json::Json;
 use rbd_limits::Deadline;
 use rbd_pipeline::{Admission, Pool, PoolConfig, PoolError, ShedMode, ShedPolicy, TrySubmitError};
+use rbd_store::{ContentHash, Store, StoredDoc};
 use rbd_trace::{
     export, unix_micros, MetricsSink, NullSink, RegistrySnapshot, RollingWindows, ScopedSink,
     ServerEvent, SlowCapture, SlowLog, SpanId, SpanRecord, TraceEvent, TraceId, TraceSink,
@@ -99,6 +100,12 @@ pub struct ServeConfig {
     /// Requests at or over this latency get their full span tree and
     /// audit events kept in the bounded slow log. `None` disables capture.
     pub slow_threshold: Option<Duration>,
+    /// When set, the persistent record store at this path backs
+    /// `POST /extract` as a content-hash cache (DESIGN.md §14): a request
+    /// body whose SHA-256 is already committed is answered from disk
+    /// without running extraction, and fresh default-profile extractions
+    /// are committed back. Responses carry `x-rbd-cache: hit|miss`.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +127,7 @@ impl Default for ServeConfig {
             retry_after_s: 1,
             trace_dir: None,
             slow_threshold: None,
+            store: None,
         }
     }
 }
@@ -133,6 +141,9 @@ pub enum ServeError {
     Pool(PoolError),
     /// Building the extraction profiles failed (ontology/pattern errors).
     Extractor(String),
+    /// The persistent record store could not be opened (I/O failure or a
+    /// corrupt file the recovery scan refused).
+    Store(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -141,6 +152,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Bind(e) => write!(f, "bind failed: {e}"),
             ServeError::Pool(e) => write!(f, "worker pool failed: {e}"),
             ServeError::Extractor(e) => write!(f, "extractor setup failed: {e}"),
+            ServeError::Store(e) => write!(f, "record store failed to open: {e}"),
         }
     }
 }
@@ -186,6 +198,11 @@ struct Profiles {
 /// State shared between the accept loop and every worker.
 struct Ctx {
     profiles: Profiles,
+    /// The persistent extraction cache, when `rbd serve --store` asked
+    /// for one. The mutex guards single-writer access to the append-only
+    /// log; hit lookups are two reads (index probe + one frame), so the
+    /// critical section stays tiny compared to an extraction.
+    store: Option<Mutex<Store>>,
     metrics: Arc<MetricsSink>,
     audit: Arc<dyn TraceSink>,
     windows: RollingWindows,
@@ -454,8 +471,15 @@ impl Server {
             std::fs::create_dir_all(dir)
                 .map_err(|e| ServeError::Bind(format!("trace dir {}: {e}", dir.display())))?;
         }
+        let store = match &config.store {
+            Some(path) => Some(Mutex::new(
+                Store::open(path).map_err(|e| ServeError::Store(e.to_string()))?,
+            )),
+            None => None,
+        };
         let ctx = Arc::new(Ctx {
             profiles,
+            store,
             metrics: Arc::clone(&metrics),
             audit: audit.unwrap_or_else(|| Arc::new(NullSink)),
             windows: RollingWindows::new(),
@@ -860,6 +884,18 @@ fn extract(ctx: &Ctx, rt: &RequestTrace, request: &Request, admission: Admission
             error_json("encoding", "request body is not valid UTF-8"),
         );
     };
+    // The cache only speaks for the default limits profile: a strict or
+    // unbounded extraction of the same bytes can legitimately differ, so
+    // those requests bypass the store in both directions.
+    let cacheable = ctx.store.is_some()
+        && matches!(admission, Admission::Normal)
+        && matches!(request.header("x-rbd-limits"), None | Some("default"));
+    if cacheable {
+        if let Some(body) = store_lookup(ctx, rt, html) {
+            ctx.metrics.add("serve_requests_ok", 1);
+            return Response::json(200, "OK", body).with_header("x-rbd-cache", "hit".to_string());
+        }
+    }
     let extractor = profile_for(ctx, request, admission);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if rt.collecting {
@@ -891,8 +927,83 @@ fn extract(ctx: &Ctx, rt: &RequestTrace, request: &Request, admission: Admission
         }
         Ok(Ok(extraction)) => {
             ctx.metrics.add("serve_requests_ok", 1);
-            Response::json(200, "OK", extraction_response_json(&extraction).to_string())
+            let response =
+                Response::json(200, "OK", extraction_response_json(&extraction).to_string());
+            if cacheable {
+                store_insert(ctx, html, &extraction);
+                response.with_header("x-rbd-cache", "miss".to_string())
+            } else {
+                response
+            }
         }
+    }
+}
+
+/// Consults the persistent store for `html`'s content hash. On a hit the
+/// stored response body comes back (byte-identical to what a fresh
+/// extraction would serialize — `StoredDoc::response_json` is pinned to
+/// [`extraction_response_json`]'s shape) and the lookup is recorded as a
+/// `serve:cache_hit` span in the request's trace tree. A read failure on
+/// a committed frame degrades to a miss with a typed counter; it never
+/// fails the request.
+fn store_lookup(ctx: &Ctx, rt: &RequestTrace, html: &str) -> Option<String> {
+    let store = ctx.store.as_ref()?;
+    let started = Instant::now();
+    let started_us = unix_micros();
+    let hash = ContentHash::of(html.as_bytes());
+    let looked_up = {
+        // The hit layer memoizes the parsed doc and serialized response,
+        // so the steady-state critical section is one map lookup.
+        let mut guard = store.lock().unwrap_or_else(PoisonError::into_inner);
+        if guard.contains(&hash) {
+            Some(guard.hit(&hash))
+        } else {
+            None
+        }
+    };
+    let hit = matches!(&looked_up, Some(Ok(Some(_))));
+    rt.event(TraceEvent::Server(ServerEvent::CacheLookup {
+        hash: hash.to_hex(),
+        hit,
+    }));
+    match looked_up {
+        Some(Ok(Some(stored))) => {
+            ctx.metrics.add("store_cache_hits", 1);
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            rt.span(SpanRecord {
+                name: "serve:cache_hit",
+                nanos,
+                trace: rt.trace,
+                span: SpanId::next(),
+                parent: Some(rt.worker),
+                start_us: started_us,
+            });
+            Some(stored.response.clone())
+        }
+        Some(Err(_)) => {
+            ctx.metrics.add("store_read_errors", 1);
+            ctx.metrics.add("store_cache_misses", 1);
+            None
+        }
+        Some(Ok(None)) | None => {
+            ctx.metrics.add("store_cache_misses", 1);
+            None
+        }
+    }
+}
+
+/// Commits a fresh extraction to the store so the next request for the
+/// same bytes hits. A commit failure loses only the cache entry — the
+/// response already in flight is unaffected — and is counted.
+fn store_insert(ctx: &Ctx, html: &str, extraction: &Extraction) {
+    let Some(store) = ctx.store.as_ref() else {
+        return;
+    };
+    let hash = ContentHash::of(html.as_bytes());
+    let doc = StoredDoc::from_extraction(hash, None, extraction);
+    let mut guard = store.lock().unwrap_or_else(PoisonError::into_inner);
+    if guard.append_batch(std::slice::from_ref(&doc)).is_err() {
+        ctx.metrics.add("store_write_errors", 1);
     }
 }
 
@@ -1257,6 +1368,94 @@ mod tests {
             }
             assert_eq!(cursor.span, root, "{span:?} must root at serve:request");
         }
+    }
+
+    #[test]
+    fn store_backed_extract_hits_byte_identical_with_cache_span() {
+        use rbd_trace::CollectingSink;
+        let store_path =
+            std::env::temp_dir().join(format!("rbd-serve-store-test-{}.rbd", std::process::id()));
+        let _ = std::fs::remove_file(&store_path);
+        let audit = Arc::new(CollectingSink::new());
+        let (addr, handle, join) = start_with(
+            ServeConfig {
+                workers: 1,
+                store: Some(store_path.clone()),
+                ..ServeConfig::default()
+            },
+            Some(Arc::clone(&audit) as Arc<dyn TraceSink>),
+        );
+        let html = "<html><body>\
+                    <h2>A</h2><p>alpha</p>\
+                    <h2>B</h2><p>beta</p>\
+                    <h2>C</h2><p>gamma</p>\
+                    </body></html>";
+        let miss = post_extract(addr, html);
+        assert!(miss.starts_with("HTTP/1.1 200 OK\r\n"), "{miss}");
+        assert!(miss.contains("x-rbd-cache: miss\r\n"), "{miss}");
+        let hit = post_extract(addr, html);
+        assert!(hit.starts_with("HTTP/1.1 200 OK\r\n"), "{hit}");
+        assert!(hit.contains("x-rbd-cache: hit\r\n"), "{hit}");
+        // The cache hit serves a byte-identical body.
+        let body_of = |response: &str| {
+            response
+                .split_once("\r\n\r\n")
+                .map(|(_, b)| b.to_string())
+                .expect("body")
+        };
+        assert_eq!(body_of(&miss), body_of(&hit), "hit must match fresh bytes");
+
+        // A changed byte busts the cache.
+        let mutated = html.replacen("alpha", "alphb", 1);
+        let fresh = post_extract(addr, &mutated);
+        assert!(fresh.contains("x-rbd-cache: miss\r\n"), "{fresh}");
+
+        // Strict-profile requests bypass the cache in both directions.
+        let raw = format!(
+            "POST /extract HTTP/1.1\r\nx-rbd-limits: strict\r\nContent-Length: {}\r\n\r\n{html}",
+            html.len()
+        );
+        let strict = talk(addr, raw.as_bytes());
+        assert!(strict.starts_with("HTTP/1.1 200 OK\r\n"), "{strict}");
+        assert!(!strict.contains("x-rbd-cache:"), "{strict}");
+
+        handle.trigger();
+        let report = join.join().expect("server thread");
+        assert_eq!(report.metrics.counters.get("store_cache_hits"), Some(&1));
+        assert_eq!(report.metrics.counters.get("store_cache_misses"), Some(&2));
+
+        // The hit's trace tree carries the serve:cache_hit span, parented
+        // under its request's worker span.
+        let spans = audit.spans();
+        let cache_span = spans
+            .iter()
+            .find(|s| s.name == "serve:cache_hit")
+            .unwrap_or_else(|| panic!("no serve:cache_hit span: {spans:?}"));
+        let worker = spans
+            .iter()
+            .find(|s| s.trace == cache_span.trace && s.name == "serve:worker")
+            .expect("worker span in the hit's trace");
+        assert_eq!(cache_span.parent, Some(worker.span));
+        // And the audit trail records the lookup decision itself.
+        let lookups: Vec<String> = audit
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Server(ServerEvent::CacheLookup { hit, .. }) => Some(hit.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lookups, ["false", "true", "false"], "{lookups:?}");
+
+        // The store file survives the server: reopen and find the docs.
+        let mut store = rbd_store::Store::open(&store_path).expect("reopen");
+        assert_eq!(store.len(), 2, "two distinct documents committed");
+        let stored = store
+            .get(&rbd_store::ContentHash::of(html.as_bytes()))
+            .expect("read")
+            .expect("present");
+        assert_eq!(stored.response_json().to_string(), body_of(&hit));
+        let _ = std::fs::remove_file(&store_path);
     }
 
     #[test]

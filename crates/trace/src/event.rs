@@ -109,6 +109,15 @@ pub enum ServerEvent {
         /// How long the drain took, in milliseconds.
         elapsed_ms: u64,
     },
+    /// The persistent store was consulted for a request body's content
+    /// hash — the extraction cache of DESIGN.md §14.
+    CacheLookup {
+        /// Hex content hash of the request body.
+        hash: String,
+        /// `true` when the stored extraction was served without running
+        /// the pipeline.
+        hit: bool,
+    },
 }
 
 impl ServerEvent {
@@ -123,6 +132,7 @@ impl ServerEvent {
             ServerEvent::Deadline { .. } => "server_deadline",
             ServerEvent::WorkerPanic { .. } => "server_worker_panic",
             ServerEvent::Drained { .. } => "server_drained",
+            ServerEvent::CacheLookup { .. } => "server_cache_lookup",
         }
     }
 
@@ -154,6 +164,10 @@ impl ServerEvent {
                 members.push(("drained", Json::UInt(*drained as u64)));
                 members.push(("abandoned", Json::UInt(*abandoned as u64)));
                 members.push(("elapsed_ms", Json::UInt(*elapsed_ms)));
+            }
+            ServerEvent::CacheLookup { hash, hit } => {
+                members.push(("hash", Json::Str(hash.clone())));
+                members.push(("hit", Json::Bool(*hit)));
             }
         }
     }
@@ -508,6 +522,10 @@ mod tests {
                 abandoned: 0,
                 elapsed_ms: 0,
             }),
+            TraceEvent::Server(ServerEvent::CacheLookup {
+                hash: String::new(),
+                hit: false,
+            }),
         ];
         let mut kinds: Vec<_> = events.iter().map(TraceEvent::kind).collect();
         kinds.sort_unstable();
@@ -555,6 +573,16 @@ mod tests {
         assert_eq!(
             json,
             r#"{"type":"server_deadline","phase":"read","elapsed_ms":5000}"#
+        );
+        let json = TraceEvent::Server(ServerEvent::CacheLookup {
+            hash: "ab12".into(),
+            hit: true,
+        })
+        .to_json()
+        .to_compact();
+        assert_eq!(
+            json,
+            r#"{"type":"server_cache_lookup","hash":"ab12","hit":true}"#
         );
     }
 

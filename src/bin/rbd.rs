@@ -6,7 +6,8 @@
 //! rbd pipeline [FILE] --ontology NAME|--ontology-file PATH   [--json]
 //! rbd check    [FILE] [--ontology NAME|--ontology-file PATH]
 //! rbd tree     [FILE]
-//! rbd batch    FILE... [--jobs N] [--json]
+//! rbd batch    FILE... [--jobs N] [--json] [--store FILE]
+//! rbd query    STORE EXPR...
 //! ```
 //!
 //! `FILE` defaults to standard input (except `batch`, which takes one or
@@ -35,9 +36,10 @@ usage: rbd <discover|extract|pipeline|check|tree> [FILE]
            [--ontology obituary|car-ad|job-ad|course]
            [--ontology-file PATH] [--json] [--xml]
            [--trace PATH] [--metrics]
-       rbd batch FILE... [--jobs N] [--json] [--metrics]
+       rbd batch FILE... [--jobs N] [--json] [--metrics] [--store FILE]
        rbd serve [--addr HOST:PORT | --port N] [--jobs N] [--metrics]
-                 [--trace-dir DIR] [--slow-ms N]
+                 [--trace-dir DIR] [--slow-ms N] [--store FILE]
+       rbd query STORE EXPR...
 
 Reads HTML from FILE (or stdin) and:
   discover   print the consensus record separator and heuristic rankings
@@ -50,6 +52,16 @@ Reads HTML from FILE (or stdin) and:
   serve      run the long-lived extraction service (default 127.0.0.1:8080)
              on --jobs workers: POST /extract, GET /healthz, GET /metrics,
              POST /shutdown; drains gracefully on shutdown
+  query      run a select expression over a persisted record store, e.g.
+             rbd query out.rbd \"select * from records where separator = 'hr'\"
+             (relations: records, record_texts; also count(*), order by,
+             limit, contains, < >, is [not] null)
+
+Persistence:
+  --store FILE  (batch, serve) open FILE as the crash-safe record store
+                and use it as a content-hash extraction cache: documents
+                whose bytes are already committed are served from disk
+                (cache hit) and fresh extractions are committed back
 
 Observability:
   --trace PATH  write the decision audit trail (events, spans, metrics)
@@ -75,6 +87,7 @@ struct Args {
     slow_ms: Option<u64>,
     metrics: bool,
     addr: Option<String>,
+    store: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -96,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
         slow_ms: None,
         metrics: false,
         addr: None,
+        store: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -134,6 +148,7 @@ fn parse_args() -> Result<Args, String> {
                     })?);
             }
             "--metrics" => args.metrics = true,
+            "--store" => args.store = Some(argv.next().ok_or("--store needs a file path")?),
             "--addr" => {
                 args.addr = Some(argv.next().ok_or("--addr needs HOST:PORT")?);
             }
@@ -153,11 +168,13 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("--jobs needs a positive integer, got `{n}`"))?;
             }
             other if !other.starts_with('-') => {
-                if args.files.is_empty() || args.command == "batch" {
+                // `batch` takes many files; `query` takes a store path
+                // followed by the (possibly unquoted) expression words.
+                if args.files.is_empty() || matches!(args.command.as_str(), "batch" | "query") {
                     args.files.push(other.to_owned());
                 } else {
                     return Err(format!(
-                        "only `batch` accepts multiple FILE arguments (second was `{other}`)"
+                        "only `batch` and `query` accept multiple arguments (second was `{other}`)"
                     ));
                 }
             }
@@ -242,6 +259,17 @@ fn run_batch_files(
         None => Arc::new(rbd::trace::NullSink),
     };
     let config = rbd::pipeline::BatchConfig::with_jobs(args.jobs);
+    if let Some(store_path) = &args.store {
+        return run_batch_files_stored(
+            args,
+            extractor,
+            &config,
+            &trace_sink,
+            store_path,
+            docs,
+            out,
+        );
+    }
     let report = rbd::pipeline::run_batch(extractor, docs, &config, &trace_sink)
         .map_err(|e| e.to_string())?;
 
@@ -286,6 +314,140 @@ fn run_batch_files(
     Ok(report.metrics)
 }
 
+/// The `rbd batch --store FILE` arm: same per-document output contract as
+/// a plain batch, plus a `cache` field (`hit`/`miss`) on every entry and
+/// typed `store_error` objects when a committed frame failed to read back.
+fn run_batch_files_stored(
+    args: &Args,
+    extractor: &RecordExtractor,
+    config: &rbd::pipeline::BatchConfig,
+    trace_sink: &Arc<dyn rbd::trace::TraceSink>,
+    store_path: &str,
+    docs: Vec<(u64, String)>,
+    out: &mut String,
+) -> Result<rbd::trace::RegistrySnapshot, String> {
+    let mut store = rbd::store::Store::open(store_path)
+        .map_err(|e| format!("cannot open store {store_path}: {e}"))?;
+    let docs: Vec<(u64, Option<String>, String)> = docs
+        .into_iter()
+        .map(|(id, html)| {
+            let source = args
+                .files
+                .get(usize::try_from(id).unwrap_or(usize::MAX))
+                .cloned();
+            (id, source, html)
+        })
+        .collect();
+    let report = rbd::pipeline::run_batch_stored(extractor, docs, config, trace_sink, &mut store)
+        .map_err(|e| e.to_string())?;
+    if let Some(e) = &report.write_error {
+        eprintln!(
+            "warning: store commit to {store_path} failed ({e}); results are complete but uncached"
+        );
+    }
+
+    let mut lines = Vec::with_capacity(report.results.len());
+    for result in &report.results {
+        let path = args
+            .files
+            .get(usize::try_from(result.doc_id).unwrap_or(usize::MAX))
+            .map_or("?", String::as_str);
+        lines.push(if args.json {
+            rbd::report::cached_batch_entry_json(path, result).to_string()
+        } else {
+            match &result.outcome {
+                Ok(stored) => format!(
+                    "{path}: {} records (separator <{}>) [cache {}]",
+                    stored.records.len(),
+                    stored.separator,
+                    result.cache.as_str()
+                ),
+                Err(e) => format!("{path}: error: {e}"),
+            }
+        });
+    }
+    if args.json {
+        let _ = writeln!(out, "[{}]", lines.join(","));
+    } else {
+        for line in &lines {
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(
+            out,
+            "{} docs, {} succeeded, {} cache hits, {} misses, {} shed, {} workers; store {} ({} docs)",
+            report.results.len(),
+            report.results.iter().filter(|r| r.outcome.is_ok()).count(),
+            report.hits,
+            report.misses,
+            report.shed,
+            args.jobs,
+            store_path,
+            store.len()
+        );
+    }
+    Ok(report.metrics)
+}
+
+/// `rbd query STORE EXPR...`: loads the persisted records into the
+/// relational layer and runs one select expression over them.
+fn run_query(args: &Args, out: &mut String) -> Result<(), String> {
+    let store_path = args
+        .files
+        .first()
+        .ok_or("query needs a STORE file and an expression")?;
+    let text = args.files[1..].join(" ");
+    if text.trim().is_empty() {
+        return Err(
+            "query needs an expression, e.g. rbd query out.rbd \"select * from records\""
+                .to_owned(),
+        );
+    }
+    let mut store = rbd::store::Store::open(store_path)
+        .map_err(|e| format!("cannot open store {store_path}: {e}"))?;
+    let db = store
+        .load_database()
+        .map_err(|e| format!("store {store_path}: {e}"))?;
+    let expr = rbd::db::expr::parse(&text).map_err(|e| e.to_string())?;
+    match rbd::db::expr::run(&db, &expr).map_err(|e| e.to_string())? {
+        rbd::db::ResultSet::Count(n) => {
+            if args.json {
+                let _ = writeln!(out, "{{\"count\":{n}}}");
+            } else {
+                let _ = writeln!(out, "{n}");
+            }
+        }
+        rbd::db::ResultSet::Rows { columns, rows } => {
+            if args.json {
+                let objects: Vec<String> = rows
+                    .iter()
+                    .map(|row| {
+                        let fields: Vec<String> = columns
+                            .iter()
+                            .zip(row)
+                            .map(|(c, v)| match v {
+                                Some(v) => {
+                                    format!("\"{}\":\"{}\"", json_escape(c), json_escape(v))
+                                }
+                                None => format!("\"{}\":null", json_escape(c)),
+                            })
+                            .collect();
+                        format!("{{{}}}", fields.join(","))
+                    })
+                    .collect();
+                let _ = writeln!(out, "[{}]", objects.join(","));
+            } else {
+                let _ = writeln!(out, "{}", columns.join("\t"));
+                for row in &rows {
+                    let cells: Vec<&str> =
+                        row.iter().map(|v| v.as_deref().unwrap_or("NULL")).collect();
+                    let _ = writeln!(out, "{}", cells.join("\t"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// `rbd serve`: runs the fault-tolerant extraction service until it is
 /// told to stop (`POST /shutdown`), then reports the drain outcome.
 fn run_serve(args: &Args, sink: Option<&Arc<CollectingSink>>) -> Result<(), String> {
@@ -297,6 +459,7 @@ fn run_serve(args: &Args, sink: Option<&Arc<CollectingSink>>) -> Result<(), Stri
         workers: args.jobs,
         trace_dir: args.trace_dir.clone().map(std::path::PathBuf::from),
         slow_threshold: args.slow_ms.map(std::time::Duration::from_millis),
+        store: args.store.clone().map(std::path::PathBuf::from),
         ..rbd::serve::ServeConfig::default()
     };
     let audit: Option<Arc<dyn rbd::trace::TraceSink>> =
@@ -327,6 +490,12 @@ fn run() -> Result<(), String> {
 
     if args.command == "serve" {
         return run_serve(&args, sink.as_ref());
+    }
+
+    if args.command == "query" {
+        run_query(&args, &mut out)?;
+        emit(&out);
+        return Ok(());
     }
 
     if args.command == "tree" {

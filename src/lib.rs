@@ -20,6 +20,8 @@
 //!   work stealing, load shedding),
 //! * [`serve`] — fault-tolerant long-lived HTTP extraction service
 //!   (socket deadlines, load shedding, graceful drain),
+//! * [`store`] — crash-safe persistent record store with a content-hash
+//!   extraction cache,
 //! * [`report`] — stable machine-readable shapes for CLI output.
 //!
 //! ## Quickstart
@@ -53,6 +55,7 @@ pub use rbd_pattern as pattern;
 pub use rbd_pipeline as pipeline;
 pub use rbd_recognizer as recognizer;
 pub use rbd_serve as serve;
+pub use rbd_store as store;
 pub use rbd_tagtree as tagtree;
 pub use rbd_trace as trace;
 

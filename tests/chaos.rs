@@ -304,6 +304,139 @@ fn expired_deadline_stops_within_one_unit_of_work() {
     );
 }
 
+/// Crash-recovery arm: a committed store survives truncation at *every*
+/// byte boundary of the trailing uncommitted region. For each cut the
+/// reopened store must recover cleanly — all committed documents intact
+/// and byte-identical, at most the uncommitted batch lost — and a cut
+/// inside the committed region must surface as a typed error or a clean
+/// (possibly empty) store, never a panic or silently wrong data. Set
+/// `RBD_STORE_METRICS=<path>` to write the cut/recovery tally (the CI
+/// store job uploads it as an artifact).
+#[test]
+fn store_survives_truncation_at_every_byte_of_the_last_frame() {
+    use rbd::store::{ContentHash, Store, StoredDoc, StoredRecord};
+
+    fn make_doc(n: u64) -> StoredDoc {
+        let body = format!("chaos-store-doc-{n}");
+        StoredDoc {
+            hash: ContentHash::of(body.as_bytes()),
+            source: Some(format!("doc-{n}.html")),
+            separator: "hr".to_string(),
+            subtree_tag: "td".to_string(),
+            preamble: None,
+            records: vec![StoredRecord {
+                start: 0,
+                end: u64::try_from(body.len()).expect("small doc"),
+                text: body,
+            }],
+            degraded: 0,
+        }
+    }
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let base = dir.join(format!("rbd-chaos-store-{pid}.rbd"));
+    let scratch = dir.join(format!("rbd-chaos-store-cut-{pid}.rbd"));
+    let _ = std::fs::remove_file(&base);
+
+    // Batch A: committed. Batch B: committed on disk, then every suffix of
+    // its byte range is torn off in turn, simulating a crash at each point
+    // of the append.
+    let batch_a: Vec<StoredDoc> = (0..3).map(make_doc).collect();
+    let batch_b: Vec<StoredDoc> = (3..5).map(make_doc).collect();
+    let len_a = {
+        let mut store = Store::open(&base).expect("fresh store opens");
+        store.append_batch(&batch_a).expect("batch A commits");
+        std::fs::metadata(&base).expect("store file exists").len()
+    };
+    {
+        let mut store = Store::open(&base).expect("committed store reopens");
+        store.append_batch(&batch_b).expect("batch B commits");
+    }
+    let full = std::fs::read(&base).expect("store file readable");
+    let len_full = u64::try_from(full.len()).expect("small store");
+    assert!(len_full > len_a, "batch B wrote nothing");
+
+    let cut_start = usize::try_from(len_a).expect("small store");
+    let mut recovered_committed = 0u64;
+    let mut recovered_full = 0u64;
+    for cut in cut_start..full.len() + 1 {
+        std::fs::write(&scratch, &full[..cut]).expect("scratch write");
+        let mut store = Store::open(&scratch)
+            .unwrap_or_else(|e| panic!("cut at byte {cut}: recovery failed: {e}"));
+        let cut_is_full = cut == full.len();
+        let expected: u64 = if cut_is_full { 5 } else { 3 };
+        assert_eq!(
+            store.len(),
+            expected,
+            "cut at byte {cut}: wrong recovered count"
+        );
+        if cut_is_full {
+            recovered_full += 1;
+        } else {
+            recovered_committed += 1;
+        }
+        // Every committed document survives byte-identical.
+        for doc in &batch_a {
+            let got = store
+                .get(&doc.hash)
+                .unwrap_or_else(|e| panic!("cut at byte {cut}: read-back failed: {e}"))
+                .unwrap_or_else(|| panic!("cut at byte {cut}: committed doc lost"));
+            assert_eq!(
+                got.response_json().to_compact(),
+                doc.response_json().to_compact(),
+                "cut at byte {cut}: committed doc mutated"
+            );
+        }
+    }
+
+    // Cuts *inside* the committed region lose data the log can no longer
+    // vouch for: recovery must still never panic — a clean (possibly
+    // empty) store or a typed error are the only acceptable outcomes.
+    let mut torn_committed_ok = 0u64;
+    let mut torn_committed_typed = 0u64;
+    for cut in (0..cut_start).step_by(7) {
+        std::fs::write(&scratch, &full[..cut]).expect("scratch write");
+        match Store::open(&scratch) {
+            Ok(store) => {
+                assert!(store.len() <= 3, "cut at byte {cut}: resurrected documents");
+                torn_committed_ok += 1;
+            }
+            Err(e) => {
+                assert!(!e.kind().is_empty(), "cut at byte {cut}: untyped error {e}");
+                torn_committed_typed += 1;
+            }
+        }
+    }
+
+    if let Some(path) = std::env::var_os("RBD_STORE_METRICS") {
+        let snapshot = rbd_json::Json::object([
+            (
+                "store_cuts_tested",
+                rbd_json::Json::UInt(recovered_committed + recovered_full),
+            ),
+            (
+                "store_recovered_committed",
+                rbd_json::Json::UInt(recovered_committed),
+            ),
+            ("store_recovered_full", rbd_json::Json::UInt(recovered_full)),
+            (
+                "store_torn_committed_ok",
+                rbd_json::Json::UInt(torn_committed_ok),
+            ),
+            (
+                "store_torn_committed_typed",
+                rbd_json::Json::UInt(torn_committed_typed),
+            ),
+        ])
+        .to_pretty();
+        std::fs::write(&path, snapshot.as_bytes())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.to_string_lossy()));
+    }
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&scratch);
+}
+
 #[test]
 fn mutated_corpus_keeps_degradation_reports_accurate() {
     // Tight soft caps force frequent degradation on *valid* mutated pages;

@@ -230,6 +230,86 @@ fn batch_json_reports_typed_error_entries() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// End-to-end store path: a cold `rbd batch --store` run reports misses
+/// and populates the log, the identical warm run reports hits with the
+/// same per-document JSON shape, and `rbd query` answers over the
+/// persisted relations.
+#[test]
+fn batch_store_caches_and_query_answers() {
+    let dir = std::env::temp_dir().join(format!("rbd-cli-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let good = dir.join("good.html");
+    let bad = dir.join("bad.html");
+    let store = dir.join("out.rbd");
+    std::fs::write(&good, PAGE).expect("write good");
+    std::fs::write(&bad, "no tags at all").expect("write bad");
+    let args = [
+        "batch",
+        good.to_str().expect("utf-8 path"),
+        bad.to_str().expect("utf-8 path"),
+        "--store",
+        store.to_str().expect("utf-8 path"),
+        "--json",
+    ];
+
+    // Cold: everything misses; the failing document's error entry carries
+    // its cache status too.
+    let (stdout, stderr, ok) = run_with_stdin(&args, "");
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("\"records\":3") && stdout.contains("\"cache\":\"miss\""),
+        "{stdout}"
+    );
+    assert!(!stdout.contains("\"cache\":\"hit\""), "{stdout}");
+    assert!(
+        stdout.contains("\"error\":{\"kind\":\"discovery\""),
+        "{stdout}"
+    );
+
+    // Warm: the good document replays from the store; the failing one can
+    // never be cached and misses again.
+    let (stdout, stderr, ok) = run_with_stdin(&args, "");
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("\"records\":3") && stdout.contains("\"cache\":\"hit\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"cache\":\"miss\""), "{stdout}");
+
+    // Query the persisted store: count, projection, and a text filter.
+    let store_path = store.to_str().expect("utf-8 path");
+    let (stdout, stderr, ok) =
+        run_with_stdin(&["query", store_path, "select count(*) from records"], "");
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(stdout.trim(), "1", "{stdout}");
+
+    let (stdout, stderr, ok) = run_with_stdin(
+        &[
+            "query",
+            store_path,
+            "select text from record_texts where text contains 'Bob' limit 1",
+        ],
+        "",
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Bob C. Jones"), "{stdout}");
+
+    // Typed failure on a corrupt store file, not a panic.
+    let corrupt = dir.join("corrupt.rbd");
+    std::fs::write(&corrupt, b"RBDSTOREgarbage-not-a-frame").expect("write corrupt");
+    let (_, stderr, ok) = run_with_stdin(
+        &[
+            "query",
+            corrupt.to_str().expect("utf-8 path"),
+            "select count(*) from records",
+        ],
+        "",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("corrupt"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// End-to-end `rbd serve`: boot on an ephemeral port, extract over HTTP,
 /// shut down gracefully via the admin endpoint, and check the exit report.
 #[test]

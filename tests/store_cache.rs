@@ -1,0 +1,193 @@
+//! Cache-correctness guard for the persistent extraction store.
+//!
+//! The contract under test: a cache **hit must be byte-identical to a
+//! fresh extraction** — over an adversarial corpus, under both a serial
+//! and a 4-worker batch — and changing a single byte of a document must
+//! bust its cache entry. Wall-clock budgets are disabled (the only
+//! nondeterministic limit), so "identical" is an exact byte assertion on
+//! the canonical response JSON, not a similarity check.
+
+use rbd::prelude::*;
+use rbd::store::{ContentHash, Store, StoredDoc};
+use rbd_corpus::adversarial::{generate_adversarial, AttackKind};
+use rbd_pipeline::{run_batch_stored, CacheStatus};
+use std::sync::Arc;
+
+const SEED: u64 = 0x0DD5_EED5_0DD5_EED5;
+const PER_KIND: usize = if cfg!(debug_assertions) { 12 } else { 40 };
+
+/// Strict limits minus the wall-clock budget: every size cap stays armed,
+/// and extraction becomes deterministic.
+fn extractor() -> RecordExtractor {
+    let limits = Limits {
+        time_budget: None,
+        ..Limits::strict()
+    };
+    RecordExtractor::new(ExtractorConfig::default().with_limits(limits)).expect("valid config")
+}
+
+/// Adversarial corpus plus a slice of well-formed pages, so the sweep
+/// exercises both the error paths (never cached) and real extractions
+/// (cached and replayed).
+fn corpus() -> Vec<(u64, Option<String>, String)> {
+    let mut docs: Vec<(u64, Option<String>, String)> = Vec::new();
+    for kind in AttackKind::ALL {
+        for index in 0..PER_KIND {
+            let id = u64::try_from(docs.len()).expect("small corpus");
+            docs.push((id, None, generate_adversarial(kind, index, SEED)));
+        }
+    }
+    let style = &rbd_corpus::sites::initial_sites(rbd_corpus::Domain::Obituaries)[0];
+    for index in 0..8 {
+        let id = u64::try_from(docs.len()).expect("small corpus");
+        let page =
+            rbd_corpus::generate_document(style, rbd_corpus::Domain::Obituaries, index, SEED);
+        docs.push((id, Some(format!("obit-{index}.html")), page.html));
+    }
+    docs
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("rbd-store-cache-{name}-{}.rbd", std::process::id()))
+}
+
+/// Canonical bytes of one result, or `None` for a typed failure (typed
+/// failures are never cached, so they have no replay contract).
+fn canonical(outcome: &Result<StoredDoc, rbd::pipeline::BatchError>) -> Option<String> {
+    outcome
+        .as_ref()
+        .ok()
+        .map(|d| d.response_json().to_compact())
+}
+
+#[test]
+fn cache_hits_are_byte_identical_to_fresh_extraction_serial_and_parallel() {
+    let ex = extractor();
+    let docs = corpus();
+    let total = docs.len();
+    let sink: Arc<dyn TraceSink> = Arc::new(NullSink);
+
+    // Ground truth: fresh extraction, no store anywhere near it.
+    let fresh: Vec<Option<String>> = docs
+        .iter()
+        .map(|(_, source, html)| {
+            ex.extract_records(html).ok().map(|extraction| {
+                StoredDoc::from_extraction(
+                    ContentHash::of(html.as_bytes()),
+                    source.as_deref(),
+                    &extraction,
+                )
+                .response_json()
+                .to_compact()
+            })
+        })
+        .collect();
+    let ok_docs = u64::try_from(fresh.iter().flatten().count()).expect("small corpus");
+    assert!(ok_docs > 0, "corpus produced no successful extractions");
+
+    for (label, jobs) in [("serial", 1usize), ("parallel", 4usize)] {
+        let path = scratch(label);
+        let _ = std::fs::remove_file(&path);
+        let mut store = Store::open(&path).expect("fresh store opens");
+        let config = BatchConfig::with_jobs(jobs);
+
+        // Pass 1: cold store — everything is a miss, successes get cached.
+        let cold = run_batch_stored(&ex, docs.clone(), &config, &sink, &mut store)
+            .expect("valid batch config");
+        assert_eq!(cold.results.len(), total, "{label}: lost documents");
+        assert_eq!(cold.hits, 0, "{label}: hit on a cold store");
+        assert!(
+            cold.write_error.is_none(),
+            "{label}: {:?}",
+            cold.write_error
+        );
+        for result in &cold.results {
+            assert_eq!(
+                result.cache,
+                CacheStatus::Miss,
+                "{label}: cold pass must miss"
+            );
+            let id = usize::try_from(result.doc_id).expect("small corpus");
+            assert_eq!(
+                canonical(&result.outcome),
+                fresh[id],
+                "{label}: cold extraction diverges from fresh doc {id}"
+            );
+        }
+
+        // Pass 2: warm store — every cached success replays as a hit,
+        // byte-identical to the fresh extraction; failures miss again.
+        let warm = run_batch_stored(&ex, docs.clone(), &config, &sink, &mut store)
+            .expect("valid batch config");
+        assert_eq!(warm.hits, ok_docs, "{label}: every success must hit");
+        for result in &warm.results {
+            let id = usize::try_from(result.doc_id).expect("small corpus");
+            match &fresh[id] {
+                Some(bytes) => {
+                    assert_eq!(
+                        result.cache,
+                        CacheStatus::Hit,
+                        "{label}: doc {id} missed warm"
+                    );
+                    assert_eq!(
+                        canonical(&result.outcome).as_ref(),
+                        Some(bytes),
+                        "{label}: cache hit not byte-identical for doc {id}"
+                    );
+                }
+                None => assert_eq!(
+                    result.cache,
+                    CacheStatus::Miss,
+                    "{label}: failed doc {id} must never hit"
+                ),
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn one_changed_byte_busts_the_cache() {
+    let ex = extractor();
+    let sink: Arc<dyn TraceSink> = Arc::new(NullSink);
+    let style = &rbd_corpus::sites::initial_sites(rbd_corpus::Domain::Obituaries)[0];
+    let html = rbd_corpus::generate_document(style, rbd_corpus::Domain::Obituaries, 0, SEED).html;
+
+    let path = scratch("bust");
+    let _ = std::fs::remove_file(&path);
+    let mut store = Store::open(&path).expect("fresh store opens");
+    let config = BatchConfig::with_jobs(1);
+
+    let cold = run_batch_stored(
+        &ex,
+        vec![(0, None, html.clone())],
+        &config,
+        &sink,
+        &mut store,
+    )
+    .expect("valid batch config");
+    assert_eq!((cold.hits, cold.misses), (0, 1));
+
+    // The identical document hits; one flipped byte is a different
+    // document and must re-extract.
+    let mut mutated = html.clone().into_bytes();
+    let flip = mutated.len() / 2;
+    mutated[flip] = if mutated[flip] == b'a' { b'b' } else { b'a' };
+    let mutated = String::from_utf8(mutated).expect("ascii corpus");
+    assert_ne!(
+        ContentHash::of(html.as_bytes()),
+        ContentHash::of(mutated.as_bytes())
+    );
+
+    let warm = run_batch_stored(
+        &ex,
+        vec![(0, None, html), (1, None, mutated)],
+        &config,
+        &sink,
+        &mut store,
+    )
+    .expect("valid batch config");
+    let statuses: Vec<CacheStatus> = warm.results.iter().map(|r| r.cache).collect();
+    assert_eq!(statuses, vec![CacheStatus::Hit, CacheStatus::Miss]);
+    let _ = std::fs::remove_file(&path);
+}
